@@ -1,0 +1,18 @@
+// Command care-analyze prints the Table 5 address-computation census:
+// how many memory accesses in each workload involve multiple binary
+// operations in their address calculation, and how many on average —
+// the structural property that makes CARE's recovery kernels effective.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"care/internal/experiments"
+	"care/internal/workloads"
+)
+
+func main() {
+	flag.Parse()
+	fmt.Print(experiments.FormatCensus(experiments.CensusStudy(workloads.Params{})))
+}

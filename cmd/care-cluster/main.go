@@ -1,0 +1,48 @@
+// Command care-cluster reproduces the parallel-job experiments: the
+// Figure 10 comparison (an N-rank job with a CARE-recovered fault at
+// rank 0 finishes with almost no delay) and the §5.4 checkpoint/restart
+// baseline for GTC-P (-cr).
+//
+// The paper's configuration is -ranks 512 -threads 6 (3072 cores); the
+// default here is a smaller job that runs in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"care/internal/experiments"
+	"care/internal/workloads"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 8, "MPI ranks (paper: 512)")
+	threads := flag.Int("threads", 6, "threads per rank (core accounting)")
+	opt := flag.Int("opt", 0, "optimisation level")
+	seed := flag.Int64("seed", 1, "seed for the recoverable-injection search")
+	workload := flag.String("workload", "all", "workload name or 'all' (evaluated set)")
+	cr := flag.Bool("cr", false, "run the checkpoint/restart baseline instead")
+	crSteps := flag.Int("cr-steps", 80, "GTC-P steps for the C/R experiment")
+	crFault := flag.Int("cr-fault", 66, "step at which the fault kills the unprotected job")
+	flag.Parse()
+
+	if *cr {
+		rows, err := experiments.CRStudy([]int{20, 50, 75}, *crSteps, *crFault, workloads.Params{NParticles: 80})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatCR(rows, 0))
+		return
+	}
+	names := experiments.EvaluatedNames()
+	if *workload != "all" {
+		names = []string{*workload}
+	}
+	rows, err := experiments.ParallelStudy(names, *ranks, *threads, *opt,
+		workloads.Params{NX: 5, NY: 5, NZ: 4, Steps: 12}, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatParallel(rows))
+}

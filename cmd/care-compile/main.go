@@ -1,0 +1,25 @@
+// Command care-compile builds every workload with the Armor pass and
+// prints the Table 8 statistics: recovery-kernel counts and sizes,
+// normal compilation time, and Armor overhead (dominated by liveness
+// analysis, as in the paper).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"care/internal/experiments"
+	"care/internal/workloads"
+)
+
+func main() {
+	opt := flag.Int("opt", 0, "optimisation level (0 or 1)")
+	all := flag.Bool("all", false, "include miniFE (not part of the paper's Table 8)")
+	flag.Parse()
+	rows, err := experiments.ArmorStudy(*opt, workloads.Params{}, !*all)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatArmor(rows))
+}

@@ -1,0 +1,103 @@
+// Command care-disasm inspects what CARE builds: it compiles a workload
+// (or libblas) and dumps the machine code, the recovery table, and the
+// recovery kernels — the artifacts the paper's Figures 1, 4 and 6 are
+// about.
+//
+// Usage:
+//
+//	care-disasm -workload GTC-P [-opt 1] [-kernels] [-code] [-table]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"care/internal/armor"
+	"care/internal/blas"
+	"care/internal/core"
+	"care/internal/ir"
+	"care/internal/machine"
+	"care/internal/rtable"
+	"care/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "GTC-P", "workload name or 'blas'")
+	opt := flag.Int("opt", 0, "optimisation level")
+	showCode := flag.Bool("code", false, "dump machine code")
+	showKernels := flag.Bool("kernels", true, "dump recovery-kernel IR")
+	showTable := flag.Bool("table", true, "dump the recovery table")
+	maxKernels := flag.Int("n", 5, "kernels/entries to print (0 = all)")
+	flag.Parse()
+
+	var mod *ir.Module
+	if *workload == "blas" {
+		mod = blas.Library()
+	} else {
+		w, err := workloads.Get(*workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mod = w.Module(workloads.Params{})
+	}
+
+	bin, err := core.Build(mod, core.BuildOptions{OptLevel: *opt, IsLib: *workload == "blas"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (O%d): %d machine instructions, %d kernels (avg %.2f IR instrs), %d equivalences\n",
+		bin.Name, *opt, len(bin.Prog.Code), bin.ArmorStats.NumKernels,
+		bin.ArmorStats.AvgKernelInstrs(), bin.ArmorStats.NumEquivalences)
+
+	if *showTable {
+		tab, err := rtable.Decode(bin.RecoveryTable)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nrecovery table: %d entries (%d bytes encoded)\n", len(tab.Entries), len(bin.RecoveryTable))
+		for i, e := range tab.Entries {
+			if *maxKernels > 0 && i >= *maxKernels {
+				fmt.Printf("  ... %d more\n", len(tab.Entries)-i)
+				break
+			}
+			fmt.Printf("  %x -> %s in %s(", e.Key[:6], e.Symbol, e.Func)
+			for j, p := range e.Params {
+				if j > 0 {
+					fmt.Print(", ")
+				}
+				fmt.Print(p.Name)
+				if len(p.Equivs) > 0 {
+					fmt.Printf("[%d equiv]", len(p.Equivs))
+				}
+			}
+			fmt.Println(")")
+		}
+	}
+
+	if *showKernels {
+		// Re-run Armor to get the kernel IR in readable form.
+		ares, err := armor.Run(bin.Module, armor.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nrecovery kernels (IR):")
+		n := 0
+		for _, f := range ares.Kernels.Funcs {
+			if len(f.Blocks) == 0 {
+				continue
+			}
+			fmt.Println(f.String())
+			n++
+			if *maxKernels > 0 && n >= *maxKernels {
+				fmt.Printf("... %d more kernels\n", ares.Stats.NumKernels-n)
+				break
+			}
+		}
+	}
+
+	if *showCode {
+		fmt.Println()
+		fmt.Println(machine.DisassembleProgram(bin.Prog))
+	}
+}

@@ -1,0 +1,50 @@
+// Command care-inject runs the §2 fault-injection manifestation study
+// and prints Tables 2, 3 and 4 (or, with -model double, the appendix
+// Tables 10 and 11).
+//
+// Usage:
+//
+//	care-inject [-n 1000] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"care/internal/experiments"
+	"care/internal/faultinject"
+	"care/internal/workloads"
+)
+
+func main() {
+	n := flag.Int("n", 400, "injections per workload (the paper used 10000)")
+	model := flag.String("model", "single", "fault model: single or double bit flips")
+	workload := flag.String("workload", "all", "workload name or 'all'")
+	opt := flag.Int("opt", 0, "optimisation level (0 or 1)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	m := faultinject.SingleBit
+	switch *model {
+	case "single":
+	case "double":
+		m = faultinject.DoubleBit
+	default:
+		fmt.Fprintln(os.Stderr, "unknown -model; want single or double")
+		os.Exit(2)
+	}
+	names := experiments.AllNames()
+	if *workload != "all" {
+		if _, err := workloads.Get(*workload); err != nil {
+			log.Fatal(err)
+		}
+		names = []string{*workload}
+	}
+	rows, err := experiments.OutcomeStudy(names, *n, m, *seed, *opt, workloads.Params{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatOutcomeTables(rows))
+}

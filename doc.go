@@ -1,0 +1,24 @@
+// Package care is a from-scratch reproduction of "CARE:
+// Compiler-Assisted Recovery from Soft Failures" (Chen, Eisenhauer,
+// Pande, Guan — SC '19) as a pure-Go simulation stack.
+//
+// The paper's system repairs processes that crash with SIGSEGV after a
+// transient fault corrupts an address computation: a compiler pass
+// (Armor) clones every memory access's address computation into a
+// recovery kernel, and a runtime (Safeguard) intercepts the fault,
+// recomputes the address from uncorrupted values, patches the faulting
+// operand and resumes.
+//
+// Because the original is an LLVM pass plus a Linux/x86_64 signal
+// handler, this reproduction supplies the entire substrate itself: a
+// miniature SSA IR and compiler (O0/O1), a simulated CPU with
+// x86-style memory operands and resumable traps, DWARF-style debug
+// info, the five scientific mini-apps of the paper's Table 1, a BLAS
+// level-1 library, fault injectors, an MPI/cluster simulator, and a
+// checkpoint/restart baseline. See DESIGN.md for the full inventory
+// and EXPERIMENTS.md for the reproduced tables and figures.
+//
+// The package tree is internal/...; the runnable entry points are the
+// cmd/ tools and examples/ programs, and the benchmarks in this
+// directory regenerate each table and figure of the paper.
+package care

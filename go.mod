@@ -1,0 +1,3 @@
+module care
+
+go 1.22

@@ -1,0 +1,92 @@
+package armor
+
+import "care/internal/ir"
+
+// CensusRow is one workload's address-computation census (the paper's
+// Table 5): how many memory accesses involve multiple binary operations
+// in their address calculation, and how many operations on average.
+type CensusRow struct {
+	Module string
+	// MemAccesses is the total number of load/store instructions.
+	MemAccesses int
+	// MultiOp counts accesses whose address computation has >= 2
+	// binary operations.
+	MultiOp int
+	// OpsInMulti sums the operation counts over the MultiOp accesses.
+	OpsInMulti int
+}
+
+// PctMulti returns the percentage of accesses with multi-op address
+// computations (Table 5 row "No. Insts").
+func (c CensusRow) PctMulti() float64 {
+	if c.MemAccesses == 0 {
+		return 0
+	}
+	return 100 * float64(c.MultiOp) / float64(c.MemAccesses)
+}
+
+// AvgOps returns the average operation count among multi-op accesses
+// (Table 5 row "Avg. No. ops").
+func (c CensusRow) AvgOps() float64 {
+	if c.MultiOp == 0 {
+		return 0
+	}
+	return float64(c.OpsInMulti) / float64(c.MultiOp)
+}
+
+// Census walks every memory access of the module and counts the binary
+// operations in its address-computation backward slice. The walk stops
+// at slice leaves (constants, globals, arguments, allocas, phis) and
+// does not descend through loads: an inner load's own address math
+// belongs to that load's census entry.
+func Census(m *ir.Module) CensusRow {
+	row := CensusRow{Module: m.Name}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if !in.IsMemAccess() {
+					continue
+				}
+				row.MemAccesses++
+				ptr, _ := in.PointerOperand()
+				ops := countAddrOps(ptr, map[ir.Value]bool{})
+				if ops >= 2 {
+					row.MultiOp++
+					row.OpsInMulti += ops
+				}
+			}
+		}
+	}
+	return row
+}
+
+func countAddrOps(v ir.Value, seen map[ir.Value]bool) int {
+	in, ok := v.(*ir.Instr)
+	if !ok || seen[in] {
+		return 0
+	}
+	seen[in] = true
+	switch in.Op {
+	case ir.OpAlloca, ir.OpPhi, ir.OpLoad:
+		return 0
+	case ir.OpGEP:
+		n := 1 // the implicit add
+		if _, isConst := in.Ops[1].(*ir.Const); !isConst {
+			n = 2 // scale multiply + add
+		}
+		return n + countAddrOps(in.Ops[0], seen) + countAddrOps(in.Ops[1], seen)
+	case ir.OpCall:
+		n := 1
+		for _, op := range in.Ops {
+			n += countAddrOps(op, seen)
+		}
+		return n
+	case ir.OpIToF, ir.OpFToI:
+		return countAddrOps(in.Ops[0], seen)
+	default:
+		if !in.Op.IsBinary() {
+			return 0
+		}
+		return 1 + countAddrOps(in.Ops[0], seen) + countAddrOps(in.Ops[1], seen)
+	}
+}

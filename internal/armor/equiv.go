@@ -1,0 +1,178 @@
+package armor
+
+import (
+	"care/internal/ir"
+	"care/internal/rtable"
+)
+
+// inductionVar is a loop-header phi with an affine update:
+//
+//	p = phi [init, preheader], [p + step, latch]
+//
+// step is restricted to loop-invariant values Safeguard can fetch or
+// embed (constants and function arguments).
+type inductionVar struct {
+	phi   *ir.Instr
+	init  ir.Value
+	step  ir.Value
+	latch *ir.Block
+}
+
+// inductionKey groups siblings that advance in lockstep: phis of the
+// same header updated along the same latch edge.
+type inductionKey struct {
+	header *ir.Block
+	latch  *ir.Block
+}
+
+// findInductionVars detects affine induction variables per loop. Two
+// variables in the same group satisfy, at every point in the loop body,
+//
+//	(p - pInit) * qStep == (q - qInit) * pStep
+//
+// which is the equivalence Figure 11 proposes exploiting to reconstruct
+// a corrupted induction variable from an intact sibling.
+func findInductionVars(f *ir.Func) map[inductionKey][]inductionVar {
+	groups := map[inductionKey][]inductionVar{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpPhi {
+				break
+			}
+			if in.Typ != ir.I64 && in.Typ != ir.Ptr {
+				continue
+			}
+			if len(in.Ops) != 2 {
+				continue
+			}
+			for upd := 0; upd < 2; upd++ {
+				uv, ok := in.Ops[upd].(*ir.Instr)
+				if !ok || uv.Op != ir.OpAdd {
+					continue
+				}
+				var step ir.Value
+				if uv.Ops[0] == ir.Value(in) {
+					step = uv.Ops[1]
+				} else if uv.Ops[1] == ir.Value(in) {
+					step = uv.Ops[0]
+				} else {
+					continue
+				}
+				if !invariantRefOK(step) {
+					continue
+				}
+				iv := inductionVar{
+					phi:   in,
+					init:  in.Ops[1-upd],
+					step:  step,
+					latch: in.Blocks[upd],
+				}
+				k := inductionKey{header: b, latch: iv.latch}
+				groups[k] = append(groups[k], iv)
+				break
+			}
+		}
+	}
+	return groups
+}
+
+// invariantRefOK accepts quantities representable as a rtable.ValRef:
+// constants (embedded) and named values (fetched via debug info at
+// recovery time; arguments always have locations, other values may not
+// — Safeguard skips the equivalence if a fetch fails).
+func invariantRefOK(v ir.Value) bool {
+	switch x := v.(type) {
+	case *ir.Const:
+		return x.Typ != ir.F64
+	case *ir.Arg:
+		return x.Typ == ir.I64 || x.Typ == ir.Ptr
+	case *ir.Instr:
+		return (x.Typ == ir.I64 || x.Typ == ir.Ptr) && x.Name != ""
+	}
+	return false
+}
+
+func valRefOf(v ir.Value) (rtable.ValRef, bool) {
+	switch x := v.(type) {
+	case *ir.Const:
+		if x.Typ == ir.F64 {
+			return rtable.ValRef{}, false
+		}
+		return rtable.ConstRef(x.I), true
+	case *ir.Arg:
+		return rtable.NameRef(x.Name), true
+	case *ir.Instr:
+		if x.Name == "" {
+			return rtable.ValRef{}, false
+		}
+		return rtable.NameRef(x.Name), true
+	}
+	return rtable.ValRef{}, false
+}
+
+// equivIndex precomputes, per phi, its induction record and siblings.
+type equivIndex struct {
+	byPhi  map[*ir.Instr]inductionVar
+	groups map[inductionKey][]inductionVar
+	keyOf  map[*ir.Instr]inductionKey
+}
+
+func buildEquivIndex(f *ir.Func) *equivIndex {
+	idx := &equivIndex{
+		byPhi:  map[*ir.Instr]inductionVar{},
+		groups: findInductionVars(f),
+		keyOf:  map[*ir.Instr]inductionKey{},
+	}
+	for k, ivs := range idx.groups {
+		for _, iv := range ivs {
+			idx.byPhi[iv.phi] = iv
+			idx.keyOf[iv.phi] = k
+		}
+	}
+	return idx
+}
+
+// equivsFor returns the Figure-11 equivalences for parameter value p at
+// memory access I: one per intact sibling induction variable that is
+// live at I.
+func (idx *equivIndex) equivsFor(p ir.Value, at *ir.Instr, live *ir.Liveness) []rtable.Equiv {
+	phi, ok := p.(*ir.Instr)
+	if !ok {
+		return nil
+	}
+	iv, ok := idx.byPhi[phi]
+	if !ok {
+		return nil
+	}
+	pInit, ok := valRefOf(iv.init)
+	if !ok {
+		return nil
+	}
+	pStep, ok := valRefOf(iv.step)
+	if !ok {
+		return nil
+	}
+	var out []rtable.Equiv
+	for _, sib := range idx.groups[idx.keyOf[phi]] {
+		if sib.phi == phi || sib.phi.Typ == ir.F64 {
+			continue
+		}
+		if !live.LiveAt(sib.phi, at) {
+			continue // the sibling must be fetchable at the fault
+		}
+		qInit, ok := valRefOf(sib.init)
+		if !ok {
+			continue
+		}
+		qStep, ok := valRefOf(sib.step)
+		if !ok {
+			continue
+		}
+		out = append(out, rtable.Equiv{
+			Other: sib.phi.Name,
+			PInit: pInit, QInit: qInit,
+			PStep: pStep, QStep: qStep,
+		})
+	}
+	return out
+}

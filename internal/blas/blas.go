@@ -1,0 +1,345 @@
+// Package blas implements the twelve REAL level-1 BLAS routines the
+// paper's sblat1 driver exercises (§5.5), written in the mini-IR and
+// compiled as a shared-library image ("libblas.so"). The strided index
+// arithmetic (ix = start + i*incx, including the Fortran negative-stride
+// start offset (1-n)*incx) is exactly the kind of address computation
+// CARE protects inside libraries.
+package blas
+
+import (
+	"care/internal/ir"
+	. "care/internal/irbuild"
+)
+
+// RoutineNames lists the provided level-1 routines.
+var RoutineNames = []string{
+	"isamax", "sasum", "saxpy", "scopy", "sdot", "snrm2",
+	"srot", "srotg", "srotm", "srotmg", "sscal", "sswap",
+}
+
+// Library builds the libblas module.
+func Library() *ir.Module {
+	m := ir.NewModule("libblas")
+	b := ir.NewBuilder(m)
+	fb := New(b)
+
+	// strideStart(n, inc) = 0 for inc >= 0, (1-n)*inc otherwise — the
+	// Fortran BLAS convention (1-based IX = (-N+1)*INCX + 1).
+	strideStart := func(n, inc ir.Value) ir.Value {
+		return fb.Select(fb.ICmp(ir.OpICmpSGE, inc, I(0)), I(0), fb.Mul(fb.Sub(I(1), n), inc))
+	}
+
+	// isamax(n, sx, incx) -> 1-based index of the first element with
+	// maximum absolute value (0 when n < 1).
+	{
+		f := b.NewFunc("isamax", ir.I64, ir.Param("n", ir.I64), ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64))
+		n, sx, incx := f.Params[0], f.Params[1], f.Params[2]
+		st := strideStart(n, incx)
+		out := fb.For(I(0), n, 1, []ir.Value{I(1), F(-1), st}, func(i ir.Value, c []ir.Value) []ir.Value {
+			fb.NewLine()
+			best, bestAbs, ix := c[0], c[1], c[2]
+			v := fb.HostCall("fabs", ir.F64, fb.LoadAt(ir.F64, sx, ix))
+			take := fb.FCmp(ir.OpFCmpOGT, v, bestAbs)
+			nb := fb.If(take, func() []ir.Value {
+				return []ir.Value{fb.Add(i, I(1)), v}
+			}, func() []ir.Value {
+				return []ir.Value{best, bestAbs}
+			})
+			return []ir.Value{nb[0], nb[1], fb.Add(ix, incx)}
+		})
+		// Fortran convention: 0 for n < 1.
+		fb.Ret(fb.Select(fb.ICmp(ir.OpICmpSGE, n, I(1)), out[0], I(0)))
+	}
+
+	// sasum(n, sx, incx) -> sum |x_i|.
+	{
+		f := b.NewFunc("sasum", ir.F64, ir.Param("n", ir.I64), ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64))
+		n, sx, incx := f.Params[0], f.Params[1], f.Params[2]
+		st := strideStart(n, incx)
+		out := fb.For(I(0), n, 1, []ir.Value{F(0), st}, func(i ir.Value, c []ir.Value) []ir.Value {
+			fb.NewLine()
+			v := fb.HostCall("fabs", ir.F64, fb.LoadAt(ir.F64, sx, c[1]))
+			return []ir.Value{fb.FAdd(c[0], v), fb.Add(c[1], incx)}
+		})
+		fb.Ret(out[0])
+	}
+
+	// saxpy(n, sa, sx, incx, sy, incy): y = a*x + y.
+	{
+		f := b.NewFunc("saxpy", ir.Void, ir.Param("n", ir.I64), ir.Param("sa", ir.F64),
+			ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64), ir.Param("sy", ir.Ptr), ir.Param("incy", ir.I64))
+		n, sa, sx, incx, sy, incy := f.Params[0], f.Params[1], f.Params[2], f.Params[3], f.Params[4], f.Params[5]
+		sx0, sy0 := strideStart(n, incx), strideStart(n, incy)
+		fb.For(I(0), n, 1, []ir.Value{sx0, sy0}, func(i ir.Value, c []ir.Value) []ir.Value {
+			fb.NewLine()
+			xv := fb.LoadAt(ir.F64, sx, c[0])
+			yv := fb.LoadAt(ir.F64, sy, c[1])
+			fb.StoreAt(fb.FAdd(yv, fb.FMul(sa, xv)), sy, c[1])
+			return []ir.Value{fb.Add(c[0], incx), fb.Add(c[1], incy)}
+		})
+		fb.Ret(nil)
+	}
+
+	// scopy(n, sx, incx, sy, incy): y = x.
+	{
+		f := b.NewFunc("scopy", ir.Void, ir.Param("n", ir.I64),
+			ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64), ir.Param("sy", ir.Ptr), ir.Param("incy", ir.I64))
+		n, sx, incx, sy, incy := f.Params[0], f.Params[1], f.Params[2], f.Params[3], f.Params[4]
+		sx0, sy0 := strideStart(n, incx), strideStart(n, incy)
+		fb.For(I(0), n, 1, []ir.Value{sx0, sy0}, func(i ir.Value, c []ir.Value) []ir.Value {
+			fb.NewLine()
+			fb.StoreAt(fb.LoadAt(ir.F64, sx, c[0]), sy, c[1])
+			return []ir.Value{fb.Add(c[0], incx), fb.Add(c[1], incy)}
+		})
+		fb.Ret(nil)
+	}
+
+	// sdot(n, sx, incx, sy, incy) -> x . y.
+	{
+		f := b.NewFunc("sdot", ir.F64, ir.Param("n", ir.I64),
+			ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64), ir.Param("sy", ir.Ptr), ir.Param("incy", ir.I64))
+		n, sx, incx, sy, incy := f.Params[0], f.Params[1], f.Params[2], f.Params[3], f.Params[4]
+		sx0, sy0 := strideStart(n, incx), strideStart(n, incy)
+		out := fb.For(I(0), n, 1, []ir.Value{F(0), sx0, sy0}, func(i ir.Value, c []ir.Value) []ir.Value {
+			fb.NewLine()
+			xv := fb.LoadAt(ir.F64, sx, c[1])
+			yv := fb.LoadAt(ir.F64, sy, c[2])
+			return []ir.Value{fb.FAdd(c[0], fb.FMul(xv, yv)), fb.Add(c[1], incx), fb.Add(c[2], incy)}
+		})
+		fb.Ret(out[0])
+	}
+
+	// snrm2(n, sx, incx) -> ||x||_2 (simple sum-of-squares form).
+	{
+		f := b.NewFunc("snrm2", ir.F64, ir.Param("n", ir.I64), ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64))
+		n, sx, incx := f.Params[0], f.Params[1], f.Params[2]
+		st := strideStart(n, incx)
+		out := fb.For(I(0), n, 1, []ir.Value{F(0), st}, func(i ir.Value, c []ir.Value) []ir.Value {
+			fb.NewLine()
+			v := fb.LoadAt(ir.F64, sx, c[1])
+			return []ir.Value{fb.FAdd(c[0], fb.FMul(v, v)), fb.Add(c[1], incx)}
+		})
+		fb.Ret(fb.Sqrt(out[0]))
+	}
+
+	// srot(n, sx, incx, sy, incy, c, s): apply a plane rotation.
+	{
+		f := b.NewFunc("srot", ir.Void, ir.Param("n", ir.I64),
+			ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64), ir.Param("sy", ir.Ptr), ir.Param("incy", ir.I64),
+			ir.Param("c", ir.F64), ir.Param("s", ir.F64))
+		n, sx, incx, sy, incy, cc, ss := f.Params[0], f.Params[1], f.Params[2], f.Params[3], f.Params[4], f.Params[5], f.Params[6]
+		sx0, sy0 := strideStart(n, incx), strideStart(n, incy)
+		fb.For(I(0), n, 1, []ir.Value{sx0, sy0}, func(i ir.Value, c []ir.Value) []ir.Value {
+			fb.NewLine()
+			xv := fb.LoadAt(ir.F64, sx, c[0])
+			yv := fb.LoadAt(ir.F64, sy, c[1])
+			fb.StoreAt(fb.FAdd(fb.FMul(cc, xv), fb.FMul(ss, yv)), sx, c[0])
+			fb.StoreAt(fb.FSub(fb.FMul(cc, yv), fb.FMul(ss, xv)), sy, c[1])
+			return []ir.Value{fb.Add(c[0], incx), fb.Add(c[1], incy)}
+		})
+		fb.Ret(nil)
+	}
+
+	// srotg(a*, b*, c*, s*): construct a Givens rotation (reference
+	// BLAS algorithm, scalars passed by reference as in Fortran).
+	{
+		f := b.NewFunc("srotg", ir.Void, ir.Param("pa", ir.Ptr), ir.Param("pb", ir.Ptr),
+			ir.Param("pc", ir.Ptr), ir.Param("ps", ir.Ptr))
+		pa, pb, pc, ps := f.Params[0], f.Params[1], f.Params[2], f.Params[3]
+		a := fb.Load(ir.F64, pa)
+		bb := fb.Load(ir.F64, pb)
+		absA := fb.HostCall("fabs", ir.F64, a)
+		absB := fb.HostCall("fabs", ir.F64, bb)
+		roe := fb.If(fb.FCmp(ir.OpFCmpOGT, absA, absB),
+			func() []ir.Value { return []ir.Value{a} },
+			func() []ir.Value { return []ir.Value{bb} })[0]
+		scale := fb.FAdd(absA, absB)
+		fb.If(fb.FCmp(ir.OpFCmpOEQ, scale, F(0)), func() []ir.Value {
+			fb.Store(F(1), pc)
+			fb.Store(F(0), ps)
+			fb.Store(F(0), pa)
+			fb.Store(F(0), pb)
+			return nil
+		}, func() []ir.Value {
+			fb.NewLine()
+			an := fb.FDiv(a, scale)
+			bn := fb.FDiv(bb, scale)
+			r0 := fb.FMul(scale, fb.Sqrt(fb.FAdd(fb.FMul(an, an), fb.FMul(bn, bn))))
+			r := fb.If(fb.FCmp(ir.OpFCmpOLT, roe, F(0)),
+				func() []ir.Value { return []ir.Value{fb.FSub(F(0), r0)} },
+				func() []ir.Value { return []ir.Value{r0} })[0]
+			cv := fb.FDiv(a, r)
+			sv := fb.FDiv(bb, r)
+			z := fb.If(fb.FCmp(ir.OpFCmpOGT, absA, absB),
+				func() []ir.Value { return []ir.Value{sv} },
+				func() []ir.Value {
+					return []ir.Value{fb.If(fb.FCmp(ir.OpFCmpONE, cv, F(0)),
+						func() []ir.Value { return []ir.Value{fb.FDiv(F(1), cv)} },
+						func() []ir.Value { return []ir.Value{F(1)} })[0]}
+				})[0]
+			fb.Store(cv, pc)
+			fb.Store(sv, ps)
+			fb.Store(r, pa)
+			fb.Store(z, pb)
+			return nil
+		})
+		fb.Ret(nil)
+	}
+
+	// srotm(n, sx, incx, sy, incy, param): apply a modified rotation.
+	{
+		f := b.NewFunc("srotm", ir.Void, ir.Param("n", ir.I64),
+			ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64), ir.Param("sy", ir.Ptr), ir.Param("incy", ir.I64),
+			ir.Param("param", ir.Ptr))
+		n, sx, incx, sy, incy, prm := f.Params[0], f.Params[1], f.Params[2], f.Params[3], f.Params[4], f.Params[5]
+		flag := fb.LoadAt(ir.F64, prm, I(0))
+		fb.IfThen(fb.FCmp(ir.OpFCmpONE, flag, F(-2)), func() {
+			h11 := fb.LoadAt(ir.F64, prm, I(1))
+			h21 := fb.LoadAt(ir.F64, prm, I(2))
+			h12 := fb.LoadAt(ir.F64, prm, I(3))
+			h22 := fb.LoadAt(ir.F64, prm, I(4))
+			// Normalise the H matrix per flag.
+			hs := fb.If(fb.FCmp(ir.OpFCmpOEQ, flag, F(-1)), func() []ir.Value {
+				return []ir.Value{h11, h12, h21, h22}
+			}, func() []ir.Value {
+				return fb.If(fb.FCmp(ir.OpFCmpOEQ, flag, F(0)), func() []ir.Value {
+					return []ir.Value{F(1), h12, h21, F(1)}
+				}, func() []ir.Value {
+					return []ir.Value{h11, F(1), F(-1), h22}
+				})
+			})
+			m11, m12, m21, m22 := hs[0], hs[1], hs[2], hs[3]
+			sx0, sy0 := strideStart(n, incx), strideStart(n, incy)
+			fb.For(I(0), n, 1, []ir.Value{sx0, sy0}, func(i ir.Value, c []ir.Value) []ir.Value {
+				fb.NewLine()
+				xv := fb.LoadAt(ir.F64, sx, c[0])
+				yv := fb.LoadAt(ir.F64, sy, c[1])
+				fb.StoreAt(fb.FAdd(fb.FMul(m11, xv), fb.FMul(m12, yv)), sx, c[0])
+				fb.StoreAt(fb.FAdd(fb.FMul(m21, xv), fb.FMul(m22, yv)), sy, c[1])
+				return []ir.Value{fb.Add(c[0], incx), fb.Add(c[1], incy)}
+			})
+		})
+		fb.Ret(nil)
+	}
+
+	// srotmg(d1*, d2*, x1*, y1, param*): construct a modified rotation.
+	// Reference algorithm with the GAM rescaling loops omitted (inputs
+	// in the driver stay in range), matching the case analysis of the
+	// netlib source.
+	{
+		f := b.NewFunc("srotmg", ir.Void, ir.Param("pd1", ir.Ptr), ir.Param("pd2", ir.Ptr),
+			ir.Param("px1", ir.Ptr), ir.Param("y1", ir.F64), ir.Param("param", ir.Ptr))
+		pd1, pd2, px1, y1, prm := f.Params[0], f.Params[1], f.Params[2], f.Params[3], f.Params[4]
+		d1 := fb.Load(ir.F64, pd1)
+		d2 := fb.Load(ir.F64, pd2)
+		x1 := fb.Load(ir.F64, px1)
+		fb.If(fb.FCmp(ir.OpFCmpOLT, d1, F(0)), func() []ir.Value {
+			// Error case: H = 0, everything zeroed.
+			fb.StoreAt(F(-1), prm, I(0))
+			for k := int64(1); k <= 4; k++ {
+				fb.StoreAt(F(0), prm, I(k))
+			}
+			fb.Store(F(0), pd1)
+			fb.Store(F(0), pd2)
+			fb.Store(F(0), px1)
+			return nil
+		}, func() []ir.Value {
+			p2 := fb.FMul(d2, y1)
+			fb.If(fb.FCmp(ir.OpFCmpOEQ, p2, F(0)), func() []ir.Value {
+				fb.StoreAt(F(-2), prm, I(0))
+				return nil
+			}, func() []ir.Value {
+				fb.NewLine()
+				p1 := fb.FMul(d1, x1)
+				q2 := fb.FMul(p2, y1)
+				q1 := fb.FMul(p1, x1)
+				aq1 := fb.HostCall("fabs", ir.F64, q1)
+				aq2 := fb.HostCall("fabs", ir.F64, q2)
+				fb.If(fb.FCmp(ir.OpFCmpOGT, aq1, aq2), func() []ir.Value {
+					fb.NewLine()
+					h21 := fb.FDiv(fb.FSub(F(0), y1), x1)
+					h12 := fb.FDiv(p2, p1)
+					u := fb.FSub(F(1), fb.FMul(h12, h21))
+					fb.IfThen(fb.FCmp(ir.OpFCmpOGT, u, F(0)), func() {
+						fb.StoreAt(F(0), prm, I(0))
+						fb.StoreAt(F(0), prm, I(1)) // h11 unused for flag 0
+						fb.StoreAt(h21, prm, I(2))
+						fb.StoreAt(h12, prm, I(3))
+						fb.StoreAt(F(0), prm, I(4)) // h22 unused for flag 0
+						fb.Store(fb.FDiv(d1, u), pd1)
+						fb.Store(fb.FDiv(d2, u), pd2)
+						fb.Store(fb.FMul(x1, u), px1)
+					})
+					return nil
+				}, func() []ir.Value {
+					fb.If(fb.FCmp(ir.OpFCmpOLT, q2, F(0)), func() []ir.Value {
+						fb.StoreAt(F(-1), prm, I(0))
+						for k := int64(1); k <= 4; k++ {
+							fb.StoreAt(F(0), prm, I(k))
+						}
+						fb.Store(F(0), pd1)
+						fb.Store(F(0), pd2)
+						fb.Store(F(0), px1)
+						return nil
+					}, func() []ir.Value {
+						fb.NewLine()
+						h11 := fb.FDiv(p1, p2)
+						h22 := fb.FDiv(x1, y1)
+						u := fb.FAdd(F(1), fb.FMul(h11, h22))
+						newD1 := fb.FDiv(d2, u)
+						newD2 := fb.FDiv(d1, u)
+						fb.StoreAt(F(1), prm, I(0))
+						fb.StoreAt(h11, prm, I(1))
+						fb.StoreAt(F(0), prm, I(2))
+						fb.StoreAt(F(0), prm, I(3))
+						fb.StoreAt(h22, prm, I(4))
+						fb.Store(newD1, pd1)
+						fb.Store(newD2, pd2)
+						fb.Store(fb.FMul(y1, u), px1)
+						return nil
+					})
+					return nil
+				})
+				return nil
+			})
+			return nil
+		})
+		fb.Ret(nil)
+	}
+
+	// sscal(n, sa, sx, incx): x = a*x.
+	{
+		f := b.NewFunc("sscal", ir.Void, ir.Param("n", ir.I64), ir.Param("sa", ir.F64),
+			ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64))
+		n, sa, sx, incx := f.Params[0], f.Params[1], f.Params[2], f.Params[3]
+		st := strideStart(n, incx)
+		fb.For(I(0), n, 1, []ir.Value{st}, func(i ir.Value, c []ir.Value) []ir.Value {
+			fb.NewLine()
+			fb.StoreAt(fb.FMul(sa, fb.LoadAt(ir.F64, sx, c[0])), sx, c[0])
+			return []ir.Value{fb.Add(c[0], incx)}
+		})
+		fb.Ret(nil)
+	}
+
+	// sswap(n, sx, incx, sy, incy).
+	{
+		f := b.NewFunc("sswap", ir.Void, ir.Param("n", ir.I64),
+			ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64), ir.Param("sy", ir.Ptr), ir.Param("incy", ir.I64))
+		n, sx, incx, sy, incy := f.Params[0], f.Params[1], f.Params[2], f.Params[3], f.Params[4]
+		sx0, sy0 := strideStart(n, incx), strideStart(n, incy)
+		fb.For(I(0), n, 1, []ir.Value{sx0, sy0}, func(i ir.Value, c []ir.Value) []ir.Value {
+			fb.NewLine()
+			xv := fb.LoadAt(ir.F64, sx, c[0])
+			yv := fb.LoadAt(ir.F64, sy, c[1])
+			fb.StoreAt(yv, sx, c[0])
+			fb.StoreAt(xv, sy, c[1])
+			return []ir.Value{fb.Add(c[0], incx), fb.Add(c[1], incy)}
+		})
+		fb.Ret(nil)
+	}
+
+	if err := ir.VerifyModule(m); err != nil {
+		panic("blas: " + err.Error())
+	}
+	return m
+}

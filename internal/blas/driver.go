@@ -1,0 +1,184 @@
+package blas
+
+import (
+	"care/internal/ir"
+	. "care/internal/irbuild"
+)
+
+// Sblat1 builds the test driver for the REAL level-1 routines, modelled
+// on LAPACK's TESTING/sblat1.f: for several (n, incx, incy)
+// combinations it runs every routine on fresh copies of deterministic
+// data and emits the scalar results and mutated-vector checksums as the
+// program's result stream. The driver module only *declares* the BLAS
+// routines; it is linked against the libblas image at build time.
+func Sblat1(seed int64) *ir.Module {
+	const vlen = 40
+	rng := seededData(seed)
+	xsrc := make([]float64, vlen)
+	ysrc := make([]float64, vlen)
+	for i := 0; i < vlen; i++ {
+		xsrc[i] = 2*rng() - 1
+		ysrc[i] = 2*rng() - 1
+	}
+
+	m := ir.NewModule("sblat1")
+	gX := m.AddGlobal(&ir.Global{Name: "xsrc", Size: vlen * 8, InitF64: xsrc})
+	gY := m.AddGlobal(&ir.Global{Name: "ysrc", Size: vlen * 8, InitF64: ysrc})
+
+	// Declarations of the library routines (resolved at link time).
+	decl := func(name string, ret ir.Type, params ...*ir.Arg) *ir.Func {
+		f := &ir.Func{Name: name, File: "sblat1/" + name, RetType: ret, Module: m}
+		for i, p := range params {
+			p.Index = i
+			p.Fn = f
+		}
+		f.Params = params
+		m.Funcs = append(m.Funcs, f)
+		return f
+	}
+	dIsamax := decl("isamax", ir.I64, ir.Param("n", ir.I64), ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64))
+	dSasum := decl("sasum", ir.F64, ir.Param("n", ir.I64), ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64))
+	dSaxpy := decl("saxpy", ir.Void, ir.Param("n", ir.I64), ir.Param("sa", ir.F64), ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64), ir.Param("sy", ir.Ptr), ir.Param("incy", ir.I64))
+	dScopy := decl("scopy", ir.Void, ir.Param("n", ir.I64), ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64), ir.Param("sy", ir.Ptr), ir.Param("incy", ir.I64))
+	dSdot := decl("sdot", ir.F64, ir.Param("n", ir.I64), ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64), ir.Param("sy", ir.Ptr), ir.Param("incy", ir.I64))
+	dSnrm2 := decl("snrm2", ir.F64, ir.Param("n", ir.I64), ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64))
+	dSrot := decl("srot", ir.Void, ir.Param("n", ir.I64), ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64), ir.Param("sy", ir.Ptr), ir.Param("incy", ir.I64), ir.Param("c", ir.F64), ir.Param("s", ir.F64))
+	dSrotg := decl("srotg", ir.Void, ir.Param("pa", ir.Ptr), ir.Param("pb", ir.Ptr), ir.Param("pc", ir.Ptr), ir.Param("ps", ir.Ptr))
+	dSrotm := decl("srotm", ir.Void, ir.Param("n", ir.I64), ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64), ir.Param("sy", ir.Ptr), ir.Param("incy", ir.I64), ir.Param("param", ir.Ptr))
+	dSrotmg := decl("srotmg", ir.Void, ir.Param("pd1", ir.Ptr), ir.Param("pd2", ir.Ptr), ir.Param("px1", ir.Ptr), ir.Param("y1", ir.F64), ir.Param("param", ir.Ptr))
+	dSscal := decl("sscal", ir.Void, ir.Param("n", ir.I64), ir.Param("sa", ir.F64), ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64))
+	dSswap := decl("sswap", ir.Void, ir.Param("n", ir.I64), ir.Param("sx", ir.Ptr), ir.Param("incx", ir.I64), ir.Param("sy", ir.Ptr), ir.Param("incy", ir.I64))
+
+	b := ir.NewBuilder(m)
+	fb := New(b)
+	b.NewFunc("main", ir.I64)
+
+	wx := fb.Malloc(vlen)
+	wy := fb.Malloc(vlen)
+
+	freshen := func() {
+		fb.ForN(I(0), I(vlen), 1, func(i ir.Value) {
+			fb.NewLine()
+			fb.StoreAt(fb.LoadAt(ir.F64, gX, i), wx, i)
+			fb.StoreAt(fb.LoadAt(ir.F64, gY, i), wy, i)
+		})
+	}
+	checksum := func(v ir.Value) ir.Value {
+		s := fb.For(I(0), I(vlen), 1, []ir.Value{F(0)}, func(i ir.Value, c []ir.Value) []ir.Value {
+			fb.NewLine()
+			return []ir.Value{fb.FAdd(c[0], fb.FMul(fb.LoadAt(ir.F64, v, i), fb.IToF(fb.Add(i, I(1)))))}
+		})
+		return s[0]
+	}
+
+	type combo struct{ n, incx, incy int64 }
+	combos := []combo{{0, 1, 1}, {1, 1, 2}, {5, 1, 1}, {8, 2, 1}, {7, 1, -2}, {6, -2, -3}}
+
+	for _, cb := range combos {
+		n, ix, iy := I(cb.n), I(cb.incx), I(cb.incy)
+		freshen()
+		fb.Result(fb.Call(dSdot, n, wx, ix, wy, iy))
+		fb.Result(fb.Call(dSasum, n, wx, ix))
+		fb.Result(fb.Call(dSnrm2, n, wx, ix))
+		fb.Result(fb.Call(dIsamax, n, wx, ix))
+
+		freshen()
+		fb.Call(dSaxpy, n, F(0.7), wx, ix, wy, iy)
+		fb.Result(checksum(wy))
+
+		freshen()
+		fb.Call(dScopy, n, wx, ix, wy, iy)
+		fb.Result(checksum(wy))
+
+		freshen()
+		fb.Call(dSscal, n, F(-1.3), wx, ix)
+		fb.Result(checksum(wx))
+
+		freshen()
+		fb.Call(dSswap, n, wx, ix, wy, iy)
+		fb.Result(fb.FAdd(checksum(wx), fb.FMul(F(2), checksum(wy))))
+
+		freshen()
+		fb.Call(dSrot, n, wx, ix, wy, iy, F(0.8), F(0.6))
+		fb.Result(fb.FAdd(checksum(wx), fb.FMul(F(2), checksum(wy))))
+	}
+
+	// srotg on a few (a, b) pairs.
+	{
+		pa := fb.Malloc(1)
+		pb := fb.Malloc(1)
+		pc := fb.Malloc(1)
+		ps := fb.Malloc(1)
+		pairs := [][2]float64{{0.3, 0.4}, {-0.5, 1.2}, {0, 0}, {2.0, -0.1}}
+		for _, pr := range pairs {
+			fb.Store(F(pr[0]), pa)
+			fb.Store(F(pr[1]), pb)
+			fb.Call(dSrotg, pa, pb, pc, ps)
+			fb.Result(fb.Load(ir.F64, pa))
+			fb.Result(fb.Load(ir.F64, pb))
+			fb.Result(fb.Load(ir.F64, pc))
+			fb.Result(fb.Load(ir.F64, ps))
+		}
+	}
+
+	// srotm with each flag.
+	{
+		prm := fb.Malloc(5)
+		for _, flag := range []float64{-2, -1, 0, 1} {
+			freshen()
+			fb.Store(F(flag), prm)
+			fb.StoreAt(F(0.9), prm, I(1))
+			fb.StoreAt(F(-0.2), prm, I(2))
+			fb.StoreAt(F(0.3), prm, I(3))
+			fb.StoreAt(F(1.1), prm, I(4))
+			fb.Call(dSrotm, I(7), wx, I(1), wy, I(2), prm)
+			fb.Result(fb.FAdd(checksum(wx), fb.FMul(F(2), checksum(wy))))
+		}
+	}
+
+	// srotmg on representative inputs covering its branches.
+	{
+		pd1 := fb.Malloc(1)
+		pd2 := fb.Malloc(1)
+		px1 := fb.Malloc(1)
+		prm := fb.Malloc(5)
+		cases := [][4]float64{
+			{0.6, 0.8, 0.5, 0.4},  // |q1| > |q2| branch
+			{0.2, 0.9, 0.3, 0.8},  // |q2| >= |q1|, q2 > 0
+			{0.1, -0.4, 0.3, 0.9}, // q2 < 0: zero H
+			{-0.3, 0.5, 0.2, 0.1}, // d1 < 0: error branch
+			{0.5, 0.7, 0.4, 0.0},  // p2 == 0: flag -2
+		}
+		for _, cs := range cases {
+			fb.Store(F(cs[0]), pd1)
+			fb.Store(F(cs[1]), pd2)
+			fb.Store(F(cs[2]), px1)
+			for k := int64(0); k < 5; k++ {
+				fb.StoreAt(F(0), prm, I(k))
+			}
+			fb.Call(dSrotmg, pd1, pd2, px1, F(cs[3]), prm)
+			fb.Result(fb.Load(ir.F64, pd1))
+			fb.Result(fb.Load(ir.F64, pd2))
+			fb.Result(fb.Load(ir.F64, px1))
+			s := fb.For(I(0), I(5), 1, []ir.Value{F(0)}, func(k ir.Value, c []ir.Value) []ir.Value {
+				return []ir.Value{fb.FAdd(c[0], fb.LoadAt(ir.F64, prm, k))}
+			})
+			fb.Result(s[0])
+		}
+	}
+
+	fb.Ret(I(0))
+	if err := ir.VerifyModule(m); err != nil {
+		panic("blas: sblat1: " + err.Error())
+	}
+	return m
+}
+
+// seededData is a tiny deterministic generator for driver vectors.
+func seededData(seed int64) func() float64 {
+	s := uint64(seed)*2862933555777941757 + 3037000493
+	return func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>11) / float64(1<<53)
+	}
+}

@@ -1,0 +1,125 @@
+// Package checkpoint implements the Checkpoint/Restart substrate that
+// CARE is compared against (§5.4): full-process snapshots (memory,
+// registers, program counter), restart from the latest snapshot, and an
+// I/O cost model that converts snapshot sizes into the write/read times
+// a parallel filesystem would charge.
+package checkpoint
+
+import (
+	"fmt"
+	"time"
+
+	"care/internal/machine"
+)
+
+// CPUState is the architectural part of a snapshot.
+type CPUState struct {
+	R   [machine.NumReg]machine.Word
+	F   [machine.NumFReg]float64
+	PC  machine.Word
+	Dyn uint64
+}
+
+// Snapshot is a full process checkpoint.
+type Snapshot struct {
+	Mem *machine.Snapshot
+	CPU CPUState
+	// Step is the application step at which the snapshot was taken.
+	Step int
+	// EnvResults preserves the result stream position.
+	EnvResults []float64
+}
+
+// Bytes is the serialised checkpoint size.
+func (s *Snapshot) Bytes() int {
+	return s.Mem.Bytes() + (machine.NumReg+machine.NumFReg)*8 + 16
+}
+
+// CostModel converts checkpoint sizes into modelled I/O time.
+type CostModel struct {
+	// WriteBandwidth and ReadBandwidth in bytes/second.
+	WriteBandwidth float64
+	ReadBandwidth  float64
+	// WriteLatency/ReadLatency are fixed per-operation costs.
+	WriteLatency time.Duration
+	ReadLatency  time.Duration
+	// RequeueDelay models the batch-queue wait before a restarted job
+	// runs again (the paper's "wait in the job queue").
+	RequeueDelay time.Duration
+}
+
+// DefaultCostModel approximates a modest parallel filesystem share.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		WriteBandwidth: 200e6,
+		ReadBandwidth:  400e6,
+		WriteLatency:   5 * time.Millisecond,
+		ReadLatency:    5 * time.Millisecond,
+		RequeueDelay:   2 * time.Second,
+	}
+}
+
+// WriteCost models writing a snapshot.
+func (m CostModel) WriteCost(s *Snapshot) time.Duration {
+	return m.WriteLatency + time.Duration(float64(s.Bytes())/m.WriteBandwidth*1e9)
+}
+
+// ReadCost models reading a snapshot back.
+func (m CostModel) ReadCost(s *Snapshot) time.Duration {
+	return m.ReadLatency + time.Duration(float64(s.Bytes())/m.ReadBandwidth*1e9)
+}
+
+// Store keeps a process's checkpoints (latest-wins, as with rotating
+// checkpoint files).
+type Store struct {
+	Model CostModel
+	// ModeledWriteTime accumulates the modelled cost of every Save.
+	ModeledWriteTime time.Duration
+	latest           *Snapshot
+	saves            int
+}
+
+// NewStore builds a store with the given cost model.
+func NewStore(m CostModel) *Store { return &Store{Model: m} }
+
+// Save checkpoints the CPU (and its memory) at the given step.
+func (st *Store) Save(c *machine.CPU, step int) *Snapshot {
+	s := &Snapshot{
+		Mem:  c.Mem.Snapshot(),
+		CPU:  CPUState{R: c.R, F: c.F, PC: c.PC, Dyn: c.Dyn},
+		Step: step,
+	}
+	if c.Env != nil {
+		s.EnvResults = append([]float64(nil), c.Env.Results...)
+	}
+	st.latest = s
+	st.saves++
+	st.ModeledWriteTime += st.Model.WriteCost(s)
+	return s
+}
+
+// Saves reports how many checkpoints were written.
+func (st *Store) Saves() int { return st.saves }
+
+// Latest returns the most recent snapshot, or nil.
+func (st *Store) Latest() *Snapshot { return st.latest }
+
+// Restore rolls the CPU back to the snapshot and returns the modelled
+// read cost. The CPU must have the same images attached (code is
+// immutable and not part of the snapshot, as with ordinary C/R).
+func (st *Store) Restore(c *machine.CPU, s *Snapshot) (time.Duration, error) {
+	if s == nil {
+		return 0, fmt.Errorf("checkpoint: no snapshot to restore")
+	}
+	c.Mem.Restore(s.Mem)
+	c.R = s.CPU.R
+	c.F = s.CPU.F
+	c.PC = s.CPU.PC
+	c.Dyn = s.CPU.Dyn
+	c.Status = machine.StatusRunning
+	c.PendingTrap = nil
+	if c.Env != nil {
+		c.Env.Results = append(c.Env.Results[:0], s.EnvResults...)
+	}
+	return st.Model.ReadCost(s), nil
+}

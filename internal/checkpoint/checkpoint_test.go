@@ -1,0 +1,143 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"care/internal/core"
+	"care/internal/machine"
+	"care/internal/workloads"
+)
+
+func buildProc(t *testing.T) (*core.Binary, *core.Process) {
+	t.Helper()
+	w, err := workloads.Get("HPCCG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{OptLevel: 0, NoArmor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProcess(core.ProcessConfig{App: bin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin, p
+}
+
+// TestMidRunRestoreReproducesGolden: snapshot the process mid-flight,
+// let it diverge (run to completion), restore, and verify the restored
+// continuation reproduces the golden results exactly.
+func TestMidRunRestoreReproducesGolden(t *testing.T) {
+	_, golden := buildProc(t)
+	if st := golden.Run(0); st != machine.StatusExited {
+		t.Fatal(st)
+	}
+	want := append([]float64(nil), golden.Results()...)
+
+	for _, cut := range []uint64{1_000, 25_000, 120_000} {
+		_, p := buildProc(t)
+		p.CPU.Run(cut)
+		store := NewStore(DefaultCostModel())
+		snap := store.Save(p.CPU, 1)
+		// Diverge: run to completion once.
+		if st := p.CPU.Run(0); st != machine.StatusExited {
+			t.Fatalf("cut %d: first completion %v", cut, st)
+		}
+		// Restore and re-run the tail.
+		if _, err := store.Restore(p.CPU, snap); err != nil {
+			t.Fatal(err)
+		}
+		if p.CPU.Dyn != snap.CPU.Dyn {
+			t.Fatalf("dyn not restored: %d vs %d", p.CPU.Dyn, snap.CPU.Dyn)
+		}
+		if st := p.CPU.Run(0); st != machine.StatusExited {
+			t.Fatalf("cut %d: restored completion %v (%v)", cut, st, p.CPU.PendingTrap)
+		}
+		got := p.Results()
+		if len(got) != len(want) {
+			t.Fatalf("cut %d: %d results, want %d", cut, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("cut %d: result[%d] = %v, want %v", cut, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRestoreRejectsNil(t *testing.T) {
+	_, p := buildProc(t)
+	store := NewStore(DefaultCostModel())
+	if _, err := store.Restore(p.CPU, nil); err == nil {
+		t.Fatal("nil snapshot restored")
+	}
+	if store.Latest() != nil {
+		t.Fatal("empty store has a latest snapshot")
+	}
+}
+
+func TestCostModelScalesWithSize(t *testing.T) {
+	_, p := buildProc(t)
+	p.CPU.Run(10_000)
+	store := NewStore(DefaultCostModel())
+	s := store.Save(p.CPU, 1)
+	if s.Bytes() <= 0 {
+		t.Fatal("empty snapshot")
+	}
+	m := DefaultCostModel()
+	w1 := m.WriteCost(s)
+	if w1 <= m.WriteLatency {
+		t.Fatal("write cost ignores size")
+	}
+	if m.ReadCost(s) <= m.ReadLatency {
+		t.Fatal("read cost ignores size")
+	}
+	if store.Saves() != 1 || store.ModeledWriteTime != w1 {
+		t.Fatalf("store accounting: %d saves, %v modeled", store.Saves(), store.ModeledWriteTime)
+	}
+}
+
+func TestLatestWins(t *testing.T) {
+	_, p := buildProc(t)
+	store := NewStore(DefaultCostModel())
+	p.CPU.Run(1000)
+	store.Save(p.CPU, 1)
+	p.CPU.Run(1000)
+	s2 := store.Save(p.CPU, 2)
+	if store.Latest() != s2 {
+		t.Fatal("latest snapshot is not the newest")
+	}
+	if store.Latest().Step != 2 {
+		t.Fatal("step not recorded")
+	}
+}
+
+// TestEnvResultsRestored: the result stream is part of the checkpoint —
+// a restored run must not duplicate the results emitted before the
+// snapshot.
+func TestEnvResultsRestored(t *testing.T) {
+	_, golden := buildProc(t)
+	golden.Run(0)
+	want := len(golden.Results())
+
+	_, p := buildProc(t)
+	// Run until at least one result is out.
+	for len(p.Results()) == 0 && p.CPU.Status == machine.StatusRunning {
+		p.CPU.Run(50_000)
+	}
+	store := NewStore(DefaultCostModel())
+	snap := store.Save(p.CPU, 1)
+	if st := p.CPU.Run(0); st != machine.StatusExited {
+		t.Fatal(st)
+	}
+	if _, err := store.Restore(p.CPU, snap); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.CPU.Run(0); st != machine.StatusExited {
+		t.Fatal(st)
+	}
+	if len(p.Results()) != want {
+		t.Fatalf("restored run emitted %d results, want %d", len(p.Results()), want)
+	}
+}

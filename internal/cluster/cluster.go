@@ -1,0 +1,287 @@
+// Package cluster reproduces the paper's parallel-job experiments
+// (§5.4, Figure 10): an N-rank MPI job (N ranks x T threads = "cores"),
+// a CARE-recoverable fault injected into rank 0, and the comparison
+// against the Checkpoint/Restart baseline (checkpoint every 20/50/75
+// steps) that motivates CARE's near-zero recovery cost.
+//
+// Job time is virtual: retired instructions scaled by NsPerInstr, plus
+// wall-measured Safeguard recovery time (which stalls every rank at the
+// next collective, exactly as a real recovery stalls the job at its
+// next barrier).
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"care/internal/checkpoint"
+	"care/internal/core"
+	"care/internal/faultinject"
+	"care/internal/machine"
+	"care/internal/mpi"
+	"care/internal/profiler"
+	"care/internal/safeguard"
+	"care/internal/workloads"
+)
+
+// Config describes a parallel job.
+type Config struct {
+	// Workload names the mini-app; Params sizes the per-rank problem
+	// (weak scaling).
+	Workload string
+	Params   workloads.Params
+	OptLevel int
+	// Ranks is the number of MPI processes; ThreadsPerRank only scales
+	// the reported core count (512 x 6 = 3072 in the paper).
+	Ranks          int
+	ThreadsPerRank int
+	// NsPerInstr converts retired instructions to virtual time
+	// (default 1ns).
+	NsPerInstr float64
+	// Protected attaches Safeguard to every rank.
+	Protected bool
+	// Seed drives the search for a recoverable injection.
+	Seed int64
+	// Quantum is the scheduler slice (default 50k instructions).
+	Quantum uint64
+}
+
+func (c Config) nsPerInstr() float64 {
+	if c.NsPerInstr == 0 {
+		return 1
+	}
+	return c.NsPerInstr
+}
+
+// JobResult summarises one job execution.
+type JobResult struct {
+	Completed bool
+	Ranks     int
+	Cores     int
+	// MaxDyn is the slowest rank's instruction count.
+	MaxDyn   uint64
+	TotalDyn uint64
+	// VirtualTime = MaxDyn * NsPerInstr + RecoveryStall.
+	VirtualTime time.Duration
+	// RecoveryStall is the wall-measured Safeguard time on rank 0.
+	RecoveryStall time.Duration
+	// Recoveries counts successful Safeguard repairs on rank 0.
+	Recoveries int
+	// Injected reports whether the armed fault fired.
+	Injected bool
+	// DeadRank is the rank that died (-1 when none).
+	DeadRank int
+}
+
+// Injection pins a specific fault for rank 0.
+type Injection struct {
+	Trigger faultinject.Trigger
+	Bits    []int
+}
+
+// FindRecoverableInjection searches (deterministically) for an injection
+// that CARE recovers on a single-rank run of the binary — the §5.4
+// setup injects only CARE-recoverable faults.
+func FindRecoverableInjection(bin *core.Binary, seed int64) (*Injection, error) {
+	for attempt := 0; attempt < 8; attempt++ {
+		exp := &faultinject.CoverageExperiment{
+			App: bin, Trials: 4, Seed: seed + int64(attempt),
+			MaxAttempts: 400, RecordInjections: true,
+		}
+		res, err := exp.Run()
+		if res != nil && len(res.RecoveredInjections) > 0 {
+			ri := res.RecoveredInjections[0]
+			return &Injection{Trigger: ri.Trigger, Bits: ri.Bits}, nil
+		}
+		if err != nil && res == nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("cluster: no recoverable injection found")
+}
+
+// RunJob executes the parallel job, optionally injecting the fault into
+// rank 0.
+func RunJob(cfg Config, bin *core.Binary, inj *Injection) (*JobResult, error) {
+	if cfg.Ranks <= 0 {
+		cfg.Ranks = 4
+	}
+	if cfg.ThreadsPerRank <= 0 {
+		cfg.ThreadsPerRank = 6
+	}
+	world := mpi.NewWorld(cfg.Ranks)
+	cpus := make([]*machine.CPU, cfg.Ranks)
+	procs := make([]*core.Process, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		p, err := core.NewProcess(core.ProcessConfig{
+			App:       bin,
+			Protected: cfg.Protected,
+			Env:       world.Env(r),
+		})
+		if err != nil {
+			return nil, err
+		}
+		procs[r] = p
+		cpus[r] = p.CPU
+	}
+	var armed *faultinject.Armed
+	if inj != nil {
+		armed = faultinject.Arm(cpus[0], inj.Trigger, inj.Bits)
+	}
+	mres, err := mpi.Run(world, cpus, cfg.Quantum)
+	if err != nil {
+		return nil, err
+	}
+	out := &JobResult{
+		Completed: mres.Completed,
+		Ranks:     cfg.Ranks,
+		Cores:     cfg.Ranks * cfg.ThreadsPerRank,
+		MaxDyn:    mres.MaxDyn,
+		TotalDyn:  mres.TotalDyn,
+		DeadRank:  mres.DeadRank,
+		Injected:  armed == nil || armed.Fired,
+	}
+	if sg := procs[0].SG; sg != nil {
+		for _, ev := range sg.Stats.Events {
+			if ev.Outcome == safeguard.Recovered || ev.Outcome == safeguard.RecoveredInduction {
+				out.Recoveries++
+				out.RecoveryStall += ev.Total()
+			}
+		}
+	}
+	out.VirtualTime = time.Duration(float64(out.MaxDyn)*cfg.nsPerInstr()) + out.RecoveryStall
+	return out, nil
+}
+
+// CRResult is the Checkpoint/Restart baseline cost for one fault.
+type CRResult struct {
+	Interval int
+	// StepVirtual is the virtual time of one application step.
+	StepVirtual time.Duration
+	// Checkpoints written before the fault and their modelled I/O cost.
+	Checkpoints  int
+	CheckpointIO time.Duration
+	// Recovery cost components (the paper's 14.4/25.9/37.6s trio for
+	// GTC-P at intervals 20/50/75).
+	Requeue      time.Duration
+	RestartRead  time.Duration
+	RecomputeDyn uint64
+	Recompute    time.Duration
+	// Total recovery time (requeue + read + recompute).
+	RecoveryTotal time.Duration
+	// Verified is true when the restarted run reproduced the golden
+	// result stream (a real restore, not just a cost model).
+	Verified bool
+}
+
+// RunCheckpointRestart measures the C/R baseline: run the workload
+// checkpointing every interval steps, kill it at faultStep (a soft
+// failure without CARE kills the job), restore the latest checkpoint and
+// re-execute to completion — verifying output — while charging modelled
+// requeue and I/O costs.
+func RunCheckpointRestart(w *workloads.Workload, p workloads.Params, opt int,
+	interval, faultStep int, model checkpoint.CostModel, nsPerInstr float64) (*CRResult, error) {
+	if nsPerInstr == 0 {
+		nsPerInstr = 1
+	}
+	bin, err := core.Build(w.Module(p), core.BuildOptions{OptLevel: opt, NoArmor: true})
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profiler.Run(bin, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	resultsPerStep := w.ResultsPerStep
+	if resultsPerStep <= 0 {
+		resultsPerStep = 1
+	}
+
+	proc, err := core.NewProcess(core.ProcessConfig{App: bin})
+	if err != nil {
+		return nil, err
+	}
+	store := checkpoint.NewStore(model)
+	res := &CRResult{Interval: interval}
+
+	// Drive the run in quanta, checkpointing at step boundaries and
+	// killing the process at faultStep.
+	step := 0
+	var faultDyn uint64
+	killed := false
+	for {
+		st := proc.CPU.Run(10_000)
+		newStep := len(proc.Results()) / resultsPerStep
+		for step < newStep {
+			step++
+			if step%interval == 0 {
+				store.Save(proc.CPU, step)
+			}
+			if step == faultStep {
+				killed = true
+				faultDyn = proc.CPU.Dyn
+				break
+			}
+		}
+		if killed || st != machine.StatusLimit {
+			break
+		}
+	}
+	if !killed {
+		return nil, fmt.Errorf("cluster: fault step %d never reached (run ended at step %d)", faultStep, step)
+	}
+	res.Checkpoints = store.Saves()
+	res.CheckpointIO = store.ModeledWriteTime
+
+	// Restart: requeue, read the checkpoint, re-execute.
+	res.Requeue = model.RequeueDelay
+	snap := store.Latest()
+	if snap == nil {
+		// No checkpoint yet: restart from scratch.
+		proc2, err := core.NewProcess(core.ProcessConfig{App: bin})
+		if err != nil {
+			return nil, err
+		}
+		st := proc2.Run(0)
+		if st != machine.StatusExited {
+			return nil, fmt.Errorf("cluster: scratch restart failed: %v", st)
+		}
+		res.RecomputeDyn = faultDyn
+		res.Verified = sameFloats(proc2.Results(), prof.Golden)
+	} else {
+		rd, err := store.Restore(proc.CPU, snap)
+		if err != nil {
+			return nil, err
+		}
+		res.RestartRead = rd
+		before := proc.CPU.Dyn
+		st := proc.CPU.Run(0)
+		if st != machine.StatusExited {
+			return nil, fmt.Errorf("cluster: restored run failed: %v (%v)", st, proc.CPU.PendingTrap)
+		}
+		// Lost work: from the checkpoint to the fault point.
+		res.RecomputeDyn = faultDyn - before
+		res.Verified = sameFloats(proc.Results(), prof.Golden)
+	}
+	res.Recompute = time.Duration(float64(res.RecomputeDyn) * nsPerInstr)
+	res.RecoveryTotal = res.Requeue + res.RestartRead + res.Recompute
+
+	// One step's virtual time, for scaling commentary.
+	stepsTotal := len(prof.Golden) / resultsPerStep
+	if stepsTotal > 0 {
+		res.StepVirtual = time.Duration(float64(prof.TotalDyn) * nsPerInstr / float64(stepsTotal))
+	}
+	return res, nil
+}
+
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"care/internal/checkpoint"
+	"care/internal/core"
+	"care/internal/workloads"
+)
+
+func buildEval(t testing.TB, name string, opt int, protected bool) *core.Binary {
+	t.Helper()
+	w, err := workloads.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{OptLevel: opt, NoArmor: !protected})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+func TestFaultFreeParallelJob(t *testing.T) {
+	bin := buildEval(t, "HPCCG", 0, true)
+	cfg := Config{Workload: "HPCCG", Ranks: 4, ThreadsPerRank: 6, Protected: true}
+	res, err := RunJob(cfg, bin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("fault-free job did not complete: %+v", res)
+	}
+	if res.Cores != 24 {
+		t.Errorf("cores = %d, want 24", res.Cores)
+	}
+	if res.Recoveries != 0 || res.RecoveryStall != 0 {
+		t.Errorf("fault-free job saw recoveries: %+v", res)
+	}
+}
+
+func TestParallelJobSurvivesInjectedFault(t *testing.T) {
+	// A bigger per-rank problem so the job's virtual time dwarfs the
+	// recovery stall, as the paper's minutes-long jobs do.
+	w, err := workloads.Get("HPCCG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := core.Build(w.Module(workloads.Params{NX: 6, NY: 6, NZ: 5, Steps: 25}),
+		core.BuildOptions{OptLevel: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := FindRecoverableInjection(bin, 1001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Workload: "HPCCG", Ranks: 2, ThreadsPerRank: 6, Protected: true}
+	base, err := RunJob(cfg, bin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := RunJob(cfg, bin, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !faulty.Injected {
+		t.Fatal("injection never fired in the parallel run")
+	}
+	if !faulty.Completed {
+		t.Fatalf("CARE-protected job died: %+v", faulty)
+	}
+	if faulty.Recoveries == 0 {
+		t.Fatalf("no recovery recorded on rank 0: %+v", faulty)
+	}
+	// Figure 10: the delay must be tiny relative to job time.
+	delay := faulty.VirtualTime - base.VirtualTime
+	if delay < 0 {
+		delay = -delay
+	}
+	frac := float64(delay) / float64(base.VirtualTime)
+	t.Logf("base=%v faulty=%v stall=%v (delta %.3f%%)", base.VirtualTime, faulty.VirtualTime, faulty.RecoveryStall, 100*frac)
+	if frac > 0.10 {
+		t.Errorf("fault+CARE delayed the job by %.1f%%; paper reports almost no delay", 100*frac)
+	}
+}
+
+func TestUnprotectedParallelJobDies(t *testing.T) {
+	pbin := buildEval(t, "HPCCG", 0, true)
+	inj, err := FindRecoverableInjection(pbin, 2002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ubin := buildEval(t, "HPCCG", 0, false)
+	cfg := Config{Workload: "HPCCG", Ranks: 4, Protected: false}
+	res, err := RunJob(cfg, ubin, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Skip("this particular fault was benign without protection") // possible but rare
+	}
+	if res.DeadRank != 0 {
+		t.Errorf("expected rank 0 to die, got %d", res.DeadRank)
+	}
+}
+
+func TestCheckpointRestartBaseline(t *testing.T) {
+	w, err := workloads.Get("GTC-P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := workloads.Params{Steps: 40, NParticles: 60}
+	var prev time.Duration
+	for _, interval := range []int{5, 10, 20} {
+		res, err := RunCheckpointRestart(w, params, 0, interval, 33, checkpoint.DefaultCostModel(), 1)
+		if err != nil {
+			t.Fatalf("interval %d: %v", interval, err)
+		}
+		if !res.Verified {
+			t.Fatalf("interval %d: restored run did not reproduce golden output", interval)
+		}
+		if res.Checkpoints == 0 {
+			t.Fatalf("interval %d: no checkpoints written", interval)
+		}
+		t.Logf("interval=%d ckpts=%d io=%v requeue=%v read=%v recompute=%v (dyn %d) total=%v",
+			interval, res.Checkpoints, res.CheckpointIO, res.Requeue,
+			res.RestartRead, res.Recompute, res.RecomputeDyn, res.RecoveryTotal)
+		if prev != 0 && res.RecoveryTotal < prev {
+			t.Errorf("recovery cost did not grow with checkpoint interval: %v then %v", prev, res.RecoveryTotal)
+		}
+		prev = res.RecoveryTotal
+	}
+}

@@ -1,0 +1,162 @@
+package compiler
+
+import (
+	"testing"
+
+	"care/internal/hostenv"
+	"care/internal/ir"
+	"care/internal/machine"
+)
+
+// buildSumProgram constructs:
+//
+//	func main() i64 {
+//	  p = malloc(10*8)
+//	  for i = 0..9 { p[i] = float(i*i) }
+//	  s = 0.0
+//	  for i = 0..9 { s += p[i] }
+//	  result_f64(s)
+//	  return 0
+//	}
+func buildSumProgram(t *testing.T) *ir.Module {
+	t.Helper()
+	m := ir.NewModule("sum")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", ir.I64)
+
+	p := b.HostCall("malloc", ir.Ptr, ir.ConstInt(80))
+
+	loop1 := b.NewBlock("loop1")
+	body1 := b.NewBlock("body1")
+	after1 := b.NewBlock("after1")
+	b.Br(loop1)
+
+	b.SetBlock(loop1)
+	i1 := b.Phi(ir.I64)
+	c1 := b.ICmp(ir.OpICmpSLT, i1, ir.ConstInt(10))
+	b.CondBr(c1, body1, after1)
+
+	b.SetBlock(body1)
+	sq := b.Mul(i1, i1)
+	fv := b.IToF(sq)
+	gep := b.GEP(p, i1, 8)
+	b.Store(fv, gep)
+	i1n := b.Add(i1, ir.ConstInt(1))
+	b.Br(loop1)
+	ir.AddIncoming(i1, ir.ConstInt(0), m.Func("main").Entry())
+	ir.AddIncoming(i1, i1n, body1)
+
+	b.SetBlock(after1)
+	loop2 := b.NewBlock("loop2")
+	body2 := b.NewBlock("body2")
+	after2 := b.NewBlock("after2")
+	b.Br(loop2)
+
+	b.SetBlock(loop2)
+	i2 := b.Phi(ir.I64)
+	s := b.Phi(ir.F64)
+	c2 := b.ICmp(ir.OpICmpSLT, i2, ir.ConstInt(10))
+	b.CondBr(c2, body2, after2)
+
+	b.SetBlock(body2)
+	g2 := b.GEP(p, i2, 8)
+	v := b.Load(ir.F64, g2)
+	s2 := b.FAdd(s, v)
+	i2n := b.Add(i2, ir.ConstInt(1))
+	b.Br(loop2)
+	ir.AddIncoming(i2, ir.ConstInt(0), after1)
+	ir.AddIncoming(i2, i2n, body2)
+	ir.AddIncoming(s, ir.ConstFloat(0), after1)
+	ir.AddIncoming(s, s2, body2)
+
+	b.SetBlock(after2)
+	b.HostCall("result_f64", ir.Void, s)
+	b.Ret(ir.ConstInt(0))
+
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}
+
+// runMain compiles and executes a module's main, returning the host env.
+func runMain(t *testing.T, m *ir.Module, opt int) (*hostenv.Env, *machine.CPU) {
+	t.Helper()
+	prog, err := Compile(m, AppOptions(opt))
+	if err != nil {
+		t.Fatalf("compile O%d: %v", opt, err)
+	}
+	mem := machine.NewMemory()
+	img, err := machine.Load(mem, prog)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	env := hostenv.NewEnv()
+	cpu := machine.NewCPU(mem, env)
+	cpu.Attach(img)
+	if err := cpu.InitStack(); err != nil {
+		t.Fatalf("stack: %v", err)
+	}
+	if err := cpu.Start(img, "_start"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	st := cpu.Run(10_000_000)
+	if st != machine.StatusExited {
+		t.Fatalf("O%d: run status %v (trap=%v, pc=0x%x, dyn=%d)", opt, st, cpu.PendingTrap, cpu.PC, cpu.Dyn)
+	}
+	return env, cpu
+}
+
+func TestCompileAndRunSum(t *testing.T) {
+	want := 0.0
+	for i := 0; i < 10; i++ {
+		want += float64(i * i)
+	}
+	for _, opt := range []int{0, 1} {
+		m := buildSumProgram(t)
+		env, cpu := runMain(t, m, opt)
+		if len(env.Results) != 1 || env.Results[0] != want {
+			t.Errorf("O%d: results = %v, want [%v]", opt, env.Results, want)
+		}
+		if cpu.ExitCode != 0 {
+			t.Errorf("O%d: exit code %d", opt, cpu.ExitCode)
+		}
+		t.Logf("O%d: dyn=%d instrs", opt, cpu.Dyn)
+	}
+}
+
+func TestO1ExecutesFewerInstructions(t *testing.T) {
+	m0 := buildSumProgram(t)
+	_, cpu0 := runMain(t, m0, 0)
+	m1 := buildSumProgram(t)
+	_, cpu1 := runMain(t, m1, 1)
+	if cpu1.Dyn >= cpu0.Dyn {
+		t.Errorf("O1 dyn=%d not less than O0 dyn=%d", cpu1.Dyn, cpu0.Dyn)
+	}
+}
+
+func TestDebugInfoPresent(t *testing.T) {
+	m := buildSumProgram(t)
+	prog, err := Compile(m, AppOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Debug.Lines) != len(prog.Code) {
+		t.Fatalf("line table has %d entries for %d instructions", len(prog.Debug.Lines), len(prog.Code))
+	}
+	// Every memory-access instruction originating from an IR load/store
+	// must carry a nonzero source key; frame traffic must not.
+	foundKeyed := 0
+	for i := range prog.Code {
+		in := &prog.Code[i]
+		if in.Op.IsMemAccess() && in.Base != machine.FP && in.Base != machine.SP {
+			if in.Line == 0 {
+				t.Errorf("array access at %d has no source key: %s", i, machine.Disassemble(in))
+			}
+			foundKeyed++
+		}
+	}
+	if foundKeyed == 0 {
+		t.Fatal("no keyed memory accesses found")
+	}
+}

@@ -1,0 +1,155 @@
+package compiler
+
+import "care/internal/ir"
+
+// licm hoists loop-invariant pure computations into the loop preheader.
+// Beyond being a standard O1 pass, it matters to CARE the way the
+// paper's Figure 8 describes: hoisted address arithmetic becomes a
+// loop-invariant value with a non-local use, which both removes
+// per-iteration recomputation (fewer injection targets on the address
+// path) and extends the coverage scope of recovery kernels.
+//
+// Conservatism: only speculatable instructions are hoisted — integer
+// and float arithmetic except division/remainder (which may trap), GEPs
+// and conversions. Loads are never hoisted (no alias analysis).
+func licm(f *ir.Func) int {
+	f.Renumber()
+	dom := ir.Dominators(f)
+	dominates := func(a, b *ir.Block) bool {
+		if a == b {
+			return true
+		}
+		for x := dom[b]; x != nil; {
+			if x == a {
+				return true
+			}
+			nx := dom[x]
+			if nx == x {
+				break
+			}
+			x = nx
+		}
+		return false
+	}
+
+	// Natural loops from back edges (tail -> header where the header
+	// dominates the tail).
+	type loop struct {
+		header    *ir.Block
+		body      map[*ir.Block]bool
+		preheader *ir.Block
+	}
+	var loops []loop
+	preds := f.Preds()
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			if !dominates(s, b) {
+				continue
+			}
+			// Collect the natural loop of back edge b -> s.
+			body := map[*ir.Block]bool{s: true}
+			stack := []*ir.Block{b}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if body[x] {
+					continue
+				}
+				body[x] = true
+				for _, p := range preds[x] {
+					stack = append(stack, p)
+				}
+			}
+			// A usable preheader: exactly one predecessor outside the
+			// loop, ending in an unconditional branch to the header.
+			var outside []*ir.Block
+			for _, p := range preds[s] {
+				if !body[p] {
+					outside = append(outside, p)
+				}
+			}
+			if len(outside) != 1 {
+				continue
+			}
+			ph := outside[0]
+			t := ph.Terminator()
+			if t == nil || t.Op != ir.OpBr {
+				continue
+			}
+			loops = append(loops, loop{header: s, body: body, preheader: ph})
+		}
+	}
+
+	speculatable := func(in *ir.Instr) bool {
+		switch in.Op {
+		case ir.OpSDiv, ir.OpSRem:
+			return false // may trap; do not speculate
+		case ir.OpGEP, ir.OpIToF, ir.OpFToI:
+			return true
+		}
+		return in.Op.IsBinary()
+	}
+
+	hoisted := 0
+	for pass := 0; pass < 4; pass++ {
+		changed := false
+		for _, lp := range loops {
+			// A value is invariant if every operand is a constant,
+			// global, argument, or an instruction defined outside the
+			// loop in a block dominating the preheader (which includes
+			// previously hoisted instructions in the preheader itself).
+			invariantOperand := func(v ir.Value) bool {
+				switch x := v.(type) {
+				case *ir.Const, *ir.Global, *ir.Arg:
+					return true
+				case *ir.Instr:
+					if x.Parent == nil || lp.body[x.Parent] {
+						return false
+					}
+					return dominates(x.Parent, lp.preheader) || x.Parent == lp.preheader
+				}
+				return false
+			}
+			// Iterate the body in function layout order so hoisting is
+			// deterministic (the body set is a map).
+			for _, blk := range f.Blocks {
+				if !lp.body[blk] {
+					continue
+				}
+				kept := blk.Instrs[:0]
+				for _, in := range blk.Instrs {
+					if !speculatable(in) || in.Typ == ir.Void {
+						kept = append(kept, in)
+						continue
+					}
+					inv := true
+					for _, op := range in.Ops {
+						if !invariantOperand(op) {
+							inv = false
+							break
+						}
+					}
+					if !inv {
+						kept = append(kept, in)
+						continue
+					}
+					// Hoist: insert before the preheader terminator.
+					ph := lp.preheader
+					term := ph.Instrs[len(ph.Instrs)-1]
+					ph.Instrs = append(ph.Instrs[:len(ph.Instrs)-1], in, term)
+					in.Parent = ph
+					hoisted++
+					changed = true
+				}
+				blk.Instrs = kept
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if hoisted > 0 {
+		f.Renumber()
+	}
+	return hoisted
+}

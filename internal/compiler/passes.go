@@ -1,0 +1,336 @@
+// Package compiler lowers the mini-IR of internal/ir to the simulated
+// machine of internal/machine. It provides two pipelines mirroring the
+// paper's evaluation configurations:
+//
+//   - O0: every IR value is assigned a frame slot ("home") and is loaded
+//     and stored around each use, as clang -O0 does. Recovery-kernel
+//     parameters are therefore always retrievable from the stack.
+//   - O1: constant folding, local CSE and dead-code elimination run on
+//     the IR, then a linear-scan register allocator keeps values — in
+//     particular loop induction variables — in registers that are
+//     updated in place. This reproduces the coverage effects the paper
+//     reports for optimised code.
+//
+// The compiler also emits the debug information (line table + variable
+// location lists) that the CARE runtime depends on.
+package compiler
+
+import (
+	"fmt"
+
+	"care/internal/ir"
+)
+
+// replaceUses substitutes new for old in all instruction operands of f.
+func replaceUses(f *ir.Func, old, new ir.Value) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, op := range in.Ops {
+				if op == old {
+					in.Ops[i] = new
+				}
+			}
+		}
+	}
+}
+
+// foldConst evaluates a binary op over two constants, returning nil when
+// the operation cannot be folded (e.g. division by zero must trap at run
+// time, not at compile time).
+func foldConst(in *ir.Instr) *ir.Const {
+	if len(in.Ops) != 2 {
+		return nil
+	}
+	a, okA := in.Ops[0].(*ir.Const)
+	b, okB := in.Ops[1].(*ir.Const)
+	if !okA || !okB {
+		return nil
+	}
+	op := in.Op
+	switch {
+	case op.IsIntBinary() || op.IsICmp():
+		x, y := a.I, b.I
+		var r int64
+		switch op {
+		case ir.OpAdd:
+			r = x + y
+		case ir.OpSub:
+			r = x - y
+		case ir.OpMul:
+			r = x * y
+		case ir.OpSDiv, ir.OpSRem:
+			return nil // may trap
+		case ir.OpAnd:
+			r = x & y
+		case ir.OpOr:
+			r = x | y
+		case ir.OpXor:
+			r = x ^ y
+		case ir.OpShl:
+			r = x << (uint64(y) & 63)
+		case ir.OpAShr:
+			r = x >> (uint64(y) & 63)
+		case ir.OpICmpEQ:
+			r = b2i(x == y)
+		case ir.OpICmpNE:
+			r = b2i(x != y)
+		case ir.OpICmpSLT:
+			r = b2i(x < y)
+		case ir.OpICmpSLE:
+			r = b2i(x <= y)
+		case ir.OpICmpSGT:
+			r = b2i(x > y)
+		case ir.OpICmpSGE:
+			r = b2i(x >= y)
+		default:
+			return nil
+		}
+		return ir.ConstInt(r)
+	case op.IsFloatBinary():
+		x, y := a.F, b.F
+		var r float64
+		switch op {
+		case ir.OpFAdd:
+			r = x + y
+		case ir.OpFSub:
+			r = x - y
+		case ir.OpFMul:
+			r = x * y
+		case ir.OpFDiv:
+			r = x / y
+		default:
+			return nil
+		}
+		return ir.ConstFloat(r)
+	}
+	return nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// isPure reports whether an instruction has no side effects and can be
+// CSE'd or dead-code-eliminated.
+func isPure(in *ir.Instr) bool {
+	switch {
+	case in.Op.IsBinary(), in.Op == ir.OpGEP, in.Op == ir.OpIToF, in.Op == ir.OpFToI:
+		return true
+	}
+	return false
+}
+
+// constFoldFunc folds constants to fixpoint (one sweep then a DCE pass
+// cleans up).
+func constFoldFunc(f *ir.Func) int {
+	n := 0
+	for changed := true; changed; {
+		changed = false
+		// Only instructions that still have uses are worth folding; a
+		// previously folded instruction has none and would otherwise be
+		// re-folded forever.
+		used := map[ir.Value]bool{}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, op := range in.Ops {
+					used[op] = true
+				}
+			}
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if !isPure(in) || !used[in] {
+					continue
+				}
+				if c := foldConst(in); c != nil {
+					replaceUses(f, in, c)
+					changed = true
+					n++
+				}
+				// Algebraic identities: x+0, x*1, x*0, x-0.
+				if simp := simplify(in); simp != nil {
+					replaceUses(f, in, simp)
+					changed = true
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func simplify(in *ir.Instr) ir.Value {
+	c := func(v ir.Value) (int64, bool) {
+		k, ok := v.(*ir.Const)
+		if !ok || k.Typ == ir.F64 {
+			return 0, false
+		}
+		return k.I, true
+	}
+	switch in.Op {
+	case ir.OpAdd:
+		if k, ok := c(in.Ops[1]); ok && k == 0 {
+			return in.Ops[0]
+		}
+		if k, ok := c(in.Ops[0]); ok && k == 0 {
+			return in.Ops[1]
+		}
+	case ir.OpSub:
+		if k, ok := c(in.Ops[1]); ok && k == 0 {
+			return in.Ops[0]
+		}
+	case ir.OpMul:
+		if k, ok := c(in.Ops[1]); ok && k == 1 {
+			return in.Ops[0]
+		}
+		if k, ok := c(in.Ops[0]); ok && k == 1 {
+			return in.Ops[1]
+		}
+		if k, ok := c(in.Ops[1]); ok && k == 0 {
+			return ir.ConstInt(0)
+		}
+		if k, ok := c(in.Ops[0]); ok && k == 0 {
+			return ir.ConstInt(0)
+		}
+	}
+	return nil
+}
+
+// cseKey builds a structural key for pure instructions.
+func cseKey(in *ir.Instr) string {
+	k := fmt.Sprintf("%d/%d", in.Op, in.Size)
+	for _, op := range in.Ops {
+		switch v := op.(type) {
+		case *ir.Instr:
+			k += fmt.Sprintf("|i%p", v)
+		case *ir.Arg:
+			k += fmt.Sprintf("|a%p", v)
+		case *ir.Global:
+			k += fmt.Sprintf("|g%p", v)
+		case *ir.Const:
+			k += "|c" + v.Ref() + v.Typ.String()
+		}
+	}
+	return k
+}
+
+// localCSE removes redundant pure computations within each block.
+func localCSE(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		seen := map[string]*ir.Instr{}
+		for _, in := range b.Instrs {
+			if !isPure(in) {
+				continue
+			}
+			k := cseKey(in)
+			if prev, ok := seen[k]; ok {
+				replaceUses(f, in, prev)
+				n++
+				continue
+			}
+			seen[k] = in
+		}
+	}
+	return n
+}
+
+// dce removes pure instructions (and phis) with no remaining uses,
+// iterating to fixpoint.
+func dce(f *ir.Func) int {
+	removed := 0
+	for changed := true; changed; {
+		changed = false
+		used := map[ir.Value]bool{}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, op := range in.Ops {
+					used[op] = true
+				}
+			}
+		}
+		for _, b := range f.Blocks {
+			out := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				dead := (isPure(in) || in.Op == ir.OpPhi) && in.Typ != ir.Void && !used[in]
+				if dead {
+					removed++
+					changed = true
+					continue
+				}
+				out = append(out, in)
+			}
+			b.Instrs = out
+		}
+	}
+	return removed
+}
+
+// Optimize runs the O1 IR pipeline over every defined function in the
+// module, in place. It returns per-pass rewrite counts for logging.
+func Optimize(m *ir.Module) map[string]int {
+	stats := map[string]int{}
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 {
+			continue
+		}
+		stats["constfold"] += constFoldFunc(f)
+		stats["cse"] += localCSE(f)
+		stats["licm"] += licm(f)
+		stats["dce"] += dce(f)
+		f.Renumber()
+	}
+	return stats
+}
+
+// SplitCriticalEdges inserts an empty forwarding block on every edge
+// whose source has multiple successors and whose destination has
+// multiple predecessors, so that phi-resolution copies can always be
+// placed on the edge. Lowering requires this normal form.
+func SplitCriticalEdges(f *ir.Func) {
+	if len(f.Blocks) == 0 {
+		return
+	}
+	preds := f.Preds()
+	// Collect first: mutating while iterating invalidates Preds.
+	type edge struct {
+		from *ir.Block
+		si   int // successor slot in terminator
+	}
+	var crit []edge
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil || len(t.Blocks) < 2 {
+			continue
+		}
+		for si, s := range t.Blocks {
+			if len(preds[s]) > 1 {
+				crit = append(crit, edge{b, si})
+			}
+		}
+	}
+	for _, e := range crit {
+		t := e.from.Terminator()
+		dst := t.Blocks[e.si]
+		mid := &ir.Block{Name: fmt.Sprintf("crit%d_%s", len(f.Blocks), dst.Name), Fn: f}
+		br := &ir.Instr{Op: ir.OpBr, Typ: ir.Void, Blocks: []*ir.Block{dst}, Parent: mid, Loc: t.Loc}
+		mid.Instrs = []*ir.Instr{br}
+		f.Blocks = append(f.Blocks, mid)
+		t.Blocks[e.si] = mid
+		// Redirect phi incoming blocks.
+		for _, in := range dst.Instrs {
+			if in.Op != ir.OpPhi {
+				break
+			}
+			for i, pb := range in.Blocks {
+				if pb == e.from {
+					in.Blocks[i] = mid
+				}
+			}
+		}
+	}
+	f.Renumber()
+}

@@ -1,0 +1,220 @@
+package compiler
+
+import (
+	"testing"
+
+	"care/internal/ir"
+	"care/internal/irbuild"
+)
+
+func countOp(f *ir.Func, op ir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestConstFoldAndDCE(t *testing.T) {
+	m := ir.NewModule("t")
+	fb := irbuild.New(ir.NewBuilder(m))
+	fb.NewFunc("main", ir.I64)
+	a := fb.Add(irbuild.I(2), irbuild.I(3)) // foldable
+	bv := fb.Mul(a, irbuild.I(4))           // folds transitively to 20
+	c := fb.Add(bv, irbuild.I(0))           // identity
+	fb.Result(c)
+	fb.Ret(irbuild.I(0))
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	stats := Optimize(m)
+	f := m.Func("main")
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatalf("post-opt verify: %v", err)
+	}
+	if countOp(f, ir.OpAdd)+countOp(f, ir.OpMul) != 0 {
+		t.Errorf("constant arithmetic survived: %s (stats %v)", f, stats)
+	}
+	// The folded value must be the constant 20.
+	for _, in := range f.Entry().Instrs {
+		if in.Op == ir.OpCall && in.Host == "result_f64" {
+			// result takes itof of the value; find the itof operand.
+		}
+	}
+}
+
+func TestDivNotConstFolded(t *testing.T) {
+	m := ir.NewModule("t")
+	fb := irbuild.New(ir.NewBuilder(m))
+	fb.NewFunc("main", ir.I64)
+	d := fb.SDiv(irbuild.I(10), irbuild.I(0)) // must trap at run time
+	fb.Result(d)
+	fb.Ret(irbuild.I(0))
+	Optimize(m)
+	if countOp(m.Func("main"), ir.OpSDiv) != 1 {
+		t.Fatal("trapping division folded away")
+	}
+}
+
+func TestCSEMergesPureDuplicates(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.AddGlobal(&ir.Global{Name: "g", Size: 64})
+	fb := irbuild.New(ir.NewBuilder(m))
+	f := fb.NewFunc("f", ir.F64, ir.Param("i", ir.I64))
+	i := f.Params[0]
+	v1 := fb.LoadAt(ir.F64, g, fb.Mul(i, irbuild.I(2)))
+	v2 := fb.LoadAt(ir.F64, g, fb.Mul(i, irbuild.I(2))) // duplicate mul + gep
+	fb.Ret(fb.FAdd(v1, v2))
+	nMulBefore := countOp(f, ir.OpMul)
+	Optimize(m)
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	if got := countOp(f, ir.OpMul); got >= nMulBefore {
+		t.Errorf("CSE left %d muls (was %d)", got, nMulBefore)
+	}
+	// The two loads must NOT merge (loads are not pure).
+	if countOp(f, ir.OpLoad) != 2 {
+		t.Errorf("loads merged: %d", countOp(f, ir.OpLoad))
+	}
+}
+
+func TestDCERemovesUnusedChains(t *testing.T) {
+	m := ir.NewModule("t")
+	fb := irbuild.New(ir.NewBuilder(m))
+	f := fb.NewFunc("f", ir.I64, ir.Param("x", ir.I64))
+	x := f.Params[0]
+	dead1 := fb.Mul(x, irbuild.I(3))
+	_ = fb.Add(dead1, irbuild.I(1)) // whole chain dead
+	fb.Ret(x)
+	Optimize(m)
+	if n := f.NumInstrs(); n != 1 { // just the ret
+		t.Errorf("dead chain survived: %d instrs\n%s", n, f)
+	}
+}
+
+func TestSplitCriticalEdges(t *testing.T) {
+	// Build a loop whose exit block has a phi fed by the loop variable
+	// — the classic critical edge (latch condbr -> header w/ multiple
+	// preds).
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	f := b.NewFunc("f", ir.I64, ir.Param("n", ir.I64))
+	entry := f.Entry()
+	header := b.NewBlock("header")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	b.Br(header)
+	b.SetBlock(header)
+	i := b.Phi(ir.I64)
+	c := b.ICmp(ir.OpICmpSLT, i, f.Params[0])
+	b.CondBr(c, body, exit)
+	b.SetBlock(body)
+	in := b.Add(i, ir.ConstInt(1))
+	cc := b.ICmp(ir.OpICmpSLT, in, ir.ConstInt(100))
+	b.CondBr(cc, header, exit) // both edges critical
+	ir.AddIncoming(i, ir.ConstInt(0), entry)
+	ir.AddIncoming(i, in, body)
+	b.SetBlock(exit)
+	r := b.Phi(ir.I64)
+	ir.AddIncoming(r, i, header)
+	ir.AddIncoming(r, in, body)
+	b.Ret(r)
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	before := len(f.Blocks)
+	SplitCriticalEdges(f)
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatalf("post-split verify: %v", err)
+	}
+	if len(f.Blocks) <= before {
+		t.Fatal("no edges split")
+	}
+	// No remaining critical edges.
+	preds := f.Preds()
+	for _, blk := range f.Blocks {
+		term := blk.Terminator()
+		if term == nil || len(term.Blocks) < 2 {
+			continue
+		}
+		for _, s := range term.Blocks {
+			if len(preds[s]) > 1 {
+				t.Errorf("critical edge %s -> %s remains", blk.Name, s.Name)
+			}
+		}
+	}
+}
+
+func TestOptimizeIsIdempotent(t *testing.T) {
+	m := buildSumProgram(t)
+	Optimize(m)
+	s1 := m.String()
+	Optimize(m)
+	if s2 := m.String(); s1 != s2 {
+		t.Fatal("second Optimize changed the module")
+	}
+}
+
+func TestLICMHoistsInvariantAddressMath(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.AddGlobal(&ir.Global{Name: "g", Size: 64 * 8})
+	fb := irbuild.New(ir.NewBuilder(m))
+	f := fb.NewFunc("f", ir.F64, ir.Param("a", ir.I64), ir.Param("b", ir.I64))
+	a, b := f.Params[0], f.Params[1]
+	out := fb.For(irbuild.I(0), irbuild.I(8), 1, []ir.Value{irbuild.F(0)},
+		func(i ir.Value, c []ir.Value) []ir.Value {
+			base := fb.Mul(a, b)              // invariant
+			off := fb.Add(base, irbuild.I(2)) // invariant
+			idx := fb.Add(off, i)             // variant
+			return []ir.Value{fb.FAdd(c[0], fb.LoadAt(ir.F64, g, idx))}
+		})
+	fb.Ret(out[0])
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	if n := licm(f); n < 2 {
+		t.Fatalf("hoisted %d instrs, want >=2", n)
+	}
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatalf("post-licm verify: %v", err)
+	}
+	// The invariant mul must now live outside the loop body blocks.
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.OpMul && blk.Name != f.Entry().Name {
+				// mul(a,b) should be in entry (the preheader).
+				t.Errorf("invariant mul still in %s", blk.Name)
+			}
+		}
+	}
+}
+
+func TestLICMDoesNotSpeculateDivision(t *testing.T) {
+	m := ir.NewModule("t")
+	fb := irbuild.New(ir.NewBuilder(m))
+	f := fb.NewFunc("f", ir.I64, ir.Param("a", ir.I64), ir.Param("b", ir.I64))
+	a, b := f.Params[0], f.Params[1]
+	// The division only executes if the loop runs; hoisting it would
+	// introduce a trap for b==0 even when the loop is zero-trip.
+	out := fb.For(irbuild.I(0), a, 1, []ir.Value{irbuild.I(0)},
+		func(i ir.Value, c []ir.Value) []ir.Value {
+			q := fb.SDiv(irbuild.I(100), b)
+			return []ir.Value{fb.Add(c[0], q)}
+		})
+	fb.Ret(out[0])
+	licm(f)
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	entry := f.Entry()
+	for _, in := range entry.Instrs {
+		if in.Op == ir.OpSDiv {
+			t.Fatal("division speculated into the preheader")
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package core is the public face of the CARE reproduction: it ties the
+// compiler, the Armor pass and the Safeguard runtime together behind a
+// small API.
+//
+//	bin, _ := core.Build(module, core.BuildOptions{OptLevel: 1})
+//	p, _ := core.NewProcess(core.ProcessConfig{App: bin, Protected: true})
+//	status := p.Run(0)
+//
+// Build compiles an IR module into a prelinked machine image, runs Armor
+// over it to produce the recovery library and recovery table, and
+// packages everything a process needs. NewProcess assembles the
+// simulated process (memory, stack, images) and — when Protected —
+// attaches Safeguard exactly the way LD_PRELOAD would.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"care/internal/armor"
+	"care/internal/compiler"
+	"care/internal/hostenv"
+	"care/internal/ir"
+	"care/internal/machine"
+	"care/internal/safeguard"
+)
+
+// BuildOptions configures Build.
+type BuildOptions struct {
+	// OptLevel is 0 or 1 (the paper's evaluated configurations).
+	OptLevel int
+	// NoArmor skips recovery-kernel construction (baseline builds).
+	NoArmor bool
+	// Armor tunes the extraction pass.
+	Armor armor.Options
+	// LibIndex positions a shared-library image; -1 (or 0 with IsLib
+	// false) means the main executable. Use BuildLib for libraries.
+	LibIndex int
+	// IsLib marks a shared-library build.
+	IsLib bool
+}
+
+// Binary is a built image plus its CARE artifacts.
+type Binary struct {
+	Name string
+	// Prog is the compiled image.
+	Prog *machine.Program
+	// RecoveryTable and RecoveryLib are the encoded CARE artifacts
+	// (empty when built with NoArmor).
+	RecoveryTable []byte
+	RecoveryLib   []byte
+	// ArmorStats describes the Armor run.
+	ArmorStats armor.Stats
+	// CompileTime is the plain compilation time (excluding Armor), the
+	// paper's "Normal Compilation" column.
+	CompileTime time.Duration
+	// Census is the address-computation census of the (optimised)
+	// module (Table 5).
+	Census armor.CensusRow
+	// Module is the post-optimisation IR (for analyses).
+	Module *ir.Module
+}
+
+// Protected reports whether the binary carries recovery artifacts.
+func (b *Binary) Protected() bool { return len(b.RecoveryTable) > 0 }
+
+// Build compiles a main-executable module with CARE. deps are
+// previously built library binaries the module links against.
+func Build(m *ir.Module, opts BuildOptions, deps ...*Binary) (*Binary, error) {
+	var copts compiler.Options
+	if opts.IsLib {
+		copts = compiler.LibOptions(opts.OptLevel, opts.LibIndex)
+	} else {
+		copts = compiler.AppOptions(opts.OptLevel)
+	}
+	copts.ExternFuncs = map[string]machine.Word{}
+	copts.ExternGlobals = map[string]machine.Word{}
+	for _, d := range deps {
+		for _, f := range d.Prog.Funcs {
+			copts.ExternFuncs[f.Name] = d.Prog.AddrOf(f.Entry)
+		}
+		for _, g := range d.Prog.Globals {
+			if !g.Extern {
+				copts.ExternGlobals[g.Name] = g.Addr
+			}
+		}
+	}
+
+	// Run the optimisation pipeline up front so that Armor analyses the
+	// same IR the code generator lowers (Armor is an in-pipeline pass).
+	if opts.OptLevel >= 1 {
+		compiler.Optimize(m)
+	}
+	copts.SkipOptimize = true
+
+	bin := &Binary{Name: m.Name, Module: m}
+	var ares *armor.Result
+	if !opts.NoArmor {
+		var err error
+		ares, err = armor.Run(m, opts.Armor)
+		if err != nil {
+			return nil, fmt.Errorf("core: armor: %w", err)
+		}
+		bin.ArmorStats = ares.Stats
+	}
+	bin.Census = armor.Census(m)
+
+	t0 := time.Now()
+	prog, err := compiler.Compile(m, copts)
+	if err != nil {
+		return nil, fmt.Errorf("core: compile %s: %w", m.Name, err)
+	}
+	bin.CompileTime = time.Since(t0)
+	bin.Prog = prog
+
+	if ares != nil {
+		// The recovery library is its own image, linked against the
+		// application's globals and simple functions.
+		kopts := compiler.LibOptions(opts.OptLevel, recoveryLibIndex(opts))
+		kopts.ExternFuncs = map[string]machine.Word{}
+		kopts.ExternGlobals = map[string]machine.Word{}
+		for _, f := range prog.Funcs {
+			kopts.ExternFuncs[f.Name] = prog.AddrOf(f.Entry)
+		}
+		for _, g := range prog.Globals {
+			kopts.ExternGlobals[g.Name] = g.Addr
+		}
+		kprog, err := compiler.Compile(ares.Kernels, kopts)
+		if err != nil {
+			return nil, fmt.Errorf("core: compile recovery kernels: %w", err)
+		}
+		lib, err := kprog.Encode()
+		if err != nil {
+			return nil, err
+		}
+		bin.RecoveryLib = lib
+		bin.RecoveryTable = ares.Table.Encode()
+	}
+	return bin, nil
+}
+
+// BuildLib compiles a shared-library module (e.g. BLAS) with CARE.
+// Library images occupy slot index (0-based).
+func BuildLib(m *ir.Module, opt int, index int, deps ...*Binary) (*Binary, error) {
+	return Build(m, BuildOptions{OptLevel: opt, IsLib: true, LibIndex: index}, deps...)
+}
+
+// recoveryLibIndex maps an image to the library slot of its recovery
+// library: main executable -> 64, library i -> 65+i. Slots below 64 are
+// reserved for ordinary libraries.
+func recoveryLibIndex(opts BuildOptions) int {
+	if !opts.IsLib {
+		return 64
+	}
+	return 65 + opts.LibIndex
+}
+
+// ProcessConfig assembles a process.
+type ProcessConfig struct {
+	// App is the main executable.
+	App *Binary
+	// Libs are additional images the app links against.
+	Libs []*Binary
+	// Protected attaches Safeguard.
+	Protected bool
+	// Safeguard tunes the runtime (zero value = paper configuration).
+	Safeguard safeguard.Config
+	// Env overrides the host environment (nil = fresh single-rank env).
+	Env *hostenv.Env
+}
+
+// Process is one simulated process: a CPU, its memory and images, and
+// optionally the Safeguard runtime.
+type Process struct {
+	Mem    *machine.Memory
+	CPU    *machine.CPU
+	Env    *hostenv.Env
+	App    *machine.Image
+	Images []*machine.Image
+	SG     *safeguard.Safeguard
+}
+
+// NewProcess loads the binaries into a fresh address space and prepares
+// execution at _start.
+func NewProcess(cfg ProcessConfig) (*Process, error) {
+	if cfg.App == nil {
+		return nil, fmt.Errorf("core: no app binary")
+	}
+	mem := machine.NewMemory()
+	env := cfg.Env
+	if env == nil {
+		env = hostenv.NewEnv()
+	}
+	cpu := machine.NewCPU(mem, env)
+	p := &Process{Mem: mem, CPU: cpu, Env: env}
+
+	var units []*safeguard.Unit
+	loadOne := func(b *Binary) (*machine.Image, error) {
+		img, err := machine.Load(mem, b.Prog)
+		if err != nil {
+			return nil, err
+		}
+		cpu.Attach(img)
+		p.Images = append(p.Images, img)
+		if b.Protected() {
+			units = append(units, &safeguard.Unit{
+				Image:      img,
+				TableBytes: b.RecoveryTable,
+				LibBytes:   b.RecoveryLib,
+			})
+		}
+		return img, nil
+	}
+	for _, lb := range cfg.Libs {
+		if _, err := loadOne(lb); err != nil {
+			return nil, err
+		}
+	}
+	app, err := loadOne(cfg.App)
+	if err != nil {
+		return nil, err
+	}
+	p.App = app
+	if err := cpu.InitStack(); err != nil {
+		return nil, err
+	}
+	if err := cpu.Start(app, "_start"); err != nil {
+		return nil, err
+	}
+	if cfg.Protected {
+		p.SG = safeguard.Attach(cpu, units, cfg.Safeguard)
+	}
+	return p, nil
+}
+
+// Run executes until exit/trap/block/limit.
+func (p *Process) Run(limit uint64) machine.RunStatus {
+	return p.CPU.Run(limit)
+}
+
+// Results returns the values the program reported via result_f64 — the
+// output stream used for golden comparison (SDC detection).
+func (p *Process) Results() []float64 { return p.Env.Results }

@@ -1,0 +1,150 @@
+// Package debuginfo is the reproduction's stand-in for DWARF. It
+// records, per compiled program image, (a) a line table mapping each
+// machine instruction to its (file, line, column) source key — the
+// tuple CARE uses to match a faulting instruction to its recovery
+// kernel — and (b) variable location lists in the style of
+// DW_AT_location loclists: for a named IR value, a set of code ranges
+// each saying "within these PCs the value lives in register N / at
+// frame-pointer offset K". Safeguard uses these to fetch recovery-kernel
+// arguments out of the stalled process.
+package debuginfo
+
+import "fmt"
+
+// LC is the (line, column) part of a source key; the file comes from the
+// enclosing function.
+type LC struct {
+	Line int32
+	Col  int32
+}
+
+// Key is a full (file, line, column) source key.
+type Key struct {
+	File string
+	Line int32
+	Col  int32
+}
+
+// String renders the key in file:line:col form — exactly the string that
+// is MD5-hashed into a recovery-table key.
+func (k Key) String() string { return fmt.Sprintf("%s:%d:%d", k.File, k.Line, k.Col) }
+
+// LocKind says where a variable lives.
+type LocKind uint8
+
+const (
+	// LocNone marks an invalid location.
+	LocNone LocKind = iota
+	// LocReg: an integer register.
+	LocReg
+	// LocFReg: a float register.
+	LocFReg
+	// LocFPOff: memory at frame-pointer + Off.
+	LocFPOff
+)
+
+// String renders the kind.
+func (k LocKind) String() string {
+	switch k {
+	case LocReg:
+		return "reg"
+	case LocFReg:
+		return "freg"
+	case LocFPOff:
+		return "fp+off"
+	}
+	return "none"
+}
+
+// LocEntry is one loclist entry: within code indices [Start, End) the
+// variable is at the described location.
+type LocEntry struct {
+	Start, End int
+	Kind       LocKind
+	Reg        uint8
+	Off        int64
+}
+
+// FuncInfo describes one function's code range and frame.
+type FuncInfo struct {
+	Name      string
+	File      string
+	Start     int // first code index
+	End       int // one past last code index
+	FrameSize int64
+	NumParams int
+}
+
+// Info is the debug information for one compiled program image.
+type Info struct {
+	// Lines holds one LC per machine instruction (parallel to the code
+	// array). The file component is the enclosing function's File.
+	Lines []LC
+	// Funcs holds the function directory sorted by Start.
+	Funcs []FuncInfo
+	// Vars maps "funcName\x00varName" to the variable's loclist.
+	Vars map[string][]LocEntry
+}
+
+// New returns an empty Info.
+func New() *Info { return &Info{Vars: map[string][]LocEntry{}} }
+
+// FuncAt returns the function containing code index idx, or nil.
+func (in *Info) FuncAt(idx int) *FuncInfo {
+	// Funcs is sorted by Start; linear scan is fine for the dozens of
+	// functions a workload has, but use binary search for libraries
+	// with thousands of kernels.
+	lo, hi := 0, len(in.Funcs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		f := &in.Funcs[mid]
+		switch {
+		case idx < f.Start:
+			hi = mid
+		case idx >= f.End:
+			lo = mid + 1
+		default:
+			return f
+		}
+	}
+	return nil
+}
+
+// KeyAt returns the (file,line,col) source key of the instruction at
+// code index idx.
+func (in *Info) KeyAt(idx int) (Key, bool) {
+	if idx < 0 || idx >= len(in.Lines) {
+		return Key{}, false
+	}
+	f := in.FuncAt(idx)
+	if f == nil {
+		return Key{}, false
+	}
+	lc := in.Lines[idx]
+	return Key{File: f.File, Line: lc.Line, Col: lc.Col}, true
+}
+
+// VarKey builds the Vars map key.
+func VarKey(fn, name string) string { return fn + "\x00" + name }
+
+// AddVar appends a loclist entry for a variable.
+func (in *Info) AddVar(fn, name string, e LocEntry) {
+	k := VarKey(fn, name)
+	in.Vars[k] = append(in.Vars[k], e)
+}
+
+// Lookup finds the location of variable name of function fn valid at
+// code index idx. It returns the entry and true, or false when the
+// variable has no location there (optimised away or dead) — the case in
+// which CARE must declare the fault unrecoverable.
+func (in *Info) Lookup(fn, name string, idx int) (LocEntry, bool) {
+	for _, e := range in.Vars[VarKey(fn, name)] {
+		if idx >= e.Start && idx < e.End {
+			return e, true
+		}
+	}
+	return LocEntry{}, false
+}
+
+// NumVars returns the number of described variables (for stats).
+func (in *Info) NumVars() int { return len(in.Vars) }

@@ -1,0 +1,97 @@
+package debuginfo
+
+import "testing"
+
+func sample() *Info {
+	in := New()
+	in.Funcs = []FuncInfo{
+		{Name: "main", File: "m/main", Start: 0, End: 10, FrameSize: 64},
+		{Name: "helper", File: "m/helper", Start: 10, End: 16, FrameSize: 32},
+	}
+	in.Lines = make([]LC, 16)
+	for i := range in.Lines {
+		in.Lines[i] = LC{Line: int32(i + 1), Col: 1}
+	}
+	in.AddVar("main", "v1", LocEntry{Start: 0, End: 10, Kind: LocFPOff, Off: -8})
+	in.AddVar("main", "v2", LocEntry{Start: 2, End: 6, Kind: LocReg, Reg: 5})
+	in.AddVar("main", "v2", LocEntry{Start: 6, End: 9, Kind: LocFPOff, Off: -16})
+	in.AddVar("helper", "v1", LocEntry{Start: 10, End: 16, Kind: LocFReg, Reg: 7})
+	return in
+}
+
+func TestFuncAt(t *testing.T) {
+	in := sample()
+	cases := []struct {
+		idx  int
+		want string
+	}{{0, "main"}, {9, "main"}, {10, "helper"}, {15, "helper"}}
+	for _, c := range cases {
+		f := in.FuncAt(c.idx)
+		if f == nil || f.Name != c.want {
+			t.Errorf("FuncAt(%d) = %v, want %s", c.idx, f, c.want)
+		}
+	}
+	if in.FuncAt(16) != nil || in.FuncAt(-1) != nil {
+		t.Error("out-of-range FuncAt not nil")
+	}
+}
+
+func TestKeyAt(t *testing.T) {
+	in := sample()
+	k, ok := in.KeyAt(3)
+	if !ok || k.File != "m/main" || k.Line != 4 || k.Col != 1 {
+		t.Fatalf("KeyAt(3) = %+v %v", k, ok)
+	}
+	k, ok = in.KeyAt(12)
+	if !ok || k.File != "m/helper" {
+		t.Fatalf("KeyAt(12) = %+v %v", k, ok)
+	}
+	if _, ok := in.KeyAt(99); ok {
+		t.Error("KeyAt out of range succeeded")
+	}
+	if k.String() != "m/helper:13:1" {
+		t.Errorf("key string %q", k.String())
+	}
+}
+
+// TestLookupRanges checks the DW_AT_location-style range semantics: the
+// same variable can live in a register over one PC range and on the
+// stack over another, and is unavailable outside both — the situation
+// that makes optimised-code parameters unfetchable (§3.3).
+func TestLookupRanges(t *testing.T) {
+	in := sample()
+	if e, ok := in.Lookup("main", "v2", 3); !ok || e.Kind != LocReg || e.Reg != 5 {
+		t.Errorf("v2@3 = %+v %v", e, ok)
+	}
+	if e, ok := in.Lookup("main", "v2", 7); !ok || e.Kind != LocFPOff || e.Off != -16 {
+		t.Errorf("v2@7 = %+v %v", e, ok)
+	}
+	if _, ok := in.Lookup("main", "v2", 9); ok {
+		t.Error("v2 available outside its ranges")
+	}
+	if _, ok := in.Lookup("main", "nope", 3); ok {
+		t.Error("unknown var available")
+	}
+	// Scoping: helper's v1 is distinct from main's v1.
+	if e, ok := in.Lookup("helper", "v1", 12); !ok || e.Kind != LocFReg {
+		t.Errorf("helper v1 = %+v %v", e, ok)
+	}
+	if e, ok := in.Lookup("main", "v1", 5); !ok || e.Kind != LocFPOff {
+		t.Errorf("main v1 = %+v %v", e, ok)
+	}
+}
+
+func TestLocKindStrings(t *testing.T) {
+	for k, want := range map[LocKind]string{LocReg: "reg", LocFReg: "freg", LocFPOff: "fp+off", LocNone: "none"} {
+		if k.String() != want {
+			t.Errorf("%d = %q", k, k.String())
+		}
+	}
+}
+
+func TestNumVars(t *testing.T) {
+	in := sample()
+	if in.NumVars() != 3 { // main/v1, main/v2, helper/v1
+		t.Errorf("NumVars = %d", in.NumVars())
+	}
+}

@@ -1,0 +1,413 @@
+// Package experiments contains the drivers that regenerate every table
+// and figure of the paper's evaluation. The cmd/ tools, the repository
+// benchmarks and the EXPERIMENTS.md report generator all call into this
+// package so that one implementation backs every way of reproducing a
+// number.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"care/internal/armor"
+	"care/internal/blas"
+	"care/internal/checkpoint"
+	"care/internal/cluster"
+	"care/internal/core"
+	"care/internal/faultinject"
+	"care/internal/machine"
+	"care/internal/safeguard"
+	"care/internal/workloads"
+)
+
+// BuildWorkload compiles a named workload.
+func BuildWorkload(name string, p workloads.Params, opt int, protected bool) (*core.Binary, error) {
+	w, err := workloads.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(w.Module(p), core.BuildOptions{OptLevel: opt, NoArmor: !protected})
+}
+
+// OutcomeRow is one workload's row of Tables 2+3+4 (or 10+11 under the
+// double-bit model).
+type OutcomeRow struct {
+	Workload string
+	Res      *faultinject.CampaignResult
+}
+
+// OutcomeStudy runs the §2 manifestation study (Tables 2, 3, 4 / 10, 11).
+func OutcomeStudy(names []string, n int, model faultinject.Model, seed int64, opt int, p workloads.Params) ([]OutcomeRow, error) {
+	var rows []OutcomeRow
+	for _, name := range names {
+		bin, err := BuildWorkload(name, p, opt, false)
+		if err != nil {
+			return nil, err
+		}
+		res, err := (&faultinject.Campaign{App: bin, N: n, Model: model, Seed: seed}).Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, OutcomeRow{Workload: name, Res: res})
+	}
+	return rows, nil
+}
+
+// FormatOutcomeTables renders Tables 2, 3 and 4 for the rows.
+func FormatOutcomeTables(rows []OutcomeRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 2-style — overall outcomes (%s)\n", rows[0].Res.Model)
+	fmt.Fprintf(&sb, "%-10s %8s %13s %8s %6s\n", "Workload", "Benign", "SoftFailure", "SDC", "Hang")
+	for _, r := range rows {
+		o := r.Res.Outcomes
+		fmt.Fprintf(&sb, "%-10s %8d %13d %8d %6d\n", r.Workload,
+			o[faultinject.Benign], o[faultinject.SoftFailure], o[faultinject.SDC], o[faultinject.Hang])
+	}
+	fmt.Fprintf(&sb, "\nTable 3-style — soft-failure symptoms\n")
+	fmt.Fprintf(&sb, "%-10s %9s %8s %9s %7s\n", "Workload", "SIGSEGV", "SIGBUS", "SIGABRT", "Other")
+	for _, r := range rows {
+		s := r.Res.Symptoms
+		other := s[machine.SigFPE] + s[machine.SigILL]
+		fmt.Fprintf(&sb, "%-10s %9d %8d %9d %7d\n", r.Workload,
+			s[machine.SigSEGV], s[machine.SigBUS], s[machine.SigABRT], other)
+	}
+	fmt.Fprintf(&sb, "\nTable 4-style — manifestation latency (dynamic instructions)\n")
+	fmt.Fprintf(&sb, "%-10s %8s %8s %8s %8s\n", "Workload", "<=10", "11-50", "51-400", ">400")
+	for _, r := range rows {
+		b := r.Res.LatencyBuckets()
+		tot := b[0] + b[1] + b[2] + b[3]
+		if tot == 0 {
+			tot = 1
+		}
+		fmt.Fprintf(&sb, "%-10s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", r.Workload,
+			pct(b[0], tot), pct(b[1], tot), pct(b[2], tot), pct(b[3], tot))
+	}
+	return sb.String()
+}
+
+func pct(a, b int) float64 { return 100 * float64(a) / float64(b) }
+
+// CensusStudy computes Table 5 for all workloads.
+func CensusStudy(p workloads.Params) []armor.CensusRow {
+	var rows []armor.CensusRow
+	for _, w := range workloads.All() {
+		rows = append(rows, armor.Census(w.Module(p)))
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Module < rows[j].Module })
+	return rows
+}
+
+// FormatCensus renders Table 5.
+func FormatCensus(rows []armor.CensusRow) string {
+	var sb strings.Builder
+	sb.WriteString("Table 5-style — address-computation census\n")
+	fmt.Fprintf(&sb, "%-10s %12s %12s %12s\n", "Workload", "MemAccesses", "MultiOp%", "AvgOps")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %12d %11.2f%% %12.2f\n", r.Module, r.MemAccesses, r.PctMulti(), r.AvgOps())
+	}
+	return sb.String()
+}
+
+// ArmorRow is one Table 8 row.
+type ArmorRow struct {
+	Workload    string
+	Kernels     int
+	AvgInstrs   float64
+	CompileTime time.Duration
+	ArmorTime   time.Duration
+	LivenessPct float64
+	TableBytes  int
+	LibBytes    int
+}
+
+// ArmorStudy builds every evaluated workload with CARE and reports the
+// Table 8 statistics.
+func ArmorStudy(opt int, p workloads.Params, evaluatedOnly bool) ([]ArmorRow, error) {
+	ws := workloads.All()
+	if evaluatedOnly {
+		ws = workloads.Evaluated()
+	}
+	var rows []ArmorRow
+	for _, w := range ws {
+		bin, err := core.Build(w.Module(p), core.BuildOptions{OptLevel: opt})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		s := bin.ArmorStats
+		lp := 0.0
+		if s.TotalTime > 0 {
+			lp = 100 * float64(s.LivenessTime) / float64(s.TotalTime)
+		}
+		rows = append(rows, ArmorRow{
+			Workload:    w.Name,
+			Kernels:     s.NumKernels,
+			AvgInstrs:   s.AvgKernelInstrs(),
+			CompileTime: bin.CompileTime,
+			ArmorTime:   s.TotalTime,
+			LivenessPct: lp,
+			TableBytes:  len(bin.RecoveryTable),
+			LibBytes:    len(bin.RecoveryLib),
+		})
+	}
+	return rows, nil
+}
+
+// FormatArmor renders Table 8.
+func FormatArmor(rows []ArmorRow) string {
+	var sb strings.Builder
+	sb.WriteString("Table 8-style — recovery-kernel statistics\n")
+	fmt.Fprintf(&sb, "%-10s %8s %10s %14s %14s %10s %10s\n",
+		"Workload", "Kernels", "AvgInstrs", "Compile", "Armor", "Table(B)", "Lib(B)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %8d %10.2f %14s %14s %10d %10d\n",
+			r.Workload, r.Kernels, r.AvgInstrs, r.CompileTime.Round(time.Microsecond),
+			r.ArmorTime.Round(time.Microsecond), r.TableBytes, r.LibBytes)
+	}
+	return sb.String()
+}
+
+// CoverageRow is one bar of Figure 7/9/12.
+type CoverageRow struct {
+	Workload string
+	OptLevel int
+	Res      *faultinject.CoverageResult
+}
+
+// CoverageStudy runs the §5.2/§5.3 evaluation over the named workloads
+// at both optimisation levels.
+func CoverageStudy(names []string, trials int, model faultinject.Model, seed int64, p workloads.Params, cfg safeguard.Config) ([]CoverageRow, error) {
+	var rows []CoverageRow
+	for _, name := range names {
+		for _, opt := range []int{0, 1} {
+			bin, err := BuildWorkload(name, p, opt, true)
+			if err != nil {
+				return nil, err
+			}
+			exp := &faultinject.CoverageExperiment{
+				App: bin, Trials: trials, Model: model, Seed: seed, Safeguard: cfg,
+			}
+			res, err := exp.Run()
+			if err != nil && res == nil {
+				return nil, fmt.Errorf("%s O%d: %w", name, opt, err)
+			}
+			rows = append(rows, CoverageRow{Workload: name, OptLevel: opt, Res: res})
+		}
+	}
+	return rows, nil
+}
+
+// FormatCoverage renders Figures 7 and 9 as a table.
+func FormatCoverage(rows []CoverageRow) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 7/9-style — fault coverage and recovery time\n")
+	fmt.Fprintf(&sb, "%-10s %4s %8s %10s %10s %12s %9s\n",
+		"Workload", "Opt", "SEGV", "Recovered", "Coverage", "MeanRecTime", "Prep%")
+	var totCov float64
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s  O%d %8d %10d %9.1f%% %12s %8.1f%%\n",
+			r.Workload, r.OptLevel, r.Res.SigsegvTrials, r.Res.Recovered,
+			100*r.Res.Coverage(), r.Res.MeanRecoveryTime().Round(time.Microsecond),
+			100*r.Res.PrepFraction())
+		totCov += r.Res.Coverage()
+	}
+	fmt.Fprintf(&sb, "average coverage: %.2f%%\n", 100*totCov/float64(len(rows)))
+	return sb.String()
+}
+
+// ParallelRow is one Figure 10 pair.
+type ParallelRow struct {
+	Workload string
+	Base     *cluster.JobResult
+	Faulty   *cluster.JobResult
+}
+
+// ParallelStudy reproduces Figure 10: each evaluated workload runs as an
+// N-rank job with and without a CARE-recoverable fault at rank 0.
+func ParallelStudy(names []string, ranks, threads, opt int, p workloads.Params, seed int64) ([]ParallelRow, error) {
+	var rows []ParallelRow
+	for _, name := range names {
+		bin, err := BuildWorkload(name, p, opt, true)
+		if err != nil {
+			return nil, err
+		}
+		inj, err := cluster.FindRecoverableInjection(bin, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		cfg := cluster.Config{Workload: name, Ranks: ranks, ThreadsPerRank: threads, Protected: true}
+		base, err := cluster.RunJob(cfg, bin, nil)
+		if err != nil {
+			return nil, err
+		}
+		faulty, err := cluster.RunJob(cfg, bin, inj)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ParallelRow{Workload: name, Base: base, Faulty: faulty})
+	}
+	return rows, nil
+}
+
+// FormatParallel renders Figure 10.
+func FormatParallel(rows []ParallelRow) string {
+	var sb strings.Builder
+	if len(rows) > 0 {
+		fmt.Fprintf(&sb, "Figure 10-style — parallel jobs on %d ranks (%d cores)\n",
+			rows[0].Base.Ranks, rows[0].Base.Cores)
+	}
+	fmt.Fprintf(&sb, "%-10s %14s %14s %12s %10s %12s %9s\n",
+		"Workload", "Normal", "Fault+CARE", "Stall", "Delta%", "@60s-job", "Survived")
+	for _, r := range rows {
+		d := float64(r.Faulty.VirtualTime-r.Base.VirtualTime) / float64(r.Base.VirtualTime) * 100
+		// The stall is an absolute cost; scaled to a realistic job
+		// length (the paper's jobs run minutes) it vanishes.
+		at60 := float64(r.Faulty.RecoveryStall) / float64(60*time.Second) * 100
+		fmt.Fprintf(&sb, "%-10s %14s %14s %12s %9.3f%% %11.5f%% %9v\n",
+			r.Workload, r.Base.VirtualTime.Round(time.Microsecond),
+			r.Faulty.VirtualTime.Round(time.Microsecond),
+			r.Faulty.RecoveryStall.Round(time.Microsecond), d, at60, r.Faulty.Completed)
+	}
+	return sb.String()
+}
+
+// CRStudy reproduces the §5.4 checkpoint/restart comparison for GTC-P.
+func CRStudy(intervals []int, steps, faultStep int, p workloads.Params) ([]*cluster.CRResult, error) {
+	w, err := workloads.Get("GTC-P")
+	if err != nil {
+		return nil, err
+	}
+	p.Steps = steps
+	var out []*cluster.CRResult
+	for _, iv := range intervals {
+		r, err := cluster.RunCheckpointRestart(w, p, 0, iv, faultStep, checkpoint.DefaultCostModel(), 1)
+		if err != nil {
+			return nil, fmt.Errorf("interval %d: %w", iv, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FormatCR renders the C/R comparison.
+func FormatCR(rows []*cluster.CRResult, careStall time.Duration) string {
+	var sb strings.Builder
+	sb.WriteString("§5.4-style — checkpoint/restart recovery cost (GTC-P)\n")
+	fmt.Fprintf(&sb, "%-9s %6s %12s %10s %10s %12s %14s\n",
+		"Interval", "Ckpts", "CkptIO", "Requeue", "Read", "Recompute", "RecoveryTotal")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-9d %6d %12s %10s %10s %12s %14s\n",
+			r.Interval, r.Checkpoints, r.CheckpointIO.Round(time.Microsecond),
+			r.Requeue.Round(time.Millisecond), r.RestartRead.Round(time.Microsecond),
+			r.Recompute.Round(time.Microsecond), r.RecoveryTotal.Round(time.Microsecond))
+	}
+	if careStall > 0 {
+		fmt.Fprintf(&sb, "CARE recovery stall for the same class of fault: %s\n", careStall.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// BLASRow is Table 9.
+type BLASRow struct {
+	LibKernels    int
+	DriverKernels int
+	LibCompile    time.Duration
+	LibArmor      time.Duration
+	DriverCompile time.Duration
+	DriverArmor   time.Duration
+	Coverage      float64
+	MeanRecovery  time.Duration
+	SigsegvTrials int
+}
+
+// BLASStudy reproduces Table 9 (§5.5).
+func BLASStudy(trials int, opt int, seed int64) (*BLASRow, error) {
+	lib, err := core.BuildLib(blas.Library(), opt, 0)
+	if err != nil {
+		return nil, err
+	}
+	drv, err := core.Build(blas.Sblat1(5), core.BuildOptions{OptLevel: opt}, lib)
+	if err != nil {
+		return nil, err
+	}
+	exp := &faultinject.CoverageExperiment{
+		App: drv, Libs: []*core.Binary{lib},
+		TargetImages: []string{"sblat1", "libblas"},
+		Trials:       trials, Seed: seed,
+	}
+	res, err := exp.Run()
+	if err != nil && res == nil {
+		return nil, err
+	}
+	return &BLASRow{
+		LibKernels:    lib.ArmorStats.NumKernels,
+		DriverKernels: drv.ArmorStats.NumKernels,
+		LibCompile:    lib.CompileTime,
+		LibArmor:      lib.ArmorStats.TotalTime,
+		DriverCompile: drv.CompileTime,
+		DriverArmor:   drv.ArmorStats.TotalTime,
+		Coverage:      res.Coverage(),
+		MeanRecovery:  res.MeanRecoveryTime(),
+		SigsegvTrials: res.SigsegvTrials,
+	}, nil
+}
+
+// FormatBLAS renders Table 9.
+func FormatBLAS(r *BLASRow) string {
+	var sb strings.Builder
+	sb.WriteString("Table 9-style — BLAS / sblat1\n")
+	fmt.Fprintf(&sb, "%-8s %9s %14s %14s\n", "", "Kernels", "Compile", "Armor")
+	fmt.Fprintf(&sb, "%-8s %9d %14s %14s\n", "libblas", r.LibKernels, r.LibCompile.Round(time.Microsecond), r.LibArmor.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "%-8s %9d %14s %14s\n", "sblat1", r.DriverKernels, r.DriverCompile.Round(time.Microsecond), r.DriverArmor.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "coverage %.2f%% over %d SIGSEGV trials, mean recovery %s\n",
+		100*r.Coverage, r.SigsegvTrials, r.MeanRecovery.Round(time.Microsecond))
+	return sb.String()
+}
+
+// EvaluatedNames returns the §5 workload names.
+func EvaluatedNames() []string {
+	var names []string
+	for _, w := range workloads.Evaluated() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+// AllNames returns every workload name.
+func AllNames() []string {
+	var names []string
+	for _, w := range workloads.All() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+// BLASStudy2 is BLASStudy with an explicit Safeguard configuration
+// (used by the induction-recovery extension benchmark).
+func BLASStudy2(trials, opt int, seed int64, cfg safeguard.Config) (*BLASRow, error) {
+	lib, err := core.BuildLib(blas.Library(), opt, 0)
+	if err != nil {
+		return nil, err
+	}
+	drv, err := core.Build(blas.Sblat1(5), core.BuildOptions{OptLevel: opt}, lib)
+	if err != nil {
+		return nil, err
+	}
+	exp := &faultinject.CoverageExperiment{
+		App: drv, Libs: []*core.Binary{lib},
+		TargetImages: []string{"sblat1", "libblas"},
+		Trials:       trials, Seed: seed, Safeguard: cfg,
+	}
+	res, err := exp.Run()
+	if err != nil && res == nil {
+		return nil, err
+	}
+	return &BLASRow{
+		LibKernels:    lib.ArmorStats.NumKernels,
+		DriverKernels: drv.ArmorStats.NumKernels,
+		Coverage:      res.Coverage(),
+		MeanRecovery:  res.MeanRecoveryTime(),
+		SigsegvTrials: res.SigsegvTrials,
+	}, nil
+}

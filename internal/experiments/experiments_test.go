@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"care/internal/faultinject"
+	"care/internal/safeguard"
+	"care/internal/workloads"
+)
+
+func TestOutcomeStudyAndFormat(t *testing.T) {
+	rows, err := OutcomeStudy([]string{"HPCCG"}, 25, faultinject.SingleBit, 1, 0, workloads.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatOutcomeTables(rows)
+	for _, want := range []string{"Table 2-style", "Table 3-style", "Table 4-style", "HPCCG"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCensusStudyCoversAllWorkloads(t *testing.T) {
+	rows := CensusStudy(workloads.Params{})
+	if len(rows) != len(workloads.All()) {
+		t.Fatalf("%d census rows for %d workloads", len(rows), len(workloads.All()))
+	}
+	out := FormatCensus(rows)
+	for _, w := range workloads.All() {
+		if !strings.Contains(out, w.Name) {
+			t.Errorf("census missing %s", w.Name)
+		}
+	}
+}
+
+func TestArmorStudyEvaluatedSet(t *testing.T) {
+	rows, err := ArmorStudy(0, workloads.Params{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(workloads.Evaluated()) {
+		t.Fatalf("%d rows, want %d", len(rows), len(workloads.Evaluated()))
+	}
+	for _, r := range rows {
+		if r.Kernels == 0 || r.TableBytes == 0 || r.LibBytes == 0 {
+			t.Errorf("%s: empty artifacts %+v", r.Workload, r)
+		}
+	}
+	if !strings.Contains(FormatArmor(rows), "Table 8-style") {
+		t.Error("format header missing")
+	}
+}
+
+func TestCoverageStudySmoke(t *testing.T) {
+	rows, err := CoverageStudy([]string{"HPCCG"}, 10, faultinject.SingleBit, 2, workloads.Params{}, safeguard.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // O0 and O1
+		t.Fatalf("%d coverage rows", len(rows))
+	}
+	out := FormatCoverage(rows)
+	if !strings.Contains(out, "average coverage") {
+		t.Error("missing average line")
+	}
+}
+
+func TestBLASStudySmoke(t *testing.T) {
+	row, err := BLASStudy(10, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.LibKernels == 0 || row.DriverKernels == 0 {
+		t.Fatalf("missing kernels: %+v", row)
+	}
+	if !strings.Contains(FormatBLAS(row), "libblas") {
+		t.Error("format missing libblas row")
+	}
+}
+
+func TestNameHelpers(t *testing.T) {
+	if len(EvaluatedNames()) != 4 {
+		t.Errorf("evaluated names: %v", EvaluatedNames())
+	}
+	if len(AllNames()) != 5 {
+		t.Errorf("all names: %v", AllNames())
+	}
+}

@@ -1,0 +1,264 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"care/internal/core"
+	"care/internal/machine"
+	"care/internal/profiler"
+	"care/internal/safeguard"
+)
+
+// CoverageExperiment reproduces the paper's §5.2/§5.3 evaluation: inject
+// faults into profiled application instructions, keep the injections
+// that manifest as SIGSEGV, and measure Safeguard's recovery rate
+// (Figure 7 / Figure 12) and recovery time (Figure 9 / Table 9).
+type CoverageExperiment struct {
+	// App is a CARE-protected build.
+	App *core.Binary
+	// Libs are linked (possibly protected) library binaries.
+	Libs []*core.Binary
+	// TargetImages restricts injection to the named images; empty means
+	// the application image only (the paper's §5 setup — recovering
+	// library faults requires the library to be built with CARE, §5.5).
+	TargetImages []string
+	// Trials is the number of SIGSEGV-leading injections to examine.
+	Trials int
+	// MaxAttempts bounds total injections tried (default 40x Trials).
+	MaxAttempts int
+	// Model selects the bit-flip model.
+	Model Model
+	// Seed drives the randomness.
+	Seed int64
+	// Safeguard configures the runtime (zero = paper configuration).
+	Safeguard safeguard.Config
+	// HangFactor multiplies the golden dynamic count (default 4).
+	HangFactor uint64
+	// RecordInjections retains the (trigger, bits) of recovered trials
+	// so callers (e.g. the cluster experiment) can replay them.
+	RecordInjections bool
+}
+
+// RecordedInjection identifies a replayable injection.
+type RecordedInjection struct {
+	Trigger Trigger
+	Bits    []int
+}
+
+// CoverageResult aggregates the experiment.
+type CoverageResult struct {
+	Workload string
+	OptLevel int
+	Model    Model
+
+	// Attempts is the number of injections performed; SigsegvTrials of
+	// them raised SIGSEGV and were examined.
+	Attempts      int
+	SigsegvTrials int
+	// Recovered counts trials whose process ran to completion.
+	Recovered int
+	// CleanRecovered counts recovered trials with golden output; the
+	// difference is faults that also corrupted a non-address data path.
+	CleanRecovered int
+	// FailureOutcomes histograms the Safeguard outcome that terminated
+	// each unrecovered trial.
+	FailureOutcomes map[safeguard.Outcome]int
+	// Events collects every Safeguard activation across trials.
+	Events []safeguard.Event
+	// TrialRecoveryTimes is the summed recovery time per recovered
+	// trial (a single fault can require several activations, §5.3).
+	TrialRecoveryTimes []time.Duration
+	// ActivationsPerRecovery distribution (how many repairs per fault).
+	ActivationsPerRecovery []int
+	// RecoveredInjections replays recovered trials (only populated when
+	// the experiment sets RecordInjections).
+	RecoveredInjections []RecordedInjection
+}
+
+// Coverage is the Figure 7 metric: recovered / examined SIGSEGV trials.
+func (r *CoverageResult) Coverage() float64 {
+	if r.SigsegvTrials == 0 {
+		return 0
+	}
+	return float64(r.Recovered) / float64(r.SigsegvTrials)
+}
+
+// MeanRecoveryTime is the Figure 9 metric.
+func (r *CoverageResult) MeanRecoveryTime() time.Duration {
+	if len(r.TrialRecoveryTimes) == 0 {
+		return 0
+	}
+	var s time.Duration
+	for _, t := range r.TrialRecoveryTimes {
+		s += t
+	}
+	return s / time.Duration(len(r.TrialRecoveryTimes))
+}
+
+// PrepFraction is the fraction of recovery time spent outside kernel
+// execution (the paper reports >98%).
+func (r *CoverageResult) PrepFraction() float64 {
+	var prep, total time.Duration
+	for _, e := range r.Events {
+		prep += e.Prep()
+		total += e.Total()
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(prep) / float64(total)
+}
+
+// sampler draws (image, static index) weighted by execution count.
+type sampler struct {
+	images  []string
+	starts  []uint64 // cumulative count boundaries per image
+	offsets [][]uint64
+	counts  map[string][]uint64
+	total   uint64
+}
+
+func newSampler(prof *profiler.Profile, targets []string) (*sampler, error) {
+	s := &sampler{counts: map[string][]uint64{}}
+	for _, name := range targets {
+		cnts, ok := prof.Counts[name]
+		if !ok {
+			return nil, fmt.Errorf("faultinject: image %q has no profile", name)
+		}
+		// Per-image cumulative offsets for binary-search-free sampling.
+		cum := make([]uint64, len(cnts)+1)
+		for i, c := range cnts {
+			cum[i+1] = cum[i] + c
+		}
+		if cum[len(cnts)] == 0 {
+			continue
+		}
+		s.images = append(s.images, name)
+		s.starts = append(s.starts, s.total)
+		s.offsets = append(s.offsets, cum)
+		s.counts[name] = cnts
+		s.total += cum[len(cnts)]
+	}
+	if s.total == 0 {
+		return nil, fmt.Errorf("faultinject: no executed instructions in target images")
+	}
+	return s, nil
+}
+
+// draw picks an (image, index, occurrence) triple equivalent to a
+// uniformly random dynamic instruction of the target images.
+func (s *sampler) draw(rng *rand.Rand) (string, int, uint64) {
+	r := uint64(rng.Int63n(int64(s.total)))
+	// Find the image.
+	ii := 0
+	for ii+1 < len(s.images) && r >= s.starts[ii+1] {
+		ii++
+	}
+	r -= s.starts[ii]
+	// Binary search the instruction.
+	cum := s.offsets[ii]
+	lo, hi := 0, len(cum)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] <= r {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	occ := r - cum[lo] + 1
+	return s.images[ii], lo, occ
+}
+
+// Run executes the experiment.
+func (e *CoverageExperiment) Run() (*CoverageResult, error) {
+	if e.Trials <= 0 {
+		return nil, fmt.Errorf("faultinject: coverage Trials must be positive")
+	}
+	maxAttempts := e.MaxAttempts
+	if maxAttempts == 0 {
+		maxAttempts = 40 * e.Trials
+	}
+	hang := e.HangFactor
+	if hang == 0 {
+		hang = 4
+	}
+	prof, err := profiler.Run(e.App, e.Libs, 0)
+	if err != nil {
+		return nil, err
+	}
+	targets := e.TargetImages
+	if len(targets) == 0 {
+		targets = []string{e.App.Name}
+	}
+	smp, err := newSampler(prof, targets)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(e.Seed))
+	res := &CoverageResult{
+		Workload:        e.App.Name,
+		OptLevel:        e.App.Prog.OptLevel,
+		Model:           e.Model,
+		FailureOutcomes: map[safeguard.Outcome]int{},
+	}
+	for res.SigsegvTrials < e.Trials && res.Attempts < maxAttempts {
+		img, idx, occ := smp.draw(rng)
+		bits := pickBits(rng, e.Model)
+		p, err := core.NewProcess(core.ProcessConfig{
+			App: e.App, Libs: e.Libs, Protected: true, Safeguard: e.Safeguard,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st := Arm(p.CPU, Trigger{Image: img, StaticIdx: idx, Occurrence: occ}, bits)
+		status := p.Run(hang * prof.TotalDyn)
+		res.Attempts++
+		if !st.Fired {
+			continue // program finished before the occurrence came up
+		}
+		sg := p.SG
+		if sg.Stats.Activations == 0 {
+			continue // fault did not manifest as a trap Safeguard saw
+		}
+		first := sg.Stats.Events[0]
+		if first.Outcome == safeguard.WrongSignal {
+			continue // crashed with a non-SIGSEGV symptom
+		}
+		res.SigsegvTrials++
+		res.Events = append(res.Events, sg.Stats.Events...)
+		if status == machine.StatusExited {
+			res.Recovered++
+			if sameResults(p.Results(), prof.Golden) {
+				res.CleanRecovered++
+				if e.RecordInjections {
+					res.RecoveredInjections = append(res.RecoveredInjections, RecordedInjection{
+						Trigger: Trigger{Image: img, StaticIdx: idx, Occurrence: occ},
+						Bits:    bits,
+					})
+				}
+			}
+			var total time.Duration
+			n := 0
+			for _, ev := range sg.Stats.Events {
+				if ev.Outcome == safeguard.Recovered || ev.Outcome == safeguard.RecoveredInduction {
+					total += ev.Total()
+					n++
+				}
+			}
+			res.TrialRecoveryTimes = append(res.TrialRecoveryTimes, total)
+			res.ActivationsPerRecovery = append(res.ActivationsPerRecovery, n)
+			continue
+		}
+		// Unrecovered: attribute to the last activation's outcome.
+		last := sg.Stats.Events[len(sg.Stats.Events)-1]
+		res.FailureOutcomes[last.Outcome]++
+	}
+	if res.SigsegvTrials < e.Trials {
+		return res, fmt.Errorf("faultinject: only %d/%d SIGSEGV trials after %d attempts",
+			res.SigsegvTrials, e.Trials, res.Attempts)
+	}
+	return res, nil
+}

@@ -1,0 +1,371 @@
+// Package faultinject implements the paper's two fault-injection
+// methodologies:
+//
+//   - the §2 manifestation study: flip a bit in the destination operand
+//     of a uniformly random dynamic instruction, track the outcome
+//     (benign / soft failure / SDC / hang), the crash symptom, and the
+//     manifestation latency in dynamic instructions (Tables 2, 3, 4,
+//     and the appendix Tables 10, 11);
+//   - the §5 evaluation: select a static application instruction
+//     weighted by its profiled execution count plus a uniform occurrence
+//     index, keep the injections that raise SIGSEGV, and measure how
+//     many Safeguard recovers and how fast (Figures 7, 9, 12; Table 9).
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"care/internal/core"
+	"care/internal/machine"
+	"care/internal/profiler"
+	"care/internal/taint"
+)
+
+// Model selects the bit-flip fault model.
+type Model int
+
+// Fault models.
+const (
+	// SingleBit flips one uniformly random bit (the paper's primary,
+	// conservative model).
+	SingleBit Model = iota
+	// DoubleBit flips two distinct random bits (the appendix model).
+	DoubleBit
+)
+
+// String names the model.
+func (m Model) String() string {
+	if m == DoubleBit {
+		return "double-bit-flip"
+	}
+	return "single-bit-flip"
+}
+
+// Outcome classifies an injection (Table 2 columns).
+type Outcome int
+
+// Injection outcomes.
+const (
+	// Benign: the program completed with golden output.
+	Benign Outcome = iota
+	// SoftFailure: the program crashed with a hardware trap.
+	SoftFailure
+	// SDC: the program completed but its output differs.
+	SDC
+	// Hang: the program exceeded its step budget.
+	Hang
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	return [...]string{"Benign", "SoftFailure", "SDC", "Hang"}[o]
+}
+
+// Injection describes one performed injection and its result.
+type Injection struct {
+	// TargetDyn is the dynamic instruction index after which the flip
+	// was applied.
+	TargetDyn uint64
+	// Image and StaticIdx identify the corrupted instruction.
+	Image     string
+	StaticIdx int
+	// Bits lists the flipped bit positions.
+	Bits []int
+	// Dest is the corrupted destination kind.
+	Dest machine.DestKind
+
+	Outcome Outcome
+	// Signal is the crash symptom for SoftFailure.
+	Signal machine.Signal
+	// Latency is the dynamic-instruction distance from injection to
+	// crash (SoftFailure only).
+	Latency uint64
+	// PropagationWrites counts tainted destination writes between the
+	// injection and the end of the run (only when the campaign enables
+	// TrackPropagation — the §2 trace analysis).
+	PropagationWrites int
+	// TaintedMemWords is the contaminated-memory footprint at the end.
+	TaintedMemWords int
+}
+
+// corrupt flips the chosen bits in the destination operand of the
+// just-retired instruction — "the fault is injected at the point right
+// after the instruction is executed" (§2.1.1).
+func corrupt(c *machine.CPU, in *machine.MInstr, bits []int) (machine.DestKind, bool) {
+	kind, ok := in.HasDest()
+	if !ok {
+		return 0, false
+	}
+	var mask machine.Word
+	for _, b := range bits {
+		mask |= 1 << uint(b)
+	}
+	switch kind {
+	case machine.DestIntReg:
+		rd := in.Rd
+		if in.Op == machine.MHost {
+			rd = machine.R0
+		}
+		c.R[rd] ^= mask
+	case machine.DestFloatReg:
+		c.F[in.Fd] = math.Float64frombits(math.Float64bits(c.F[in.Fd]) ^ mask)
+	case machine.DestMemory:
+		var addr machine.Word
+		switch in.Op {
+		case machine.MStore, machine.MFStore:
+			addr = in.EffectiveAddr(&c.R)
+		case machine.MPush, machine.MFPush:
+			addr = c.R[machine.SP]
+		}
+		v, f := c.Mem.Read(addr)
+		if f != nil {
+			return kind, false
+		}
+		if f := c.Mem.Write(addr, v^mask); f != nil {
+			return kind, false
+		}
+	}
+	return kind, true
+}
+
+// Arm installs an injection hook on the CPU: after the instruction
+// matching the trigger retires, flip the given bits in its destination.
+// If the triggering instruction has no destination, the next instruction
+// with one is corrupted. The returned pointer reports the performed
+// injection (nil Fields until fired).
+type Armed struct {
+	Fired     bool
+	Dyn       uint64
+	Image     string
+	StaticIdx int
+	Dest      machine.DestKind
+	// OnFire, when set before the run, is invoked right after the
+	// corruption is applied (the taint tracker seeds there).
+	OnFire func(c *machine.CPU, in *machine.MInstr)
+}
+
+// TriggerKind selects how the injection point is specified.
+type Trigger struct {
+	// AtDyn fires after the AtDyn'th dynamic instruction retires
+	// (1-based) when >0.
+	AtDyn uint64
+	// Image/StaticIdx/Occurrence fire after the instruction at
+	// StaticIdx of the named image retires for the Occurrence'th time
+	// (1-based), when Image != "".
+	Image      string
+	StaticIdx  int
+	Occurrence uint64
+}
+
+// Arm attaches the hook. bits are the positions to flip.
+func Arm(cpu *machine.CPU, trig Trigger, bits []int) *Armed {
+	st := &Armed{}
+	var occ uint64
+	cpu.AfterStep = func(c *machine.CPU, img *machine.Image, idx int, in *machine.MInstr) {
+		if st.Fired {
+			return
+		}
+		triggered := false
+		if trig.AtDyn > 0 {
+			triggered = c.Dyn >= trig.AtDyn
+		} else {
+			if img.Prog.Name == trig.Image && idx == trig.StaticIdx {
+				occ++
+			}
+			triggered = occ >= trig.Occurrence && occ > 0
+		}
+		if !triggered {
+			return
+		}
+		kind, ok := corrupt(c, in, bits)
+		if !ok {
+			return // no destination; try the next retiring instruction
+		}
+		st.Fired = true
+		st.Dyn = c.Dyn
+		st.Image = img.Prog.Name
+		st.StaticIdx = idx
+		st.Dest = kind
+		c.AfterStep = nil
+		if st.OnFire != nil {
+			st.OnFire(c, in)
+		}
+	}
+	return st
+}
+
+// pickBits draws the flip positions for the model.
+func pickBits(rng *rand.Rand, model Model) []int {
+	b0 := rng.Intn(64)
+	if model == SingleBit {
+		return []int{b0}
+	}
+	b1 := rng.Intn(63)
+	if b1 >= b0 {
+		b1++
+	}
+	return []int{b0, b1}
+}
+
+// Campaign is a §2-style manifestation study over one binary.
+type Campaign struct {
+	// App is an unprotected build of the workload.
+	App *core.Binary
+	// Libs are linked library binaries (optional).
+	Libs []*core.Binary
+	// N is the number of injections (one per run).
+	N int
+	// Model selects single or double bit flips.
+	Model Model
+	// Seed drives all randomness.
+	Seed int64
+	// HangFactor multiplies the golden instruction count for the hang
+	// budget (default 4).
+	HangFactor uint64
+	// TrackPropagation attaches a taint tracker to every injected run,
+	// reproducing the paper's §2 fault-propagation trace analysis
+	// (slower: every instruction pays the shadow-state update).
+	TrackPropagation bool
+}
+
+// CampaignResult aggregates a campaign (Tables 2-4 rows).
+type CampaignResult struct {
+	Workload   string
+	Model      Model
+	N          int
+	Outcomes   map[Outcome]int
+	Symptoms   map[machine.Signal]int
+	Latencies  []uint64
+	Injections []Injection
+	GoldenDyn  uint64
+	// ByDest breaks outcomes down by the corrupted destination kind —
+	// the paper's §2.1.2 observation that FPU faults skew to SDCs while
+	// ALU (integer/address) faults skew to soft failures.
+	ByDest map[machine.DestKind]map[Outcome]int
+}
+
+// destName names a destination kind for reports.
+func DestName(k machine.DestKind) string {
+	switch k {
+	case machine.DestIntReg:
+		return "ALU(int)"
+	case machine.DestFloatReg:
+		return "FPU(float)"
+	case machine.DestMemory:
+		return "memory"
+	}
+	return "?"
+}
+
+// LatencyBuckets returns the Table 4 distribution: counts of soft
+// failures manifesting within <=10, 11-50, 51-400 and >400 dynamic
+// instructions.
+func (r *CampaignResult) LatencyBuckets() [4]int {
+	var b [4]int
+	for _, l := range r.Latencies {
+		switch {
+		case l <= 10:
+			b[0]++
+		case l <= 50:
+			b[1]++
+		case l <= 400:
+			b[2]++
+		default:
+			b[3]++
+		}
+	}
+	return b
+}
+
+// Run executes the campaign.
+func (c *Campaign) Run() (*CampaignResult, error) {
+	if c.N <= 0 {
+		return nil, fmt.Errorf("faultinject: campaign N must be positive")
+	}
+	hang := c.HangFactor
+	if hang == 0 {
+		hang = 4
+	}
+	prof, err := profiler.Run(c.App, c.Libs, 0)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	res := &CampaignResult{
+		Workload:  c.App.Name,
+		Model:     c.Model,
+		N:         c.N,
+		Outcomes:  map[Outcome]int{},
+		Symptoms:  map[machine.Signal]int{},
+		GoldenDyn: prof.TotalDyn,
+		ByDest:    map[machine.DestKind]map[Outcome]int{},
+	}
+	for i := 0; i < c.N; i++ {
+		target := uint64(rng.Int63n(int64(prof.TotalDyn))) + 1
+		bits := pickBits(rng, c.Model)
+		p, err := core.NewProcess(core.ProcessConfig{App: c.App, Libs: c.Libs})
+		if err != nil {
+			return nil, err
+		}
+		st := Arm(p.CPU, Trigger{AtDyn: target}, bits)
+		var tracker *taint.Tracker
+		if c.TrackPropagation {
+			tracker = taint.Attach(p.CPU)
+			st.OnFire = func(cc *machine.CPU, in *machine.MInstr) {
+				tracker.MarkDest(cc, in)
+			}
+		}
+		status := p.Run(hang * prof.TotalDyn)
+		inj := Injection{TargetDyn: target, Bits: bits}
+		if tracker != nil {
+			inj.PropagationWrites = tracker.TaintedWrites
+			inj.TaintedMemWords = tracker.TaintedMemWords()
+		}
+		if st.Fired {
+			inj.Image, inj.StaticIdx, inj.Dest = st.Image, st.StaticIdx, st.Dest
+		}
+		switch status {
+		case machine.StatusTrapped:
+			inj.Outcome = SoftFailure
+			inj.Signal = p.CPU.PendingTrap.Sig
+			if st.Fired && p.CPU.Dyn >= st.Dyn {
+				inj.Latency = p.CPU.Dyn - st.Dyn
+			}
+			res.Latencies = append(res.Latencies, inj.Latency)
+			res.Symptoms[inj.Signal]++
+		case machine.StatusExited:
+			if sameResults(p.Results(), prof.Golden) && p.CPU.ExitCode == prof.ExitCode {
+				inj.Outcome = Benign
+			} else {
+				inj.Outcome = SDC
+			}
+		case machine.StatusLimit:
+			inj.Outcome = Hang
+		default:
+			return nil, fmt.Errorf("faultinject: unexpected run status %v", status)
+		}
+		res.Outcomes[inj.Outcome]++
+		if st.Fired {
+			if res.ByDest[inj.Dest] == nil {
+				res.ByDest[inj.Dest] = map[Outcome]int{}
+			}
+			res.ByDest[inj.Dest][inj.Outcome]++
+		}
+		res.Injections = append(res.Injections, inj)
+	}
+	return res, nil
+}
+
+func sameResults(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

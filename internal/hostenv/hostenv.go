@@ -1,0 +1,216 @@
+// Package hostenv defines the "host" surface of the simulated execution
+// environment: the small set of runtime services (heap allocation,
+// output, math intrinsics, abort, MPI-style collectives) that IR
+// programs may call. Both the IR interpreter and the simulated machine
+// route host calls through an Env so that the two executions are
+// observationally identical — the property the differential tests rely
+// on.
+package hostenv
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Word is a 64-bit machine word. Floats are passed bit-punned via
+// math.Float64bits.
+type Word = uint64
+
+// F converts a word to its float interpretation.
+func F(w Word) float64 { return math.Float64frombits(w) }
+
+// W converts a float to its word representation.
+func W(f float64) Word { return math.Float64bits(f) }
+
+// Context is the memory/allocation surface a host call may touch. It is
+// implemented by the machine's process memory and by the interpreter's
+// simple memory.
+type Context interface {
+	// ReadWord loads the 8-byte word at addr.
+	ReadWord(addr Word) (Word, error)
+	// WriteWord stores the 8-byte word v at addr.
+	WriteWord(addr Word, v Word) error
+	// Alloc carves a fresh heap allocation of n bytes and returns its
+	// base address. Allocations are never freed (the workloads are
+	// arena-style scientific codes).
+	Alloc(n Word) (Word, error)
+}
+
+// ErrAbort is returned by the "abort" host call; executors translate it
+// into a SIGABRT-style trap.
+var ErrAbort = errors.New("hostenv: abort")
+
+// Status tells the executor how to proceed after a host call.
+type Status uint8
+
+const (
+	// Done: the call completed; the result word is valid.
+	Done Status = iota
+	// Exit: the program requested termination with the result as code.
+	Exit
+	// Block: the call must wait for other ranks (collective); the
+	// executor should yield to its scheduler and re-issue the call.
+	Block
+)
+
+// Collectives is the hook through which a multi-rank scheduler provides
+// MPI-style semantics. In single-rank mode (nil hook) collectives reduce
+// over the local value only and halo exchange is a local copy.
+type Collectives interface {
+	// AllreduceSum contributes v and reports whether the result is
+	// ready; when not ready the caller blocks and retries.
+	AllreduceSum(rank int, v float64) (float64, bool)
+	// Barrier reports whether all ranks have arrived.
+	Barrier(rank int) bool
+}
+
+// Env is one rank's host environment.
+type Env struct {
+	Rank int
+	Size int
+
+	// Results accumulates values passed to the result_f64 host call, in
+	// order. Fault-injection outcome classification compares Results
+	// against a golden run: equal = benign, different = SDC.
+	Results []float64
+	// Printed accumulates print_* output lines (diagnostics only; not
+	// part of the SDC comparison).
+	Printed []string
+	// MaxResults bounds Results so that a fault-crazed loop cannot
+	// allocate unboundedly; 0 means the default of 1<<20.
+	MaxResults int
+
+	// Coll, when non-nil, provides multi-rank collectives.
+	Coll Collectives
+}
+
+// NewEnv returns a single-rank environment.
+func NewEnv() *Env { return &Env{Rank: 0, Size: 1} }
+
+// Reset clears captured output so an Env can be reused across runs.
+func (e *Env) Reset() {
+	e.Results = e.Results[:0]
+	e.Printed = e.Printed[:0]
+}
+
+// Signature describes a host function's arity; executors use it to
+// marshal arguments.
+type Signature struct {
+	NArgs int
+	// FloatArgs marks argument positions holding floats (word-punned).
+	FloatArgs []bool
+	// FloatRet marks a float (word-punned) result.
+	FloatRet bool
+}
+
+// Signatures maps every supported host function to its signature. The
+// compiler refuses calls to unknown host functions.
+var Signatures = map[string]Signature{
+	"malloc":     {NArgs: 1},
+	"print_i64":  {NArgs: 1},
+	"print_f64":  {NArgs: 1, FloatArgs: []bool{true}, FloatRet: false},
+	"result_f64": {NArgs: 1, FloatArgs: []bool{true}},
+	"abort":      {NArgs: 1},
+	"exit":       {NArgs: 1},
+	"sqrt":       {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
+	"fabs":       {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
+	"exp":        {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
+	"log":        {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
+	"sin":        {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
+	"cos":        {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
+	"floor":      {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
+	"pow":        {NArgs: 2, FloatArgs: []bool{true, true}, FloatRet: true},
+	"fmin":       {NArgs: 2, FloatArgs: []bool{true, true}, FloatRet: true},
+	"fmax":       {NArgs: 2, FloatArgs: []bool{true, true}, FloatRet: true},
+
+	"mpi_rank":              {NArgs: 0},
+	"mpi_size":              {NArgs: 0},
+	"mpi_barrier":           {NArgs: 0},
+	"mpi_allreduce_sum_f64": {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
+}
+
+// SimpleMathFuncs lists the host calls Armor may treat as plain binary
+// operators when extracting recovery kernels (they are pure and do not
+// touch globals or arguments' memory).
+var SimpleMathFuncs = map[string]bool{
+	"sqrt": true, "fabs": true, "exp": true, "log": true, "sin": true,
+	"cos": true, "floor": true, "pow": true, "fmin": true, "fmax": true,
+}
+
+// Call executes the named host function. It returns the result word, a
+// status, and an error. ErrAbort signals a SIGABRT-style trap; other
+// errors are executor bugs or memory faults raised by ctx.
+func (e *Env) Call(name string, args []Word, ctx Context) (Word, Status, error) {
+	switch name {
+	case "malloc":
+		a, err := ctx.Alloc(args[0])
+		return a, Done, err
+	case "print_i64":
+		e.appendPrint(fmt.Sprintf("%d", int64(args[0])))
+		return 0, Done, nil
+	case "print_f64":
+		e.appendPrint(fmt.Sprintf("%.17g", F(args[0])))
+		return 0, Done, nil
+	case "result_f64":
+		max := e.MaxResults
+		if max == 0 {
+			max = 1 << 20
+		}
+		if len(e.Results) < max {
+			e.Results = append(e.Results, F(args[0]))
+		}
+		return 0, Done, nil
+	case "abort":
+		return 0, Done, fmt.Errorf("%w (code %d)", ErrAbort, int64(args[0]))
+	case "exit":
+		return args[0], Exit, nil
+	case "sqrt":
+		return W(math.Sqrt(F(args[0]))), Done, nil
+	case "fabs":
+		return W(math.Abs(F(args[0]))), Done, nil
+	case "exp":
+		return W(math.Exp(F(args[0]))), Done, nil
+	case "log":
+		return W(math.Log(F(args[0]))), Done, nil
+	case "sin":
+		return W(math.Sin(F(args[0]))), Done, nil
+	case "cos":
+		return W(math.Cos(F(args[0]))), Done, nil
+	case "floor":
+		return W(math.Floor(F(args[0]))), Done, nil
+	case "pow":
+		return W(math.Pow(F(args[0]), F(args[1]))), Done, nil
+	case "fmin":
+		return W(math.Min(F(args[0]), F(args[1]))), Done, nil
+	case "fmax":
+		return W(math.Max(F(args[0]), F(args[1]))), Done, nil
+	case "mpi_rank":
+		return Word(e.Rank), Done, nil
+	case "mpi_size":
+		return Word(e.Size), Done, nil
+	case "mpi_barrier":
+		if e.Coll == nil {
+			return 0, Done, nil
+		}
+		if e.Coll.Barrier(e.Rank) {
+			return 0, Done, nil
+		}
+		return 0, Block, nil
+	case "mpi_allreduce_sum_f64":
+		if e.Coll == nil {
+			return args[0], Done, nil
+		}
+		if v, ok := e.Coll.AllreduceSum(e.Rank, F(args[0])); ok {
+			return W(v), Done, nil
+		}
+		return 0, Block, nil
+	}
+	return 0, Done, fmt.Errorf("hostenv: unknown host function %q", name)
+}
+
+func (e *Env) appendPrint(s string) {
+	if len(e.Printed) < 4096 {
+		e.Printed = append(e.Printed, s)
+	}
+}

@@ -1,0 +1,164 @@
+package hostenv
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// fakeCtx is an in-memory Context.
+type fakeCtx struct {
+	mem  map[Word]Word
+	next Word
+}
+
+func newFakeCtx() *fakeCtx { return &fakeCtx{mem: map[Word]Word{}, next: 0x1000} }
+
+func (c *fakeCtx) ReadWord(a Word) (Word, error) { return c.mem[a], nil }
+func (c *fakeCtx) WriteWord(a, v Word) error     { c.mem[a] = v; return nil }
+func (c *fakeCtx) Alloc(n Word) (Word, error)    { a := c.next; c.next += n; return a, nil }
+
+func TestMathIntrinsicsMatchGoMath(t *testing.T) {
+	env := NewEnv()
+	ctx := newFakeCtx()
+	unary := map[string]func(float64) float64{
+		"sqrt": math.Sqrt, "fabs": math.Abs, "exp": math.Exp, "log": math.Log,
+		"sin": math.Sin, "cos": math.Cos, "floor": math.Floor,
+	}
+	for name, ref := range unary {
+		name, ref := name, ref
+		prop := func(x float64) bool {
+			got, st, err := env.Call(name, []Word{W(x)}, ctx)
+			if err != nil || st != Done {
+				return false
+			}
+			want := ref(x)
+			return F(got) == want || (math.IsNaN(F(got)) && math.IsNaN(want))
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	binary := map[string]func(a, b float64) float64{
+		"pow": math.Pow, "fmin": math.Min, "fmax": math.Max,
+	}
+	for name, ref := range binary {
+		name, ref := name, ref
+		prop := func(x, y float64) bool {
+			got, _, err := env.Call(name, []Word{W(x), W(y)}, ctx)
+			if err != nil {
+				return false
+			}
+			want := ref(x, y)
+			return F(got) == want || (math.IsNaN(F(got)) && math.IsNaN(want))
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSignaturesCoverAllHandledCalls(t *testing.T) {
+	env := NewEnv()
+	ctx := newFakeCtx()
+	for name, sig := range Signatures {
+		args := make([]Word, sig.NArgs)
+		for i := range args {
+			args[i] = W(0.5) // valid for both int and float slots
+		}
+		_, _, err := env.Call(name, args, ctx)
+		if err != nil && !errors.Is(err, ErrAbort) {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, _, err := env.Call("no_such_fn", nil, ctx); err == nil {
+		t.Error("unknown host function accepted")
+	}
+}
+
+func TestSimpleMathSubsetOfSignatures(t *testing.T) {
+	for name := range SimpleMathFuncs {
+		if _, ok := Signatures[name]; !ok {
+			t.Errorf("simple math func %s has no signature", name)
+		}
+	}
+}
+
+func TestResultsAndPrints(t *testing.T) {
+	env := NewEnv()
+	ctx := newFakeCtx()
+	for i := 0; i < 5; i++ {
+		if _, _, err := env.Call("result_f64", []Word{W(float64(i))}, ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(env.Results) != 5 || env.Results[3] != 3 {
+		t.Fatalf("results %v", env.Results)
+	}
+	env.Call("print_i64", []Word{Word(42)}, ctx)
+	env.Call("print_f64", []Word{W(2.5)}, ctx)
+	if len(env.Printed) != 2 || env.Printed[0] != "42" {
+		t.Fatalf("printed %v", env.Printed)
+	}
+	env.Reset()
+	if len(env.Results) != 0 || len(env.Printed) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestResultsBounded(t *testing.T) {
+	env := NewEnv()
+	env.MaxResults = 10
+	ctx := newFakeCtx()
+	for i := 0; i < 100; i++ {
+		env.Call("result_f64", []Word{W(1)}, ctx)
+	}
+	if len(env.Results) != 10 {
+		t.Fatalf("results grew to %d", len(env.Results))
+	}
+}
+
+func TestAbortAndExit(t *testing.T) {
+	env := NewEnv()
+	ctx := newFakeCtx()
+	_, _, err := env.Call("abort", []Word{Word(7)}, ctx)
+	if !errors.Is(err, ErrAbort) {
+		t.Fatalf("abort err = %v", err)
+	}
+	code, st, err := env.Call("exit", []Word{Word(3)}, ctx)
+	if err != nil || st != Exit || code != 3 {
+		t.Fatalf("exit: %v %v %v", code, st, err)
+	}
+}
+
+func TestMallocRoutesToContext(t *testing.T) {
+	env := NewEnv()
+	ctx := newFakeCtx()
+	a1, _, err := env.Call("malloc", []Word{64}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, _ := env.Call("malloc", []Word{64}, ctx)
+	if a2 <= a1 {
+		t.Fatal("allocator not advancing")
+	}
+}
+
+func TestSingleRankCollectivesAreIdentity(t *testing.T) {
+	env := NewEnv()
+	ctx := newFakeCtx()
+	v, st, err := env.Call("mpi_allreduce_sum_f64", []Word{W(3.5)}, ctx)
+	if err != nil || st != Done || F(v) != 3.5 {
+		t.Fatalf("allreduce: %v %v %v", F(v), st, err)
+	}
+	if _, st, _ := env.Call("mpi_barrier", nil, ctx); st != Done {
+		t.Fatal("single-rank barrier blocked")
+	}
+	if r, _, _ := env.Call("mpi_rank", nil, ctx); r != 0 {
+		t.Fatal("rank not 0")
+	}
+	if s, _, _ := env.Call("mpi_size", nil, ctx); s != 1 {
+		t.Fatal("size not 1")
+	}
+}

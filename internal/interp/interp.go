@@ -1,0 +1,418 @@
+// Package interp is a direct interpreter for the mini-IR. It exists for
+// differential testing: a workload executed by the interpreter and by
+// the compiled machine program must produce bit-identical result
+// streams, which pins down compiler bugs independently of the CARE
+// machinery.
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"care/internal/hostenv"
+	"care/internal/ir"
+	"care/internal/machine"
+)
+
+// Word mirrors the machine word; floats are bit-punned.
+type Word = uint64
+
+// ErrLimit is returned when the step budget is exhausted.
+var ErrLimit = fmt.Errorf("interp: step limit exceeded")
+
+// Interp executes IR modules directly.
+type Interp struct {
+	Env *hostenv.Env
+	Mem *machine.Memory
+
+	mods    []*ir.Module
+	funcs   map[string]*ir.Func
+	globals map[string]Word
+
+	steps  uint64
+	limit  uint64
+	allocs Word // bump pointer within the interpreter stack segment
+	stack  *machine.Segment
+}
+
+// New builds an interpreter over one or more modules (later modules
+// provide definitions for earlier declarations, like a link line).
+func New(env *hostenv.Env, mods ...*ir.Module) (*Interp, error) {
+	if env == nil {
+		env = hostenv.NewEnv()
+	}
+	it := &Interp{
+		Env:     env,
+		Mem:     machine.NewMemory(),
+		mods:    mods,
+		funcs:   map[string]*ir.Func{},
+		globals: map[string]Word{},
+	}
+	base := machine.AppGlobalBase
+	for _, m := range mods {
+		for _, f := range m.Funcs {
+			if len(f.Blocks) > 0 {
+				it.funcs[f.Name] = f
+			}
+		}
+		var size int64
+		for _, g := range m.Globals {
+			if !g.Extern {
+				size += g.Size
+			}
+		}
+		if size > 0 {
+			seg, err := it.Mem.Map(base, int(size), m.Name+".data")
+			if err != nil {
+				return nil, err
+			}
+			var off Word
+			for _, g := range m.Globals {
+				if g.Extern {
+					continue
+				}
+				it.globals[g.Name] = base + off
+				for i, v := range g.InitI64 {
+					if werr := it.Mem.Write(base+off+Word(8*i), Word(v)); werr != nil {
+						return nil, werr
+					}
+				}
+				for i, v := range g.InitF64 {
+					if werr := it.Mem.WriteFloat(base+off+Word(8*i), v); werr != nil {
+						return nil, werr
+					}
+				}
+				off += Word(g.Size)
+			}
+			_ = seg
+			base += Word(size) + machine.LibStride
+		}
+	}
+	st, err := it.Mem.Map(machine.StackTop-machine.DefaultStackSize, machine.DefaultStackSize, "interp-stack")
+	if err != nil {
+		return nil, err
+	}
+	it.stack = st
+	it.allocs = machine.StackTop - machine.DefaultStackSize
+	return it, nil
+}
+
+// RunMain executes main with the given step limit (0 = 1<<32).
+func (it *Interp) RunMain(limit uint64) (int64, error) {
+	if limit == 0 {
+		limit = 1 << 32
+	}
+	it.limit = limit
+	f, ok := it.funcs["main"]
+	if !ok {
+		return 0, fmt.Errorf("interp: no main")
+	}
+	v, err := it.call(f, nil)
+	return int64(v), err
+}
+
+// Steps reports executed IR instructions.
+func (it *Interp) Steps() uint64 { return it.steps }
+
+type exitError struct{ code Word }
+
+func (e exitError) Error() string { return fmt.Sprintf("exit(%d)", e.code) }
+
+func (it *Interp) call(f *ir.Func, args []Word) (Word, error) {
+	vals := map[ir.Value]Word{}
+	for i, p := range f.Params {
+		vals[p] = args[i]
+	}
+	blk := f.Entry()
+	var prev *ir.Block
+	for {
+		// Evaluate phis as a parallel assignment.
+		var phiVals []Word
+		var phis []*ir.Instr
+		for _, in := range blk.Instrs {
+			if in.Op != ir.OpPhi {
+				break
+			}
+			found := false
+			for k, pb := range in.Blocks {
+				if pb == prev {
+					v, err := it.eval(vals, in.Ops[k])
+					if err != nil {
+						return 0, err
+					}
+					phiVals = append(phiVals, v)
+					phis = append(phis, in)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return 0, fmt.Errorf("interp: %s: phi %%%s has no incoming from %v", f.Name, in.Name, prevName(prev))
+			}
+		}
+		for i, p := range phis {
+			vals[p] = phiVals[i]
+			it.steps++
+		}
+		for _, in := range blk.Instrs[len(phis):] {
+			it.steps++
+			if it.steps > it.limit {
+				return 0, ErrLimit
+			}
+			switch in.Op {
+			case ir.OpBr:
+				prev, blk = blk, in.Blocks[0]
+			case ir.OpCondBr:
+				c, err := it.eval(vals, in.Ops[0])
+				if err != nil {
+					return 0, err
+				}
+				if c != 0 {
+					prev, blk = blk, in.Blocks[0]
+				} else {
+					prev, blk = blk, in.Blocks[1]
+				}
+			case ir.OpRet:
+				if len(in.Ops) == 1 {
+					return it.eval(vals, in.Ops[0])
+				}
+				return 0, nil
+			default:
+				v, err := it.exec(vals, in)
+				if err != nil {
+					return 0, err
+				}
+				if in.Typ != ir.Void {
+					vals[in] = v
+				}
+				continue
+			}
+			break // branched
+		}
+	}
+}
+
+func prevName(b *ir.Block) string {
+	if b == nil {
+		return "<entry>"
+	}
+	return b.Name
+}
+
+func (it *Interp) eval(vals map[ir.Value]Word, v ir.Value) (Word, error) {
+	switch x := v.(type) {
+	case *ir.Const:
+		if x.Typ == ir.F64 {
+			return math.Float64bits(x.F), nil
+		}
+		return Word(x.I), nil
+	case *ir.Global:
+		a, ok := it.globals[x.Name]
+		if !ok {
+			return 0, fmt.Errorf("interp: unresolved global %s", x.Name)
+		}
+		return a, nil
+	default:
+		w, ok := vals[v]
+		if !ok {
+			return 0, fmt.Errorf("interp: use of undefined value %s", v.Ref())
+		}
+		return w, nil
+	}
+}
+
+func (it *Interp) exec(vals map[ir.Value]Word, in *ir.Instr) (Word, error) {
+	get := func(i int) (Word, error) { return it.eval(vals, in.Ops[i]) }
+	geti := func(i int) (int64, error) { w, err := get(i); return int64(w), err }
+	getf := func(i int) (float64, error) { w, err := get(i); return math.Float64frombits(w), err }
+
+	switch {
+	case in.Op.IsIntBinary() || in.Op.IsICmp():
+		a, err := geti(0)
+		if err != nil {
+			return 0, err
+		}
+		b, err := geti(1)
+		if err != nil {
+			return 0, err
+		}
+		switch in.Op {
+		case ir.OpAdd:
+			return Word(a + b), nil
+		case ir.OpSub:
+			return Word(a - b), nil
+		case ir.OpMul:
+			return Word(a * b), nil
+		case ir.OpSDiv:
+			if b == 0 || (a == math.MinInt64 && b == -1) {
+				return 0, &machine.Fault{Sig: machine.SigFPE}
+			}
+			return Word(a / b), nil
+		case ir.OpSRem:
+			if b == 0 || (a == math.MinInt64 && b == -1) {
+				return 0, &machine.Fault{Sig: machine.SigFPE}
+			}
+			return Word(a % b), nil
+		case ir.OpAnd:
+			return Word(a & b), nil
+		case ir.OpOr:
+			return Word(a | b), nil
+		case ir.OpXor:
+			return Word(a ^ b), nil
+		case ir.OpShl:
+			return Word(a << (uint64(b) & 63)), nil
+		case ir.OpAShr:
+			return Word(a >> (uint64(b) & 63)), nil
+		case ir.OpICmpEQ:
+			return bw(a == b), nil
+		case ir.OpICmpNE:
+			return bw(a != b), nil
+		case ir.OpICmpSLT:
+			return bw(a < b), nil
+		case ir.OpICmpSLE:
+			return bw(a <= b), nil
+		case ir.OpICmpSGT:
+			return bw(a > b), nil
+		case ir.OpICmpSGE:
+			return bw(a >= b), nil
+		}
+	case in.Op.IsFloatBinary() || in.Op.IsFCmp():
+		a, err := getf(0)
+		if err != nil {
+			return 0, err
+		}
+		b, err := getf(1)
+		if err != nil {
+			return 0, err
+		}
+		switch in.Op {
+		case ir.OpFAdd:
+			return math.Float64bits(a + b), nil
+		case ir.OpFSub:
+			return math.Float64bits(a - b), nil
+		case ir.OpFMul:
+			return math.Float64bits(a * b), nil
+		case ir.OpFDiv:
+			return math.Float64bits(a / b), nil
+		case ir.OpFCmpOEQ:
+			return bw(a == b), nil
+		case ir.OpFCmpONE:
+			return bw(a != b), nil
+		case ir.OpFCmpOLT:
+			return bw(a < b), nil
+		case ir.OpFCmpOLE:
+			return bw(a <= b), nil
+		case ir.OpFCmpOGT:
+			return bw(a > b), nil
+		case ir.OpFCmpOGE:
+			return bw(a >= b), nil
+		}
+	}
+
+	switch in.Op {
+	case ir.OpIToF:
+		a, err := geti(0)
+		if err != nil {
+			return 0, err
+		}
+		return math.Float64bits(float64(a)), nil
+	case ir.OpFToI:
+		a, err := getf(0)
+		if err != nil {
+			return 0, err
+		}
+		return Word(int64(a)), nil
+	case ir.OpAlloca:
+		a := it.allocs
+		it.allocs += Word(in.Size)
+		if it.allocs > machine.StackTop {
+			return 0, fmt.Errorf("interp: alloca overflow")
+		}
+		return a, nil
+	case ir.OpGEP:
+		base, err := get(0)
+		if err != nil {
+			return 0, err
+		}
+		idx, err := geti(1)
+		if err != nil {
+			return 0, err
+		}
+		return base + Word(idx*in.Size), nil
+	case ir.OpLoad:
+		a, err := get(0)
+		if err != nil {
+			return 0, err
+		}
+		w, f := it.Mem.Read(a)
+		if f != nil {
+			return 0, f
+		}
+		return w, nil
+	case ir.OpStore:
+		v, err := get(0)
+		if err != nil {
+			return 0, err
+		}
+		a, err := get(1)
+		if err != nil {
+			return 0, err
+		}
+		if f := it.Mem.Write(a, v); f != nil {
+			return 0, f
+		}
+		return 0, nil
+	case ir.OpCall:
+		args := make([]Word, len(in.Ops))
+		for i := range in.Ops {
+			w, err := get(i)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = w
+		}
+		if in.Callee != nil {
+			callee := in.Callee
+			if len(callee.Blocks) == 0 {
+				def, ok := it.funcs[callee.Name]
+				if !ok {
+					return 0, fmt.Errorf("interp: unresolved function %s", callee.Name)
+				}
+				callee = def
+			}
+			return it.call(callee, args)
+		}
+		res, st, err := it.Env.Call(in.Host, args, it.Mem.HostContext())
+		if err != nil {
+			return 0, err
+		}
+		if st == hostenv.Exit {
+			return 0, exitError{res}
+		}
+		return res, nil
+	}
+	return 0, fmt.Errorf("interp: cannot execute %s", in.Op)
+}
+
+func bw(b bool) Word {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Run is a convenience wrapper: interpret main of the modules and return
+// the result stream.
+func Run(limit uint64, mods ...*ir.Module) ([]float64, error) {
+	env := hostenv.NewEnv()
+	it, err := New(env, mods...)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := it.RunMain(limit); err != nil {
+		if _, isExit := err.(exitError); !isExit {
+			return nil, err
+		}
+	}
+	return env.Results, nil
+}

@@ -1,0 +1,165 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"care/internal/ir"
+	"care/internal/irbuild"
+	"care/internal/machine"
+)
+
+func TestRunSimpleProgram(t *testing.T) {
+	m := ir.NewModule("t")
+	fb := irbuild.New(ir.NewBuilder(m))
+	fb.NewFunc("main", ir.I64)
+	out := fb.For(irbuild.I(0), irbuild.I(5), 1, []ir.Value{irbuild.F(0)},
+		func(i ir.Value, c []ir.Value) []ir.Value {
+			return []ir.Value{fb.FAdd(c[0], fb.IToF(i))}
+		})
+	fb.Result(out[0])
+	fb.Ret(irbuild.I(0))
+	res, err := Run(0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] != 10 {
+		t.Fatalf("res %v", res)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", ir.I64)
+	loop := b.NewBlock("loop")
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.Br(loop) // infinite
+	env := newEnvT(t, m)
+	_, err := env.RunMain(10_000)
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("err = %v, want ErrLimit", err)
+	}
+}
+
+func newEnvT(t *testing.T, mods ...*ir.Module) *Interp {
+	t.Helper()
+	it, err := New(nil, mods...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return it
+}
+
+func TestMemoryFaultSurfaces(t *testing.T) {
+	m := ir.NewModule("t")
+	fb := irbuild.New(ir.NewBuilder(m))
+	fb.NewFunc("main", ir.I64)
+	bad := fb.Add(irbuild.I(0x123450000), irbuild.I(8))
+	// Forge a pointer via arithmetic: load must fault.
+	gep := fb.GEP(fb.HostCall("malloc", ir.Ptr, irbuild.I(8)), bad, 8)
+	fb.Result(fb.Load(ir.F64, gep))
+	fb.Ret(irbuild.I(0))
+	it := newEnvT(t, m)
+	_, err := it.RunMain(0)
+	var f *machine.Fault
+	if !errors.As(err, &f) || f.Sig != machine.SigSEGV {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDivideByZeroFault(t *testing.T) {
+	m := ir.NewModule("t")
+	fb := irbuild.New(ir.NewBuilder(m))
+	fb.NewFunc("main", ir.I64)
+	z := fb.Sub(irbuild.I(5), irbuild.I(5))
+	fb.Result(fb.SDiv(irbuild.I(10), z))
+	fb.Ret(irbuild.I(0))
+	it := newEnvT(t, m)
+	_, err := it.RunMain(0)
+	var f *machine.Fault
+	if !errors.As(err, &f) || f.Sig != machine.SigFPE {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCrossModuleLinking(t *testing.T) {
+	lib := ir.NewModule("lib")
+	fbl := irbuild.New(ir.NewBuilder(lib))
+	dbl := fbl.NewFunc("dbl", ir.I64, ir.Param("x", ir.I64))
+	fbl.Ret(fbl.Mul(dbl.Params[0], irbuild.I(2)))
+
+	app := ir.NewModule("app")
+	decl := &ir.Func{Name: "dbl", RetType: ir.I64, Module: app}
+	decl.Params = []*ir.Arg{ir.Param("x", ir.I64)}
+	decl.Params[0].Fn = decl
+	app.Funcs = append(app.Funcs, decl)
+	fba := irbuild.New(ir.NewBuilder(app))
+	fba.NewFunc("main", ir.I64)
+	fba.Result(fba.Call(decl, irbuild.I(21)))
+	fba.Ret(irbuild.I(0))
+
+	res, err := Run(0, app, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 42 {
+		t.Fatalf("cross-module call = %v", res[0])
+	}
+}
+
+func TestGlobalInitialisation(t *testing.T) {
+	m := ir.NewModule("t")
+	gi := m.AddGlobal(&ir.Global{Name: "gi", Size: 3 * 8, InitI64: []int64{5, 6, 7}})
+	gf := m.AddGlobal(&ir.Global{Name: "gf", Size: 2 * 8, InitF64: []float64{1.5, -2.5}})
+	fb := irbuild.New(ir.NewBuilder(m))
+	fb.NewFunc("main", ir.I64)
+	fb.Result(fb.LoadAt(ir.I64, gi, irbuild.I(2)))
+	fb.Result(fb.LoadAt(ir.F64, gf, irbuild.I(1)))
+	fb.Ret(irbuild.I(0))
+	res, err := Run(0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 7 || res[1] != -2.5 {
+		t.Fatalf("globals %v", res)
+	}
+}
+
+func TestAllocaIsPerCallScratch(t *testing.T) {
+	m := ir.NewModule("t")
+	fb := irbuild.New(ir.NewBuilder(m))
+	b := fb.Builder
+	f := b.NewFunc("bump", ir.I64)
+	cell := fb.Alloca(8)
+	fb.Store(irbuild.I(9), cell)
+	fb.Ret(fb.Load(ir.I64, cell))
+
+	fb.NewFunc("main", ir.I64)
+	fb.Result(fb.Call(f))
+	fb.Result(fb.Call(f))
+	fb.Ret(irbuild.I(0))
+	res, err := Run(0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 9 || res[1] != 9 {
+		t.Fatalf("alloca results %v", res)
+	}
+}
+
+func TestStepsCounted(t *testing.T) {
+	m := ir.NewModule("t")
+	fb := irbuild.New(ir.NewBuilder(m))
+	fb.NewFunc("main", ir.I64)
+	fb.Result(irbuild.F(1))
+	fb.Ret(irbuild.I(0))
+	it := newEnvT(t, m)
+	if _, err := it.RunMain(0); err != nil {
+		t.Fatal(err)
+	}
+	if it.Steps() == 0 {
+		t.Fatal("no steps counted")
+	}
+}

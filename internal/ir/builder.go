@@ -1,0 +1,238 @@
+package ir
+
+import "fmt"
+
+// Builder constructs functions instruction by instruction, assigning SSA
+// names and debug locations automatically. A fresh "source line" is
+// started with NewLine; all instructions emitted on the same line get
+// increasing column numbers, mirroring how clang emits several IR
+// instructions per source statement.
+type Builder struct {
+	Mod *Module
+	Fn  *Func
+	Blk *Block
+
+	line int32
+	col  int32
+}
+
+// NewBuilder returns a builder appending to the given module.
+func NewBuilder(m *Module) *Builder { return &Builder{Mod: m} }
+
+// NewFunc starts a new function and positions the builder at a fresh
+// entry block. The file component of debug locations is the function
+// name prefixed with the module name, which makes (file,line,col) keys
+// unique per function by construction.
+func (b *Builder) NewFunc(name string, ret Type, params ...*Arg) *Func {
+	f := &Func{
+		Name:    name,
+		File:    b.Mod.Name + "/" + name,
+		RetType: ret,
+		Module:  b.Mod,
+	}
+	for i, p := range params {
+		p.Index = i
+		p.Fn = f
+		if p.Name == "" {
+			p.Name = fmt.Sprintf("arg%d", i)
+		}
+	}
+	f.Params = params
+	b.Mod.Funcs = append(b.Mod.Funcs, f)
+	b.Fn = f
+	b.line = 0
+	b.col = 0
+	entry := b.NewBlock("entry")
+	b.SetBlock(entry)
+	return f
+}
+
+// Param is a convenience constructor for function parameters.
+func Param(name string, t Type) *Arg { return &Arg{Name: name, Typ: t} }
+
+// NewBlock appends a new block to the current function without changing
+// the insertion point.
+func (b *Builder) NewBlock(name string) *Block {
+	blk := &Block{Name: fmt.Sprintf("%s%d", name, len(b.Fn.Blocks)), Fn: b.Fn}
+	b.Fn.Blocks = append(b.Fn.Blocks, blk)
+	return blk
+}
+
+// SetBlock moves the insertion point to the end of blk.
+func (b *Builder) SetBlock(blk *Block) { b.Blk = blk }
+
+// NewLine starts a new debug source line; subsequent instructions share
+// the line with increasing columns.
+func (b *Builder) NewLine() {
+	b.line++
+	b.col = 0
+}
+
+func (b *Builder) nextLoc() Loc {
+	if b.line == 0 {
+		b.line = 1
+	}
+	b.col++
+	return Loc{Line: b.line, Col: b.col}
+}
+
+func (b *Builder) emit(in *Instr) *Instr {
+	if b.Blk == nil {
+		panic("ir: builder has no current block")
+	}
+	if t := b.Blk.Terminator(); t != nil {
+		panic(fmt.Sprintf("ir: emitting %s after terminator in %s/%s", in.Op, b.Fn.Name, b.Blk.Name))
+	}
+	if in.Typ != Void && in.Name == "" {
+		in.Name = fmt.Sprintf("v%d", b.Fn.nameSeq)
+		b.Fn.nameSeq++
+	}
+	in.Parent = b.Blk
+	in.Loc = b.nextLoc()
+	b.Blk.Instrs = append(b.Blk.Instrs, in)
+	return in
+}
+
+func (b *Builder) binary(op Op, t Type, x, y Value) *Instr {
+	return b.emit(&Instr{Op: op, Typ: t, Ops: []Value{x, y}})
+}
+
+// Add emits x+y.
+func (b *Builder) Add(x, y Value) *Instr { return b.binary(OpAdd, x.Type(), x, y) }
+
+// Sub emits x-y.
+func (b *Builder) Sub(x, y Value) *Instr { return b.binary(OpSub, x.Type(), x, y) }
+
+// Mul emits x*y.
+func (b *Builder) Mul(x, y Value) *Instr { return b.binary(OpMul, I64, x, y) }
+
+// SDiv emits x/y (signed; traps on division by zero at run time).
+func (b *Builder) SDiv(x, y Value) *Instr { return b.binary(OpSDiv, I64, x, y) }
+
+// SRem emits x%y (signed).
+func (b *Builder) SRem(x, y Value) *Instr { return b.binary(OpSRem, I64, x, y) }
+
+// And emits x&y.
+func (b *Builder) And(x, y Value) *Instr { return b.binary(OpAnd, I64, x, y) }
+
+// Or emits x|y.
+func (b *Builder) Or(x, y Value) *Instr { return b.binary(OpOr, I64, x, y) }
+
+// Xor emits x^y.
+func (b *Builder) Xor(x, y Value) *Instr { return b.binary(OpXor, I64, x, y) }
+
+// Shl emits x<<y.
+func (b *Builder) Shl(x, y Value) *Instr { return b.binary(OpShl, I64, x, y) }
+
+// AShr emits x>>y (arithmetic).
+func (b *Builder) AShr(x, y Value) *Instr { return b.binary(OpAShr, I64, x, y) }
+
+// FAdd emits x+y for floats.
+func (b *Builder) FAdd(x, y Value) *Instr { return b.binary(OpFAdd, F64, x, y) }
+
+// FSub emits x-y for floats.
+func (b *Builder) FSub(x, y Value) *Instr { return b.binary(OpFSub, F64, x, y) }
+
+// FMul emits x*y for floats.
+func (b *Builder) FMul(x, y Value) *Instr { return b.binary(OpFMul, F64, x, y) }
+
+// FDiv emits x/y for floats.
+func (b *Builder) FDiv(x, y Value) *Instr { return b.binary(OpFDiv, F64, x, y) }
+
+// ICmp emits an integer comparison with the given predicate opcode.
+func (b *Builder) ICmp(op Op, x, y Value) *Instr {
+	if !op.IsICmp() {
+		panic("ir: ICmp with non-icmp op " + op.String())
+	}
+	return b.binary(op, I64, x, y)
+}
+
+// FCmp emits a float comparison with the given predicate opcode.
+func (b *Builder) FCmp(op Op, x, y Value) *Instr {
+	if !op.IsFCmp() {
+		panic("ir: FCmp with non-fcmp op " + op.String())
+	}
+	return b.binary(op, I64, x, y)
+}
+
+// IToF emits an int-to-float conversion.
+func (b *Builder) IToF(x Value) *Instr {
+	return b.emit(&Instr{Op: OpIToF, Typ: F64, Ops: []Value{x}})
+}
+
+// FToI emits a float-to-int (truncating) conversion.
+func (b *Builder) FToI(x Value) *Instr {
+	return b.emit(&Instr{Op: OpFToI, Typ: I64, Ops: []Value{x}})
+}
+
+// Alloca reserves size bytes of the frame and yields their address.
+func (b *Builder) Alloca(size int64) *Instr {
+	if size <= 0 || size%8 != 0 {
+		panic("ir: alloca size must be a positive multiple of 8")
+	}
+	return b.emit(&Instr{Op: OpAlloca, Typ: Ptr, Size: size})
+}
+
+// GEP emits base + index*elemSize.
+func (b *Builder) GEP(base Value, index Value, elemSize int64) *Instr {
+	if elemSize <= 0 {
+		panic("ir: gep element size must be positive")
+	}
+	return b.emit(&Instr{Op: OpGEP, Typ: Ptr, Ops: []Value{base, index}, Size: elemSize})
+}
+
+// Load emits a typed load from ptr.
+func (b *Builder) Load(t Type, ptr Value) *Instr {
+	if t != I64 && t != F64 && t != Ptr {
+		panic("ir: load of non-scalar type")
+	}
+	return b.emit(&Instr{Op: OpLoad, Typ: t, Ops: []Value{ptr}})
+}
+
+// Store emits a store of val to ptr.
+func (b *Builder) Store(val, ptr Value) *Instr {
+	return b.emit(&Instr{Op: OpStore, Typ: Void, Ops: []Value{val, ptr}})
+}
+
+// Phi emits an (initially empty) phi node; add incomings with AddIncoming.
+func (b *Builder) Phi(t Type) *Instr {
+	return b.emit(&Instr{Op: OpPhi, Typ: t})
+}
+
+// AddIncoming appends an incoming (value, predecessor) pair to a phi.
+func AddIncoming(phi *Instr, v Value, from *Block) {
+	if phi.Op != OpPhi {
+		panic("ir: AddIncoming on non-phi")
+	}
+	phi.Ops = append(phi.Ops, v)
+	phi.Blocks = append(phi.Blocks, from)
+}
+
+// Br emits an unconditional branch.
+func (b *Builder) Br(dst *Block) *Instr {
+	return b.emit(&Instr{Op: OpBr, Typ: Void, Blocks: []*Block{dst}})
+}
+
+// CondBr emits a conditional branch (nonzero cond takes ifTrue).
+func (b *Builder) CondBr(cond Value, ifTrue, ifFalse *Block) *Instr {
+	return b.emit(&Instr{Op: OpCondBr, Typ: Void, Ops: []Value{cond}, Blocks: []*Block{ifTrue, ifFalse}})
+}
+
+// Ret emits a return; v may be nil for void functions.
+func (b *Builder) Ret(v Value) *Instr {
+	in := &Instr{Op: OpRet, Typ: Void}
+	if v != nil {
+		in.Ops = []Value{v}
+	}
+	return b.emit(in)
+}
+
+// Call emits a direct call to callee.
+func (b *Builder) Call(callee *Func, args ...Value) *Instr {
+	return b.emit(&Instr{Op: OpCall, Typ: callee.RetType, Callee: callee, Ops: args})
+}
+
+// HostCall emits a call to a host (simulated OS / runtime) function.
+func (b *Builder) HostCall(name string, ret Type, args ...Value) *Instr {
+	return b.emit(&Instr{Op: OpCall, Typ: ret, Host: name, Ops: args})
+}

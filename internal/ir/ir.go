@@ -1,0 +1,417 @@
+// Package ir implements a miniature SSA intermediate representation in
+// the spirit of LLVM IR. It is the substrate on which the CARE front end
+// (Armor) operates: programs are built with a Builder, analysed with the
+// liveness and dominator analyses in this package, lowered to machine
+// code by internal/compiler, and mined for recovery kernels by
+// internal/armor.
+//
+// The IR is deliberately small: two scalar types (I64, F64) plus
+// pointers, explicit Load/Store memory access, a single-index GEP for
+// address arithmetic, phi nodes, and calls that are either direct
+// (to another function in some module) or "host" calls into the
+// simulated operating environment (I/O, malloc, MPI, abort, math).
+package ir
+
+import "fmt"
+
+// Type is the type of an IR value.
+type Type uint8
+
+const (
+	// Void is the type of instructions that produce no value.
+	Void Type = iota
+	// I64 is a 64-bit signed integer.
+	I64
+	// F64 is a 64-bit IEEE-754 float.
+	F64
+	// Ptr is a 64-bit pointer (an address in the simulated machine).
+	Ptr
+)
+
+// String returns the LLVM-flavoured spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case I64:
+		return "i64"
+	case F64:
+		return "f64"
+	case Ptr:
+		return "ptr"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+const (
+	// OpInvalid is the zero Op; it never appears in a verified module.
+	OpInvalid Op = iota
+
+	// Integer binary arithmetic. Operands and result are I64
+	// (or Ptr for pointer arithmetic produced by lowering).
+	OpAdd
+	OpSub
+	OpMul
+	OpSDiv
+	OpSRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpAShr
+
+	// Float binary arithmetic. Operands and result are F64.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+
+	// Comparisons produce an I64 that is 0 or 1.
+	OpICmpEQ
+	OpICmpNE
+	OpICmpSLT
+	OpICmpSLE
+	OpICmpSGT
+	OpICmpSGE
+	OpFCmpOEQ
+	OpFCmpONE
+	OpFCmpOLT
+	OpFCmpOLE
+	OpFCmpOGT
+	OpFCmpOGE
+
+	// Conversions.
+	OpIToF // I64 -> F64
+	OpFToI // F64 -> I64 (truncating)
+
+	// Memory.
+	OpAlloca // reserve Size bytes of stack; result Ptr
+	OpGEP    // Ops[0]=base Ptr, Ops[1]=index I64; result = base + index*Size
+	OpLoad   // Ops[0]=Ptr; result I64 or F64 according to Typ
+	OpStore  // Ops[0]=value, Ops[1]=Ptr; no result
+
+	// Control flow.
+	OpPhi    // Ops[i] incoming from Blocks[i]
+	OpBr     // unconditional branch to Blocks[0]
+	OpCondBr // Ops[0]=cond (I64, nonzero=true); Blocks[0]=true, Blocks[1]=false
+	OpRet    // optional Ops[0] return value
+	OpCall   // direct or host call; Ops = arguments
+
+	opMax
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpAdd:     "add", OpSub: "sub", OpMul: "mul", OpSDiv: "sdiv", OpSRem: "srem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpAShr: "ashr",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpICmpEQ: "icmp eq", OpICmpNE: "icmp ne", OpICmpSLT: "icmp slt",
+	OpICmpSLE: "icmp sle", OpICmpSGT: "icmp sgt", OpICmpSGE: "icmp sge",
+	OpFCmpOEQ: "fcmp oeq", OpFCmpONE: "fcmp one", OpFCmpOLT: "fcmp olt",
+	OpFCmpOLE: "fcmp ole", OpFCmpOGT: "fcmp ogt", OpFCmpOGE: "fcmp oge",
+	OpIToF: "itof", OpFToI: "ftoi",
+	OpAlloca: "alloca", OpGEP: "gep", OpLoad: "load", OpStore: "store",
+	OpPhi: "phi", OpBr: "br", OpCondBr: "condbr", OpRet: "ret", OpCall: "call",
+}
+
+// String returns the mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsIntBinary reports whether the opcode is an integer binary operation.
+func (o Op) IsIntBinary() bool { return o >= OpAdd && o <= OpAShr }
+
+// IsFloatBinary reports whether the opcode is a float binary operation.
+func (o Op) IsFloatBinary() bool { return o >= OpFAdd && o <= OpFDiv }
+
+// IsICmp reports whether the opcode is an integer comparison.
+func (o Op) IsICmp() bool { return o >= OpICmpEQ && o <= OpICmpSGE }
+
+// IsFCmp reports whether the opcode is a float comparison.
+func (o Op) IsFCmp() bool { return o >= OpFCmpOEQ && o <= OpFCmpOGE }
+
+// IsBinary reports whether the opcode is any two-operand computation
+// (arithmetic or comparison). GEP is address arithmetic but is counted
+// separately by the address-computation census.
+func (o Op) IsBinary() bool {
+	return o.IsIntBinary() || o.IsFloatBinary() || o.IsICmp() || o.IsFCmp()
+}
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (o Op) IsTerminator() bool { return o == OpBr || o == OpCondBr || o == OpRet }
+
+// Loc is a source location: the (line, column) half of the
+// (file, line, column) debug key used by CARE. The file component lives
+// on the enclosing function. A zero Loc means "no location".
+type Loc struct {
+	Line int32
+	Col  int32
+}
+
+// IsZero reports whether the location is unset.
+func (l Loc) IsZero() bool { return l.Line == 0 && l.Col == 0 }
+
+func (l Loc) String() string { return fmt.Sprintf("%d:%d", l.Line, l.Col) }
+
+// Value is anything that can appear as an instruction operand: constants,
+// globals, function arguments and instructions that produce a result.
+type Value interface {
+	// Type returns the type of the value.
+	Type() Type
+	// Ref returns the short printed reference of the value
+	// (e.g. "%v3", "@grid", "42").
+	Ref() string
+}
+
+// Const is a compile-time constant of type I64, F64 or Ptr.
+type Const struct {
+	Typ Type
+	I   int64   // value when Typ is I64 or Ptr
+	F   float64 // value when Typ is F64
+}
+
+// ConstInt returns an I64 constant.
+func ConstInt(v int64) *Const { return &Const{Typ: I64, I: v} }
+
+// ConstFloat returns an F64 constant.
+func ConstFloat(v float64) *Const { return &Const{Typ: F64, F: v} }
+
+// Type implements Value.
+func (c *Const) Type() Type { return c.Typ }
+
+// Ref implements Value.
+func (c *Const) Ref() string {
+	if c.Typ == F64 {
+		return fmt.Sprintf("%g", c.F)
+	}
+	return fmt.Sprintf("%d", c.I)
+}
+
+// Global is a module-level array of Size bytes, optionally initialised.
+// Its address is assigned at load time; the compiler emits a relocation.
+type Global struct {
+	Name string
+	Size int64 // in bytes; must be a multiple of 8
+	// InitI64/InitF64 optionally provide initial words (at most one set).
+	InitI64 []int64
+	InitF64 []float64
+	// Extern marks a global that is resolved against another image at
+	// load time (used by recovery-kernel libraries that reference the
+	// application's globals).
+	Extern bool
+}
+
+// Type implements Value; a global evaluates to its address.
+func (g *Global) Type() Type { return Ptr }
+
+// Ref implements Value.
+func (g *Global) Ref() string { return "@" + g.Name }
+
+// Arg is a formal parameter of a function.
+type Arg struct {
+	Name  string
+	Typ   Type
+	Index int
+	Fn    *Func
+}
+
+// Type implements Value.
+func (a *Arg) Type() Type { return a.Typ }
+
+// Ref implements Value.
+func (a *Arg) Ref() string { return "%" + a.Name }
+
+// Instr is a single IR instruction. Instructions that produce a value
+// (Typ != Void) implement Value and are referenced by name.
+type Instr struct {
+	Op     Op
+	Typ    Type    // result type; Void when no result
+	Ops    []Value // operands
+	Blocks []*Block
+	// Size is the element size for OpGEP and the byte size for OpAlloca.
+	Size int64
+	// Callee is the target of a direct OpCall within the same module.
+	Callee *Func
+	// Host is the name of a host function for OpCall when Callee is nil.
+	Host string
+	// Name is the SSA name, unique within the function.
+	Name string
+	// Parent is the containing block.
+	Parent *Block
+	// Loc is the debug location (line, column); the file is
+	// Parent.Fn.File.
+	Loc Loc
+	// ID is a dense per-function index assigned by Func.Renumber.
+	ID int
+}
+
+// Type implements Value.
+func (i *Instr) Type() Type { return i.Typ }
+
+// Ref implements Value.
+func (i *Instr) Ref() string { return "%" + i.Name }
+
+// Func returns the function containing the instruction, or nil if the
+// instruction is detached.
+func (i *Instr) Func() *Func {
+	if i.Parent == nil {
+		return nil
+	}
+	return i.Parent.Fn
+}
+
+// IsMemAccess reports whether the instruction is a Load or Store, i.e.
+// one of the crash-prone instructions CARE protects.
+func (i *Instr) IsMemAccess() bool { return i.Op == OpLoad || i.Op == OpStore }
+
+// PointerOperand returns the address operand of a Load or Store and true,
+// or nil and false for other instructions.
+func (i *Instr) PointerOperand() (Value, bool) {
+	switch i.Op {
+	case OpLoad:
+		return i.Ops[0], true
+	case OpStore:
+		return i.Ops[1], true
+	}
+	return nil, false
+}
+
+// Block is a basic block: a straight-line instruction sequence ending in
+// a terminator.
+type Block struct {
+	Name   string
+	Fn     *Func
+	Instrs []*Instr
+	// Index is the position of the block within Fn.Blocks.
+	Index int
+}
+
+// Terminator returns the final instruction of the block, or nil if the
+// block is empty or unterminated.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t := b.Instrs[len(b.Instrs)-1]
+	if !t.Op.IsTerminator() {
+		return nil
+	}
+	return t
+}
+
+// Succs returns the successor blocks.
+func (b *Block) Succs() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	return t.Blocks
+}
+
+// Func is a function: a parameter list and a list of basic blocks, the
+// first of which is the entry block.
+type Func struct {
+	Name    string
+	File    string // debug "file" component of the CARE key
+	Params  []*Arg
+	RetType Type
+	Blocks  []*Block
+	Module  *Module
+	// Kernel marks functions generated by Armor as recovery kernels.
+	Kernel bool
+	// nameSeq is the running counter for automatic SSA names.
+	nameSeq int
+}
+
+// Entry returns the entry block, or nil for a declaration.
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// NumInstrs returns the total instruction count across all blocks.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Renumber assigns dense instruction IDs and block indices in layout
+// order. Analyses (liveness, dominators) require a renumbered function.
+func (f *Func) Renumber() {
+	id := 0
+	for bi, b := range f.Blocks {
+		b.Index = bi
+		b.Fn = f
+		for _, in := range b.Instrs {
+			in.ID = id
+			in.Parent = b
+			id++
+		}
+	}
+}
+
+// Preds returns the predecessor map of the function's CFG.
+func (f *Func) Preds() map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// Module is a translation unit: functions plus globals.
+type Module struct {
+	Name    string
+	Funcs   []*Func
+	Globals []*Global
+}
+
+// Func returns the function with the given name, or nil.
+func (m *Module) Func(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global returns the global with the given name, or nil.
+func (m *Module) Global(name string) *Global {
+	for _, g := range m.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// AddGlobal appends a global, panicking on duplicate names (a programming
+// error in workload builders).
+func (m *Module) AddGlobal(g *Global) *Global {
+	if m.Global(g.Name) != nil {
+		panic("ir: duplicate global " + g.Name)
+	}
+	if g.Size%8 != 0 {
+		panic("ir: global size not a multiple of 8: " + g.Name)
+	}
+	m.Globals = append(m.Globals, g)
+	return g
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module { return &Module{Name: name} }

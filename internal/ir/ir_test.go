@@ -1,0 +1,176 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[Type]string{Void: "void", I64: "i64", F64: "f64", Ptr: "ptr"}
+	for ty, want := range cases {
+		if ty.String() != want {
+			t.Errorf("%d.String() = %q, want %q", ty, ty.String(), want)
+		}
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	if !OpAdd.IsIntBinary() || OpAdd.IsFloatBinary() {
+		t.Error("OpAdd misclassified")
+	}
+	if !OpFMul.IsFloatBinary() || OpFMul.IsIntBinary() {
+		t.Error("OpFMul misclassified")
+	}
+	if !OpICmpSLT.IsICmp() || !OpICmpSLT.IsBinary() {
+		t.Error("OpICmpSLT misclassified")
+	}
+	if !OpFCmpOGE.IsFCmp() {
+		t.Error("OpFCmpOGE misclassified")
+	}
+	for _, op := range []Op{OpBr, OpCondBr, OpRet} {
+		if !op.IsTerminator() {
+			t.Errorf("%s not a terminator", op)
+		}
+	}
+	for _, op := range []Op{OpAdd, OpLoad, OpStore, OpPhi, OpCall} {
+		if op.IsTerminator() {
+			t.Errorf("%s wrongly a terminator", op)
+		}
+	}
+	// Every op must have a distinct printable name.
+	seen := map[string]Op{}
+	for op := OpAdd; op < opMax; op++ {
+		s := op.String()
+		if strings.HasPrefix(s, "op(") {
+			t.Errorf("op %d has no name", op)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("ops %d and %d share name %q", prev, op, s)
+		}
+		seen[s] = op
+	}
+}
+
+func TestConstRefs(t *testing.T) {
+	if ConstInt(-7).Ref() != "-7" {
+		t.Errorf("ConstInt ref: %s", ConstInt(-7).Ref())
+	}
+	if ConstFloat(2.5).Ref() != "2.5" {
+		t.Errorf("ConstFloat ref: %s", ConstFloat(2.5).Ref())
+	}
+	if ConstInt(1).Type() != I64 || ConstFloat(1).Type() != F64 {
+		t.Error("const types wrong")
+	}
+}
+
+func TestBuilderAutoNamesAndLocs(t *testing.T) {
+	m := NewModule("t")
+	b := NewBuilder(m)
+	b.NewFunc("f", I64, Param("x", I64))
+	v1 := b.Add(m.Funcs[0].Params[0], ConstInt(1))
+	b.NewLine()
+	v2 := b.Mul(v1, v1)
+	b.Ret(v2)
+	if v1.Name == "" || v2.Name == "" || v1.Name == v2.Name {
+		t.Fatalf("bad auto names %q %q", v1.Name, v2.Name)
+	}
+	if v1.Loc.Line != 1 || v2.Loc.Line != 2 {
+		t.Fatalf("locs: %v %v", v1.Loc, v2.Loc)
+	}
+	if err := VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniqueLocsWithinFunction(t *testing.T) {
+	m := NewModule("t")
+	b := NewBuilder(m)
+	f := b.NewFunc("f", Void)
+	g := m.AddGlobal(&Global{Name: "g", Size: 64})
+	for i := 0; i < 10; i++ {
+		b.Store(ConstFloat(float64(i)), b.GEP(g, ConstInt(int64(i)), 8))
+	}
+	b.Ret(nil)
+	seen := map[Loc]string{}
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if prev, dup := seen[in.Loc]; dup {
+				t.Fatalf("duplicate loc %v for %q and %q", in.Loc, prev, in.String())
+			}
+			seen[in.Loc] = in.String()
+		}
+	}
+}
+
+func TestPointerOperand(t *testing.T) {
+	m := NewModule("t")
+	b := NewBuilder(m)
+	b.NewFunc("f", Void, Param("p", Ptr))
+	p := m.Funcs[0].Params[0]
+	ld := b.Load(F64, p)
+	st := b.Store(ld, p)
+	b.Ret(nil)
+	if v, ok := ld.PointerOperand(); !ok || v != Value(p) {
+		t.Error("load pointer operand wrong")
+	}
+	if v, ok := st.PointerOperand(); !ok || v != Value(p) {
+		t.Error("store pointer operand wrong")
+	}
+	if _, ok := ld.Ops[0].(*Arg); !ok {
+		t.Error("operand type lost")
+	}
+	add := b.Blk.Instrs[0]
+	_ = add
+	if !ld.IsMemAccess() || !st.IsMemAccess() {
+		t.Error("IsMemAccess false negatives")
+	}
+}
+
+func TestModuleAccessors(t *testing.T) {
+	m := NewModule("t")
+	g := m.AddGlobal(&Global{Name: "g", Size: 8})
+	if m.Global("g") != g || m.Global("nope") != nil {
+		t.Error("Global lookup broken")
+	}
+	b := NewBuilder(m)
+	f := b.NewFunc("f", Void)
+	b.Ret(nil)
+	if m.Func("f") != f || m.Func("nope") != nil {
+		t.Error("Func lookup broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate global not rejected")
+		}
+	}()
+	m.AddGlobal(&Global{Name: "g", Size: 8})
+}
+
+func TestBuilderPanicsAfterTerminator(t *testing.T) {
+	m := NewModule("t")
+	b := NewBuilder(m)
+	b.NewFunc("f", Void)
+	b.Ret(nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("emit after terminator not rejected")
+		}
+	}()
+	b.Add(ConstInt(1), ConstInt(2))
+}
+
+func TestPrinterRoundsKeyForms(t *testing.T) {
+	m := NewModule("t")
+	b := NewBuilder(m)
+	b.NewFunc("f", F64, Param("p", Ptr), Param("i", I64))
+	f := m.Funcs[0]
+	gep := b.GEP(f.Params[0], f.Params[1], 8)
+	v := b.Load(F64, gep)
+	b.Ret(v)
+	s := m.String()
+	for _, want := range []string{"func f64 @f(ptr %p, i64 %i)", "gep %p, %i x 8", "load f64"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printout missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package ir
+
+// Liveness holds the result of an SSA liveness analysis over one
+// function. Armor consults it to decide which values are guaranteed to
+// still be materialised (in a register or stack slot) at a memory-access
+// instruction, and therefore eligible as recovery-kernel parameters.
+type Liveness struct {
+	Fn      *Func
+	liveOut map[*Block]map[Value]bool
+	liveIn  map[*Block]map[Value]bool
+	pos     map[*Instr]int // position within parent block
+	uses    map[Value][]*Instr
+}
+
+// ComputeLiveness runs the backward dataflow analysis. The function must
+// verify (or at least be renumbered and in SSA form).
+func ComputeLiveness(f *Func) *Liveness {
+	f.Renumber()
+	l := &Liveness{
+		Fn:      f,
+		liveOut: map[*Block]map[Value]bool{},
+		liveIn:  map[*Block]map[Value]bool{},
+		pos:     map[*Instr]int{},
+		uses:    map[Value][]*Instr{},
+	}
+	trackable := func(v Value) bool {
+		switch v.(type) {
+		case *Instr, *Arg:
+			return true
+		}
+		return false
+	}
+	// Per-block upward-exposed uses and defs; phi operands are uses on
+	// the incoming edge (live-out of the predecessor, not live-in here).
+	use := map[*Block]map[Value]bool{}
+	def := map[*Block]map[Value]bool{}
+	phiUse := map[*Block]map[Value]bool{} // keyed by predecessor
+	for _, b := range f.Blocks {
+		use[b] = map[Value]bool{}
+		def[b] = map[Value]bool{}
+		l.liveOut[b] = map[Value]bool{}
+		l.liveIn[b] = map[Value]bool{}
+		if phiUse[b] == nil {
+			phiUse[b] = map[Value]bool{}
+		}
+	}
+	for _, b := range f.Blocks {
+		for ii, in := range b.Instrs {
+			l.pos[in] = ii
+			for oi, op := range in.Ops {
+				if !trackable(op) {
+					continue
+				}
+				l.uses[op] = append(l.uses[op], in)
+				if in.Op == OpPhi {
+					p := in.Blocks[oi]
+					if phiUse[p] == nil {
+						phiUse[p] = map[Value]bool{}
+					}
+					phiUse[p][op] = true
+					continue
+				}
+				if d, ok := op.(*Instr); !ok || d.Parent != b {
+					use[b][op] = true
+				}
+			}
+			if in.Typ != Void {
+				def[b][in] = true
+			}
+		}
+	}
+	// Fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for bi := len(f.Blocks) - 1; bi >= 0; bi-- {
+			b := f.Blocks[bi]
+			out := l.liveOut[b]
+			n0 := len(out)
+			for v := range phiUse[b] {
+				out[v] = true
+			}
+			for _, s := range b.Succs() {
+				for v := range l.liveIn[s] {
+					out[v] = true
+				}
+			}
+			in := l.liveIn[b]
+			n1 := len(in)
+			for v := range use[b] {
+				in[v] = true
+			}
+			for v := range out {
+				if !def[b][v] {
+					in[v] = true
+				}
+			}
+			if len(out) != n0 || len(in) != n1 {
+				changed = true
+			}
+		}
+	}
+	return l
+}
+
+// LiveAt reports whether value v is live immediately at instruction at
+// (i.e. v is defined by then and is used by at or by some later
+// instruction along at least one path). Constants and globals are always
+// "live" in the sense of availability, but LiveAt only answers for
+// instructions and arguments; other values return false.
+func (l *Liveness) LiveAt(v Value, at *Instr) bool {
+	switch v.(type) {
+	case *Instr, *Arg:
+	default:
+		return false
+	}
+	b := at.Parent
+	p, ok := l.pos[at]
+	if !ok || b == nil || b.Fn != l.Fn {
+		return false
+	}
+	if d, isInstr := v.(*Instr); isInstr {
+		if d.Parent == nil || d.Parent.Fn != l.Fn {
+			return false
+		}
+		if d.Parent == b && l.pos[d] >= p {
+			return false // not yet defined at this point
+		}
+	}
+	// A (non-phi) use at position >= p within the block keeps v live.
+	for i := p; i < len(b.Instrs); i++ {
+		in := b.Instrs[i]
+		if in.Op == OpPhi {
+			continue
+		}
+		for _, op := range in.Ops {
+			if op == v {
+				return true
+			}
+		}
+	}
+	return l.liveOut[b][v]
+}
+
+// Uses returns the instructions that use v (phi users included).
+func (l *Liveness) Uses(v Value) []*Instr { return l.uses[v] }
+
+// HasNonLocalUse reports whether v has a use outside its defining block
+// (phi uses count as non-local, since they occur on an edge). Arguments
+// with any use in a non-entry block are non-local. The paper relies on
+// this property to guarantee that machine-dependent lowering does not
+// fold the value away, keeping it retrievable for recovery.
+func (l *Liveness) HasNonLocalUse(v Value) bool {
+	var home *Block
+	switch d := v.(type) {
+	case *Instr:
+		home = d.Parent
+	case *Arg:
+		home = l.Fn.Entry()
+	default:
+		return false
+	}
+	for _, u := range l.uses[v] {
+		if u.Op == OpPhi || u.Parent != home {
+			return true
+		}
+	}
+	return false
+}
+
+// LiveOut exposes the live-out set of a block (read-only use intended).
+func (l *Liveness) LiveOut(b *Block) map[Value]bool { return l.liveOut[b] }
+
+// LiveIn exposes the live-in set of a block (read-only use intended).
+func (l *Liveness) LiveIn(b *Block) map[Value]bool { return l.liveIn[b] }

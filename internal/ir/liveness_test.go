@@ -1,0 +1,129 @@
+package ir
+
+import "testing"
+
+// buildLoop constructs:
+//
+//	entry: base = x+1; br loop
+//	loop:  i = phi [0,entry],[inext,body]; c = i<10; condbr c, body, exit
+//	body:  use = base+i; inext = i+1; local = use*2 (local-only); br loop
+//	exit:  ret base
+func buildLoop(t *testing.T) (f *Func, base, i, use, local, inext *Instr) {
+	t.Helper()
+	m := NewModule("t")
+	b := NewBuilder(m)
+	f = b.NewFunc("f", I64, Param("x", I64))
+	entry := f.Entry()
+	loop := b.NewBlock("loop")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	base = b.Add(f.Params[0], ConstInt(1))
+	b.Br(loop)
+	b.SetBlock(loop)
+	i = b.Phi(I64)
+	c := b.ICmp(OpICmpSLT, i, ConstInt(10))
+	b.CondBr(c, body, exit)
+	b.SetBlock(body)
+	use = b.Add(base, i)
+	local = b.Mul(use, ConstInt(2))
+	_ = local
+	inext = b.Add(i, ConstInt(1))
+	b.Br(loop)
+	AddIncoming(i, ConstInt(0), entry)
+	AddIncoming(i, inext, body)
+	b.SetBlock(exit)
+	b.Ret(base)
+	if err := VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestLivenessThroughLoop(t *testing.T) {
+	f, base, i, use, _, inext := buildLoop(t)
+	l := ComputeLiveness(f)
+	// base is live everywhere up to the final ret, including at `use`.
+	if !l.LiveAt(base, use) {
+		t.Error("base should be live at its use in the loop body")
+	}
+	// base is live at the terminator of the loop header (used in exit).
+	header := f.Blocks[1]
+	if !l.LiveAt(base, header.Instrs[len(header.Instrs)-1]) {
+		t.Error("base should be live at the loop header terminator")
+	}
+	// The phi i is live at `use` (used by inext right after).
+	if !l.LiveAt(i, use) {
+		t.Error("i should be live at use")
+	}
+	// inext is NOT live at `use` (defined later in the block).
+	if l.LiveAt(inext, use) {
+		t.Error("inext cannot be live before its definition")
+	}
+}
+
+func TestLivenessDeadAfterLastUse(t *testing.T) {
+	f, _, _, use, local, inext := buildLoop(t)
+	l := ComputeLiveness(f)
+	// `local` has no uses at all: not live anywhere after definition.
+	if l.LiveAt(local, inext) {
+		t.Error("unused value reported live")
+	}
+	// `use` is consumed by `local` immediately; it is dead at inext.
+	if l.LiveAt(use, inext) {
+		t.Error("use should be dead after its last consumer")
+	}
+}
+
+func TestHasNonLocalUse(t *testing.T) {
+	f, base, i, use, local, inext := buildLoop(t)
+	l := ComputeLiveness(f)
+	if !l.HasNonLocalUse(base) {
+		t.Error("base is used in body and exit: non-local")
+	}
+	if !l.HasNonLocalUse(inext) {
+		t.Error("inext feeds a phi: non-local")
+	}
+	if l.HasNonLocalUse(use) {
+		t.Error("use is consumed only locally")
+	}
+	if l.HasNonLocalUse(local) {
+		t.Error("local has no uses at all")
+	}
+	// The phi i is used in its own block (cmp) and in body: non-local.
+	if !l.HasNonLocalUse(i) {
+		t.Error("phi i has a use in another block")
+	}
+	_ = f
+}
+
+func TestLivenessLiveOutSets(t *testing.T) {
+	f, base, i, _, _, inext := buildLoop(t)
+	l := ComputeLiveness(f)
+	entry := f.Blocks[0]
+	body := f.Blocks[2]
+	if !l.LiveOut(entry)[base] {
+		t.Error("base must be live-out of entry")
+	}
+	// inext is live-out of body (phi use on the back edge).
+	if !l.LiveOut(body)[inext] {
+		t.Error("inext must be live-out of body (phi edge)")
+	}
+	// i is NOT live-in to entry.
+	if l.LiveIn(entry)[i] {
+		t.Error("phi cannot be live-in to entry")
+	}
+}
+
+func TestLivenessArgs(t *testing.T) {
+	f, base, _, use, _, _ := buildLoop(t)
+	l := ComputeLiveness(f)
+	x := f.Params[0]
+	// x's only use is in entry (computing base): dead in the loop.
+	if l.LiveAt(x, use) {
+		t.Error("x should be dead in the loop body")
+	}
+	if l.HasNonLocalUse(x) {
+		t.Error("x is used only in entry")
+	}
+	_ = base
+}

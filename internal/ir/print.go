@@ -1,0 +1,102 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module in an LLVM-flavoured textual form. The form
+// is for humans and golden tests; there is no parser.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; module %s\n", m.Name)
+	for _, g := range m.Globals {
+		ext := ""
+		if g.Extern {
+			ext = " extern"
+		}
+		fmt.Fprintf(&sb, "@%s = global [%d bytes]%s\n", g.Name, g.Size, ext)
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// String renders the function.
+func (f *Func) String() string {
+	var sb strings.Builder
+	var ps []string
+	for _, p := range f.Params {
+		ps = append(ps, fmt.Sprintf("%s %%%s", p.Typ, p.Name))
+	}
+	kernel := ""
+	if f.Kernel {
+		kernel = " ; recovery kernel"
+	}
+	fmt.Fprintf(&sb, "\nfunc %s @%s(%s)%s {\n", f.RetType, f.Name, strings.Join(ps, ", "), kernel)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in.String())
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// String renders a single instruction.
+func (i *Instr) String() string {
+	var sb strings.Builder
+	if i.Typ != Void {
+		fmt.Fprintf(&sb, "%%%s = ", i.Name)
+	}
+	switch i.Op {
+	case OpAlloca:
+		fmt.Fprintf(&sb, "alloca %d", i.Size)
+	case OpGEP:
+		fmt.Fprintf(&sb, "gep %s, %s x %d", i.Ops[0].Ref(), i.Ops[1].Ref(), i.Size)
+	case OpLoad:
+		fmt.Fprintf(&sb, "load %s, %s", i.Typ, i.Ops[0].Ref())
+	case OpStore:
+		fmt.Fprintf(&sb, "store %s, %s", i.Ops[0].Ref(), i.Ops[1].Ref())
+	case OpPhi:
+		fmt.Fprintf(&sb, "phi %s ", i.Typ)
+		for k := range i.Ops {
+			if k > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "[%s, %s]", i.Ops[k].Ref(), i.Blocks[k].Name)
+		}
+	case OpBr:
+		fmt.Fprintf(&sb, "br %s", i.Blocks[0].Name)
+	case OpCondBr:
+		fmt.Fprintf(&sb, "condbr %s, %s, %s", i.Ops[0].Ref(), i.Blocks[0].Name, i.Blocks[1].Name)
+	case OpRet:
+		if len(i.Ops) == 0 {
+			sb.WriteString("ret")
+		} else {
+			fmt.Fprintf(&sb, "ret %s", i.Ops[0].Ref())
+		}
+	case OpCall:
+		target := i.Host
+		if i.Callee != nil {
+			target = i.Callee.Name
+		}
+		var as []string
+		for _, a := range i.Ops {
+			as = append(as, a.Ref())
+		}
+		fmt.Fprintf(&sb, "call @%s(%s)", target, strings.Join(as, ", "))
+	default:
+		var as []string
+		for _, a := range i.Ops {
+			as = append(as, a.Ref())
+		}
+		fmt.Fprintf(&sb, "%s %s", i.Op, strings.Join(as, ", "))
+	}
+	if !i.Loc.IsZero() {
+		fmt.Fprintf(&sb, "  ; !%s", i.Loc)
+	}
+	return sb.String()
+}

@@ -1,0 +1,171 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// makeDiamond builds: entry -> (a | b) -> join with a phi at join.
+func makeDiamond(t *testing.T) (*Module, *Func, *Instr) {
+	t.Helper()
+	m := NewModule("t")
+	b := NewBuilder(m)
+	f := b.NewFunc("f", I64, Param("c", I64))
+	a := b.NewBlock("a")
+	bb := b.NewBlock("b")
+	join := b.NewBlock("join")
+	b.CondBr(f.Params[0], a, bb)
+	b.SetBlock(a)
+	va := b.Add(f.Params[0], ConstInt(1))
+	b.Br(join)
+	b.SetBlock(bb)
+	vb := b.Add(f.Params[0], ConstInt(2))
+	b.Br(join)
+	b.SetBlock(join)
+	phi := b.Phi(I64)
+	AddIncoming(phi, va, a)
+	AddIncoming(phi, vb, bb)
+	b.Ret(phi)
+	return m, f, phi
+}
+
+func TestVerifyAcceptsDiamond(t *testing.T) {
+	m, _, _ := makeDiamond(t)
+	if err := VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsUnterminatedBlock(t *testing.T) {
+	m := NewModule("t")
+	b := NewBuilder(m)
+	b.NewFunc("f", Void)
+	b.Add(ConstInt(1), ConstInt(2)) // no terminator
+	err := VerifyModule(m)
+	if err == nil || !strings.Contains(err.Error(), "not terminated") {
+		t.Fatalf("want unterminated error, got %v", err)
+	}
+}
+
+func TestVerifyRejectsPhiIncomingMismatch(t *testing.T) {
+	m, _, phi := makeDiamond(t)
+	phi.Ops = phi.Ops[:1]
+	phi.Blocks = phi.Blocks[:1]
+	if err := VerifyModule(m); err == nil {
+		t.Fatal("phi with missing incoming accepted")
+	}
+}
+
+func TestVerifyRejectsUseBeforeDef(t *testing.T) {
+	m := NewModule("t")
+	b := NewBuilder(m)
+	b.NewFunc("f", I64)
+	// Build v = v2+1 where v2 is defined later in the same block.
+	v2 := &Instr{Op: OpAdd, Typ: I64, Ops: []Value{ConstInt(1), ConstInt(2)}, Name: "late"}
+	early := b.Add(v2, ConstInt(1)) // uses v2 before it exists
+	_ = early
+	v2.Parent = b.Blk
+	b.Blk.Instrs = append(b.Blk.Instrs, v2)
+	b.Ret(ConstInt(0))
+	if err := VerifyModule(m); err == nil {
+		t.Fatal("use-before-def accepted")
+	}
+}
+
+func TestVerifyRejectsCrossBlockNonDominatingUse(t *testing.T) {
+	m := NewModule("t")
+	b := NewBuilder(m)
+	f := b.NewFunc("f", I64, Param("c", I64))
+	a := b.NewBlock("a")
+	bb := b.NewBlock("b")
+	join := b.NewBlock("join")
+	b.CondBr(f.Params[0], a, bb)
+	b.SetBlock(a)
+	va := b.Add(f.Params[0], ConstInt(1))
+	b.Br(join)
+	b.SetBlock(bb)
+	b.Br(join)
+	b.SetBlock(join)
+	// va does not dominate join (path through bb misses it).
+	use := b.Add(va, ConstInt(1))
+	b.Ret(use)
+	if err := VerifyModule(m); err == nil {
+		t.Fatal("non-dominating use accepted")
+	}
+}
+
+func TestVerifyRejectsTypeErrors(t *testing.T) {
+	m := NewModule("t")
+	b := NewBuilder(m)
+	b.NewFunc("f", Void, Param("x", F64))
+	f := m.Funcs[0]
+	// Int add of a float operand, built by hand to bypass the builder.
+	in := &Instr{Op: OpAdd, Typ: I64, Ops: []Value{f.Params[0], ConstInt(1)}, Name: "bad"}
+	in.Parent = b.Blk
+	b.Blk.Instrs = append(b.Blk.Instrs, in)
+	b.Ret(nil)
+	if err := VerifyModule(m); err == nil {
+		t.Fatal("float operand to int add accepted")
+	}
+}
+
+func TestVerifySkipsDeclarations(t *testing.T) {
+	m := NewModule("t")
+	m.Funcs = append(m.Funcs, &Func{Name: "extern_thing", RetType: I64})
+	b := NewBuilder(m)
+	b.NewFunc("f", Void)
+	b.Ret(nil)
+	if err := VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsDuplicateFunctions(t *testing.T) {
+	m := NewModule("t")
+	b := NewBuilder(m)
+	b.NewFunc("f", Void)
+	b.Ret(nil)
+	b.NewFunc("f", Void)
+	b.Ret(nil)
+	if err := VerifyModule(m); err == nil {
+		t.Fatal("duplicate function accepted")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	m := NewModule("t")
+	b := NewBuilder(m)
+	f := b.NewFunc("f", Void, Param("c", I64))
+	entry := f.Entry()
+	loop := b.NewBlock("loop")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.CondBr(f.Params[0], body, exit)
+	b.SetBlock(body)
+	b.Br(loop)
+	b.SetBlock(exit)
+	b.Ret(nil)
+
+	dom := Dominators(f)
+	if dom[entry] != entry {
+		t.Error("entry must self-dominate")
+	}
+	if dom[loop] != entry {
+		t.Errorf("idom(loop) = %v", dom[loop].Name)
+	}
+	if dom[body] != loop || dom[exit] != loop {
+		t.Errorf("idom(body)=%s idom(exit)=%s, want loop", dom[body].Name, dom[exit].Name)
+	}
+}
+
+func TestVerifyRejectsRetMismatch(t *testing.T) {
+	m := NewModule("t")
+	b := NewBuilder(m)
+	b.NewFunc("f", I64)
+	b.Ret(nil) // void ret in i64 function
+	if err := VerifyModule(m); err == nil {
+		t.Fatal("void ret in value function accepted")
+	}
+}

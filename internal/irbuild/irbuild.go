@@ -1,0 +1,185 @@
+// Package irbuild layers structured control flow over the raw ir.Builder
+// so that workload front ends read like the C/Fortran loops they model.
+// Loops are built with proper SSA phis for the induction variable and
+// any loop-carried values — exactly what clang produces after mem2reg —
+// which is what gives the O1 pipeline real induction variables to keep
+// in registers (the property CARE's evaluation hinges on).
+package irbuild
+
+import (
+	"fmt"
+
+	"care/internal/ir"
+)
+
+// FB is a function-building context.
+type FB struct {
+	*ir.Builder
+}
+
+// New wraps a builder positioned inside a function.
+func New(b *ir.Builder) *FB { return &FB{Builder: b} }
+
+// I is shorthand for an integer constant.
+func I(v int64) *ir.Const { return ir.ConstInt(v) }
+
+// F is shorthand for a float constant.
+func F(v float64) *ir.Const { return ir.ConstFloat(v) }
+
+// For builds `for i = lo; i < hi; i += step` with loop-carried values.
+// body receives the induction variable and the current carried values
+// and returns their next-iteration values (same arity). For returns the
+// carried values after the loop.
+func (fb *FB) For(lo, hi ir.Value, step int64, carried []ir.Value, body func(i ir.Value, c []ir.Value) []ir.Value) []ir.Value {
+	pre := fb.Blk
+	header := fb.NewBlock("for")
+	bodyB := fb.NewBlock("body")
+	exit := fb.NewBlock("endfor")
+	fb.Br(header)
+
+	fb.SetBlock(header)
+	iphi := fb.Phi(ir.I64)
+	phis := make([]*ir.Instr, len(carried))
+	cvals := make([]ir.Value, len(carried))
+	for k, cv := range carried {
+		phis[k] = fb.Phi(cv.Type())
+		cvals[k] = phis[k]
+	}
+	cond := fb.ICmp(ir.OpICmpSLT, iphi, hi)
+	fb.CondBr(cond, bodyB, exit)
+
+	fb.SetBlock(bodyB)
+	next := body(iphi, cvals)
+	if len(next) != len(carried) {
+		panic(fmt.Sprintf("irbuild: For body returned %d values, want %d", len(next), len(carried)))
+	}
+	latch := fb.Blk
+	inext := fb.Add(iphi, I(step))
+	fb.Br(header)
+
+	ir.AddIncoming(iphi, lo, pre)
+	ir.AddIncoming(iphi, inext, latch)
+	for k := range carried {
+		ir.AddIncoming(phis[k], carried[k], pre)
+		ir.AddIncoming(phis[k], next[k], latch)
+	}
+	fb.SetBlock(exit)
+	out := make([]ir.Value, len(carried))
+	for k := range phis {
+		out[k] = phis[k]
+	}
+	return out
+}
+
+// ForN is For with no carried values.
+func (fb *FB) ForN(lo, hi ir.Value, step int64, body func(i ir.Value)) {
+	fb.For(lo, hi, step, nil, func(i ir.Value, _ []ir.Value) []ir.Value {
+		body(i)
+		return nil
+	})
+}
+
+// If builds an if/else whose branches produce values; the returned
+// values are join phis. Either branch function may create further
+// blocks.
+func (fb *FB) If(cond ir.Value, then func() []ir.Value, els func() []ir.Value) []ir.Value {
+	thenB := fb.NewBlock("then")
+	elseB := fb.NewBlock("else")
+	join := fb.NewBlock("endif")
+	fb.CondBr(cond, thenB, elseB)
+
+	fb.SetBlock(thenB)
+	tv := then()
+	thenEnd := fb.Blk
+	fb.Br(join)
+
+	fb.SetBlock(elseB)
+	var ev []ir.Value
+	if els != nil {
+		ev = els()
+	}
+	elseEnd := fb.Blk
+	fb.Br(join)
+
+	if len(tv) != len(ev) {
+		panic(fmt.Sprintf("irbuild: If branches returned %d vs %d values", len(tv), len(ev)))
+	}
+	fb.SetBlock(join)
+	out := make([]ir.Value, len(tv))
+	for k := range tv {
+		p := fb.Phi(tv[k].Type())
+		ir.AddIncoming(p, tv[k], thenEnd)
+		ir.AddIncoming(p, ev[k], elseEnd)
+		out[k] = p
+	}
+	return out
+}
+
+// IfThen builds a value-less conditional.
+func (fb *FB) IfThen(cond ir.Value, then func()) {
+	fb.If(cond, func() []ir.Value { then(); return nil }, func() []ir.Value { return nil })
+}
+
+// Select returns cond ? a : b via an if/else join.
+func (fb *FB) Select(cond, a, b ir.Value) ir.Value {
+	return fb.If(cond,
+		func() []ir.Value { return []ir.Value{a} },
+		func() []ir.Value { return []ir.Value{b} })[0]
+}
+
+// Min returns min(a, b) for integers.
+func (fb *FB) Min(a, b ir.Value) ir.Value {
+	return fb.Select(fb.ICmp(ir.OpICmpSLE, a, b), a, b)
+}
+
+// Max returns max(a, b) for integers.
+func (fb *FB) Max(a, b ir.Value) ir.Value {
+	return fb.Select(fb.ICmp(ir.OpICmpSGE, a, b), a, b)
+}
+
+// LoadAt loads a[idx] with the given element kind.
+func (fb *FB) LoadAt(t ir.Type, base, idx ir.Value) ir.Value {
+	return fb.Load(t, fb.GEP(base, idx, 8))
+}
+
+// StoreAt stores v to a[idx].
+func (fb *FB) StoreAt(v, base, idx ir.Value) {
+	fb.Store(v, fb.GEP(base, idx, 8))
+}
+
+// AddF accumulates a[idx] += v.
+func (fb *FB) AddF(base, idx, v ir.Value) {
+	p := fb.GEP(base, idx, 8)
+	old := fb.Load(ir.F64, p)
+	fb.Store(fb.FAdd(old, v), p)
+}
+
+// Malloc allocates n 8-byte words on the simulated heap.
+func (fb *FB) Malloc(words int64) ir.Value {
+	return fb.HostCall("malloc", ir.Ptr, I(words*8))
+}
+
+// MallocN allocates a runtime-sized array of n words.
+func (fb *FB) MallocN(words ir.Value) ir.Value {
+	return fb.HostCall("malloc", ir.Ptr, fb.Mul(words, I(8)))
+}
+
+// Result emits one value of the program's result stream.
+func (fb *FB) Result(v ir.Value) {
+	if v.Type() != ir.F64 {
+		v = fb.IToF(v)
+	}
+	fb.HostCall("result_f64", ir.Void, v)
+}
+
+// Assert aborts with the given code when cond (an i64 boolean) is false.
+// Workloads use it the way the mini-apps use assert(): a corrupted state
+// that violates an invariant manifests as SIGABRT.
+func (fb *FB) Assert(cond ir.Value, code int64) {
+	fb.IfThen(fb.ICmp(ir.OpICmpEQ, cond, I(0)), func() {
+		fb.HostCall("abort", ir.Void, I(code))
+	})
+}
+
+// Sqrt calls the sqrt host intrinsic.
+func (fb *FB) Sqrt(v ir.Value) ir.Value { return fb.HostCall("sqrt", ir.F64, v) }

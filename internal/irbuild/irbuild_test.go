@@ -1,0 +1,167 @@
+package irbuild
+
+import (
+	"testing"
+
+	"care/internal/interp"
+	"care/internal/ir"
+)
+
+// run interprets a module's main and returns its result stream.
+func run(t *testing.T, m *ir.Module) []float64 {
+	t.Helper()
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	res, err := interp.Run(1<<24, m)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return res
+}
+
+func newMain(name string) (*ir.Module, *FB) {
+	m := ir.NewModule(name)
+	fb := New(ir.NewBuilder(m))
+	fb.NewFunc("main", ir.I64)
+	return m, fb
+}
+
+func TestForAccumulates(t *testing.T) {
+	m, fb := newMain("t")
+	out := fb.For(I(0), I(10), 1, []ir.Value{I(0)}, func(i ir.Value, c []ir.Value) []ir.Value {
+		return []ir.Value{fb.Add(c[0], i)}
+	})
+	fb.Result(out[0])
+	fb.Ret(I(0))
+	if res := run(t, m); res[0] != 45 {
+		t.Fatalf("sum 0..9 = %v", res[0])
+	}
+}
+
+func TestForWithStep(t *testing.T) {
+	m, fb := newMain("t")
+	out := fb.For(I(0), I(10), 3, []ir.Value{I(0)}, func(i ir.Value, c []ir.Value) []ir.Value {
+		return []ir.Value{fb.Add(c[0], I(1))}
+	})
+	fb.Result(out[0])
+	fb.Ret(I(0))
+	if res := run(t, m); res[0] != 4 { // 0,3,6,9
+		t.Fatalf("iterations = %v", res[0])
+	}
+}
+
+func TestForZeroTrips(t *testing.T) {
+	m, fb := newMain("t")
+	out := fb.For(I(5), I(5), 1, []ir.Value{F(7)}, func(i ir.Value, c []ir.Value) []ir.Value {
+		return []ir.Value{F(0)}
+	})
+	fb.Result(out[0])
+	fb.Ret(I(0))
+	if res := run(t, m); res[0] != 7 {
+		t.Fatalf("zero-trip loop must keep the initial value, got %v", res[0])
+	}
+}
+
+func TestNestedLoopsCarry(t *testing.T) {
+	m, fb := newMain("t")
+	out := fb.For(I(0), I(3), 1, []ir.Value{I(0)}, func(i ir.Value, c []ir.Value) []ir.Value {
+		return fb.For(I(0), I(4), 1, c, func(j ir.Value, c []ir.Value) []ir.Value {
+			return []ir.Value{fb.Add(c[0], I(1))}
+		})
+	})
+	fb.Result(out[0])
+	fb.Ret(I(0))
+	if res := run(t, m); res[0] != 12 {
+		t.Fatalf("3x4 = %v", res[0])
+	}
+}
+
+func TestIfJoinsValues(t *testing.T) {
+	for _, c := range []struct {
+		x    int64
+		want float64
+	}{{3, 30}, {8, 80}} {
+		m, fb := newMain("t")
+		cond := fb.ICmp(ir.OpICmpSLT, I(c.x), I(5))
+		v := fb.If(cond,
+			func() []ir.Value { return []ir.Value{I(30)} },
+			func() []ir.Value { return []ir.Value{I(80)} })
+		fb.Result(v[0])
+		fb.Ret(I(0))
+		if res := run(t, m); res[0] != c.want {
+			t.Fatalf("x=%d: %v, want %v", c.x, res[0], c.want)
+		}
+	}
+}
+
+func TestSelectMinMax(t *testing.T) {
+	m, fb := newMain("t")
+	fb.Result(fb.Min(I(3), I(9)))
+	fb.Result(fb.Max(I(3), I(9)))
+	fb.Result(fb.Min(I(-4), I(-9)))
+	fb.Ret(I(0))
+	res := run(t, m)
+	if res[0] != 3 || res[1] != 9 || res[2] != -9 {
+		t.Fatalf("min/max: %v", res)
+	}
+}
+
+func TestAssertAborts(t *testing.T) {
+	m, fb := newMain("t")
+	fb.Assert(fb.ICmp(ir.OpICmpSLT, I(10), I(5)), 99) // false -> abort
+	fb.Ret(I(0))
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := interp.Run(1<<20, m); err == nil {
+		t.Fatal("failed assert did not abort")
+	}
+}
+
+func TestAssertPassesWhenTrue(t *testing.T) {
+	m, fb := newMain("t")
+	fb.Assert(fb.ICmp(ir.OpICmpSLT, I(1), I(5)), 99)
+	fb.Result(I(1))
+	fb.Ret(I(0))
+	if res := run(t, m); res[0] != 1 {
+		t.Fatal("assert true aborted")
+	}
+}
+
+func TestLoadStoreHelpers(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.AddGlobal(&ir.Global{Name: "g", Size: 8 * 8})
+	fb := New(ir.NewBuilder(m))
+	fb.NewFunc("main", ir.I64)
+	fb.StoreAt(F(2.5), g, I(3))
+	fb.AddF(g, I(3), F(1.5))
+	fb.Result(fb.LoadAt(ir.F64, g, I(3)))
+	fb.Ret(I(0))
+	if res := run(t, m); res[0] != 4 {
+		t.Fatalf("AddF result %v", res[0])
+	}
+}
+
+func TestMallocAndResultIntConversion(t *testing.T) {
+	m, fb := newMain("t")
+	p := fb.Malloc(4)
+	fb.StoreAt(I(11), p, I(2))
+	fb.Result(fb.LoadAt(ir.I64, p, I(2))) // int result converted to float
+	fb.Ret(I(0))
+	if res := run(t, m); res[0] != 11 {
+		t.Fatalf("got %v", res[0])
+	}
+}
+
+func TestForBodyArityChecked(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch not caught")
+		}
+	}()
+	_, fb := newMain("t")
+	fb.For(I(0), I(3), 1, []ir.Value{I(0)}, func(i ir.Value, c []ir.Value) []ir.Value {
+		return nil // wrong arity
+	})
+}

@@ -1,0 +1,494 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"care/internal/hostenv"
+)
+
+// RunStatus reports why the CPU stopped.
+type RunStatus uint8
+
+// Run statuses.
+const (
+	// StatusRunning: the CPU can still step.
+	StatusRunning RunStatus = iota
+	// StatusExited: the program called exit/halt; ExitCode is valid.
+	StatusExited
+	// StatusTrapped: an unhandled (or handler-killed) trap occurred;
+	// PendingTrap is valid. The process is dead.
+	StatusTrapped
+	// StatusBlocked: a collective host call is waiting on other ranks.
+	StatusBlocked
+	// StatusLimit: the step budget given to Run was exhausted.
+	StatusLimit
+)
+
+// String renders the status.
+func (s RunStatus) String() string {
+	return [...]string{"running", "exited", "trapped", "blocked", "limit"}[s]
+}
+
+// Trap describes a fault delivered to the process.
+type Trap struct {
+	Sig   Signal
+	PC    Word
+	Addr  Word // faulting data address (SEGV/BUS)
+	Img   *Image
+	Idx   int // code index within Img
+	Instr *MInstr
+}
+
+// Error implements error.
+func (t *Trap) Error() string {
+	return fmt.Sprintf("%s: pc=0x%x addr=0x%x", t.Sig, t.PC, t.Addr)
+}
+
+// TrapAction is a trap handler's verdict.
+type TrapAction uint8
+
+// Trap actions.
+const (
+	// TrapKill terminates the process (default signal disposition).
+	TrapKill TrapAction = iota
+	// TrapResume re-executes the faulting instruction with the (possibly
+	// patched) context.
+	TrapResume
+)
+
+// TrapHandler is the software signal handler hook; Safeguard installs
+// one. The handler may mutate the CPU's registers and memory.
+type TrapHandler func(c *CPU, t *Trap) TrapAction
+
+// StepHook is invoked right after an instruction retires; the fault
+// injector uses it to corrupt destination operands "right after the
+// instruction is executed" (paper §2.1.1).
+type StepHook func(c *CPU, img *Image, idx int, in *MInstr)
+
+// CPU is one simulated hardware thread plus its process context
+// (images, memory, host environment).
+type CPU struct {
+	Mem *Memory
+	Env *hostenv.Env
+
+	R [NumReg]Word
+	F [NumFReg]float64
+
+	PC     Word
+	Images []*Image
+	cur    *Image
+
+	// Dyn counts retired dynamic instructions.
+	Dyn uint64
+	// ExitCode is valid after StatusExited.
+	ExitCode Word
+
+	// Handler, when non-nil, receives traps before they kill the
+	// process.
+	Handler TrapHandler
+
+	// Profile enables per-static-instruction execution counting.
+	Profile bool
+	// Counts[img][idx] is the execution count of static instruction idx
+	// of image img (populated when Profile is set).
+	Counts map[*Image][]uint64
+
+	// BeforeStep, when non-nil, runs before an instruction executes
+	// (registers still hold the operand values the instruction will
+	// read). Taint tracking uses it to apply propagation rules.
+	BeforeStep StepHook
+	// AfterStep, when non-nil, runs after every retired instruction.
+	AfterStep StepHook
+
+	// StopPC, when StopPCSet, exits the CPU cleanly when control
+	// reaches that address. Safeguard uses it as the return-address
+	// sentinel when calling a recovery kernel (the libffi analogue).
+	StopPC    Word
+	StopPCSet bool
+
+	// Status is the current run status.
+	Status RunStatus
+	// PendingTrap is the fatal trap after StatusTrapped.
+	PendingTrap *Trap
+
+	hostArgBuf [8]Word
+}
+
+// NewCPU creates a CPU over the given memory and host environment.
+func NewCPU(mem *Memory, env *hostenv.Env) *CPU {
+	if env == nil {
+		env = hostenv.NewEnv()
+	}
+	return &CPU{Mem: mem, Env: env, Status: StatusRunning}
+}
+
+// Attach adds a loaded image to the process.
+func (c *CPU) Attach(im *Image) { c.Images = append(c.Images, im) }
+
+// Detach removes an image (dlclose).
+func (c *CPU) Detach(im *Image) {
+	for i, x := range c.Images {
+		if x == im {
+			c.Images = append(c.Images[:i], c.Images[i+1:]...)
+			break
+		}
+	}
+	if c.cur == im {
+		c.cur = nil
+	}
+}
+
+// FindImage returns the image whose code contains pc (dladdr).
+func (c *CPU) FindImage(pc Word) *Image {
+	for _, im := range c.Images {
+		if im.Contains(pc) {
+			return im
+		}
+	}
+	return nil
+}
+
+// InitStack maps the main stack and points SP at its top.
+func (c *CPU) InitStack() error {
+	_, err := c.Mem.Map(StackTop-DefaultStackSize, DefaultStackSize, "stack")
+	if err != nil {
+		return err
+	}
+	c.R[SP] = StackTop
+	c.R[FP] = StackTop
+	return nil
+}
+
+// Start positions the CPU at the named function of the image (normally
+// "_start" of the main executable).
+func (c *CPU) Start(im *Image, fn string) error {
+	entry, ok := im.Prog.FuncEntry(fn)
+	if !ok {
+		return fmt.Errorf("machine: no function %q in %s", fn, im.Prog.Name)
+	}
+	c.PC = entry
+	c.Status = StatusRunning
+	return nil
+}
+
+func (c *CPU) trap(t *Trap) {
+	if c.Handler != nil {
+		if c.Handler(c, t) == TrapResume {
+			return // retry same PC
+		}
+	}
+	c.Status = StatusTrapped
+	c.PendingTrap = t
+}
+
+// Step executes one instruction. It updates Status; callers loop on
+// StatusRunning.
+func (c *CPU) Step() {
+	img := c.cur
+	if img == nil || !img.Contains(c.PC) {
+		img = c.FindImage(c.PC)
+		if img == nil {
+			c.trap(&Trap{Sig: SigILL, PC: c.PC})
+			return
+		}
+		c.cur = img
+	}
+	idx := int((c.PC - img.Base()) >> 3)
+	in := &img.Prog.Code[idx]
+	if c.BeforeStep != nil {
+		c.BeforeStep(c, img, idx, in)
+	}
+	nextPC := c.PC + 8
+
+	src2 := func() Word {
+		if in.UseImm {
+			return Word(in.Imm)
+		}
+		return c.R[in.Rb]
+	}
+
+	switch in.Op {
+	case MNop:
+	case MMovImm:
+		c.R[in.Rd] = Word(in.Imm)
+	case MMov:
+		c.R[in.Rd] = c.R[in.Ra]
+	case MAdd:
+		c.R[in.Rd] = c.R[in.Ra] + src2()
+	case MSub:
+		c.R[in.Rd] = c.R[in.Ra] - src2()
+	case MMul:
+		c.R[in.Rd] = Word(int64(c.R[in.Ra]) * int64(src2()))
+	case MDiv:
+		d := int64(src2())
+		n := int64(c.R[in.Ra])
+		if d == 0 || (n == math.MinInt64 && d == -1) {
+			c.trap(&Trap{Sig: SigFPE, PC: c.PC, Img: img, Idx: idx, Instr: in})
+			return
+		}
+		c.R[in.Rd] = Word(n / d)
+	case MRem:
+		d := int64(src2())
+		n := int64(c.R[in.Ra])
+		if d == 0 || (n == math.MinInt64 && d == -1) {
+			c.trap(&Trap{Sig: SigFPE, PC: c.PC, Img: img, Idx: idx, Instr: in})
+			return
+		}
+		c.R[in.Rd] = Word(n % d)
+	case MAnd:
+		c.R[in.Rd] = c.R[in.Ra] & src2()
+	case MOr:
+		c.R[in.Rd] = c.R[in.Ra] | src2()
+	case MXor:
+		c.R[in.Rd] = c.R[in.Ra] ^ src2()
+	case MShl:
+		c.R[in.Rd] = c.R[in.Ra] << (src2() & 63)
+	case MShr:
+		c.R[in.Rd] = Word(int64(c.R[in.Ra]) >> (src2() & 63))
+	case MFMovImm:
+		c.F[in.Fd] = math.Float64frombits(Word(in.Imm))
+	case MFMov:
+		c.F[in.Fd] = c.F[in.Fa]
+	case MFAdd:
+		c.F[in.Fd] = c.F[in.Fa] + c.F[in.Fb]
+	case MFSub:
+		c.F[in.Fd] = c.F[in.Fa] - c.F[in.Fb]
+	case MFMul:
+		c.F[in.Fd] = c.F[in.Fa] * c.F[in.Fb]
+	case MFDiv:
+		c.F[in.Fd] = c.F[in.Fa] / c.F[in.Fb]
+	case MCvtIF:
+		c.F[in.Fd] = float64(int64(c.R[in.Ra]))
+	case MCvtFI:
+		c.R[in.Rd] = Word(int64(c.F[in.Fa]))
+	case MBitIF:
+		c.F[in.Fd] = math.Float64frombits(c.R[in.Ra])
+	case MBitFI:
+		c.R[in.Rd] = math.Float64bits(c.F[in.Fa])
+	case MSet:
+		a, b := int64(c.R[in.Ra]), int64(src2())
+		c.R[in.Rd] = boolWord(cmpInt(in.Cond, a, b))
+	case MFSet:
+		c.R[in.Rd] = boolWord(cmpFloat(in.Cond, c.F[in.Fa], c.F[in.Fb]))
+	case MLea:
+		c.R[in.Rd] = in.EffectiveAddr(&c.R)
+	case MLoad:
+		v, f := c.Mem.Read(in.EffectiveAddr(&c.R))
+		if f != nil {
+			c.trap(&Trap{Sig: f.Sig, PC: c.PC, Addr: f.Addr, Img: img, Idx: idx, Instr: in})
+			return
+		}
+		c.R[in.Rd] = v
+	case MFLoad:
+		v, f := c.Mem.Read(in.EffectiveAddr(&c.R))
+		if f != nil {
+			c.trap(&Trap{Sig: f.Sig, PC: c.PC, Addr: f.Addr, Img: img, Idx: idx, Instr: in})
+			return
+		}
+		c.F[in.Fd] = math.Float64frombits(v)
+	case MStore:
+		if f := c.Mem.Write(in.EffectiveAddr(&c.R), c.R[in.Ra]); f != nil {
+			c.trap(&Trap{Sig: f.Sig, PC: c.PC, Addr: f.Addr, Img: img, Idx: idx, Instr: in})
+			return
+		}
+	case MFStore:
+		if f := c.Mem.Write(in.EffectiveAddr(&c.R), math.Float64bits(c.F[in.Fa])); f != nil {
+			c.trap(&Trap{Sig: f.Sig, PC: c.PC, Addr: f.Addr, Img: img, Idx: idx, Instr: in})
+			return
+		}
+	case MJmp:
+		nextPC = in.Target
+	case MJnz:
+		if c.R[in.Ra] != 0 {
+			nextPC = in.Target
+		}
+	case MJz:
+		if c.R[in.Ra] == 0 {
+			nextPC = in.Target
+		}
+	case MCall:
+		c.R[SP] -= 8
+		if f := c.Mem.Write(c.R[SP], nextPC); f != nil {
+			c.R[SP] += 8
+			c.trap(&Trap{Sig: f.Sig, PC: c.PC, Addr: f.Addr, Img: img, Idx: idx, Instr: in})
+			return
+		}
+		nextPC = in.Target
+	case MRet:
+		ra, f := c.Mem.Read(c.R[SP])
+		if f != nil {
+			c.trap(&Trap{Sig: f.Sig, PC: c.PC, Addr: f.Addr, Img: img, Idx: idx, Instr: in})
+			return
+		}
+		c.R[SP] += 8
+		nextPC = ra
+	case MPush:
+		c.R[SP] -= 8
+		if f := c.Mem.Write(c.R[SP], c.R[in.Ra]); f != nil {
+			c.R[SP] += 8
+			c.trap(&Trap{Sig: f.Sig, PC: c.PC, Addr: f.Addr, Img: img, Idx: idx, Instr: in})
+			return
+		}
+	case MPop:
+		v, f := c.Mem.Read(c.R[SP])
+		if f != nil {
+			c.trap(&Trap{Sig: f.Sig, PC: c.PC, Addr: f.Addr, Img: img, Idx: idx, Instr: in})
+			return
+		}
+		c.R[SP] += 8
+		c.R[in.Rd] = v
+	case MFPush:
+		c.R[SP] -= 8
+		if f := c.Mem.Write(c.R[SP], math.Float64bits(c.F[in.Fa])); f != nil {
+			c.R[SP] += 8
+			c.trap(&Trap{Sig: f.Sig, PC: c.PC, Addr: f.Addr, Img: img, Idx: idx, Instr: in})
+			return
+		}
+	case MFPop:
+		v, f := c.Mem.Read(c.R[SP])
+		if f != nil {
+			c.trap(&Trap{Sig: f.Sig, PC: c.PC, Addr: f.Addr, Img: img, Idx: idx, Instr: in})
+			return
+		}
+		c.R[SP] += 8
+		c.F[in.Fd] = math.Float64frombits(v)
+	case MHost:
+		args := c.hostArgBuf[:in.HostArgs]
+		for i := 0; i < in.HostArgs; i++ {
+			v, f := c.Mem.Read(c.R[SP] + Word(8*(in.HostArgs-1-i)))
+			if f != nil {
+				c.trap(&Trap{Sig: f.Sig, PC: c.PC, Addr: f.Addr, Img: img, Idx: idx, Instr: in})
+				return
+			}
+			args[i] = v
+		}
+		res, st, err := c.Env.Call(in.Host, args, c.Mem.HostContext())
+		if err != nil {
+			sig := SigSEGV
+			if errors.Is(err, hostenv.ErrAbort) {
+				sig = SigABRT
+			} else if f, ok := err.(*Fault); ok {
+				sig = f.Sig
+			}
+			c.trap(&Trap{Sig: sig, PC: c.PC, Img: img, Idx: idx, Instr: in})
+			return
+		}
+		switch st {
+		case hostenv.Block:
+			c.Status = StatusBlocked
+			return // PC unchanged; the call re-issues after unblocking
+		case hostenv.Exit:
+			c.Status = StatusExited
+			c.ExitCode = res
+			return
+		}
+		c.R[R0] = res
+	case MAbort:
+		c.trap(&Trap{Sig: SigABRT, PC: c.PC, Img: img, Idx: idx, Instr: in})
+		return
+	case MHalt:
+		c.Status = StatusExited
+		c.ExitCode = c.R[in.Ra]
+		return
+	default:
+		c.trap(&Trap{Sig: SigILL, PC: c.PC, Img: img, Idx: idx, Instr: in})
+		return
+	}
+
+	c.Dyn++
+	if c.Profile {
+		cnts := c.Counts[img]
+		if cnts == nil {
+			if c.Counts == nil {
+				c.Counts = map[*Image][]uint64{}
+			}
+			cnts = make([]uint64, len(img.Prog.Code))
+			c.Counts[img] = cnts
+		}
+		cnts[idx]++
+	}
+	c.PC = nextPC
+	if c.StopPCSet && c.PC == c.StopPC {
+		c.Status = StatusExited
+		c.ExitCode = c.R[R0]
+		return
+	}
+	if c.AfterStep != nil {
+		c.AfterStep(c, img, idx, in)
+	}
+}
+
+// Run steps the CPU until it exits, traps, blocks, or retires `limit`
+// additional instructions (0 means no limit). It returns the status.
+func (c *CPU) Run(limit uint64) RunStatus {
+	if c.Status == StatusLimit {
+		// A budget pause is resumable (schedulers slice with it).
+		c.Status = StatusRunning
+	}
+	var budget uint64 = math.MaxUint64
+	if limit > 0 {
+		budget = limit
+	}
+	for c.Status == StatusRunning {
+		if budget == 0 {
+			c.Status = StatusLimit
+			break
+		}
+		budget--
+		c.Step()
+	}
+	return c.Status
+}
+
+// Unblock marks a blocked CPU runnable again (after its collective
+// completed).
+func (c *CPU) Unblock() {
+	if c.Status == StatusBlocked {
+		c.Status = StatusRunning
+	}
+}
+
+func boolWord(b bool) Word {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func cmpInt(cond Cond, a, b int64) bool {
+	switch cond {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondLT:
+		return a < b
+	case CondLE:
+		return a <= b
+	case CondGT:
+		return a > b
+	case CondGE:
+		return a >= b
+	}
+	return false
+}
+
+func cmpFloat(cond Cond, a, b float64) bool {
+	switch cond {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondLT:
+		return a < b
+	case CondLE:
+		return a <= b
+	case CondGT:
+		return a > b
+	case CondGE:
+		return a >= b
+	}
+	return false
+}

@@ -1,0 +1,243 @@
+package machine
+
+import "fmt"
+
+// Reg is an integer register number. R15 is the stack pointer and R14
+// the frame pointer by software convention; R0..R3 are caller-saved
+// scratch registers used by O0 code and spills; R4..R13 are allocatable.
+type Reg uint8
+
+// Architectural integer registers.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	FP // R14
+	SP // R15
+	// NoReg marks an absent register (e.g. no index register).
+	NoReg Reg = 0xff
+)
+
+// NumReg is the number of integer registers.
+const NumReg = 16
+
+// String returns the assembler name of the register.
+func (r Reg) String() string {
+	switch r {
+	case FP:
+		return "fp"
+	case SP:
+		return "sp"
+	case NoReg:
+		return "-"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// FReg is a floating-point register number. F0..F3 are scratch, F4..F15
+// allocatable.
+type FReg uint8
+
+// NumFReg is the number of float registers.
+const NumFReg = 16
+
+// NoFReg marks an absent float register.
+const NoFReg FReg = 0xff
+
+// String returns the assembler name of the float register.
+func (f FReg) String() string {
+	if f == NoFReg {
+		return "-"
+	}
+	return fmt.Sprintf("f%d", uint8(f))
+}
+
+// Cond is a comparison predicate for MSet/MFSet.
+type Cond uint8
+
+// Comparison predicates.
+const (
+	CondEQ Cond = iota
+	CondNE
+	CondLT
+	CondLE
+	CondGT
+	CondGE
+)
+
+// String returns the predicate mnemonic.
+func (c Cond) String() string {
+	return [...]string{"eq", "ne", "lt", "le", "gt", "ge"}[c]
+}
+
+// MOp is a machine opcode.
+type MOp uint8
+
+// Machine opcodes.
+const (
+	MNop MOp = iota
+
+	MMovImm // Rd = Imm
+	MMov    // Rd = Ra
+
+	// Integer ALU: Rd = Ra <op> src2 where src2 is Rb or Imm (UseImm).
+	MAdd
+	MSub
+	MMul
+	MDiv // raises SIGFPE on divide-by-zero or INT64_MIN/-1
+	MRem
+	MAnd
+	MOr
+	MXor
+	MShl
+	MShr // arithmetic right shift
+
+	MFMovImm // Fd = float64frombits(Imm)
+	MFMov    // Fd = Fa
+	MFAdd    // Fd = Fa + Fb
+	MFSub
+	MFMul
+	MFDiv
+
+	MCvtIF // Fd = float64(int64(Ra))
+	MCvtFI // Rd = int64(trunc(Fa))
+	MBitIF // Fd = float64frombits(Ra)
+	MBitFI // Rd = float64bits(Fa)
+
+	MSet  // Rd = 1 if Cond(Ra, src2) else 0 (signed)
+	MFSet // Rd = 1 if Cond(Fa, Fb) else 0
+
+	MLea    // Rd = Base + Index*Scale + Disp
+	MLoad   // Rd = mem64[Base + Index*Scale + Disp]
+	MFLoad  // Fd = mem64[ea] as float
+	MStore  // mem64[ea] = Ra
+	MFStore // mem64[ea] = Fa
+
+	MJmp  // PC = Target
+	MJnz  // if Ra != 0 { PC = Target }
+	MJz   // if Ra == 0 { PC = Target }
+	MCall // push return address; PC = Target (absolute)
+	MRet  // PC = pop()
+
+	MPush  // mem[--SP] = Ra
+	MPop   // Rd = mem[SP++]
+	MFPush // mem[--SP] = bits(Fa)
+	MFPop  // Fd = frombits(mem[SP++])
+
+	MHost  // host call by name; args on stack; result in R0
+	MAbort // raise SIGABRT
+	MHalt  // stop execution; exit code in Ra
+)
+
+var mopNames = [...]string{
+	MNop: "nop", MMovImm: "movi", MMov: "mov",
+	MAdd: "add", MSub: "sub", MMul: "mul", MDiv: "div", MRem: "rem",
+	MAnd: "and", MOr: "or", MXor: "xor", MShl: "shl", MShr: "shr",
+	MFMovImm: "fmovi", MFMov: "fmov", MFAdd: "fadd", MFSub: "fsub",
+	MFMul: "fmul", MFDiv: "fdiv",
+	MCvtIF: "cvtif", MCvtFI: "cvtfi", MBitIF: "bitif", MBitFI: "bitfi",
+	MSet: "set", MFSet: "fset",
+	MLea: "lea", MLoad: "load", MFLoad: "fload", MStore: "store", MFStore: "fstore",
+	MJmp: "jmp", MJnz: "jnz", MJz: "jz", MCall: "call", MRet: "ret",
+	MPush: "push", MPop: "pop", MFPush: "fpush", MFPop: "fpop",
+	MHost: "host", MAbort: "abort", MHalt: "halt",
+}
+
+// String returns the opcode mnemonic.
+func (o MOp) String() string {
+	if int(o) < len(mopNames) && mopNames[o] != "" {
+		return mopNames[o]
+	}
+	return fmt.Sprintf("mop(%d)", uint8(o))
+}
+
+// IsMemAccess reports whether the opcode dereferences a memory operand.
+func (o MOp) IsMemAccess() bool {
+	return o == MLoad || o == MFLoad || o == MStore || o == MFStore
+}
+
+// MInstr is one machine instruction. The encoding is struct-of-fields
+// rather than bits; the Disassemble method renders assembler text.
+type MInstr struct {
+	Op MOp
+
+	Rd, Ra, Rb Reg
+	Fd, Fa, Fb FReg
+
+	Cond   Cond
+	Imm    int64
+	UseImm bool
+
+	// Memory operand (MLea/MLoad/MFLoad/MStore/MFStore):
+	Base  Reg
+	Index Reg // NoReg if absent
+	Scale uint8
+	Disp  int64
+
+	// Target is the absolute address for MJmp/MJnz/MJz/MCall.
+	Target Word
+	// Sym is the symbolic name of a call target (informational).
+	Sym string
+
+	// Host call metadata.
+	Host         string
+	HostArgs     int
+	HostFloatRet bool
+
+	// Debug location (file on the containing function; see Program).
+	Line, Col int32
+}
+
+// EffectiveAddr computes the memory operand's effective address given a
+// register file.
+func (i *MInstr) EffectiveAddr(r *[NumReg]Word) Word {
+	ea := r[i.Base] + Word(i.Disp)
+	if i.Index != NoReg {
+		ea += r[i.Index] * Word(i.Scale)
+	}
+	return ea
+}
+
+// HasDest reports whether the instruction writes an integer register,
+// float register, or memory — i.e. whether it has a "destination
+// operand" in the fault-injection sense — and classifies it.
+func (i *MInstr) HasDest() (kind DestKind, ok bool) {
+	switch i.Op {
+	case MMovImm, MMov, MAdd, MSub, MMul, MDiv, MRem, MAnd, MOr, MXor,
+		MShl, MShr, MCvtFI, MBitFI, MSet, MFSet, MLea, MLoad, MPop:
+		return DestIntReg, true
+	case MFMovImm, MFMov, MFAdd, MFSub, MFMul, MFDiv, MCvtIF, MBitIF,
+		MFLoad, MFPop:
+		return DestFloatReg, true
+	case MStore, MFStore, MPush, MFPush:
+		return DestMemory, true
+	case MHost:
+		return DestIntReg, true // result lands in R0
+	}
+	return 0, false
+}
+
+// DestKind classifies an instruction's destination operand.
+type DestKind uint8
+
+// Destination kinds.
+const (
+	// DestIntReg writes Rd.
+	DestIntReg DestKind = iota + 1
+	// DestFloatReg writes Fd.
+	DestFloatReg
+	// DestMemory writes the memory word at the effective address (or at
+	// the new SP for pushes).
+	DestMemory
+)

@@ -1,0 +1,311 @@
+// Package machine implements the simulated execution substrate that
+// stands in for x86_64/Linux in this reproduction: a 64-bit register
+// machine with CISC-style base+index*scale+disp memory operands, a
+// sparse segmented address space that raises SIGSEGV/SIGBUS faults, a
+// resumable trap mechanism (the analogue of POSIX signal handlers that
+// may patch the interrupted context), and a disassembler used by the
+// Safeguard runtime to identify the faulting operand.
+package machine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"care/internal/hostenv"
+)
+
+// Word is a 64-bit machine word.
+type Word = uint64
+
+// Default address-space layout. All images are linked at fixed bases
+// (prelinked, in effect), so no load-time relocation is needed and every
+// process of the same binary sees identical addresses — which keeps
+// fault-injection campaigns deterministic.
+const (
+	// AppCodeBase is where the main executable's code is mapped.
+	AppCodeBase Word = 0x0000_0000_0040_0000
+	// AppGlobalBase is where the main executable's globals live.
+	AppGlobalBase Word = 0x0000_0000_1000_0000
+	// LibCodeBase is the base for the first shared library; subsequent
+	// libraries are spaced LibStride apart.
+	LibCodeBase Word = 0x0000_4000_0000_0000
+	// LibStride separates consecutive library images.
+	LibStride Word = 0x0000_0000_1000_0000
+	// HeapBase is the bottom of the simulated heap.
+	HeapBase Word = 0x0000_2000_0000_0000
+	// StackTop is the top of the main stack (stack grows down).
+	StackTop Word = 0x0000_7fff_fff0_0000
+	// DefaultStackSize is the main stack size in bytes.
+	DefaultStackSize = 1 << 20
+	// ScratchStackTop is the top of the signal-handler scratch stack
+	// used when Safeguard executes a recovery kernel.
+	ScratchStackTop Word = 0x0000_7fff_0000_0000
+	// ScratchStackSize is the scratch stack size in bytes.
+	ScratchStackSize = 64 << 10
+	// HeapGuard is the unmapped gap left between heap allocations so
+	// that modest address corruptions fall off the mapped space, as
+	// they do between real mmap'd regions.
+	HeapGuard Word = 4096
+	// AddrMask is the canonical-address mask: addresses with any bit
+	// above bit 47 set are never mappable (as on x86_64).
+	AddrMask Word = (1 << 48) - 1
+)
+
+// Signal identifies a hardware-trap class, mirroring the POSIX signals
+// the paper's fault study classifies crashes by.
+type Signal uint8
+
+const (
+	// SigNone means no signal.
+	SigNone Signal = iota
+	// SigSEGV is an access to an unmapped address.
+	SigSEGV
+	// SigBUS is a misaligned access to a mapped address.
+	SigBUS
+	// SigFPE is an integer divide error.
+	SigFPE
+	// SigABRT is an abort (assertion failure or abort() host call).
+	SigABRT
+	// SigILL is an attempt to execute a non-code address.
+	SigILL
+)
+
+// String returns the conventional signal name.
+func (s Signal) String() string {
+	switch s {
+	case SigNone:
+		return "NONE"
+	case SigSEGV:
+		return "SIGSEGV"
+	case SigBUS:
+		return "SIGBUS"
+	case SigFPE:
+		return "SIGFPE"
+	case SigABRT:
+		return "SIGABRT"
+	case SigILL:
+		return "SIGILL"
+	}
+	return fmt.Sprintf("SIG(%d)", uint8(s))
+}
+
+// Fault describes a failed memory access.
+type Fault struct {
+	Sig  Signal
+	Addr Word
+}
+
+// Error implements error.
+func (f *Fault) Error() string { return fmt.Sprintf("%s at 0x%x", f.Sig, f.Addr) }
+
+// Segment is a contiguous mapped region.
+type Segment struct {
+	Base Word
+	Data []byte
+	Name string
+}
+
+// End returns one past the last mapped byte.
+func (s *Segment) End() Word { return s.Base + Word(len(s.Data)) }
+
+// Memory is a sparse, segmented 48-bit address space.
+type Memory struct {
+	segs []*Segment
+	// heapNext is the bump pointer for Alloc.
+	heapNext Word
+	// cache holds the most recently hit segment (cheap 1-entry TLB).
+	cache *Segment
+}
+
+// NewMemory returns an empty address space with the heap initialised.
+func NewMemory() *Memory {
+	return &Memory{heapNext: HeapBase}
+}
+
+// Map adds a segment of size bytes at base. It returns an error if the
+// range is non-canonical, empty, or overlaps an existing segment.
+func (m *Memory) Map(base Word, size int, name string) (*Segment, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("machine: map %s: empty segment", name)
+	}
+	if base&^AddrMask != 0 || (base+Word(size))&^AddrMask != 0 || base+Word(size) < base {
+		return nil, fmt.Errorf("machine: map %s: non-canonical range [0x%x,0x%x)", name, base, base+Word(size))
+	}
+	i := sort.Search(len(m.segs), func(i int) bool { return m.segs[i].Base >= base })
+	if i > 0 && m.segs[i-1].End() > base {
+		return nil, fmt.Errorf("machine: map %s at 0x%x overlaps %s", name, base, m.segs[i-1].Name)
+	}
+	if i < len(m.segs) && m.segs[i].Base < base+Word(size) {
+		return nil, fmt.Errorf("machine: map %s at 0x%x overlaps %s", name, base, m.segs[i].Name)
+	}
+	s := &Segment{Base: base, Data: make([]byte, size), Name: name}
+	m.segs = append(m.segs, nil)
+	copy(m.segs[i+1:], m.segs[i:])
+	m.segs[i] = s
+	return s, nil
+}
+
+// Unmap removes a segment previously returned by Map.
+func (m *Memory) Unmap(s *Segment) {
+	for i, x := range m.segs {
+		if x == s {
+			m.segs = append(m.segs[:i], m.segs[i+1:]...)
+			if m.cache == s {
+				m.cache = nil
+			}
+			return
+		}
+	}
+}
+
+// Find returns the segment containing addr, or nil.
+func (m *Memory) Find(addr Word) *Segment {
+	if c := m.cache; c != nil && addr >= c.Base && addr < c.End() {
+		return c
+	}
+	i := sort.Search(len(m.segs), func(i int) bool { return m.segs[i].End() > addr })
+	if i < len(m.segs) && m.segs[i].Base <= addr {
+		m.cache = m.segs[i]
+		return m.segs[i]
+	}
+	return nil
+}
+
+// Segments returns the mapped segments in address order (shared slice;
+// callers must not mutate).
+func (m *Memory) Segments() []*Segment { return m.segs }
+
+// MappedBytes returns the total mapped size.
+func (m *Memory) MappedBytes() int {
+	n := 0
+	for _, s := range m.segs {
+		n += len(s.Data)
+	}
+	return n
+}
+
+// Read reads an 8-byte word; the access must be aligned and mapped.
+func (m *Memory) Read(addr Word) (Word, *Fault) {
+	s := m.Find(addr)
+	if s == nil || addr+8 > s.End() {
+		return 0, &Fault{Sig: SigSEGV, Addr: addr}
+	}
+	if addr&7 != 0 {
+		return 0, &Fault{Sig: SigBUS, Addr: addr}
+	}
+	return binary.LittleEndian.Uint64(s.Data[addr-s.Base:]), nil
+}
+
+// Write writes an 8-byte word; the access must be aligned and mapped.
+func (m *Memory) Write(addr Word, v Word) *Fault {
+	s := m.Find(addr)
+	if s == nil || addr+8 > s.End() {
+		return &Fault{Sig: SigSEGV, Addr: addr}
+	}
+	if addr&7 != 0 {
+		return &Fault{Sig: SigBUS, Addr: addr}
+	}
+	binary.LittleEndian.PutUint64(s.Data[addr-s.Base:], v)
+	return nil
+}
+
+// ReadFloat reads a word and reinterprets it as a float64.
+func (m *Memory) ReadFloat(addr Word) (float64, *Fault) {
+	w, f := m.Read(addr)
+	return math.Float64frombits(w), f
+}
+
+// WriteFloat writes a float64's bit pattern.
+func (m *Memory) WriteFloat(addr Word, v float64) *Fault {
+	return m.Write(addr, math.Float64bits(v))
+}
+
+// Alloc implements the heap: a bump allocator leaving HeapGuard-byte
+// unmapped gaps between allocations.
+func (m *Memory) Alloc(n Word) (Word, error) {
+	if n == 0 {
+		n = 8
+	}
+	n = (n + 7) &^ 7
+	base := m.heapNext
+	if _, err := m.Map(base, int(n), fmt.Sprintf("heap@0x%x", base)); err != nil {
+		return 0, err
+	}
+	m.heapNext = base + n + HeapGuard
+	// Keep allocations 4 KiB aligned for a page-like layout.
+	m.heapNext = (m.heapNext + 4095) &^ 4095
+	return base, nil
+}
+
+// memContext adapts Memory to hostenv.Context.
+type memContext struct{ m *Memory }
+
+func (c memContext) ReadWord(addr Word) (Word, error) {
+	w, f := c.m.Read(addr)
+	if f != nil {
+		return 0, f
+	}
+	return w, nil
+}
+
+func (c memContext) WriteWord(addr Word, v Word) error {
+	if f := c.m.Write(addr, v); f != nil {
+		return f
+	}
+	return nil
+}
+
+func (c memContext) Alloc(n Word) (Word, error) { return c.m.Alloc(n) }
+
+// HostContext returns the hostenv.Context view of this memory.
+func (m *Memory) HostContext() hostenv.Context { return memContext{m} }
+
+// Snapshot serialises all segments and the heap pointer; Restore brings
+// the memory back to that state. This is the substrate used by the
+// checkpoint/restart baseline.
+type Snapshot struct {
+	Segs     []SegSnapshot
+	HeapNext Word
+}
+
+// SegSnapshot is one segment's saved image.
+type SegSnapshot struct {
+	Base Word
+	Name string
+	Data []byte
+}
+
+// Snapshot captures a deep copy of the memory.
+func (m *Memory) Snapshot() *Snapshot {
+	sn := &Snapshot{HeapNext: m.heapNext}
+	for _, s := range m.segs {
+		d := make([]byte, len(s.Data))
+		copy(d, s.Data)
+		sn.Segs = append(sn.Segs, SegSnapshot{Base: s.Base, Name: s.Name, Data: d})
+	}
+	return sn
+}
+
+// Restore replaces the memory contents with the snapshot's.
+func (m *Memory) Restore(sn *Snapshot) {
+	m.segs = m.segs[:0]
+	m.cache = nil
+	m.heapNext = sn.HeapNext
+	for _, s := range sn.Segs {
+		d := make([]byte, len(s.Data))
+		copy(d, s.Data)
+		m.segs = append(m.segs, &Segment{Base: s.Base, Name: s.Name, Data: d})
+	}
+}
+
+// Bytes returns the serialised size of a snapshot (for the C/R cost
+// model).
+func (sn *Snapshot) Bytes() int {
+	n := 16
+	for _, s := range sn.Segs {
+		n += 16 + len(s.Name) + len(s.Data)
+	}
+	return n
+}

@@ -1,0 +1,140 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"care/internal/debuginfo"
+)
+
+// FuncSym is a function symbol: name plus entry code index.
+type FuncSym struct {
+	Name  string
+	Entry int
+}
+
+// GlobalSym describes a global in the image's data segment. Extern
+// globals live in another image; their absolute address was baked in at
+// compile time (the images are prelinked), so they occupy no space here.
+type GlobalSym struct {
+	Name   string
+	Off    Word // offset within the image's global segment
+	Size   Word
+	Extern bool
+	Addr   Word // absolute address (base+off, or the extern target)
+}
+
+// Program is a compiled image: machine code, an initial data segment,
+// symbol tables and debug information. Programs are position-dependent:
+// CodeBase/GlobalBase were fixed at compile time.
+type Program struct {
+	Name       string
+	CodeBase   Word
+	GlobalBase Word
+	Code       []MInstr
+	Funcs      []FuncSym
+	GlobalInit []byte
+	Globals    []GlobalSym
+	Debug      *debuginfo.Info
+	// OptLevel records the optimisation level the image was built with.
+	OptLevel int
+}
+
+// EndAddr returns one past the last code address.
+func (p *Program) EndAddr() Word { return p.CodeBase + Word(8*len(p.Code)) }
+
+// AddrOf returns the absolute address of code index idx.
+func (p *Program) AddrOf(idx int) Word { return p.CodeBase + Word(8*idx) }
+
+// IndexOf returns the code index of an absolute address within this
+// program, or -1.
+func (p *Program) IndexOf(addr Word) int {
+	if addr < p.CodeBase || addr >= p.EndAddr() || (addr-p.CodeBase)%8 != 0 {
+		return -1
+	}
+	return int((addr - p.CodeBase) / 8)
+}
+
+// FuncEntry returns the absolute entry address of a named function.
+func (p *Program) FuncEntry(name string) (Word, bool) {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return p.AddrOf(f.Entry), true
+		}
+	}
+	return 0, false
+}
+
+// GlobalAddr returns the absolute address of a named global.
+func (p *Program) GlobalAddr(name string) (Word, bool) {
+	for _, g := range p.Globals {
+		if g.Name == name {
+			return g.Addr, true
+		}
+	}
+	return 0, false
+}
+
+// Encode serialises the program (the "shared object file" of the
+// reproduction — recovery libraries are shipped and lazily loaded in
+// this form).
+func (p *Program) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, fmt.Errorf("machine: encode program: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeProgram deserialises a program image.
+func DecodeProgram(b []byte) (*Program, error) {
+	var p Program
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("machine: decode program: %w", err)
+	}
+	return &p, nil
+}
+
+// Image is a program mapped into a process: its code range responds to
+// instruction fetches and its globals occupy a data segment.
+type Image struct {
+	Prog      *Program
+	GlobalSeg *Segment
+}
+
+// Base returns the image's code base address.
+func (im *Image) Base() Word { return im.Prog.CodeBase }
+
+// End returns one past the image's last code address.
+func (im *Image) End() Word { return im.Prog.EndAddr() }
+
+// Contains reports whether the absolute address is inside this image's
+// code — the dladdr() analogue Safeguard uses to attribute a faulting
+// PC to the right image (and thus line table).
+func (im *Image) Contains(pc Word) bool { return pc >= im.Base() && pc < im.End() }
+
+// Load maps a program into memory: its globals segment is created and
+// initialised. The returned Image can be attached to a CPU.
+func Load(mem *Memory, p *Program) (*Image, error) {
+	im := &Image{Prog: p}
+	if len(p.GlobalInit) > 0 {
+		seg, err := mem.Map(p.GlobalBase, len(p.GlobalInit), p.Name+".data")
+		if err != nil {
+			return nil, err
+		}
+		copy(seg.Data, p.GlobalInit)
+		im.GlobalSeg = seg
+	}
+	return im, nil
+}
+
+// Unload removes the image's data segment from memory (the dlclose
+// analogue; Safeguard unloads the recovery library after each repair to
+// keep the steady-state footprint fixed).
+func (im *Image) Unload(mem *Memory) {
+	if im.GlobalSeg != nil {
+		mem.Unmap(im.GlobalSeg)
+		im.GlobalSeg = nil
+	}
+}

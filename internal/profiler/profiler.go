@@ -1,0 +1,51 @@
+// Package profiler is the reproduction's stand-in for Intel Pin in the
+// paper's §5.1 methodology: it runs a binary once while counting how
+// often every static instruction executes, so that the fault injector
+// can pick a static instruction weighted by its dynamic frequency and a
+// uniform occurrence index — approximating a uniformly random dynamic
+// instruction without tracing.
+package profiler
+
+import (
+	"fmt"
+
+	"care/internal/core"
+	"care/internal/machine"
+)
+
+// Profile is the result of a profiling (golden) run.
+type Profile struct {
+	// TotalDyn is the retired dynamic instruction count.
+	TotalDyn uint64
+	// Counts holds per-static-instruction execution counts, per image,
+	// keyed by the image's program name.
+	Counts map[string][]uint64
+	// Golden is the fault-free result stream.
+	Golden []float64
+	// ExitCode of the golden run.
+	ExitCode uint64
+}
+
+// Run executes the binary (with optional extra library binaries) to
+// completion with profiling enabled. limit bounds the run (0 = none).
+func Run(app *core.Binary, libs []*core.Binary, limit uint64) (*Profile, error) {
+	p, err := core.NewProcess(core.ProcessConfig{App: app, Libs: libs})
+	if err != nil {
+		return nil, err
+	}
+	p.CPU.Profile = true
+	st := p.Run(limit)
+	if st != machine.StatusExited {
+		return nil, fmt.Errorf("profiler: golden run did not exit: %v (trap %v)", st, p.CPU.PendingTrap)
+	}
+	prof := &Profile{
+		TotalDyn: p.CPU.Dyn,
+		Counts:   map[string][]uint64{},
+		Golden:   append([]float64(nil), p.Results()...),
+		ExitCode: p.CPU.ExitCode,
+	}
+	for img, cnts := range p.CPU.Counts {
+		prof.Counts[img.Prog.Name] = cnts
+	}
+	return prof, nil
+}

@@ -1,0 +1,196 @@
+// Package progen generates random — but deterministic, seeded —
+// mini-IR programs for differential testing: any generated program must
+// produce bit-identical result streams under the IR interpreter, the O0
+// image and the O1 image. The generator exercises nested loops,
+// conditionals, loop-carried scalars, array loads/stores through GEPs,
+// integer and float arithmetic, host math calls and direct calls to a
+// generated helper function — with enough simultaneously-live values to
+// force the register allocator to spill.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"care/internal/ir"
+	"care/internal/irbuild"
+)
+
+// Options bounds the generated program.
+type Options struct {
+	// Arrays is the number of global f64 arrays (default 3).
+	Arrays int
+	// ArrayLen is each array's element count (default 24).
+	ArrayLen int
+	// MaxDepth bounds control-flow nesting (default 3).
+	MaxDepth int
+	// Stmts is the number of statements per block (default 5).
+	Stmts int
+}
+
+func (o Options) def() Options {
+	if o.Arrays == 0 {
+		o.Arrays = 3
+	}
+	if o.ArrayLen == 0 {
+		o.ArrayLen = 24
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 3
+	}
+	if o.Stmts == 0 {
+		o.Stmts = 5
+	}
+	return o
+}
+
+type gen struct {
+	rng    *rand.Rand
+	fb     *irbuild.FB
+	opts   Options
+	arrays []*ir.Global
+	// ints/floats are in-scope SSA values usable as operands.
+	ints   []ir.Value
+	floats []ir.Value
+	helper *ir.Func
+}
+
+// Generate builds a random module named progen<seed>.
+func Generate(seed int64, opts Options) *ir.Module {
+	opts = opts.def()
+	rng := rand.New(rand.NewSource(seed))
+	m := ir.NewModule(fmt.Sprintf("progen%d", seed))
+	g := &gen{rng: rng, opts: opts}
+	for i := 0; i < opts.Arrays; i++ {
+		init := make([]float64, opts.ArrayLen)
+		for j := range init {
+			init[j] = 2*rng.Float64() - 1
+		}
+		g.arrays = append(g.arrays, m.AddGlobal(&ir.Global{
+			Name: fmt.Sprintf("arr%d", i), Size: int64(opts.ArrayLen) * 8, InitF64: init,
+		}))
+	}
+	b := ir.NewBuilder(m)
+	g.fb = irbuild.New(b)
+
+	// A pure helper function callable from generated code (and treated
+	// as a simple function by Armor).
+	g.helper = b.NewFunc("mix", ir.I64, ir.Param("a", ir.I64), ir.Param("b", ir.I64))
+	{
+		a, bb := g.helper.Params[0], g.helper.Params[1]
+		t := g.fb.Xor(g.fb.Mul(a, irbuild.I(31)), bb)
+		g.fb.Ret(g.fb.And(t, irbuild.I(1<<20-1)))
+	}
+
+	b.NewFunc("main", ir.I64)
+	g.ints = []ir.Value{irbuild.I(1), irbuild.I(7)}
+	g.floats = []ir.Value{irbuild.F(0.5), irbuild.F(-1.25)}
+	g.block(opts.MaxDepth)
+
+	// Emit checksums of every array plus the live scalars.
+	for _, a := range g.arrays {
+		s := g.fb.For(irbuild.I(0), irbuild.I(int64(opts.ArrayLen)), 1,
+			[]ir.Value{irbuild.F(0)}, func(i ir.Value, c []ir.Value) []ir.Value {
+				return []ir.Value{g.fb.FAdd(c[0], g.fb.LoadAt(ir.F64, a, i))}
+			})
+		g.fb.Result(s[0])
+	}
+	g.fb.Result(g.intOperand())
+	g.fb.Result(g.floatOperand())
+	g.fb.Ret(irbuild.I(0))
+
+	if err := ir.VerifyModule(m); err != nil {
+		panic("progen: generated invalid module: " + err.Error())
+	}
+	return m
+}
+
+// scope snapshots the operand pools; the returned func restores them,
+// dropping values that would not dominate code after the construct.
+func (g *gen) scope() func() {
+	ni, nf := len(g.ints), len(g.floats)
+	return func() {
+		g.ints = g.ints[:ni]
+		g.floats = g.floats[:nf]
+	}
+}
+
+func (g *gen) intOperand() ir.Value   { return g.ints[g.rng.Intn(len(g.ints))] }
+func (g *gen) floatOperand() ir.Value { return g.floats[g.rng.Intn(len(g.floats))] }
+func (g *gen) array() *ir.Global      { return g.arrays[g.rng.Intn(len(g.arrays))] }
+
+// safeIndex wraps an arbitrary integer value into [0, ArrayLen) so the
+// fault-free program never faults.
+func (g *gen) safeIndex(v ir.Value) ir.Value {
+	n := int64(g.opts.ArrayLen)
+	r := g.fb.SRem(v, irbuild.I(n))
+	return g.fb.SRem(g.fb.Add(r, irbuild.I(n)), irbuild.I(n))
+}
+
+func (g *gen) block(depth int) {
+	for s := 0; s < g.opts.Stmts; s++ {
+		g.fb.NewLine()
+		switch k := g.rng.Intn(10); {
+		case k < 3: // integer arithmetic
+			ops := []func(a, b ir.Value) *ir.Instr{g.fb.Add, g.fb.Sub, g.fb.Mul, g.fb.And, g.fb.Or, g.fb.Xor}
+			v := ops[g.rng.Intn(len(ops))](g.intOperand(), g.intOperand())
+			g.ints = append(g.ints, g.fb.And(v, irbuild.I(1<<24-1)))
+		case k < 5: // float arithmetic / math call
+			switch g.rng.Intn(4) {
+			case 0:
+				g.floats = append(g.floats, g.fb.FAdd(g.floatOperand(), g.floatOperand()))
+			case 1:
+				g.floats = append(g.floats, g.fb.FMul(g.floatOperand(), irbuild.F(0.75)))
+			case 2:
+				g.floats = append(g.floats, g.fb.FSub(g.floatOperand(), g.floatOperand()))
+			case 3:
+				g.floats = append(g.floats, g.fb.HostCall("fabs", ir.F64, g.floatOperand()))
+			}
+		case k < 6: // helper call
+			g.ints = append(g.ints, g.fb.Call(g.helper, g.intOperand(), g.intOperand()))
+		case k < 7: // array load
+			idx := g.safeIndex(g.intOperand())
+			g.floats = append(g.floats, g.fb.LoadAt(ir.F64, g.array(), idx))
+		case k < 8: // array store
+			idx := g.safeIndex(g.intOperand())
+			g.fb.StoreAt(g.floatOperand(), g.array(), idx)
+		case k < 9 && depth > 0: // conditional with joined values
+			cond := g.fb.ICmp(ir.OpICmpSLT, g.intOperand(), g.intOperand())
+			a1, a2 := g.intOperand(), g.intOperand()
+			f1, f2 := g.floatOperand(), g.floatOperand()
+			out := g.fb.If(cond, func() []ir.Value {
+				// Values defined inside the branch do not dominate the
+				// join; scope the operand pools.
+				defer g.scope()()
+				g.block(depth - 1)
+				return []ir.Value{g.fb.Add(a1, irbuild.I(3)), f1}
+			}, func() []ir.Value {
+				defer g.scope()()
+				return []ir.Value{a2, g.fb.FMul(f2, irbuild.F(0.5))}
+			})
+			g.ints = append(g.ints, out[0])
+			g.floats = append(g.floats, out[1])
+		default: // loop with carried scalars
+			if depth == 0 {
+				g.ints = append(g.ints, g.fb.Add(g.intOperand(), irbuild.I(1)))
+				continue
+			}
+			n := int64(2 + g.rng.Intn(5))
+			carried := []ir.Value{g.intOperand(), g.floatOperand()}
+			out := g.fb.For(irbuild.I(0), irbuild.I(n), 1, carried,
+				func(i ir.Value, c []ir.Value) []ir.Value {
+					defer g.scope()()
+					// The loop-carried phis dominate the body; make
+					// them available as operands within it.
+					g.ints = append(g.ints, c[0])
+					g.floats = append(g.floats, c[1])
+					g.block(depth - 1)
+					ni := g.fb.And(g.fb.Add(c[0], i), irbuild.I(1<<24-1))
+					nf := g.fb.FAdd(c[1], irbuild.F(0.125))
+					return []ir.Value{ni, nf}
+				})
+			g.ints = append(g.ints, out[0])
+			g.floats = append(g.floats, out[1])
+		}
+	}
+}

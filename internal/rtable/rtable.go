@@ -1,0 +1,274 @@
+// Package rtable implements CARE's Recovery Table: the compile-time
+// artifact that tells the Safeguard runtime, for each protected memory
+// access instruction, which recovery kernel to run and which values to
+// feed it. Entries are keyed by the MD5 hash of the instruction's
+// (file:line:column) debug tuple, exactly as in the paper (which used
+// protobuf for the encoding and mhash for the digest; this package
+// provides a compact custom binary codec instead).
+package rtable
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"fmt"
+
+	"care/internal/debuginfo"
+)
+
+// Key is the 16-byte MD5 digest of a source key.
+type Key [16]byte
+
+// KeyOf hashes a (file, line, column) tuple.
+func KeyOf(k debuginfo.Key) Key {
+	return md5.Sum([]byte(k.String()))
+}
+
+// Param names one input of a recovery kernel: an SSA value of the
+// function containing the protected instruction, fetched at recovery
+// time through the debug-info location lists.
+type Param struct {
+	// Name is the SSA value (or argument) name within Func.
+	Name string
+	// IsFloat marks F64 values (fetched from float registers).
+	IsFloat bool
+	// Equivs lists affine equivalences usable to *reconstruct* this
+	// parameter when it is the corrupted value — the paper's Figure 11
+	// induction-variable recovery (implemented here as an extension;
+	// the paper lists it as future work).
+	Equivs []Equiv
+}
+
+// ValRef names a runtime-fetchable quantity: either an embedded
+// constant or another SSA value fetched via debug info.
+type ValRef struct {
+	IsConst bool
+	Const   int64
+	Name    string
+}
+
+// ConstRef builds a constant reference.
+func ConstRef(v int64) ValRef { return ValRef{IsConst: true, Const: v} }
+
+// NameRef builds a named-value reference.
+func NameRef(n string) ValRef { return ValRef{Name: n} }
+
+// Equiv describes how to reconstruct an induction variable p from a
+// sibling induction variable q of the same loop:
+//
+//	p = pInit + (q - qInit) * pStep / qStep
+//
+// All four auxiliary quantities are loop-invariant; under the
+// single-fault model, when the coverage-scope check proves some kernel
+// input was corrupted and the relation yields a p different from the
+// fetched one, the reconstructed p is the true value.
+type Equiv struct {
+	// Other is the sibling induction variable q.
+	Other string
+	// PInit/QInit are the entry values of p and q.
+	PInit, QInit ValRef
+	// PStep/QStep are the per-iteration increments.
+	PStep, QStep ValRef
+}
+
+// Entry describes one recovery kernel.
+type Entry struct {
+	Key Key
+	// Symbol is the kernel's function name in the recovery library.
+	Symbol string
+	// Func is the application function containing the protected
+	// instruction (scopes the parameter names).
+	Func string
+	// Params are the kernel inputs, in call order.
+	Params []Param
+}
+
+// Table is the full recovery table of one image.
+type Table struct {
+	Entries []Entry
+
+	index map[Key]int
+}
+
+// Add appends an entry.
+func (t *Table) Add(e Entry) { t.Entries = append(t.Entries, e) }
+
+// buildIndex (re)builds the lookup map.
+func (t *Table) buildIndex() {
+	t.index = make(map[Key]int, len(t.Entries))
+	for i, e := range t.Entries {
+		t.index[e.Key] = i
+	}
+}
+
+// Lookup finds the entry for a hashed key.
+func (t *Table) Lookup(k Key) (*Entry, bool) {
+	if t.index == nil {
+		t.buildIndex()
+	}
+	i, ok := t.index[k]
+	if !ok {
+		return nil, false
+	}
+	return &t.Entries[i], true
+}
+
+// LookupSource hashes and looks up a source key.
+func (t *Table) LookupSource(k debuginfo.Key) (*Entry, bool) {
+	return t.Lookup(KeyOf(k))
+}
+
+const magic = "CARERTB2"
+
+// Encode serialises the table.
+func (t *Table) Encode() []byte {
+	var b []byte
+	b = append(b, magic...)
+	b = binary.AppendUvarint(b, uint64(len(t.Entries)))
+	appendStr := func(s string) {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	appendRef := func(r ValRef) {
+		if r.IsConst {
+			b = append(b, 1)
+			b = binary.AppendVarint(b, r.Const)
+		} else {
+			b = append(b, 0)
+			appendStr(r.Name)
+		}
+	}
+	for _, e := range t.Entries {
+		b = append(b, e.Key[:]...)
+		appendStr(e.Symbol)
+		appendStr(e.Func)
+		b = binary.AppendUvarint(b, uint64(len(e.Params)))
+		for _, p := range e.Params {
+			appendStr(p.Name)
+			if p.IsFloat {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+			b = binary.AppendUvarint(b, uint64(len(p.Equivs)))
+			for _, q := range p.Equivs {
+				appendStr(q.Other)
+				appendRef(q.PInit)
+				appendRef(q.QInit)
+				appendRef(q.PStep)
+				appendRef(q.QStep)
+			}
+		}
+	}
+	return b
+}
+
+// Decode deserialises a table; Safeguard does this lazily at the first
+// fault, which is why decode cost shows up in the recovery-time
+// breakdown rather than in normal execution.
+func Decode(b []byte) (*Table, error) {
+	if len(b) < len(magic) || string(b[:len(magic)]) != magic {
+		return nil, fmt.Errorf("rtable: bad magic")
+	}
+	b = b[len(magic):]
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return 0, fmt.Errorf("rtable: truncated varint")
+		}
+		b = b[n:]
+		return v, nil
+	}
+	readStr := func() (string, error) {
+		n, err := readUvarint()
+		if err != nil {
+			return "", err
+		}
+		if uint64(len(b)) < n {
+			return "", fmt.Errorf("rtable: truncated string")
+		}
+		s := string(b[:n])
+		b = b[n:]
+		return s, nil
+	}
+	n, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Entries: make([]Entry, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		var e Entry
+		if len(b) < 16 {
+			return nil, fmt.Errorf("rtable: truncated key")
+		}
+		copy(e.Key[:], b[:16])
+		b = b[16:]
+		if e.Symbol, err = readStr(); err != nil {
+			return nil, err
+		}
+		if e.Func, err = readStr(); err != nil {
+			return nil, err
+		}
+		np, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		readRef := func() (ValRef, error) {
+			if len(b) < 1 {
+				return ValRef{}, fmt.Errorf("rtable: truncated valref")
+			}
+			isConst := b[0] == 1
+			b = b[1:]
+			if isConst {
+				v, n := binary.Varint(b)
+				if n <= 0 {
+					return ValRef{}, fmt.Errorf("rtable: truncated const ref")
+				}
+				b = b[n:]
+				return ValRef{IsConst: true, Const: v}, nil
+			}
+			name, err := readStr()
+			if err != nil {
+				return ValRef{}, err
+			}
+			return ValRef{Name: name}, nil
+		}
+		for j := uint64(0); j < np; j++ {
+			var p Param
+			if p.Name, err = readStr(); err != nil {
+				return nil, err
+			}
+			if len(b) < 1 {
+				return nil, fmt.Errorf("rtable: truncated param flag")
+			}
+			p.IsFloat = b[0] == 1
+			b = b[1:]
+			nq, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			for k := uint64(0); k < nq; k++ {
+				var q Equiv
+				if q.Other, err = readStr(); err != nil {
+					return nil, err
+				}
+				if q.PInit, err = readRef(); err != nil {
+					return nil, err
+				}
+				if q.QInit, err = readRef(); err != nil {
+					return nil, err
+				}
+				if q.PStep, err = readRef(); err != nil {
+					return nil, err
+				}
+				if q.QStep, err = readRef(); err != nil {
+					return nil, err
+				}
+				p.Equivs = append(p.Equivs, q)
+			}
+			e.Params = append(e.Params, p)
+		}
+		t.Entries = append(t.Entries, e)
+	}
+	t.buildIndex()
+	return t, nil
+}

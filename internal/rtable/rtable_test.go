@@ -1,0 +1,123 @@
+package rtable
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"care/internal/debuginfo"
+)
+
+func TestKeyOfIsStable(t *testing.T) {
+	k1 := KeyOf(debuginfo.Key{File: "m/f", Line: 3, Col: 7})
+	k2 := KeyOf(debuginfo.Key{File: "m/f", Line: 3, Col: 7})
+	if k1 != k2 {
+		t.Fatal("hashing not deterministic")
+	}
+	k3 := KeyOf(debuginfo.Key{File: "m/f", Line: 3, Col: 8})
+	if k1 == k3 {
+		t.Fatal("distinct tuples collide trivially")
+	}
+	// The key string form feeds MD5 exactly as the paper's
+	// (file,line,col) tuple.
+	if (debuginfo.Key{File: "a", Line: 1, Col: 2}).String() != "a:1:2" {
+		t.Fatal("key string form changed")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tb := &Table{}
+	tb.Add(Entry{
+		Key:    KeyOf(debuginfo.Key{File: "w/main", Line: 4, Col: 2}),
+		Symbol: "__care_k0", Func: "main",
+		Params: []Param{{Name: "v1"}, {Name: "v2", IsFloat: true}},
+	})
+	tb.Add(Entry{
+		Key:    KeyOf(debuginfo.Key{File: "w/helper", Line: 9, Col: 1}),
+		Symbol: "__care_k1", Func: "helper",
+	})
+	dec, err := Decode(tb.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec.Entries, tb.Entries) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", dec.Entries, tb.Entries)
+	}
+	e, ok := dec.LookupSource(debuginfo.Key{File: "w/main", Line: 4, Col: 2})
+	if !ok || e.Symbol != "__care_k0" || len(e.Params) != 2 {
+		t.Fatalf("lookup after decode: %+v %v", e, ok)
+	}
+	if _, ok := dec.LookupSource(debuginfo.Key{File: "w/main", Line: 4, Col: 3}); ok {
+		t.Fatal("lookup of absent key succeeded")
+	}
+}
+
+// TestRoundTripProperty: random tables round-trip exactly.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := &Table{}
+		n := rng.Intn(20)
+		for i := 0; i < n; i++ {
+			var k Key
+			rng.Read(k[:])
+			e := Entry{Key: k, Symbol: randStr(rng), Func: randStr(rng)}
+			for j := rng.Intn(5); j > 0; j-- {
+				e.Params = append(e.Params, Param{Name: randStr(rng), IsFloat: rng.Intn(2) == 1})
+			}
+			tb.Add(e)
+		}
+		dec, err := Decode(tb.Encode())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(dec.Entries, tb.Entries) ||
+			(len(dec.Entries) == 0 && len(tb.Entries) == 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randStr(rng *rand.Rand) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz_0123456789"
+	b := make([]byte, 1+rng.Intn(12))
+	for i := range b {
+		b[i] = alpha[rng.Intn(len(alpha))]
+	}
+	return string(b)
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTMAGIC________________"),
+		append([]byte("CARERTB1"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff), // giant count then truncation
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Truncated valid table.
+	tb := &Table{}
+	tb.Add(Entry{Symbol: "s", Func: "f", Params: []Param{{Name: "p"}}})
+	enc := tb.Encode()
+	for cut := len(enc) - 1; cut > 8; cut -= 3 {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestLookupIndexRebuild(t *testing.T) {
+	tb := &Table{}
+	k := KeyOf(debuginfo.Key{File: "x", Line: 1, Col: 1})
+	tb.Add(Entry{Key: k, Symbol: "s", Func: "f"})
+	// Lookup without an explicit decode must build the index lazily.
+	if _, ok := tb.Lookup(k); !ok {
+		t.Fatal("lazy index lookup failed")
+	}
+}

@@ -1,0 +1,61 @@
+package safeguard
+
+import (
+	"fmt"
+
+	"care/internal/machine"
+	"care/internal/rtable"
+)
+
+// ComputeAddress runs the recovery kernel registered for the
+// instruction at code index idx of the unit's image against the CPU's
+// *current* (un-faulted) state, and returns the effective address the
+// kernel computes. ok is false when the instruction has no kernel.
+//
+// This is the verification surface for CARE's central invariant: on an
+// uncorrupted execution, a recovery kernel must recompute exactly the
+// effective address its instruction is about to dereference — the
+// property that makes the §3.4 coverage-scope check sound.
+func (sg *Safeguard) ComputeAddress(c *machine.CPU, u *Unit, idx int) (machine.Word, bool, error) {
+	key, okKey := u.Image.Prog.Debug.KeyAt(idx)
+	if !okKey || (key.Line == 0 && key.Col == 0) {
+		return 0, false, nil
+	}
+	table, err := sg.loadTable(u)
+	if err != nil {
+		return 0, false, err
+	}
+	entry, ok := table.LookupSource(key)
+	if !ok {
+		return 0, false, nil
+	}
+	lib, err := sg.loadLib(u)
+	if err != nil {
+		return 0, true, err
+	}
+	trap := &machine.Trap{Img: u.Image, Idx: idx, PC: u.Image.Prog.AddrOf(idx)}
+	args, okArgs := sg.fetchParams(c, trap, entry)
+	if !okArgs {
+		return 0, true, fmt.Errorf("safeguard: parameters unavailable for %s at idx %d", entry.Symbol, idx)
+	}
+	addr, err := sg.runKernel(c, lib, entry.Symbol, args)
+	if err != nil {
+		return 0, true, err
+	}
+	return addr, true, nil
+}
+
+// NewForVerification builds a Safeguard over the units without
+// installing a trap handler (for ComputeAddress-based checks).
+func NewForVerification(units []*Unit, cfg Config) *Safeguard {
+	sg := &Safeguard{
+		cfg:          cfg,
+		units:        map[*machine.Image]*Unit{},
+		cachedTables: map[*Unit]*rtable.Table{},
+		cachedLibs:   map[*Unit]*machine.Program{},
+	}
+	for _, u := range units {
+		sg.units[u.Image] = u
+	}
+	return sg
+}

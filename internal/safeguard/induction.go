@@ -1,0 +1,117 @@
+package safeguard
+
+import (
+	"math"
+
+	"care/internal/debuginfo"
+	"care/internal/machine"
+	"care/internal/rtable"
+)
+
+// tryInductionRecovery implements the paper's Figure-11 future-work
+// extension. It runs when the coverage-scope check has proven that some
+// kernel input is contaminated (the kernel reproduced the faulting
+// address). For each parameter carrying affine equivalences
+//
+//	p = pInit + (q - qInit) * pStep / qStep
+//
+// it reconstructs p from its sibling induction variable q. Under the
+// single-fault model the reconstruction is sound: if the relation is
+// intact (reconstructed == fetched) this parameter was not the corrupted
+// one; if it differs, q and the auxiliaries are uncorrupted (a fault in
+// q could not have produced this kernel's faulting address) and the
+// reconstructed value is the true p. Re-running the kernel with the
+// repaired parameter then yields the correct address; Safeguard patches
+// the operand AND writes the repaired value back to the variable's home
+// so the loop continues with consistent state.
+func (sg *Safeguard) tryInductionRecovery(c *machine.CPU, t *machine.Trap,
+	entry *rtable.Entry, lib *machine.Program, args []machine.Word) (machine.Word, bool) {
+	for pi, p := range entry.Params {
+		if p.IsFloat || len(p.Equivs) == 0 {
+			continue
+		}
+		for _, eq := range p.Equivs {
+			q, ok := sg.fetchRef(c, t, entry.Func, rtable.NameRef(eq.Other))
+			if !ok {
+				continue
+			}
+			pInit, ok := sg.fetchRef(c, t, entry.Func, eq.PInit)
+			if !ok {
+				continue
+			}
+			qInit, ok := sg.fetchRef(c, t, entry.Func, eq.QInit)
+			if !ok {
+				continue
+			}
+			pStep, ok := sg.fetchRef(c, t, entry.Func, eq.PStep)
+			if !ok {
+				continue
+			}
+			qStep, ok := sg.fetchRef(c, t, entry.Func, eq.QStep)
+			if !ok || qStep == 0 {
+				continue
+			}
+			num := (int64(q) - int64(qInit)) * int64(pStep)
+			if num%int64(qStep) != 0 {
+				continue // relation cannot hold exactly; bad candidate
+			}
+			rec := machine.Word(pInit + machine.Word(num/int64(qStep)))
+			if rec == args[pi] {
+				continue // relation intact: this parameter is clean
+			}
+			// Hypothesis: parameter pi was the corrupted value. Re-run
+			// the kernel with the reconstruction.
+			retry := append([]machine.Word(nil), args...)
+			retry[pi] = rec
+			addr, err := sg.runKernel(c, lib, entry.Symbol, retry)
+			if err != nil || addr == t.Addr {
+				continue
+			}
+			// Repair the variable's home so the loop itself continues
+			// with the correct induction state, not just this access.
+			sg.repairVar(c, t, entry.Func, p.Name, rec)
+			return addr, true
+		}
+	}
+	return 0, false
+}
+
+// fetchRef resolves a ValRef against the stalled process.
+func (sg *Safeguard) fetchRef(c *machine.CPU, t *machine.Trap, fn string, r rtable.ValRef) (machine.Word, bool) {
+	if r.IsConst {
+		return machine.Word(r.Const), true
+	}
+	loc, ok := t.Img.Prog.Debug.Lookup(fn, r.Name, t.Idx)
+	if !ok {
+		return 0, false
+	}
+	switch loc.Kind {
+	case debuginfo.LocReg:
+		return c.R[loc.Reg], true
+	case debuginfo.LocFReg:
+		return math.Float64bits(c.F[loc.Reg]), true
+	case debuginfo.LocFPOff:
+		v, f := c.Mem.Read(c.R[machine.FP] + machine.Word(loc.Off))
+		if f != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// repairVar writes a reconstructed value back to a variable's home.
+func (sg *Safeguard) repairVar(c *machine.CPU, t *machine.Trap, fn, name string, v machine.Word) {
+	loc, ok := t.Img.Prog.Debug.Lookup(fn, name, t.Idx)
+	if !ok {
+		return
+	}
+	switch loc.Kind {
+	case debuginfo.LocReg:
+		c.R[loc.Reg] = v
+	case debuginfo.LocFReg:
+		c.F[loc.Reg] = math.Float64frombits(v)
+	case debuginfo.LocFPOff:
+		_ = c.Mem.Write(c.R[machine.FP]+machine.Word(loc.Off), v)
+	}
+}

@@ -1,0 +1,480 @@
+// Package safeguard implements CARE's runtime system: a SIGSEGV handler
+// (installed on the simulated CPU the way the paper's library is
+// LD_PRELOADed into a process) that diagnoses a crashing memory access,
+// locates its recovery kernel through the lazily-loaded Recovery Table,
+// fetches the kernel's arguments from the stalled process via debug
+// information, executes the kernel against live process memory,
+// patches the faulting operand with the recomputed address, and resumes
+// the process at the faulting instruction (the paper's Algorithm 1).
+package safeguard
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"care/internal/debuginfo"
+	"care/internal/hostenv"
+	"care/internal/machine"
+	"care/internal/rtable"
+)
+
+// Unit is the recovery data shipped alongside one protected image: the
+// encoded Recovery Table and the encoded recovery-library "shared
+// object". Both stay as opaque bytes until a fault occurs.
+type Unit struct {
+	Image      *machine.Image
+	TableBytes []byte
+	LibBytes   []byte
+}
+
+// Outcome classifies one Safeguard activation.
+type Outcome string
+
+// Activation outcomes.
+const (
+	// Recovered: the operand was patched and execution resumed.
+	Recovered Outcome = "recovered"
+	// NoDebugKey: the faulting instruction carries no source key
+	// (frame/prologue traffic or unprotected image).
+	NoDebugKey Outcome = "no-debug-key"
+	// NoKernel: no recovery-table entry for the key (direct accesses,
+	// real program bugs).
+	NoKernel Outcome = "no-kernel"
+	// ParamUnavailable: a kernel argument had no valid location at the
+	// faulting PC (optimised away) or its frame slot was unreadable.
+	ParamUnavailable Outcome = "param-unavailable"
+	// KernelFault: the kernel itself faulted (its inputs were
+	// contaminated in a way that breaks a cloned load).
+	KernelFault Outcome = "kernel-fault"
+	// OutOfScope: the kernel recomputed exactly the faulting address,
+	// proving the corruption hit a kernel input — CARE's SDC guard.
+	OutOfScope Outcome = "out-of-scope"
+	// WrongSignal: the trap was not a SIGSEGV (not handled).
+	WrongSignal Outcome = "wrong-signal"
+	// HeuristicPatched: LetGo-style fallback redirected the access to a
+	// bit bucket (only in Heuristic mode; may introduce SDCs).
+	HeuristicPatched Outcome = "heuristic-patched"
+	// RecoveredInduction: a corrupted induction variable was
+	// reconstructed from an affine sibling (Figure-11 extension).
+	RecoveredInduction Outcome = "recovered-induction"
+)
+
+// Event records one activation for the recovery-time analysis
+// (Figure 9: >98% of recovery time is preparation, not the kernel).
+type Event struct {
+	PC      machine.Word
+	Addr    machine.Word
+	Outcome Outcome
+	// Phase timings.
+	Diagnose time.Duration // PC->key->table entry
+	Load     time.Duration // decode table + dlopen recovery library
+	Fetch    time.Duration // argument retrieval via debug info
+	Kernel   time.Duration // recovery-kernel execution
+	Patch    time.Duration // operand update
+}
+
+// Total returns the end-to-end recovery time of the event.
+func (e Event) Total() time.Duration {
+	return e.Diagnose + e.Load + e.Fetch + e.Kernel + e.Patch
+}
+
+// Prep returns everything but kernel execution.
+func (e Event) Prep() time.Duration { return e.Total() - e.Kernel }
+
+// Stats aggregates Safeguard activity.
+type Stats struct {
+	Activations   int
+	Recovered     int
+	Unrecoverable int
+	Events        []Event
+	// IdleFootprintBytes is the steady-state memory held while no fault
+	// is being handled: the undecoded table/library bytes (the
+	// reproduction's analogue of the paper's fixed 27MB, which was
+	// mostly resident LLVM/protobuf code).
+	IdleFootprintBytes int
+	// PeakRecoveryBytes is the largest transient footprint observed
+	// during a repair (decoded table + decoded library code).
+	PeakRecoveryBytes int
+}
+
+// Config tunes Safeguard; the zero value is the paper's configuration.
+type Config struct {
+	// Eager keeps the decoded table and recovery library resident
+	// instead of reloading per fault (ablation: latency vs footprint).
+	Eager bool
+	// PatchBase always patches the base register instead of preferring
+	// the index register (ablation of the paper's §3.4 default).
+	PatchBase bool
+	// Heuristic enables a LetGo/RCV-style fallback: when proper
+	// recovery is impossible, redirect the access to a zero-filled
+	// bit-bucket page and continue (may introduce SDCs; ablation).
+	Heuristic bool
+	// HandleBus also attempts recovery for SIGBUS (off in the paper).
+	HandleBus bool
+	// InductionRecovery enables the Figure-11 extension: when the
+	// scope check proves a kernel input contaminated, attempt to
+	// reconstruct a corrupted induction variable from an affine sibling
+	// before giving up. Off by default (the paper lists it as future
+	// work).
+	InductionRecovery bool
+	// MaxKernelSteps bounds recovery-kernel execution (0 = 1<<20).
+	MaxKernelSteps uint64
+}
+
+// Safeguard is the runtime attached to one process.
+type Safeguard struct {
+	cfg   Config
+	units map[*machine.Image]*Unit
+	// Stats accumulates activation records.
+	Stats Stats
+
+	cachedTables map[*Unit]*rtable.Table
+	cachedLibs   map[*Unit]*machine.Program
+	scratchReady bool
+	bitBucket    machine.Word
+}
+
+// Attach installs Safeguard as the process's SIGSEGV handler (the
+// LD_PRELOAD constructor analogue) and returns it. Units list the
+// protected images with their recovery data.
+func Attach(cpu *machine.CPU, units []*Unit, cfg Config) *Safeguard {
+	sg := &Safeguard{
+		cfg:          cfg,
+		units:        map[*machine.Image]*Unit{},
+		cachedTables: map[*Unit]*rtable.Table{},
+		cachedLibs:   map[*Unit]*machine.Program{},
+	}
+	for _, u := range units {
+		sg.units[u.Image] = u
+		sg.Stats.IdleFootprintBytes += len(u.TableBytes) + len(u.LibBytes)
+	}
+	cpu.Handler = sg.handle
+	return sg
+}
+
+// noteRecoveryFootprint records the transient decode footprint of one
+// repair.
+func (sg *Safeguard) noteRecoveryFootprint(table *rtable.Table, lib *machine.Program) {
+	n := 0
+	if table != nil {
+		for _, e := range table.Entries {
+			n += 16 + len(e.Symbol) + len(e.Func)
+			for _, p := range e.Params {
+				n += len(p.Name) + 1
+			}
+		}
+	}
+	if lib != nil {
+		n += len(lib.Code) * 64 // struct-encoded instructions
+		n += len(lib.GlobalInit)
+	}
+	if n > sg.Stats.PeakRecoveryBytes {
+		sg.Stats.PeakRecoveryBytes = n
+	}
+}
+
+func (sg *Safeguard) record(e Event) {
+	sg.Stats.Activations++
+	if e.Outcome == Recovered || e.Outcome == RecoveredInduction {
+		sg.Stats.Recovered++
+	} else {
+		sg.Stats.Unrecoverable++
+	}
+	sg.Stats.Events = append(sg.Stats.Events, e)
+}
+
+// handle is the signal handler (paper Algorithm 1).
+func (sg *Safeguard) handle(c *machine.CPU, t *machine.Trap) machine.TrapAction {
+	ev := Event{PC: t.PC, Addr: t.Addr}
+	if t.Sig != machine.SigSEGV && !(sg.cfg.HandleBus && t.Sig == machine.SigBUS) {
+		ev.Outcome = WrongSignal
+		sg.record(ev)
+		return machine.TrapKill
+	}
+
+	// Phase 1: diagnose — map the faulting PC to a source key and a
+	// recovery-table entry (dladdr + line table + MD5 + table lookup).
+	t0 := time.Now()
+	unit := sg.units[t.Img]
+	var key debuginfo.Key
+	var haveKey bool
+	if unit != nil && t.Img != nil {
+		key, haveKey = t.Img.Prog.Debug.KeyAt(t.Idx)
+		if haveKey && key.Line == 0 && key.Col == 0 {
+			haveKey = false // frame traffic carries no source key
+		}
+	}
+	if !haveKey {
+		ev.Diagnose = time.Since(t0)
+		ev.Outcome = NoDebugKey
+		return sg.fail(c, t, ev)
+	}
+	table, err := sg.loadTable(unit)
+	if err != nil {
+		ev.Diagnose = time.Since(t0)
+		ev.Outcome = NoKernel
+		return sg.fail(c, t, ev)
+	}
+	entry, ok := table.LookupSource(key)
+	ev.Diagnose = time.Since(t0)
+	if !ok {
+		ev.Outcome = NoKernel
+		return sg.fail(c, t, ev)
+	}
+
+	// Phase 2: load the recovery library (dlopen analogue).
+	t1 := time.Now()
+	lib, err := sg.loadLib(unit)
+	ev.Load = time.Since(t1)
+	if err != nil {
+		ev.Outcome = NoKernel
+		return sg.fail(c, t, ev)
+	}
+	sg.noteRecoveryFootprint(table, lib)
+
+	// Phase 3: fetch kernel arguments from the stalled process using
+	// the DW_AT_location-style loclists.
+	t2 := time.Now()
+	args, argOK := sg.fetchParams(c, t, entry)
+	ev.Fetch = time.Since(t2)
+	if !argOK {
+		ev.Outcome = ParamUnavailable
+		return sg.fail(c, t, ev)
+	}
+
+	// Phase 4: execute the kernel against live process memory.
+	t3 := time.Now()
+	addr, kerr := sg.runKernel(c, lib, entry.Symbol, args)
+	ev.Kernel = time.Since(t3)
+	if kerr != nil {
+		ev.Outcome = KernelFault
+		return sg.fail(c, t, ev)
+	}
+
+	// Phase 5: coverage-scope check + operand patch. If the kernel
+	// recomputes the very address that faulted, its inputs were
+	// contaminated: repairing would just re-execute the same wild
+	// access, so CARE declares the fault unrecoverable instead of
+	// risking an SDC.
+	t4 := time.Now()
+	if addr == t.Addr {
+		// The kernel's inputs were contaminated. The Figure-11
+		// extension can still reconstruct a corrupted induction
+		// variable from an intact sibling.
+		if sg.cfg.InductionRecovery {
+			if addr2, ok := sg.tryInductionRecovery(c, t, entry, lib, args); ok {
+				sg.patch(c, t, addr2)
+				ev.Patch = time.Since(t4)
+				ev.Outcome = RecoveredInduction
+				sg.record(ev)
+				sg.release()
+				return machine.TrapResume
+			}
+		}
+		ev.Patch = time.Since(t4)
+		ev.Outcome = OutOfScope
+		return sg.fail(c, t, ev)
+	}
+	sg.patch(c, t, addr)
+	ev.Patch = time.Since(t4)
+	ev.Outcome = Recovered
+	sg.record(ev)
+	sg.release()
+	return machine.TrapResume
+}
+
+// fail records a failed activation and either kills the process
+// (faithful mode) or applies the heuristic bit-bucket patch.
+func (sg *Safeguard) fail(c *machine.CPU, t *machine.Trap, ev Event) machine.TrapAction {
+	if sg.cfg.Heuristic && t.Instr != nil && t.Instr.Op.IsMemAccess() {
+		if sg.heuristicPatch(c, t) {
+			ev.Outcome = HeuristicPatched
+			sg.record(ev)
+			return machine.TrapResume
+		}
+	}
+	sg.record(ev)
+	sg.release()
+	return machine.TrapKill
+}
+
+// loadTable decodes the unit's recovery table (cached in Eager mode).
+func (sg *Safeguard) loadTable(u *Unit) (*rtable.Table, error) {
+	if tb := sg.cachedTables[u]; tb != nil {
+		return tb, nil
+	}
+	tb, err := rtable.Decode(u.TableBytes)
+	if err != nil {
+		return nil, err
+	}
+	if sg.cfg.Eager {
+		sg.cachedTables[u] = tb
+	}
+	return tb, nil
+}
+
+// loadLib decodes the unit's recovery library (cached in Eager mode).
+func (sg *Safeguard) loadLib(u *Unit) (*machine.Program, error) {
+	if p := sg.cachedLibs[u]; p != nil {
+		return p, nil
+	}
+	p, err := machine.DecodeProgram(u.LibBytes)
+	if err != nil {
+		return nil, err
+	}
+	if sg.cfg.Eager {
+		sg.cachedLibs[u] = p
+	}
+	return p, nil
+}
+
+// release drops per-fault state in lazy mode (the paper frees the
+// library right after each repair to keep the footprint fixed).
+func (sg *Safeguard) release() {
+	if !sg.cfg.Eager {
+		for k := range sg.cachedTables {
+			delete(sg.cachedTables, k)
+		}
+		for k := range sg.cachedLibs {
+			delete(sg.cachedLibs, k)
+		}
+	}
+}
+
+// fetchParams retrieves the kernel arguments from the trapped context.
+func (sg *Safeguard) fetchParams(c *machine.CPU, t *machine.Trap, e *rtable.Entry) ([]machine.Word, bool) {
+	dbg := t.Img.Prog.Debug
+	args := make([]machine.Word, 0, len(e.Params))
+	for _, p := range e.Params {
+		loc, ok := dbg.Lookup(e.Func, p.Name, t.Idx)
+		if !ok {
+			return nil, false
+		}
+		switch loc.Kind {
+		case debuginfo.LocReg:
+			args = append(args, c.R[loc.Reg])
+		case debuginfo.LocFReg:
+			args = append(args, math.Float64bits(c.F[loc.Reg]))
+		case debuginfo.LocFPOff:
+			v, f := c.Mem.Read(c.R[machine.FP] + machine.Word(loc.Off))
+			if f != nil {
+				return nil, false
+			}
+			args = append(args, v)
+		default:
+			return nil, false
+		}
+	}
+	return args, true
+}
+
+// retSentinel is the fake return address pushed under a kernel call; the
+// sub-CPU halts cleanly when control returns to it.
+const retSentinel machine.Word = 0x0000_7eee_0000_0000
+
+// runKernel executes a recovery kernel on a scratch CPU sharing the
+// process's memory (signal-handler-on-altstack semantics). It returns
+// the recomputed effective address.
+func (sg *Safeguard) runKernel(c *machine.CPU, lib *machine.Program, symbol string, args []machine.Word) (machine.Word, error) {
+	entry, ok := lib.FuncEntry(symbol)
+	if !ok {
+		return 0, fmt.Errorf("safeguard: kernel symbol %q not found", symbol)
+	}
+	if !sg.scratchReady {
+		if _, err := c.Mem.Map(machine.ScratchStackTop-machine.ScratchStackSize, machine.ScratchStackSize, "sigaltstack"); err != nil {
+			return 0, err
+		}
+		sg.scratchReady = true
+	}
+	libImg, err := machine.Load(c.Mem, lib)
+	if err != nil {
+		return 0, err
+	}
+	defer libImg.Unload(c.Mem)
+
+	sub := machine.NewCPU(c.Mem, hostenv.NewEnv())
+	// The kernel may call back into simple application functions, so
+	// the whole process image list is visible.
+	sub.Images = append(append([]*machine.Image{}, c.Images...), libImg)
+	sub.R[machine.SP] = machine.ScratchStackTop
+	sub.R[machine.FP] = machine.ScratchStackTop
+	for _, a := range args {
+		sub.R[machine.SP] -= 8
+		if f := c.Mem.Write(sub.R[machine.SP], a); f != nil {
+			return 0, f
+		}
+	}
+	sub.R[machine.SP] -= 8
+	if f := c.Mem.Write(sub.R[machine.SP], retSentinel); f != nil {
+		return 0, f
+	}
+	sub.PC = entry
+	sub.StopPC, sub.StopPCSet = retSentinel, true
+	limit := sg.cfg.MaxKernelSteps
+	if limit == 0 {
+		limit = 1 << 20
+	}
+	switch sub.Run(limit) {
+	case machine.StatusExited:
+		return sub.R[machine.R0], nil
+	case machine.StatusTrapped:
+		return 0, sub.PendingTrap
+	default:
+		return 0, fmt.Errorf("safeguard: kernel did not finish (%v)", sub.Status)
+	}
+}
+
+// patch updates the faulting instruction's memory operand so that its
+// effective address becomes addr. Following the paper's §3.4 rule, the
+// index register is updated by default (it is recomputed more often and
+// thus more likely corrupted); the base register is the fallback when
+// the delta is not scale-divisible, or the default in PatchBase mode.
+func (sg *Safeguard) patch(c *machine.CPU, t *machine.Trap, addr machine.Word) {
+	mo, ok := machine.DecodeMemOperand(t.Instr)
+	if !ok {
+		return
+	}
+	if mo.Index != machine.NoReg && !sg.cfg.PatchBase {
+		delta := int64(addr - c.R[mo.Base] - machine.Word(mo.Disp))
+		if mo.Scale != 0 && delta%int64(mo.Scale) == 0 {
+			c.R[mo.Index] = machine.Word(delta / int64(mo.Scale))
+			return
+		}
+	}
+	if mo.Index != machine.NoReg {
+		c.R[mo.Base] = addr - c.R[mo.Index]*machine.Word(mo.Scale) - machine.Word(mo.Disp)
+		return
+	}
+	c.R[mo.Base] = addr - machine.Word(mo.Disp)
+}
+
+// heuristicPatch redirects an unrecoverable access to a zero-filled
+// bit-bucket page and resumes — the LetGo-style strategy the paper
+// compares against, which trades crashes for potential SDCs.
+func (sg *Safeguard) heuristicPatch(c *machine.CPU, t *machine.Trap) bool {
+	if sg.bitBucket == 0 {
+		b, err := c.Mem.Alloc(4096)
+		if err != nil {
+			return false
+		}
+		sg.bitBucket = b
+	}
+	mo, ok := machine.DecodeMemOperand(t.Instr)
+	if !ok {
+		return false
+	}
+	if mo.Index != machine.NoReg {
+		c.R[mo.Index] = 0
+	}
+	c.R[mo.Base] = sg.bitBucket - machine.Word(mo.Disp)
+	return true
+}
+
+// CoverageRate returns the fraction of SIGSEGV activations recovered.
+func (s *Stats) CoverageRate() float64 {
+	if s.Activations == 0 {
+		return 0
+	}
+	return float64(s.Recovered) / float64(s.Activations)
+}

@@ -1,0 +1,281 @@
+package workloads
+
+import (
+	"care/internal/ir"
+	. "care/internal/irbuild"
+)
+
+func init() {
+	register(&Workload{
+		Name: "CoMD",
+		Lang: "C",
+		Description: "A reference implementation of typical classical " +
+			"molecular dynamics algorithms and workloads as used in materials science.",
+		Defaults:       Params{NX: 3, NY: 3, NZ: 3, Steps: 2, NParticles: 32, Seed: 11},
+		ResultsPerStep: 2,
+		Build:          buildCoMD,
+		InEvaluation:   true,
+	})
+}
+
+// buildCoMD constructs a link-cell Lennard-Jones molecular dynamics
+// step: atoms live in per-cell SoA arrays (the CoMD layout), forces are
+// computed by sweeping each cell's 27 periodic neighbors, and velocity
+// Verlet advances the system with a cell redistribution every step.
+// Per-cell addressing (cell*MAXA + slot) and the periodic neighbor-cell
+// index arithmetic give the dense multi-op address computations the
+// paper measures for CoMD.
+func buildCoMD(p Params) *ir.Module {
+	ncx, ncy, ncz := int64(p.NX), int64(p.NY), int64(p.NZ)
+	ncells := ncx * ncy * ncz
+	natoms := p.NParticles
+	steps := int64(p.Steps)
+	const maxa = 8 // atoms per cell capacity
+	cellSize := 1.6
+	lx, ly, lz := float64(ncx)*cellSize, float64(ncy)*cellSize, float64(ncz)*cellSize
+	rcut2 := 1.44 // (1.2)^2 cutoff
+
+	// Deterministic initial lattice with jitter; velocities from the
+	// same stream.
+	rng := newLCG(p.Seed)
+	rawx := make([]float64, natoms)
+	rawy := make([]float64, natoms)
+	rawz := make([]float64, natoms)
+	rawvx := make([]float64, natoms)
+	rawvy := make([]float64, natoms)
+	rawvz := make([]float64, natoms)
+	side := 1
+	for side*side*side < natoms {
+		side++
+	}
+	for i := 0; i < natoms; i++ {
+		ix, iy, iz := i%side, (i/side)%side, i/(side*side)
+		rawx[i] = (float64(ix) + 0.3 + 0.4*rng.f64()) * lx / float64(side)
+		rawy[i] = (float64(iy) + 0.3 + 0.4*rng.f64()) * ly / float64(side)
+		rawz[i] = (float64(iz) + 0.3 + 0.4*rng.f64()) * lz / float64(side)
+		rawvx[i] = 0.2 * (rng.f64() - 0.5)
+		rawvy[i] = 0.2 * (rng.f64() - 0.5)
+		rawvz[i] = 0.2 * (rng.f64() - 0.5)
+	}
+
+	m := ir.NewModule("CoMD")
+	gRX := m.AddGlobal(&ir.Global{Name: "rawx", Size: int64(natoms) * 8, InitF64: rawx})
+	gRY := m.AddGlobal(&ir.Global{Name: "rawy", Size: int64(natoms) * 8, InitF64: rawy})
+	gRZ := m.AddGlobal(&ir.Global{Name: "rawz", Size: int64(natoms) * 8, InitF64: rawz})
+	gRVX := m.AddGlobal(&ir.Global{Name: "rawvx", Size: int64(natoms) * 8, InitF64: rawvx})
+	gRVY := m.AddGlobal(&ir.Global{Name: "rawvy", Size: int64(natoms) * 8, InitF64: rawvy})
+	gRVZ := m.AddGlobal(&ir.Global{Name: "rawvz", Size: int64(natoms) * 8, InitF64: rawvz})
+
+	slots := ncells * maxa
+	gCnt := m.AddGlobal(&ir.Global{Name: "cellcnt", Size: ncells * 8})
+	mk := func(n string) *ir.Global { return m.AddGlobal(&ir.Global{Name: n, Size: slots * 8}) }
+	gPX, gPY, gPZ := mk("px"), mk("py"), mk("pz")
+	gVX, gVY, gVZ := mk("vx"), mk("vy"), mk("vz")
+	gFX, gFY, gFZ := mk("fx"), mk("fy"), mk("fz")
+	// Scratch copies used during redistribution.
+	gTX, gTY, gTZ := mk("tpx"), mk("tpy"), mk("tpz")
+	gTVX, gTVY, gTVZ := mk("tvx"), mk("tvy"), mk("tvz")
+	gPot := m.AddGlobal(&ir.Global{Name: "epot", Size: 8})
+
+	b := ir.NewBuilder(m)
+	fb := New(b)
+
+	// cell_index(cx, cy, cz) with periodic wrap — a simple function the
+	// recovery kernels can call back into.
+	cellIndex := b.NewFunc("cell_index", ir.I64,
+		ir.Param("cx", ir.I64), ir.Param("cy", ir.I64), ir.Param("cz", ir.I64))
+	{
+		cx, cy, cz := cellIndex.Params[0], cellIndex.Params[1], cellIndex.Params[2]
+		wx := fb.SRem(fb.Add(cx, I(ncx)), I(ncx))
+		wy := fb.SRem(fb.Add(cy, I(ncy)), I(ncy))
+		wz := fb.SRem(fb.Add(cz, I(ncz)), I(ncz))
+		fb.Ret(fb.Add(wx, fb.Mul(I(ncx), fb.Add(wy, fb.Mul(I(ncy), wz)))))
+	}
+
+	b.NewFunc("main", ir.I64)
+	np := I(int64(natoms))
+	dt := F(0.004)
+
+	// redistribute(fromRaw): place atoms into cells from the given
+	// coordinate arrays.
+	redistribute := func(sx, sy, sz, svx, svy, svz ir.Value, n ir.Value) {
+		fb.ForN(I(0), I(ncells), 1, func(c ir.Value) {
+			fb.StoreAt(I(0), gCnt, c)
+		})
+		fb.ForN(I(0), n, 1, func(i ir.Value) {
+			fb.NewLine()
+			x := fb.LoadAt(ir.F64, sx, i)
+			y := fb.LoadAt(ir.F64, sy, i)
+			z := fb.LoadAt(ir.F64, sz, i)
+			cx := fb.FToI(fb.FDiv(x, F(cellSize)))
+			cy := fb.FToI(fb.FDiv(y, F(cellSize)))
+			cz := fb.FToI(fb.FDiv(z, F(cellSize)))
+			cell := fb.Call(cellIndex, cx, cy, cz)
+			fb.Assert(fb.And(fb.ICmp(ir.OpICmpSGE, cell, I(0)), fb.ICmp(ir.OpICmpSLT, cell, I(ncells))), 31)
+			cnt := fb.LoadAt(ir.I64, gCnt, cell)
+			fb.Assert(fb.ICmp(ir.OpICmpSLT, cnt, I(maxa)), 32)
+			fb.NewLine()
+			slot := fb.Add(fb.Mul(cell, I(maxa)), cnt)
+			fb.StoreAt(x, gPX, slot)
+			fb.StoreAt(y, gPY, slot)
+			fb.StoreAt(z, gPZ, slot)
+			fb.StoreAt(fb.LoadAt(ir.F64, svx, i), gVX, slot)
+			fb.StoreAt(fb.LoadAt(ir.F64, svy, i), gVY, slot)
+			fb.StoreAt(fb.LoadAt(ir.F64, svz, i), gVZ, slot)
+			fb.StoreAt(fb.Add(cnt, I(1)), gCnt, cell)
+		})
+	}
+	redistribute(gRX, gRY, gRZ, gRVX, gRVY, gRVZ, np)
+
+	// minimum-image displacement helper (periodic box).
+	minImage := func(d ir.Value, l float64) ir.Value {
+		d1 := fb.If(fb.FCmp(ir.OpFCmpOGT, d, F(l/2)),
+			func() []ir.Value { return []ir.Value{fb.FSub(d, F(l))} },
+			func() []ir.Value { return []ir.Value{d} })[0]
+		return fb.If(fb.FCmp(ir.OpFCmpOLT, d1, F(-l/2)),
+			func() []ir.Value { return []ir.Value{fb.FAdd(d1, F(l))} },
+			func() []ir.Value { return []ir.Value{d1} })[0]
+	}
+
+	// computeForce: zero forces, then sweep cell pairs.
+	computeForce := func() {
+		fb.ForN(I(0), I(slots), 1, func(s ir.Value) {
+			fb.StoreAt(F(0), gFX, s)
+			fb.StoreAt(F(0), gFY, s)
+			fb.StoreAt(F(0), gFZ, s)
+		})
+		fb.Store(F(0), gPot)
+		fb.ForN(I(0), I(ncz), 1, func(cz ir.Value) {
+			fb.ForN(I(0), I(ncy), 1, func(cy ir.Value) {
+				fb.ForN(I(0), I(ncx), 1, func(cx ir.Value) {
+					c1 := fb.Call(cellIndex, cx, cy, cz)
+					n1 := fb.LoadAt(ir.I64, gCnt, c1)
+					fb.ForN(I(0), n1, 1, func(a ir.Value) {
+						fb.NewLine()
+						s1 := fb.Add(fb.Mul(c1, I(maxa)), a)
+						x1 := fb.LoadAt(ir.F64, gPX, s1)
+						y1 := fb.LoadAt(ir.F64, gPY, s1)
+						z1 := fb.LoadAt(ir.F64, gPZ, s1)
+						acc := []ir.Value{F(0), F(0), F(0), F(0)} // fx, fy, fz, pot
+						acc = fb.For(I(-1), I(2), 1, acc, func(dz ir.Value, acc []ir.Value) []ir.Value {
+							return fb.For(I(-1), I(2), 1, acc, func(dy ir.Value, acc []ir.Value) []ir.Value {
+								return fb.For(I(-1), I(2), 1, acc, func(dx ir.Value, acc []ir.Value) []ir.Value {
+									c2 := fb.Call(cellIndex, fb.Add(cx, dx), fb.Add(cy, dy), fb.Add(cz, dz))
+									n2 := fb.LoadAt(ir.I64, gCnt, c2)
+									return fb.For(I(0), n2, 1, acc, func(bb ir.Value, acc []ir.Value) []ir.Value {
+										same := fb.And(fb.ICmp(ir.OpICmpEQ, c1, c2), fb.ICmp(ir.OpICmpEQ, a, bb))
+										return fb.If(same, func() []ir.Value {
+											return acc
+										}, func() []ir.Value {
+											fb.NewLine()
+											s2 := fb.Add(fb.Mul(c2, I(maxa)), bb)
+											ddx := minImage(fb.FSub(x1, fb.LoadAt(ir.F64, gPX, s2)), lx)
+											ddy := minImage(fb.FSub(y1, fb.LoadAt(ir.F64, gPY, s2)), ly)
+											ddz := minImage(fb.FSub(z1, fb.LoadAt(ir.F64, gPZ, s2)), lz)
+											r2 := fb.FAdd(fb.FMul(ddx, ddx), fb.FAdd(fb.FMul(ddy, ddy), fb.FMul(ddz, ddz)))
+											ok := fb.And(fb.FCmp(ir.OpFCmpOLT, r2, F(rcut2)), fb.FCmp(ir.OpFCmpOGT, r2, F(0.36)))
+											return fb.If(ok, func() []ir.Value {
+												r2i := fb.FDiv(F(1), r2)
+												r6 := fb.FMul(r2i, fb.FMul(r2i, r2i))
+												fmag := fb.FMul(F(48), fb.FMul(r6, fb.FMul(fb.FSub(r6, F(0.5)), r2i)))
+												e := fb.FMul(F(4), fb.FMul(r6, fb.FSub(r6, F(1))))
+												return []ir.Value{
+													fb.FAdd(acc[0], fb.FMul(fmag, ddx)),
+													fb.FAdd(acc[1], fb.FMul(fmag, ddy)),
+													fb.FAdd(acc[2], fb.FMul(fmag, ddz)),
+													fb.FAdd(acc[3], fb.FMul(F(0.5), e)),
+												}
+											}, func() []ir.Value { return acc })
+										})
+									})
+								})
+							})
+						})
+						fb.NewLine()
+						fb.StoreAt(acc[0], gFX, s1)
+						fb.StoreAt(acc[1], gFY, s1)
+						fb.StoreAt(acc[2], gFZ, s1)
+						fb.AddF(gPot, I(0), acc[3])
+					})
+				})
+			})
+		})
+	}
+
+	computeForce()
+
+	fb.ForN(I(0), I(steps), 1, func(step ir.Value) {
+		// Velocity Verlet: kick, drift (with periodic wrap), gather
+		// back to raw order, redistribute, re-force, kick.
+		kick := func() {
+			fb.ForN(I(0), I(ncells), 1, func(c ir.Value) {
+				n := fb.LoadAt(ir.I64, gCnt, c)
+				fb.ForN(I(0), n, 1, func(a ir.Value) {
+					fb.NewLine()
+					s := fb.Add(fb.Mul(c, I(maxa)), a)
+					for _, pr := range [][2]*ir.Global{{gVX, gFX}, {gVY, gFY}, {gVZ, gFZ}} {
+						v := fb.LoadAt(ir.F64, pr[0], s)
+						f := fb.LoadAt(ir.F64, pr[1], s)
+						fb.StoreAt(fb.FAdd(v, fb.FMul(F(0.5), fb.FMul(dt, f))), pr[0], s)
+					}
+				})
+			})
+		}
+		kick()
+		// Drift into scratch arrays (compacted order) for rebinning.
+		idx0 := fb.Malloc(1)
+		fb.Store(I(0), idx0)
+		wrap := func(x ir.Value, l float64) ir.Value {
+			x1 := fb.If(fb.FCmp(ir.OpFCmpOGE, x, F(l)),
+				func() []ir.Value { return []ir.Value{fb.FSub(x, F(l))} },
+				func() []ir.Value { return []ir.Value{x} })[0]
+			return fb.If(fb.FCmp(ir.OpFCmpOLT, x1, F(0)),
+				func() []ir.Value { return []ir.Value{fb.FAdd(x1, F(l))} },
+				func() []ir.Value { return []ir.Value{x1} })[0]
+		}
+		fb.ForN(I(0), I(ncells), 1, func(c ir.Value) {
+			n := fb.LoadAt(ir.I64, gCnt, c)
+			fb.ForN(I(0), n, 1, func(a ir.Value) {
+				fb.NewLine()
+				s := fb.Add(fb.Mul(c, I(maxa)), a)
+				j := fb.Load(ir.I64, idx0)
+				x := wrap(fb.FAdd(fb.LoadAt(ir.F64, gPX, s), fb.FMul(dt, fb.LoadAt(ir.F64, gVX, s))), lx)
+				y := wrap(fb.FAdd(fb.LoadAt(ir.F64, gPY, s), fb.FMul(dt, fb.LoadAt(ir.F64, gVY, s))), ly)
+				z := wrap(fb.FAdd(fb.LoadAt(ir.F64, gPZ, s), fb.FMul(dt, fb.LoadAt(ir.F64, gVZ, s))), lz)
+				fb.StoreAt(x, gTX, j)
+				fb.StoreAt(y, gTY, j)
+				fb.StoreAt(z, gTZ, j)
+				fb.StoreAt(fb.LoadAt(ir.F64, gVX, s), gTVX, j)
+				fb.StoreAt(fb.LoadAt(ir.F64, gVY, s), gTVY, j)
+				fb.StoreAt(fb.LoadAt(ir.F64, gVZ, s), gTVZ, j)
+				fb.Store(fb.Add(j, I(1)), idx0)
+			})
+		})
+		redistribute(gTX, gTY, gTZ, gTVX, gTVY, gTVZ, np)
+		computeForce()
+		kick()
+
+		// Diagnostics: potential and kinetic energy.
+		ke := fb.For(I(0), I(ncells), 1, []ir.Value{F(0)}, func(c ir.Value, acc []ir.Value) []ir.Value {
+			n := fb.LoadAt(ir.I64, gCnt, c)
+			return fb.For(I(0), n, 1, acc, func(a ir.Value, acc []ir.Value) []ir.Value {
+				fb.NewLine()
+				s := fb.Add(fb.Mul(c, I(maxa)), a)
+				vx := fb.LoadAt(ir.F64, gVX, s)
+				vy := fb.LoadAt(ir.F64, gVY, s)
+				vz := fb.LoadAt(ir.F64, gVZ, s)
+				sq := fb.FAdd(fb.FMul(vx, vx), fb.FAdd(fb.FMul(vy, vy), fb.FMul(vz, vz)))
+				return []ir.Value{fb.FAdd(acc[0], fb.FMul(F(0.5), sq))}
+			})
+		})
+		pot := fb.Load(ir.F64, gPot)
+		fb.Result(fb.HostCall("mpi_allreduce_sum_f64", ir.F64, pot))
+		fb.Result(fb.HostCall("mpi_allreduce_sum_f64", ir.F64, ke[0]))
+	})
+	fb.Ret(I(0))
+
+	if err := ir.VerifyModule(m); err != nil {
+		panic("workloads: CoMD: " + err.Error())
+	}
+	return m
+}

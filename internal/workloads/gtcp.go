@@ -1,0 +1,210 @@
+package workloads
+
+import (
+	"care/internal/ir"
+	. "care/internal/irbuild"
+)
+
+func init() {
+	register(&Workload{
+		Name: "GTC-P",
+		Lang: "C",
+		Description: "A 2D domain decomposition version of the GTC global " +
+			"gyrokinetic PIC code for studying micro-turbulent core transport.",
+		Defaults:       Params{NX: 6 /* mpsi */, NZ: 2 /* mzeta */, Steps: 2, NParticles: 150, Seed: 7},
+		ResultsPerStep: 2,
+		Build:          buildGTCP,
+		InEvaluation:   true,
+	})
+}
+
+// buildGTCP constructs a particle-in-cell charge/field/push cycle with
+// the exact field-array indexing of the paper's Figure 2:
+//
+//	phitmp[(mzeta+1)*(igrid[ip]-igrid_in) + k]
+//
+// The poloidal grid is non-uniform (mtheta varies per flux surface), so
+// grid offsets really do come from the igrid[] indirection table, and
+// the raw inputs of the address computation (igrid, mzeta, igrid_in)
+// are initialised once and never written again — the paper's
+// "infrequently updated raw data" property.
+func buildGTCP(p Params) *ir.Module {
+	mpsi := p.NX  // flux surfaces 0..mpsi
+	mzeta := p.NZ // toroidal planes per rank
+	npart := p.NParticles
+	steps := p.Steps
+	ghost := int64(3) // igrid ghost offset; igrid_in = igrid[0]
+
+	// Precompute the non-uniform poloidal grid.
+	mtheta := make([]int64, mpsi+1)
+	igrid := make([]int64, mpsi+1)
+	off := ghost
+	for i := 0; i <= mpsi; i++ {
+		mtheta[i] = int64(8 + 2*i)
+		igrid[i] = off
+		off += mtheta[i]
+	}
+	mgrid := off - ghost // interior grid points
+	fieldLen := (int64(mzeta) + 1) * (mgrid + ghost + 4)
+
+	// Deterministic particle load.
+	rng := newLCG(p.Seed)
+	zion0 := make([]float64, npart) // radial surface coordinate [0, mpsi)
+	zion1 := make([]float64, npart) // poloidal coordinate [0, 1)
+	zion2 := make([]float64, npart) // toroidal coordinate [0, mzeta)
+	zion3 := make([]float64, npart) // particle weight
+	for i := 0; i < npart; i++ {
+		zion0[i] = rng.f64() * float64(mpsi)
+		zion1[i] = rng.f64()
+		zion2[i] = rng.f64() * float64(mzeta)
+		zion3[i] = 0.5 + rng.f64()
+	}
+
+	m := ir.NewModule("GTC-P")
+	gZ0 := m.AddGlobal(&ir.Global{Name: "zion0", Size: int64(npart) * 8, InitF64: zion0})
+	gZ1 := m.AddGlobal(&ir.Global{Name: "zion1", Size: int64(npart) * 8, InitF64: zion1})
+	gZ2 := m.AddGlobal(&ir.Global{Name: "zion2", Size: int64(npart) * 8, InitF64: zion2})
+	gZ3 := m.AddGlobal(&ir.Global{Name: "zion3", Size: int64(npart) * 8, InitF64: zion3})
+	gMtheta := m.AddGlobal(&ir.Global{Name: "mtheta", Size: int64(mpsi+1) * 8, InitI64: mtheta})
+	gIgrid := m.AddGlobal(&ir.Global{Name: "igrid", Size: int64(mpsi+1) * 8, InitI64: igrid})
+	gMzeta := m.AddGlobal(&ir.Global{Name: "mzeta", Size: 8, InitI64: []int64{int64(mzeta)}})
+	gIgridIn := m.AddGlobal(&ir.Global{Name: "igrid_in", Size: 8, InitI64: []int64{ghost}})
+	gPhitmp := m.AddGlobal(&ir.Global{Name: "phitmp", Size: fieldLen * 8})
+	gPhi := m.AddGlobal(&ir.Global{Name: "phi", Size: fieldLen * 8})
+
+	b := ir.NewBuilder(m)
+	fb := New(b)
+
+	// fieldIndex(cell, k, mzetap1, igridIn) — the Figure 1 recovery
+	// kernel's computation as a real (simple, hence clonable) function.
+	fieldIndex := b.NewFunc("field_index", ir.I64,
+		ir.Param("cell", ir.I64), ir.Param("k", ir.I64),
+		ir.Param("mzetap1", ir.I64), ir.Param("igrid_in", ir.I64))
+	{
+		cell, k, mzp1, gin := fieldIndex.Params[0], fieldIndex.Params[1], fieldIndex.Params[2], fieldIndex.Params[3]
+		fb.Ret(fb.Add(fb.Mul(mzp1, fb.Sub(cell, gin)), k))
+	}
+
+	b.NewFunc("main", ir.I64)
+	mz := fb.Load(ir.I64, gMzeta)
+	gin := fb.Load(ir.I64, gIgridIn)
+	mzp1 := fb.Add(mz, I(1))
+	np := I(int64(npart))
+	flen := I(fieldLen)
+	dt := F(0.04)
+
+	// locate(p) inlined per loop: surface, poloidal cell, toroidal cell.
+	locate := func(ip ir.Value) (ipr, cell, k0 ir.Value, frac, zeta ir.Value) {
+		fb.NewLine()
+		r := fb.LoadAt(ir.F64, gZ0, ip)
+		iprV := fb.FToI(r)
+		fb.Assert(fb.And(
+			fb.ICmp(ir.OpICmpSGE, iprV, I(0)),
+			fb.ICmp(ir.OpICmpSLE, iprV, I(int64(mpsi)))), 71)
+		mt := fb.LoadAt(ir.I64, gMtheta, iprV)
+		tpos := fb.LoadAt(ir.F64, gZ1, ip)
+		jt := fb.FToI(fb.FMul(tpos, fb.IToF(mt)))
+		jt = fb.SRem(jt, mt)
+		base := fb.LoadAt(ir.I64, gIgrid, iprV)
+		cellV := fb.Add(base, jt)
+		z := fb.LoadAt(ir.F64, gZ2, ip)
+		k0V := fb.FToI(z)
+		fb.Assert(fb.And(
+			fb.ICmp(ir.OpICmpSGE, k0V, I(0)),
+			fb.ICmp(ir.OpICmpSLT, k0V, I(int64(mzeta)+1))), 72)
+		fr := fb.FSub(z, fb.IToF(k0V))
+		return iprV, cellV, k0V, fr, z
+	}
+
+	fb.ForN(I(0), I(int64(steps)), 1, func(step ir.Value) {
+		// chargei: zero the density array, then deposit every particle
+		// with linear weighting between toroidal planes.
+		fb.ForN(I(0), flen, 1, func(j ir.Value) {
+			fb.StoreAt(F(0), gPhitmp, j)
+		})
+		fb.ForN(I(0), np, 1, func(ip ir.Value) {
+			_, cell, k0, frac, _ := locate(ip)
+			w := fb.LoadAt(ir.F64, gZ3, ip)
+			fb.NewLine()
+			idx0 := fb.Call(fieldIndex, cell, k0, mzp1, gin)
+			fb.AddF(gPhitmp, idx0, fb.FMul(w, fb.FSub(F(1), frac)))
+			fb.NewLine()
+			k1 := fb.Add(k0, I(1))
+			idx1 := fb.Call(fieldIndex, cell, k1, mzp1, gin)
+			fb.AddF(gPhitmp, idx1, fb.FMul(w, frac))
+		})
+
+		// smooth/poisson stand-in: poloidal three-point smoothing into
+		// phi, with wraparound indexing inside each flux surface.
+		fb.ForN(I(0), I(int64(mpsi)+1), 1, func(is ir.Value) {
+			mt := fb.LoadAt(ir.I64, gMtheta, is)
+			base := fb.LoadAt(ir.I64, gIgrid, is)
+			fb.ForN(I(0), mt, 1, func(j ir.Value) {
+				jl := fb.SRem(fb.Add(j, fb.Sub(mt, I(1))), mt)
+				jr := fb.SRem(fb.Add(j, I(1)), mt)
+				fb.ForN(I(0), mzp1, 1, func(k ir.Value) {
+					fb.NewLine()
+					c := fb.Call(fieldIndex, fb.Add(base, j), k, mzp1, gin)
+					l := fb.Call(fieldIndex, fb.Add(base, jl), k, mzp1, gin)
+					r := fb.Call(fieldIndex, fb.Add(base, jr), k, mzp1, gin)
+					cv := fb.LoadAt(ir.F64, gPhitmp, c)
+					lv := fb.LoadAt(ir.F64, gPhitmp, l)
+					rv := fb.LoadAt(ir.F64, gPhitmp, r)
+					s := fb.FAdd(fb.FMul(F(0.5), cv), fb.FMul(F(0.25), fb.FAdd(lv, rv)))
+					fb.StoreAt(s, gPhi, c)
+				})
+			})
+		})
+
+		// pushi: gather the poloidal electric field at the particle and
+		// advance the poloidal/toroidal coordinates.
+		fb.ForN(I(0), np, 1, func(ip ir.Value) {
+			ipr, cell, k0, _, zeta := locate(ip)
+			mt := fb.LoadAt(ir.I64, gMtheta, ipr)
+			base := fb.LoadAt(ir.I64, gIgrid, ipr)
+			jt := fb.Sub(cell, base)
+			jl := fb.SRem(fb.Add(jt, fb.Sub(mt, I(1))), mt)
+			jr := fb.SRem(fb.Add(jt, I(1)), mt)
+			fb.NewLine()
+			il := fb.Call(fieldIndex, fb.Add(base, jl), k0, mzp1, gin)
+			irx := fb.Call(fieldIndex, fb.Add(base, jr), k0, mzp1, gin)
+			ef := fb.FMul(F(0.5), fb.FSub(fb.LoadAt(ir.F64, gPhi, irx), fb.LoadAt(ir.F64, gPhi, il)))
+			// theta advance with wraparound into [0,1).
+			tpos := fb.LoadAt(ir.F64, gZ1, ip)
+			tnew := fb.FAdd(tpos, fb.FMul(dt, ef))
+			tnew = fb.FSub(tnew, fb.HostCall("floor", ir.F64, tnew))
+			fb.StoreAt(tnew, gZ1, ip)
+			// toroidal drift with periodic wrap into [0, mzeta).
+			zdrift := fb.FAdd(zeta, F(0.35))
+			zmax := fb.IToF(mz)
+			znew := fb.If(fb.FCmp(ir.OpFCmpOGE, zdrift, zmax),
+				func() []ir.Value { return []ir.Value{fb.FSub(zdrift, zmax)} },
+				func() []ir.Value { return []ir.Value{zdrift} })[0]
+			fb.StoreAt(znew, gZ2, ip)
+		})
+
+		// Diagnostics: total deposited charge and field energy.
+		sums := fb.For(I(0), flen, 1, []ir.Value{F(0), F(0)}, func(j ir.Value, c []ir.Value) []ir.Value {
+			fb.NewLine()
+			d := fb.LoadAt(ir.F64, gPhitmp, j)
+			f := fb.LoadAt(ir.F64, gPhi, j)
+			return []ir.Value{fb.FAdd(c[0], d), fb.FAdd(c[1], fb.FMul(f, f))}
+		})
+		charge := fb.HostCall("mpi_allreduce_sum_f64", ir.F64, sums[0])
+		energy := fb.HostCall("mpi_allreduce_sum_f64", ir.F64, sums[1])
+		fb.Result(charge)
+		fb.Result(energy)
+	})
+
+	// Final particle-weight checksum.
+	wsum := fb.For(I(0), np, 1, []ir.Value{F(0)}, func(ip ir.Value, c []ir.Value) []ir.Value {
+		return []ir.Value{fb.FAdd(c[0], fb.LoadAt(ir.F64, gZ3, ip))}
+	})
+	fb.Result(wsum[0])
+	fb.Ret(I(0))
+
+	if err := ir.VerifyModule(m); err != nil {
+		panic("workloads: GTC-P: " + err.Error())
+	}
+	return m
+}

@@ -1,0 +1,169 @@
+package workloads
+
+import (
+	"care/internal/ir"
+	. "care/internal/irbuild"
+)
+
+func init() {
+	register(&Workload{
+		Name: "HPCCG",
+		Lang: "C++",
+		Description: "A simple conjugate gradient benchmark code for a 3D " +
+			"chimney domain on an arbitrary number of processors.",
+		Defaults:       Params{NX: 4, NY: 4, NZ: 3, Steps: 6, Seed: 1},
+		ResultsPerStep: 1,
+		Build:          buildHPCCG,
+		InEvaluation:   true,
+	})
+}
+
+// buildHPCCG constructs the HPCCG mini-app: generate a 27-point sparse
+// matrix for an nx*ny*nz chimney domain in ELL layout, then run Steps
+// iterations of unpreconditioned conjugate gradient. Dot products go
+// through mpi_allreduce_sum_f64 so the same module runs single-rank or
+// in the cluster simulator.
+func buildHPCCG(p Params) *ir.Module {
+	nx, ny, nz := int64(p.NX), int64(p.NY), int64(p.NZ)
+	nrows := nx * ny * nz
+	iters := int64(p.Steps)
+
+	m := ir.NewModule("HPCCG")
+	b := ir.NewBuilder(m)
+	fb := New(b)
+
+	// ddot(x, y, n) -> global dot product.
+	ddot := b.NewFunc("ddot", ir.F64, ir.Param("x", ir.Ptr), ir.Param("y", ir.Ptr), ir.Param("n", ir.I64))
+	{
+		x, y, n := ddot.Params[0], ddot.Params[1], ddot.Params[2]
+		sum := fb.For(I(0), n, 1, []ir.Value{F(0)}, func(i ir.Value, c []ir.Value) []ir.Value {
+			fb.NewLine()
+			xv := fb.LoadAt(ir.F64, x, i)
+			yv := fb.LoadAt(ir.F64, y, i)
+			return []ir.Value{fb.FAdd(c[0], fb.FMul(xv, yv))}
+		})
+		g := fb.HostCall("mpi_allreduce_sum_f64", ir.F64, sum[0])
+		fb.Ret(g)
+	}
+
+	// waxpby(w, alpha, x, beta, y, n): w = alpha*x + beta*y.
+	waxpby := b.NewFunc("waxpby", ir.Void,
+		ir.Param("w", ir.Ptr), ir.Param("alpha", ir.F64), ir.Param("x", ir.Ptr),
+		ir.Param("beta", ir.F64), ir.Param("y", ir.Ptr), ir.Param("n", ir.I64))
+	{
+		w, alpha, x, beta, y, n := waxpby.Params[0], waxpby.Params[1], waxpby.Params[2], waxpby.Params[3], waxpby.Params[4], waxpby.Params[5]
+		fb.ForN(I(0), n, 1, func(i ir.Value) {
+			fb.NewLine()
+			xv := fb.LoadAt(ir.F64, x, i)
+			yv := fb.LoadAt(ir.F64, y, i)
+			fb.StoreAt(fb.FAdd(fb.FMul(alpha, xv), fb.FMul(beta, yv)), w, i)
+		})
+		fb.Ret(nil)
+	}
+
+	// sparsemv(q, vals, inds, nnz, p, n): q = A*p over the ELL layout:
+	// row entries live at vals[27*row + j], columns at inds[27*row + j].
+	sparsemv := b.NewFunc("sparsemv", ir.Void,
+		ir.Param("q", ir.Ptr), ir.Param("vals", ir.Ptr), ir.Param("inds", ir.Ptr),
+		ir.Param("nnz", ir.Ptr), ir.Param("pv", ir.Ptr), ir.Param("n", ir.I64))
+	{
+		q, vals, inds, nnz, pv, n := sparsemv.Params[0], sparsemv.Params[1], sparsemv.Params[2], sparsemv.Params[3], sparsemv.Params[4], sparsemv.Params[5]
+		fb.ForN(I(0), n, 1, func(row ir.Value) {
+			cnt := fb.LoadAt(ir.I64, nnz, row)
+			rowBase := fb.Mul(row, I(27))
+			sum := fb.For(I(0), cnt, 1, []ir.Value{F(0)}, func(j ir.Value, c []ir.Value) []ir.Value {
+				fb.NewLine()
+				// The two-level indirection the paper's insight rests
+				// on: vals[27*row+j] * p[inds[27*row+j]].
+				at := fb.Add(rowBase, j)
+				av := fb.LoadAt(ir.F64, vals, at)
+				col := fb.LoadAt(ir.I64, inds, at)
+				pvv := fb.LoadAt(ir.F64, pv, col)
+				return []ir.Value{fb.FAdd(c[0], fb.FMul(av, pvv))}
+			})
+			fb.StoreAt(sum[0], q, row)
+		})
+		fb.Ret(nil)
+	}
+
+	// main: matrix generation + CG iterations.
+	b.NewFunc("main", ir.I64)
+	vals := fb.Malloc(nrows * 27)
+	inds := fb.Malloc(nrows * 27)
+	nnz := fb.Malloc(nrows)
+	xv := fb.Malloc(nrows)
+	bv := fb.Malloc(nrows)
+	pvec := fb.Malloc(nrows)
+	qvec := fb.Malloc(nrows)
+	rvec := fb.Malloc(nrows)
+
+	// generate_matrix: 27-point stencil on the chimney domain.
+	fb.ForN(I(0), I(nz), 1, func(iz ir.Value) {
+		fb.ForN(I(0), I(ny), 1, func(iy ir.Value) {
+			fb.ForN(I(0), I(nx), 1, func(ix ir.Value) {
+				fb.NewLine()
+				row := fb.Add(ix, fb.Mul(I(nx), fb.Add(iy, fb.Mul(I(ny), iz))))
+				rowBase := fb.Mul(row, I(27))
+				out := fb.For(I(-1), I(2), 1, []ir.Value{I(0), F(0)}, func(sz ir.Value, c []ir.Value) []ir.Value {
+					return fb.For(I(-1), I(2), 1, c, func(sy ir.Value, c []ir.Value) []ir.Value {
+						return fb.For(I(-1), I(2), 1, c, func(sx ir.Value, c []ir.Value) []ir.Value {
+							cnt, rowsum := c[0], c[1]
+							cz := fb.Add(iz, sz)
+							cy := fb.Add(iy, sy)
+							cx := fb.Add(ix, sx)
+							inZ := fb.And(fb.ICmp(ir.OpICmpSGE, cz, I(0)), fb.ICmp(ir.OpICmpSLT, cz, I(nz)))
+							inY := fb.And(fb.ICmp(ir.OpICmpSGE, cy, I(0)), fb.ICmp(ir.OpICmpSLT, cy, I(ny)))
+							inX := fb.And(fb.ICmp(ir.OpICmpSGE, cx, I(0)), fb.ICmp(ir.OpICmpSLT, cx, I(nx)))
+							in := fb.And(inZ, fb.And(inY, inX))
+							return fb.If(in, func() []ir.Value {
+								fb.NewLine()
+								col := fb.Add(cx, fb.Mul(I(nx), fb.Add(cy, fb.Mul(I(ny), cz))))
+								diag := fb.ICmp(ir.OpICmpEQ, col, row)
+								v := fb.Select(diag, fb.IToF(I(27)), fb.IToF(I(-1)))
+								slot := fb.Add(rowBase, cnt)
+								fb.StoreAt(v, vals, slot)
+								fb.StoreAt(col, inds, slot)
+								return []ir.Value{fb.Add(cnt, I(1)), fb.FAdd(rowsum, v)}
+							}, func() []ir.Value {
+								return []ir.Value{cnt, rowsum}
+							})
+						})
+					})
+				})
+				fb.NewLine()
+				fb.StoreAt(out[0], nnz, row)
+				fb.StoreAt(out[1], bv, row) // b = A * ones
+				fb.StoreAt(F(0), xv, row)
+			})
+		})
+	})
+
+	// r = b; p = r (x = 0).
+	n := I(nrows)
+	fb.Call(waxpby, rvec, F(1), bv, F(0), bv, n)
+	fb.Call(waxpby, pvec, F(1), rvec, F(0), rvec, n)
+	rtrans0 := fb.Call(ddot, rvec, rvec, n)
+
+	final := fb.For(I(0), I(iters), 1, []ir.Value{ir.Value(rtrans0)}, func(it ir.Value, c []ir.Value) []ir.Value {
+		rtrans := c[0]
+		fb.Call(sparsemv, qvec, vals, inds, nnz, pvec, n)
+		pq := fb.Call(ddot, pvec, qvec, n)
+		alpha := fb.FDiv(rtrans, pq)
+		fb.Call(waxpby, xv, F(1), xv, alpha, pvec, n)
+		nalpha := fb.FSub(F(0), alpha)
+		fb.Call(waxpby, rvec, F(1), rvec, nalpha, qvec, n)
+		newr := fb.Call(ddot, rvec, rvec, n)
+		beta := fb.FDiv(newr, rtrans)
+		fb.Call(waxpby, pvec, F(1), rvec, beta, pvec, n)
+		fb.Result(fb.Sqrt(newr))
+		return []ir.Value{newr}
+	})
+	_ = final
+	fb.Result(fb.Call(ddot, xv, xv, n))
+	fb.Ret(I(0))
+
+	if err := ir.VerifyModule(m); err != nil {
+		panic("workloads: HPCCG: " + err.Error())
+	}
+	return m
+}

@@ -1,0 +1,242 @@
+package workloads
+
+import (
+	"care/internal/ir"
+	. "care/internal/irbuild"
+)
+
+func init() {
+	register(&Workload{
+		Name: "miniFE",
+		Lang: "C++",
+		Description: "A Finite Element mini-application which assembles a sparse " +
+			"linear-system from the steady-state conduction equation on a brick-shaped " +
+			"problem domain of linear 8-node hex elements, then solves it with " +
+			"un-preconditioned conjugate gradient.",
+		Defaults:       Params{NX: 2, NY: 2, NZ: 2, Steps: 6, Seed: 3},
+		ResultsPerStep: 1,
+		Build:          buildMiniFE,
+		// The paper evaluates miniFE only in the §2 manifestation study
+		// (its heavy C++/STL use excluded it from the §5 prototype
+		// evaluation).
+		InEvaluation: false,
+	})
+}
+
+// buildMiniFE constructs the miniFE pipeline: build a CSR sparsity
+// structure for the nodes of an nx*ny*nz hex-8 mesh (27-point
+// connectivity), assemble a graph-Laplacian element stiffness with a
+// find-column scatter-add — the CSR search loop is miniFE's hallmark
+// memory-access pattern — apply Dirichlet conditions on the z=0 face,
+// and run CG on the assembled system.
+func buildMiniFE(p Params) *ir.Module {
+	ex, ey, ez := int64(p.NX), int64(p.NY), int64(p.NZ)
+	nnx, nny, nnz := ex+1, ey+1, ez+1
+	nnodes := nnx * nny * nnz
+	iters := int64(p.Steps)
+	const maxRow = 27
+
+	m := ir.NewModule("miniFE")
+	// Element stiffness: graph Laplacian of the 8-node clique (row sums
+	// zero; SPD once Dirichlet rows are pinned).
+	elemK := make([]float64, 64)
+	for a := 0; a < 8; a++ {
+		for bb := 0; bb < 8; bb++ {
+			if a == bb {
+				elemK[8*a+bb] = 7
+			} else {
+				elemK[8*a+bb] = -1
+			}
+		}
+	}
+	gElemK := m.AddGlobal(&ir.Global{Name: "elemK", Size: 64 * 8, InitF64: elemK})
+	gSrc := m.AddGlobal(&ir.Global{Name: "srcQ", Size: 8, InitF64: []float64{1.25}})
+
+	b := ir.NewBuilder(m)
+	fb := New(b)
+
+	// node_id(ix,iy,iz) — simple function used in address computations.
+	nodeID := b.NewFunc("node_id", ir.I64,
+		ir.Param("ix", ir.I64), ir.Param("iy", ir.I64), ir.Param("iz", ir.I64))
+	{
+		ix, iy, iz := nodeID.Params[0], nodeID.Params[1], nodeID.Params[2]
+		fb.Ret(fb.Add(ix, fb.Mul(I(nnx), fb.Add(iy, fb.Mul(I(nny), iz)))))
+	}
+
+	// find_col(row, col): scan the CSR row for the column slot — the
+	// assembly search loop. Returns the position in vals/cols.
+	findCol := b.NewFunc("find_col", ir.I64,
+		ir.Param("rowptr", ir.Ptr), ir.Param("cols", ir.Ptr),
+		ir.Param("row", ir.I64), ir.Param("col", ir.I64))
+	{
+		rp, cl, row, col := findCol.Params[0], findCol.Params[1], findCol.Params[2], findCol.Params[3]
+		lo := fb.LoadAt(ir.I64, rp, row)
+		hi := fb.LoadAt(ir.I64, rp, fb.Add(row, I(1)))
+		pos := fb.For(lo, hi, 1, []ir.Value{I(-1)}, func(k ir.Value, c []ir.Value) []ir.Value {
+			fb.NewLine()
+			cv := fb.LoadAt(ir.I64, cl, k)
+			hit := fb.ICmp(ir.OpICmpEQ, cv, col)
+			return []ir.Value{fb.Select(hit, k, c[0])}
+		})
+		fb.Assert(fb.ICmp(ir.OpICmpSGE, pos[0], I(0)), 51)
+		fb.Ret(pos[0])
+	}
+
+	b.NewFunc("main", ir.I64)
+	n := I(nnodes)
+	rowptr := fb.Malloc(nnodes + 1)
+	cols := fb.Malloc(nnodes * maxRow)
+	vals := fb.Malloc(nnodes * maxRow)
+	bvec := fb.Malloc(nnodes)
+	xvec := fb.Malloc(nnodes)
+	rvec := fb.Malloc(nnodes)
+	pvec := fb.Malloc(nnodes)
+	qvec := fb.Malloc(nnodes)
+
+	// Symbolic phase: CSR structure from 27-point node connectivity.
+	cursor := fb.Malloc(1)
+	fb.Store(I(0), cursor)
+	fb.ForN(I(0), I(nnz), 1, func(iz ir.Value) {
+		fb.ForN(I(0), I(nny), 1, func(iy ir.Value) {
+			fb.ForN(I(0), I(nnx), 1, func(ix ir.Value) {
+				fb.NewLine()
+				row := fb.Call(nodeID, ix, iy, iz)
+				start := fb.Load(ir.I64, cursor)
+				fb.StoreAt(start, rowptr, row)
+				fb.For(I(-1), I(2), 1, nil, func(sz ir.Value, _ []ir.Value) []ir.Value {
+					fb.For(I(-1), I(2), 1, nil, func(sy ir.Value, _ []ir.Value) []ir.Value {
+						fb.For(I(-1), I(2), 1, nil, func(sx ir.Value, _ []ir.Value) []ir.Value {
+							cz := fb.Add(iz, sz)
+							cy := fb.Add(iy, sy)
+							cx := fb.Add(ix, sx)
+							inZ := fb.And(fb.ICmp(ir.OpICmpSGE, cz, I(0)), fb.ICmp(ir.OpICmpSLT, cz, I(nnz)))
+							inY := fb.And(fb.ICmp(ir.OpICmpSGE, cy, I(0)), fb.ICmp(ir.OpICmpSLT, cy, I(nny)))
+							inX := fb.And(fb.ICmp(ir.OpICmpSGE, cx, I(0)), fb.ICmp(ir.OpICmpSLT, cx, I(nnx)))
+							fb.IfThen(fb.And(inZ, fb.And(inY, inX)), func() {
+								fb.NewLine()
+								col := fb.Call(nodeID, cx, cy, cz)
+								cur := fb.Load(ir.I64, cursor)
+								fb.StoreAt(col, cols, cur)
+								fb.StoreAt(F(0), vals, cur)
+								fb.Store(fb.Add(cur, I(1)), cursor)
+							})
+							return nil
+						})
+						return nil
+					})
+					return nil
+				})
+			})
+		})
+	})
+	fb.StoreAt(fb.Load(ir.I64, cursor), rowptr, n)
+
+	// Assembly: for each element, gather its 8 node ids and scatter the
+	// element stiffness into the CSR matrix.
+	fb.ForN(I(0), I(ez), 1, func(z ir.Value) {
+		fb.ForN(I(0), I(ey), 1, func(y ir.Value) {
+			fb.ForN(I(0), I(ex), 1, func(x ir.Value) {
+				// Local node a = (ax, ay, az) in {0,1}^3, id = ax+2*ay+4*az.
+				fb.For(I(0), I(8), 1, nil, func(a ir.Value, _ []ir.Value) []ir.Value {
+					fb.NewLine()
+					ax := fb.And(a, I(1))
+					ay := fb.And(fb.AShr(a, I(1)), I(1))
+					az := fb.And(fb.AShr(a, I(2)), I(1))
+					row := fb.Call(nodeID, fb.Add(x, ax), fb.Add(y, ay), fb.Add(z, az))
+					fb.For(I(0), I(8), 1, nil, func(bbv ir.Value, _ []ir.Value) []ir.Value {
+						fb.NewLine()
+						bx := fb.And(bbv, I(1))
+						by := fb.And(fb.AShr(bbv, I(1)), I(1))
+						bz := fb.And(fb.AShr(bbv, I(2)), I(1))
+						col := fb.Call(nodeID, fb.Add(x, bx), fb.Add(y, by), fb.Add(z, bz))
+						pos := fb.Call(findCol, rowptr, cols, row, col)
+						kab := fb.LoadAt(ir.F64, gElemK, fb.Add(fb.Mul(a, I(8)), bbv))
+						fb.AddF(vals, pos, kab)
+						return nil
+					})
+					// RHS source contribution.
+					q := fb.Load(ir.F64, gSrc)
+					fb.AddF(bvec, row, fb.FMul(q, F(0.125)))
+					return nil
+				})
+			})
+		})
+	})
+
+	// Dirichlet on the z=0 face: zero the row, unit diagonal, zero RHS.
+	fb.ForN(I(0), I(nny), 1, func(iy ir.Value) {
+		fb.ForN(I(0), I(nnx), 1, func(ix ir.Value) {
+			fb.NewLine()
+			row := fb.Call(nodeID, ix, iy, I(0))
+			lo := fb.LoadAt(ir.I64, rowptr, row)
+			hi := fb.LoadAt(ir.I64, rowptr, fb.Add(row, I(1)))
+			fb.ForN(lo, hi, 1, func(k ir.Value) {
+				fb.NewLine()
+				cv := fb.LoadAt(ir.I64, cols, k)
+				diag := fb.ICmp(ir.OpICmpEQ, cv, row)
+				fb.StoreAt(fb.Select(diag, fb.IToF(I(1)), fb.IToF(I(0))), vals, k)
+			})
+			fb.StoreAt(F(0), bvec, row)
+		})
+	})
+
+	// CG solve (CSR matvec via rowptr, unlike HPCCG's ELL).
+	ddot := func(xv, yv ir.Value) ir.Value {
+		s := fb.For(I(0), n, 1, []ir.Value{F(0)}, func(i ir.Value, c []ir.Value) []ir.Value {
+			fb.NewLine()
+			return []ir.Value{fb.FAdd(c[0], fb.FMul(fb.LoadAt(ir.F64, xv, i), fb.LoadAt(ir.F64, yv, i)))}
+		})
+		return fb.HostCall("mpi_allreduce_sum_f64", ir.F64, s[0])
+	}
+	matvec := func(dst, src ir.Value) {
+		fb.ForN(I(0), n, 1, func(row ir.Value) {
+			lo := fb.LoadAt(ir.I64, rowptr, row)
+			hi := fb.LoadAt(ir.I64, rowptr, fb.Add(row, I(1)))
+			s := fb.For(lo, hi, 1, []ir.Value{F(0)}, func(k ir.Value, c []ir.Value) []ir.Value {
+				fb.NewLine()
+				col := fb.LoadAt(ir.I64, cols, k)
+				return []ir.Value{fb.FAdd(c[0], fb.FMul(fb.LoadAt(ir.F64, vals, k), fb.LoadAt(ir.F64, src, col)))}
+			})
+			fb.StoreAt(s[0], dst, row)
+		})
+	}
+	axpyInto := func(dst, xv ir.Value, alpha ir.Value, yv ir.Value) {
+		// dst = x + alpha*y
+		fb.ForN(I(0), n, 1, func(i ir.Value) {
+			fb.NewLine()
+			fb.StoreAt(fb.FAdd(fb.LoadAt(ir.F64, xv, i), fb.FMul(alpha, fb.LoadAt(ir.F64, yv, i))), dst, i)
+		})
+	}
+
+	fb.ForN(I(0), n, 1, func(i ir.Value) {
+		fb.StoreAt(F(0), xvec, i)
+		bv := fb.LoadAt(ir.F64, bvec, i)
+		fb.StoreAt(bv, rvec, i)
+		fb.StoreAt(bv, pvec, i)
+	})
+	rtr0 := ddot(rvec, rvec)
+	fb.For(I(0), I(iters), 1, []ir.Value{ir.Value(rtr0)}, func(it ir.Value, c []ir.Value) []ir.Value {
+		rtr := c[0]
+		matvec(qvec, pvec)
+		pq := ddot(pvec, qvec)
+		alpha := fb.FDiv(rtr, pq)
+		axpyInto(xvec, xvec, alpha, pvec)
+		axpyInto(rvec, rvec, fb.FSub(F(0), alpha), qvec)
+		newrtr := ddot(rvec, rvec)
+		beta := fb.FDiv(newrtr, rtr)
+		// p = r + beta*p.
+		fb.ForN(I(0), n, 1, func(i ir.Value) {
+			fb.NewLine()
+			fb.StoreAt(fb.FAdd(fb.LoadAt(ir.F64, rvec, i), fb.FMul(beta, fb.LoadAt(ir.F64, pvec, i))), pvec, i)
+		})
+		fb.Result(fb.Sqrt(newrtr))
+		return []ir.Value{newrtr}
+	})
+	fb.Result(ddot(xvec, xvec))
+	fb.Ret(I(0))
+
+	if err := ir.VerifyModule(m); err != nil {
+		panic("workloads: miniFE: " + err.Error())
+	}
+	return m
+}

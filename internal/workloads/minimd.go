@@ -1,0 +1,246 @@
+package workloads
+
+import (
+	"care/internal/ir"
+	. "care/internal/irbuild"
+)
+
+func init() {
+	register(&Workload{
+		Name: "miniMD",
+		Lang: "C++",
+		Description: "A simple, parallel molecular dynamics (MD) code. It performs " +
+			"parallel molecular dynamics simulation of a Lennard-Jones or a EAM system.",
+		Defaults:       Params{NX: 3, NY: 3, NZ: 3, Steps: 2, NParticles: 36, Seed: 23},
+		ResultsPerStep: 2,
+		Build:          buildMiniMD,
+		InEvaluation:   true,
+	})
+}
+
+// buildMiniMD constructs the neighbor-list variant of Lennard-Jones MD
+// (miniMD's force kernel): atoms are binned, an explicit neighbor list
+// neigh[i*MAXN + k] of atom *indices* is built with a skin radius, and
+// the force loop walks the list with two levels of indirection —
+// x[3*neigh[i*MAXN+k] + d] — the most address-computation-dense pattern
+// of the suite. Positions are stored interleaved (x0 y0 z0 x1 ...),
+// unlike CoMD's per-cell SoA, for layout diversity.
+func buildMiniMD(p Params) *ir.Module {
+	nbx, nby, nbz := int64(p.NX), int64(p.NY), int64(p.NZ)
+	nbins := nbx * nby * nbz
+	natoms := int64(p.NParticles)
+	steps := int64(p.Steps)
+	const maxb = 10 // atoms per bin
+	const maxn = 24 // neighbors per atom
+	binSize := 1.45
+	lx, ly, lz := float64(nbx)*binSize, float64(nby)*binSize, float64(nbz)*binSize
+	cut2 := 1.21      // force cutoff^2
+	cutNeigh2 := 1.69 // (cutoff+skin)^2
+
+	rng := newLCG(p.Seed)
+	rawpos := make([]float64, 3*natoms)
+	rawvel := make([]float64, 3*natoms)
+	side := int64(1)
+	for side*side*side < natoms {
+		side++
+	}
+	for i := int64(0); i < natoms; i++ {
+		ix, iy, iz := i%side, (i/side)%side, i/(side*side)
+		rawpos[3*i+0] = (float64(ix) + 0.3 + 0.4*rng.f64()) * lx / float64(side)
+		rawpos[3*i+1] = (float64(iy) + 0.3 + 0.4*rng.f64()) * ly / float64(side)
+		rawpos[3*i+2] = (float64(iz) + 0.3 + 0.4*rng.f64()) * lz / float64(side)
+		for d := 0; d < 3; d++ {
+			rawvel[3*i+int64(d)] = 0.25 * (rng.f64() - 0.5)
+		}
+	}
+
+	m := ir.NewModule("miniMD")
+	gX := m.AddGlobal(&ir.Global{Name: "x", Size: 3 * natoms * 8, InitF64: rawpos})
+	gV := m.AddGlobal(&ir.Global{Name: "v", Size: 3 * natoms * 8, InitF64: rawvel})
+	gF := m.AddGlobal(&ir.Global{Name: "f", Size: 3 * natoms * 8})
+	gBinCnt := m.AddGlobal(&ir.Global{Name: "bincnt", Size: nbins * 8})
+	gBins := m.AddGlobal(&ir.Global{Name: "bins", Size: nbins * maxb * 8})
+	gNumNeigh := m.AddGlobal(&ir.Global{Name: "numneigh", Size: natoms * 8})
+	gNeigh := m.AddGlobal(&ir.Global{Name: "neigh", Size: natoms * maxn * 8})
+	gPot := m.AddGlobal(&ir.Global{Name: "epot", Size: 8})
+
+	b := ir.NewBuilder(m)
+	fb := New(b)
+
+	// bin_index(bx,by,bz) with periodic wrap (simple function).
+	binIndex := b.NewFunc("bin_index", ir.I64,
+		ir.Param("bx", ir.I64), ir.Param("by", ir.I64), ir.Param("bz", ir.I64))
+	{
+		bx, by, bz := binIndex.Params[0], binIndex.Params[1], binIndex.Params[2]
+		wx := fb.SRem(fb.Add(bx, I(nbx)), I(nbx))
+		wy := fb.SRem(fb.Add(by, I(nby)), I(nby))
+		wz := fb.SRem(fb.Add(bz, I(nbz)), I(nbz))
+		fb.Ret(fb.Add(wx, fb.Mul(I(nbx), fb.Add(wy, fb.Mul(I(nby), wz)))))
+	}
+
+	b.NewFunc("main", ir.I64)
+	na := I(natoms)
+	dt := F(0.004)
+
+	coord := func(i ir.Value, d int64) ir.Value {
+		return fb.LoadAt(ir.F64, gX, fb.Add(fb.Mul(i, I(3)), I(d)))
+	}
+	minImage := func(d ir.Value, l float64) ir.Value {
+		d1 := fb.If(fb.FCmp(ir.OpFCmpOGT, d, F(l/2)),
+			func() []ir.Value { return []ir.Value{fb.FSub(d, F(l))} },
+			func() []ir.Value { return []ir.Value{d} })[0]
+		return fb.If(fb.FCmp(ir.OpFCmpOLT, d1, F(-l/2)),
+			func() []ir.Value { return []ir.Value{fb.FAdd(d1, F(l))} },
+			func() []ir.Value { return []ir.Value{d1} })[0]
+	}
+
+	// buildNeighbors: bin all atoms, then for each atom scan the 27
+	// surrounding bins and record indices within the skin radius.
+	buildNeighbors := func() {
+		fb.ForN(I(0), I(nbins), 1, func(bin ir.Value) {
+			fb.StoreAt(I(0), gBinCnt, bin)
+		})
+		fb.ForN(I(0), na, 1, func(i ir.Value) {
+			fb.NewLine()
+			bx := fb.FToI(fb.FDiv(coord(i, 0), F(binSize)))
+			by := fb.FToI(fb.FDiv(coord(i, 1), F(binSize)))
+			bz := fb.FToI(fb.FDiv(coord(i, 2), F(binSize)))
+			bin := fb.Call(binIndex, bx, by, bz)
+			cnt := fb.LoadAt(ir.I64, gBinCnt, bin)
+			fb.Assert(fb.ICmp(ir.OpICmpSLT, cnt, I(maxb)), 41)
+			fb.StoreAt(i, gBins, fb.Add(fb.Mul(bin, I(maxb)), cnt))
+			fb.StoreAt(fb.Add(cnt, I(1)), gBinCnt, bin)
+		})
+		fb.ForN(I(0), na, 1, func(i ir.Value) {
+			fb.NewLine()
+			xi := coord(i, 0)
+			yi := coord(i, 1)
+			zi := coord(i, 2)
+			bx := fb.FToI(fb.FDiv(xi, F(binSize)))
+			by := fb.FToI(fb.FDiv(yi, F(binSize)))
+			bz := fb.FToI(fb.FDiv(zi, F(binSize)))
+			nn := fb.For(I(-1), I(2), 1, []ir.Value{I(0)}, func(dz ir.Value, c []ir.Value) []ir.Value {
+				return fb.For(I(-1), I(2), 1, c, func(dy ir.Value, c []ir.Value) []ir.Value {
+					return fb.For(I(-1), I(2), 1, c, func(dx ir.Value, c []ir.Value) []ir.Value {
+						bin := fb.Call(binIndex, fb.Add(bx, dx), fb.Add(by, dy), fb.Add(bz, dz))
+						cnt := fb.LoadAt(ir.I64, gBinCnt, bin)
+						return fb.For(I(0), cnt, 1, c, func(k ir.Value, c []ir.Value) []ir.Value {
+							fb.NewLine()
+							j := fb.LoadAt(ir.I64, gBins, fb.Add(fb.Mul(bin, I(maxb)), k))
+							skip := fb.ICmp(ir.OpICmpEQ, i, j)
+							return fb.If(skip, func() []ir.Value { return c }, func() []ir.Value {
+								fb.NewLine()
+								ddx := minImage(fb.FSub(xi, coord(j, 0)), lx)
+								ddy := minImage(fb.FSub(yi, coord(j, 1)), ly)
+								ddz := minImage(fb.FSub(zi, coord(j, 2)), lz)
+								r2 := fb.FAdd(fb.FMul(ddx, ddx), fb.FAdd(fb.FMul(ddy, ddy), fb.FMul(ddz, ddz)))
+								in := fb.FCmp(ir.OpFCmpOLT, r2, F(cutNeigh2))
+								return fb.If(in, func() []ir.Value {
+									fb.Assert(fb.ICmp(ir.OpICmpSLT, c[0], I(maxn)), 42)
+									fb.StoreAt(j, gNeigh, fb.Add(fb.Mul(i, I(maxn)), c[0]))
+									return []ir.Value{fb.Add(c[0], I(1))}
+								}, func() []ir.Value { return c })
+							})
+						})
+					})
+				})
+			})
+			fb.StoreAt(nn[0], gNumNeigh, i)
+		})
+	}
+
+	// force: walk the neighbor list with full double-counting (miniMD's
+	// half-neighbor optimisation is omitted; energies are halved).
+	force := func() {
+		fb.ForN(I(0), I(3*natoms), 1, func(s ir.Value) {
+			fb.StoreAt(F(0), gF, s)
+		})
+		fb.Store(F(0), gPot)
+		fb.ForN(I(0), na, 1, func(i ir.Value) {
+			fb.NewLine()
+			xi := coord(i, 0)
+			yi := coord(i, 1)
+			zi := coord(i, 2)
+			cnt := fb.LoadAt(ir.I64, gNumNeigh, i)
+			acc := fb.For(I(0), cnt, 1, []ir.Value{F(0), F(0), F(0), F(0)}, func(k ir.Value, acc []ir.Value) []ir.Value {
+				fb.NewLine()
+				// The miniMD double indirection: j = neigh[i*MAXN+k],
+				// then x[3*j+d].
+				j := fb.LoadAt(ir.I64, gNeigh, fb.Add(fb.Mul(i, I(maxn)), k))
+				ddx := minImage(fb.FSub(xi, coord(j, 0)), lx)
+				ddy := minImage(fb.FSub(yi, coord(j, 1)), ly)
+				ddz := minImage(fb.FSub(zi, coord(j, 2)), lz)
+				r2 := fb.FAdd(fb.FMul(ddx, ddx), fb.FAdd(fb.FMul(ddy, ddy), fb.FMul(ddz, ddz)))
+				ok := fb.And(fb.FCmp(ir.OpFCmpOLT, r2, F(cut2)), fb.FCmp(ir.OpFCmpOGT, r2, F(0.36)))
+				return fb.If(ok, func() []ir.Value {
+					r2i := fb.FDiv(F(1), r2)
+					r6 := fb.FMul(r2i, fb.FMul(r2i, r2i))
+					fmag := fb.FMul(F(48), fb.FMul(r6, fb.FMul(fb.FSub(r6, F(0.5)), r2i)))
+					e := fb.FMul(F(2), fb.FMul(r6, fb.FSub(r6, F(1)))) // half of 4eps
+					return []ir.Value{
+						fb.FAdd(acc[0], fb.FMul(fmag, ddx)),
+						fb.FAdd(acc[1], fb.FMul(fmag, ddy)),
+						fb.FAdd(acc[2], fb.FMul(fmag, ddz)),
+						fb.FAdd(acc[3], e),
+					}
+				}, func() []ir.Value { return acc })
+			})
+			fb.NewLine()
+			base := fb.Mul(i, I(3))
+			fb.StoreAt(acc[0], gF, base)
+			fb.StoreAt(acc[1], gF, fb.Add(base, I(1)))
+			fb.StoreAt(acc[2], gF, fb.Add(base, I(2)))
+			fb.AddF(gPot, I(0), acc[3])
+		})
+	}
+
+	buildNeighbors()
+	force()
+
+	wrap := func(x ir.Value, l float64) ir.Value {
+		x1 := fb.If(fb.FCmp(ir.OpFCmpOGE, x, F(l)),
+			func() []ir.Value { return []ir.Value{fb.FSub(x, F(l))} },
+			func() []ir.Value { return []ir.Value{x} })[0]
+		return fb.If(fb.FCmp(ir.OpFCmpOLT, x1, F(0)),
+			func() []ir.Value { return []ir.Value{fb.FAdd(x1, F(l))} },
+			func() []ir.Value { return []ir.Value{x1} })[0]
+	}
+
+	fb.ForN(I(0), I(steps), 1, func(step ir.Value) {
+		kick := func() {
+			fb.ForN(I(0), I(3*natoms), 1, func(s ir.Value) {
+				fb.NewLine()
+				v := fb.LoadAt(ir.F64, gV, s)
+				f := fb.LoadAt(ir.F64, gF, s)
+				fb.StoreAt(fb.FAdd(v, fb.FMul(F(0.5), fb.FMul(dt, f))), gV, s)
+			})
+		}
+		kick()
+		ls := [3]float64{lx, ly, lz}
+		fb.ForN(I(0), na, 1, func(i ir.Value) {
+			for d := int64(0); d < 3; d++ {
+				fb.NewLine()
+				s := fb.Add(fb.Mul(i, I(3)), I(d))
+				x := fb.LoadAt(ir.F64, gX, s)
+				v := fb.LoadAt(ir.F64, gV, s)
+				fb.StoreAt(wrap(fb.FAdd(x, fb.FMul(dt, v)), ls[d]), gX, s)
+			}
+		})
+		buildNeighbors()
+		force()
+		kick()
+
+		ke := fb.For(I(0), I(3*natoms), 1, []ir.Value{F(0)}, func(s ir.Value, c []ir.Value) []ir.Value {
+			v := fb.LoadAt(ir.F64, gV, s)
+			return []ir.Value{fb.FAdd(c[0], fb.FMul(F(0.5), fb.FMul(v, v)))}
+		})
+		fb.Result(fb.HostCall("mpi_allreduce_sum_f64", ir.F64, fb.Load(ir.F64, gPot)))
+		fb.Result(fb.HostCall("mpi_allreduce_sum_f64", ir.F64, ke[0]))
+	})
+	fb.Ret(I(0))
+
+	if err := ir.VerifyModule(m); err != nil {
+		panic("workloads: miniMD: " + err.Error())
+	}
+	return m
+}

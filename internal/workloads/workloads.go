@@ -1,0 +1,134 @@
+// Package workloads implements the five scientific mini-apps of the
+// paper's Table 1 — HPCCG, CoMD, miniMD, miniFE and GTC-P — as programs
+// in the mini-IR. Each reproduces the algorithmic structure that makes
+// CARE effective on the originals: stencil sweeps, indirect neighbor
+// indexing, and multi-operation address arithmetic over infrequently
+// updated raw values.
+//
+// Builders are deterministic: the same Params yield the same module and
+// the same golden result stream, which is what fault-injection outcome
+// classification compares against.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"care/internal/ir"
+)
+
+// Params sizes a workload. The zero value selects the workload's
+// default (small but non-trivial) problem.
+type Params struct {
+	// NX, NY, NZ size grid-based problems.
+	NX, NY, NZ int
+	// Steps is the number of time steps / solver iterations.
+	Steps int
+	// NParticles sizes particle-based problems.
+	NParticles int
+	// Seed varies deterministic pseudo-random initial data.
+	Seed int64
+}
+
+func (p Params) or(def Params) Params {
+	if p.NX == 0 {
+		p.NX = def.NX
+	}
+	if p.NY == 0 {
+		p.NY = def.NY
+	}
+	if p.NZ == 0 {
+		p.NZ = def.NZ
+	}
+	if p.Steps == 0 {
+		p.Steps = def.Steps
+	}
+	if p.NParticles == 0 {
+		p.NParticles = def.NParticles
+	}
+	if p.Seed == 0 {
+		p.Seed = def.Seed
+	}
+	return p
+}
+
+// Workload is one registered mini-app.
+type Workload struct {
+	Name string
+	// Lang is the source language of the original (Table 1).
+	Lang string
+	// Description is the paper's one-line description.
+	Description string
+	// Defaults are the default Params.
+	Defaults Params
+	// Build constructs the IR module.
+	Build func(p Params) *ir.Module
+	// ResultsPerStep is how many result_f64 values the workload emits
+	// per time step / solver iteration (checkpoint-interval bookkeeping).
+	ResultsPerStep int
+	// InEvaluation marks the workloads used in §5 (miniFE is only in
+	// the §2 manifestation study; its C++/STL dependence excluded it
+	// from the paper's coverage evaluation).
+	InEvaluation bool
+}
+
+// Module builds the workload with p (zero fields defaulted).
+func (w *Workload) Module(p Params) *ir.Module { return w.Build(p.or(w.Defaults)) }
+
+var registry = map[string]*Workload{}
+
+func register(w *Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic("workloads: duplicate " + w.Name)
+	}
+	registry[w.Name] = w
+}
+
+// Get returns a workload by name.
+func Get(name string) (*Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q", name)
+	}
+	return w, nil
+}
+
+// All returns the registered workloads in a stable order.
+func All() []*Workload {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Workload, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Evaluated returns the four §5 workloads (Table 8 / Figures 7, 9, 10).
+func Evaluated() []*Workload {
+	var out []*Workload
+	for _, w := range All() {
+		if w.InEvaluation {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// lcg is the deterministic generator used to precompute initial data in
+// the builders (the originals read input decks; we bake equivalent
+// deterministic state into globals).
+type lcg struct{ s uint64 }
+
+func newLCG(seed int64) *lcg { return &lcg{s: uint64(seed)*2862933555777941757 + 3037000493} }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s
+}
+
+// f64 returns a uniform value in [0,1).
+func (l *lcg) f64() float64 { return float64(l.next()>>11) / float64(1<<53) }

@@ -1,0 +1,109 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"care/internal/core"
+	"care/internal/interp"
+	"care/internal/ir"
+	"care/internal/machine"
+)
+
+// runCompiled executes a workload's compiled image and returns its
+// result stream.
+func runCompiled(t *testing.T, m *ir.Module, opt int) []float64 {
+	t.Helper()
+	bin, err := core.Build(m, core.BuildOptions{OptLevel: opt, NoArmor: true})
+	if err != nil {
+		t.Fatalf("build O%d: %v", opt, err)
+	}
+	p, err := core.NewProcess(core.ProcessConfig{App: bin})
+	if err != nil {
+		t.Fatalf("process: %v", err)
+	}
+	if st := p.Run(500_000_000); st != machine.StatusExited {
+		t.Fatalf("O%d run: %v (trap %v at pc=0x%x)", opt, st, p.CPU.PendingTrap, p.CPU.PC)
+	}
+	return append([]float64(nil), p.Results()...)
+}
+
+// TestWorkloadsDifferential cross-checks every workload three ways: the
+// IR interpreter, the O0 compiled image, and the O1 compiled image must
+// produce bit-identical result streams.
+func TestWorkloadsDifferential(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			mi := w.Module(Params{})
+			want, err := interp.Run(1<<32, mi)
+			if err != nil {
+				t.Fatalf("interp: %v", err)
+			}
+			if len(want) == 0 {
+				t.Fatal("workload produced no results")
+			}
+			for _, v := range want {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("non-finite result in golden stream: %v", want)
+				}
+			}
+			for _, opt := range []int{0, 1} {
+				got := runCompiled(t, w.Module(Params{}), opt)
+				if len(got) != len(want) {
+					t.Fatalf("O%d: %d results, want %d", opt, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("O%d: result[%d] = %v, want %v", opt, i, got[i], want[i])
+					}
+				}
+			}
+			t.Logf("%s: %d results, first=%g last=%g", w.Name, len(want), want[0], want[len(want)-1])
+		})
+	}
+}
+
+// TestWorkloadsBuildWithArmor ensures Armor handles every workload and
+// produces kernels for most memory accesses.
+func TestWorkloadsBuildWithArmor(t *testing.T) {
+	for _, w := range All() {
+		for _, opt := range []int{0, 1} {
+			bin, err := core.Build(w.Module(Params{}), core.BuildOptions{OptLevel: opt})
+			if err != nil {
+				t.Fatalf("%s O%d: %v", w.Name, opt, err)
+			}
+			s := bin.ArmorStats
+			if s.NumKernels == 0 {
+				t.Errorf("%s O%d: no kernels", w.Name, opt)
+			}
+			cov := float64(s.NumKernels) / float64(s.NumMemAccesses)
+			t.Logf("%s O%d: mem=%d kernels=%d (%.0f%%) avg=%.2f instrs, census: %.1f%% multi-op avg %.2f ops",
+				w.Name, opt, s.NumMemAccesses, s.NumKernels, 100*cov,
+				s.AvgKernelInstrs(), bin.Census.PctMulti(), bin.Census.AvgOps())
+		}
+	}
+}
+
+// TestDeterministicBuild double-builds each workload and checks the
+// machine code is identical (campaign reproducibility depends on it).
+func TestDeterministicBuild(t *testing.T) {
+	for _, w := range All() {
+		a, err := core.Build(w.Module(Params{}), core.BuildOptions{OptLevel: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := core.Build(w.Module(Params{}), core.BuildOptions{OptLevel: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Prog.Code) != len(b.Prog.Code) {
+			t.Fatalf("%s: nondeterministic code size %d vs %d", w.Name, len(a.Prog.Code), len(b.Prog.Code))
+		}
+		for i := range a.Prog.Code {
+			if machine.Disassemble(&a.Prog.Code[i]) != machine.Disassemble(&b.Prog.Code[i]) {
+				t.Fatalf("%s: instruction %d differs between builds", w.Name, i)
+			}
+		}
+	}
+}
