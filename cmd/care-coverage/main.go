@@ -27,6 +27,7 @@ func main() {
 	patchBase := flag.Bool("patch-base", false, "ablation: patch base register instead of index")
 	heuristic := flag.Bool("heuristic", false, "ablation: LetGo-style bit-bucket fallback")
 	induction := flag.Bool("induction", false, "extension: Figure-11 induction-variable recovery")
+	workers := flag.Int("workers", 0, "concurrent injection workers (0 = one per CPU; results are identical for any value)")
 	flag.Parse()
 
 	m := faultinject.SingleBit
@@ -51,7 +52,7 @@ func main() {
 		}
 		names = []string{*workload}
 	}
-	rows, err := experiments.CoverageStudy(names, *trials, m, *seed, workloads.Params{}, cfg)
+	rows, err := experiments.CoverageStudy(names, *trials, m, *seed, workloads.Params{}, cfg, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	care-inject [-n 1000] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1]
+//	care-inject [-n 1000] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1] [-workers 0]
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 	workload := flag.String("workload", "all", "workload name or 'all'")
 	opt := flag.Int("opt", 0, "optimisation level (0 or 1)")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "concurrent injection workers (0 = one per CPU; results are identical for any value)")
 	flag.Parse()
 
 	m := faultinject.SingleBit
@@ -42,7 +43,7 @@ func main() {
 		}
 		names = []string{*workload}
 	}
-	rows, err := experiments.OutcomeStudy(names, *n, m, *seed, *opt, workloads.Params{})
+	rows, err := experiments.OutcomeStudy(names, *n, m, *seed, *opt, workloads.Params{}, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

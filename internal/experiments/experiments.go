@@ -18,6 +18,7 @@ import (
 	"care/internal/core"
 	"care/internal/faultinject"
 	"care/internal/machine"
+	"care/internal/parallel"
 	"care/internal/safeguard"
 	"care/internal/workloads"
 )
@@ -39,18 +40,28 @@ type OutcomeRow struct {
 }
 
 // OutcomeStudy runs the §2 manifestation study (Tables 2, 3, 4 / 10, 11).
-func OutcomeStudy(names []string, n int, model faultinject.Model, seed int64, opt int, p workloads.Params) ([]OutcomeRow, error) {
-	var rows []OutcomeRow
-	for _, name := range names {
+// Workloads build and run concurrently on up to workers goroutines
+// (<=0 means one per CPU), and each campaign spreads its trials over
+// the same worker budget; rows come back in names order and every
+// campaign seeds per-trial RNGs from (seed, trial), so the study is
+// deterministic for any worker count.
+func OutcomeStudy(names []string, n int, model faultinject.Model, seed int64, opt int, p workloads.Params, workers int) ([]OutcomeRow, error) {
+	rows := make([]OutcomeRow, len(names))
+	err := parallel.ForEach(len(names), workers, func(i int) error {
+		name := names[i]
 		bin, err := BuildWorkload(name, p, opt, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res, err := (&faultinject.Campaign{App: bin, N: n, Model: model, Seed: seed}).Run()
+		res, err := (&faultinject.Campaign{App: bin, N: n, Model: model, Seed: seed, Workers: workers}).Run()
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
-		rows = append(rows, OutcomeRow{Workload: name, Res: res})
+		rows[i] = OutcomeRow{Workload: name, Res: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -89,12 +100,15 @@ func FormatOutcomeTables(rows []OutcomeRow) string {
 
 func pct(a, b int) float64 { return 100 * float64(a) / float64(b) }
 
-// CensusStudy computes Table 5 for all workloads.
+// CensusStudy computes Table 5 for all workloads. The per-workload
+// censuses are independent pure analyses, so they run one per CPU.
 func CensusStudy(p workloads.Params) []armor.CensusRow {
-	var rows []armor.CensusRow
-	for _, w := range workloads.All() {
-		rows = append(rows, armor.Census(w.Module(p)))
-	}
+	ws := workloads.All()
+	rows := make([]armor.CensusRow, len(ws))
+	parallel.ForEach(len(ws), 0, func(i int) error {
+		rows[i] = armor.Census(ws[i].Module(p))
+		return nil
+	})
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Module < rows[j].Module })
 	return rows
 }
@@ -129,18 +143,19 @@ func ArmorStudy(opt int, p workloads.Params, evaluatedOnly bool) ([]ArmorRow, er
 	if evaluatedOnly {
 		ws = workloads.Evaluated()
 	}
-	var rows []ArmorRow
-	for _, w := range ws {
+	rows := make([]ArmorRow, len(ws))
+	err := parallel.ForEach(len(ws), 0, func(i int) error {
+		w := ws[i]
 		bin, err := core.Build(w.Module(p), core.BuildOptions{OptLevel: opt})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return fmt.Errorf("%s: %w", w.Name, err)
 		}
 		s := bin.ArmorStats
 		lp := 0.0
 		if s.TotalTime > 0 {
 			lp = 100 * float64(s.LivenessTime) / float64(s.TotalTime)
 		}
-		rows = append(rows, ArmorRow{
+		rows[i] = ArmorRow{
 			Workload:    w.Name,
 			Kernels:     s.NumKernels,
 			AvgInstrs:   s.AvgKernelInstrs(),
@@ -149,7 +164,11 @@ func ArmorStudy(opt int, p workloads.Params, evaluatedOnly bool) ([]ArmorRow, er
 			LivenessPct: lp,
 			TableBytes:  len(bin.RecoveryTable),
 			LibBytes:    len(bin.RecoveryLib),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -176,24 +195,31 @@ type CoverageRow struct {
 }
 
 // CoverageStudy runs the §5.2/§5.3 evaluation over the named workloads
-// at both optimisation levels.
-func CoverageStudy(names []string, trials int, model faultinject.Model, seed int64, p workloads.Params, cfg safeguard.Config) ([]CoverageRow, error) {
-	var rows []CoverageRow
-	for _, name := range names {
-		for _, opt := range []int{0, 1} {
-			bin, err := BuildWorkload(name, p, opt, true)
-			if err != nil {
-				return nil, err
-			}
-			exp := &faultinject.CoverageExperiment{
-				App: bin, Trials: trials, Model: model, Seed: seed, Safeguard: cfg,
-			}
-			res, err := exp.Run()
-			if err != nil && res == nil {
-				return nil, fmt.Errorf("%s O%d: %w", name, opt, err)
-			}
-			rows = append(rows, CoverageRow{Workload: name, OptLevel: opt, Res: res})
+// at both optimisation levels. The (workload, opt-level) grid cells run
+// concurrently on up to workers goroutines (<=0 means one per CPU),
+// each spreading its injection attempts over the same budget; rows come
+// back in (names, opt) order regardless of the worker count.
+func CoverageStudy(names []string, trials int, model faultinject.Model, seed int64, p workloads.Params, cfg safeguard.Config, workers int) ([]CoverageRow, error) {
+	opts := []int{0, 1}
+	rows := make([]CoverageRow, len(names)*len(opts))
+	err := parallel.ForEach(len(rows), workers, func(i int) error {
+		name, opt := names[i/len(opts)], opts[i%len(opts)]
+		bin, err := BuildWorkload(name, p, opt, true)
+		if err != nil {
+			return err
 		}
+		exp := &faultinject.CoverageExperiment{
+			App: bin, Trials: trials, Model: model, Seed: seed, Safeguard: cfg, Workers: workers,
+		}
+		res, err := exp.Run()
+		if err != nil && res == nil {
+			return fmt.Errorf("%s O%d: %w", name, opt, err)
+		}
+		rows[i] = CoverageRow{Workload: name, OptLevel: opt, Res: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

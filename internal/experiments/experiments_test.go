@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 )
 
 func TestOutcomeStudyAndFormat(t *testing.T) {
-	rows, err := OutcomeStudy([]string{"HPCCG"}, 25, faultinject.SingleBit, 1, 0, workloads.Params{})
+	rows, err := OutcomeStudy([]string{"HPCCG"}, 25, faultinject.SingleBit, 1, 0, workloads.Params{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,6 +20,24 @@ func TestOutcomeStudyAndFormat(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in:\n%s", want, out)
 		}
+	}
+}
+
+// TestOutcomeStudyWorkerDeterminism asserts the study level of the
+// determinism guarantee: the whole multi-workload study is identical
+// whether it runs serially or with per-CPU workers.
+func TestOutcomeStudyWorkerDeterminism(t *testing.T) {
+	names := []string{"HPCCG", "miniMD"}
+	serial, err := OutcomeStudy(names, 20, faultinject.SingleBit, 3, 0, workloads.Params{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := OutcomeStudy(names, 20, faultinject.SingleBit, 3, 0, workloads.Params{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("study differs between workers=1 and workers=8:\n%+v\nvs\n%+v", serial, par)
 	}
 }
 
@@ -54,7 +73,7 @@ func TestArmorStudyEvaluatedSet(t *testing.T) {
 }
 
 func TestCoverageStudySmoke(t *testing.T) {
-	rows, err := CoverageStudy([]string{"HPCCG"}, 10, faultinject.SingleBit, 2, workloads.Params{}, safeguard.Config{})
+	rows, err := CoverageStudy([]string{"HPCCG"}, 10, faultinject.SingleBit, 2, workloads.Params{}, safeguard.Config{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

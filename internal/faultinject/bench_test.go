@@ -1,0 +1,77 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkCampaignWorkers measures campaign throughput as the worker
+// pool widens; the workers=1 case is the old serial engine's cost.
+// Every variant computes the identical CampaignResult.
+func BenchmarkCampaignWorkers(b *testing.B) {
+	bin := buildWorkload(b, "HPCCG", 0, false)
+	const n = 64
+	for _, w := range []int{1, 2, 4, 8, 0} {
+		name := fmt.Sprintf("workers=%d", w)
+		if w == 0 {
+			name = "workers=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := (&Campaign{App: bin, N: n, Model: SingleBit, Seed: 1, Workers: w}).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Injections) != n {
+					b.Fatalf("%d injections", len(res.Injections))
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
+	}
+}
+
+// BenchmarkCampaignWorkersTracked is the same sweep with the §2 taint
+// tracker attached — the heaviest per-trial configuration, where the
+// pool pays off most.
+func BenchmarkCampaignWorkersTracked(b *testing.B) {
+	bin := buildWorkload(b, "HPCCG", 0, false)
+	const n = 32
+	for _, w := range []int{1, 0} {
+		name := "workers=1"
+		if w == 0 {
+			name = "workers=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := (&Campaign{App: bin, N: n, Model: SingleBit, Seed: 1,
+					TrackPropagation: true, Workers: w}).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
+	}
+}
+
+// BenchmarkCoverageWorkers measures the §5 coverage experiment under
+// the chunked speculative pool.
+func BenchmarkCoverageWorkers(b *testing.B) {
+	bin := buildWorkload(b, "HPCCG", 0, true)
+	for _, w := range []int{1, 4, 0} {
+		name := fmt.Sprintf("workers=%d", w)
+		if w == 0 {
+			name = "workers=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := (&CoverageExperiment{App: bin, Trials: 20, Seed: 1, Workers: w}).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Attempts)/b.Elapsed().Seconds(), "attempts/s")
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"care/internal/core"
 	"care/internal/machine"
+	"care/internal/parallel"
 	"care/internal/profiler"
 	"care/internal/safeguard"
 )
@@ -39,6 +40,12 @@ type CoverageExperiment struct {
 	// RecordInjections retains the (trigger, bits) of recovered trials
 	// so callers (e.g. the cluster experiment) can replay them.
 	RecordInjections bool
+	// Workers is the number of goroutines running injection attempts
+	// concurrently; <=0 means one per available CPU. Attempt i derives
+	// its RNG from (Seed, i) and results merge in attempt order, so
+	// every field except the wall-clock recovery timings is identical
+	// for every worker count.
+	Workers int
 }
 
 // RecordedInjection identifies a replayable injection.
@@ -142,7 +149,7 @@ func newSampler(prof *profiler.Profile, targets []string) (*sampler, error) {
 		s.total += cum[len(cnts)]
 	}
 	if s.total == 0 {
-		return nil, fmt.Errorf("faultinject: no executed instructions in target images")
+		return nil, fmt.Errorf("faultinject: target images %v executed no instructions in the golden run; nothing to inject into (degenerate workload parameters?)", targets)
 	}
 	return s, nil
 }
@@ -172,11 +179,117 @@ func (s *sampler) draw(rng *rand.Rand) (string, int, uint64) {
 	return s.images[ii], lo, occ
 }
 
-// Run executes the experiment.
+// attempt is the outcome of one runAttempt call, merged into the
+// CoverageResult in attempt-index order.
+type attempt struct {
+	// counted reports whether the attempt produced an examined SIGSEGV
+	// trial (the injection fired, Safeguard activated, and the first
+	// symptom was SIGSEGV).
+	counted bool
+	events  []safeguard.Event
+	// recovered/clean/recTime/activations describe a recovered trial;
+	// failure is the terminating Safeguard outcome of an unrecovered one.
+	recovered   bool
+	clean       bool
+	recTime     time.Duration
+	activations int
+	failure     safeguard.Outcome
+	rec         RecordedInjection
+}
+
+// runAttempt performs the i'th injection attempt against a fresh
+// protected process. All randomness derives from (e.Seed, i), so
+// attempts are independent and may run concurrently.
+func (e *CoverageExperiment) runAttempt(i int, prof *profiler.Profile, smp *sampler, hang uint64) (attempt, error) {
+	rng := rand.New(rand.NewSource(TrialSeed(e.Seed, uint64(i))))
+	img, idx, occ := smp.draw(rng)
+	bits := pickBits(rng, e.Model)
+	p, err := core.NewProcess(core.ProcessConfig{
+		App: e.App, Libs: e.Libs, Protected: true, Safeguard: e.Safeguard,
+	})
+	if err != nil {
+		return attempt{}, err
+	}
+	st := Arm(p.CPU, Trigger{Image: img, StaticIdx: idx, Occurrence: occ}, bits)
+	status := p.Run(hang * prof.TotalDyn)
+	var a attempt
+	if !st.Fired {
+		return a, nil // program finished before the occurrence came up
+	}
+	sg := p.SG
+	if sg.Stats.Activations == 0 {
+		return a, nil // fault did not manifest as a trap Safeguard saw
+	}
+	if sg.Stats.Events[0].Outcome == safeguard.WrongSignal {
+		return a, nil // crashed with a non-SIGSEGV symptom
+	}
+	a.counted = true
+	a.events = sg.Stats.Events
+	if status != machine.StatusExited {
+		// Unrecovered: attribute to the last activation's outcome.
+		a.failure = sg.Stats.Events[len(sg.Stats.Events)-1].Outcome
+		return a, nil
+	}
+	a.recovered = true
+	if sameResults(p.Results(), prof.Golden) {
+		a.clean = true
+		a.rec = RecordedInjection{
+			Trigger: Trigger{Image: img, StaticIdx: idx, Occurrence: occ},
+			Bits:    bits,
+		}
+	}
+	for _, ev := range sg.Stats.Events {
+		if ev.Outcome == safeguard.Recovered || ev.Outcome == safeguard.RecoveredInduction {
+			a.recTime += ev.Total()
+			a.activations++
+		}
+	}
+	return a, nil
+}
+
+// merge folds one attempt into the result, mirroring the serial loop.
+func (res *CoverageResult) merge(a *attempt, record bool) {
+	res.Attempts++
+	if !a.counted {
+		return
+	}
+	res.SigsegvTrials++
+	res.Events = append(res.Events, a.events...)
+	if !a.recovered {
+		res.FailureOutcomes[a.failure]++
+		return
+	}
+	res.Recovered++
+	if a.clean {
+		res.CleanRecovered++
+		if record {
+			res.RecoveredInjections = append(res.RecoveredInjections, a.rec)
+		}
+	}
+	res.TrialRecoveryTimes = append(res.TrialRecoveryTimes, a.recTime)
+	res.ActivationsPerRecovery = append(res.ActivationsPerRecovery, a.activations)
+}
+
+// Run executes the experiment: injection attempts run speculatively in
+// chunks on a pool of Workers goroutines and merge in attempt-index
+// order until enough SIGSEGV trials have been examined. Speculative
+// attempts beyond the stopping point are discarded, so every field of
+// the CoverageResult except the wall-clock recovery timings is
+// identical for every worker count.
 func (e *CoverageExperiment) Run() (*CoverageResult, error) {
 	if e.Trials <= 0 {
 		return nil, fmt.Errorf("faultinject: coverage Trials must be positive")
 	}
+	prof, err := profiler.Run(e.App, e.Libs, 0)
+	if err != nil {
+		return nil, err
+	}
+	return e.runProfiled(prof)
+}
+
+// runProfiled runs the experiment against an already-profiled golden
+// run (split out so degenerate profiles are testable directly).
+func (e *CoverageExperiment) runProfiled(prof *profiler.Profile) (*CoverageResult, error) {
 	maxAttempts := e.MaxAttempts
 	if maxAttempts == 0 {
 		maxAttempts = 40 * e.Trials
@@ -184,10 +297,6 @@ func (e *CoverageExperiment) Run() (*CoverageResult, error) {
 	hang := e.HangFactor
 	if hang == 0 {
 		hang = 4
-	}
-	prof, err := profiler.Run(e.App, e.Libs, 0)
-	if err != nil {
-		return nil, err
 	}
 	targets := e.TargetImages
 	if len(targets) == 0 {
@@ -197,64 +306,40 @@ func (e *CoverageExperiment) Run() (*CoverageResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(e.Seed))
 	res := &CoverageResult{
 		Workload:        e.App.Name,
 		OptLevel:        e.App.Prog.OptLevel,
 		Model:           e.Model,
 		FailureOutcomes: map[safeguard.Outcome]int{},
 	}
-	for res.SigsegvTrials < e.Trials && res.Attempts < maxAttempts {
-		img, idx, occ := smp.draw(rng)
-		bits := pickBits(rng, e.Model)
-		p, err := core.NewProcess(core.ProcessConfig{
-			App: e.App, Libs: e.Libs, Protected: true, Safeguard: e.Safeguard,
+	workers := parallel.Workers(e.Workers, maxAttempts)
+	// Chunked speculation: each wave runs a few attempts per worker, and
+	// the in-order merge stops consuming once enough SIGSEGV trials have
+	// been seen, wasting at most one wave of extra attempts.
+	chunk := 4 * workers
+	for base := 0; base < maxAttempts && res.SigsegvTrials < e.Trials; base += chunk {
+		hi := base + chunk
+		if hi > maxAttempts {
+			hi = maxAttempts
+		}
+		atts := make([]attempt, hi-base)
+		err := parallel.ForEach(hi-base, workers, func(i int) error {
+			a, err := e.runAttempt(base+i, prof, smp, hang)
+			if err != nil {
+				return err
+			}
+			atts[i] = a
+			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
-		st := Arm(p.CPU, Trigger{Image: img, StaticIdx: idx, Occurrence: occ}, bits)
-		status := p.Run(hang * prof.TotalDyn)
-		res.Attempts++
-		if !st.Fired {
-			continue // program finished before the occurrence came up
-		}
-		sg := p.SG
-		if sg.Stats.Activations == 0 {
-			continue // fault did not manifest as a trap Safeguard saw
-		}
-		first := sg.Stats.Events[0]
-		if first.Outcome == safeguard.WrongSignal {
-			continue // crashed with a non-SIGSEGV symptom
-		}
-		res.SigsegvTrials++
-		res.Events = append(res.Events, sg.Stats.Events...)
-		if status == machine.StatusExited {
-			res.Recovered++
-			if sameResults(p.Results(), prof.Golden) {
-				res.CleanRecovered++
-				if e.RecordInjections {
-					res.RecoveredInjections = append(res.RecoveredInjections, RecordedInjection{
-						Trigger: Trigger{Image: img, StaticIdx: idx, Occurrence: occ},
-						Bits:    bits,
-					})
-				}
+		for i := range atts {
+			if res.SigsegvTrials >= e.Trials {
+				break // speculative overshoot; discard to stay deterministic
 			}
-			var total time.Duration
-			n := 0
-			for _, ev := range sg.Stats.Events {
-				if ev.Outcome == safeguard.Recovered || ev.Outcome == safeguard.RecoveredInduction {
-					total += ev.Total()
-					n++
-				}
-			}
-			res.TrialRecoveryTimes = append(res.TrialRecoveryTimes, total)
-			res.ActivationsPerRecovery = append(res.ActivationsPerRecovery, n)
-			continue
+			res.merge(&atts[i], e.RecordInjections)
 		}
-		// Unrecovered: attribute to the last activation's outcome.
-		last := sg.Stats.Events[len(sg.Stats.Events)-1]
-		res.FailureOutcomes[last.Outcome]++
 	}
 	if res.SigsegvTrials < e.Trials {
 		return res, fmt.Errorf("faultinject: only %d/%d SIGSEGV trials after %d attempts",

@@ -19,6 +19,7 @@ import (
 
 	"care/internal/core"
 	"care/internal/machine"
+	"care/internal/parallel"
 	"care/internal/profiler"
 	"care/internal/taint"
 )
@@ -228,6 +229,11 @@ type Campaign struct {
 	// reproducing the paper's §2 fault-propagation trace analysis
 	// (slower: every instruction pays the shadow-state update).
 	TrackPropagation bool
+	// Workers is the number of goroutines running trials concurrently;
+	// <=0 means one per available CPU. Each trial derives its own RNG
+	// from (Seed, trial index), so the CampaignResult is identical for
+	// every worker count.
+	Workers int
 }
 
 // CampaignResult aggregates a campaign (Tables 2-4 rows).
@@ -279,20 +285,101 @@ func (r *CampaignResult) LatencyBuckets() [4]int {
 	return b
 }
 
-// Run executes the campaign.
+// trial is the outcome of one runTrial call, carrying the bookkeeping
+// flags the ordered merge needs beyond the Injection record itself.
+type trial struct {
+	inj Injection
+	// fired reports whether the armed flip actually landed; latency and
+	// symptom statistics are only meaningful for fired trials.
+	fired bool
+}
+
+// runTrial executes the i'th injection of the campaign against a fresh
+// process. All randomness comes from a trial-local RNG derived from
+// (c.Seed, i), so trials are independent and may run concurrently.
+func (c *Campaign) runTrial(i int, prof *profiler.Profile, hang uint64) (trial, error) {
+	rng := rand.New(rand.NewSource(TrialSeed(c.Seed, uint64(i))))
+	target := uint64(rng.Int63n(int64(prof.TotalDyn))) + 1
+	bits := pickBits(rng, c.Model)
+	p, err := core.NewProcess(core.ProcessConfig{App: c.App, Libs: c.Libs})
+	if err != nil {
+		return trial{}, err
+	}
+	st := Arm(p.CPU, Trigger{AtDyn: target}, bits)
+	var tracker *taint.Tracker
+	if c.TrackPropagation {
+		tracker = taint.Attach(p.CPU)
+		st.OnFire = func(cc *machine.CPU, in *machine.MInstr) {
+			tracker.MarkDest(cc, in)
+		}
+	}
+	status := p.Run(hang * prof.TotalDyn)
+	inj := Injection{TargetDyn: target, Bits: bits}
+	if tracker != nil {
+		inj.PropagationWrites = tracker.TaintedWrites
+		inj.TaintedMemWords = tracker.TaintedMemWords()
+	}
+	if st.Fired {
+		inj.Image, inj.StaticIdx, inj.Dest = st.Image, st.StaticIdx, st.Dest
+	}
+	switch status {
+	case machine.StatusTrapped:
+		inj.Outcome = SoftFailure
+		inj.Signal = p.CPU.PendingTrap.Sig
+		if st.Fired {
+			inj.Latency = p.CPU.Dyn - st.Dyn
+		}
+	case machine.StatusExited:
+		if sameResults(p.Results(), prof.Golden) && p.CPU.ExitCode == prof.ExitCode {
+			inj.Outcome = Benign
+		} else {
+			inj.Outcome = SDC
+		}
+	case machine.StatusLimit:
+		inj.Outcome = Hang
+	default:
+		return trial{}, fmt.Errorf("faultinject: unexpected run status %v", status)
+	}
+	return trial{inj: inj, fired: st.Fired}, nil
+}
+
+// Run executes the campaign: N independent trials on a pool of Workers
+// goroutines, merged in trial-index order so the result is identical
+// for every worker count (including Workers=1).
 func (c *Campaign) Run() (*CampaignResult, error) {
 	if c.N <= 0 {
 		return nil, fmt.Errorf("faultinject: campaign N must be positive")
-	}
-	hang := c.HangFactor
-	if hang == 0 {
-		hang = 4
 	}
 	prof, err := profiler.Run(c.App, c.Libs, 0)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(c.Seed))
+	return c.runProfiled(prof)
+}
+
+// runProfiled runs the campaign against an already-profiled golden run
+// (split out so degenerate profiles are testable without a workload
+// that actually retires zero instructions).
+func (c *Campaign) runProfiled(prof *profiler.Profile) (*CampaignResult, error) {
+	if prof.TotalDyn == 0 {
+		return nil, fmt.Errorf("faultinject: golden run of %q retired no instructions; nothing to inject into (degenerate workload parameters?)", c.App.Name)
+	}
+	hang := c.HangFactor
+	if hang == 0 {
+		hang = 4
+	}
+	trials := make([]trial, c.N)
+	err := parallel.ForEach(c.N, c.Workers, func(i int) error {
+		t, err := c.runTrial(i, prof, hang)
+		if err != nil {
+			return err
+		}
+		trials[i] = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &CampaignResult{
 		Workload:  c.App.Name,
 		Model:     c.Model,
@@ -302,58 +389,24 @@ func (c *Campaign) Run() (*CampaignResult, error) {
 		GoldenDyn: prof.TotalDyn,
 		ByDest:    map[machine.DestKind]map[Outcome]int{},
 	}
-	for i := 0; i < c.N; i++ {
-		target := uint64(rng.Int63n(int64(prof.TotalDyn))) + 1
-		bits := pickBits(rng, c.Model)
-		p, err := core.NewProcess(core.ProcessConfig{App: c.App, Libs: c.Libs})
-		if err != nil {
-			return nil, err
+	for i := range trials {
+		t := &trials[i]
+		res.Outcomes[t.inj.Outcome]++
+		if t.inj.Outcome == SoftFailure && t.fired {
+			// Only record observed manifestations: an unfired trap has
+			// neither a measured latency nor an attributable symptom, and
+			// counting its zero latency would inflate the Table 4
+			// "<=10 instructions" bucket.
+			res.Latencies = append(res.Latencies, t.inj.Latency)
+			res.Symptoms[t.inj.Signal]++
 		}
-		st := Arm(p.CPU, Trigger{AtDyn: target}, bits)
-		var tracker *taint.Tracker
-		if c.TrackPropagation {
-			tracker = taint.Attach(p.CPU)
-			st.OnFire = func(cc *machine.CPU, in *machine.MInstr) {
-				tracker.MarkDest(cc, in)
+		if t.fired {
+			if res.ByDest[t.inj.Dest] == nil {
+				res.ByDest[t.inj.Dest] = map[Outcome]int{}
 			}
+			res.ByDest[t.inj.Dest][t.inj.Outcome]++
 		}
-		status := p.Run(hang * prof.TotalDyn)
-		inj := Injection{TargetDyn: target, Bits: bits}
-		if tracker != nil {
-			inj.PropagationWrites = tracker.TaintedWrites
-			inj.TaintedMemWords = tracker.TaintedMemWords()
-		}
-		if st.Fired {
-			inj.Image, inj.StaticIdx, inj.Dest = st.Image, st.StaticIdx, st.Dest
-		}
-		switch status {
-		case machine.StatusTrapped:
-			inj.Outcome = SoftFailure
-			inj.Signal = p.CPU.PendingTrap.Sig
-			if st.Fired && p.CPU.Dyn >= st.Dyn {
-				inj.Latency = p.CPU.Dyn - st.Dyn
-			}
-			res.Latencies = append(res.Latencies, inj.Latency)
-			res.Symptoms[inj.Signal]++
-		case machine.StatusExited:
-			if sameResults(p.Results(), prof.Golden) && p.CPU.ExitCode == prof.ExitCode {
-				inj.Outcome = Benign
-			} else {
-				inj.Outcome = SDC
-			}
-		case machine.StatusLimit:
-			inj.Outcome = Hang
-		default:
-			return nil, fmt.Errorf("faultinject: unexpected run status %v", status)
-		}
-		res.Outcomes[inj.Outcome]++
-		if st.Fired {
-			if res.ByDest[inj.Dest] == nil {
-				res.ByDest[inj.Dest] = map[Outcome]int{}
-			}
-			res.ByDest[inj.Dest][inj.Outcome]++
-		}
-		res.Injections = append(res.Injections, inj)
+		res.Injections = append(res.Injections, t.inj)
 	}
 	return res, nil
 }

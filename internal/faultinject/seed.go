@@ -1,0 +1,29 @@
+package faultinject
+
+// splitmix64 is the finalizer of Vigna's SplitMix64 generator — a
+// cheap, high-quality 64-bit mixer whose output is equidistributed over
+// consecutive inputs. It is the standard tool for spawning independent
+// RNG streams from (seed, index) pairs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// TrialSeed derives the RNG seed for one trial of a campaign from the
+// campaign seed and the trial index. Each trial seeding its own
+// math/rand source from this value is what makes campaigns
+// order-independent: trial i draws the same (target, bits) whether it
+// runs first on one goroutine or last on sixteen.
+//
+// The derivation mixes both inputs through splitmix64 so that adjacent
+// campaign seeds and adjacent trial indices produce uncorrelated
+// streams (a plain seed+i would hand trial i of campaign s the same
+// stream as trial i-1 of campaign s+1).
+func TrialSeed(seed int64, trial uint64) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)) ^ splitmix64(trial+0x632BE59BD9B4E019)))
+}

@@ -1,0 +1,91 @@
+// Package parallel provides the small deterministic fan-out primitive
+// shared by the fault-injection campaign engine and the experiment
+// drivers: run n independent units of work on a bounded worker pool,
+// collect results by index, and report the lowest-index error.
+//
+// The helpers deliberately know nothing about what the units do; the
+// determinism contract ("same inputs produce the same outputs for any
+// worker count") is achieved by callers writing results into
+// index-addressed slots and merging them in index order afterwards.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: non-positive means "one
+// per available CPU" (runtime.GOMAXPROCS(0)), and the result is capped
+// at n so tiny jobs do not spawn idle goroutines.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if n >= 0 && w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach invokes fn(i) for every i in [0, n) using up to workers
+// goroutines (resolved via Workers). Indices are claimed atomically, so
+// the scheduling order is nondeterministic, but callers that write
+// fn(i)'s result into slot i of a preallocated slice observe an
+// index-ordered result set independent of the worker count.
+//
+// If any invocation returns an error, workers stop claiming new
+// indices and ForEach returns the error with the lowest index — again
+// independent of scheduling — so error reporting is deterministic too.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		errIdx = -1
+		first  error
+		wg     sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if errIdx == -1 || i < errIdx {
+			errIdx, first = i, err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
