@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	care-inject [-n 1000] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1] [-workers 0]
+//	care-inject [-n 1000] [-faults 1] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1] [-workers 0]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 
 func main() {
 	n := flag.Int("n", 400, "injections per workload (the paper used 10000)")
+	faults := flag.Int("faults", 1, "independent faults armed per trial (multi-fault model; 1 = paper setup)")
 	model := flag.String("model", "single", "fault model: single or double bit flips")
 	workload := flag.String("workload", "all", "workload name or 'all'")
 	opt := flag.Int("opt", 0, "optimisation level (0 or 1)")
@@ -43,7 +44,7 @@ func main() {
 		}
 		names = []string{*workload}
 	}
-	rows, err := experiments.OutcomeStudy(names, *n, m, *seed, *opt, workloads.Params{}, *workers)
+	rows, err := experiments.OutcomeStudy(names, *n, *faults, m, *seed, *opt, workloads.Params{}, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -30,9 +30,12 @@ type Snapshot struct {
 	EnvResults []float64
 }
 
-// Bytes is the serialised checkpoint size.
+// Bytes is the serialised checkpoint size: memory, register file,
+// PC/Dyn/Step header, and the preserved result stream (8 bytes per
+// element — omitting it undercounts snapshot I/O for result-heavy
+// workloads).
 func (s *Snapshot) Bytes() int {
-	return s.Mem.Bytes() + (machine.NumReg+machine.NumFReg)*8 + 16
+	return s.Mem.Bytes() + (machine.NumReg+machine.NumFReg)*8 + 16 + 8*len(s.EnvResults)
 }
 
 // CostModel converts checkpoint sizes into modelled I/O time.
@@ -112,14 +115,31 @@ func (st *Store) Restore(c *machine.CPU, s *Snapshot) (time.Duration, error) {
 		return 0, fmt.Errorf("checkpoint: no snapshot to restore")
 	}
 	c.Mem.Restore(s.Mem)
-	c.R = s.CPU.R
-	c.F = s.CPU.F
-	c.PC = s.CPU.PC
-	c.Dyn = s.CPU.Dyn
-	c.Status = machine.StatusRunning
-	c.PendingTrap = nil
+	c.SetContext(machine.Context{R: s.CPU.R, F: s.CPU.F, PC: s.CPU.PC, Dyn: s.CPU.Dyn})
 	if c.Env != nil {
 		c.Env.Results = append(c.Env.Results[:0], s.EnvResults...)
 	}
 	return st.Model.ReadCost(s), nil
+}
+
+// AutoSave installs a retire hook that checkpoints the CPU each time
+// its result stream grows past another `every` result values (the
+// simulation's observable notion of an application step). The
+// high-water mark is monotonic, so re-execution after a rollback does
+// not re-write checkpoints it already paid for. The returned function
+// removes the hook.
+func AutoSave(st *Store, c *machine.CPU, every int) (remove func()) {
+	if every <= 0 {
+		return func() {}
+	}
+	saved := 0 // highest result count already checkpointed
+	return c.AddAfterStep(func(cc *machine.CPU, _ *machine.Image, _ int, _ *machine.MInstr) {
+		if cc.Env == nil {
+			return
+		}
+		if n := len(cc.Env.Results); n >= saved+every {
+			saved = n - n%every
+			st.Save(cc, saved)
+		}
+	})
 }

@@ -1,8 +1,9 @@
-package checkpoint
+package checkpoint_test
 
 import (
 	"testing"
 
+	"care/internal/checkpoint"
 	"care/internal/core"
 	"care/internal/machine"
 	"care/internal/workloads"
@@ -38,7 +39,7 @@ func TestMidRunRestoreReproducesGolden(t *testing.T) {
 	for _, cut := range []uint64{1_000, 25_000, 120_000} {
 		_, p := buildProc(t)
 		p.CPU.Run(cut)
-		store := NewStore(DefaultCostModel())
+		store := checkpoint.NewStore(checkpoint.DefaultCostModel())
 		snap := store.Save(p.CPU, 1)
 		// Diverge: run to completion once.
 		if st := p.CPU.Run(0); st != machine.StatusExited {
@@ -68,7 +69,7 @@ func TestMidRunRestoreReproducesGolden(t *testing.T) {
 
 func TestRestoreRejectsNil(t *testing.T) {
 	_, p := buildProc(t)
-	store := NewStore(DefaultCostModel())
+	store := checkpoint.NewStore(checkpoint.DefaultCostModel())
 	if _, err := store.Restore(p.CPU, nil); err == nil {
 		t.Fatal("nil snapshot restored")
 	}
@@ -80,12 +81,12 @@ func TestRestoreRejectsNil(t *testing.T) {
 func TestCostModelScalesWithSize(t *testing.T) {
 	_, p := buildProc(t)
 	p.CPU.Run(10_000)
-	store := NewStore(DefaultCostModel())
+	store := checkpoint.NewStore(checkpoint.DefaultCostModel())
 	s := store.Save(p.CPU, 1)
 	if s.Bytes() <= 0 {
 		t.Fatal("empty snapshot")
 	}
-	m := DefaultCostModel()
+	m := checkpoint.DefaultCostModel()
 	w1 := m.WriteCost(s)
 	if w1 <= m.WriteLatency {
 		t.Fatal("write cost ignores size")
@@ -100,7 +101,7 @@ func TestCostModelScalesWithSize(t *testing.T) {
 
 func TestLatestWins(t *testing.T) {
 	_, p := buildProc(t)
-	store := NewStore(DefaultCostModel())
+	store := checkpoint.NewStore(checkpoint.DefaultCostModel())
 	p.CPU.Run(1000)
 	store.Save(p.CPU, 1)
 	p.CPU.Run(1000)
@@ -126,7 +127,7 @@ func TestEnvResultsRestored(t *testing.T) {
 	for len(p.Results()) == 0 && p.CPU.Status == machine.StatusRunning {
 		p.CPU.Run(50_000)
 	}
-	store := NewStore(DefaultCostModel())
+	store := checkpoint.NewStore(checkpoint.DefaultCostModel())
 	snap := store.Save(p.CPU, 1)
 	if st := p.CPU.Run(0); st != machine.StatusExited {
 		t.Fatal(st)

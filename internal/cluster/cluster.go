@@ -40,6 +40,17 @@ type Config struct {
 	NsPerInstr float64
 	// Protected attaches Safeguard to every rank.
 	Protected bool
+	// Safeguard tunes the runtime on every rank (zero value = paper
+	// one-shot configuration). When Safeguard.Policy.Rollback is set,
+	// each rank gets its own checkpoint store (initial snapshot at
+	// _start, cadence below) so the chain's rollback stage can restore.
+	Safeguard safeguard.Config
+	// CheckpointEveryResults is the per-rank snapshot cadence for the
+	// rollback stage (observable results between snapshots; 0 keeps only
+	// the _start snapshot).
+	CheckpointEveryResults int
+	// CheckpointModel prices the rollback stage's snapshot I/O.
+	CheckpointModel checkpoint.CostModel
 	// Seed drives the search for a recoverable injection.
 	Seed int64
 	// Quantum is the scheduler slice (default 50k instructions).
@@ -67,6 +78,9 @@ type JobResult struct {
 	RecoveryStall time.Duration
 	// Recoveries counts successful Safeguard repairs on rank 0.
 	Recoveries int
+	// Rollbacks counts checkpoint restores performed by rank 0's
+	// escalation chain; their modelled cost is part of RecoveryStall.
+	Rollbacks int
 	// Injected reports whether the armed fault fired.
 	Injected bool
 	// DeadRank is the rank that died (-1 when none).
@@ -113,11 +127,17 @@ func RunJob(cfg Config, bin *core.Binary, inj *Injection) (*JobResult, error) {
 	cpus := make([]*machine.CPU, cfg.Ranks)
 	procs := make([]*core.Process, cfg.Ranks)
 	for r := 0; r < cfg.Ranks; r++ {
-		p, err := core.NewProcess(core.ProcessConfig{
+		pcfg := core.ProcessConfig{
 			App:       bin,
 			Protected: cfg.Protected,
+			Safeguard: cfg.Safeguard,
 			Env:       world.Env(r),
-		})
+		}
+		if cfg.Protected && cfg.Safeguard.Policy.Rollback {
+			pcfg.Checkpoint = checkpoint.NewStore(cfg.CheckpointModel)
+			pcfg.CheckpointEveryResults = cfg.CheckpointEveryResults
+		}
+		p, err := core.NewProcess(pcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -142,9 +162,13 @@ func RunJob(cfg Config, bin *core.Binary, inj *Injection) (*JobResult, error) {
 		Injected:  armed == nil || armed.Fired,
 	}
 	if sg := procs[0].SG; sg != nil {
+		out.Rollbacks = sg.Rollbacks()
 		for _, ev := range sg.Stats.Events {
-			if ev.Outcome == safeguard.Recovered || ev.Outcome == safeguard.RecoveredInduction {
+			switch ev.Outcome {
+			case safeguard.Recovered, safeguard.RecoveredInduction, safeguard.HeuristicPatched:
 				out.Recoveries++
+				out.RecoveryStall += ev.Total()
+			case safeguard.RolledBack:
 				out.RecoveryStall += ev.Total()
 			}
 		}

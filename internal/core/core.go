@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"care/internal/armor"
+	"care/internal/checkpoint"
 	"care/internal/compiler"
 	"care/internal/hostenv"
 	"care/internal/ir"
@@ -167,6 +168,12 @@ type ProcessConfig struct {
 	Safeguard safeguard.Config
 	// Env overrides the host environment (nil = fresh single-rank env).
 	Env *hostenv.Env
+	// Checkpoint, when non-nil and Protected, is wired into Safeguard's
+	// rollback stage: an initial snapshot is saved at _start and, when
+	// CheckpointEveryResults > 0, another each time the result stream
+	// grows by that many values.
+	Checkpoint             *checkpoint.Store
+	CheckpointEveryResults int
 }
 
 // Process is one simulated process: a CPU, its memory and images, and
@@ -178,6 +185,9 @@ type Process struct {
 	App    *machine.Image
 	Images []*machine.Image
 	SG     *safeguard.Safeguard
+	// Store is the checkpoint store backing the rollback stage (nil
+	// unless ProcessConfig.Checkpoint was set).
+	Store *checkpoint.Store
 }
 
 // NewProcess loads the binaries into a fresh address space and prepares
@@ -229,6 +239,12 @@ func NewProcess(cfg ProcessConfig) (*Process, error) {
 	}
 	if cfg.Protected {
 		p.SG = safeguard.Attach(cpu, units, cfg.Safeguard)
+		if cfg.Checkpoint != nil {
+			p.Store = cfg.Checkpoint
+			p.SG.UseCheckpoints(cfg.Checkpoint)
+			cfg.Checkpoint.Save(cpu, 0)
+			checkpoint.AutoSave(cfg.Checkpoint, cpu, cfg.CheckpointEveryResults)
+		}
 	}
 	return p, nil
 }

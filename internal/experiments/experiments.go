@@ -44,8 +44,9 @@ type OutcomeRow struct {
 // (<=0 means one per CPU), and each campaign spreads its trials over
 // the same worker budget; rows come back in names order and every
 // campaign seeds per-trial RNGs from (seed, trial), so the study is
-// deterministic for any worker count.
-func OutcomeStudy(names []string, n int, model faultinject.Model, seed int64, opt int, p workloads.Params, workers int) ([]OutcomeRow, error) {
+// deterministic for any worker count. faults arms that many independent
+// faults per trial (<=1 = the paper's single-fault model).
+func OutcomeStudy(names []string, n, faults int, model faultinject.Model, seed int64, opt int, p workloads.Params, workers int) ([]OutcomeRow, error) {
 	rows := make([]OutcomeRow, len(names))
 	err := parallel.ForEach(len(names), workers, func(i int) error {
 		name := names[i]
@@ -53,7 +54,7 @@ func OutcomeStudy(names []string, n int, model faultinject.Model, seed int64, op
 		if err != nil {
 			return err
 		}
-		res, err := (&faultinject.Campaign{App: bin, N: n, Model: model, Seed: seed, Workers: workers}).Run()
+		res, err := (&faultinject.Campaign{App: bin, N: n, FaultsPerTrial: faults, Model: model, Seed: seed, Workers: workers}).Run()
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"care/internal/checkpoint"
+	"care/internal/faultinject"
+	"care/internal/parallel"
+	"care/internal/safeguard"
+	"care/internal/workloads"
+)
+
+// PolicySpec names one Safeguard configuration in the escalation-policy
+// study.
+type PolicySpec struct {
+	Name      string
+	Safeguard safeguard.Config
+	// CheckpointEveryResults / CheckpointModel configure the rollback
+	// stage's snapshot cadence and I/O pricing (only consulted when
+	// Safeguard.Policy.Rollback is set).
+	CheckpointEveryResults int
+	CheckpointModel        checkpoint.CostModel
+}
+
+// DefaultPolicySpecs is the study's standard three-way comparison:
+//
+//   - kill-on-failure: the paper's one-shot Safeguard — kernel recompute
+//     or die.
+//   - heuristic: recompute, then the LetGo-style bit-bucket patch (keeps
+//     the process alive at the risk of SDCs).
+//   - rollback-chain: recompute → induction repair → checkpoint rollback,
+//     with the retry budget and storm detector armed, and snapshot I/O
+//     priced by the default cost model.
+func DefaultPolicySpecs() []PolicySpec {
+	return []PolicySpec{
+		{Name: "kill-on-failure"},
+		{Name: "heuristic", Safeguard: safeguard.Config{Heuristic: true}},
+		{
+			Name: "rollback-chain",
+			Safeguard: safeguard.Config{
+				InductionRecovery: true,
+				Policy: safeguard.Policy{
+					Rollback:      true,
+					MaxTrapsPerPC: 8,
+					StormTraps:    4,
+				},
+			},
+			CheckpointEveryResults: 1,
+			CheckpointModel:        checkpoint.DefaultCostModel(),
+		},
+	}
+}
+
+// PolicyRow is one (workload, policy) cell of the study.
+type PolicyRow struct {
+	Workload string
+	Policy   string
+	Res      *faultinject.CoverageResult
+}
+
+// PolicyStudy compares recovery policies on identical fault campaigns:
+// every policy examines the same injections (the trial set depends only
+// on (seed, attempt index) and on the pre-trap execution, which no
+// policy influences), so differences in recovery rate, SDC count and
+// modelled stall are attributable to the policy alone. faultsPerTrial
+// arms that many independent faults per trial (<=1 = single-fault).
+// Cells run concurrently on up to workers goroutines and rows come back
+// in (names, specs) order for any worker count.
+func PolicyStudy(names []string, trials, faultsPerTrial int, model faultinject.Model,
+	seed int64, opt int, p workloads.Params, specs []PolicySpec, workers int) ([]PolicyRow, error) {
+	if len(specs) == 0 {
+		specs = DefaultPolicySpecs()
+	}
+	rows := make([]PolicyRow, len(names)*len(specs))
+	err := parallel.ForEach(len(rows), workers, func(i int) error {
+		name, spec := names[i/len(specs)], specs[i%len(specs)]
+		bin, err := BuildWorkload(name, p, opt, true)
+		if err != nil {
+			return err
+		}
+		exp := &faultinject.CoverageExperiment{
+			App:                    bin,
+			Trials:                 trials,
+			FaultsPerTrial:         faultsPerTrial,
+			Model:                  model,
+			Seed:                   seed,
+			Safeguard:              spec.Safeguard,
+			CheckpointEveryResults: spec.CheckpointEveryResults,
+			CheckpointModel:        spec.CheckpointModel,
+			Workers:                workers,
+		}
+		res, err := exp.Run()
+		if err != nil && res == nil {
+			return fmt.Errorf("%s/%s: %w", name, spec.Name, err)
+		}
+		rows[i] = PolicyRow{Workload: name, Policy: spec.Name, Res: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatPolicyStudy renders the escalation-policy comparison. Stall is
+// the summed recovery time of every recovered trial plus the modelled
+// checkpoint I/O the policy paid for — the wall-clock price of staying
+// alive.
+func FormatPolicyStudy(rows []PolicyRow) string {
+	var sb strings.Builder
+	sb.WriteString("Escalation-policy study — recovery rate vs SDC vs modelled stall\n")
+	fmt.Fprintf(&sb, "%-10s %-16s %6s %10s %5s %9s %9s %12s %12s\n",
+		"Workload", "Policy", "SEGV", "Recovered", "SDC", "Coverage", "Rollback", "Stall", "CkptIO")
+	for _, r := range rows {
+		var stall time.Duration
+		for _, t := range r.Res.TrialRecoveryTimes {
+			stall += t
+		}
+		fmt.Fprintf(&sb, "%-10s %-16s %6d %10d %5d %8.1f%% %9d %12s %12s\n",
+			r.Workload, r.Policy, r.Res.SigsegvTrials, r.Res.Recovered, r.Res.SDCs(),
+			100*r.Res.Coverage(), r.Res.Rollbacks,
+			stall.Round(time.Microsecond), r.Res.CheckpointIO.Round(time.Microsecond))
+	}
+	return sb.String()
+}

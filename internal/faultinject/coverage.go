@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"care/internal/checkpoint"
 	"care/internal/core"
 	"care/internal/machine"
 	"care/internal/parallel"
@@ -29,12 +30,25 @@ type CoverageExperiment struct {
 	Trials int
 	// MaxAttempts bounds total injections tried (default 40x Trials).
 	MaxAttempts int
+	// FaultsPerTrial arms this many independent faults per attempt (the
+	// multi-fault model); <=1 is the paper's single-fault setup.
+	FaultsPerTrial int
 	// Model selects the bit-flip model.
 	Model Model
 	// Seed drives the randomness.
 	Seed int64
 	// Safeguard configures the runtime (zero = paper configuration).
+	// When Safeguard.Policy.Rollback is set, every attempt's process
+	// gets its own checkpoint store: an initial snapshot at _start plus
+	// one every CheckpointEveryResults result values.
 	Safeguard safeguard.Config
+	// CheckpointEveryResults is the snapshot cadence for the rollback
+	// stage, in result values (0 = initial snapshot only).
+	CheckpointEveryResults int
+	// CheckpointModel prices the rollback stage's snapshot I/O (zero
+	// value = free I/O; pass checkpoint.DefaultCostModel() for a
+	// parallel-filesystem share).
+	CheckpointModel checkpoint.CostModel
 	// HangFactor multiplies the golden dynamic count (default 4).
 	HangFactor uint64
 	// RecordInjections retains the (trigger, bits) of recovered trials
@@ -80,8 +94,15 @@ type CoverageResult struct {
 	// ActivationsPerRecovery distribution (how many repairs per fault).
 	ActivationsPerRecovery []int
 	// RecoveredInjections replays recovered trials (only populated when
-	// the experiment sets RecordInjections).
+	// the experiment sets RecordInjections and arms one fault per
+	// trial).
 	RecoveredInjections []RecordedInjection
+	// Rollbacks counts checkpoint-rollback activations across examined
+	// trials (escalation-chain policies only).
+	Rollbacks int
+	// CheckpointIO is the modelled snapshot-write time accumulated by
+	// examined trials' rollback-stage checkpoint stores.
+	CheckpointIO time.Duration
 }
 
 // Coverage is the Figure 7 metric: recovered / examined SIGSEGV trials.
@@ -91,6 +112,10 @@ func (r *CoverageResult) Coverage() float64 {
 	}
 	return float64(r.Recovered) / float64(r.SigsegvTrials)
 }
+
+// SDCs counts recovered trials whose output diverged from the golden
+// run — the injections that survived recovery as silent data corruption.
+func (r *CoverageResult) SDCs() int { return r.Recovered - r.CleanRecovered }
 
 // MeanRecoveryTime is the Figure 9 metric.
 func (r *CoverageResult) MeanRecoveryTime() time.Duration {
@@ -193,6 +218,8 @@ type attempt struct {
 	clean       bool
 	recTime     time.Duration
 	activations int
+	rollbacks   int
+	ckptIO      time.Duration
 	failure     safeguard.Outcome
 	rec         RecordedInjection
 }
@@ -202,19 +229,38 @@ type attempt struct {
 // attempts are independent and may run concurrently.
 func (e *CoverageExperiment) runAttempt(i int, prof *profiler.Profile, smp *sampler, hang uint64) (attempt, error) {
 	rng := rand.New(rand.NewSource(TrialSeed(e.Seed, uint64(i))))
-	img, idx, occ := smp.draw(rng)
-	bits := pickBits(rng, e.Model)
-	p, err := core.NewProcess(core.ProcessConfig{
+	k := e.FaultsPerTrial
+	if k <= 0 {
+		k = 1
+	}
+	specs := make([]ArmSpec, k)
+	for j := range specs {
+		img, idx, occ := smp.draw(rng)
+		specs[j] = ArmSpec{
+			Trigger: Trigger{Image: img, StaticIdx: idx, Occurrence: occ},
+			Bits:    pickBits(rng, e.Model),
+		}
+	}
+	cfg := core.ProcessConfig{
 		App: e.App, Libs: e.Libs, Protected: true, Safeguard: e.Safeguard,
-	})
+	}
+	if e.Safeguard.Policy.Rollback {
+		cfg.Checkpoint = checkpoint.NewStore(e.CheckpointModel)
+		cfg.CheckpointEveryResults = e.CheckpointEveryResults
+	}
+	p, err := core.NewProcess(cfg)
 	if err != nil {
 		return attempt{}, err
 	}
-	st := Arm(p.CPU, Trigger{Image: img, StaticIdx: idx, Occurrence: occ}, bits)
+	armed := ArmAll(p.CPU, specs)
 	status := p.Run(hang * prof.TotalDyn)
 	var a attempt
-	if !st.Fired {
-		return a, nil // program finished before the occurrence came up
+	fired := false
+	for _, st := range armed {
+		fired = fired || st.Fired
+	}
+	if !fired {
+		return a, nil // program finished before any occurrence came up
 	}
 	sg := p.SG
 	if sg.Stats.Activations == 0 {
@@ -225,6 +271,14 @@ func (e *CoverageExperiment) runAttempt(i int, prof *profiler.Profile, smp *samp
 	}
 	a.counted = true
 	a.events = sg.Stats.Events
+	if p.Store != nil {
+		a.ckptIO = p.Store.ModeledWriteTime
+	}
+	for _, ev := range sg.Stats.Events {
+		if ev.Outcome == safeguard.RolledBack {
+			a.rollbacks++
+		}
+	}
 	if status != machine.StatusExited {
 		// Unrecovered: attribute to the last activation's outcome.
 		a.failure = sg.Stats.Events[len(sg.Stats.Events)-1].Outcome
@@ -233,13 +287,13 @@ func (e *CoverageExperiment) runAttempt(i int, prof *profiler.Profile, smp *samp
 	a.recovered = true
 	if sameResults(p.Results(), prof.Golden) {
 		a.clean = true
-		a.rec = RecordedInjection{
-			Trigger: Trigger{Image: img, StaticIdx: idx, Occurrence: occ},
-			Bits:    bits,
+		if k == 1 {
+			a.rec = RecordedInjection{Trigger: specs[0].Trigger, Bits: specs[0].Bits}
 		}
 	}
 	for _, ev := range sg.Stats.Events {
-		if ev.Outcome == safeguard.Recovered || ev.Outcome == safeguard.RecoveredInduction {
+		switch ev.Outcome {
+		case safeguard.Recovered, safeguard.RecoveredInduction, safeguard.RolledBack:
 			a.recTime += ev.Total()
 			a.activations++
 		}
@@ -255,6 +309,8 @@ func (res *CoverageResult) merge(a *attempt, record bool) {
 	}
 	res.SigsegvTrials++
 	res.Events = append(res.Events, a.events...)
+	res.Rollbacks += a.rollbacks
+	res.CheckpointIO += a.ckptIO
 	if !a.recovered {
 		res.FailureOutcomes[a.failure]++
 		return
@@ -262,7 +318,7 @@ func (res *CoverageResult) merge(a *attempt, record bool) {
 	res.Recovered++
 	if a.clean {
 		res.CleanRecovered++
-		if record {
+		if record && (a.rec.Trigger.Image != "" || a.rec.Trigger.AtDyn > 0) {
 			res.RecoveredInjections = append(res.RecoveredInjections, a.rec)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"care/internal/profiler"
+	"care/internal/safeguard"
 )
 
 // TestCampaignWorkerDeterminism is the contract of the parallel
@@ -40,6 +41,84 @@ func TestCampaignWorkerDeterminism(t *testing.T) {
 				t.Fatalf("result differs between workers=1 and workers=8:\n%+v\nvs\n%+v", serial, par)
 			}
 		})
+	}
+}
+
+// TestMultiFaultCampaignWorkerDeterminism extends the contract to the
+// multi-fault model: K independent faults per trial, still bit-identical
+// for any worker count, with every trial recording its K fault points.
+func TestMultiFaultCampaignWorkerDeterminism(t *testing.T) {
+	bin := buildWorkload(t, "HPCCG", 0, false)
+	run := func(workers int) *CampaignResult {
+		res, err := (&Campaign{
+			App: bin, N: 24, Model: SingleBit, Seed: 13,
+			FaultsPerTrial: 3, Workers: workers,
+		}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, par := run(1), run(8)
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("multi-fault result differs between workers=1 and workers=8:\n%+v\nvs\n%+v", serial, par)
+	}
+	anyFired := false
+	for _, inj := range serial.Injections {
+		if len(inj.Faults) != 3 {
+			t.Fatalf("injection records %d fault points, want 3: %+v", len(inj.Faults), inj)
+		}
+		for _, fp := range inj.Faults {
+			if fp.Fired {
+				anyFired = true
+				if fp.Dyn < fp.TargetDyn {
+					t.Errorf("fault fired at dyn %d before its target %d", fp.Dyn, fp.TargetDyn)
+				}
+			}
+		}
+	}
+	if !anyFired {
+		t.Fatal("no fault of any trial fired; campaign is degenerate")
+	}
+}
+
+// TestMultiFaultCoverageRollbackDeterminism pins the full escalation
+// chain under the multi-fault model: rollback-enabled coverage runs are
+// bit-identical (in every logical field) across worker counts.
+func TestMultiFaultCoverageRollbackDeterminism(t *testing.T) {
+	bin := buildWorkload(t, "HPCCG", 0, true)
+	run := func(workers int) *CoverageResult {
+		res, err := (&CoverageExperiment{
+			App: bin, Trials: 8, FaultsPerTrial: 2, Model: SingleBit, Seed: 31,
+			Safeguard: safeguard.Config{
+				InductionRecovery: true,
+				Policy:            safeguard.Policy{Rollback: true, MaxTrapsPerPC: 8, StormTraps: 4},
+			},
+			CheckpointEveryResults: 1,
+			Workers:                workers,
+		}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, par := run(1), run(8)
+	scrub := func(r *CoverageResult) CoverageResult {
+		c := *r
+		c.Events = nil
+		c.TrialRecoveryTimes = nil
+		return c
+	}
+	if a, b := scrub(serial), scrub(par); !reflect.DeepEqual(a, b) {
+		t.Fatalf("logical fields differ between workers=1 and workers=8:\n%+v\nvs\n%+v", a, b)
+	}
+	if len(serial.Events) != len(par.Events) {
+		t.Fatalf("event count differs: %d vs %d", len(serial.Events), len(par.Events))
+	}
+	for i := range serial.Events {
+		if serial.Events[i].Outcome != par.Events[i].Outcome {
+			t.Errorf("event %d outcome %s vs %s", i, serial.Events[i].Outcome, par.Events[i].Outcome)
+		}
 	}
 }
 

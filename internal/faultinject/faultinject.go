@@ -64,7 +64,23 @@ func (o Outcome) String() string {
 	return [...]string{"Benign", "SoftFailure", "SDC", "Hang"}[o]
 }
 
-// Injection describes one performed injection and its result.
+// FaultPoint records one armed fault of a multi-fault trial.
+type FaultPoint struct {
+	// TargetDyn is the dynamic instruction the fault was armed for.
+	TargetDyn uint64
+	// Bits lists the flipped bit positions.
+	Bits []int
+	// Fired reports whether the flip landed; Dyn is the retirement
+	// count at which it did.
+	Fired bool
+	Dyn   uint64
+}
+
+// Injection describes one performed injection and its result. Under
+// the multi-fault model (Campaign.FaultsPerTrial > 1) the top-level
+// target/bits/destination fields describe the *last fired* fault — the
+// proximate corruption the latency is measured from — and Faults lists
+// every armed fault of the trial.
 type Injection struct {
 	// TargetDyn is the dynamic instruction index after which the flip
 	// was applied.
@@ -76,6 +92,9 @@ type Injection struct {
 	Bits []int
 	// Dest is the corrupted destination kind.
 	Dest machine.DestKind
+	// Faults lists every armed fault of a multi-fault trial (only
+	// populated when the campaign arms more than one fault per trial).
+	Faults []FaultPoint
 
 	Outcome Outcome
 	// Signal is the crash symptom for SoftFailure.
@@ -131,11 +150,9 @@ func corrupt(c *machine.CPU, in *machine.MInstr, bits []int) (machine.DestKind, 
 	return kind, true
 }
 
-// Arm installs an injection hook on the CPU: after the instruction
-// matching the trigger retires, flip the given bits in its destination.
-// If the triggering instruction has no destination, the next instruction
-// with one is corrupted. The returned pointer reports the performed
-// injection (nil Fields until fired).
+// Armed reports one armed fault: whether it fired, and where. If the
+// triggering instruction has no destination, the next instruction with
+// one is corrupted.
 type Armed struct {
 	Fired     bool
 	Dyn       uint64
@@ -160,41 +177,77 @@ type Trigger struct {
 	Occurrence uint64
 }
 
-// Arm attaches the hook. bits are the positions to flip.
+// ArmSpec pairs a trigger with the bit positions to flip — one fault of
+// a (possibly multi-fault) injection plan.
+type ArmSpec struct {
+	Trigger Trigger
+	Bits    []int
+}
+
+// Arm installs a single injection hook on the CPU: after the
+// instruction matching the trigger retires, flip the given bits in its
+// destination.
 func Arm(cpu *machine.CPU, trig Trigger, bits []int) *Armed {
-	st := &Armed{}
-	var occ uint64
-	cpu.AfterStep = func(c *machine.CPU, img *machine.Image, idx int, in *machine.MInstr) {
-		if st.Fired {
-			return
-		}
-		triggered := false
-		if trig.AtDyn > 0 {
-			triggered = c.Dyn >= trig.AtDyn
-		} else {
-			if img.Prog.Name == trig.Image && idx == trig.StaticIdx {
-				occ++
-			}
-			triggered = occ >= trig.Occurrence && occ > 0
-		}
-		if !triggered {
-			return
-		}
-		kind, ok := corrupt(c, in, bits)
-		if !ok {
-			return // no destination; try the next retiring instruction
-		}
-		st.Fired = true
-		st.Dyn = c.Dyn
-		st.Image = img.Prog.Name
-		st.StaticIdx = idx
-		st.Dest = kind
-		c.AfterStep = nil
-		if st.OnFire != nil {
-			st.OnFire(c, in)
-		}
+	return ArmAll(cpu, []ArmSpec{{Trigger: trig, Bits: bits}})[0]
+}
+
+// ArmAll arms several independent faults on one CPU through a single
+// retire hook (the multi-fault model: K transient upsets per run).
+// Specs fire independently, in spec order when several trigger on the
+// same retirement. The hook composes with other retire hooks via
+// machine.AddAfterStep and stays installed until every spec has fired —
+// a fired fault never re-fires (a transient upset happens once), while
+// unfired faults remain armed even if a checkpoint rollback rewinds the
+// dynamic-instruction clock past their trigger.
+func ArmAll(cpu *machine.CPU, specs []ArmSpec) []*Armed {
+	states := make([]*Armed, len(specs))
+	for i := range states {
+		states[i] = &Armed{}
 	}
-	return st
+	if len(specs) == 0 {
+		return states
+	}
+	occ := make([]uint64, len(specs))
+	live := len(specs)
+	var remove func()
+	remove = cpu.AddAfterStep(func(c *machine.CPU, img *machine.Image, idx int, in *machine.MInstr) {
+		for si := range specs {
+			st := states[si]
+			if st.Fired {
+				continue
+			}
+			trig := specs[si].Trigger
+			triggered := false
+			if trig.AtDyn > 0 {
+				triggered = c.Dyn >= trig.AtDyn
+			} else {
+				if img.Prog.Name == trig.Image && idx == trig.StaticIdx {
+					occ[si]++
+				}
+				triggered = occ[si] >= trig.Occurrence && occ[si] > 0
+			}
+			if !triggered {
+				continue
+			}
+			kind, ok := corrupt(c, in, specs[si].Bits)
+			if !ok {
+				continue // no destination; try the next retiring instruction
+			}
+			st.Fired = true
+			st.Dyn = c.Dyn
+			st.Image = img.Prog.Name
+			st.StaticIdx = idx
+			st.Dest = kind
+			live--
+			if st.OnFire != nil {
+				st.OnFire(c, in)
+			}
+		}
+		if live == 0 {
+			remove()
+		}
+	})
+	return states
 }
 
 // pickBits draws the flip positions for the model.
@@ -218,6 +271,12 @@ type Campaign struct {
 	Libs []*core.Binary
 	// N is the number of injections (one per run).
 	N int
+	// FaultsPerTrial is the multi-fault model: every trial arms this
+	// many independent faults, each with its own uniformly random
+	// dynamic target and bit choice drawn from the trial's RNG stream
+	// (so campaigns stay bit-identical across worker counts). <=1 means
+	// the paper's single-fault-per-run model.
+	FaultsPerTrial int
 	// Model selects single or double bit flips.
 	Model Model
 	// Seed drives all randomness.
@@ -299,35 +358,65 @@ type trial struct {
 // (c.Seed, i), so trials are independent and may run concurrently.
 func (c *Campaign) runTrial(i int, prof *profiler.Profile, hang uint64) (trial, error) {
 	rng := rand.New(rand.NewSource(TrialSeed(c.Seed, uint64(i))))
-	target := uint64(rng.Int63n(int64(prof.TotalDyn))) + 1
-	bits := pickBits(rng, c.Model)
+	k := c.FaultsPerTrial
+	if k <= 0 {
+		k = 1
+	}
+	specs := make([]ArmSpec, k)
+	for j := range specs {
+		target := uint64(rng.Int63n(int64(prof.TotalDyn))) + 1
+		specs[j] = ArmSpec{Trigger: Trigger{AtDyn: target}, Bits: pickBits(rng, c.Model)}
+	}
 	p, err := core.NewProcess(core.ProcessConfig{App: c.App, Libs: c.Libs})
 	if err != nil {
 		return trial{}, err
 	}
-	st := Arm(p.CPU, Trigger{AtDyn: target}, bits)
+	armed := ArmAll(p.CPU, specs)
 	var tracker *taint.Tracker
 	if c.TrackPropagation {
 		tracker = taint.Attach(p.CPU)
-		st.OnFire = func(cc *machine.CPU, in *machine.MInstr) {
-			tracker.MarkDest(cc, in)
+		for _, st := range armed {
+			st.OnFire = func(cc *machine.CPU, in *machine.MInstr) {
+				tracker.MarkDest(cc, in)
+			}
 		}
 	}
 	status := p.Run(hang * prof.TotalDyn)
-	inj := Injection{TargetDyn: target, Bits: bits}
+	// last is the most recently fired fault — the proximate corruption
+	// the manifestation latency is measured from.
+	var last *Armed
+	lastIdx := -1
+	for j, st := range armed {
+		if st.Fired && (last == nil || st.Dyn >= last.Dyn) {
+			last, lastIdx = st, j
+		}
+	}
+	inj := Injection{TargetDyn: specs[0].Trigger.AtDyn, Bits: specs[0].Bits}
+	if k > 1 {
+		inj.Faults = make([]FaultPoint, k)
+		for j := range specs {
+			inj.Faults[j] = FaultPoint{
+				TargetDyn: specs[j].Trigger.AtDyn,
+				Bits:      specs[j].Bits,
+				Fired:     armed[j].Fired,
+				Dyn:       armed[j].Dyn,
+			}
+		}
+	}
 	if tracker != nil {
 		inj.PropagationWrites = tracker.TaintedWrites
 		inj.TaintedMemWords = tracker.TaintedMemWords()
 	}
-	if st.Fired {
-		inj.Image, inj.StaticIdx, inj.Dest = st.Image, st.StaticIdx, st.Dest
+	if last != nil {
+		inj.TargetDyn, inj.Bits = specs[lastIdx].Trigger.AtDyn, specs[lastIdx].Bits
+		inj.Image, inj.StaticIdx, inj.Dest = last.Image, last.StaticIdx, last.Dest
 	}
 	switch status {
 	case machine.StatusTrapped:
 		inj.Outcome = SoftFailure
 		inj.Signal = p.CPU.PendingTrap.Sig
-		if st.Fired {
-			inj.Latency = p.CPU.Dyn - st.Dyn
+		if last != nil {
+			inj.Latency = p.CPU.Dyn - last.Dyn
 		}
 	case machine.StatusExited:
 		if sameResults(p.Results(), prof.Golden) && p.CPU.ExitCode == prof.ExitCode {
@@ -340,7 +429,7 @@ func (c *Campaign) runTrial(i int, prof *profiler.Profile, hang uint64) (trial, 
 	default:
 		return trial{}, fmt.Errorf("faultinject: unexpected run status %v", status)
 	}
-	return trial{inj: inj, fired: st.Fired}, nil
+	return trial{inj: inj, fired: last != nil}, nil
 }
 
 // Run executes the campaign: N independent trials on a pool of Workers

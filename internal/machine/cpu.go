@@ -101,6 +101,10 @@ type CPU struct {
 	BeforeStep StepHook
 	// AfterStep, when non-nil, runs after every retired instruction.
 	AfterStep StepHook
+	// afterHooks are additional retire hooks installed with
+	// AddAfterStep; they run after AfterStep, in installation order.
+	// Removed hooks leave nil slots so installation order is stable.
+	afterHooks []StepHook
 
 	// StopPC, when StopPCSet, exits the CPU cleanly when control
 	// reaches that address. Safeguard uses it as the return-address
@@ -114,6 +118,52 @@ type CPU struct {
 	PendingTrap *Trap
 
 	hostArgBuf [8]Word
+}
+
+// AddAfterStep installs an additional retire hook without disturbing
+// AfterStep or previously-installed hooks, and returns a function that
+// removes exactly this hook. Several subsystems observe retirement at
+// once (fault injectors arming independent faults, the checkpoint
+// cadence, tracers), so hooks must compose rather than overwrite each
+// other.
+func (c *CPU) AddAfterStep(h StepHook) (remove func()) {
+	c.afterHooks = append(c.afterHooks, h)
+	i := len(c.afterHooks) - 1
+	return func() { c.afterHooks[i] = nil }
+}
+
+// Context is the architectural state a trap handler may capture and
+// later restore to roll the CPU back to an earlier point of its
+// trap loop (registers, program counter, retired-instruction count).
+// Memory is deliberately not part of a Context; pair it with a
+// Memory.Snapshot for a full checkpoint.
+type Context struct {
+	R   [NumReg]Word
+	F   [NumFReg]float64
+	PC  Word
+	Dyn uint64
+}
+
+// Context captures the CPU's architectural state.
+func (c *CPU) Context() Context {
+	return Context{R: c.R, F: c.F, PC: c.PC, Dyn: c.Dyn}
+}
+
+// SetContext restores architectural state captured by Context and
+// re-arms the trap loop: the pending trap (if any) is discarded, the
+// run status returns to StatusRunning, and the current-image cache is
+// invalidated so the next Step refetches from the restored PC. A trap
+// handler that calls SetContext and returns TrapResume resumes
+// execution at the restored PC instead of re-executing the faulting
+// instruction.
+func (c *CPU) SetContext(ctx Context) {
+	c.R = ctx.R
+	c.F = ctx.F
+	c.PC = ctx.PC
+	c.Dyn = ctx.Dyn
+	c.Status = StatusRunning
+	c.PendingTrap = nil
+	c.cur = nil
 }
 
 // NewCPU creates a CPU over the given memory and host environment.
@@ -417,6 +467,11 @@ func (c *CPU) Step() {
 	}
 	if c.AfterStep != nil {
 		c.AfterStep(c, img, idx, in)
+	}
+	for i := 0; i < len(c.afterHooks); i++ {
+		if h := c.afterHooks[i]; h != nil {
+			h(c, img, idx, in)
+		}
 	}
 }
 

@@ -1,0 +1,150 @@
+package safeguard
+
+import (
+	"time"
+
+	"care/internal/checkpoint"
+	"care/internal/machine"
+)
+
+// Policy configures the escalating recovery chain. The zero value is
+// the paper's one-shot Safeguard: any activation that cannot patch the
+// operand kills the process. Enabling stages layers recoveries instead:
+//
+//	kernel recompute → induction repair → heuristic bit-bucket →
+//	checkpoint rollback → kill
+//
+// (induction and heuristic stages are enabled by the existing
+// Config.InductionRecovery and Config.Heuristic flags; Policy adds the
+// rollback stage and the circuit breakers that decide when to stop
+// patching and escalate.)
+type Policy struct {
+	// Rollback enables the checkpoint-rollback stage: when no patch
+	// stage applies, restore the latest snapshot of the store wired via
+	// Safeguard.UseCheckpoints and resume from the snapshot step. The
+	// modelled snapshot-read and requeue costs of the store's CostModel
+	// are charged into the activation's Event.Rollback phase.
+	Rollback bool
+	// MaxRollbacks bounds snapshot restores per process, so a
+	// deterministically recurring trap (a genuine program bug) cannot
+	// rollback-loop forever. 0 means 2.
+	MaxRollbacks int
+	// MaxTrapsPerPC is the per-PC retry budget: once more than this
+	// many traps have been handled at one PC, patch stages are skipped
+	// and the chain escalates straight to rollback/kill. 0 disables the
+	// budget (the paper's runtime has none).
+	MaxTrapsPerPC int
+	// StormTraps and StormWindow form the recovery-storm detector:
+	// StormTraps traps at the same PC within StormWindow dynamic
+	// instructions mean patching is not making progress (each repair
+	// immediately re-faults), so the chain stops patching and
+	// escalates. StormTraps 0 disables the detector; StormWindow 0
+	// defaults to 4096 instructions.
+	StormTraps  int
+	StormWindow uint64
+}
+
+func (p Policy) maxRollbacks() int {
+	if p.MaxRollbacks == 0 {
+		return 2
+	}
+	return p.MaxRollbacks
+}
+
+func (p Policy) stormWindow() uint64 {
+	if p.StormWindow == 0 {
+		return 4096
+	}
+	return p.StormWindow
+}
+
+// pcState tracks trap pressure at one PC for the retry budget and the
+// storm detector.
+type pcState struct {
+	traps  int      // total traps handled at this PC (monotonic)
+	recent []uint64 // Dyn at the most recent traps (ring of StormTraps)
+}
+
+// UseCheckpoints wires a checkpoint store into the rollback stage.
+// Callers save an initial snapshot (and typically install a
+// checkpoint.AutoSave cadence) so Latest() is never empty when a fault
+// arrives.
+func (sg *Safeguard) UseCheckpoints(st *checkpoint.Store) { sg.store = st }
+
+// noteTrap records a handled trap at t.PC and reports whether the
+// policy's circuit breakers demand skipping the patch stages, along
+// with the outcome that classifies the escalation.
+func (sg *Safeguard) noteTrap(c *machine.CPU, t *machine.Trap) (skip bool, why Outcome) {
+	pol := sg.cfg.Policy
+	if pol.MaxTrapsPerPC == 0 && pol.StormTraps == 0 {
+		return false, ""
+	}
+	if sg.pcTraps == nil {
+		sg.pcTraps = map[machine.Word]*pcState{}
+	}
+	st := sg.pcTraps[t.PC]
+	if st == nil {
+		st = &pcState{}
+		sg.pcTraps[t.PC] = st
+	}
+	st.traps++
+	if pol.StormTraps > 0 {
+		st.recent = append(st.recent, c.Dyn)
+		if len(st.recent) > pol.StormTraps {
+			st.recent = st.recent[1:]
+		}
+		if len(st.recent) == pol.StormTraps &&
+			st.recent[len(st.recent)-1]-st.recent[0] <= pol.stormWindow() {
+			sg.Stats.Storms++
+			return true, RecoveryStorm
+		}
+	}
+	if pol.MaxTrapsPerPC > 0 && st.traps > pol.MaxTrapsPerPC {
+		return true, RetryBudgetExhausted
+	}
+	return false, ""
+}
+
+// escalate is the tail of the chain: the checkpoint-rollback stage,
+// then kill. ev.Outcome carries the failure (or circuit-breaker
+// verdict) that brought the chain here; a successful rollback
+// overwrites it with RolledBack.
+func (sg *Safeguard) escalate(c *machine.CPU, t *machine.Trap, ev Event) machine.TrapAction {
+	pol := sg.cfg.Policy
+	if pol.Rollback && sg.store != nil && sg.rollbacks < pol.maxRollbacks() {
+		if snap := sg.store.Latest(); snap != nil {
+			t0 := time.Now()
+			rd, err := sg.store.Restore(c, snap)
+			if err == nil {
+				sg.rollbacks++
+				// The restored memory predates this handler's transient
+				// mappings; re-probe the scratch stack and re-allocate
+				// the bit bucket on next use.
+				sg.bitBucket = 0
+				// A rollback resets the storm windows: execution resumes
+				// from a known-good state, so earlier trap bursts no
+				// longer describe the current trajectory. Total per-PC
+				// counts stay (the retry budget is cumulative).
+				for _, st := range sg.pcTraps {
+					st.recent = st.recent[:0]
+				}
+				// Charge the modelled snapshot read plus the requeue
+				// delay of the store's cost model on top of the live
+				// restore time, so policy comparisons see the I/O a real
+				// rollback would pay.
+				ev.Rollback = time.Since(t0) + rd + sg.store.Model.RequeueDelay
+				ev.Outcome = RolledBack
+				sg.record(ev)
+				sg.release()
+				return machine.TrapResume
+			}
+		}
+	}
+	sg.record(ev)
+	sg.release()
+	return machine.TrapKill
+}
+
+// Rollbacks reports how many checkpoint rollbacks this process has
+// performed.
+func (sg *Safeguard) Rollbacks() int { return sg.rollbacks }

@@ -13,6 +13,7 @@ import (
 	"math"
 	"time"
 
+	"care/internal/checkpoint"
 	"care/internal/debuginfo"
 	"care/internal/hostenv"
 	"care/internal/machine"
@@ -58,6 +59,17 @@ const (
 	// RecoveredInduction: a corrupted induction variable was
 	// reconstructed from an affine sibling (Figure-11 extension).
 	RecoveredInduction Outcome = "recovered-induction"
+	// RolledBack: no patch stage applied, so the escalation chain
+	// restored the latest checkpoint snapshot and resumed from its
+	// step (Policy.Rollback).
+	RolledBack Outcome = "rolled-back"
+	// RecoveryStorm: the storm detector saw Policy.StormTraps traps at
+	// this PC within Policy.StormWindow dynamic instructions — patching
+	// is not making progress — and no rollback was available.
+	RecoveryStorm Outcome = "recovery-storm"
+	// RetryBudgetExhausted: more than Policy.MaxTrapsPerPC traps were
+	// handled at this PC and no rollback was available.
+	RetryBudgetExhausted Outcome = "retry-budget-exhausted"
 )
 
 // Event records one activation for the recovery-time analysis
@@ -72,11 +84,15 @@ type Event struct {
 	Fetch    time.Duration // argument retrieval via debug info
 	Kernel   time.Duration // recovery-kernel execution
 	Patch    time.Duration // operand update
+	// Rollback is the checkpoint-restore cost of a RolledBack
+	// activation: the live restore time plus the cost model's snapshot
+	// read and requeue charges.
+	Rollback time.Duration
 }
 
 // Total returns the end-to-end recovery time of the event.
 func (e Event) Total() time.Duration {
-	return e.Diagnose + e.Load + e.Fetch + e.Kernel + e.Patch
+	return e.Diagnose + e.Load + e.Fetch + e.Kernel + e.Patch + e.Rollback
 }
 
 // Prep returns everything but kernel execution.
@@ -87,7 +103,12 @@ type Stats struct {
 	Activations   int
 	Recovered     int
 	Unrecoverable int
-	Events        []Event
+	// RolledBack counts activations resolved by restoring a checkpoint
+	// snapshot (neither an in-place recovery nor a kill).
+	RolledBack int
+	// Storms counts recovery-storm detector trips.
+	Storms int
+	Events []Event
 	// IdleFootprintBytes is the steady-state memory held while no fault
 	// is being handled: the undecoded table/library bytes (the
 	// reproduction's analogue of the paper's fixed 27MB, which was
@@ -120,6 +141,10 @@ type Config struct {
 	InductionRecovery bool
 	// MaxKernelSteps bounds recovery-kernel execution (0 = 1<<20).
 	MaxKernelSteps uint64
+	// Policy configures the escalating recovery chain (retry budgets,
+	// storm detection, checkpoint rollback). The zero value is the
+	// paper's one-shot behaviour.
+	Policy Policy
 }
 
 // Safeguard is the runtime attached to one process.
@@ -131,8 +156,15 @@ type Safeguard struct {
 
 	cachedTables map[*Unit]*rtable.Table
 	cachedLibs   map[*Unit]*machine.Program
-	scratchReady bool
 	bitBucket    machine.Word
+
+	// store backs the rollback stage (UseCheckpoints); rollbacks counts
+	// restores performed against Policy.MaxRollbacks.
+	store     *checkpoint.Store
+	rollbacks int
+	// pcTraps tracks per-PC trap pressure for the retry budget and the
+	// recovery-storm detector.
+	pcTraps map[machine.Word]*pcState
 }
 
 // Attach installs Safeguard as the process's SIGSEGV handler (the
@@ -176,21 +208,34 @@ func (sg *Safeguard) noteRecoveryFootprint(table *rtable.Table, lib *machine.Pro
 
 func (sg *Safeguard) record(e Event) {
 	sg.Stats.Activations++
-	if e.Outcome == Recovered || e.Outcome == RecoveredInduction {
+	switch e.Outcome {
+	case Recovered, RecoveredInduction:
 		sg.Stats.Recovered++
-	} else {
+	case RolledBack:
+		sg.Stats.RolledBack++
+	default:
 		sg.Stats.Unrecoverable++
 	}
 	sg.Stats.Events = append(sg.Stats.Events, e)
 }
 
-// handle is the signal handler (paper Algorithm 1).
+// handle is the signal handler (paper Algorithm 1, wrapped in the
+// escalation chain: kernel recompute → induction repair → heuristic
+// bit-bucket → checkpoint rollback → kill).
 func (sg *Safeguard) handle(c *machine.CPU, t *machine.Trap) machine.TrapAction {
 	ev := Event{PC: t.PC, Addr: t.Addr}
 	if t.Sig != machine.SigSEGV && !(sg.cfg.HandleBus && t.Sig == machine.SigBUS) {
 		ev.Outcome = WrongSignal
 		sg.record(ev)
 		return machine.TrapKill
+	}
+
+	// Circuit breakers: when the retry budget or the storm detector
+	// trips, patching at this PC has stopped making progress — skip the
+	// patch stages entirely and escalate to rollback/kill.
+	if skip, why := sg.noteTrap(c, t); skip {
+		ev.Outcome = why
+		return sg.escalate(c, t, ev)
 	}
 
 	// Phase 1: diagnose — map the faulting PC to a source key and a
@@ -284,22 +329,27 @@ func (sg *Safeguard) handle(c *machine.CPU, t *machine.Trap) machine.TrapAction 
 	return machine.TrapResume
 }
 
-// fail records a failed activation and either kills the process
-// (faithful mode) or applies the heuristic bit-bucket patch.
+// fail continues the chain after an in-place repair stage failed: the
+// heuristic bit-bucket stage, then escalation (rollback/kill).
 func (sg *Safeguard) fail(c *machine.CPU, t *machine.Trap, ev Event) machine.TrapAction {
 	if sg.cfg.Heuristic && t.Instr != nil && t.Instr.Op.IsMemAccess() {
 		if sg.heuristicPatch(c, t) {
 			ev.Outcome = HeuristicPatched
 			sg.record(ev)
+			// Release per-fault state on this resume path too;
+			// otherwise the decoded table and recovery library stay
+			// resident in non-Eager mode and skew the footprint
+			// accounting.
+			sg.release()
 			return machine.TrapResume
 		}
 	}
-	sg.record(ev)
-	sg.release()
-	return machine.TrapKill
+	return sg.escalate(c, t, ev)
 }
 
-// loadTable decodes the unit's recovery table (cached in Eager mode).
+// loadTable decodes the unit's recovery table. The decode is cached so
+// the stages of one activation share it; release drops it again in
+// non-Eager mode once the activation resolves.
 func (sg *Safeguard) loadTable(u *Unit) (*rtable.Table, error) {
 	if tb := sg.cachedTables[u]; tb != nil {
 		return tb, nil
@@ -308,13 +358,11 @@ func (sg *Safeguard) loadTable(u *Unit) (*rtable.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if sg.cfg.Eager {
-		sg.cachedTables[u] = tb
-	}
+	sg.cachedTables[u] = tb
 	return tb, nil
 }
 
-// loadLib decodes the unit's recovery library (cached in Eager mode).
+// loadLib decodes the unit's recovery library (cached like loadTable).
 func (sg *Safeguard) loadLib(u *Unit) (*machine.Program, error) {
 	if p := sg.cachedLibs[u]; p != nil {
 		return p, nil
@@ -323,9 +371,7 @@ func (sg *Safeguard) loadLib(u *Unit) (*machine.Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	if sg.cfg.Eager {
-		sg.cachedLibs[u] = p
-	}
+	sg.cachedLibs[u] = p
 	return p, nil
 }
 
@@ -381,11 +427,14 @@ func (sg *Safeguard) runKernel(c *machine.CPU, lib *machine.Program, symbol stri
 	if !ok {
 		return 0, fmt.Errorf("safeguard: kernel symbol %q not found", symbol)
 	}
-	if !sg.scratchReady {
-		if _, err := c.Mem.Map(machine.ScratchStackTop-machine.ScratchStackSize, machine.ScratchStackSize, "sigaltstack"); err != nil {
+	// Probe the address space instead of trusting a flag: a checkpoint
+	// rollback can restore a memory image from either side of the first
+	// mapping, so the scratch stack may or may not exist by now.
+	scratchBase := machine.ScratchStackTop - machine.ScratchStackSize
+	if c.Mem.Find(scratchBase) == nil {
+		if _, err := c.Mem.Map(scratchBase, machine.ScratchStackSize, "sigaltstack"); err != nil {
 			return 0, err
 		}
-		sg.scratchReady = true
 	}
 	libImg, err := machine.Load(c.Mem, lib)
 	if err != nil {
