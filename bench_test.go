@@ -29,7 +29,7 @@ const benchSeed = 1234
 // campaign): the outcome mix of single-bit-flip injections.
 func BenchmarkTable2OutcomeMix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.OutcomeStudy([]string{"HPCCG"}, 60, 1, faultinject.SingleBit, benchSeed, 0, workloads.Params{}, 0)
+		rows, err := experiments.OutcomeStudy([]string{"HPCCG"}, 60, 1, faultinject.SingleBit, benchSeed, 0, workloads.Params{}, 0, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -43,7 +43,7 @@ func BenchmarkTable2OutcomeMix(b *testing.B) {
 // BenchmarkTable3Symptoms reports the SIGSEGV share of soft failures.
 func BenchmarkTable3Symptoms(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.OutcomeStudy([]string{"miniMD"}, 60, 1, faultinject.SingleBit, benchSeed, 0, workloads.Params{}, 0)
+		rows, err := experiments.OutcomeStudy([]string{"miniMD"}, 60, 1, faultinject.SingleBit, benchSeed, 0, workloads.Params{}, 0, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -59,7 +59,7 @@ func BenchmarkTable3Symptoms(b *testing.B) {
 // manifesting within 50 dynamic instructions.
 func BenchmarkTable4Latency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.OutcomeStudy([]string{"GTC-P"}, 60, 1, faultinject.SingleBit, benchSeed, 0, workloads.Params{}, 0)
+		rows, err := experiments.OutcomeStudy([]string{"GTC-P"}, 60, 1, faultinject.SingleBit, benchSeed, 0, workloads.Params{}, 0, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -180,7 +180,7 @@ func BenchmarkTable9BLAS(b *testing.B) {
 // BenchmarkTable10DoubleFlip reproduces the appendix outcome table.
 func BenchmarkTable10DoubleFlip(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.OutcomeStudy([]string{"CoMD"}, 60, 1, faultinject.DoubleBit, benchSeed, 0, workloads.Params{}, 0)
+		rows, err := experiments.OutcomeStudy([]string{"CoMD"}, 60, 1, faultinject.DoubleBit, benchSeed, 0, workloads.Params{}, 0, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -194,7 +194,7 @@ func BenchmarkTable10DoubleFlip(b *testing.B) {
 // share.
 func BenchmarkTable11DoubleFlipSymptoms(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.OutcomeStudy([]string{"CoMD"}, 60, 1, faultinject.DoubleBit, benchSeed, 0, workloads.Params{}, 0)
+		rows, err := experiments.OutcomeStudy([]string{"CoMD"}, 60, 1, faultinject.DoubleBit, benchSeed, 0, workloads.Params{}, 0, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -344,5 +344,44 @@ func BenchmarkExtensionInductionRecovery(b *testing.B) {
 				b.ReportMetric(100*row.Coverage, "coverage-%")
 			}
 		})
+	}
+}
+
+// BenchmarkCampaignTraceOff is the overhead guard for the trace spine:
+// a fault-injection campaign with tracing disabled must stay within a
+// few percent of what it cost before the spine existed (the no-op
+// recorder is a nil pointer, so the step path must not allocate — see
+// machine.TestStepWithNilTraceDoesNotAllocate). Compare against
+// BenchmarkCampaignTraceOn to read off the cost of enabling it.
+func BenchmarkCampaignTraceOff(b *testing.B) {
+	benchmarkCampaignTrace(b, false)
+}
+
+// BenchmarkCampaignTraceOn measures the same campaign with the
+// per-trial trace recorders and the deterministic merge enabled.
+func BenchmarkCampaignTraceOn(b *testing.B) {
+	benchmarkCampaignTrace(b, true)
+}
+
+func benchmarkCampaignTrace(b *testing.B, traced bool) {
+	w, err := workloads.Get("HPCCG")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{NoArmor: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := (&faultinject.Campaign{
+			App: bin, N: 60, Model: faultinject.SingleBit, Seed: benchSeed, Trace: traced,
+		}).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if traced && res.Trace.Len() == 0 {
+			b.Fatal("traced campaign produced no spans")
+		}
 	}
 }

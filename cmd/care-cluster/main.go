@@ -11,10 +11,27 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"care/internal/experiments"
+	"care/internal/trace"
 	"care/internal/workloads"
 )
+
+// writeTrace dumps a merged recorder as JSONL.
+func writeTrace(path string, rec *trace.Recorder) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rec.WriteJSONL(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", rec.Len(), path)
+}
 
 func main() {
 	ranks := flag.Int("ranks", 8, "MPI ranks (paper: 512)")
@@ -25,6 +42,7 @@ func main() {
 	cr := flag.Bool("cr", false, "run the checkpoint/restart baseline instead")
 	crSteps := flag.Int("cr-steps", 80, "GTC-P steps for the C/R experiment")
 	crFault := flag.Int("cr-fault", 66, "step at which the fault kills the unprotected job")
+	traceOut := flag.String("trace-out", "", "write the faulty-job traces (or C/R store traces) as JSONL to this file")
 	flag.Parse()
 
 	if *cr {
@@ -33,6 +51,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(experiments.FormatCR(rows, 0))
+		if *traceOut != "" {
+			merged := trace.New(trace.DefaultSpanCap)
+			for i, r := range rows {
+				merged.MergeAs(r.Trace, int32(i))
+			}
+			writeTrace(*traceOut, merged)
+		}
 		return
 	}
 	names := experiments.EvaluatedNames()
@@ -45,4 +70,17 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(experiments.FormatParallel(rows))
+	if *traceOut != "" {
+		// Per-rank attribution lives in the span Rank fields already, so
+		// plain Merge keeps it intact across workloads.
+		total := 0
+		for _, r := range rows {
+			total += r.Faulty.Trace.Len()
+		}
+		merged := trace.New(total)
+		for _, r := range rows {
+			merged.Merge(r.Faulty.Trace)
+		}
+		writeTrace(*traceOut, merged)
+	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	care-inject [-n 1000] [-faults 1] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1] [-workers 0]
+//	care-inject [-n 1000] [-faults 1] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1] [-workers 0] [-trace-out FILE]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 
 	"care/internal/experiments"
 	"care/internal/faultinject"
+	"care/internal/trace"
 	"care/internal/workloads"
 )
 
@@ -26,6 +27,7 @@ func main() {
 	opt := flag.Int("opt", 0, "optimisation level (0 or 1)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "concurrent injection workers (0 = one per CPU; results are identical for any value)")
+	traceOut := flag.String("trace-out", "", "write the merged campaign trace as JSONL to this file (Rank = workload index)")
 	flag.Parse()
 
 	m := faultinject.SingleBit
@@ -44,9 +46,31 @@ func main() {
 		}
 		names = []string{*workload}
 	}
-	rows, err := experiments.OutcomeStudy(names, *n, *faults, m, *seed, *opt, workloads.Params{}, *workers)
+	rows, err := experiments.OutcomeStudy(names, *n, *faults, m, *seed, *opt, workloads.Params{}, *workers, *traceOut != "")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(experiments.FormatOutcomeTables(rows))
+
+	if *traceOut != "" {
+		total := 0
+		for _, r := range rows {
+			total += r.Res.Trace.Len()
+		}
+		merged := trace.New(total)
+		for i, r := range rows {
+			merged.MergeAs(r.Res.Trace, int32(i))
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := merged.WriteJSONL(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", merged.Len(), *traceOut)
+	}
 }

@@ -93,7 +93,7 @@ func main() {
 
 	// 4. Report.
 	fmt.Printf("\nrun status: %v\n", st)
-	for _, ev := range p.SG.Stats.Events {
+	for _, ev := range p.SG.Events() {
 		fmt.Printf("safeguard: %s at pc=0x%x addr=0x%x in %v (prep %v, kernel %v)\n",
 			ev.Outcome, ev.PC, ev.Addr, ev.Total(), ev.Prep(), ev.Kernel)
 	}

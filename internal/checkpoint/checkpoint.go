@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"care/internal/machine"
+	"care/internal/trace"
 )
 
 // CPUState is the architectural part of a snapshot.
@@ -72,20 +73,37 @@ func (m CostModel) ReadCost(s *Snapshot) time.Duration {
 	return m.ReadLatency + time.Duration(float64(s.Bytes())/m.ReadBandwidth*1e9)
 }
 
+// Trace counter names charged by the store. Durations are charged in
+// nanoseconds so I/O totals stay exact even when the span ring drops
+// old spans.
+const (
+	CounterSaves    = "checkpoint.saves"
+	CounterWriteNs  = "checkpoint.write-ns"
+	CounterRestores = "checkpoint.restores"
+	CounterReadNs   = "checkpoint.read-ns"
+)
+
 // Store keeps a process's checkpoints (latest-wins, as with rotating
-// checkpoint files).
+// checkpoint files). All I/O accounting — save/restore counts and
+// modelled write/read time — lives on the store's trace recorder; the
+// Saves/ModeledWriteTime/... accessors are views over it.
 type Store struct {
-	Model CostModel
-	// ModeledWriteTime accumulates the modelled cost of every Save.
-	ModeledWriteTime time.Duration
-	latest           *Snapshot
-	saves            int
+	Model  CostModel
+	rec    *trace.Recorder
+	latest *Snapshot
 }
 
 // NewStore builds a store with the given cost model.
-func NewStore(m CostModel) *Store { return &Store{Model: m} }
+func NewStore(m CostModel) *Store {
+	return &Store{Model: m, rec: trace.New(trace.DefaultSpanCap)}
+}
 
-// Save checkpoints the CPU (and its memory) at the given step.
+// Trace exposes the store's recorder (one span per save/restore plus
+// the I/O counters). Callers merge it into campaign or job traces.
+func (st *Store) Trace() *trace.Recorder { return st.rec }
+
+// Save checkpoints the CPU (and its memory) at the given step, charging
+// the modelled write cost to the trace.
 func (st *Store) Save(c *machine.CPU, step int) *Snapshot {
 	s := &Snapshot{
 		Mem:  c.Mem.Snapshot(),
@@ -96,30 +114,60 @@ func (st *Store) Save(c *machine.CPU, step int) *Snapshot {
 		s.EnvResults = append([]float64(nil), c.Env.Results...)
 	}
 	st.latest = s
-	st.saves++
-	st.ModeledWriteTime += st.Model.WriteCost(s)
+	cost := st.Model.WriteCost(s)
+	st.rec.Emit(trace.Span{
+		Kind: trace.KindCheckpointSave, Parent: trace.NoParent,
+		StartDyn: c.Dyn, EndDyn: c.Dyn,
+		Wall: cost, Val: int64(s.Bytes()),
+	})
+	st.rec.Add(CounterSaves, 1)
+	st.rec.Add(CounterWriteNs, cost.Nanoseconds())
 	return s
 }
 
 // Saves reports how many checkpoints were written.
-func (st *Store) Saves() int { return st.saves }
+func (st *Store) Saves() int { return int(st.rec.Counter(CounterSaves)) }
+
+// Restores reports how many snapshots were read back.
+func (st *Store) Restores() int { return int(st.rec.Counter(CounterRestores)) }
+
+// ModeledWriteTime is the accumulated modelled cost of every Save.
+func (st *Store) ModeledWriteTime() time.Duration {
+	return time.Duration(st.rec.Counter(CounterWriteNs))
+}
+
+// ModeledReadTime is the accumulated modelled cost of every Restore.
+func (st *Store) ModeledReadTime() time.Duration {
+	return time.Duration(st.rec.Counter(CounterReadNs))
+}
 
 // Latest returns the most recent snapshot, or nil.
 func (st *Store) Latest() *Snapshot { return st.latest }
 
 // Restore rolls the CPU back to the snapshot and returns the modelled
 // read cost. The CPU must have the same images attached (code is
-// immutable and not part of the snapshot, as with ordinary C/R).
+// immutable and not part of the snapshot, as with ordinary C/R). The
+// restore span's Dyn stamps run from the pre-restore clock to the
+// (earlier) restored clock, making the virtual-time rewind visible.
 func (st *Store) Restore(c *machine.CPU, s *Snapshot) (time.Duration, error) {
 	if s == nil {
 		return 0, fmt.Errorf("checkpoint: no snapshot to restore")
 	}
+	preDyn := c.Dyn
 	c.Mem.Restore(s.Mem)
 	c.SetContext(machine.Context{R: s.CPU.R, F: s.CPU.F, PC: s.CPU.PC, Dyn: s.CPU.Dyn})
 	if c.Env != nil {
 		c.Env.Results = append(c.Env.Results[:0], s.EnvResults...)
 	}
-	return st.Model.ReadCost(s), nil
+	cost := st.Model.ReadCost(s)
+	st.rec.Emit(trace.Span{
+		Kind: trace.KindCheckpointRestore, Parent: trace.NoParent,
+		StartDyn: preDyn, EndDyn: s.CPU.Dyn,
+		Wall: cost, Val: int64(s.Bytes()),
+	})
+	st.rec.Add(CounterRestores, 1)
+	st.rec.Add(CounterReadNs, cost.Nanoseconds())
+	return cost, nil
 }
 
 // AutoSave installs a retire hook that checkpoints the CPU each time

@@ -94,8 +94,8 @@ func TestCostModelScalesWithSize(t *testing.T) {
 	if m.ReadCost(s) <= m.ReadLatency {
 		t.Fatal("read cost ignores size")
 	}
-	if store.Saves() != 1 || store.ModeledWriteTime != w1 {
-		t.Fatalf("store accounting: %d saves, %v modeled", store.Saves(), store.ModeledWriteTime)
+	if store.Saves() != 1 || store.ModeledWriteTime() != w1 {
+		t.Fatalf("store accounting: %d saves, %v modeled", store.Saves(), store.ModeledWriteTime())
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"care/internal/mpi"
 	"care/internal/profiler"
 	"care/internal/safeguard"
+	"care/internal/trace"
 	"care/internal/workloads"
 )
 
@@ -74,17 +75,27 @@ type JobResult struct {
 	TotalDyn uint64
 	// VirtualTime = MaxDyn * NsPerInstr + RecoveryStall.
 	VirtualTime time.Duration
-	// RecoveryStall is the wall-measured Safeguard time on rank 0.
+	// RecoveryStall is the wall-measured Safeguard time summed across
+	// ranks (in the §5.4 setup only rank 0 is injected, so this is rank
+	// 0's stall). Derived from the job trace's rank-stall spans.
 	RecoveryStall time.Duration
-	// Recoveries counts successful Safeguard repairs on rank 0.
+	// PerRankStall attributes the stall to each rank.
+	PerRankStall []time.Duration
+	// Recoveries counts successful Safeguard repairs across ranks.
 	Recoveries int
-	// Rollbacks counts checkpoint restores performed by rank 0's
-	// escalation chain; their modelled cost is part of RecoveryStall.
+	// Rollbacks counts checkpoint restores performed by the escalation
+	// chain; their modelled cost is part of RecoveryStall.
 	Rollbacks int
 	// Injected reports whether the armed fault fired.
 	Injected bool
 	// DeadRank is the rank that died (-1 when none).
 	DeadRank int
+	// Trace is the job's merged recorder: every rank's safeguard and
+	// checkpoint spans (Rank-attributed), one KindRankStall span per
+	// stalled rank, and a KindJob summary span whose Wall is the job's
+	// virtual time. Figure 10 report sections derive from comparing the
+	// traces of a faulty and a baseline job (trace.Compare).
+	Trace *trace.Recorder
 }
 
 // Injection pins a specific fault for rank 0.
@@ -161,19 +172,57 @@ func RunJob(cfg Config, bin *core.Binary, inj *Injection) (*JobResult, error) {
 		DeadRank:  mres.DeadRank,
 		Injected:  armed == nil || armed.Fired,
 	}
-	if sg := procs[0].SG; sg != nil {
-		out.Rollbacks = sg.Rollbacks()
-		for _, ev := range sg.Stats.Events {
+	// Fold every rank's safeguard/checkpoint trace into the job trace
+	// with rank attribution, and attribute each rank's stall (the
+	// Safeguard time that parks the rank until the next collective) as a
+	// KindRankStall span.
+	rec := trace.New(trace.DefaultSpanCap)
+	out.PerRankStall = make([]time.Duration, cfg.Ranks)
+	for r, p := range procs {
+		sg := p.SG
+		if sg == nil {
+			continue
+		}
+		rec.MergeAs(sg.Trace(), int32(r))
+		if p.Store != nil {
+			rec.MergeAs(p.Store.Trace(), int32(r))
+		}
+		var stall time.Duration
+		for _, ev := range sg.Events() {
 			switch ev.Outcome {
+			case safeguard.Recovered, safeguard.RecoveredInduction,
+				safeguard.HeuristicPatched, safeguard.RolledBack:
+				stall += ev.Total()
+			}
+		}
+		out.PerRankStall[r] = stall
+		if stall > 0 {
+			rec.Emit(trace.Span{
+				Kind: trace.KindRankStall, Parent: trace.NoParent,
+				Wall: stall, Rank: int32(r),
+			})
+		}
+	}
+	// Derive the summary tallies from the job trace.
+	out.Rollbacks = int(rec.Counter(safeguard.CounterRolledBack))
+	for _, s := range rec.Spans() {
+		switch s.Kind {
+		case trace.KindRankStall:
+			out.RecoveryStall += s.Wall
+		case trace.KindActivation:
+			switch safeguard.Outcome(s.Outcome) {
 			case safeguard.Recovered, safeguard.RecoveredInduction, safeguard.HeuristicPatched:
 				out.Recoveries++
-				out.RecoveryStall += ev.Total()
-			case safeguard.RolledBack:
-				out.RecoveryStall += ev.Total()
 			}
 		}
 	}
 	out.VirtualTime = time.Duration(float64(out.MaxDyn)*cfg.nsPerInstr()) + out.RecoveryStall
+	rec.Emit(trace.Span{
+		Kind: trace.KindJob, Parent: trace.NoParent,
+		EndDyn: out.MaxDyn, Wall: out.VirtualTime,
+		Outcome: fmt.Sprintf("completed=%v", out.Completed),
+	})
+	out.Trace = rec
 	return out, nil
 }
 
@@ -196,6 +245,9 @@ type CRResult struct {
 	// Verified is true when the restarted run reproduced the golden
 	// result stream (a real restore, not just a cost model).
 	Verified bool
+	// Trace is the run's checkpoint-store recorder (one span per
+	// save/restore plus the I/O counters the costs above derive from).
+	Trace *trace.Recorder
 }
 
 // RunCheckpointRestart measures the C/R baseline: run the workload
@@ -255,7 +307,8 @@ func RunCheckpointRestart(w *workloads.Workload, p workloads.Params, opt int,
 		return nil, fmt.Errorf("cluster: fault step %d never reached (run ended at step %d)", faultStep, step)
 	}
 	res.Checkpoints = store.Saves()
-	res.CheckpointIO = store.ModeledWriteTime
+	res.CheckpointIO = store.ModeledWriteTime()
+	res.Trace = store.Trace()
 
 	// Restart: requeue, read the checkpoint, re-execute.
 	res.Requeue = model.RequeueDelay

@@ -187,13 +187,13 @@ func TestRecoveryFromCorruptedIndex(t *testing.T) {
 		if !corrupted {
 			t.Fatalf("O%d: corruption never armed", opt)
 		}
-		if p.SG.Stats.Recovered != 1 {
-			t.Fatalf("O%d: safeguard stats %+v", opt, p.SG.Stats)
+		if p.SG.Stats().Recovered != 1 {
+			t.Fatalf("O%d: safeguard stats %+v", opt, p.SG.Stats())
 		}
 		if len(p.Results()) != len(golden) || p.Results()[0] != golden[0] {
 			t.Fatalf("O%d: results %v != golden %v", opt, p.Results(), golden)
 		}
-		ev := p.SG.Stats.Events[0]
+		ev := p.SG.Stats().Events[0]
 		if ev.Outcome != safeguard.Recovered {
 			t.Fatalf("O%d: outcome %s", opt, ev.Outcome)
 		}
@@ -266,16 +266,16 @@ func TestScopeCheckDetectsContaminatedInput(t *testing.T) {
 		t.Fatal("corruption never armed")
 	}
 	if st != machine.StatusTrapped {
-		t.Fatalf("expected trapped status, got %v (events %+v)", st, p.SG.Stats.Events)
+		t.Fatalf("expected trapped status, got %v (events %+v)", st, p.SG.Stats().Events)
 	}
 	found := false
-	for _, ev := range p.SG.Stats.Events {
+	for _, ev := range p.SG.Stats().Events {
 		if ev.Outcome == safeguard.OutOfScope {
 			found = true
 		}
 	}
 	if !found {
-		t.Fatalf("expected out-of-scope outcome, events: %+v", p.SG.Stats.Events)
+		t.Fatalf("expected out-of-scope outcome, events: %+v", p.SG.Stats().Events)
 	}
 }
 
@@ -307,15 +307,15 @@ func TestHeuristicModeTradesCrashForPossibleSDC(t *testing.T) {
 	}
 	st := p.Run(10_000_000)
 	if st != machine.StatusExited {
-		t.Fatalf("heuristic mode should survive, got %v (events %+v)", st, p.SG.Stats.Events)
+		t.Fatalf("heuristic mode should survive, got %v (events %+v)", st, p.SG.Stats().Events)
 	}
 	sawHeuristic := false
-	for _, ev := range p.SG.Stats.Events {
+	for _, ev := range p.SG.Stats().Events {
 		if ev.Outcome == safeguard.HeuristicPatched {
 			sawHeuristic = true
 		}
 	}
-	if !sawHeuristic && p.SG.Stats.Recovered == 0 {
-		t.Fatalf("expected heuristic patch or recovery, events: %+v", p.SG.Stats.Events)
+	if !sawHeuristic && p.SG.Stats().Recovered == 0 {
+		t.Fatalf("expected heuristic patch or recovery, events: %+v", p.SG.Stats().Events)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"care/internal/machine"
 	"care/internal/parallel"
 	"care/internal/safeguard"
+	"care/internal/trace"
 	"care/internal/workloads"
 )
 
@@ -45,8 +46,10 @@ type OutcomeRow struct {
 // the same worker budget; rows come back in names order and every
 // campaign seeds per-trial RNGs from (seed, trial), so the study is
 // deterministic for any worker count. faults arms that many independent
-// faults per trial (<=1 = the paper's single-fault model).
-func OutcomeStudy(names []string, n, faults int, model faultinject.Model, seed int64, opt int, p workloads.Params, workers int) ([]OutcomeRow, error) {
+// faults per trial (<=1 = the paper's single-fault model). traced
+// enables the per-campaign trace recorder (Row.Res.Trace), which stays
+// bit-identical for any worker count.
+func OutcomeStudy(names []string, n, faults int, model faultinject.Model, seed int64, opt int, p workloads.Params, workers int, traced bool) ([]OutcomeRow, error) {
 	rows := make([]OutcomeRow, len(names))
 	err := parallel.ForEach(len(names), workers, func(i int) error {
 		name := names[i]
@@ -54,7 +57,7 @@ func OutcomeStudy(names []string, n, faults int, model faultinject.Model, seed i
 		if err != nil {
 			return err
 		}
-		res, err := (&faultinject.Campaign{App: bin, N: n, FaultsPerTrial: faults, Model: model, Seed: seed, Workers: workers}).Run()
+		res, err := (&faultinject.Campaign{App: bin, N: n, FaultsPerTrial: faults, Model: model, Seed: seed, Workers: workers, Trace: traced}).Run()
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -277,7 +280,11 @@ func ParallelStudy(names []string, ranks, threads, opt int, p workloads.Params, 
 	return rows, nil
 }
 
-// FormatParallel renders Figure 10.
+// FormatParallel renders Figure 10. Every number in the table is
+// derived from the two job traces: the job durations and the recovery
+// stall come out of the KindJob / KindRankStall rows of a
+// trace.Compare between the baseline and faulty runs, so the report is
+// a view over the trace spine rather than a recomputation.
 func FormatParallel(rows []ParallelRow) string {
 	var sb strings.Builder
 	if len(rows) > 0 {
@@ -287,14 +294,22 @@ func FormatParallel(rows []ParallelRow) string {
 	fmt.Fprintf(&sb, "%-10s %14s %14s %12s %10s %12s %9s\n",
 		"Workload", "Normal", "Fault+CARE", "Stall", "Delta%", "@60s-job", "Survived")
 	for _, r := range rows {
-		d := float64(r.Faulty.VirtualTime-r.Base.VirtualTime) / float64(r.Base.VirtualTime) * 100
+		deltas := trace.Compare(
+			trace.Aggregate(r.Base.Trace.Spans()),
+			trace.Aggregate(r.Faulty.Trace.Spans()))
+		job := trace.DeltaFor(deltas, trace.KindJob)
+		stall := trace.DeltaFor(deltas, trace.KindRankStall)
+		d := 0.0
+		if job.WallA > 0 {
+			d = float64(job.Diff) / float64(job.WallA) * 100
+		}
 		// The stall is an absolute cost; scaled to a realistic job
 		// length (the paper's jobs run minutes) it vanishes.
-		at60 := float64(r.Faulty.RecoveryStall) / float64(60*time.Second) * 100
+		at60 := float64(stall.WallB) / float64(60*time.Second) * 100
 		fmt.Fprintf(&sb, "%-10s %14s %14s %12s %9.3f%% %11.5f%% %9v\n",
-			r.Workload, r.Base.VirtualTime.Round(time.Microsecond),
-			r.Faulty.VirtualTime.Round(time.Microsecond),
-			r.Faulty.RecoveryStall.Round(time.Microsecond), d, at60, r.Faulty.Completed)
+			r.Workload, job.WallA.Round(time.Microsecond),
+			job.WallB.Round(time.Microsecond),
+			stall.WallB.Round(time.Microsecond), d, at60, r.Faulty.Completed)
 	}
 	return sb.String()
 }

@@ -11,6 +11,7 @@ import (
 	"care/internal/parallel"
 	"care/internal/profiler"
 	"care/internal/safeguard"
+	"care/internal/trace"
 )
 
 // CoverageExperiment reproduces the paper's §5.2/§5.3 evaluation: inject
@@ -60,6 +61,10 @@ type CoverageExperiment struct {
 	// every field except the wall-clock recovery timings is identical
 	// for every worker count.
 	Workers int
+	// Trace additionally stamps machine-level trap deliveries into each
+	// examined attempt's trace (machine.CPU.Trace). Safeguard activation
+	// spans and checkpoint I/O spans are always recorded.
+	Trace bool
 }
 
 // RecordedInjection identifies a replayable injection.
@@ -98,11 +103,18 @@ type CoverageResult struct {
 	// trial).
 	RecoveredInjections []RecordedInjection
 	// Rollbacks counts checkpoint-rollback activations across examined
-	// trials (escalation-chain policies only).
+	// trials (escalation-chain policies only). Derived from the merged
+	// trace's safeguard counters.
 	Rollbacks int
 	// CheckpointIO is the modelled snapshot-write time accumulated by
-	// examined trials' rollback-stage checkpoint stores.
+	// examined trials' rollback-stage checkpoint stores. Derived from
+	// the merged trace's checkpoint counters.
 	CheckpointIO time.Duration
+	// Trace is the merged recorder of every examined trial (safeguard
+	// activations with phase spans, checkpoint I/O spans), merged in
+	// attempt order with Rank carrying the attempt index. Wall times in
+	// it are measured, so determinism comparisons scrub it.
+	Trace *trace.Recorder
 }
 
 // Coverage is the Figure 7 metric: recovered / examined SIGSEGV trials.
@@ -129,14 +141,17 @@ func (r *CoverageResult) MeanRecoveryTime() time.Duration {
 	return s / time.Duration(len(r.TrialRecoveryTimes))
 }
 
-// PrepFraction is the fraction of recovery time spent outside kernel
-// execution (the paper reports >98%).
+// PrepFraction is the fraction of recovery time spent preparing —
+// outside kernel execution and checkpoint rollback (the paper reports
+// >98%). It is derived from the merged trace's per-phase counters, so
+// it stays exact even when the span ring has dropped old activations.
 func (r *CoverageResult) PrepFraction() float64 {
-	var prep, total time.Duration
-	for _, e := range r.Events {
-		prep += e.Prep()
-		total += e.Total()
+	phase := func(k trace.Kind) time.Duration {
+		return time.Duration(r.Trace.Counter(safeguard.PhaseNsCounters[k]))
 	}
+	prep := phase(trace.KindDiagnose) + phase(trace.KindLoad) +
+		phase(trace.KindFetch) + phase(trace.KindPatch)
+	total := prep + phase(trace.KindKernel) + phase(trace.KindRollback)
 	if total == 0 {
 		return 0
 	}
@@ -212,14 +227,15 @@ type attempt struct {
 	// symptom was SIGSEGV).
 	counted bool
 	events  []safeguard.Event
+	// trace is the examined trial's recorder: the safeguard trace merged
+	// with the checkpoint store's (when the rollback stage ran).
+	trace *trace.Recorder
 	// recovered/clean/recTime/activations describe a recovered trial;
 	// failure is the terminating Safeguard outcome of an unrecovered one.
 	recovered   bool
 	clean       bool
 	recTime     time.Duration
 	activations int
-	rollbacks   int
-	ckptIO      time.Duration
 	failure     safeguard.Outcome
 	rec         RecordedInjection
 }
@@ -252,6 +268,11 @@ func (e *CoverageExperiment) runAttempt(i int, prof *profiler.Profile, smp *samp
 	if err != nil {
 		return attempt{}, err
 	}
+	var cpuRec *trace.Recorder
+	if e.Trace {
+		cpuRec = trace.New(1024)
+		p.CPU.Trace = cpuRec
+	}
 	armed := ArmAll(p.CPU, specs)
 	status := p.Run(hang * prof.TotalDyn)
 	var a attempt
@@ -263,25 +284,24 @@ func (e *CoverageExperiment) runAttempt(i int, prof *profiler.Profile, smp *samp
 		return a, nil // program finished before any occurrence came up
 	}
 	sg := p.SG
-	if sg.Stats.Activations == 0 {
+	events := sg.Events()
+	if len(events) == 0 {
 		return a, nil // fault did not manifest as a trap Safeguard saw
 	}
-	if sg.Stats.Events[0].Outcome == safeguard.WrongSignal {
+	if events[0].Outcome == safeguard.WrongSignal {
 		return a, nil // crashed with a non-SIGSEGV symptom
 	}
 	a.counted = true
-	a.events = sg.Stats.Events
+	a.events = events
+	a.trace = trace.New(trace.DefaultSpanCap)
+	a.trace.Merge(sg.Trace())
+	a.trace.Merge(cpuRec)
 	if p.Store != nil {
-		a.ckptIO = p.Store.ModeledWriteTime
-	}
-	for _, ev := range sg.Stats.Events {
-		if ev.Outcome == safeguard.RolledBack {
-			a.rollbacks++
-		}
+		a.trace.Merge(p.Store.Trace())
 	}
 	if status != machine.StatusExited {
 		// Unrecovered: attribute to the last activation's outcome.
-		a.failure = sg.Stats.Events[len(sg.Stats.Events)-1].Outcome
+		a.failure = events[len(events)-1].Outcome
 		return a, nil
 	}
 	a.recovered = true
@@ -291,7 +311,7 @@ func (e *CoverageExperiment) runAttempt(i int, prof *profiler.Profile, smp *samp
 			a.rec = RecordedInjection{Trigger: specs[0].Trigger, Bits: specs[0].Bits}
 		}
 	}
-	for _, ev := range sg.Stats.Events {
+	for _, ev := range events {
 		switch ev.Outcome {
 		case safeguard.Recovered, safeguard.RecoveredInduction, safeguard.RolledBack:
 			a.recTime += ev.Total()
@@ -302,6 +322,9 @@ func (e *CoverageExperiment) runAttempt(i int, prof *profiler.Profile, smp *samp
 }
 
 // merge folds one attempt into the result, mirroring the serial loop.
+// The attempt's trace merges in attempt order with Rank carrying the
+// attempt index; Rollbacks and CheckpointIO re-derive from the merged
+// counters rather than being tallied separately.
 func (res *CoverageResult) merge(a *attempt, record bool) {
 	res.Attempts++
 	if !a.counted {
@@ -309,8 +332,9 @@ func (res *CoverageResult) merge(a *attempt, record bool) {
 	}
 	res.SigsegvTrials++
 	res.Events = append(res.Events, a.events...)
-	res.Rollbacks += a.rollbacks
-	res.CheckpointIO += a.ckptIO
+	res.Trace.MergeAs(a.trace, int32(res.Attempts-1))
+	res.Rollbacks = int(res.Trace.Counter(safeguard.CounterRolledBack))
+	res.CheckpointIO = time.Duration(res.Trace.Counter(checkpoint.CounterWriteNs))
 	if !a.recovered {
 		res.FailureOutcomes[a.failure]++
 		return
@@ -367,6 +391,7 @@ func (e *CoverageExperiment) runProfiled(prof *profiler.Profile) (*CoverageResul
 		OptLevel:        e.App.Prog.OptLevel,
 		Model:           e.Model,
 		FailureOutcomes: map[safeguard.Outcome]int{},
+		Trace:           trace.New(trace.DefaultSpanCap),
 	}
 	workers := parallel.Workers(e.Workers, maxAttempts)
 	// Chunked speculation: each wave runs a few attempts per worker, and

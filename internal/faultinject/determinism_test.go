@@ -7,7 +7,49 @@ import (
 
 	"care/internal/profiler"
 	"care/internal/safeguard"
+	"care/internal/trace"
 )
+
+// traceSkeleton extracts the deterministic portion of a recorder: its
+// spans with the wall-clock durations zeroed, plus both counter maps.
+// Coverage-path traces carry measured Wall times — both in Span.Wall and
+// in the "*-ns" duration counters — which are the only fields allowed to
+// differ across worker counts.
+func traceSkeleton(r *trace.Recorder) (spans []trace.Span, adds, maxes map[string]int64) {
+	spans = r.Spans()
+	for i := range spans {
+		spans[i].Wall = 0
+	}
+	adds = make(map[string]int64)
+	for _, n := range r.CounterNames() {
+		if strings.HasSuffix(n, "-ns") {
+			continue
+		}
+		adds[n] = r.Counter(n)
+	}
+	maxes = make(map[string]int64)
+	for _, n := range r.MaxNames() {
+		maxes[n] = r.MaxCounter(n)
+	}
+	return spans, adds, maxes
+}
+
+// requireTraceSkeletonEqual fails the test unless two recorders agree on
+// every deterministic field (span skeletons and counters).
+func requireTraceSkeletonEqual(t *testing.T, a, b *trace.Recorder) {
+	t.Helper()
+	aSp, aAdd, aMax := traceSkeleton(a)
+	bSp, bAdd, bMax := traceSkeleton(b)
+	if !reflect.DeepEqual(aSp, bSp) {
+		t.Fatalf("trace span skeletons differ:\n%+v\nvs\n%+v", aSp, bSp)
+	}
+	if !reflect.DeepEqual(aAdd, bAdd) {
+		t.Fatalf("trace counters differ:\n%v\nvs\n%v", aAdd, bAdd)
+	}
+	if !reflect.DeepEqual(aMax, bMax) {
+		t.Fatalf("trace max-counters differ:\n%v\nvs\n%v", aMax, bMax)
+	}
+}
 
 // TestCampaignWorkerDeterminism is the contract of the parallel
 // campaign engine: the same Seed produces a bit-identical
@@ -30,6 +72,7 @@ func TestCampaignWorkerDeterminism(t *testing.T) {
 				res, err := (&Campaign{
 					App: bin, N: 24, Model: tc.model, Seed: 11,
 					TrackPropagation: tc.track, Workers: workers,
+					Trace: true,
 				}).Run()
 				if err != nil {
 					t.Fatal(err)
@@ -52,7 +95,7 @@ func TestMultiFaultCampaignWorkerDeterminism(t *testing.T) {
 	run := func(workers int) *CampaignResult {
 		res, err := (&Campaign{
 			App: bin, N: 24, Model: SingleBit, Seed: 13,
-			FaultsPerTrial: 3, Workers: workers,
+			FaultsPerTrial: 3, Workers: workers, Trace: true,
 		}).Run()
 		if err != nil {
 			t.Fatal(err)
@@ -107,11 +150,13 @@ func TestMultiFaultCoverageRollbackDeterminism(t *testing.T) {
 		c := *r
 		c.Events = nil
 		c.TrialRecoveryTimes = nil
+		c.Trace = nil // compared separately, with Wall times scrubbed
 		return c
 	}
 	if a, b := scrub(serial), scrub(par); !reflect.DeepEqual(a, b) {
 		t.Fatalf("logical fields differ between workers=1 and workers=8:\n%+v\nvs\n%+v", a, b)
 	}
+	requireTraceSkeletonEqual(t, serial.Trace, par.Trace)
 	if len(serial.Events) != len(par.Events) {
 		t.Fatalf("event count differs: %d vs %d", len(serial.Events), len(par.Events))
 	}
@@ -168,11 +213,13 @@ func TestCoverageWorkerDeterminism(t *testing.T) {
 		c := *r
 		c.Events = nil
 		c.TrialRecoveryTimes = nil
+		c.Trace = nil // compared separately, with Wall times scrubbed
 		return c
 	}
 	if a, b := scrub(serial), scrub(par); !reflect.DeepEqual(a, b) {
 		t.Fatalf("logical fields differ between workers=1 and workers=8:\n%+v\nvs\n%+v", a, b)
 	}
+	requireTraceSkeletonEqual(t, serial.Trace, par.Trace)
 	if len(serial.Events) != len(par.Events) {
 		t.Fatalf("event count differs: %d vs %d", len(serial.Events), len(par.Events))
 	}

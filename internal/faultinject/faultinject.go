@@ -22,6 +22,7 @@ import (
 	"care/internal/parallel"
 	"care/internal/profiler"
 	"care/internal/taint"
+	"care/internal/trace"
 )
 
 // Model selects the bit-flip fault model.
@@ -59,9 +60,40 @@ const (
 	Hang
 )
 
-// String names the outcome.
+var outcomeNames = [...]string{"Benign", "SoftFailure", "SDC", "Hang"}
+
+// String names the outcome; out-of-range values render as "unknown(N)"
+// instead of panicking.
 func (o Outcome) String() string {
-	return [...]string{"Benign", "SoftFailure", "SDC", "Hang"}[o]
+	if o >= 0 && int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("unknown(%d)", int(o))
+}
+
+// allOutcomes enumerates the outcome classes (counter derivation).
+var allOutcomes = [...]Outcome{Benign, SoftFailure, SDC, Hang}
+
+// allSignals enumerates the crash-symptom classes.
+var allSignals = [...]machine.Signal{
+	machine.SigSEGV, machine.SigBUS, machine.SigFPE,
+	machine.SigABRT, machine.SigILL,
+}
+
+// allDests enumerates the destination-operand classes.
+var allDests = [...]machine.DestKind{
+	machine.DestIntReg, machine.DestFloatReg, machine.DestMemory,
+}
+
+// Trace counter names charged per campaign trial. The merged campaign
+// trace carries one of each per observation; the CampaignResult maps
+// are derived from them.
+func outcomeCounter(o Outcome) string { return "campaign.outcome." + o.String() }
+func symptomCounter(s machine.Signal) string {
+	return "campaign.symptom." + s.String()
+}
+func destCounter(k machine.DestKind, o Outcome) string {
+	return "campaign.dest." + DestName(k) + "." + o.String()
 }
 
 // FaultPoint records one armed fault of a multi-fault trial.
@@ -293,13 +325,22 @@ type Campaign struct {
 	// from (Seed, trial index), so the CampaignResult is identical for
 	// every worker count.
 	Workers int
+	// Trace additionally wires each trial CPU's trap stamps into the
+	// per-trial trace (machine.CPU.Trace). The trial counters and the
+	// per-trial summary span are always recorded; this only adds the
+	// machine-level trap detail, at a small per-trap cost. The merged
+	// trace stays bit-identical across worker counts either way.
+	Trace bool
 }
 
 // CampaignResult aggregates a campaign (Tables 2-4 rows).
 type CampaignResult struct {
-	Workload   string
-	Model      Model
-	N          int
+	Workload string
+	Model    Model
+	N        int
+	// Outcomes, Symptoms, Latencies and ByDest are derived from the
+	// merged trace (counters and per-trial spans), not tallied
+	// separately; see runProfiled.
 	Outcomes   map[Outcome]int
 	Symptoms   map[machine.Signal]int
 	Latencies  []uint64
@@ -309,6 +350,13 @@ type CampaignResult struct {
 	// the paper's §2.1.2 observation that FPU faults skew to SDCs while
 	// ALU (integer/address) faults skew to soft failures.
 	ByDest map[machine.DestKind]map[Outcome]int
+	// Trace is the per-trial recorders merged in trial-index order, with
+	// Rank carrying the trial index: one KindTrial span per trial (plus
+	// KindTrap stamps when Campaign.Trace is set) and the outcome /
+	// symptom / destination counters. Every field in it is derived from
+	// the deterministic virtual clock, so it is bit-identical for every
+	// worker count.
+	Trace *trace.Recorder
 }
 
 // destName names a destination kind for reports.
@@ -351,6 +399,10 @@ type trial struct {
 	// fired reports whether the armed flip actually landed; latency and
 	// symptom statistics are only meaningful for fired trials.
 	fired bool
+	// rec is the trial's recorder: outcome/symptom/destination counters
+	// plus a KindTrial summary span (and trap stamps when Campaign.Trace
+	// is set). Merged into the campaign trace in trial-index order.
+	rec *trace.Recorder
 }
 
 // runTrial executes the i'th injection of the campaign against a fresh
@@ -370,6 +422,10 @@ func (c *Campaign) runTrial(i int, prof *profiler.Profile, hang uint64) (trial, 
 	p, err := core.NewProcess(core.ProcessConfig{App: c.App, Libs: c.Libs})
 	if err != nil {
 		return trial{}, err
+	}
+	rec := trace.New(64)
+	if c.Trace {
+		p.CPU.Trace = rec
 	}
 	armed := ArmAll(p.CPU, specs)
 	var tracker *taint.Tracker
@@ -429,7 +485,33 @@ func (c *Campaign) runTrial(i int, prof *profiler.Profile, hang uint64) (trial, 
 	default:
 		return trial{}, fmt.Errorf("faultinject: unexpected run status %v", status)
 	}
-	return trial{inj: inj, fired: last != nil}, nil
+	fired := last != nil
+	// Charge the trial's observations to its trace. All values are on
+	// the deterministic virtual clock (no wall time), so merged campaign
+	// traces compare bit-identically across worker counts.
+	rec.Add(outcomeCounter(inj.Outcome), 1)
+	if inj.Outcome == SoftFailure && fired {
+		rec.Add(symptomCounter(inj.Signal), 1)
+	}
+	if fired {
+		rec.Add(destCounter(inj.Dest, inj.Outcome), 1)
+	}
+	var startDyn uint64
+	var nFired int64
+	for _, st := range armed {
+		if st.Fired {
+			nFired++
+		}
+	}
+	if last != nil {
+		startDyn = last.Dyn
+	}
+	rec.Emit(trace.Span{
+		Kind: trace.KindTrial, Parent: trace.NoParent,
+		StartDyn: startDyn, EndDyn: p.CPU.Dyn,
+		Outcome: inj.Outcome.String(), Val: nFired,
+	})
+	return trial{inj: inj, fired: fired, rec: rec}, nil
 }
 
 // Run executes the campaign: N independent trials on a pool of Workers
@@ -469,6 +551,12 @@ func (c *Campaign) runProfiled(prof *profiler.Profile) (*CampaignResult, error) 
 	if err != nil {
 		return nil, err
 	}
+	// The merged trace must retain every trial's summary span (plus trap
+	// stamps when Trace is set) for the latency derivation below.
+	capSpans := 4 * c.N
+	if capSpans < trace.DefaultSpanCap {
+		capSpans = trace.DefaultSpanCap
+	}
 	res := &CampaignResult{
 		Workload:  c.App.Name,
 		Model:     c.Model,
@@ -477,25 +565,44 @@ func (c *Campaign) runProfiled(prof *profiler.Profile) (*CampaignResult, error) 
 		Symptoms:  map[machine.Signal]int{},
 		GoldenDyn: prof.TotalDyn,
 		ByDest:    map[machine.DestKind]map[Outcome]int{},
+		Trace:     trace.New(capSpans),
 	}
 	for i := range trials {
-		t := &trials[i]
-		res.Outcomes[t.inj.Outcome]++
-		if t.inj.Outcome == SoftFailure && t.fired {
-			// Only record observed manifestations: an unfired trap has
-			// neither a measured latency nor an attributable symptom, and
-			// counting its zero latency would inflate the Table 4
-			// "<=10 instructions" bucket.
-			res.Latencies = append(res.Latencies, t.inj.Latency)
-			res.Symptoms[t.inj.Signal]++
+		res.Trace.MergeAs(trials[i].rec, int32(i))
+		res.Injections = append(res.Injections, trials[i].inj)
+	}
+	// Derive the report maps from the merged counters. Only observed
+	// classes get a key, mirroring the map-increment behaviour the
+	// tables (and their tests) expect. Symptoms and per-destination
+	// splits count fired trials only: an unfired trap has neither a
+	// measured latency nor an attributable symptom.
+	for _, o := range allOutcomes {
+		if n := res.Trace.Counter(outcomeCounter(o)); n > 0 {
+			res.Outcomes[o] = int(n)
 		}
-		if t.fired {
-			if res.ByDest[t.inj.Dest] == nil {
-				res.ByDest[t.inj.Dest] = map[Outcome]int{}
+	}
+	for _, s := range allSignals {
+		if n := res.Trace.Counter(symptomCounter(s)); n > 0 {
+			res.Symptoms[s] = int(n)
+		}
+	}
+	for _, k := range allDests {
+		for _, o := range allOutcomes {
+			if n := res.Trace.Counter(destCounter(k, o)); n > 0 {
+				if res.ByDest[k] == nil {
+					res.ByDest[k] = map[Outcome]int{}
+				}
+				res.ByDest[k][o] = int(n)
 			}
-			res.ByDest[t.inj.Dest][t.inj.Outcome]++
 		}
-		res.Injections = append(res.Injections, t.inj)
+	}
+	// Manifestation latencies come from the fired soft-failure trial
+	// spans, in merge (= trial) order: the span covers last-fired-fault
+	// to crash on the virtual clock (Table 4's buckets).
+	for _, s := range res.Trace.Spans() {
+		if s.Kind == trace.KindTrial && s.Val > 0 && s.Outcome == SoftFailure.String() {
+			res.Latencies = append(res.Latencies, s.DynSpan())
+		}
 	}
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"care/internal/hostenv"
+	"care/internal/trace"
 )
 
 // RunStatus reports why the CPU stopped.
@@ -26,9 +27,15 @@ const (
 	StatusLimit
 )
 
-// String renders the status.
+var runStatusNames = [...]string{"running", "exited", "trapped", "blocked", "limit"}
+
+// String renders the status; out-of-range values render as
+// "unknown(N)" instead of panicking.
 func (s RunStatus) String() string {
-	return [...]string{"running", "exited", "trapped", "blocked", "limit"}[s]
+	if int(s) < len(runStatusNames) {
+		return runStatusNames[s]
+	}
+	return fmt.Sprintf("unknown(%d)", uint8(s))
 }
 
 // Trap describes a fault delivered to the process.
@@ -116,6 +123,11 @@ type CPU struct {
 	Status RunStatus
 	// PendingTrap is the fatal trap after StatusTrapped.
 	PendingTrap *Trap
+
+	// Trace, when non-nil, receives a KindTrap stamp for every trap the
+	// CPU delivers (before any handler runs). It is nil by default so
+	// the step path pays nothing when tracing is off.
+	Trace *trace.Recorder
 
 	hostArgBuf [8]Word
 }
@@ -224,6 +236,13 @@ func (c *CPU) Start(im *Image, fn string) error {
 }
 
 func (c *CPU) trap(t *Trap) {
+	if c.Trace != nil {
+		c.Trace.Emit(trace.Span{
+			Kind: trace.KindTrap, Parent: trace.NoParent,
+			StartDyn: c.Dyn, EndDyn: c.Dyn,
+			PC: t.PC, Addr: t.Addr, Outcome: t.Sig.String(),
+		})
+	}
 	if c.Handler != nil {
 		if c.Handler(c, t) == TrapResume {
 			return // retry same PC

@@ -76,9 +76,15 @@ const (
 	CondGE
 )
 
-// String returns the predicate mnemonic.
+var condNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge"}
+
+// String returns the predicate mnemonic; out-of-range values render as
+// "unknown(N)" instead of panicking.
 func (c Cond) String() string {
-	return [...]string{"eq", "ne", "lt", "le", "gt", "ge"}[c]
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("unknown(%d)", uint8(c))
 }
 
 // MOp is a machine opcode.

@@ -1,0 +1,141 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"care/internal/trace"
+)
+
+func TestTrapEmitsTraceSpan(t *testing.T) {
+	cpu, _ := asm(t, []MInstr{
+		{Op: MMovImm, Rd: R1, Imm: 42},
+		{Op: MLoad, Rd: R2, Base: R1, Index: NoReg}, // load from unmapped 42
+		{Op: MHalt},
+	})
+	cpu.Trace = trace.New(16)
+	if st := cpu.Run(10); st != StatusTrapped {
+		t.Fatalf("status %v", st)
+	}
+	spans := cpu.Trace.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d trap spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Kind != trace.KindTrap || s.Outcome != "SIGSEGV" {
+		t.Fatalf("trap span %+v", s)
+	}
+	if s.Addr != 42 || s.PC != cpu.PendingTrap.PC {
+		t.Fatalf("trap span location %+v vs trap %+v", s, cpu.PendingTrap)
+	}
+	if s.StartDyn != cpu.Dyn || s.EndDyn != cpu.Dyn {
+		t.Fatalf("trap stamp not on the virtual clock: %+v dyn=%d", s, cpu.Dyn)
+	}
+}
+
+func TestTrapSpanPrecedesHandler(t *testing.T) {
+	// The stamp is emitted before the handler runs, so even recovered
+	// traps leave a trace record.
+	cpu, _ := asm(t, []MInstr{
+		{Op: MMovImm, Rd: R1, Imm: 42},
+		{Op: MLoad, Rd: R2, Base: R1, Index: NoReg},
+		{Op: MHalt, Ra: R2},
+	})
+	cpu.Trace = trace.New(16)
+	cpu.Handler = func(c *CPU, tr *Trap) TrapAction {
+		c.PC += 8 // skip the faulting load
+		c.R[R2] = 7
+		return TrapResume
+	}
+	if st := cpu.Run(10); st != StatusExited || cpu.ExitCode != 7 {
+		t.Fatalf("status %v exit %d", st, cpu.ExitCode)
+	}
+	if cpu.Trace.Len() != 1 {
+		t.Fatalf("recovered trap left %d spans, want 1", cpu.Trace.Len())
+	}
+}
+
+func TestStepWithNilTraceDoesNotAllocate(t *testing.T) {
+	cpu, _ := asm(t, []MInstr{
+		{Op: MMovImm, Rd: R1, Imm: 1},
+		{Op: MAdd, Rd: R1, Ra: R1, UseImm: true, Imm: 1},
+		{Op: MJmp, Target: AppCodeBase + 8},
+	})
+	cpu.Run(64) // warm the image cache
+	cpu.Status = StatusRunning
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			cpu.Step()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("step path allocates %.2f per 64 steps with tracing disabled", allocs)
+	}
+}
+
+func TestRunStatusStringHardened(t *testing.T) {
+	if StatusTrapped.String() != "trapped" {
+		t.Fatalf("StatusTrapped renders as %q", StatusTrapped)
+	}
+	if got := RunStatus(99).String(); got != "unknown(99)" {
+		t.Fatalf("out-of-range status renders as %q", got)
+	}
+}
+
+func TestCondStringHardened(t *testing.T) {
+	if CondLE.String() != "le" {
+		t.Fatalf("CondLE renders as %q", CondLE)
+	}
+	if got := Cond(42).String(); !strings.HasPrefix(got, "unknown(") {
+		t.Fatalf("out-of-range cond renders as %q", got)
+	}
+}
+
+func BenchmarkStepTraceOff(b *testing.B) {
+	cpu := benchLoopCPU(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu.Step()
+	}
+}
+
+func BenchmarkStepTraceOn(b *testing.B) {
+	cpu := benchLoopCPU(b)
+	cpu.Trace = trace.New(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu.Step()
+	}
+}
+
+func benchLoopCPU(b *testing.B) *CPU {
+	b.Helper()
+	p := &Program{
+		Name:     "bench-loop",
+		CodeBase: AppCodeBase,
+		Code: []MInstr{
+			{Op: MMovImm, Rd: R1, Imm: 0},
+			{Op: MAdd, Rd: R1, Ra: R1, UseImm: true, Imm: 1},
+			{Op: MJmp, Target: AppCodeBase + 8},
+		},
+		Funcs: []FuncSym{{Name: "_start", Entry: 0}},
+	}
+	mem := NewMemory()
+	img, err := Load(mem, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu := NewCPU(mem, nil)
+	cpu.Attach(img)
+	if err := cpu.InitStack(); err != nil {
+		b.Fatal(err)
+	}
+	if err := cpu.Start(img, "_start"); err != nil {
+		b.Fatal(err)
+	}
+	cpu.Run(16)
+	cpu.Status = StatusRunning
+	return cpu
+}

@@ -51,7 +51,7 @@ func TestDifferentialFuzz(t *testing.T) {
 							seed, opt, withArmor, i, got[i], want[i])
 					}
 				}
-				if withArmor && p.SG.Stats.Activations != 0 {
+				if withArmor && p.SG.Stats().Activations != 0 {
 					t.Fatalf("seed %d: safeguard activated on a fault-free run", seed)
 				}
 			}

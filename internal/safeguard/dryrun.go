@@ -5,6 +5,7 @@ import (
 
 	"care/internal/machine"
 	"care/internal/rtable"
+	"care/internal/trace"
 )
 
 // ComputeAddress runs the recovery kernel registered for the
@@ -51,6 +52,7 @@ func NewForVerification(units []*Unit, cfg Config) *Safeguard {
 	sg := &Safeguard{
 		cfg:          cfg,
 		units:        map[*machine.Image]*Unit{},
+		rec:          trace.New(cfg.TraceCap),
 		cachedTables: map[*Unit]*rtable.Table{},
 		cachedLibs:   map[*Unit]*machine.Program{},
 	}

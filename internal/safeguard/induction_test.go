@@ -167,16 +167,16 @@ func TestInductionRecoveryExtension(t *testing.T) {
 		t.Fatal("corruption never fired (baseline)")
 	}
 	if st1 != machine.StatusTrapped {
-		t.Fatalf("baseline: expected death, got %v (events %+v)", st1, p1.SG.Stats.Events)
+		t.Fatalf("baseline: expected death, got %v (events %+v)", st1, p1.SG.Stats().Events)
 	}
 	sawScope := false
-	for _, ev := range p1.SG.Stats.Events {
+	for _, ev := range p1.SG.Stats().Events {
 		if ev.Outcome == safeguard.OutOfScope {
 			sawScope = true
 		}
 	}
 	if !sawScope {
-		t.Fatalf("baseline died for the wrong reason: %+v", p1.SG.Stats.Events)
+		t.Fatalf("baseline died for the wrong reason: %+v", p1.SG.Stats().Events)
 	}
 
 	// With the extension: ix is reconstructed from i, the access is
@@ -195,16 +195,16 @@ func TestInductionRecoveryExtension(t *testing.T) {
 		t.Fatal("corruption never fired (extension)")
 	}
 	if st2 != machine.StatusExited {
-		t.Fatalf("extension: %v (events %+v)", st2, p2.SG.Stats.Events)
+		t.Fatalf("extension: %v (events %+v)", st2, p2.SG.Stats().Events)
 	}
 	sawInduction := false
-	for _, ev := range p2.SG.Stats.Events {
+	for _, ev := range p2.SG.Stats().Events {
 		if ev.Outcome == safeguard.RecoveredInduction {
 			sawInduction = true
 		}
 	}
 	if !sawInduction {
-		t.Fatalf("no induction recovery recorded: %+v", p2.SG.Stats.Events)
+		t.Fatalf("no induction recovery recorded: %+v", p2.SG.Stats().Events)
 	}
 	got := p2.Results()
 	if len(got) != len(golden) || got[0] != golden[0] {

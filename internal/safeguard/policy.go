@@ -95,7 +95,7 @@ func (sg *Safeguard) noteTrap(c *machine.CPU, t *machine.Trap) (skip bool, why O
 		}
 		if len(st.recent) == pol.StormTraps &&
 			st.recent[len(st.recent)-1]-st.recent[0] <= pol.stormWindow() {
-			sg.Stats.Storms++
+			sg.rec.Add(CounterStorms, 1)
 			return true, RecoveryStorm
 		}
 	}
@@ -111,12 +111,11 @@ func (sg *Safeguard) noteTrap(c *machine.CPU, t *machine.Trap) (skip bool, why O
 // overwrites it with RolledBack.
 func (sg *Safeguard) escalate(c *machine.CPU, t *machine.Trap, ev Event) machine.TrapAction {
 	pol := sg.cfg.Policy
-	if pol.Rollback && sg.store != nil && sg.rollbacks < pol.maxRollbacks() {
+	if pol.Rollback && sg.store != nil && sg.Rollbacks() < pol.maxRollbacks() {
 		if snap := sg.store.Latest(); snap != nil {
 			t0 := time.Now()
 			rd, err := sg.store.Restore(c, snap)
 			if err == nil {
-				sg.rollbacks++
 				// The restored memory predates this handler's transient
 				// mappings; re-probe the scratch stack and re-allocate
 				// the bit bucket on next use.
@@ -134,17 +133,17 @@ func (sg *Safeguard) escalate(c *machine.CPU, t *machine.Trap, ev Event) machine
 				// rollback would pay.
 				ev.Rollback = time.Since(t0) + rd + sg.store.Model.RequeueDelay
 				ev.Outcome = RolledBack
-				sg.record(ev)
+				sg.record(c.Dyn, ev)
 				sg.release()
 				return machine.TrapResume
 			}
 		}
 	}
-	sg.record(ev)
+	sg.record(c.Dyn, ev)
 	sg.release()
 	return machine.TrapKill
 }
 
 // Rollbacks reports how many checkpoint rollbacks this process has
-// performed.
-func (sg *Safeguard) Rollbacks() int { return sg.rollbacks }
+// performed (counter-backed, so it is exact past the span ring).
+func (sg *Safeguard) Rollbacks() int { return int(sg.rec.Counter(CounterRolledBack)) }

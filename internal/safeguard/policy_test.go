@@ -91,14 +91,14 @@ func TestHandleBusClassification(t *testing.T) {
 	if st == machine.StatusExited {
 		t.Fatal("unhandled SIGBUS still exited cleanly")
 	}
-	if n := len(p.SG.Stats.Events); n != 1 {
+	if n := len(p.SG.Stats().Events); n != 1 {
 		t.Fatalf("%d events for one SIGBUS, want 1", n)
 	}
-	if got := p.SG.Stats.Events[0].Outcome; got != safeguard.WrongSignal {
+	if got := p.SG.Stats().Events[0].Outcome; got != safeguard.WrongSignal {
 		t.Fatalf("outcome %s, want %s", got, safeguard.WrongSignal)
 	}
-	if p.SG.Stats.Recovered != 0 || p.SG.Stats.Unrecoverable != 1 {
-		t.Fatalf("stats %+v, want 0 recovered / 1 unrecoverable", p.SG.Stats)
+	if p.SG.Stats().Recovered != 0 || p.SG.Stats().Unrecoverable != 1 {
+		t.Fatalf("stats %+v, want 0 recovered / 1 unrecoverable", p.SG.Stats())
 	}
 
 	// HandleBus: same fault, full recovery.
@@ -106,10 +106,10 @@ func TestHandleBusClassification(t *testing.T) {
 	if st != machine.StatusExited {
 		t.Fatalf("HandleBus run ended %v (%v)", st, p.CPU.PendingTrap)
 	}
-	if p.SG.Stats.Recovered != 1 {
-		t.Fatalf("stats %+v, want 1 recovered", p.SG.Stats)
+	if p.SG.Stats().Recovered != 1 {
+		t.Fatalf("stats %+v, want 1 recovered", p.SG.Stats())
 	}
-	if got := p.SG.Stats.Events[0].Outcome; got != safeguard.Recovered {
+	if got := p.SG.Stats().Events[0].Outcome; got != safeguard.Recovered {
 		t.Fatalf("outcome %s, want %s", got, safeguard.Recovered)
 	}
 	res := p.Results()
@@ -155,20 +155,20 @@ func TestHeuristicBitBucket(t *testing.T) {
 	if st != machine.StatusExited {
 		t.Fatalf("heuristic run ended %v (%v)", st, p.CPU.PendingTrap)
 	}
-	if p.SG.Stats.Activations == 0 {
+	if p.SG.Stats().Activations == 0 {
 		t.Fatal("fault never trapped")
 	}
 	patched := 0
-	for _, ev := range p.SG.Stats.Events {
+	for _, ev := range p.SG.Stats().Events {
 		if ev.Outcome != safeguard.HeuristicPatched {
-			t.Fatalf("outcome %s, want %s (events %+v)", ev.Outcome, safeguard.HeuristicPatched, p.SG.Stats.Events)
+			t.Fatalf("outcome %s, want %s (events %+v)", ev.Outcome, safeguard.HeuristicPatched, p.SG.Stats().Events)
 		}
 		patched++
 	}
 	// Heuristic patches keep the process alive but are not proper
 	// recoveries: they land in the Unrecoverable counter.
-	if p.SG.Stats.Recovered != 0 || p.SG.Stats.Unrecoverable != patched {
-		t.Fatalf("stats %+v, want 0 recovered / %d unrecoverable", p.SG.Stats, patched)
+	if p.SG.Stats().Recovered != 0 || p.SG.Stats().Unrecoverable != patched {
+		t.Fatalf("stats %+v, want 0 recovered / %d unrecoverable", p.SG.Stats(), patched)
 	}
 	if len(p.Results()) != len(golden) {
 		t.Fatalf("%d results, want %d (bit bucket did not keep the run alive)", len(p.Results()), len(golden))
@@ -207,10 +207,10 @@ func TestRollbackStageRestoresGolden(t *testing.T) {
 	if st != machine.StatusExited {
 		t.Fatalf("rollback run ended %v (%v)", st, p.CPU.PendingTrap)
 	}
-	if p.SG.Rollbacks() != 1 || p.SG.Stats.RolledBack != 1 {
-		t.Fatalf("rollbacks=%d stats=%+v, want exactly one rollback", p.SG.Rollbacks(), p.SG.Stats)
+	if p.SG.Rollbacks() != 1 || p.SG.Stats().RolledBack != 1 {
+		t.Fatalf("rollbacks=%d stats=%+v, want exactly one rollback", p.SG.Rollbacks(), p.SG.Stats())
 	}
-	ev := p.SG.Stats.Events[len(p.SG.Stats.Events)-1]
+	ev := p.SG.Stats().Events[len(p.SG.Stats().Events)-1]
 	if ev.Outcome != safeguard.RolledBack {
 		t.Fatalf("outcome %s, want %s", ev.Outcome, safeguard.RolledBack)
 	}
@@ -262,9 +262,9 @@ func TestRollbackBudgetStopsLoop(t *testing.T) {
 	if p.SG.Rollbacks() != 2 {
 		t.Fatalf("%d rollbacks, want exactly MaxRollbacks=2", p.SG.Rollbacks())
 	}
-	last := p.SG.Stats.Events[len(p.SG.Stats.Events)-1]
+	last := p.SG.Stats().Events[len(p.SG.Stats().Events)-1]
 	if last.Outcome == safeguard.RolledBack {
-		t.Fatalf("last event is still a rollback: %+v", p.SG.Stats.Events)
+		t.Fatalf("last event is still a rollback: %+v", p.SG.Stats().Events)
 	}
 }
 
@@ -294,7 +294,7 @@ func TestRetryBudgetEscalates(t *testing.T) {
 	if st == machine.StatusExited {
 		t.Fatal("persistent corruption exited cleanly")
 	}
-	evs := p.SG.Stats.Events
+	evs := p.SG.Stats().Events
 	if len(evs) != 3 {
 		t.Fatalf("%d events, want 2 recoveries + 1 escalation: %+v", len(evs), evs)
 	}
@@ -334,10 +334,10 @@ func TestStormDetectorTrips(t *testing.T) {
 	if st == machine.StatusExited {
 		t.Fatal("storming run exited cleanly")
 	}
-	if p.SG.Stats.Storms != 1 {
-		t.Fatalf("storms=%d, want 1 (events %+v)", p.SG.Stats.Storms, p.SG.Stats.Events)
+	if p.SG.Stats().Storms != 1 {
+		t.Fatalf("storms=%d, want 1 (events %+v)", p.SG.Stats().Storms, p.SG.Stats().Events)
 	}
-	last := p.SG.Stats.Events[len(p.SG.Stats.Events)-1]
+	last := p.SG.Stats().Events[len(p.SG.Stats().Events)-1]
 	if last.Outcome != safeguard.RecoveryStorm {
 		t.Fatalf("outcome %s, want %s", last.Outcome, safeguard.RecoveryStorm)
 	}

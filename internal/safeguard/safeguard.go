@@ -18,6 +18,7 @@ import (
 	"care/internal/hostenv"
 	"care/internal/machine"
 	"care/internal/rtable"
+	"care/internal/trace"
 )
 
 // Unit is the recovery data shipped alongside one protected image: the
@@ -95,10 +96,15 @@ func (e Event) Total() time.Duration {
 	return e.Diagnose + e.Load + e.Fetch + e.Kernel + e.Patch + e.Rollback
 }
 
-// Prep returns everything but kernel execution.
-func (e Event) Prep() time.Duration { return e.Total() - e.Kernel }
+// Prep returns the preparation share of the event: everything but
+// kernel execution and checkpoint rollback. (Rollback is restoration
+// work, not preparation — including it would skew the Figure 9 ratio
+// for escalation-chain policies.)
+func (e Event) Prep() time.Duration { return e.Total() - e.Kernel - e.Rollback }
 
-// Stats aggregates Safeguard activity.
+// Stats aggregates Safeguard activity. It is derived on demand from the
+// safeguard's trace (see Safeguard.Stats), not maintained as a separate
+// ledger.
 type Stats struct {
 	Activations   int
 	Recovered     int
@@ -141,27 +147,65 @@ type Config struct {
 	InductionRecovery bool
 	// MaxKernelSteps bounds recovery-kernel execution (0 = 1<<20).
 	MaxKernelSteps uint64
+	// TraceCap is the span capacity of the safeguard's trace recorder
+	// (0 = trace.DefaultSpanCap). Counters stay exact past the cap; only
+	// per-span detail is dropped oldest-first.
+	TraceCap int
 	// Policy configures the escalating recovery chain (retry budgets,
 	// storm detection, checkpoint rollback). The zero value is the
 	// paper's one-shot behaviour.
 	Policy Policy
 }
 
-// Safeguard is the runtime attached to one process.
+// Trace counter names charged by the safeguard.
+const (
+	CounterActivations   = "safeguard.activations"
+	CounterRecovered     = "safeguard.recovered"
+	CounterUnrecoverable = "safeguard.unrecoverable"
+	CounterRolledBack    = "safeguard.rolled-back"
+	CounterStorms        = "safeguard.storms"
+	CounterIdleFootprint = "safeguard.idle-footprint-bytes"
+	// CounterPeakRecovery is a high-water mark (Recorder.MaxCounter).
+	CounterPeakRecovery = "safeguard.peak-recovery-bytes"
+
+	// Per-phase wall-time totals in nanoseconds. These duplicate the
+	// phase spans in counter form so the Figure 9 ratio stays exact even
+	// when a long run overflows the span ring.
+	CounterDiagnoseNs = "safeguard.diagnose-ns"
+	CounterLoadNs     = "safeguard.load-ns"
+	CounterFetchNs    = "safeguard.fetch-ns"
+	CounterKernelNs   = "safeguard.kernel-ns"
+	CounterPatchNs    = "safeguard.patch-ns"
+	CounterRollbackNs = "safeguard.rollback-ns"
+)
+
+// PhaseNsCounters maps each activation-phase span kind to the additive
+// counter holding its total wall time in nanoseconds.
+var PhaseNsCounters = map[trace.Kind]string{
+	trace.KindDiagnose: CounterDiagnoseNs,
+	trace.KindLoad:     CounterLoadNs,
+	trace.KindFetch:    CounterFetchNs,
+	trace.KindKernel:   CounterKernelNs,
+	trace.KindPatch:    CounterPatchNs,
+	trace.KindRollback: CounterRollbackNs,
+}
+
+// Safeguard is the runtime attached to one process. All accounting —
+// activation events with their phase timings, outcome tallies, the
+// footprint figures — lives on its trace recorder; Stats and Events are
+// views derived from it.
 type Safeguard struct {
 	cfg   Config
 	units map[*machine.Image]*Unit
-	// Stats accumulates activation records.
-	Stats Stats
+	rec   *trace.Recorder
 
 	cachedTables map[*Unit]*rtable.Table
 	cachedLibs   map[*Unit]*machine.Program
 	bitBucket    machine.Word
 
-	// store backs the rollback stage (UseCheckpoints); rollbacks counts
-	// restores performed against Policy.MaxRollbacks.
-	store     *checkpoint.Store
-	rollbacks int
+	// store backs the rollback stage (UseCheckpoints); restores are
+	// counted on the trace against Policy.MaxRollbacks.
+	store *checkpoint.Store
 	// pcTraps tracks per-PC trap pressure for the retry budget and the
 	// recovery-storm detector.
 	pcTraps map[machine.Word]*pcState
@@ -174,16 +218,23 @@ func Attach(cpu *machine.CPU, units []*Unit, cfg Config) *Safeguard {
 	sg := &Safeguard{
 		cfg:          cfg,
 		units:        map[*machine.Image]*Unit{},
+		rec:          trace.New(cfg.TraceCap),
 		cachedTables: map[*Unit]*rtable.Table{},
 		cachedLibs:   map[*Unit]*machine.Program{},
 	}
 	for _, u := range units {
 		sg.units[u.Image] = u
-		sg.Stats.IdleFootprintBytes += len(u.TableBytes) + len(u.LibBytes)
+		sg.rec.Add(CounterIdleFootprint, int64(len(u.TableBytes)+len(u.LibBytes)))
 	}
 	cpu.Handler = sg.handle
 	return sg
 }
+
+// Trace exposes the safeguard's recorder: one activation span (with
+// phase-timing child spans) per handled trap, plus the outcome and
+// footprint counters. Campaign and cluster layers merge it into their
+// own traces.
+func (sg *Safeguard) Trace() *trace.Recorder { return sg.rec }
 
 // noteRecoveryFootprint records the transient decode footprint of one
 // repair.
@@ -201,22 +252,105 @@ func (sg *Safeguard) noteRecoveryFootprint(table *rtable.Table, lib *machine.Pro
 		n += len(lib.Code) * 64 // struct-encoded instructions
 		n += len(lib.GlobalInit)
 	}
-	if n > sg.Stats.PeakRecoveryBytes {
-		sg.Stats.PeakRecoveryBytes = n
+	sg.rec.Max(CounterPeakRecovery, int64(n))
+}
+
+// record writes one resolved activation to the trace: the outcome
+// counters, an activation span stamped at dyn on the virtual clock, and
+// a child span per non-zero phase. Event is only transient scratch
+// inside the handler; the trace is the ledger.
+func (sg *Safeguard) record(dyn uint64, e Event) {
+	sg.rec.Add(CounterActivations, 1)
+	switch e.Outcome {
+	case Recovered, RecoveredInduction:
+		sg.rec.Add(CounterRecovered, 1)
+	case RolledBack:
+		sg.rec.Add(CounterRolledBack, 1)
+	default:
+		sg.rec.Add(CounterUnrecoverable, 1)
+	}
+	act := sg.rec.Emit(trace.Span{
+		Kind: trace.KindActivation, Parent: trace.NoParent,
+		StartDyn: dyn, EndDyn: dyn,
+		Wall: e.Total(), PC: uint64(e.PC), Addr: uint64(e.Addr),
+		Outcome: string(e.Outcome),
+	})
+	for _, ph := range [...]struct {
+		kind trace.Kind
+		d    time.Duration
+	}{
+		{trace.KindDiagnose, e.Diagnose},
+		{trace.KindLoad, e.Load},
+		{trace.KindFetch, e.Fetch},
+		{trace.KindKernel, e.Kernel},
+		{trace.KindPatch, e.Patch},
+		{trace.KindRollback, e.Rollback},
+	} {
+		if ph.d == 0 {
+			continue
+		}
+		sg.rec.Add(PhaseNsCounters[ph.kind], ph.d.Nanoseconds())
+		sg.rec.Emit(trace.Span{
+			Kind: ph.kind, Parent: act,
+			StartDyn: dyn, EndDyn: dyn, Wall: ph.d,
+		})
 	}
 }
 
-func (sg *Safeguard) record(e Event) {
-	sg.Stats.Activations++
-	switch e.Outcome {
-	case Recovered, RecoveredInduction:
-		sg.Stats.Recovered++
-	case RolledBack:
-		sg.Stats.RolledBack++
-	default:
-		sg.Stats.Unrecoverable++
+// Events reconstructs the activation records from the trace, oldest
+// first (the detail behind Stats; truncated to the recorder's span
+// capacity when a very long run overflows the ring).
+func (sg *Safeguard) Events() []Event {
+	var events []Event
+	byID := map[int32]int{}
+	for _, s := range sg.rec.Spans() {
+		switch s.Kind {
+		case trace.KindActivation:
+			byID[s.ID] = len(events)
+			events = append(events, Event{
+				PC: machine.Word(s.PC), Addr: machine.Word(s.Addr),
+				Outcome: Outcome(s.Outcome),
+			})
+		case trace.KindDiagnose, trace.KindLoad, trace.KindFetch,
+			trace.KindKernel, trace.KindPatch, trace.KindRollback:
+			i, ok := byID[s.Parent]
+			if !ok {
+				continue // parent activation dropped from the ring
+			}
+			ev := &events[i]
+			switch s.Kind {
+			case trace.KindDiagnose:
+				ev.Diagnose += s.Wall
+			case trace.KindLoad:
+				ev.Load += s.Wall
+			case trace.KindFetch:
+				ev.Fetch += s.Wall
+			case trace.KindKernel:
+				ev.Kernel += s.Wall
+			case trace.KindPatch:
+				ev.Patch += s.Wall
+			case trace.KindRollback:
+				ev.Rollback += s.Wall
+			}
+		}
 	}
-	sg.Stats.Events = append(sg.Stats.Events, e)
+	return events
+}
+
+// Stats derives the aggregate view from the trace. The tallies come
+// from counters (exact regardless of ring drops); Events carries the
+// retained per-activation detail.
+func (sg *Safeguard) Stats() Stats {
+	return Stats{
+		Activations:        int(sg.rec.Counter(CounterActivations)),
+		Recovered:          int(sg.rec.Counter(CounterRecovered)),
+		Unrecoverable:      int(sg.rec.Counter(CounterUnrecoverable)),
+		RolledBack:         int(sg.rec.Counter(CounterRolledBack)),
+		Storms:             int(sg.rec.Counter(CounterStorms)),
+		Events:             sg.Events(),
+		IdleFootprintBytes: int(sg.rec.Counter(CounterIdleFootprint)),
+		PeakRecoveryBytes:  int(sg.rec.MaxCounter(CounterPeakRecovery)),
+	}
 }
 
 // handle is the signal handler (paper Algorithm 1, wrapped in the
@@ -226,7 +360,7 @@ func (sg *Safeguard) handle(c *machine.CPU, t *machine.Trap) machine.TrapAction 
 	ev := Event{PC: t.PC, Addr: t.Addr}
 	if t.Sig != machine.SigSEGV && !(sg.cfg.HandleBus && t.Sig == machine.SigBUS) {
 		ev.Outcome = WrongSignal
-		sg.record(ev)
+		sg.record(c.Dyn, ev)
 		return machine.TrapKill
 	}
 
@@ -312,7 +446,7 @@ func (sg *Safeguard) handle(c *machine.CPU, t *machine.Trap) machine.TrapAction 
 				sg.patch(c, t, addr2)
 				ev.Patch = time.Since(t4)
 				ev.Outcome = RecoveredInduction
-				sg.record(ev)
+				sg.record(c.Dyn, ev)
 				sg.release()
 				return machine.TrapResume
 			}
@@ -324,7 +458,7 @@ func (sg *Safeguard) handle(c *machine.CPU, t *machine.Trap) machine.TrapAction 
 	sg.patch(c, t, addr)
 	ev.Patch = time.Since(t4)
 	ev.Outcome = Recovered
-	sg.record(ev)
+	sg.record(c.Dyn, ev)
 	sg.release()
 	return machine.TrapResume
 }
@@ -335,7 +469,7 @@ func (sg *Safeguard) fail(c *machine.CPU, t *machine.Trap, ev Event) machine.Tra
 	if sg.cfg.Heuristic && t.Instr != nil && t.Instr.Op.IsMemAccess() {
 		if sg.heuristicPatch(c, t) {
 			ev.Outcome = HeuristicPatched
-			sg.record(ev)
+			sg.record(c.Dyn, ev)
 			// Release per-fault state on this resume path too;
 			// otherwise the decoded table and recovery library stay
 			// resident in non-Eager mode and skew the footprint
@@ -521,7 +655,7 @@ func (sg *Safeguard) heuristicPatch(c *machine.CPU, t *machine.Trap) bool {
 }
 
 // CoverageRate returns the fraction of SIGSEGV activations recovered.
-func (s *Stats) CoverageRate() float64 {
+func (s Stats) CoverageRate() float64 {
 	if s.Activations == 0 {
 		return 0
 	}

@@ -1,6 +1,8 @@
 package safeguard_test
 
 import (
+	"time"
+
 	"testing"
 
 	"care/internal/core"
@@ -107,8 +109,8 @@ func TestIdleSafeguardIsInvisible(t *testing.T) {
 	if du != dp {
 		t.Fatalf("instruction counts differ: %d vs %d", du, dp)
 	}
-	if pp.SG.Stats.Activations != 0 {
-		t.Fatalf("safeguard activated %d times on a fault-free run", pp.SG.Stats.Activations)
+	if pp.SG.Stats().Activations != 0 {
+		t.Fatalf("safeguard activated %d times on a fault-free run", pp.SG.Stats().Activations)
 	}
 	ru, rp := pu.Results(), pp.Results()
 	for i := range ru {
@@ -162,12 +164,31 @@ func TestRecoveryStatsAccumulate(t *testing.T) {
 	if st != machine.StatusExited {
 		t.Fatalf("%v (%v)", st, p.CPU.PendingTrap)
 	}
-	if p.SG.Stats.Recovered != 2 {
-		t.Fatalf("recovered %d faults, want 2 (events %+v)", p.SG.Stats.Recovered, p.SG.Stats.Events)
+	if p.SG.Stats().Recovered != 2 {
+		t.Fatalf("recovered %d faults, want 2 (events %+v)", p.SG.Stats().Recovered, p.SG.Stats().Events)
 	}
-	for _, ev := range p.SG.Stats.Events {
+	for _, ev := range p.SG.Stats().Events {
 		if ev.Total() <= 0 || ev.Prep() <= 0 {
 			t.Errorf("degenerate event timing: %+v", ev)
 		}
+	}
+}
+
+// TestEventPrepExcludesKernelAndRollback is the regression test for the
+// Figure 9 preparation ratio: Prep() must exclude both the kernel
+// execution time and the checkpoint-rollback time. (An earlier version
+// computed Total()-Kernel, silently counting the rollback restore as
+// "preparation" and skewing the ratio for escalation-chain policies.)
+func TestEventPrepExcludesKernelAndRollback(t *testing.T) {
+	ev := safeguard.Event{
+		Diagnose: 10, Load: 20, Fetch: 30, Patch: 40,
+		Kernel:   500,
+		Rollback: 7000,
+	}
+	if got, want := ev.Total(), time.Duration(7600); got != want {
+		t.Fatalf("Total() = %v, want %v", got, want)
+	}
+	if got, want := ev.Prep(), time.Duration(100); got != want {
+		t.Fatalf("Prep() = %v, want %v (must exclude Kernel and Rollback)", got, want)
 	}
 }

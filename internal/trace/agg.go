@@ -1,0 +1,110 @@
+package trace
+
+import "time"
+
+// Breakdown is the per-kind aggregation of a span set: how much wall
+// (or modelled) time each kind of work consumed, how many spans of the
+// kind there were, and how much virtual time they covered. The report
+// layers (Figure 9's preparation-vs-kernel split, Figure 10's job
+// comparison, the checkpoint I/O columns) are all views over a
+// Breakdown.
+type Breakdown struct {
+	WallByKind  map[Kind]time.Duration
+	CountByKind map[Kind]int
+	DynByKind   map[Kind]uint64
+}
+
+// Aggregate folds a span set into a Breakdown.
+func Aggregate(spans []Span) *Breakdown {
+	b := &Breakdown{
+		WallByKind:  map[Kind]time.Duration{},
+		CountByKind: map[Kind]int{},
+		DynByKind:   map[Kind]uint64{},
+	}
+	for _, s := range spans {
+		b.WallByKind[s.Kind] += s.Wall
+		b.CountByKind[s.Kind]++
+		b.DynByKind[s.Kind] += s.DynSpan()
+	}
+	return b
+}
+
+// Wall returns the summed wall time of the given kinds.
+func (b *Breakdown) Wall(kinds ...Kind) time.Duration {
+	var d time.Duration
+	for _, k := range kinds {
+		d += b.WallByKind[k]
+	}
+	return d
+}
+
+// Count returns the summed span count of the given kinds.
+func (b *Breakdown) Count(kinds ...Kind) int {
+	n := 0
+	for _, k := range kinds {
+		n += b.CountByKind[k]
+	}
+	return n
+}
+
+// PhaseKinds are the Safeguard activation phases in chain order.
+var PhaseKinds = []Kind{KindDiagnose, KindLoad, KindFetch, KindKernel, KindPatch, KindRollback}
+
+// RecoveryTotal is the summed wall time of every activation phase —
+// the denominator of the Figure 9 ratio.
+func (b *Breakdown) RecoveryTotal() time.Duration { return b.Wall(PhaseKinds...) }
+
+// PrepTime is the preparation share of recovery: everything except
+// kernel execution and checkpoint rollback. (Rollback is restoration
+// work, not preparation — including it would skew the Figure 9 ratio.)
+func (b *Breakdown) PrepTime() time.Duration {
+	return b.Wall(KindDiagnose, KindLoad, KindFetch, KindPatch)
+}
+
+// PrepFraction is the Figure 9 headline: the fraction of total
+// recovery time spent preparing (the paper reports >98%).
+func (b *Breakdown) PrepFraction() float64 {
+	total := b.RecoveryTotal()
+	if total == 0 {
+		return 0
+	}
+	return float64(b.PrepTime()) / float64(total)
+}
+
+// Delta is one kind's row of a Compare: the wall time and span count
+// on each side and their difference (B - A).
+type Delta struct {
+	Kind   Kind
+	WallA  time.Duration
+	WallB  time.Duration
+	Diff   time.Duration
+	CountA int
+	CountB int
+}
+
+// Compare lines two breakdowns up kind by kind (union of kinds, in
+// Kind order) — the derivation behind "faulty job vs baseline job"
+// sections: the Figure 10 delta is Compare(base, faulty) rows for
+// KindJob and KindRankStall rather than a recomputed bespoke struct.
+func Compare(a, b *Breakdown) []Delta {
+	var out []Delta
+	for k := Kind(0); k < numKinds; k++ {
+		ca, cb := a.CountByKind[k], b.CountByKind[k]
+		wa, wb := a.WallByKind[k], b.WallByKind[k]
+		if ca == 0 && cb == 0 && wa == 0 && wb == 0 {
+			continue
+		}
+		out = append(out, Delta{Kind: k, WallA: wa, WallB: wb, Diff: wb - wa, CountA: ca, CountB: cb})
+	}
+	return out
+}
+
+// DeltaFor returns the delta row for one kind (zero row when absent).
+func DeltaFor(deltas []Delta, k Kind) Delta {
+	for _, d := range deltas {
+		if d.Kind == k {
+			return d
+		}
+	}
+	return Delta{Kind: k}
+}

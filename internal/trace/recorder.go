@@ -1,0 +1,240 @@
+package trace
+
+import "sort"
+
+// Recorder collects spans into a bounded ring buffer plus two families
+// of named counters: additive counters (Add, summed on Merge) and
+// high-water marks (Max, maxed on Merge). Counters are exact even when
+// the ring has dropped old spans, so aggregate statistics never degrade
+// — only per-span detail does.
+//
+// A nil *Recorder is the disabled recorder: every method is a no-op
+// that allocates nothing, so instrumentation sites call it
+// unconditionally. A Recorder is not safe for concurrent use; the
+// campaign engines give every trial its own recorder and merge them in
+// trial-index order, which is also what keeps traced campaigns
+// bit-identical for any worker count.
+type Recorder struct {
+	cap     int
+	spans   []Span
+	next    int // ring write index once len(spans) == cap
+	wrapped bool
+	dropped int
+	nextID  int32
+	adds    map[string]int64
+	maxes   map[string]int64
+}
+
+// DefaultSpanCap is the ring size used when New is given a
+// non-positive capacity.
+const DefaultSpanCap = 8192
+
+// New builds an enabled recorder whose ring holds up to capSpans spans
+// (<=0 means DefaultSpanCap). The ring grows lazily, so small traces
+// pay only for what they emit.
+func New(capSpans int) *Recorder {
+	if capSpans <= 0 {
+		capSpans = DefaultSpanCap
+	}
+	return &Recorder{cap: capSpans}
+}
+
+// Enabled reports whether the recorder records anything.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Emit records a span, assigns its ID (emission order, monotonic even
+// across ring drops) and returns it. On a nil recorder it returns
+// NoParent and records nothing.
+func (r *Recorder) Emit(s Span) int32 {
+	if r == nil {
+		return NoParent
+	}
+	s.ID = r.nextID
+	r.nextID++
+	if len(r.spans) < r.cap {
+		r.spans = append(r.spans, s)
+		return s.ID
+	}
+	// Ring full: overwrite the oldest span.
+	r.spans[r.next] = s
+	r.next = (r.next + 1) % r.cap
+	r.wrapped = true
+	r.dropped++
+	return s.ID
+}
+
+// Add increments the named additive counter.
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil || delta == 0 {
+		return
+	}
+	if r.adds == nil {
+		r.adds = map[string]int64{}
+	}
+	r.adds[name] += delta
+}
+
+// Max raises the named high-water mark to v if v is larger.
+func (r *Recorder) Max(name string, v int64) {
+	if r == nil {
+		return
+	}
+	if r.maxes == nil {
+		r.maxes = map[string]int64{}
+	}
+	if v > r.maxes[name] {
+		r.maxes[name] = v
+	}
+}
+
+// Counter returns the value of the named additive counter (0 when
+// absent or on a nil recorder).
+func (r *Recorder) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.adds[name]
+}
+
+// MaxCounter returns the named high-water mark (0 when absent).
+func (r *Recorder) MaxCounter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.maxes[name]
+}
+
+// CounterNames returns the additive counter names in sorted order
+// (deterministic export and aggregation).
+func (r *Recorder) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.adds))
+	for n := range r.adds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MaxNames returns the high-water-mark names in sorted order.
+func (r *Recorder) MaxNames() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.maxes))
+	for n := range r.maxes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Spans returns the retained spans oldest-first. The slice is a copy;
+// mutating it does not affect the recorder.
+func (r *Recorder) Spans() []Span {
+	if r == nil || len(r.spans) == 0 {
+		return nil
+	}
+	if !r.wrapped {
+		return append([]Span(nil), r.spans...)
+	}
+	out := make([]Span, 0, len(r.spans))
+	out = append(out, r.spans[r.next:]...)
+	out = append(out, r.spans[:r.next]...)
+	return out
+}
+
+// Len reports how many spans are retained in the ring.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.spans)
+}
+
+// Emitted reports how many spans were ever emitted (retained+dropped).
+func (r *Recorder) Emitted() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.nextID)
+}
+
+// Dropped reports how many spans the ring has overwritten.
+func (r *Recorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Merge appends o's spans (oldest-first) onto r, rebasing span IDs and
+// parent links so they stay consistent, and folds o's counters in
+// (additive counters sum, high-water marks max). Merging the per-trial
+// recorders of a campaign in trial-index order yields a combined trace
+// that is identical for any worker count. A nil o (or nil r) is a
+// no-op.
+func (r *Recorder) Merge(o *Recorder) { r.mergeRank(o, false, 0) }
+
+// MergeAs is Merge with rank attribution: every span merged in has its
+// Rank set to rank, so a job trace can tell which rank (or which trial)
+// a sub-trace's spans came from.
+func (r *Recorder) MergeAs(o *Recorder, rank int32) { r.mergeRank(o, true, rank) }
+
+func (r *Recorder) mergeRank(o *Recorder, setRank bool, rank int32) {
+	if r == nil || o == nil {
+		return
+	}
+	base := r.nextID
+	for _, s := range o.Spans() {
+		s.ID += base
+		if s.Parent != NoParent {
+			s.Parent += base
+		}
+		if setRank {
+			s.Rank = rank
+		}
+		if len(r.spans) < r.cap {
+			r.spans = append(r.spans, s)
+		} else {
+			r.spans[r.next] = s
+			r.next = (r.next + 1) % r.cap
+			r.wrapped = true
+			r.dropped++
+		}
+	}
+	// IDs dropped inside o (ring overflow) still consume ID space so
+	// later merges cannot collide with rebased parent links.
+	r.nextID = base + o.nextID
+	r.dropped += o.dropped
+	for n, v := range o.adds {
+		if r.adds == nil {
+			r.adds = map[string]int64{}
+		}
+		r.adds[n] += v
+	}
+	for n, v := range o.maxes {
+		if r.maxes == nil {
+			r.maxes = map[string]int64{}
+		}
+		if v > r.maxes[n] {
+			r.maxes[n] = v
+		}
+	}
+}
+
+// Reset drops all spans and counters but keeps the capacity.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.spans = r.spans[:0]
+	r.next = 0
+	r.wrapped = false
+	r.dropped = 0
+	r.nextID = 0
+	r.adds = nil
+	r.maxes = nil
+}
