@@ -29,7 +29,7 @@ const benchSeed = 1234
 // campaign): the outcome mix of single-bit-flip injections.
 func BenchmarkTable2OutcomeMix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.OutcomeStudy([]string{"HPCCG"}, 60, 1, faultinject.SingleBit, benchSeed, 0, workloads.Params{}, 0, false)
+		rows, err := experiments.OutcomeStudy([]string{"HPCCG"}, 60, 1, faultinject.SingleBit, benchSeed, 0, workloads.Params{}, experiments.StudyOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -43,7 +43,7 @@ func BenchmarkTable2OutcomeMix(b *testing.B) {
 // BenchmarkTable3Symptoms reports the SIGSEGV share of soft failures.
 func BenchmarkTable3Symptoms(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.OutcomeStudy([]string{"miniMD"}, 60, 1, faultinject.SingleBit, benchSeed, 0, workloads.Params{}, 0, false)
+		rows, err := experiments.OutcomeStudy([]string{"miniMD"}, 60, 1, faultinject.SingleBit, benchSeed, 0, workloads.Params{}, experiments.StudyOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -59,7 +59,7 @@ func BenchmarkTable3Symptoms(b *testing.B) {
 // manifesting within 50 dynamic instructions.
 func BenchmarkTable4Latency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.OutcomeStudy([]string{"GTC-P"}, 60, 1, faultinject.SingleBit, benchSeed, 0, workloads.Params{}, 0, false)
+		rows, err := experiments.OutcomeStudy([]string{"GTC-P"}, 60, 1, faultinject.SingleBit, benchSeed, 0, workloads.Params{}, experiments.StudyOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -140,7 +140,7 @@ func BenchmarkFigure9RecoveryTime(b *testing.B) {
 func BenchmarkFigure10Parallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.ParallelStudy([]string{"HPCCG"}, 8, 6, 0,
-			workloads.Params{NX: 5, NY: 5, NZ: 4, Steps: 12}, benchSeed)
+			workloads.Params{NX: 5, NY: 5, NZ: 4, Steps: 12}, benchSeed, experiments.StudyOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -180,7 +180,7 @@ func BenchmarkTable9BLAS(b *testing.B) {
 // BenchmarkTable10DoubleFlip reproduces the appendix outcome table.
 func BenchmarkTable10DoubleFlip(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.OutcomeStudy([]string{"CoMD"}, 60, 1, faultinject.DoubleBit, benchSeed, 0, workloads.Params{}, 0, false)
+		rows, err := experiments.OutcomeStudy([]string{"CoMD"}, 60, 1, faultinject.DoubleBit, benchSeed, 0, workloads.Params{}, experiments.StudyOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -194,7 +194,7 @@ func BenchmarkTable10DoubleFlip(b *testing.B) {
 // share.
 func BenchmarkTable11DoubleFlipSymptoms(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.OutcomeStudy([]string{"CoMD"}, 60, 1, faultinject.DoubleBit, benchSeed, 0, workloads.Params{}, 0, false)
+		rows, err := experiments.OutcomeStudy([]string{"CoMD"}, 60, 1, faultinject.DoubleBit, benchSeed, 0, workloads.Params{}, experiments.StudyOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -43,6 +43,8 @@ func main() {
 	crSteps := flag.Int("cr-steps", 80, "GTC-P steps for the C/R experiment")
 	crFault := flag.Int("cr-fault", 66, "step at which the fault kills the unprotected job")
 	traceOut := flag.String("trace-out", "", "write the faulty-job traces (or C/R store traces) as JSONL to this file")
+	warmStart := flag.Bool("warmstart", false, "warm-start the recoverable-injection search from golden-run snapshots (results are identical)")
+	snapEvery := flag.Uint64("snap-every", 0, "golden-run snapshot cadence in dynamic instructions (0 = TotalDyn/64+1; only with -warmstart)")
 	flag.Parse()
 
 	if *cr {
@@ -65,7 +67,8 @@ func main() {
 		names = []string{*workload}
 	}
 	rows, err := experiments.ParallelStudy(names, *ranks, *threads, *opt,
-		workloads.Params{NX: 5, NY: 5, NZ: 4, Steps: 12}, *seed)
+		workloads.Params{NX: 5, NY: 5, NZ: 4, Steps: 12}, *seed,
+		experiments.StudyOptions{WarmStart: *warmStart, SnapEvery: *snapEvery})
 	if err != nil {
 		log.Fatal(err)
 	}

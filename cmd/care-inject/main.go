@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	care-inject [-n 1000] [-faults 1] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1] [-workers 0] [-trace-out FILE]
+//	care-inject [-n 1000] [-faults 1] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1] [-workers 0] [-trace-out FILE] [-warmstart] [-snap-every N]
 package main
 
 import (
@@ -28,6 +28,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "concurrent injection workers (0 = one per CPU; results are identical for any value)")
 	traceOut := flag.String("trace-out", "", "write the merged campaign trace as JSONL to this file (Rank = workload index)")
+	warmStart := flag.Bool("warmstart", false, "clone trials from golden-run snapshots instead of replaying the fault-free prefix (results are identical)")
+	snapEvery := flag.Uint64("snap-every", 0, "golden-run snapshot cadence in dynamic instructions (0 = TotalDyn/64+1; only with -warmstart)")
 	flag.Parse()
 
 	m := faultinject.SingleBit
@@ -46,11 +48,31 @@ func main() {
 		}
 		names = []string{*workload}
 	}
-	rows, err := experiments.OutcomeStudy(names, *n, *faults, m, *seed, *opt, workloads.Params{}, *workers, *traceOut != "")
+	rows, err := experiments.OutcomeStudy(names, *n, *faults, m, *seed, *opt, workloads.Params{}, experiments.StudyOptions{
+		Workers:   *workers,
+		Traced:    *traceOut != "",
+		WarmStart: *warmStart,
+		SnapEvery: *snapEvery,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(experiments.FormatOutcomeTables(rows))
+
+	if *warmStart {
+		// Warm-start accounting goes to stderr so stdout stays
+		// byte-identical to a cold run (the CI smoke diffs it).
+		var snaps, warm int
+		var skipped uint64
+		for _, r := range rows {
+			if ws := r.Res.WarmStart; ws != nil {
+				snaps += ws.Snapshots
+				warm += ws.WarmTrials
+				skipped += ws.SkippedDyn
+			}
+		}
+		fmt.Fprintf(os.Stderr, "campaign.warmstart.skipped-dyn=%d (snapshots=%d, warm-trials=%d)\n", skipped, snaps, warm)
+	}
 
 	if *traceOut != "" {
 		total := 0

@@ -29,7 +29,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	inj, err := cluster.FindRecoverableInjection(bin, 31)
+	inj, err := cluster.FindRecoverableInjection(bin, 31, cluster.SearchOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -29,6 +29,43 @@ type Snapshot struct {
 	Step int
 	// EnvResults preserves the result stream position.
 	EnvResults []float64
+	// EnvPrinted preserves the diagnostic print stream (not priced by
+	// Bytes; it never influences execution, but restoring it keeps a
+	// resumed process's observable output identical to a cold run's).
+	EnvPrinted []string
+}
+
+// Capture snapshots a CPU: its memory (frozen copy-on-write, so the
+// capture itself copies nothing), architectural context, and host-
+// environment output streams. It is the accounting-free core of
+// Store.Save, shared with the campaign warm-start path.
+func Capture(c *machine.CPU, step int) *Snapshot {
+	s := &Snapshot{
+		Mem:  c.Mem.Snapshot(),
+		CPU:  CPUState{R: c.R, F: c.F, PC: c.PC, Dyn: c.Dyn},
+		Step: step,
+	}
+	if c.Env != nil {
+		s.EnvResults = append([]float64(nil), c.Env.Results...)
+		s.EnvPrinted = append([]string(nil), c.Env.Printed...)
+	}
+	return s
+}
+
+// Apply restores the snapshot into a CPU: memory segments come back as
+// copy-on-write aliases of the frozen image (so applying one snapshot
+// to many processes shares the bytes until they diverge), and the
+// architectural state and output streams are rewound. It is the
+// accounting-free core of Store.Restore. The CPU must have the same
+// images attached (code is immutable and not part of the snapshot, as
+// with ordinary C/R).
+func (s *Snapshot) Apply(c *machine.CPU) {
+	c.Mem.Restore(s.Mem)
+	c.SetContext(machine.Context{R: s.CPU.R, F: s.CPU.F, PC: s.CPU.PC, Dyn: s.CPU.Dyn})
+	if c.Env != nil {
+		c.Env.Results = append(c.Env.Results[:0], s.EnvResults...)
+		c.Env.Printed = append(c.Env.Printed[:0], s.EnvPrinted...)
+	}
 }
 
 // Bytes is the serialised checkpoint size: memory, register file,
@@ -105,14 +142,7 @@ func (st *Store) Trace() *trace.Recorder { return st.rec }
 // Save checkpoints the CPU (and its memory) at the given step, charging
 // the modelled write cost to the trace.
 func (st *Store) Save(c *machine.CPU, step int) *Snapshot {
-	s := &Snapshot{
-		Mem:  c.Mem.Snapshot(),
-		CPU:  CPUState{R: c.R, F: c.F, PC: c.PC, Dyn: c.Dyn},
-		Step: step,
-	}
-	if c.Env != nil {
-		s.EnvResults = append([]float64(nil), c.Env.Results...)
-	}
+	s := Capture(c, step)
 	st.latest = s
 	cost := st.Model.WriteCost(s)
 	st.rec.Emit(trace.Span{
@@ -154,11 +184,7 @@ func (st *Store) Restore(c *machine.CPU, s *Snapshot) (time.Duration, error) {
 		return 0, fmt.Errorf("checkpoint: no snapshot to restore")
 	}
 	preDyn := c.Dyn
-	c.Mem.Restore(s.Mem)
-	c.SetContext(machine.Context{R: s.CPU.R, F: s.CPU.F, PC: s.CPU.PC, Dyn: s.CPU.Dyn})
-	if c.Env != nil {
-		c.Env.Results = append(c.Env.Results[:0], s.EnvResults...)
-	}
+	s.Apply(c)
 	cost := st.Model.ReadCost(s)
 	st.rec.Emit(trace.Span{
 		Kind: trace.KindCheckpointRestore, Parent: trace.NoParent,

@@ -104,14 +104,25 @@ type Injection struct {
 	Bits    []int
 }
 
+// SearchOptions tunes FindRecoverableInjection.
+type SearchOptions struct {
+	// WarmStart clones the search's injection attempts from golden-run
+	// snapshots (faultinject.CoverageExperiment.WarmStart); the found
+	// injection is identical either way.
+	WarmStart bool
+	// SnapEvery is the snapshot cadence (0 = TotalDyn/64+1).
+	SnapEvery uint64
+}
+
 // FindRecoverableInjection searches (deterministically) for an injection
 // that CARE recovers on a single-rank run of the binary — the §5.4
 // setup injects only CARE-recoverable faults.
-func FindRecoverableInjection(bin *core.Binary, seed int64) (*Injection, error) {
+func FindRecoverableInjection(bin *core.Binary, seed int64, opts SearchOptions) (*Injection, error) {
 	for attempt := 0; attempt < 8; attempt++ {
 		exp := &faultinject.CoverageExperiment{
 			App: bin, Trials: 4, Seed: seed + int64(attempt),
 			MaxAttempts: 400, RecordInjections: true,
+			WarmStart: opts.WarmStart, SnapEvery: opts.SnapEvery,
 		}
 		res, err := exp.Run()
 		if res != nil && len(res.RecoveredInjections) > 0 {

@@ -52,7 +52,7 @@ func TestParallelJobSurvivesInjectedFault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inj, err := FindRecoverableInjection(bin, 1001)
+	inj, err := FindRecoverableInjection(bin, 1001, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestParallelJobSurvivesInjectedFault(t *testing.T) {
 
 func TestUnprotectedParallelJobDies(t *testing.T) {
 	pbin := buildEval(t, "HPCCG", 0, true)
-	inj, err := FindRecoverableInjection(pbin, 2002)
+	inj, err := FindRecoverableInjection(pbin, 2002, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

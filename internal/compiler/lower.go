@@ -85,6 +85,11 @@ func Compile(m *ir.Module, opts Options) (*machine.Program, error) {
 		return nil, err
 	}
 	c.prog.Debug.Lines = c.lines
+	// Seal the packed code image now, while the program is still
+	// private to this build: every process that loads it afterwards
+	// (campaign trials run many concurrently) shares the one read-only
+	// backing array.
+	c.prog.SealCode()
 	return c.prog, nil
 }
 

@@ -190,11 +190,13 @@ type Process struct {
 	Store *checkpoint.Store
 }
 
-// NewProcess loads the binaries into a fresh address space and prepares
-// execution at _start.
-func NewProcess(cfg ProcessConfig) (*Process, error) {
+// newLoadedProcess assembles the address space shared by the cold and
+// warm process paths: a fresh memory with every image loaded (read-only
+// .text shared across processes, globals mapped copy-on-write) and
+// attached to a new CPU, plus the Safeguard units of protected images.
+func newLoadedProcess(cfg ProcessConfig) (*Process, []*safeguard.Unit, error) {
 	if cfg.App == nil {
-		return nil, fmt.Errorf("core: no app binary")
+		return nil, nil, fmt.Errorf("core: no app binary")
 	}
 	mem := machine.NewMemory()
 	env := cfg.Env
@@ -223,18 +225,29 @@ func NewProcess(cfg ProcessConfig) (*Process, error) {
 	}
 	for _, lb := range cfg.Libs {
 		if _, err := loadOne(lb); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	app, err := loadOne(cfg.App)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p.App = app
+	return p, units, nil
+}
+
+// NewProcess loads the binaries into a fresh address space and prepares
+// execution at _start.
+func NewProcess(cfg ProcessConfig) (*Process, error) {
+	p, units, err := newLoadedProcess(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cpu := p.CPU
 	if err := cpu.InitStack(); err != nil {
 		return nil, err
 	}
-	if err := cpu.Start(app, "_start"); err != nil {
+	if err := cpu.Start(p.App, "_start"); err != nil {
 		return nil, err
 	}
 	if cfg.Protected {
@@ -245,6 +258,44 @@ func NewProcess(cfg ProcessConfig) (*Process, error) {
 			cfg.Checkpoint.Save(cpu, 0)
 			checkpoint.AutoSave(cfg.Checkpoint, cpu, cfg.CheckpointEveryResults)
 		}
+	}
+	return p, nil
+}
+
+// NewProcessFromSnapshot builds a process warm-started from a golden-run
+// snapshot of the same binaries: images are loaded as usual (sharing the
+// read-only code segments), then the snapshot's memory image, registers
+// and host-environment streams are applied in place of InitStack/Start,
+// so the process resumes mid-run at snapshot.CPU.Dyn. Because the
+// snapshot's segments alias frozen bytes copy-on-write, any number of
+// concurrent processes may warm-start from one snapshot.
+//
+// The golden prefix is fault-free, so a Safeguard attached after the
+// restore holds exactly the state it would have held at that point of a
+// cold run (no activations yet). A checkpoint store cannot be seeded
+// this way — its _start snapshot would capture mid-run state and turn
+// rollback into a semantic no-op — so cfg.Checkpoint must be nil.
+func NewProcessFromSnapshot(cfg ProcessConfig, sn *checkpoint.Snapshot) (*Process, error) {
+	if sn == nil {
+		return nil, fmt.Errorf("core: nil snapshot")
+	}
+	if cfg.Checkpoint != nil {
+		return nil, fmt.Errorf("core: warm start cannot seed a checkpoint store (its initial snapshot would capture mid-run state)")
+	}
+	p, units, err := newLoadedProcess(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sn.Apply(p.CPU)
+	// Apply replaced every writable segment with the snapshot's, so the
+	// images' global-segment handles must be re-resolved.
+	for _, im := range p.Images {
+		if im.GlobalSeg != nil {
+			im.GlobalSeg = p.Mem.Find(im.Prog.GlobalBase)
+		}
+	}
+	if cfg.Protected {
+		p.SG = safeguard.Attach(p.CPU, units, cfg.Safeguard)
 	}
 	return p, nil
 }

@@ -40,24 +40,47 @@ type OutcomeRow struct {
 	Res      *faultinject.CampaignResult
 }
 
+// StudyOptions bundles the execution knobs shared by the study runners:
+// how wide to run, whether to keep traces, and whether campaigns
+// warm-start their trials from golden-run snapshots. The zero value is
+// the paper's serial-equivalent cold configuration (all-CPU workers,
+// tracing off, cold trials).
+type StudyOptions struct {
+	// Workers bounds concurrent goroutines (<=0 = one per CPU). Results
+	// are identical for every value.
+	Workers int
+	// Traced enables the per-campaign trace recorder (Row.Res.Trace),
+	// which stays bit-identical for any worker count and warm-start
+	// setting.
+	Traced bool
+	// WarmStart clones campaign trials from golden-run snapshots
+	// (faultinject.Campaign.WarmStart); results stay bit-identical.
+	WarmStart bool
+	// SnapEvery is the snapshot cadence in retired instructions
+	// (0 = TotalDyn/64+1).
+	SnapEvery uint64
+}
+
 // OutcomeStudy runs the §2 manifestation study (Tables 2, 3, 4 / 10, 11).
-// Workloads build and run concurrently on up to workers goroutines
-// (<=0 means one per CPU), and each campaign spreads its trials over
-// the same worker budget; rows come back in names order and every
-// campaign seeds per-trial RNGs from (seed, trial), so the study is
-// deterministic for any worker count. faults arms that many independent
-// faults per trial (<=1 = the paper's single-fault model). traced
-// enables the per-campaign trace recorder (Row.Res.Trace), which stays
-// bit-identical for any worker count.
-func OutcomeStudy(names []string, n, faults int, model faultinject.Model, seed int64, opt int, p workloads.Params, workers int, traced bool) ([]OutcomeRow, error) {
+// Workloads build and run concurrently on up to opts.Workers goroutines,
+// and each campaign spreads its trials over the same worker budget; rows
+// come back in names order and every campaign seeds per-trial RNGs from
+// (seed, trial), so the study is deterministic for any worker count and
+// for warm or cold starts. faults arms that many independent faults per
+// trial (<=1 = the paper's single-fault model).
+func OutcomeStudy(names []string, n, faults int, model faultinject.Model, seed int64, opt int, p workloads.Params, opts StudyOptions) ([]OutcomeRow, error) {
 	rows := make([]OutcomeRow, len(names))
-	err := parallel.ForEach(len(names), workers, func(i int) error {
+	err := parallel.ForEach(len(names), opts.Workers, func(i int) error {
 		name := names[i]
 		bin, err := BuildWorkload(name, p, opt, false)
 		if err != nil {
 			return err
 		}
-		res, err := (&faultinject.Campaign{App: bin, N: n, FaultsPerTrial: faults, Model: model, Seed: seed, Workers: workers, Trace: traced}).Run()
+		res, err := (&faultinject.Campaign{
+			App: bin, N: n, FaultsPerTrial: faults, Model: model, Seed: seed,
+			Workers: opts.Workers, Trace: opts.Traced,
+			WarmStart: opts.WarmStart, SnapEvery: opts.SnapEvery,
+		}).Run()
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -254,15 +277,18 @@ type ParallelRow struct {
 }
 
 // ParallelStudy reproduces Figure 10: each evaluated workload runs as an
-// N-rank job with and without a CARE-recoverable fault at rank 0.
-func ParallelStudy(names []string, ranks, threads, opt int, p workloads.Params, seed int64) ([]ParallelRow, error) {
+// N-rank job with and without a CARE-recoverable fault at rank 0. Only
+// opts.WarmStart/SnapEvery apply here — they speed up the recoverable-
+// injection search that precedes each job.
+func ParallelStudy(names []string, ranks, threads, opt int, p workloads.Params, seed int64, opts StudyOptions) ([]ParallelRow, error) {
 	var rows []ParallelRow
 	for _, name := range names {
 		bin, err := BuildWorkload(name, p, opt, true)
 		if err != nil {
 			return nil, err
 		}
-		inj, err := cluster.FindRecoverableInjection(bin, seed)
+		inj, err := cluster.FindRecoverableInjection(bin, seed,
+			cluster.SearchOptions{WarmStart: opts.WarmStart, SnapEvery: opts.SnapEvery})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}

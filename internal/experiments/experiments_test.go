@@ -11,7 +11,7 @@ import (
 )
 
 func TestOutcomeStudyAndFormat(t *testing.T) {
-	rows, err := OutcomeStudy([]string{"HPCCG"}, 25, 1, faultinject.SingleBit, 1, 0, workloads.Params{}, 0, true)
+	rows, err := OutcomeStudy([]string{"HPCCG"}, 25, 1, faultinject.SingleBit, 1, 0, workloads.Params{}, StudyOptions{Traced: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,11 +28,11 @@ func TestOutcomeStudyAndFormat(t *testing.T) {
 // whether it runs serially or with per-CPU workers.
 func TestOutcomeStudyWorkerDeterminism(t *testing.T) {
 	names := []string{"HPCCG", "miniMD"}
-	serial, err := OutcomeStudy(names, 20, 1, faultinject.SingleBit, 3, 0, workloads.Params{}, 1, true)
+	serial, err := OutcomeStudy(names, 20, 1, faultinject.SingleBit, 3, 0, workloads.Params{}, StudyOptions{Workers: 1, Traced: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := OutcomeStudy(names, 20, 1, faultinject.SingleBit, 3, 0, workloads.Params{}, 8, true)
+	par, err := OutcomeStudy(names, 20, 1, faultinject.SingleBit, 3, 0, workloads.Params{}, StudyOptions{Workers: 8, Traced: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -55,6 +55,38 @@ func BenchmarkCampaignWorkersTracked(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignWarmStart is the headline warm-start comparison:
+// the identical campaign run cold (every trial replays the golden
+// prefix from _start) and warm (trials clone the nearest golden
+// snapshot), at the default cadence. Warm must be measurably faster;
+// the computed CampaignResult is bit-identical either way. ReportAllocs
+// doubles as the per-trial allocation guard (run with -benchmem).
+func BenchmarkCampaignWarmStart(b *testing.B) {
+	bin := buildWorkload(b, "HPCCG", 0, false)
+	const n = 64
+	for _, warm := range []bool{false, true} {
+		name := "cold"
+		if warm {
+			name = "warm"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := (&Campaign{
+					App: bin, N: n, Model: SingleBit, Seed: 1, WarmStart: warm,
+				}).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if warm && res.WarmStart.SkippedDyn == 0 {
+					b.Fatal("warm campaign skipped nothing")
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
+	}
+}
+
 // BenchmarkCoverageWorkers measures the §5 coverage experiment under
 // the chunked speculative pool.
 func BenchmarkCoverageWorkers(b *testing.B) {

@@ -65,6 +65,16 @@ type CoverageExperiment struct {
 	// examined attempt's trace (machine.CPU.Trace). Safeguard activation
 	// spans and checkpoint I/O spans are always recorded.
 	Trace bool
+	// WarmStart clones each attempt from the latest golden-run snapshot
+	// whose execution counts precede every armed occurrence trigger,
+	// pre-seeding the arming hook with the snapshot's counts so faults
+	// fire at exactly the dyn they would in a cold run. Ignored when the
+	// policy enables Rollback: the rollback stage checkpoints each
+	// process at _start, which a mid-run clone cannot reproduce.
+	WarmStart bool
+	// SnapEvery is the snapshot cadence in retired instructions
+	// (warm-start only; 0 picks TotalDyn/64+1).
+	SnapEvery uint64
 }
 
 // RecordedInjection identifies a replayable injection.
@@ -219,6 +229,45 @@ func (s *sampler) draw(rng *rand.Rand) (string, int, uint64) {
 	return s.images[ii], lo, occ
 }
 
+// warmSnapFor picks the latest profile snapshot that precedes every
+// armed occurrence trigger, returning it with the per-spec occurrence
+// seeds (how often each spec's static instruction had retired by the
+// snapshot). A snapshot is only eligible while the seed is strictly
+// below the trigger occurrence — at equality the target retirement has
+// already happened, uncorrupted. Returns (nil, nil) when no snapshot is
+// eligible (cold start).
+func warmSnapFor(prof *profiler.Profile, specs []ArmSpec) (*profiler.SnapPoint, []uint64) {
+	if len(prof.Snaps) == 0 {
+		return nil, nil
+	}
+	countAt := func(sp *profiler.SnapPoint, trig Trigger) uint64 {
+		cnts := sp.Counts[trig.Image]
+		if trig.StaticIdx >= len(cnts) {
+			return 0
+		}
+		return cnts[trig.StaticIdx]
+	}
+	for i := len(prof.Snaps) - 1; i >= 0; i-- {
+		sp := &prof.Snaps[i]
+		ok := true
+		for _, s := range specs {
+			if countAt(sp, s.Trigger) >= s.Trigger.Occurrence {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		seed := make([]uint64, len(specs))
+		for si, s := range specs {
+			seed[si] = countAt(sp, s.Trigger)
+		}
+		return sp, seed
+	}
+	return nil, nil
+}
+
 // attempt is the outcome of one runAttempt call, merged into the
 // CoverageResult in attempt-index order.
 type attempt struct {
@@ -264,7 +313,18 @@ func (e *CoverageExperiment) runAttempt(i int, prof *profiler.Profile, smp *samp
 		cfg.Checkpoint = checkpoint.NewStore(e.CheckpointModel)
 		cfg.CheckpointEveryResults = e.CheckpointEveryResults
 	}
-	p, err := core.NewProcess(cfg)
+	// Warm start: the latest snapshot at which every armed occurrence
+	// trigger still lies ahead. The snapshot's per-instruction counts
+	// pre-seed the arming hook so each fault fires on exactly the same
+	// retirement as in a cold run.
+	snap, seed := warmSnapFor(prof, specs)
+	var p *core.Process
+	var err error
+	if snap != nil {
+		p, err = core.NewProcessFromSnapshot(cfg, snap.State)
+	} else {
+		p, err = core.NewProcess(cfg)
+	}
 	if err != nil {
 		return attempt{}, err
 	}
@@ -273,8 +333,14 @@ func (e *CoverageExperiment) runAttempt(i int, prof *profiler.Profile, smp *samp
 		cpuRec = trace.New(1024)
 		p.CPU.Trace = cpuRec
 	}
-	armed := ArmAll(p.CPU, specs)
-	status := p.Run(hang * prof.TotalDyn)
+	armed := armAllSeeded(p.CPU, specs, seed)
+	limit := hang * prof.TotalDyn
+	if snap != nil {
+		// The fault-free golden prefix retires one instruction per step,
+		// so the skipped prefix maps one-for-one onto budget.
+		limit -= snap.Dyn
+	}
+	status := p.Run(limit)
 	var a attempt
 	fired := false
 	for _, st := range armed {
@@ -363,6 +429,21 @@ func (e *CoverageExperiment) Run() (*CoverageResult, error) {
 	prof, err := profiler.Run(e.App, e.Libs, 0)
 	if err != nil {
 		return nil, err
+	}
+	if e.WarmStart && !e.Safeguard.Policy.Rollback {
+		every := e.SnapEvery
+		if every == 0 {
+			every = prof.TotalDyn/64 + 1
+		}
+		sprof, err := profiler.RunWithSnapshots(e.App, e.Libs, 0, every)
+		if err != nil {
+			return nil, err
+		}
+		if sprof.TotalDyn != prof.TotalDyn {
+			return nil, fmt.Errorf("faultinject: snapshot pass retired %d dyn, golden run %d; workload is nondeterministic and cannot warm-start",
+				sprof.TotalDyn, prof.TotalDyn)
+		}
+		prof = sprof
 	}
 	return e.runProfiled(prof)
 }

@@ -232,14 +232,33 @@ func Arm(cpu *machine.CPU, trig Trigger, bits []int) *Armed {
 // unfired faults remain armed even if a checkpoint rollback rewinds the
 // dynamic-instruction clock past their trigger.
 func ArmAll(cpu *machine.CPU, specs []ArmSpec) []*Armed {
+	return armAllSeeded(cpu, specs, nil)
+}
+
+// armAllSeeded is ArmAll with pre-seeded occurrence counters: a
+// warm-started process resumes mid-run, so the retire hook never sees
+// the skipped prefix's retirements and seed[si] must carry how many
+// times spec si's static instruction already retired in it. A nil seed
+// is the cold start. The states backing is allocated as one block and
+// the occurrence counters only when some spec needs them (the campaign
+// hot path is all AtDyn triggers).
+func armAllSeeded(cpu *machine.CPU, specs []ArmSpec, seed []uint64) []*Armed {
+	backing := make([]Armed, len(specs))
 	states := make([]*Armed, len(specs))
 	for i := range states {
-		states[i] = &Armed{}
+		states[i] = &backing[i]
 	}
 	if len(specs) == 0 {
 		return states
 	}
-	occ := make([]uint64, len(specs))
+	var occ []uint64
+	for i := range specs {
+		if specs[i].Trigger.AtDyn == 0 {
+			occ = make([]uint64, len(specs))
+			copy(occ, seed)
+			break
+		}
+	}
 	live := len(specs)
 	var remove func()
 	remove = cpu.AddAfterStep(func(c *machine.CPU, img *machine.Image, idx int, in *machine.MInstr) {
@@ -331,6 +350,35 @@ type Campaign struct {
 	// machine-level trap detail, at a small per-trap cost. The merged
 	// trace stays bit-identical across worker counts either way.
 	Trace bool
+	// WarmStart clones each trial from the latest golden-run snapshot
+	// strictly before its earliest injection target instead of
+	// re-executing the shared prefix from _start. The campaign result —
+	// including the exported trace JSONL — is bit-identical to a cold
+	// campaign for every worker count (the skipped prefix is
+	// deterministic and fault-free); only CampaignResult.WarmStart,
+	// which lives beside the trace, records the shortcut.
+	WarmStart bool
+	// SnapEvery is the snapshot cadence in retired instructions
+	// (warm-start only). 0 picks TotalDyn/64+1: at most 64 snapshots,
+	// bounding the frozen-image memory while capping the re-executed
+	// prefix at ~1/64 of the run per trial.
+	SnapEvery uint64
+}
+
+// WarmStartStats accounts for the work a warm-started campaign skipped.
+// It deliberately lives on the CampaignResult rather than the trace:
+// WriteJSONL exports every counter, and the warm-start contract is that
+// warm and cold trace exports diff byte-for-byte clean. The CLI surfaces
+// SkippedDyn as the campaign.warmstart.skipped-dyn figure on stderr.
+type WarmStartStats struct {
+	// Snapshots is how many golden-run snapshots were captured.
+	Snapshots int
+	// WarmTrials counts trials that cloned a snapshot (the rest had an
+	// injection target before the first snapshot and started cold).
+	WarmTrials int
+	// SkippedDyn totals the golden-prefix instructions the warm trials
+	// did not re-execute (the campaign.warmstart.skipped-dyn counter).
+	SkippedDyn uint64
 }
 
 // CampaignResult aggregates a campaign (Tables 2-4 rows).
@@ -357,6 +405,11 @@ type CampaignResult struct {
 	// the deterministic virtual clock, so it is bit-identical for every
 	// worker count.
 	Trace *trace.Recorder
+	// WarmStart accounts for the skipped golden-prefix work (nil unless
+	// the campaign ran with Campaign.WarmStart). It is the one field a
+	// warm/cold equivalence comparison must scrub; see WarmStartStats
+	// for why it is not a trace counter.
+	WarmStart *WarmStartStats
 }
 
 // destName names a destination kind for reports.
@@ -403,6 +456,9 @@ type trial struct {
 	// plus a KindTrial summary span (and trap stamps when Campaign.Trace
 	// is set). Merged into the campaign trace in trial-index order.
 	rec *trace.Recorder
+	// skippedDyn is the golden-prefix length the trial warm-started
+	// past (0 for a cold trial).
+	skippedDyn uint64
 }
 
 // runTrial executes the i'th injection of the campaign against a fresh
@@ -419,11 +475,35 @@ func (c *Campaign) runTrial(i int, prof *profiler.Profile, hang uint64) (trial, 
 		target := uint64(rng.Int63n(int64(prof.TotalDyn))) + 1
 		specs[j] = ArmSpec{Trigger: Trigger{AtDyn: target}, Bits: pickBits(rng, c.Model)}
 	}
-	p, err := core.NewProcess(core.ProcessConfig{App: c.App, Libs: c.Libs})
+	// Warm start: resume from the latest golden snapshot strictly before
+	// the earliest armed target. Everything up to that target is the
+	// deterministic fault-free golden prefix, so the resumed process is
+	// bit-identical to a cold one at the moment the first fault can fire.
+	var snap *profiler.SnapPoint
+	if len(prof.Snaps) > 0 {
+		minTarget := specs[0].Trigger.AtDyn
+		for _, s := range specs[1:] {
+			if s.Trigger.AtDyn < minTarget {
+				minTarget = s.Trigger.AtDyn
+			}
+		}
+		snap = prof.NearestSnap(minTarget)
+	}
+	cfg := core.ProcessConfig{App: c.App, Libs: c.Libs}
+	var p *core.Process
+	var err error
+	if snap != nil {
+		p, err = core.NewProcessFromSnapshot(cfg, snap.State)
+	} else {
+		p, err = core.NewProcess(cfg)
+	}
 	if err != nil {
 		return trial{}, err
 	}
-	rec := trace.New(64)
+	// A campaign trial emits at most one trap stamp (an unprotected
+	// process dies at its first trap) plus the summary span; a 4-slot
+	// ring never drops and keeps the per-trial footprint small.
+	rec := trace.New(4)
 	if c.Trace {
 		p.CPU.Trace = rec
 	}
@@ -437,7 +517,17 @@ func (c *Campaign) runTrial(i int, prof *profiler.Profile, hang uint64) (trial, 
 			}
 		}
 	}
-	status := p.Run(hang * prof.TotalDyn)
+	// The budget is shared with the skipped prefix: in the golden prefix
+	// every step retires, so a cold trial reaching the snapshot point has
+	// spent exactly snap.Dyn of its budget. Charging it here keeps the
+	// Hang classification bit-identical between warm and cold runs.
+	limit := hang * prof.TotalDyn
+	var skipped uint64
+	if snap != nil {
+		skipped = snap.Dyn
+		limit -= skipped
+	}
+	status := p.Run(limit)
 	// last is the most recently fired fault — the proximate corruption
 	// the manifestation latency is measured from.
 	var last *Armed
@@ -511,7 +601,7 @@ func (c *Campaign) runTrial(i int, prof *profiler.Profile, hang uint64) (trial, 
 		StartDyn: startDyn, EndDyn: p.CPU.Dyn,
 		Outcome: inj.Outcome.String(), Val: nFired,
 	})
-	return trial{inj: inj, fired: fired, rec: rec}, nil
+	return trial{inj: inj, fired: fired, rec: rec, skippedDyn: skipped}, nil
 }
 
 // Run executes the campaign: N independent trials on a pool of Workers
@@ -524,6 +614,26 @@ func (c *Campaign) Run() (*CampaignResult, error) {
 	prof, err := profiler.Run(c.App, c.Libs, 0)
 	if err != nil {
 		return nil, err
+	}
+	if c.WarmStart {
+		// Second golden pass, now capturing snapshots: the default
+		// cadence needs TotalDyn, and taking it from a separate run
+		// keeps the first (profiling) pass identical to a cold
+		// campaign's. The extra golden run is one trial's worth of work
+		// amortised over N warm trials.
+		every := c.SnapEvery
+		if every == 0 {
+			every = prof.TotalDyn/64 + 1
+		}
+		sprof, err := profiler.RunWithSnapshots(c.App, c.Libs, 0, every)
+		if err != nil {
+			return nil, err
+		}
+		if sprof.TotalDyn != prof.TotalDyn {
+			return nil, fmt.Errorf("faultinject: snapshot pass retired %d dyn, golden run %d; workload is nondeterministic and cannot warm-start",
+				sprof.TotalDyn, prof.TotalDyn)
+		}
+		prof = sprof
 	}
 	return c.runProfiled(prof)
 }
@@ -567,9 +677,17 @@ func (c *Campaign) runProfiled(prof *profiler.Profile) (*CampaignResult, error) 
 		ByDest:    map[machine.DestKind]map[Outcome]int{},
 		Trace:     trace.New(capSpans),
 	}
+	if c.WarmStart {
+		res.WarmStart = &WarmStartStats{Snapshots: len(prof.Snaps)}
+	}
+	res.Injections = make([]Injection, 0, c.N)
 	for i := range trials {
 		res.Trace.MergeAs(trials[i].rec, int32(i))
 		res.Injections = append(res.Injections, trials[i].inj)
+		if res.WarmStart != nil && trials[i].skippedDyn > 0 {
+			res.WarmStart.WarmTrials++
+			res.WarmStart.SkippedDyn += trials[i].skippedDyn
+		}
 	}
 	// Derive the report maps from the merged counters. Only observed
 	// classes get a key, mirroring the map-increment behaviour the

@@ -1,0 +1,272 @@
+package faultinject
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"care/internal/core"
+	"care/internal/ir"
+	"care/internal/profiler"
+	"care/internal/safeguard"
+	"care/internal/trace"
+)
+
+// jsonlBytes serialises a recorder the way the CLI tools do; warm and
+// cold campaign exports must compare byte-for-byte equal.
+func jsonlBytes(t *testing.T, r *trace.Recorder) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// scrubWarmStart strips the one field a warm campaign is allowed to add;
+// everything else must be bit-identical to the cold run.
+func scrubWarmStart(r *CampaignResult) *CampaignResult {
+	c := *r
+	c.WarmStart = nil
+	return &c
+}
+
+// tinyBinary builds a ~250-dynamic-instruction workload (sum of 0..39
+// reported through result_f64) so the cadence-1 sweep can afford one
+// snapshot per retired instruction.
+func tinyBinary(t testing.TB) *core.Binary {
+	t.Helper()
+	m := ir.NewModule("tinysum")
+	b := ir.NewBuilder(m)
+	b.NewFunc("main", ir.I64)
+	entry := m.Func("main").Entry()
+	loop := b.NewBlock("loop")
+	body := b.NewBlock("body")
+	done := b.NewBlock("done")
+	b.Br(loop)
+	b.SetBlock(loop)
+	i := b.Phi(ir.I64)
+	s := b.Phi(ir.F64)
+	c := b.ICmp(ir.OpICmpSLT, i, ir.ConstInt(40))
+	b.CondBr(c, body, done)
+	b.SetBlock(body)
+	fi := b.IToF(i)
+	s2 := b.FAdd(s, fi)
+	in := b.Add(i, ir.ConstInt(1))
+	b.Br(loop)
+	ir.AddIncoming(i, ir.ConstInt(0), entry)
+	ir.AddIncoming(i, in, body)
+	ir.AddIncoming(s, ir.ConstFloat(0), entry)
+	ir.AddIncoming(s, s2, body)
+	b.SetBlock(done)
+	b.HostCall("result_f64", ir.Void, s)
+	b.Ret(ir.ConstInt(0))
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	bin, err := core.Build(m, core.BuildOptions{NoArmor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+// TestWarmStartCampaignEquivalence is the warm-start contract: the same
+// seed produces a bit-identical CampaignResult — including the exported
+// trace JSONL — with warm-start on or off, for any worker count. Only
+// the WarmStart accounting field may differ.
+func TestWarmStartCampaignEquivalence(t *testing.T) {
+	bin := buildWorkload(t, "HPCCG", 0, false)
+	run := func(warm bool, workers int) *CampaignResult {
+		res, err := (&Campaign{
+			App: bin, N: 24, Model: SingleBit, Seed: 11,
+			Workers: workers, Trace: true, WarmStart: warm,
+		}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cold := run(false, 1)
+	if cold.WarmStart != nil {
+		t.Fatal("cold campaign reports warm-start stats")
+	}
+	coldJSON := jsonlBytes(t, cold.Trace)
+	for _, workers := range []int{1, 4} {
+		warm := run(true, workers)
+		if warm.WarmStart == nil {
+			t.Fatalf("workers=%d: warm campaign has no warm-start stats", workers)
+		}
+		if warm.WarmStart.Snapshots == 0 || warm.WarmStart.WarmTrials == 0 || warm.WarmStart.SkippedDyn == 0 {
+			t.Fatalf("workers=%d: warm campaign skipped nothing: %+v", workers, warm.WarmStart)
+		}
+		if !reflect.DeepEqual(scrubWarmStart(warm), cold) {
+			t.Fatalf("workers=%d: warm result differs from cold:\n%+v\nvs\n%+v",
+				workers, scrubWarmStart(warm), cold)
+		}
+		if !bytes.Equal(jsonlBytes(t, warm.Trace), coldJSON) {
+			t.Fatalf("workers=%d: warm trace JSONL differs from cold", workers)
+		}
+	}
+}
+
+// TestWarmStartSnapshotCadences sweeps the snapshot cadence across its
+// edge cases on a tiny workload: one snapshot per instruction, a prime
+// stride, and a stride past the end of the run (zero snapshots, so every
+// trial falls back to a cold start). All must reproduce the cold result.
+func TestWarmStartSnapshotCadences(t *testing.T) {
+	bin := tinyBinary(t)
+	run := func(warm bool, every uint64) *CampaignResult {
+		res, err := (&Campaign{
+			App: bin, N: 16, Model: SingleBit, Seed: 7,
+			Workers: 4, Trace: true, WarmStart: warm, SnapEvery: every,
+		}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cold := run(false, 0)
+	coldJSON := jsonlBytes(t, cold.Trace)
+	for _, every := range []uint64{1, 7, 1 << 40} {
+		warm := run(true, every)
+		if !reflect.DeepEqual(scrubWarmStart(warm), cold) {
+			t.Fatalf("cadence %d: warm result differs from cold:\n%+v\nvs\n%+v",
+				every, scrubWarmStart(warm), cold)
+		}
+		if !bytes.Equal(jsonlBytes(t, warm.Trace), coldJSON) {
+			t.Fatalf("cadence %d: warm trace JSONL differs from cold", every)
+		}
+		switch {
+		case every == 1 && warm.WarmStart.WarmTrials == 0:
+			t.Fatal("cadence 1 warm-started no trial")
+		case every == 1<<40 && warm.WarmStart.Snapshots != 0:
+			t.Fatalf("cadence past TotalDyn captured %d snapshots", warm.WarmStart.Snapshots)
+		}
+	}
+}
+
+// TestWarmStartMultiFaultEquivalence extends the contract to the
+// multi-fault model, where the snapshot must be chosen against the
+// *earliest* armed target — a later fault's snapshot would skip past the
+// first corruption point.
+func TestWarmStartMultiFaultEquivalence(t *testing.T) {
+	bin := buildWorkload(t, "HPCCG", 0, false)
+	run := func(warm bool) *CampaignResult {
+		res, err := (&Campaign{
+			App: bin, N: 16, Model: SingleBit, Seed: 13,
+			FaultsPerTrial: 3, Workers: 4, Trace: true, WarmStart: warm,
+		}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cold, warm := run(false), run(true)
+	if !reflect.DeepEqual(scrubWarmStart(warm), cold) {
+		t.Fatalf("multi-fault warm result differs from cold:\n%+v\nvs\n%+v",
+			scrubWarmStart(warm), cold)
+	}
+	if !bytes.Equal(jsonlBytes(t, warm.Trace), jsonlBytes(t, cold.Trace)) {
+		t.Fatal("multi-fault warm trace JSONL differs from cold")
+	}
+	if warm.WarmStart.WarmTrials == 0 {
+		t.Fatal("multi-fault campaign warm-started no trial")
+	}
+	// Every fault of every trial must still fire at (or after) its own
+	// target — a snapshot past the earliest target would make that fault
+	// unfirable.
+	for _, inj := range warm.Injections {
+		for _, fp := range inj.Faults {
+			if fp.Fired && fp.Dyn < fp.TargetDyn {
+				t.Errorf("fault fired at dyn %d before its target %d", fp.Dyn, fp.TargetDyn)
+			}
+		}
+	}
+}
+
+// TestNearestSnapStrictlyPrecedes pins the eligibility rule: a snapshot
+// taken at exactly the target dyn has already retired the target
+// instruction uncorrupted, so only strictly earlier snapshots qualify.
+func TestNearestSnapStrictlyPrecedes(t *testing.T) {
+	p := &profiler.Profile{Snaps: []profiler.SnapPoint{{Dyn: 10}, {Dyn: 20}, {Dyn: 30}}}
+	for _, tc := range []struct {
+		dyn  uint64
+		want uint64 // 0 = nil
+	}{
+		{5, 0}, {10, 0}, {11, 10}, {20, 10}, {30, 20}, {31, 30}, {1 << 30, 30},
+	} {
+		got := p.NearestSnap(tc.dyn)
+		switch {
+		case tc.want == 0 && got != nil:
+			t.Errorf("NearestSnap(%d) = snapshot at %d, want nil", tc.dyn, got.Dyn)
+		case tc.want != 0 && (got == nil || got.Dyn != tc.want):
+			t.Errorf("NearestSnap(%d) = %v, want snapshot at %d", tc.dyn, got, tc.want)
+		}
+	}
+}
+
+// TestWarmStartCoverageEquivalence asserts the §5 coverage path under
+// warm start: occurrence-triggered faults fire on exactly the same
+// retirement as cold thanks to the pre-seeded occurrence counters, so
+// every logical field matches (only wall-clock timings may differ).
+func TestWarmStartCoverageEquivalence(t *testing.T) {
+	bin := buildWorkload(t, "HPCCG", 0, true)
+	run := func(warm bool) *CoverageResult {
+		res, err := (&CoverageExperiment{
+			App: bin, Trials: 12, Model: SingleBit, Seed: 21,
+			RecordInjections: true, Workers: 4, WarmStart: warm,
+		}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cold, warm := run(false), run(true)
+	scrub := func(r *CoverageResult) CoverageResult {
+		c := *r
+		c.Events = nil
+		c.TrialRecoveryTimes = nil
+		c.Trace = nil // compared separately, with Wall times scrubbed
+		return c
+	}
+	if a, b := scrub(warm), scrub(cold); !reflect.DeepEqual(a, b) {
+		t.Fatalf("warm coverage differs from cold:\n%+v\nvs\n%+v", a, b)
+	}
+	requireTraceSkeletonEqual(t, warm.Trace, cold.Trace)
+}
+
+// TestWarmStartCoverageRollbackGuard pins the rollback interaction:
+// warm start is silently ignored when the policy checkpoints processes
+// at _start (a mid-run clone cannot reproduce that store), and the
+// result still matches the cold rollback run exactly.
+func TestWarmStartCoverageRollbackGuard(t *testing.T) {
+	bin := buildWorkload(t, "HPCCG", 0, true)
+	run := func(warm bool) *CoverageResult {
+		res, err := (&CoverageExperiment{
+			App: bin, Trials: 6, Model: SingleBit, Seed: 31,
+			Safeguard: safeguard.Config{
+				Policy: safeguard.Policy{Rollback: true, MaxTrapsPerPC: 8, StormTraps: 4},
+			},
+			CheckpointEveryResults: 1,
+			Workers:                4,
+			WarmStart:              warm,
+		}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cold, warm := run(false), run(true)
+	scrub := func(r *CoverageResult) CoverageResult {
+		c := *r
+		c.Events = nil
+		c.TrialRecoveryTimes = nil
+		c.Trace = nil
+		return c
+	}
+	if a, b := scrub(warm), scrub(cold); !reflect.DeepEqual(a, b) {
+		t.Fatalf("rollback coverage differs with warm-start requested:\n%+v\nvs\n%+v", a, b)
+	}
+	requireTraceSkeletonEqual(t, warm.Trace, cold.Trace)
+}

@@ -271,11 +271,16 @@ func (c *CPU) Step() {
 	}
 	nextPC := c.PC + 8
 
-	src2 := func() Word {
-		if in.UseImm {
-			return Word(in.Imm)
-		}
-		return c.R[in.Rb]
+	// src2 is the second ALU operand (Rb or the immediate), fetched up
+	// front as a plain value: the ALU cases are the hottest in the
+	// dispatch and a per-instruction closure cost an indirect call on
+	// every one of them. The Rb bound check keeps instructions that
+	// leave Rb at NoReg from indexing out of the register file.
+	var src2 Word
+	if in.UseImm {
+		src2 = Word(in.Imm)
+	} else if in.Rb < NumReg {
+		src2 = c.R[in.Rb]
 	}
 
 	switch in.Op {
@@ -285,13 +290,13 @@ func (c *CPU) Step() {
 	case MMov:
 		c.R[in.Rd] = c.R[in.Ra]
 	case MAdd:
-		c.R[in.Rd] = c.R[in.Ra] + src2()
+		c.R[in.Rd] = c.R[in.Ra] + src2
 	case MSub:
-		c.R[in.Rd] = c.R[in.Ra] - src2()
+		c.R[in.Rd] = c.R[in.Ra] - src2
 	case MMul:
-		c.R[in.Rd] = Word(int64(c.R[in.Ra]) * int64(src2()))
+		c.R[in.Rd] = Word(int64(c.R[in.Ra]) * int64(src2))
 	case MDiv:
-		d := int64(src2())
+		d := int64(src2)
 		n := int64(c.R[in.Ra])
 		if d == 0 || (n == math.MinInt64 && d == -1) {
 			c.trap(&Trap{Sig: SigFPE, PC: c.PC, Img: img, Idx: idx, Instr: in})
@@ -299,7 +304,7 @@ func (c *CPU) Step() {
 		}
 		c.R[in.Rd] = Word(n / d)
 	case MRem:
-		d := int64(src2())
+		d := int64(src2)
 		n := int64(c.R[in.Ra])
 		if d == 0 || (n == math.MinInt64 && d == -1) {
 			c.trap(&Trap{Sig: SigFPE, PC: c.PC, Img: img, Idx: idx, Instr: in})
@@ -307,15 +312,15 @@ func (c *CPU) Step() {
 		}
 		c.R[in.Rd] = Word(n % d)
 	case MAnd:
-		c.R[in.Rd] = c.R[in.Ra] & src2()
+		c.R[in.Rd] = c.R[in.Ra] & src2
 	case MOr:
-		c.R[in.Rd] = c.R[in.Ra] | src2()
+		c.R[in.Rd] = c.R[in.Ra] | src2
 	case MXor:
-		c.R[in.Rd] = c.R[in.Ra] ^ src2()
+		c.R[in.Rd] = c.R[in.Ra] ^ src2
 	case MShl:
-		c.R[in.Rd] = c.R[in.Ra] << (src2() & 63)
+		c.R[in.Rd] = c.R[in.Ra] << (src2 & 63)
 	case MShr:
-		c.R[in.Rd] = Word(int64(c.R[in.Ra]) >> (src2() & 63))
+		c.R[in.Rd] = Word(int64(c.R[in.Ra]) >> (src2 & 63))
 	case MFMovImm:
 		c.F[in.Fd] = math.Float64frombits(Word(in.Imm))
 	case MFMov:
@@ -337,7 +342,7 @@ func (c *CPU) Step() {
 	case MBitFI:
 		c.R[in.Rd] = math.Float64bits(c.F[in.Fa])
 	case MSet:
-		a, b := int64(c.R[in.Ra]), int64(src2())
+		a, b := int64(c.R[in.Ra]), int64(src2)
 		c.R[in.Rd] = boolWord(cmpInt(in.Cond, a, b))
 	case MFSet:
 		c.R[in.Rd] = boolWord(cmpFloat(in.Cond, c.F[in.Fa], c.F[in.Fb]))

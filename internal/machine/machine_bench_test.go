@@ -9,8 +9,8 @@ import (
 
 // benchLoop assembles a tight counted loop touching memory: the
 // steady-state instruction mix of the simulated machine.
-func benchLoop(b *testing.B, n int64) *CPU {
-	b.Helper()
+func benchLoop(tb testing.TB, n int64) *CPU {
+	tb.Helper()
 	code := []MInstr{
 		{Op: MMovImm, Rd: R1, Imm: 0},                                // i
 		{Op: MMovImm, Rd: R4, Imm: 0x30000},                          // base
@@ -28,18 +28,18 @@ func benchLoop(b *testing.B, n int64) *CPU {
 	mem := NewMemory()
 	img, err := Load(mem, p)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	cpu := NewCPU(mem, hostenv.NewEnv())
 	cpu.Attach(img)
 	if err := cpu.InitStack(); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	if _, err := mem.Map(0x30000, 256*8, "data"); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	if err := cpu.Start(img, "_start"); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	cpu.R[R5] = Word(n) // loop bound (never reached; And wraps)
 	return cpu

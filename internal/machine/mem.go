@@ -105,10 +105,36 @@ type Segment struct {
 	Base Word
 	Data []byte
 	Name string
+	// ro marks an immutable mapping (code/rodata): stores fault with
+	// SIGSEGV, and snapshots neither copy nor restore the segment. The
+	// backing Data may be shared by every process of the same binary.
+	ro bool
+	// cow marks Data as aliasing frozen bytes shared with a snapshot,
+	// another process, or a program's initial image; the first store
+	// materialises a private copy.
+	cow bool
 }
 
 // End returns one past the last mapped byte.
 func (s *Segment) End() Word { return s.Base + Word(len(s.Data)) }
+
+// ReadOnly reports whether stores to the segment fault.
+func (s *Segment) ReadOnly() bool { return s.ro }
+
+// Shared reports whether the segment's bytes still alias frozen data
+// (a snapshot, another process, or a program image). A read-only
+// segment stays shared forever; a copy-on-write segment stops being
+// shared at its first store.
+func (s *Segment) Shared() bool { return s.ro || s.cow }
+
+// materialize replaces aliased frozen bytes with a private copy; the
+// copy-on-write fault path of a store.
+func (s *Segment) materialize() {
+	d := make([]byte, len(s.Data))
+	copy(d, s.Data)
+	s.Data = d
+	s.cow = false
+}
 
 // Memory is a sparse, segmented 48-bit address space.
 type Memory struct {
@@ -124,26 +150,58 @@ func NewMemory() *Memory {
 	return &Memory{heapNext: HeapBase}
 }
 
-// Map adds a segment of size bytes at base. It returns an error if the
-// range is non-canonical, empty, or overlaps an existing segment.
-func (m *Memory) Map(base Word, size int, name string) (*Segment, error) {
+// insert places a segment into the sorted list after range checks.
+func (m *Memory) insert(s *Segment) error {
+	base, size := s.Base, len(s.Data)
 	if size <= 0 {
-		return nil, fmt.Errorf("machine: map %s: empty segment", name)
+		return fmt.Errorf("machine: map %s: empty segment", s.Name)
 	}
 	if base&^AddrMask != 0 || (base+Word(size))&^AddrMask != 0 || base+Word(size) < base {
-		return nil, fmt.Errorf("machine: map %s: non-canonical range [0x%x,0x%x)", name, base, base+Word(size))
+		return fmt.Errorf("machine: map %s: non-canonical range [0x%x,0x%x)", s.Name, base, base+Word(size))
 	}
 	i := sort.Search(len(m.segs), func(i int) bool { return m.segs[i].Base >= base })
 	if i > 0 && m.segs[i-1].End() > base {
-		return nil, fmt.Errorf("machine: map %s at 0x%x overlaps %s", name, base, m.segs[i-1].Name)
+		return fmt.Errorf("machine: map %s at 0x%x overlaps %s", s.Name, base, m.segs[i-1].Name)
 	}
 	if i < len(m.segs) && m.segs[i].Base < base+Word(size) {
-		return nil, fmt.Errorf("machine: map %s at 0x%x overlaps %s", name, base, m.segs[i].Name)
+		return fmt.Errorf("machine: map %s at 0x%x overlaps %s", s.Name, base, m.segs[i].Name)
 	}
-	s := &Segment{Base: base, Data: make([]byte, size), Name: name}
 	m.segs = append(m.segs, nil)
 	copy(m.segs[i+1:], m.segs[i:])
 	m.segs[i] = s
+	return nil
+}
+
+// Map adds a zeroed segment of size bytes at base. It returns an error
+// if the range is non-canonical, empty, or overlaps an existing segment.
+func (m *Memory) Map(base Word, size int, name string) (*Segment, error) {
+	s := &Segment{Base: base, Data: make([]byte, size), Name: name}
+	if err := m.insert(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MapShared maps immutable bytes at base without copying them: the
+// segment is read-only (stores fault with SIGSEGV) and its Data aliases
+// the caller's slice, so every process of the same binary shares one
+// backing array. The caller must never mutate data afterwards.
+func (m *Memory) MapShared(base Word, data []byte, name string) (*Segment, error) {
+	s := &Segment{Base: base, Data: data, Name: name, ro: true}
+	if err := m.insert(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MapCOW maps frozen bytes at base copy-on-write: reads see the shared
+// data, and the first store materialises a private copy. The caller
+// must never mutate data afterwards.
+func (m *Memory) MapCOW(base Word, data []byte, name string) (*Segment, error) {
+	s := &Segment{Base: base, Data: data, Name: name, cow: true}
+	if err := m.insert(s); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -198,14 +256,20 @@ func (m *Memory) Read(addr Word) (Word, *Fault) {
 	return binary.LittleEndian.Uint64(s.Data[addr-s.Base:]), nil
 }
 
-// Write writes an 8-byte word; the access must be aligned and mapped.
+// Write writes an 8-byte word; the access must be aligned, mapped and
+// writable (stores to read-only code segments fault like stores to
+// unmapped memory — SIGSEGV, as a store through a corrupted pointer
+// into .text would on a real machine).
 func (m *Memory) Write(addr Word, v Word) *Fault {
 	s := m.Find(addr)
-	if s == nil || addr+8 > s.End() {
+	if s == nil || addr+8 > s.End() || s.ro {
 		return &Fault{Sig: SigSEGV, Addr: addr}
 	}
 	if addr&7 != 0 {
 		return &Fault{Sig: SigBUS, Addr: addr}
+	}
+	if s.cow {
+		s.materialize()
 	}
 	binary.LittleEndian.PutUint64(s.Data[addr-s.Base:], v)
 	return nil
@@ -277,27 +341,45 @@ type SegSnapshot struct {
 	Data []byte
 }
 
-// Snapshot captures a deep copy of the memory.
+// Snapshot captures the writable memory image by freezing it instead of
+// copying it: every writable segment is flipped to copy-on-write and the
+// snapshot aliases its bytes, so the capture is O(segments) and the data
+// is copied only when (and if) the live memory stores to it again.
+// Read-only code segments are excluded — they are immutable and shared
+// by construction, exactly as ordinary checkpointing skips .text.
+// Snapshots are therefore safe to Restore into many concurrent
+// processes: all of them share the frozen bytes until they diverge.
 func (m *Memory) Snapshot() *Snapshot {
 	sn := &Snapshot{HeapNext: m.heapNext}
 	for _, s := range m.segs {
-		d := make([]byte, len(s.Data))
-		copy(d, s.Data)
-		sn.Segs = append(sn.Segs, SegSnapshot{Base: s.Base, Name: s.Name, Data: d})
+		if s.ro {
+			continue
+		}
+		s.cow = true
+		sn.Segs = append(sn.Segs, SegSnapshot{Base: s.Base, Name: s.Name, Data: s.Data})
 	}
 	return sn
 }
 
-// Restore replaces the memory contents with the snapshot's.
+// Restore replaces the writable memory contents with the snapshot's.
+// Read-only code segments are kept in place (code is immutable and not
+// part of a snapshot); every restored segment aliases the snapshot's
+// frozen bytes copy-on-write, so restoring into N processes shares one
+// backing array until each process stores to it.
 func (m *Memory) Restore(sn *Snapshot) {
-	m.segs = m.segs[:0]
+	kept := m.segs[:0]
+	for _, s := range m.segs {
+		if s.ro {
+			kept = append(kept, s)
+		}
+	}
+	m.segs = kept
 	m.cache = nil
 	m.heapNext = sn.HeapNext
 	for _, s := range sn.Segs {
-		d := make([]byte, len(s.Data))
-		copy(d, s.Data)
-		m.segs = append(m.segs, &Segment{Base: s.Base, Name: s.Name, Data: d})
+		m.segs = append(m.segs, &Segment{Base: s.Base, Name: s.Name, Data: s.Data, cow: true})
 	}
+	sort.Slice(m.segs, func(i, j int) bool { return m.segs[i].Base < m.segs[j].Base })
 }
 
 // Bytes returns the serialised size of a snapshot (for the C/R cost

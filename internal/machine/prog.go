@@ -2,6 +2,7 @@ package machine
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 
@@ -39,6 +40,13 @@ type Program struct {
 	Debug      *debuginfo.Info
 	// OptLevel records the optimisation level the image was built with.
 	OptLevel int
+
+	// codeBytes is the packed byte image of Code, built once by
+	// SealCode and shared read-only by every process that loads this
+	// program. It is unexported (and so outside the gob encoding): the
+	// compiler seals programs it emits and DecodeProgram seals decoded
+	// ones, both before any concurrent use.
+	codeBytes []byte
 }
 
 // EndAddr returns one past the last code address.
@@ -93,7 +101,34 @@ func DecodeProgram(b []byte) (*Program, error) {
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&p); err != nil {
 		return nil, fmt.Errorf("machine: decode program: %w", err)
 	}
+	p.SealCode()
 	return &p, nil
+}
+
+// packCode renders the instruction stream as the canonical 8-byte
+// encoding backing the image's .text segment (opcode and register
+// operands in the high bytes, the low immediate bits below). The exact
+// packing only matters in that it is deterministic: data loads that
+// stray into code read these bytes, and stores to them fault.
+func packCode(code []MInstr) []byte {
+	b := make([]byte, 8*len(code))
+	for i := range code {
+		in := &code[i]
+		w := uint64(in.Op)<<56 | uint64(in.Rd)<<48 | uint64(in.Ra)<<40 |
+			uint64(in.Rb)<<32 | uint64(uint32(in.Imm))
+		binary.LittleEndian.PutUint64(b[8*i:], w)
+	}
+	return b
+}
+
+// SealCode builds the program's packed code image so that every Load
+// shares one read-only backing array. It must be called before the
+// program is loaded concurrently (the compiler and DecodeProgram both
+// seal); Load of an unsealed program falls back to a private packing.
+func (p *Program) SealCode() {
+	if p.codeBytes == nil && len(p.Code) > 0 {
+		p.codeBytes = packCode(p.Code)
+	}
 }
 
 // Image is a program mapped into a process: its code range responds to
@@ -101,6 +136,8 @@ func DecodeProgram(b []byte) (*Program, error) {
 type Image struct {
 	Prog      *Program
 	GlobalSeg *Segment
+	// CodeSeg is the read-only .text mapping (stores to it fault).
+	CodeSeg *Segment
 }
 
 // Base returns the image's code base address.
@@ -114,27 +151,50 @@ func (im *Image) End() Word { return im.Prog.EndAddr() }
 // PC to the right image (and thus line table).
 func (im *Image) Contains(pc Word) bool { return pc >= im.Base() && pc < im.End() }
 
-// Load maps a program into memory: its globals segment is created and
-// initialised. The returned Image can be attached to a CPU.
+// Load maps a program into memory without copying its image: the code
+// range becomes a read-only .text segment aliasing the program's sealed
+// byte image (shared by every process of the binary; stores to it
+// fault), and the globals segment maps the initial data copy-on-write,
+// materialising a private copy only when the process first stores to
+// it. The returned Image can be attached to a CPU.
 func Load(mem *Memory, p *Program) (*Image, error) {
 	im := &Image{Prog: p}
-	if len(p.GlobalInit) > 0 {
-		seg, err := mem.Map(p.GlobalBase, len(p.GlobalInit), p.Name+".data")
+	if len(p.Code) > 0 {
+		code := p.codeBytes
+		if code == nil {
+			// Unsealed (hand-assembled test programs): pack privately
+			// rather than racing to cache on the shared Program.
+			code = packCode(p.Code)
+		}
+		seg, err := mem.MapShared(p.CodeBase, code, p.Name+".text")
 		if err != nil {
 			return nil, err
 		}
-		copy(seg.Data, p.GlobalInit)
+		im.CodeSeg = seg
+	}
+	if len(p.GlobalInit) > 0 {
+		seg, err := mem.MapCOW(p.GlobalBase, p.GlobalInit, p.Name+".data")
+		if err != nil {
+			if im.CodeSeg != nil {
+				mem.Unmap(im.CodeSeg)
+			}
+			return nil, err
+		}
 		im.GlobalSeg = seg
 	}
 	return im, nil
 }
 
-// Unload removes the image's data segment from memory (the dlclose
+// Unload removes the image's segments from memory (the dlclose
 // analogue; Safeguard unloads the recovery library after each repair to
 // keep the steady-state footprint fixed).
 func (im *Image) Unload(mem *Memory) {
 	if im.GlobalSeg != nil {
 		mem.Unmap(im.GlobalSeg)
 		im.GlobalSeg = nil
+	}
+	if im.CodeSeg != nil {
+		mem.Unmap(im.CodeSeg)
+		im.CodeSeg = nil
 	}
 }

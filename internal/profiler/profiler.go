@@ -9,9 +9,29 @@ package profiler
 import (
 	"fmt"
 
+	"care/internal/checkpoint"
 	"care/internal/core"
 	"care/internal/machine"
 )
+
+// SnapPoint is one golden-run machine snapshot, captured at a periodic
+// dyn cadence so that fault-injection trials can warm-start from the
+// nearest snapshot before their injection point instead of re-executing
+// the shared prefix. The snapshot's memory image is frozen
+// copy-on-write, so one SnapPoint is safely shared by every concurrent
+// trial that clones it.
+type SnapPoint struct {
+	// Dyn is the retired-instruction count at capture time (equal to
+	// State.CPU.Dyn; duplicated for cheap eligibility scans).
+	Dyn uint64
+	// State is the full machine snapshot (memory, registers, host
+	// environment output streams).
+	State *checkpoint.Snapshot
+	// Counts is the per-static-instruction execution count at capture
+	// time, per image name — the occurrence-trigger position a trial
+	// resuming here must pre-seed its arming hook with.
+	Counts map[string][]uint64
+}
 
 // Profile is the result of a profiling (golden) run.
 type Profile struct {
@@ -24,26 +44,70 @@ type Profile struct {
 	Golden []float64
 	// ExitCode of the golden run.
 	ExitCode uint64
+	// Snaps are the periodic golden-run snapshots in ascending Dyn
+	// order (empty unless the profile was taken with RunWithSnapshots).
+	Snaps []SnapPoint
+}
+
+// NearestSnap returns the latest snapshot strictly before dyn, or nil.
+// Strictness matters: a snapshot taken at exactly dyn has already
+// retired (uncorrupted) the instruction an AtDyn=dyn fault targets.
+func (p *Profile) NearestSnap(dyn uint64) *SnapPoint {
+	var best *SnapPoint
+	for i := range p.Snaps {
+		if p.Snaps[i].Dyn >= dyn {
+			break
+		}
+		best = &p.Snaps[i]
+	}
+	return best
 }
 
 // Run executes the binary (with optional extra library binaries) to
 // completion with profiling enabled. limit bounds the run (0 = none).
 func Run(app *core.Binary, libs []*core.Binary, limit uint64) (*Profile, error) {
+	return RunWithSnapshots(app, libs, limit, 0)
+}
+
+// RunWithSnapshots is Run plus periodic machine snapshots: every
+// snapEvery retired instructions the golden process is checkpointed
+// (frozen copy-on-write, so each capture costs O(segments), with the
+// byte copying deferred to the segments the run actually dirties before
+// the next capture). snapEvery == 0 disables capture; the profile is
+// then identical to Run's.
+func RunWithSnapshots(app *core.Binary, libs []*core.Binary, limit, snapEvery uint64) (*Profile, error) {
 	p, err := core.NewProcess(core.ProcessConfig{App: app, Libs: libs})
 	if err != nil {
 		return nil, err
 	}
 	p.CPU.Profile = true
+	prof := &Profile{Counts: map[string][]uint64{}}
+	if snapEvery > 0 {
+		copyCounts := func(c *machine.CPU) map[string][]uint64 {
+			m := make(map[string][]uint64, len(c.Counts))
+			for img, cnts := range c.Counts {
+				m[img.Prog.Name] = append([]uint64(nil), cnts...)
+			}
+			return m
+		}
+		remove := p.CPU.AddAfterStep(func(c *machine.CPU, _ *machine.Image, _ int, _ *machine.MInstr) {
+			if c.Dyn%snapEvery == 0 {
+				prof.Snaps = append(prof.Snaps, SnapPoint{
+					Dyn:    c.Dyn,
+					State:  checkpoint.Capture(c, 0),
+					Counts: copyCounts(c),
+				})
+			}
+		})
+		defer remove()
+	}
 	st := p.Run(limit)
 	if st != machine.StatusExited {
 		return nil, fmt.Errorf("profiler: golden run did not exit: %v (trap %v)", st, p.CPU.PendingTrap)
 	}
-	prof := &Profile{
-		TotalDyn: p.CPU.Dyn,
-		Counts:   map[string][]uint64{},
-		Golden:   append([]float64(nil), p.Results()...),
-		ExitCode: p.CPU.ExitCode,
-	}
+	prof.TotalDyn = p.CPU.Dyn
+	prof.Golden = append([]float64(nil), p.Results()...)
+	prof.ExitCode = p.CPU.ExitCode
 	for img, cnts := range p.CPU.Counts {
 		prof.Counts[img.Prog.Name] = cnts
 	}
