@@ -213,6 +213,45 @@ func BenchmarkFigure12DoubleFlipCoverage(b *testing.B) {
 	}
 }
 
+// BenchmarkGoldenRun measures raw golden-run throughput — the paper's
+// experiments all sit on top of fault-free replays, so this is the
+// constant every campaign's wall-clock divides by. It runs HPCCG (the
+// 27-point stencil matrix build plus the CG sparse matrix-vector loop)
+// end to end at O0 and O1 on both interpreter tiers: the default
+// block-predecoded engine and the legacy per-instruction Step loop.
+// The block/step ratio is the engine's speedup; CI uploads the output
+// as BENCH_interp.json.
+func BenchmarkGoldenRun(b *testing.B) {
+	for _, opt := range []int{0, 1} {
+		bin, err := experiments.BuildWorkload("HPCCG", workloads.Params{}, opt, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tc := range []struct {
+			name     string
+			stepLoop bool
+		}{
+			{"block", false},
+			{"step", true},
+		} {
+			b.Run("O"+string(rune('0'+opt))+"/"+tc.name, func(b *testing.B) {
+				var dyn uint64
+				for i := 0; i < b.N; i++ {
+					p, err := core.NewProcess(core.ProcessConfig{App: bin, StepLoop: tc.stepLoop})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st := p.Run(0); st != machine.StatusExited {
+						b.Fatalf("golden run: %v", st)
+					}
+					dyn += p.CPU.Dyn
+				}
+				b.ReportMetric(float64(dyn)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+			})
+		}
+	}
+}
+
 // BenchmarkSafeguardIdleOverhead is the §5.2 zero-runtime-overhead
 // claim: a protected fault-free run vs an unprotected one.
 func BenchmarkSafeguardIdleOverhead(b *testing.B) {

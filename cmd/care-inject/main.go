@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	care-inject [-n 1000] [-faults 1] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1] [-workers 0] [-trace-out FILE] [-warmstart] [-snap-every N]
+//	care-inject [-n 1000] [-faults 1] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1] [-workers 0] [-trace-out FILE] [-warmstart] [-snap-every N] [-interp block|step] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"care/internal/experiments"
 	"care/internal/faultinject"
@@ -30,7 +32,50 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the merged campaign trace as JSONL to this file (Rank = workload index)")
 	warmStart := flag.Bool("warmstart", false, "clone trials from golden-run snapshots instead of replaying the fault-free prefix (results are identical)")
 	snapEvery := flag.Uint64("snap-every", 0, "golden-run snapshot cadence in dynamic instructions (0 = TotalDyn/64+1; only with -warmstart)")
+	interp := flag.String("interp", "block", "interpreter loop for trial processes: block (predecoded engine) or step (legacy per-instruction loop; results are identical)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	var stepLoop bool
+	switch *interp {
+	case "block":
+	case "step":
+		stepLoop = true
+	default:
+		fmt.Fprintln(os.Stderr, "unknown -interp; want block or step")
+		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	m := faultinject.SingleBit
 	switch *model {
@@ -53,6 +98,7 @@ func main() {
 		Traced:    *traceOut != "",
 		WarmStart: *warmStart,
 		SnapEvery: *snapEvery,
+		StepLoop:  stepLoop,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -174,6 +174,11 @@ type ProcessConfig struct {
 	// grows by that many values.
 	Checkpoint             *checkpoint.Store
 	CheckpointEveryResults int
+	// StepLoop forces the legacy per-instruction interpreter loop
+	// instead of the block-predecoded engine. Results are identical
+	// either way (the CI smoke diffs them); the knob exists for that
+	// check and for timing comparisons.
+	StepLoop bool
 }
 
 // Process is one simulated process: a CPU, its memory and images, and
@@ -204,6 +209,7 @@ func newLoadedProcess(cfg ProcessConfig) (*Process, []*safeguard.Unit, error) {
 		env = hostenv.NewEnv()
 	}
 	cpu := machine.NewCPU(mem, env)
+	cpu.StepLoop = cfg.StepLoop
 	p := &Process{Mem: mem, CPU: cpu, Env: env}
 
 	var units []*safeguard.Unit

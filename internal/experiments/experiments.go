@@ -59,6 +59,10 @@ type StudyOptions struct {
 	// SnapEvery is the snapshot cadence in retired instructions
 	// (0 = TotalDyn/64+1).
 	SnapEvery uint64
+	// StepLoop forces trial processes onto the legacy per-instruction
+	// interpreter loop instead of the block-predecoded engine; results
+	// stay bit-identical (the CI smoke diffs the two).
+	StepLoop bool
 }
 
 // OutcomeStudy runs the §2 manifestation study (Tables 2, 3, 4 / 10, 11).
@@ -80,6 +84,7 @@ func OutcomeStudy(names []string, n, faults int, model faultinject.Model, seed i
 			App: bin, N: n, FaultsPerTrial: faults, Model: model, Seed: seed,
 			Workers: opts.Workers, Trace: opts.Traced,
 			WarmStart: opts.WarmStart, SnapEvery: opts.SnapEvery,
+			StepLoop: opts.StepLoop,
 		}).Run()
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)

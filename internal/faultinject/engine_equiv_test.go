@@ -1,0 +1,119 @@
+package faultinject
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"care/internal/safeguard"
+)
+
+// TestCampaignEngineEquivalence is the block engine's end-to-end
+// contract: a campaign run on the block-predecoded interpreter is
+// bit-identical — every result field and the exported trace JSONL — to
+// the same campaign forced onto the legacy per-instruction Step loop,
+// across worker counts and under the multi-fault model.
+func TestCampaignEngineEquivalence(t *testing.T) {
+	bin := buildWorkload(t, "HPCCG", 0, false)
+	for _, tc := range []struct {
+		name   string
+		faults int
+	}{
+		{"single-fault", 1},
+		{"multi-fault", 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(stepLoop bool, workers int) *CampaignResult {
+				res, err := (&Campaign{
+					App: bin, N: 24, FaultsPerTrial: tc.faults,
+					Model: SingleBit, Seed: 7, Workers: workers,
+					Trace: true, StepLoop: stepLoop,
+				}).Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			block := run(false, 8)
+			step := run(true, 1)
+			if !reflect.DeepEqual(block, step) {
+				t.Fatalf("campaign result differs between block engine and step loop:\n%+v\nvs\n%+v", block, step)
+			}
+			var bj, sj bytes.Buffer
+			if err := block.Trace.WriteJSONL(&bj); err != nil {
+				t.Fatal(err)
+			}
+			if err := step.Trace.WriteJSONL(&sj); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(bj.Bytes(), sj.Bytes()) {
+				t.Fatal("trace JSONL differs between block engine and step loop")
+			}
+		})
+	}
+}
+
+// TestCampaignEngineEquivalenceWarmStart extends the contract to
+// warm-started campaigns: snapshot clones (Memory.Restore bumps the
+// inline-cache generation) must not perturb results either.
+func TestCampaignEngineEquivalenceWarmStart(t *testing.T) {
+	bin := buildWorkload(t, "HPCCG", 0, false)
+	run := func(stepLoop bool) *CampaignResult {
+		res, err := (&Campaign{
+			App: bin, N: 16, Model: SingleBit, Seed: 19, Workers: 4,
+			Trace: true, WarmStart: true, StepLoop: stepLoop,
+		}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	block, step := run(false), run(true)
+	if !reflect.DeepEqual(block, step) {
+		t.Fatalf("warm-start campaign differs between engines:\n%+v\nvs\n%+v", block, step)
+	}
+}
+
+// TestCoverageEngineEquivalence pins the protected path: Safeguard
+// recovery (trap handlers, recovery-kernel sub-CPUs riding the StopPC
+// sentinel, checkpoint rollback restores) must classify every trial
+// identically on both interpreter loops.
+func TestCoverageEngineEquivalence(t *testing.T) {
+	bin := buildWorkload(t, "HPCCG", 0, true)
+	run := func(stepLoop bool) *CoverageResult {
+		res, err := (&CoverageExperiment{
+			App: bin, Trials: 8, Model: SingleBit, Seed: 31,
+			Safeguard: safeguard.Config{
+				InductionRecovery: true,
+				Policy:            safeguard.Policy{Rollback: true, MaxTrapsPerPC: 8, StormTraps: 4},
+			},
+			CheckpointEveryResults: 1,
+			Workers:                4,
+			StepLoop:               stepLoop,
+		}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	block, step := run(false), run(true)
+	scrub := func(r *CoverageResult) CoverageResult {
+		c := *r
+		c.Events = nil
+		c.TrialRecoveryTimes = nil
+		c.Trace = nil // compared separately, with Wall times scrubbed
+		return c
+	}
+	if a, b := scrub(block), scrub(step); !reflect.DeepEqual(a, b) {
+		t.Fatalf("coverage logical fields differ between engines:\n%+v\nvs\n%+v", a, b)
+	}
+	requireTraceSkeletonEqual(t, block.Trace, step.Trace)
+	if len(block.Events) != len(step.Events) {
+		t.Fatalf("event count differs: %d vs %d", len(block.Events), len(step.Events))
+	}
+	for i := range block.Events {
+		if block.Events[i].Outcome != step.Events[i].Outcome {
+			t.Errorf("event %d outcome %s vs %s", i, block.Events[i].Outcome, step.Events[i].Outcome)
+		}
+	}
+}

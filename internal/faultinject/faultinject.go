@@ -363,6 +363,11 @@ type Campaign struct {
 	// bounding the frozen-image memory while capping the re-executed
 	// prefix at ~1/64 of the run per trial.
 	SnapEvery uint64
+	// StepLoop runs every trial on the legacy per-instruction
+	// interpreter loop instead of the block-predecoded engine. The
+	// campaign result — including the exported trace JSONL — is
+	// bit-identical either way; the CI smoke diffs the two.
+	StepLoop bool
 }
 
 // WarmStartStats accounts for the work a warm-started campaign skipped.
@@ -489,7 +494,7 @@ func (c *Campaign) runTrial(i int, prof *profiler.Profile, hang uint64) (trial, 
 		}
 		snap = prof.NearestSnap(minTarget)
 	}
-	cfg := core.ProcessConfig{App: c.App, Libs: c.Libs}
+	cfg := core.ProcessConfig{App: c.App, Libs: c.Libs, StepLoop: c.StepLoop}
 	var p *core.Process
 	var err error
 	if snap != nil {

@@ -129,6 +129,29 @@ type CPU struct {
 	// the step path pays nothing when tracing is off.
 	Trace *trace.Recorder
 
+	// StepLoop forces Run onto the legacy per-instruction Step loop
+	// even when no hooks are installed. Campaigns expose it (-interp
+	// step) so the block engine's bit-identity can be checked end to
+	// end; results must not depend on it.
+	StepLoop bool
+
+	// afterLive counts the non-nil entries of afterHooks, so Run's
+	// block-engine eligibility check is O(1) instead of scanning the
+	// (append-only, nil-holed) hook slice every iteration.
+	afterLive int
+
+	// ics holds this CPU's per-image memory inline caches (one slot
+	// per memory µop of the image's plan). Strictly per-CPU: plans are
+	// shared across processes, cache contents must not be.
+	ics map[*Image][]icEntry
+	// curPlan/curICs/curCounts cache the current image's derived state
+	// (µop plan, inline-cache slots, profile counts slice) so the hot
+	// loops pay the map lookups only on image switch. Invalidated by
+	// setCur.
+	curPlan   *blockPlan
+	curICs    []icEntry
+	curCounts []uint64
+
 	hostArgBuf [8]Word
 }
 
@@ -140,8 +163,14 @@ type CPU struct {
 // other.
 func (c *CPU) AddAfterStep(h StepHook) (remove func()) {
 	c.afterHooks = append(c.afterHooks, h)
+	c.afterLive++
 	i := len(c.afterHooks) - 1
-	return func() { c.afterHooks[i] = nil }
+	return func() {
+		if c.afterHooks[i] != nil {
+			c.afterHooks[i] = nil
+			c.afterLive--
+		}
+	}
 }
 
 // Context is the architectural state a trap handler may capture and
@@ -175,7 +204,7 @@ func (c *CPU) SetContext(ctx Context) {
 	c.Dyn = ctx.Dyn
 	c.Status = StatusRunning
 	c.PendingTrap = nil
-	c.cur = nil
+	c.setCur(nil)
 }
 
 // NewCPU creates a CPU over the given memory and host environment.
@@ -198,8 +227,9 @@ func (c *CPU) Detach(im *Image) {
 		}
 	}
 	if c.cur == im {
-		c.cur = nil
+		c.setCur(nil)
 	}
+	delete(c.ics, im)
 }
 
 // FindImage returns the image whose code contains pc (dladdr).
@@ -262,7 +292,7 @@ func (c *CPU) Step() {
 			c.trap(&Trap{Sig: SigILL, PC: c.PC})
 			return
 		}
-		c.cur = img
+		c.setCur(img)
 	}
 	idx := int((c.PC - img.Base()) >> 3)
 	in := &img.Prog.Code[idx]
@@ -473,13 +503,10 @@ func (c *CPU) Step() {
 
 	c.Dyn++
 	if c.Profile {
-		cnts := c.Counts[img]
+		cnts := c.curCounts
 		if cnts == nil {
-			if c.Counts == nil {
-				c.Counts = map[*Image][]uint64{}
-			}
-			cnts = make([]uint64, len(img.Prog.Code))
-			c.Counts[img] = cnts
+			cnts = c.countsFor(img)
+			c.curCounts = cnts
 		}
 		cnts[idx]++
 	}
@@ -501,6 +528,16 @@ func (c *CPU) Step() {
 
 // Run steps the CPU until it exits, traps, blocks, or retires `limit`
 // additional instructions (0 means no limit). It returns the status.
+//
+// When no step hooks are installed (and StepLoop is unset), Run
+// executes through the block-predecoded engine, which batches budget
+// and Dyn accounting per straight-line run and materialises PC lazily;
+// see engine.go. The budget is charged per attempted instruction on
+// both paths — a trapped-and-resumed instruction consumes budget
+// without retiring — so hang classifications and checkpoint cadences
+// are identical whichever loop executes. Hook-installation state is
+// re-checked every iteration: a trap handler that installs a hook
+// mid-run deopts Run to the Step loop at the next block boundary.
 func (c *CPU) Run(limit uint64) RunStatus {
 	if c.Status == StatusLimit {
 		// A budget pause is resumable (schedulers slice with it).
@@ -514,6 +551,19 @@ func (c *CPU) Run(limit uint64) RunStatus {
 		if budget == 0 {
 			c.Status = StatusLimit
 			break
+		}
+		if !c.StepLoop && c.BeforeStep == nil && c.AfterStep == nil && c.afterLive == 0 {
+			n, punt := c.runBlocks(budget)
+			budget -= n
+			if !punt {
+				continue
+			}
+			// A µop punted: run exactly one legacy Step for it (host
+			// calls, abort/halt, malformed operands), then re-dispatch.
+			if budget == 0 {
+				c.Status = StatusLimit
+				break
+			}
 		}
 		budget--
 		c.Step()

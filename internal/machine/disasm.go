@@ -121,7 +121,9 @@ func Disassemble(in *MInstr) string {
 }
 
 // DisassembleProgram renders the whole image with addresses and source
-// keys, for debugging and documentation.
+// keys, for debugging and documentation. Instructions the block engine
+// cannot predecode (host calls, halt/abort, malformed operands) are
+// annotated `; step` — they punt to the legacy per-instruction loop.
 func DisassembleProgram(p *Program) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "; program %s (O%d) code@0x%x data@0x%x\n", p.Name, p.OptLevel, p.CodeBase, p.GlobalBase)
@@ -129,12 +131,16 @@ func DisassembleProgram(p *Program) string {
 	for _, f := range p.Funcs {
 		fnAt[f.Entry] = f.Name
 	}
+	plan := p.plan()
 	for i := range p.Code {
 		if n, ok := fnAt[i]; ok {
 			fmt.Fprintf(&sb, "\n%s:\n", n)
 		}
 		in := &p.Code[i]
 		fmt.Fprintf(&sb, "  0x%08x  %-40s", p.AddrOf(i), Disassemble(in))
+		if plan.uops[i].op == uPunt {
+			sb.WriteString(" ; step")
+		}
 		if in.Line != 0 || in.Col != 0 {
 			fmt.Fprintf(&sb, " ; !%d:%d", in.Line, in.Col)
 		}

@@ -1,0 +1,813 @@
+// Block-predecoded execution engine. Run's hot path no longer
+// interprets MInstr records one Step at a time: at first use each
+// Program is predecoded into a dense µop array (one µop per
+// instruction, so any PC — including a corrupted, misaligned one — maps
+// onto it with the same base+offset arithmetic Step uses) with operand
+// kinds resolved up front: the src2 immediate-vs-register choice
+// becomes two µop opcodes, absent index registers disappear, and the
+// rare instructions the fast loop does not carry (host calls,
+// abort/halt, malformed operands) become uPunt µops that fall back to
+// the legacy Step for exactly one instruction.
+//
+// The engine preserves Step-loop semantics bit for bit — campaign
+// results and trace JSONL must not change:
+//
+//   - the step budget is charged per attempted instruction (a trapped
+//     and resumed instruction consumes budget without retiring),
+//   - Dyn counts retirements only, and is materialized before any trap
+//     is delivered so handlers and trace stamps see the exact count,
+//   - the architectural PC is lazy inside a block but recomputed
+//     exactly (preserving misalignment) for every trap, stop, punt and
+//     image exit — precise PC→kernel mapping is the point of CARE,
+//   - StopPC is compared after every retirement, so mid-block sentinel
+//     hits exit on the same dynamic instruction as the Step loop.
+//
+// Eligibility is re-checked by Run before every runBlocks call: any
+// installed BeforeStep/AfterStep hook (fault arming, taint, checkpoint
+// cadences, snapshot capture) deopts to the per-instruction loop, and a
+// hook installed mid-run by a trap handler takes effect at the next
+// block boundary because traps always return to Run's dispatch loop.
+//
+// Loads and stores go through per-µop memory inline caches: each
+// memory-access µop owns one icEntry slot per CPU remembering the last
+// *Segment it hit, revalidated with a generation check plus one range
+// compare. The slots live on the CPU (Programs and their µop plans are
+// shared read-only by every concurrent process of a binary); Memory.gen
+// bumps whenever a segment is removed or replaced (Unmap, Restore), so
+// rollbacks and dlclose invalidate every cache at once.
+package machine
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// uopOp is a predecoded micro-operation opcode. ALU and Set operations
+// come in RR (src2 = register) and RI (src2 = immediate) forms so the
+// per-instruction src2 selection of the Step loop disappears; memory
+// operations come in with-index and without-index forms.
+type uopOp uint8
+
+const (
+	// uPunt delegates the instruction to the legacy Step path: host
+	// calls, abort, halt, unknown opcodes, and operands Step would
+	// fault (or panic) on. Punting keeps the engine's semantics exactly
+	// Step's without duplicating the rare cases.
+	uPunt uopOp = iota
+	uNop
+	uMovImm
+	uMov
+	uAddRR
+	uAddRI
+	uSubRR
+	uSubRI
+	uMulRR
+	uMulRI
+	uDivRR
+	uDivRI
+	uRemRR
+	uRemRI
+	uAndRR
+	uAndRI
+	uOrRR
+	uOrRI
+	uXorRR
+	uXorRI
+	uShlRR
+	uShlRI
+	uShrRR
+	uShrRI
+	uFMovImm
+	uFMov
+	uFAdd
+	uFSub
+	uFMul
+	uFDiv
+	uCvtIF
+	uCvtFI
+	uBitIF
+	uBitFI
+	uSetRR
+	uSetRI
+	uFSet
+	uLea
+	uLeaX
+	uJmp
+	uJnz
+	uJz
+
+	// Memory-access µops (each owns an inline-cache slot). Keep these
+	// contiguous: usesIC tests the range.
+	uLoad
+	uLoadX
+	uFLoad
+	uFLoadX
+	uStore
+	uStoreX
+	uFStore
+	uFStoreX
+	uCall
+	uRet
+	uPush
+	uPop
+	uFPush
+	uFPop
+)
+
+// usesIC reports whether the µop dereferences memory and owns an
+// inline-cache slot.
+func (o uopOp) usesIC() bool { return o >= uLoad && o <= uFPop }
+
+// uop is one predecoded micro-operation. d/a/b index the integer or
+// float register file depending on the opcode (for loads and stores, a
+// is the base register, b the index register, and d the data register).
+// All register fields are validated < NumReg at predecode time, so the
+// interpreter masks with &15 and pays no bounds checks.
+type uop struct {
+	op    uopOp
+	d     uint8
+	a     uint8
+	b     uint8
+	scale uint8
+	cond  Cond
+	// ic is the CPU-local inline-cache slot of a memory µop (-1
+	// otherwise).
+	ic int32
+	// imm is the immediate or displacement.
+	imm int64
+	// target is the absolute branch target of uJmp/uJnz/uJz/uCall.
+	target Word
+}
+
+// blockPlan is the predecoded form of a Program's code: µops 1:1 with
+// Code, plus the number of inline-cache slots its memory µops claimed.
+// A plan is immutable after construction and shared by every CPU.
+type blockPlan struct {
+	uops []uop
+	nIC  int
+}
+
+// plan returns the program's predecoded plan, building it on first use.
+// Safe for concurrent callers (campaign trials share Programs).
+func (p *Program) plan() *blockPlan {
+	p.planOnce.Do(func() { p.ublocks = predecode(p) })
+	return p.ublocks
+}
+
+func predecode(p *Program) *blockPlan {
+	pl := &blockPlan{uops: make([]uop, len(p.Code))}
+	for i := range p.Code {
+		u := predecodeOne(&p.Code[i])
+		if u.op.usesIC() {
+			u.ic = int32(pl.nIC)
+			pl.nIC++
+		}
+		pl.uops[i] = u
+	}
+	return pl
+}
+
+func okR(r Reg) bool  { return r < NumReg }
+func okF(f FReg) bool { return f < NumFReg }
+
+// predecodeOne lowers one MInstr to a µop, resolving operand kinds. Any
+// instruction the fast loop cannot (or should not) carry — host calls,
+// abort/halt, operands the Step loop would panic on — lowers to uPunt.
+func predecodeOne(in *MInstr) uop {
+	punt := uop{op: uPunt, ic: -1}
+	u := uop{ic: -1}
+
+	// alu resolves src2 exactly like Step: the immediate when UseImm,
+	// Rb when valid, and constant zero when Rb is absent (NoReg).
+	alu := func(rr, ri uopOp) uop {
+		if !okR(in.Rd) || !okR(in.Ra) {
+			return punt
+		}
+		u.d, u.a = uint8(in.Rd), uint8(in.Ra)
+		switch {
+		case in.UseImm:
+			u.op, u.imm = ri, in.Imm
+		case okR(in.Rb):
+			u.op, u.b = rr, uint8(in.Rb)
+		default:
+			u.op, u.imm = ri, 0
+		}
+		return u
+	}
+	// mem lowers a memory operand: data is the value register (dest for
+	// loads, source for stores), already validated by the caller.
+	mem := func(noIdx, withIdx uopOp, data uint8) uop {
+		if !okR(in.Base) {
+			return punt
+		}
+		u.d, u.a, u.imm = data, uint8(in.Base), in.Disp
+		switch {
+		case in.Index == NoReg:
+			u.op = noIdx
+		case okR(in.Index):
+			u.op, u.b, u.scale = withIdx, uint8(in.Index), in.Scale
+		default:
+			return punt
+		}
+		return u
+	}
+	fbin := func(op uopOp) uop {
+		if !okF(in.Fd) || !okF(in.Fa) || !okF(in.Fb) {
+			return punt
+		}
+		u.op, u.d, u.a, u.b = op, uint8(in.Fd), uint8(in.Fa), uint8(in.Fb)
+		return u
+	}
+	jump := func(op uopOp) uop {
+		u.op, u.target = op, in.Target
+		return u
+	}
+
+	switch in.Op {
+	case MNop:
+		u.op = uNop
+		return u
+	case MMovImm:
+		if !okR(in.Rd) {
+			return punt
+		}
+		u.op, u.d, u.imm = uMovImm, uint8(in.Rd), in.Imm
+		return u
+	case MMov:
+		if !okR(in.Rd) || !okR(in.Ra) {
+			return punt
+		}
+		u.op, u.d, u.a = uMov, uint8(in.Rd), uint8(in.Ra)
+		return u
+	case MAdd:
+		return alu(uAddRR, uAddRI)
+	case MSub:
+		return alu(uSubRR, uSubRI)
+	case MMul:
+		return alu(uMulRR, uMulRI)
+	case MDiv:
+		return alu(uDivRR, uDivRI)
+	case MRem:
+		return alu(uRemRR, uRemRI)
+	case MAnd:
+		return alu(uAndRR, uAndRI)
+	case MOr:
+		return alu(uOrRR, uOrRI)
+	case MXor:
+		return alu(uXorRR, uXorRI)
+	case MShl:
+		return alu(uShlRR, uShlRI)
+	case MShr:
+		return alu(uShrRR, uShrRI)
+	case MFMovImm:
+		if !okF(in.Fd) {
+			return punt
+		}
+		u.op, u.d, u.imm = uFMovImm, uint8(in.Fd), in.Imm
+		return u
+	case MFMov:
+		if !okF(in.Fd) || !okF(in.Fa) {
+			return punt
+		}
+		u.op, u.d, u.a = uFMov, uint8(in.Fd), uint8(in.Fa)
+		return u
+	case MFAdd:
+		return fbin(uFAdd)
+	case MFSub:
+		return fbin(uFSub)
+	case MFMul:
+		return fbin(uFMul)
+	case MFDiv:
+		return fbin(uFDiv)
+	case MCvtIF:
+		if !okF(in.Fd) || !okR(in.Ra) {
+			return punt
+		}
+		u.op, u.d, u.a = uCvtIF, uint8(in.Fd), uint8(in.Ra)
+		return u
+	case MCvtFI:
+		if !okR(in.Rd) || !okF(in.Fa) {
+			return punt
+		}
+		u.op, u.d, u.a = uCvtFI, uint8(in.Rd), uint8(in.Fa)
+		return u
+	case MBitIF:
+		if !okF(in.Fd) || !okR(in.Ra) {
+			return punt
+		}
+		u.op, u.d, u.a = uBitIF, uint8(in.Fd), uint8(in.Ra)
+		return u
+	case MBitFI:
+		if !okR(in.Rd) || !okF(in.Fa) {
+			return punt
+		}
+		u.op, u.d, u.a = uBitFI, uint8(in.Rd), uint8(in.Fa)
+		return u
+	case MSet:
+		u.cond = in.Cond
+		return alu(uSetRR, uSetRI)
+	case MFSet:
+		if !okR(in.Rd) || !okF(in.Fa) || !okF(in.Fb) {
+			return punt
+		}
+		u.op, u.cond = uFSet, in.Cond
+		u.d, u.a, u.b = uint8(in.Rd), uint8(in.Fa), uint8(in.Fb)
+		return u
+	case MLea:
+		if !okR(in.Rd) {
+			return punt
+		}
+		return mem(uLea, uLeaX, uint8(in.Rd))
+	case MLoad:
+		if !okR(in.Rd) {
+			return punt
+		}
+		return mem(uLoad, uLoadX, uint8(in.Rd))
+	case MFLoad:
+		if !okF(in.Fd) {
+			return punt
+		}
+		return mem(uFLoad, uFLoadX, uint8(in.Fd))
+	case MStore:
+		if !okR(in.Ra) {
+			return punt
+		}
+		return mem(uStore, uStoreX, uint8(in.Ra))
+	case MFStore:
+		if !okF(in.Fa) {
+			return punt
+		}
+		return mem(uFStore, uFStoreX, uint8(in.Fa))
+	case MJmp:
+		return jump(uJmp)
+	case MJnz, MJz:
+		if !okR(in.Ra) {
+			return punt
+		}
+		u.a = uint8(in.Ra)
+		if in.Op == MJnz {
+			return jump(uJnz)
+		}
+		return jump(uJz)
+	case MCall:
+		return jump(uCall)
+	case MRet:
+		u.op = uRet
+		return u
+	case MPush:
+		if !okR(in.Ra) {
+			return punt
+		}
+		u.op, u.d = uPush, uint8(in.Ra)
+		return u
+	case MPop:
+		if !okR(in.Rd) {
+			return punt
+		}
+		u.op, u.d = uPop, uint8(in.Rd)
+		return u
+	case MFPush:
+		if !okF(in.Fa) {
+			return punt
+		}
+		u.op, u.d = uFPush, uint8(in.Fa)
+		return u
+	case MFPop:
+		if !okF(in.Fd) {
+			return punt
+		}
+		u.op, u.d = uFPop, uint8(in.Fd)
+		return u
+	}
+	// MHost, MAbort, MHalt, unknown opcodes.
+	return punt
+}
+
+// icEntry is one per-CPU memory inline cache: the last segment a µop's
+// access hit, valid while the Memory generation matches.
+type icEntry struct {
+	seg *Segment
+	gen uint64
+}
+
+// icsFor returns this CPU's inline-cache slots for an image, allocating
+// them on first use (one slot per memory µop of the image's program).
+func (c *CPU) icsFor(img *Image, n int) []icEntry {
+	if e, ok := c.ics[img]; ok {
+		return e
+	}
+	if c.ics == nil {
+		c.ics = map[*Image][]icEntry{}
+	}
+	e := make([]icEntry, n)
+	c.ics[img] = e
+	return e
+}
+
+// icLoad reads an aligned word through an inline cache. The fast path
+// is one generation compare plus one range compare against the cached
+// segment; everything else falls to icLoadSlow.
+func icLoad(m *Memory, e *icEntry, addr Word) (Word, *Fault) {
+	if s := e.seg; s != nil && e.gen == m.gen && len(s.Data) >= 8 {
+		if off := addr - s.Base; off <= Word(len(s.Data)-8) {
+			if addr&7 != 0 {
+				return 0, &Fault{Sig: SigBUS, Addr: addr}
+			}
+			return binary.LittleEndian.Uint64(s.Data[off:]), nil
+		}
+	}
+	return icLoadSlow(m, e, addr)
+}
+
+// icLoadSlow is the miss path: Memory.Read semantics plus a cache
+// refill. Fault priorities match Read exactly (unmapped/short SEGV
+// before misaligned BUS).
+func icLoadSlow(m *Memory, e *icEntry, addr Word) (Word, *Fault) {
+	s := m.Find(addr)
+	if s == nil || addr+8 > s.End() {
+		return 0, &Fault{Sig: SigSEGV, Addr: addr}
+	}
+	if addr&7 != 0 {
+		return 0, &Fault{Sig: SigBUS, Addr: addr}
+	}
+	e.seg, e.gen = s, m.gen
+	return binary.LittleEndian.Uint64(s.Data[addr-s.Base:]), nil
+}
+
+// icStore writes an aligned word through an inline cache. Read-only and
+// copy-on-write segments always take the slow path (fault / first-store
+// materialization), matching Memory.Write.
+func icStore(m *Memory, e *icEntry, addr, v Word) *Fault {
+	if s := e.seg; s != nil && e.gen == m.gen && !s.ro && !s.cow && len(s.Data) >= 8 {
+		if off := addr - s.Base; off <= Word(len(s.Data)-8) {
+			if addr&7 != 0 {
+				return &Fault{Sig: SigBUS, Addr: addr}
+			}
+			binary.LittleEndian.PutUint64(s.Data[off:], v)
+			return nil
+		}
+	}
+	return icStoreSlow(m, e, addr, v)
+}
+
+func icStoreSlow(m *Memory, e *icEntry, addr, v Word) *Fault {
+	s := m.Find(addr)
+	if s == nil || addr+8 > s.End() || s.ro {
+		return &Fault{Sig: SigSEGV, Addr: addr}
+	}
+	if addr&7 != 0 {
+		return &Fault{Sig: SigBUS, Addr: addr}
+	}
+	if s.cow {
+		s.materialize()
+	}
+	e.seg, e.gen = s, m.gen
+	binary.LittleEndian.PutUint64(s.Data[addr-s.Base:], v)
+	return nil
+}
+
+// setCur switches the CPU's current-image cache, dropping the per-image
+// derived caches (µop plan, inline-cache slots, profile counts slice).
+func (c *CPU) setCur(img *Image) {
+	c.cur = img
+	c.curPlan = nil
+	c.curICs = nil
+	c.curCounts = nil
+}
+
+// countsFor returns (allocating if needed) the profile-counts slice of
+// an image — the one c.Counts[img] map lookup the hot paths now pay
+// only on image switch.
+func (c *CPU) countsFor(img *Image) []uint64 {
+	if c.Counts == nil {
+		c.Counts = map[*Image][]uint64{}
+	}
+	cnts := c.Counts[img]
+	if cnts == nil {
+		cnts = make([]uint64, len(img.Prog.Code))
+		c.Counts[img] = cnts
+	}
+	return cnts
+}
+
+// blockTrap materializes the lazy architectural state and delivers a
+// trap from the block engine, mirroring the Trap a Step at pc would
+// have raised.
+func (c *CPU) blockTrap(pc Word, done uint64, img *Image, idx int, sig Signal, addr Word) {
+	c.PC = pc
+	c.Dyn += done
+	c.trap(&Trap{Sig: sig, PC: pc, Addr: addr, Img: img, Idx: idx, Instr: &img.Prog.Code[idx]})
+}
+
+// stopExit materializes state and exits cleanly at the StopPC sentinel
+// (same disposition as the Step loop: ExitCode from R0).
+func (c *CPU) stopExit(pc Word, done uint64) {
+	c.Status = StatusExited
+	c.ExitCode = c.R[R0]
+	c.PC = pc
+	c.Dyn += done
+}
+
+// runBlocks executes predecoded code starting at c.PC, following taken
+// branches for as long as control stays inside the current image, until
+// the status changes, a trap is delivered, the budget is consumed, the
+// PC leaves the image, or a uPunt µop needs the legacy path. It returns
+// the budget consumed (one per attempted instruction, exactly like the
+// Step loop charges) and whether the instruction now at c.PC must be
+// executed by Step.
+//
+// Callers guarantee budget > 0 and that no step hooks are installed.
+func (c *CPU) runBlocks(budget uint64) (uint64, bool) {
+	img := c.cur
+	if img == nil || !img.Contains(c.PC) {
+		img = c.FindImage(c.PC)
+		if img == nil {
+			c.trap(&Trap{Sig: SigILL, PC: c.PC})
+			return 1, false
+		}
+		c.setCur(img)
+	}
+	plan := c.curPlan
+	if plan == nil {
+		plan = img.Prog.plan()
+		c.curPlan = plan
+	}
+	ics := c.curICs
+	if ics == nil && plan.nIC > 0 {
+		ics = c.icsFor(img, plan.nIC)
+		c.curICs = ics
+	}
+	var cnts []uint64
+	if c.Profile {
+		cnts = c.curCounts
+		if cnts == nil {
+			cnts = c.countsFor(img)
+			c.curCounts = cnts
+		}
+	}
+	m := c.Mem
+	uops := plan.uops
+	base := img.Base()
+	pc := c.PC
+	stop, stopSet := c.StopPC, c.StopPCSet
+	var done uint64
+
+	for {
+		if done >= budget {
+			break
+		}
+		idx := int((pc - base) >> 3)
+		if uint(idx) >= uint(len(uops)) {
+			break // control left the image; Run re-resolves (or traps)
+		}
+		u := &uops[idx]
+		switch u.op {
+		case uPunt:
+			c.PC = pc
+			c.Dyn += done
+			return done, true
+		case uNop:
+		case uMovImm:
+			c.R[u.d&15] = Word(u.imm)
+		case uMov:
+			c.R[u.d&15] = c.R[u.a&15]
+		case uAddRR:
+			c.R[u.d&15] = c.R[u.a&15] + c.R[u.b&15]
+		case uAddRI:
+			c.R[u.d&15] = c.R[u.a&15] + Word(u.imm)
+		case uSubRR:
+			c.R[u.d&15] = c.R[u.a&15] - c.R[u.b&15]
+		case uSubRI:
+			c.R[u.d&15] = c.R[u.a&15] - Word(u.imm)
+		case uMulRR:
+			c.R[u.d&15] = Word(int64(c.R[u.a&15]) * int64(c.R[u.b&15]))
+		case uMulRI:
+			c.R[u.d&15] = Word(int64(c.R[u.a&15]) * u.imm)
+		case uDivRR, uDivRI, uRemRR, uRemRI:
+			d := u.imm
+			if u.op == uDivRR || u.op == uRemRR {
+				d = int64(c.R[u.b&15])
+			}
+			n := int64(c.R[u.a&15])
+			if d == 0 || (n == math.MinInt64 && d == -1) {
+				c.blockTrap(pc, done, img, idx, SigFPE, 0)
+				return done + 1, false
+			}
+			if u.op == uDivRR || u.op == uDivRI {
+				c.R[u.d&15] = Word(n / d)
+			} else {
+				c.R[u.d&15] = Word(n % d)
+			}
+		case uAndRR:
+			c.R[u.d&15] = c.R[u.a&15] & c.R[u.b&15]
+		case uAndRI:
+			c.R[u.d&15] = c.R[u.a&15] & Word(u.imm)
+		case uOrRR:
+			c.R[u.d&15] = c.R[u.a&15] | c.R[u.b&15]
+		case uOrRI:
+			c.R[u.d&15] = c.R[u.a&15] | Word(u.imm)
+		case uXorRR:
+			c.R[u.d&15] = c.R[u.a&15] ^ c.R[u.b&15]
+		case uXorRI:
+			c.R[u.d&15] = c.R[u.a&15] ^ Word(u.imm)
+		case uShlRR:
+			c.R[u.d&15] = c.R[u.a&15] << (c.R[u.b&15] & 63)
+		case uShlRI:
+			c.R[u.d&15] = c.R[u.a&15] << (Word(u.imm) & 63)
+		case uShrRR:
+			c.R[u.d&15] = Word(int64(c.R[u.a&15]) >> (c.R[u.b&15] & 63))
+		case uShrRI:
+			c.R[u.d&15] = Word(int64(c.R[u.a&15]) >> (Word(u.imm) & 63))
+		case uFMovImm:
+			c.F[u.d&15] = math.Float64frombits(Word(u.imm))
+		case uFMov:
+			c.F[u.d&15] = c.F[u.a&15]
+		case uFAdd:
+			c.F[u.d&15] = c.F[u.a&15] + c.F[u.b&15]
+		case uFSub:
+			c.F[u.d&15] = c.F[u.a&15] - c.F[u.b&15]
+		case uFMul:
+			c.F[u.d&15] = c.F[u.a&15] * c.F[u.b&15]
+		case uFDiv:
+			c.F[u.d&15] = c.F[u.a&15] / c.F[u.b&15]
+		case uCvtIF:
+			c.F[u.d&15] = float64(int64(c.R[u.a&15]))
+		case uCvtFI:
+			c.R[u.d&15] = Word(int64(c.F[u.a&15]))
+		case uBitIF:
+			c.F[u.d&15] = math.Float64frombits(c.R[u.a&15])
+		case uBitFI:
+			c.R[u.d&15] = math.Float64bits(c.F[u.a&15])
+		case uSetRR:
+			c.R[u.d&15] = boolWord(cmpInt(u.cond, int64(c.R[u.a&15]), int64(c.R[u.b&15])))
+		case uSetRI:
+			c.R[u.d&15] = boolWord(cmpInt(u.cond, int64(c.R[u.a&15]), u.imm))
+		case uFSet:
+			c.R[u.d&15] = boolWord(cmpFloat(u.cond, c.F[u.a&15], c.F[u.b&15]))
+		case uLea:
+			c.R[u.d&15] = c.R[u.a&15] + Word(u.imm)
+		case uLeaX:
+			c.R[u.d&15] = c.R[u.a&15] + c.R[u.b&15]*Word(u.scale) + Word(u.imm)
+		case uJmp:
+			done++
+			if cnts != nil {
+				cnts[idx]++
+			}
+			pc = u.target
+			if stopSet && pc == stop {
+				c.stopExit(pc, done)
+				return done, false
+			}
+			continue
+		case uJnz, uJz:
+			if (c.R[u.a&15] != 0) == (u.op == uJnz) {
+				done++
+				if cnts != nil {
+					cnts[idx]++
+				}
+				pc = u.target
+				if stopSet && pc == stop {
+					c.stopExit(pc, done)
+					return done, false
+				}
+				continue
+			}
+		case uLoad:
+			addr := c.R[u.a&15] + Word(u.imm)
+			v, flt := icLoad(m, &ics[u.ic], addr)
+			if flt != nil {
+				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
+				return done + 1, false
+			}
+			c.R[u.d&15] = v
+		case uLoadX:
+			addr := c.R[u.a&15] + c.R[u.b&15]*Word(u.scale) + Word(u.imm)
+			v, flt := icLoad(m, &ics[u.ic], addr)
+			if flt != nil {
+				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
+				return done + 1, false
+			}
+			c.R[u.d&15] = v
+		case uFLoad:
+			addr := c.R[u.a&15] + Word(u.imm)
+			v, flt := icLoad(m, &ics[u.ic], addr)
+			if flt != nil {
+				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
+				return done + 1, false
+			}
+			c.F[u.d&15] = math.Float64frombits(v)
+		case uFLoadX:
+			addr := c.R[u.a&15] + c.R[u.b&15]*Word(u.scale) + Word(u.imm)
+			v, flt := icLoad(m, &ics[u.ic], addr)
+			if flt != nil {
+				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
+				return done + 1, false
+			}
+			c.F[u.d&15] = math.Float64frombits(v)
+		case uStore:
+			addr := c.R[u.a&15] + Word(u.imm)
+			if flt := icStore(m, &ics[u.ic], addr, c.R[u.d&15]); flt != nil {
+				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
+				return done + 1, false
+			}
+		case uStoreX:
+			addr := c.R[u.a&15] + c.R[u.b&15]*Word(u.scale) + Word(u.imm)
+			if flt := icStore(m, &ics[u.ic], addr, c.R[u.d&15]); flt != nil {
+				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
+				return done + 1, false
+			}
+		case uFStore:
+			addr := c.R[u.a&15] + Word(u.imm)
+			if flt := icStore(m, &ics[u.ic], addr, math.Float64bits(c.F[u.d&15])); flt != nil {
+				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
+				return done + 1, false
+			}
+		case uFStoreX:
+			addr := c.R[u.a&15] + c.R[u.b&15]*Word(u.scale) + Word(u.imm)
+			if flt := icStore(m, &ics[u.ic], addr, math.Float64bits(c.F[u.d&15])); flt != nil {
+				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
+				return done + 1, false
+			}
+		case uCall:
+			// The stack write commits SP only on success, so a faulting
+			// call leaves SP exactly where the Step loop's restore does.
+			sp := c.R[SP] - 8
+			if flt := icStore(m, &ics[u.ic], sp, pc+8); flt != nil {
+				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
+				return done + 1, false
+			}
+			c.R[SP] = sp
+			done++
+			if cnts != nil {
+				cnts[idx]++
+			}
+			pc = u.target
+			if stopSet && pc == stop {
+				c.stopExit(pc, done)
+				return done, false
+			}
+			continue
+		case uRet:
+			ra, flt := icLoad(m, &ics[u.ic], c.R[SP])
+			if flt != nil {
+				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
+				return done + 1, false
+			}
+			c.R[SP] += 8
+			done++
+			if cnts != nil {
+				cnts[idx]++
+			}
+			pc = ra
+			if stopSet && pc == stop {
+				c.stopExit(pc, done)
+				return done, false
+			}
+			continue
+		case uPush:
+			sp := c.R[SP] - 8
+			if flt := icStore(m, &ics[u.ic], sp, c.R[u.d&15]); flt != nil {
+				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
+				return done + 1, false
+			}
+			c.R[SP] = sp
+		case uPop:
+			v, flt := icLoad(m, &ics[u.ic], c.R[SP])
+			if flt != nil {
+				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
+				return done + 1, false
+			}
+			c.R[SP] += 8
+			c.R[u.d&15] = v
+		case uFPush:
+			sp := c.R[SP] - 8
+			if flt := icStore(m, &ics[u.ic], sp, math.Float64bits(c.F[u.d&15])); flt != nil {
+				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
+				return done + 1, false
+			}
+			c.R[SP] = sp
+		case uFPop:
+			v, flt := icLoad(m, &ics[u.ic], c.R[SP])
+			if flt != nil {
+				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
+				return done + 1, false
+			}
+			c.R[SP] += 8
+			c.F[u.d&15] = math.Float64frombits(v)
+		}
+
+		// Fallthrough retirement.
+		done++
+		if cnts != nil {
+			cnts[idx]++
+		}
+		pc += 8
+		if stopSet && pc == stop {
+			c.stopExit(pc, done)
+			return done, false
+		}
+	}
+	c.PC = pc
+	c.Dyn += done
+	return done, false
+}

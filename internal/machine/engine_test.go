@@ -1,0 +1,538 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"care/internal/debuginfo"
+	"care/internal/hostenv"
+	"care/internal/trace"
+)
+
+// dualAsm assembles the same raw program twice: one CPU on the block
+// engine, one forced onto the legacy Step loop. Separate Programs (and
+// memories) keep the two runs fully independent.
+func dualAsm(t *testing.T, code []MInstr, setup func(c *CPU)) (block, step *CPU) {
+	t.Helper()
+	mk := func() *CPU {
+		p := &Program{
+			Name:     "asm",
+			CodeBase: AppCodeBase,
+			Code:     append([]MInstr(nil), code...),
+			Funcs:    []FuncSym{{Name: "_start", Entry: 0}},
+			Debug:    debuginfo.New(),
+		}
+		mem := NewMemory()
+		img, err := Load(mem, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu := NewCPU(mem, hostenv.NewEnv())
+		cpu.Attach(img)
+		if err := cpu.InitStack(); err != nil {
+			t.Fatal(err)
+		}
+		if err := cpu.Start(img, "_start"); err != nil {
+			t.Fatal(err)
+		}
+		if setup != nil {
+			setup(cpu)
+		}
+		return cpu
+	}
+	block = mk()
+	step = mk()
+	step.StepLoop = true
+	return block, step
+}
+
+// compareCPUs asserts the full architectural state of the two runs is
+// identical: registers, PC, Dyn, status, exit code, pending trap, and
+// every writable memory segment.
+func compareCPUs(t *testing.T, block, step *CPU) {
+	t.Helper()
+	if block.R != step.R {
+		t.Errorf("R mismatch:\n block %v\n step  %v", block.R, step.R)
+	}
+	if block.F != step.F {
+		t.Errorf("F mismatch:\n block %v\n step  %v", block.F, step.F)
+	}
+	if block.PC != step.PC {
+		t.Errorf("PC mismatch: block 0x%x step 0x%x", block.PC, step.PC)
+	}
+	if block.Dyn != step.Dyn {
+		t.Errorf("Dyn mismatch: block %d step %d", block.Dyn, step.Dyn)
+	}
+	if block.Status != step.Status {
+		t.Errorf("status mismatch: block %v step %v", block.Status, step.Status)
+	}
+	if block.ExitCode != step.ExitCode {
+		t.Errorf("exit code mismatch: block %d step %d", block.ExitCode, step.ExitCode)
+	}
+	bt, st := block.PendingTrap, step.PendingTrap
+	if (bt == nil) != (st == nil) {
+		t.Fatalf("trap mismatch: block %v step %v", bt, st)
+	}
+	if bt != nil && (bt.Sig != st.Sig || bt.PC != st.PC || bt.Addr != st.Addr || bt.Idx != st.Idx) {
+		t.Errorf("trap mismatch:\n block %+v\n step  %+v", bt, st)
+	}
+	bs, ss := block.Mem.Segments(), step.Mem.Segments()
+	if len(bs) != len(ss) {
+		t.Fatalf("segment count mismatch: block %d step %d", len(bs), len(ss))
+	}
+	for i := range bs {
+		if bs[i].Base != ss[i].Base || len(bs[i].Data) != len(ss[i].Data) {
+			t.Fatalf("segment %d layout mismatch", i)
+		}
+		if bs[i].ReadOnly() {
+			continue
+		}
+		for j := range bs[i].Data {
+			if bs[i].Data[j] != ss[i].Data[j] {
+				t.Errorf("segment %s byte 0x%x differs: block %#x step %#x",
+					bs[i].Name, bs[i].Base+Word(j), bs[i].Data[j], ss[i].Data[j])
+				break
+			}
+		}
+	}
+}
+
+// runDual drives both CPUs with the same budget and compares the final
+// state.
+func runDual(t *testing.T, code []MInstr, setup func(c *CPU), limit uint64) {
+	t.Helper()
+	block, step := dualAsm(t, code, setup)
+	if got, want := block.Run(limit), step.Run(limit); got != want {
+		t.Errorf("run status: block %v step %v", got, want)
+	}
+	compareCPUs(t, block, step)
+}
+
+// loopProgram is a memory-touching counted loop covering loads, stores,
+// indexed addressing, ALU with immediates and registers, compare+branch
+// and float traffic — the steady-state mix.
+func loopProgram(n int64) []MInstr {
+	return []MInstr{
+		{Op: MMovImm, Rd: R1, Imm: 0},
+		{Op: MMovImm, Rd: R4, Imm: 0x30000},
+		{Op: MMovImm, Rd: R5, Imm: n},
+		{Op: MLoad, Rd: R2, Base: R4, Index: R1, Scale: 8, Disp: 0}, // idx 3
+		{Op: MAdd, Rd: R2, Ra: R2, UseImm: true, Imm: 3},
+		{Op: MMul, Rd: R6, Ra: R2, Rb: R2},
+		{Op: MStore, Base: R4, Index: R1, Scale: 8, Disp: 0, Ra: R6},
+		{Op: MCvtIF, Fd: 1, Ra: R2},
+		{Op: MFMul, Fd: 2, Fa: 1, Fb: 1},
+		{Op: MFStore, Base: R4, Disp: 64, Fa: 2},
+		{Op: MAdd, Rd: R1, Ra: R1, UseImm: true, Imm: 1},
+		{Op: MAnd, Rd: R1, Ra: R1, UseImm: true, Imm: 7},
+		{Op: MSub, Rd: R5, Ra: R5, UseImm: true, Imm: 1},
+		{Op: MSet, Cond: CondGT, Rd: R3, Ra: R5, UseImm: true, Imm: 0},
+		{Op: MJnz, Ra: R3, Target: AppCodeBase + 8*3},
+		{Op: MHalt, Ra: R5},
+	}
+}
+
+func mapData(t *testing.T) func(c *CPU) {
+	return func(c *CPU) {
+		t.Helper()
+		if _, err := c.Mem.Map(0x30000, 256*8, "data"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEngineMatchesStepLoop(t *testing.T) {
+	runDual(t, loopProgram(500), mapData(t), 0)
+}
+
+// TestEngineBudgetSweep pauses both engines at every budget around the
+// loop boundary: StatusLimit must fire on the same dynamic instruction
+// with the same lazily-materialised PC.
+func TestEngineBudgetSweep(t *testing.T) {
+	for limit := uint64(1); limit <= 40; limit++ {
+		t.Run(fmt.Sprintf("limit%d", limit), func(t *testing.T) {
+			runDual(t, loopProgram(500), mapData(t), limit)
+		})
+	}
+}
+
+// TestEngineResumesAfterLimit slices one run into many Run calls and
+// checks the result equals a single uninterrupted run.
+func TestEngineResumesAfterLimit(t *testing.T) {
+	block, step := dualAsm(t, loopProgram(200), mapData(t))
+	for block.Status != StatusExited {
+		block.Run(7)
+	}
+	step.Run(0)
+	compareCPUs(t, block, step)
+}
+
+func TestEngineTrapParity(t *testing.T) {
+	cases := []struct {
+		name string
+		code []MInstr
+		sig  Signal
+	}{
+		{"segv-load", []MInstr{
+			{Op: MMovImm, Rd: R1, Imm: 0x999000},
+			{Op: MLoad, Rd: R2, Base: R1},
+			{Op: MHalt},
+		}, SigSEGV},
+		{"segv-store-to-code", []MInstr{
+			{Op: MMovImm, Rd: R1, Imm: int64(AppCodeBase)},
+			{Op: MStore, Base: R1, Ra: R1},
+			{Op: MHalt},
+		}, SigSEGV},
+		{"bus-misaligned", []MInstr{
+			{Op: MMovImm, Rd: R1, Imm: 0x30004},
+			{Op: MLoad, Rd: R2, Base: R1},
+			{Op: MHalt},
+		}, SigBUS},
+		{"fpe-div-zero", []MInstr{
+			{Op: MMovImm, Rd: R1, Imm: 9},
+			{Op: MMovImm, Rd: R2, Imm: 0},
+			{Op: MDiv, Rd: R3, Ra: R1, Rb: R2},
+			{Op: MHalt},
+		}, SigFPE},
+		{"fpe-rem-overflow", []MInstr{
+			{Op: MMovImm, Rd: R1, Imm: -0x8000000000000000},
+			{Op: MMovImm, Rd: R2, Imm: -1},
+			{Op: MRem, Rd: R3, Ra: R1, Rb: R2},
+			{Op: MHalt},
+		}, SigFPE},
+		{"ill-wild-jump", []MInstr{
+			{Op: MJmp, Target: 0x1234568},
+			{Op: MHalt},
+		}, SigILL},
+		{"segv-stack-underflow", []MInstr{
+			{Op: MMovImm, Rd: R1, Imm: int64(StackTop)},
+			{Op: MMov, Rd: SP, Ra: R1},
+			{Op: MPop, Rd: R2},
+			{Op: MHalt},
+		}, SigSEGV},
+		{"abort", []MInstr{
+			{Op: MNop},
+			{Op: MAbort},
+		}, SigABRT},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			block, step := dualAsm(t, tc.code, mapData(t))
+			block.Run(0)
+			step.Run(0)
+			if block.Status != StatusTrapped || block.PendingTrap.Sig != tc.sig {
+				t.Fatalf("block engine: want %v trap, got %v (%v)", tc.sig, block.Status, block.PendingTrap)
+			}
+			compareCPUs(t, block, step)
+		})
+	}
+}
+
+// TestEngineMisalignedTrapPC corrupts the return address with low bits
+// set: the lazy PC must round-trip the misalignment exactly (a PC
+// reconstructed as base+8*idx would silently re-align it).
+func TestEngineMisalignedTrapPC(t *testing.T) {
+	code := []MInstr{
+		{Op: MCall, Target: AppCodeBase + 8*3}, // call f
+		{Op: MHalt},
+		{Op: MNop},
+		// f: corrupt the saved return address, then return through it.
+		{Op: MLoad, Rd: R1, Base: SP},
+		{Op: MAdd, Rd: R1, Ra: R1, UseImm: true, Imm: 3},
+		{Op: MStore, Base: SP, Ra: R1},
+		{Op: MRet},
+	}
+	block, step := dualAsm(t, code, nil)
+	block.Run(0)
+	step.Run(0)
+	compareCPUs(t, block, step)
+	if block.PC&7 != 3 {
+		t.Fatalf("misaligned PC low bits lost: 0x%x", block.PC)
+	}
+}
+
+// TestEngineStopPCMidBlock plants the stop sentinel on a branch target
+// in the middle of the hot loop: the block engine must exit on the same
+// retirement as the Step loop, not at the next block boundary.
+func TestEngineStopPCMidBlock(t *testing.T) {
+	for _, stopIdx := range []int{3, 10, 15} {
+		t.Run(fmt.Sprintf("idx%d", stopIdx), func(t *testing.T) {
+			setup := func(c *CPU) {
+				mapData(t)(c)
+				c.StopPC = AppCodeBase + Word(8*stopIdx)
+				c.StopPCSet = true
+			}
+			runDual(t, loopProgram(5), setup, 0)
+		})
+	}
+}
+
+// TestEngineDeoptOnHookInstall installs a retire hook from a trap
+// handler mid-run: the engine must fall back to the Step loop at the
+// block boundary so the hook sees every subsequent retirement.
+func TestEngineDeoptOnHookInstall(t *testing.T) {
+	code := []MInstr{
+		{Op: MMovImm, Rd: R1, Imm: 5},
+		{Op: MMovImm, Rd: R2, Imm: 0},
+		{Op: MDiv, Rd: R3, Ra: R1, Rb: R2}, // idx 2: traps SIGFPE
+		{Op: MAdd, Rd: R4, Ra: R4, UseImm: true, Imm: 1},
+		{Op: MAdd, Rd: R4, Ra: R4, UseImm: true, Imm: 1},
+		{Op: MHalt, Ra: R4},
+	}
+	run := func(stepLoop bool) (hookRetires int, c *CPU) {
+		p := &Program{Name: "asm", CodeBase: AppCodeBase, Code: code,
+			Funcs: []FuncSym{{Name: "_start", Entry: 0}}, Debug: debuginfo.New()}
+		mem := NewMemory()
+		img, err := Load(mem, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c = NewCPU(mem, hostenv.NewEnv())
+		c.StepLoop = stepLoop
+		c.Attach(img)
+		if err := c.InitStack(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Start(img, "_start"); err != nil {
+			t.Fatal(err)
+		}
+		c.Handler = func(cc *CPU, tr *Trap) TrapAction {
+			cc.R[R2] = 1 // patch the divisor and resume
+			cc.AddAfterStep(func(*CPU, *Image, int, *MInstr) { hookRetires++ })
+			return TrapResume
+		}
+		c.Run(0)
+		return hookRetires, c
+	}
+	gotBlock, cb := run(false)
+	gotStep, cs := run(true)
+	if gotBlock != gotStep {
+		t.Errorf("hook retirements differ: block %d step %d", gotBlock, gotStep)
+	}
+	if gotBlock == 0 {
+		t.Error("mid-run hook never observed a retirement")
+	}
+	compareCPUs(t, cb, cs)
+}
+
+// TestEngineRemoveHookReopts checks that removing the last retire hook
+// returns Run to the block engine (afterLive bookkeeping), and that
+// removing one twice does not corrupt the count.
+func TestEngineRemoveHookReopts(t *testing.T) {
+	c, _ := asm(t, loopProgram(50))
+	if _, err := c.Mem.Map(0x30000, 256*8, "data"); err != nil {
+		t.Fatal(err)
+	}
+	r1 := c.AddAfterStep(func(*CPU, *Image, int, *MInstr) {})
+	r2 := c.AddAfterStep(func(*CPU, *Image, int, *MInstr) {})
+	if c.afterLive != 2 {
+		t.Fatalf("afterLive = %d, want 2", c.afterLive)
+	}
+	r1()
+	r1() // double-remove must be idempotent
+	r2()
+	if c.afterLive != 0 {
+		t.Fatalf("afterLive = %d after removals, want 0", c.afterLive)
+	}
+	if st := c.Run(0); st != StatusExited {
+		t.Fatalf("run: %v", st)
+	}
+}
+
+// TestEngineProfileCounts checks per-static-instruction counts are
+// identical between engines (including the cached counts-slice path).
+func TestEngineProfileCounts(t *testing.T) {
+	block, step := dualAsm(t, loopProgram(100), func(c *CPU) {
+		mapData(t)(c)
+		c.Profile = true
+	})
+	block.Run(0)
+	step.Run(0)
+	compareCPUs(t, block, step)
+	bi, si := block.Images[0], step.Images[0]
+	bc, sc := block.Counts[bi], step.Counts[si]
+	if len(bc) != len(sc) {
+		t.Fatalf("counts length: block %d step %d", len(bc), len(sc))
+	}
+	for i := range bc {
+		if bc[i] != sc[i] {
+			t.Errorf("counts[%d]: block %d step %d", i, bc[i], sc[i])
+		}
+	}
+}
+
+// TestEngineTraceSpansMatch compares the trap spans both engines stamp.
+func TestEngineTraceSpansMatch(t *testing.T) {
+	code := []MInstr{
+		{Op: MMovImm, Rd: R1, Imm: 0x40},
+		{Op: MLoad, Rd: R2, Base: R1}, // SEGV at 0x40
+		{Op: MHalt},
+	}
+	var recs [2]*trace.Recorder
+	for i, stepLoop := range []bool{false, true} {
+		block, _ := dualAsm(t, code, nil)
+		block.StepLoop = stepLoop
+		recs[i] = trace.New(8)
+		block.Trace = recs[i]
+		block.Run(0)
+	}
+	b, s := recs[0].Spans(), recs[1].Spans()
+	if len(b) != len(s) || len(b) == 0 {
+		t.Fatalf("span counts: block %d step %d", len(b), len(s))
+	}
+	for i := range b {
+		if b[i] != s[i] {
+			t.Errorf("span %d differs:\n block %+v\n step  %+v", i, b[i], s[i])
+		}
+	}
+}
+
+// TestInlineCacheInvalidation exercises the generation counter: a cached
+// segment must not satisfy accesses after Unmap or Restore swaps the
+// mapping under it.
+func TestInlineCacheInvalidation(t *testing.T) {
+	// Loop reading 0x30000 forever; pause, remap, resume.
+	code := []MInstr{
+		{Op: MMovImm, Rd: R4, Imm: 0x30000},
+		{Op: MLoad, Rd: R2, Base: R4}, // idx 1
+		{Op: MJmp, Target: AppCodeBase + 8},
+	}
+	c, _ := asm(t, code)
+	seg, err := c.Mem.Map(0x30000, 64, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := c.Mem.Write(0x30000, 11); f != nil {
+		t.Fatal(f)
+	}
+	c.Run(10) // warm the inline cache
+	if c.R[R2] != 11 {
+		t.Fatalf("R2 = %d, want 11", c.R[R2])
+	}
+
+	// Unmap: the cached segment must stop matching and the access fault.
+	c.Mem.Unmap(seg)
+	c.Run(4)
+	if c.Status != StatusTrapped || c.PendingTrap.Sig != SigSEGV {
+		t.Fatalf("after unmap: %v (%v), want SIGSEGV", c.Status, c.PendingTrap)
+	}
+
+	// Remap with new contents: the retried access must see them.
+	if _, err := c.Mem.Map(0x30000, 64, "data2"); err != nil {
+		t.Fatal(err)
+	}
+	if f := c.Mem.Write(0x30000, 22); f != nil {
+		t.Fatal(f)
+	}
+	c.Status = StatusRunning
+	c.PendingTrap = nil
+	c.Run(4)
+	if c.R[R2] != 22 {
+		t.Fatalf("R2 = %d after remap, want 22", c.R[R2])
+	}
+}
+
+func TestInlineCacheSeesRestoredSnapshot(t *testing.T) {
+	code := []MInstr{
+		{Op: MMovImm, Rd: R4, Imm: 0x30000},
+		{Op: MLoad, Rd: R2, Base: R4},
+		{Op: MMovImm, Rd: R3, Imm: 77},
+		{Op: MStore, Base: R4, Ra: R3},
+		{Op: MJmp, Target: AppCodeBase + 8},
+	}
+	c, _ := asm(t, code)
+	if _, err := c.Mem.Map(0x30000, 64, "data"); err != nil {
+		t.Fatal(err)
+	}
+	if f := c.Mem.Write(0x30000, 5); f != nil {
+		t.Fatal(f)
+	}
+	sn := c.Mem.Snapshot()
+	c.Run(10) // warms load+store caches; stores 77
+	if v, _ := c.Mem.Read(0x30000); v != 77 {
+		t.Fatalf("pre-restore value %d, want 77", v)
+	}
+	c.Mem.Restore(sn)
+	// The restored segment is a different *Segment aliasing frozen
+	// bytes; a stale cache hit would read 77 (or store through to the
+	// snapshot). The next load must see the snapshot value.
+	c.PC = AppCodeBase + 8
+	c.Run(1)
+	if c.R[R2] != 5 {
+		t.Fatalf("R2 = %d after restore, want 5", c.R[R2])
+	}
+	// And the next store must COW-materialise, not dirty the snapshot.
+	c.Run(2)
+	if sn.Segs[len(sn.Segs)-1].Data == nil {
+		t.Fatal("snapshot lost")
+	}
+	c.Mem.Restore(sn)
+	if v, _ := c.Mem.Read(0x30000); v != 5 {
+		t.Fatalf("snapshot dirtied: %d, want 5", v)
+	}
+}
+
+// TestEnginePuntsHostCalls checks host calls (and the instructions
+// around them) behave identically — they run through the legacy Step.
+func TestEnginePuntsHostCalls(t *testing.T) {
+	code := []MInstr{
+		{Op: MMovImm, Rd: R1, Imm: 42},
+		{Op: MPush, Ra: R1},
+		{Op: MHost, Host: "print_i64", HostArgs: 1},
+		{Op: MAdd, Rd: R2, Ra: R0, UseImm: true, Imm: 1},
+		{Op: MHalt, Ra: R2},
+	}
+	runDual(t, code, nil, 0)
+}
+
+// TestPredecodePuntsMalformedOperands: instructions with out-of-range
+// register fields must reach the legacy Step loop (and fail there the
+// way they always did), not be silently executed with masked indices.
+func TestPredecodePuntsMalformedOperands(t *testing.T) {
+	in := MInstr{Op: MAdd, Rd: 200, Ra: R1}
+	if u := predecodeOne(&in); u.op != uPunt {
+		t.Errorf("Rd=200 predecoded to %d, want uPunt", u.op)
+	}
+	in = MInstr{Op: MLoad, Rd: R1, Base: 99}
+	if u := predecodeOne(&in); u.op != uPunt {
+		t.Errorf("Base=99 predecoded to %d, want uPunt", u.op)
+	}
+	in = MInstr{Op: MFAdd, Fd: 1, Fa: 31, Fb: 2}
+	if u := predecodeOne(&in); u.op != uPunt {
+		t.Errorf("Fa=31 predecoded to %d, want uPunt", u.op)
+	}
+	// NoReg Rb resolves to the RI form with src2 = 0, like Step.
+	in = MInstr{Op: MAdd, Rd: R1, Ra: R2, Rb: NoReg}
+	u := predecodeOne(&in)
+	if u.op != uAddRI || u.imm != 0 {
+		t.Errorf("NoReg Rb: got op %d imm %d, want uAddRI imm 0", u.op, u.imm)
+	}
+}
+
+// TestEngineBudgetChargesTrapAttempts: a trapped-and-resumed instruction
+// consumes budget without retiring on both engines, so StatusLimit hits
+// at the same point.
+func TestEngineBudgetChargesTrapAttempts(t *testing.T) {
+	code := []MInstr{
+		{Op: MMovImm, Rd: R1, Imm: 1},
+		{Op: MMovImm, Rd: R2, Imm: 0},
+		{Op: MDiv, Rd: R3, Ra: R1, Rb: R2}, // traps; handler resumes without fixing
+		{Op: MHalt},
+	}
+	for limit := uint64(3); limit <= 8; limit++ {
+		mk := func(stepLoop bool) *CPU {
+			c, _ := asm(t, code)
+			c.StepLoop = stepLoop
+			c.Handler = func(*CPU, *Trap) TrapAction { return TrapResume }
+			return c
+		}
+		b, s := mk(false), mk(true)
+		if got, want := b.Run(limit), s.Run(limit); got != want {
+			t.Fatalf("limit %d: block %v step %v", limit, got, want)
+		}
+		if b.Status != StatusLimit {
+			t.Fatalf("limit %d: status %v, want limit", limit, b.Status)
+		}
+		compareCPUs(t, b, s)
+	}
+}

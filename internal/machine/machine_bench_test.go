@@ -46,16 +46,29 @@ func benchLoop(tb testing.TB, n int64) *CPU {
 }
 
 // BenchmarkCPUStepThroughput measures the interpreter's steady-state
-// instructions/second — the constant behind every campaign's runtime.
+// instructions/second — the constant behind every campaign's runtime —
+// on both tiers: the block-predecoded engine (the default) and the
+// legacy per-instruction Step loop it deoptimizes to under hooks.
 func BenchmarkCPUStepThroughput(b *testing.B) {
-	cpu := benchLoop(b, 1<<62)
-	b.ResetTimer()
-	cpu.Run(uint64(b.N))
-	b.StopTimer()
-	if cpu.Status == StatusTrapped {
-		b.Fatalf("trap: %v", cpu.PendingTrap)
+	for _, tc := range []struct {
+		name     string
+		stepLoop bool
+	}{
+		{"block", false},
+		{"step", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cpu := benchLoop(b, 1<<62)
+			cpu.StepLoop = tc.stepLoop
+			b.ResetTimer()
+			cpu.Run(uint64(b.N))
+			b.StopTimer()
+			if cpu.Status == StatusTrapped {
+				b.Fatalf("trap: %v", cpu.PendingTrap)
+			}
+			b.ReportMetric(float64(cpu.Dyn)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+		})
 	}
-	b.ReportMetric(float64(cpu.Dyn)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 }
 
 // BenchmarkMemoryAccess measures the segmented-memory fast path.

@@ -143,11 +143,20 @@ type Memory struct {
 	heapNext Word
 	// cache holds the most recently hit segment (cheap 1-entry TLB).
 	cache *Segment
+	// gen is the mapping generation, bumped whenever a segment is
+	// removed or replaced (Unmap, Restore). The execution engine's
+	// per-instruction memory inline caches hold *Segment references
+	// stamped with the generation they were filled at; a bump
+	// invalidates every cache at once. Map never bumps: adding a
+	// segment cannot make a cached (segment, generation) pair stale,
+	// and COW materialisation keeps segment identity (only Data is
+	// swapped), which the store fast path re-checks per access.
+	gen uint64
 }
 
 // NewMemory returns an empty address space with the heap initialised.
 func NewMemory() *Memory {
-	return &Memory{heapNext: HeapBase}
+	return &Memory{heapNext: HeapBase, gen: 1}
 }
 
 // insert places a segment into the sorted list after range checks.
@@ -213,6 +222,7 @@ func (m *Memory) Unmap(s *Segment) {
 			if m.cache == s {
 				m.cache = nil
 			}
+			m.gen++
 			return
 		}
 	}
@@ -375,6 +385,7 @@ func (m *Memory) Restore(sn *Snapshot) {
 	}
 	m.segs = kept
 	m.cache = nil
+	m.gen++
 	m.heapNext = sn.HeapNext
 	for _, s := range sn.Segs {
 		m.segs = append(m.segs, &Segment{Base: s.Base, Name: s.Name, Data: s.Data, cow: true})

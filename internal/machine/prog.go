@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"sync"
 
 	"care/internal/debuginfo"
 )
@@ -47,6 +48,12 @@ type Program struct {
 	// compiler seals programs it emits and DecodeProgram seals decoded
 	// ones, both before any concurrent use.
 	codeBytes []byte
+
+	// ublocks is the predecoded µop plan built lazily (and once) by
+	// plan(); like codeBytes it is unexported, outside the gob encoding,
+	// and shared read-only by every process executing this program.
+	planOnce sync.Once
+	ublocks  *blockPlan
 }
 
 // EndAddr returns one past the last code address.

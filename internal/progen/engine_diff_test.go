@@ -1,0 +1,194 @@
+package progen
+
+import (
+	"fmt"
+	"testing"
+
+	"care/internal/core"
+	"care/internal/faultinject"
+	"care/internal/machine"
+	"care/internal/trace"
+)
+
+// buildSeed compiles the progen module for one seed (fresh module per
+// call — Build mutates the IR in place).
+func buildSeed(t *testing.T, seed int64, opt int) *core.Binary {
+	t.Helper()
+	bin, err := core.Build(Generate(seed, Options{}), core.BuildOptions{OptLevel: opt, NoArmor: true})
+	if err != nil {
+		t.Fatalf("seed %d O%d: build: %v", seed, opt, err)
+	}
+	return bin
+}
+
+// newProc assembles a fresh process on the chosen interpreter loop.
+func newProc(t *testing.T, bin *core.Binary, stepLoop bool) *core.Process {
+	t.Helper()
+	p, err := core.NewProcess(core.ProcessConfig{App: bin, StepLoop: stepLoop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// requireSameMachineState compares the full architectural outcome of
+// two runs: status, exit code, registers, PC, Dyn, result stream, trap
+// identity, and every writable memory segment.
+func requireSameMachineState(t *testing.T, block, step *core.Process) {
+	t.Helper()
+	bc, sc := block.CPU, step.CPU
+	if bc.Status != sc.Status {
+		t.Fatalf("status: block %v step %v", bc.Status, sc.Status)
+	}
+	if bc.Dyn != sc.Dyn {
+		t.Errorf("Dyn: block %d step %d", bc.Dyn, sc.Dyn)
+	}
+	if bc.PC != sc.PC {
+		t.Errorf("PC: block 0x%x step 0x%x", bc.PC, sc.PC)
+	}
+	if bc.ExitCode != sc.ExitCode {
+		t.Errorf("exit code: block %d step %d", bc.ExitCode, sc.ExitCode)
+	}
+	if bc.R != sc.R {
+		t.Errorf("R: block %v step %v", bc.R, sc.R)
+	}
+	if bc.F != sc.F {
+		t.Errorf("F: block %v step %v", bc.F, sc.F)
+	}
+	bt, st := bc.PendingTrap, sc.PendingTrap
+	if (bt == nil) != (st == nil) {
+		t.Fatalf("trap: block %v step %v", bt, st)
+	}
+	if bt != nil && (bt.Sig != st.Sig || bt.PC != st.PC || bt.Addr != st.Addr || bt.Idx != st.Idx) {
+		t.Errorf("trap identity differs:\n block %+v\n step  %+v", bt, st)
+	}
+	bres, sres := block.Results(), step.Results()
+	if len(bres) != len(sres) {
+		t.Fatalf("result count: block %d step %d", len(bres), len(sres))
+	}
+	for i := range bres {
+		if bres[i] != sres[i] {
+			t.Errorf("result[%d]: block %v step %v", i, bres[i], sres[i])
+		}
+	}
+	bsegs, ssegs := block.Mem.Segments(), step.Mem.Segments()
+	if len(bsegs) != len(ssegs) {
+		t.Fatalf("segment count: block %d step %d", len(bsegs), len(ssegs))
+	}
+	for i := range bsegs {
+		if bsegs[i].ReadOnly() {
+			continue
+		}
+		if bsegs[i].Base != ssegs[i].Base || len(bsegs[i].Data) != len(ssegs[i].Data) {
+			t.Fatalf("segment %d layout mismatch", i)
+		}
+		for j := range bsegs[i].Data {
+			if bsegs[i].Data[j] != ssegs[i].Data[j] {
+				t.Errorf("segment %s byte 0x%x differs", bsegs[i].Name, bsegs[i].Base+machine.Word(j))
+				break
+			}
+		}
+	}
+}
+
+// TestEngineDifferentialClean drives generated programs — loops,
+// conditionals, array traffic, helper calls, host math calls — through
+// the block engine and the legacy Step loop at O0 and O1, requiring
+// identical machine state at exit.
+func TestEngineDifferentialClean(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		for _, opt := range []int{0, 1} {
+			t.Run(fmt.Sprintf("seed%d/O%d", seed, opt), func(t *testing.T) {
+				block := newProc(t, buildSeed(t, seed, opt), false)
+				step := newProc(t, buildSeed(t, seed, opt), true)
+				block.Run(100_000_000)
+				step.Run(100_000_000)
+				requireSameMachineState(t, block, step)
+			})
+		}
+	}
+}
+
+// TestEngineDifferentialFaulted arms the same bit flip on both loops:
+// the corrupted suffix (often ending in a trap) must diverge from the
+// golden run identically, including the trap trace spans.
+func TestEngineDifferentialFaulted(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	// High bits of an integer register make corrupted addresses
+	// non-canonical (SIGSEGV); low bits skew values (SDC/benign).
+	flips := [][]int{{41}, {3}, {62, 17}}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		bin0 := buildSeed(t, seed, 0)
+		bin1 := buildSeed(t, seed, 1)
+		for fi, bits := range flips {
+			for _, bin := range []*core.Binary{bin0, bin1} {
+				t.Run(fmt.Sprintf("seed%d/O%d/flip%d", seed, bin.Prog.OptLevel, fi), func(t *testing.T) {
+					run := func(stepLoop bool) (*core.Process, *trace.Recorder) {
+						p := newProc(t, bin, stepLoop)
+						rec := trace.New(16)
+						p.CPU.Trace = rec
+						faultinject.Arm(p.CPU, faultinject.Trigger{AtDyn: 500 + uint64(seed)*137}, bits)
+						p.Run(10_000_000)
+						return p, rec
+					}
+					block, brec := run(false)
+					step, srec := run(true)
+					requireSameMachineState(t, block, step)
+					bsp, ssp := brec.Spans(), srec.Spans()
+					if len(bsp) != len(ssp) {
+						t.Fatalf("trace spans: block %d step %d", len(bsp), len(ssp))
+					}
+					for i := range bsp {
+						if bsp[i] != ssp[i] {
+							t.Errorf("span %d differs:\n block %+v\n step  %+v", i, bsp[i], ssp[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestEngineDifferentialStopPC plants the stop sentinel at a PC sampled
+// mid-run: both loops must exit on the same retirement with the same
+// state (the Safeguard recovery-kernel return path depends on this).
+func TestEngineDifferentialStopPC(t *testing.T) {
+	for _, opt := range []int{0, 1} {
+		// Sample a mid-run PC from a sliced step-loop run; scan seeds for
+		// a program long enough to still be running at the probe point.
+		var bin *core.Binary
+		var stop machine.Word
+		for seed := int64(1); seed <= 20; seed++ {
+			b := buildSeed(t, seed, opt)
+			probe := newProc(t, b, true)
+			if probe.Run(2000) == machine.StatusLimit {
+				bin, stop = b, probe.CPU.PC
+				break
+			}
+		}
+		if bin == nil {
+			t.Fatal("no generated program runs past the probe point")
+		}
+		t.Run(fmt.Sprintf("O%d", opt), func(t *testing.T) {
+			run := func(stepLoop bool) *core.Process {
+				p := newProc(t, bin, stepLoop)
+				p.CPU.StopPC = stop
+				p.CPU.StopPCSet = true
+				p.Run(10_000_000)
+				return p
+			}
+			block, step := run(false), run(true)
+			if block.CPU.Status != machine.StatusExited {
+				t.Fatalf("stop sentinel not taken: %v", block.CPU.Status)
+			}
+			requireSameMachineState(t, block, step)
+		})
+	}
+}
