@@ -4,7 +4,10 @@
 // baseline for GTC-P (-cr).
 //
 // The paper's configuration is -ranks 512 -threads 6 (3072 cores); the
-// default here is a smaller job that runs in seconds.
+// default here is a smaller job that runs in seconds. -interp selects
+// the interpreter tier for every rank (superblock, block or step);
+// rank results and trace spans are identical on every tier — only the
+// measured wall_ns fields differ.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"runtime/pprof"
 
 	"care/internal/experiments"
+	"care/internal/machine"
 	"care/internal/trace"
 	"care/internal/workloads"
 )
@@ -47,9 +51,16 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the faulty-job traces (or C/R store traces) as JSONL to this file")
 	warmStart := flag.Bool("warmstart", false, "warm-start the recoverable-injection search from golden-run snapshots (results are identical)")
 	snapEvery := flag.Uint64("snap-every", 0, "golden-run snapshot cadence in dynamic instructions (0 = TotalDyn/64+1; only with -warmstart)")
+	interp := flag.String("interp", "superblock", "interpreter tier for every rank: superblock (fused engine), block (per-µop engine) or step (legacy per-instruction loop; results are identical)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	tier, err := machine.ParseInterpTier(*interp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -103,7 +114,7 @@ func main() {
 	}
 	rows, err := experiments.ParallelStudy(names, *ranks, *threads, *opt,
 		workloads.Params{NX: 5, NY: 5, NZ: 4, Steps: 12}, *seed,
-		experiments.StudyOptions{WarmStart: *warmStart, SnapEvery: *snapEvery})
+		experiments.StudyOptions{WarmStart: *warmStart, SnapEvery: *snapEvery, Tier: tier})
 	if err != nil {
 		log.Fatal(err)
 	}

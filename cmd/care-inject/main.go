@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	care-inject [-n 1000] [-faults 1] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1] [-workers 0] [-trace-out FILE] [-warmstart] [-snap-every N] [-interp block|step] [-cpuprofile FILE] [-memprofile FILE]
+//	care-inject [-n 1000] [-faults 1] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1] [-workers 0] [-trace-out FILE] [-warmstart] [-snap-every N] [-interp superblock|block|step] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 
 	"care/internal/experiments"
 	"care/internal/faultinject"
+	"care/internal/machine"
 	"care/internal/trace"
 	"care/internal/workloads"
 )
@@ -32,18 +33,14 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the merged campaign trace as JSONL to this file (Rank = workload index)")
 	warmStart := flag.Bool("warmstart", false, "clone trials from golden-run snapshots instead of replaying the fault-free prefix (results are identical)")
 	snapEvery := flag.Uint64("snap-every", 0, "golden-run snapshot cadence in dynamic instructions (0 = TotalDyn/64+1; only with -warmstart)")
-	interp := flag.String("interp", "block", "interpreter loop for trial processes: block (predecoded engine) or step (legacy per-instruction loop; results are identical)")
+	interp := flag.String("interp", "superblock", "interpreter tier for trial processes: superblock (fused engine), block (per-µop engine) or step (legacy per-instruction loop; results are identical)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 
-	var stepLoop bool
-	switch *interp {
-	case "block":
-	case "step":
-		stepLoop = true
-	default:
-		fmt.Fprintln(os.Stderr, "unknown -interp; want block or step")
+	tier, err := machine.ParseInterpTier(*interp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if *cpuProfile != "" {
@@ -98,7 +95,7 @@ func main() {
 		Traced:    *traceOut != "",
 		WarmStart: *warmStart,
 		SnapEvery: *snapEvery,
-		StepLoop:  stepLoop,
+		Tier:      tier,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -56,6 +56,11 @@ type Config struct {
 	Seed int64
 	// Quantum is the scheduler slice (default 50k instructions).
 	Quantum uint64
+	// Tier selects the interpreter tier every rank runs on
+	// (superblock, block or step). Rank results and trace spans are
+	// identical on every tier — only Span.Wall differs — matching the
+	// care-inject knob (the CI smoke diffs a wall-scrubbed JSONL).
+	Tier machine.InterpTier
 }
 
 func (c Config) nsPerInstr() float64 {
@@ -112,6 +117,9 @@ type SearchOptions struct {
 	WarmStart bool
 	// SnapEvery is the snapshot cadence (0 = TotalDyn/64+1).
 	SnapEvery uint64
+	// Tier selects the interpreter tier the search attempts run on;
+	// the found injection is identical on every tier.
+	Tier machine.InterpTier
 }
 
 // FindRecoverableInjection searches (deterministically) for an injection
@@ -123,6 +131,7 @@ func FindRecoverableInjection(bin *core.Binary, seed int64, opts SearchOptions) 
 			App: bin, Trials: 4, Seed: seed + int64(attempt),
 			MaxAttempts: 400, RecordInjections: true,
 			WarmStart: opts.WarmStart, SnapEvery: opts.SnapEvery,
+			Tier: opts.Tier,
 		}
 		res, err := exp.Run()
 		if res != nil && len(res.RecoveredInjections) > 0 {
@@ -154,6 +163,7 @@ func RunJob(cfg Config, bin *core.Binary, inj *Injection) (*JobResult, error) {
 			Protected: cfg.Protected,
 			Safeguard: cfg.Safeguard,
 			Env:       world.Env(r),
+			Tier:      cfg.Tier,
 		}
 		if cfg.Protected && cfg.Safeguard.Policy.Rollback {
 			pcfg.Checkpoint = checkpoint.NewStore(cfg.CheckpointModel)

@@ -6,6 +6,7 @@ import (
 
 	"care/internal/checkpoint"
 	"care/internal/core"
+	"care/internal/machine"
 	"care/internal/workloads"
 )
 
@@ -131,5 +132,48 @@ func TestCheckpointRestartBaseline(t *testing.T) {
 			t.Errorf("recovery cost did not grow with checkpoint interval: %v then %v", prev, res.RecoveryTotal)
 		}
 		prev = res.RecoveryTotal
+	}
+}
+
+// TestClusterTierEquivalence is care-cluster's side of the interpreter
+// contract: a protected multi-rank job with an injected fault produces
+// the same deterministic JobResult fields and the same trace spans on
+// every tier. Only wall-measured times (Span.Wall and the stall fields
+// derived from it) may differ — the CI smoke diffs the exported JSONL
+// after scrubbing wall_ns the same way.
+func TestClusterTierEquivalence(t *testing.T) {
+	bin := buildEval(t, "HPCCG", 0, true)
+	inj, err := FindRecoverableInjection(bin, 1001, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(tier machine.InterpTier) *JobResult {
+		res, err := RunJob(Config{Workload: "HPCCG", Ranks: 2, ThreadsPerRank: 6, Protected: true, Tier: tier}, bin, inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	step := run(machine.TierStep)
+	for _, tier := range []machine.InterpTier{machine.TierSuperblock, machine.TierBlock} {
+		fast := run(tier)
+		if fast.Completed != step.Completed || fast.Ranks != step.Ranks ||
+			fast.Cores != step.Cores || fast.MaxDyn != step.MaxDyn ||
+			fast.TotalDyn != step.TotalDyn || fast.Recoveries != step.Recoveries ||
+			fast.Rollbacks != step.Rollbacks || fast.Injected != step.Injected ||
+			fast.DeadRank != step.DeadRank {
+			t.Fatalf("%v job result differs from step:\n%+v\nvs\n%+v", tier, fast, step)
+		}
+		fs, ss := fast.Trace.Spans(), step.Trace.Spans()
+		if len(fs) != len(ss) {
+			t.Fatalf("%v span count %d, step %d", tier, len(fs), len(ss))
+		}
+		for i := range fs {
+			a, b := fs[i], ss[i]
+			a.Wall, b.Wall = 0, 0
+			if a != b {
+				t.Errorf("%v span %d differs (Wall scrubbed):\n %+v\n %+v", tier, i, a, b)
+			}
+		}
 	}
 }

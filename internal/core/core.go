@@ -174,11 +174,12 @@ type ProcessConfig struct {
 	// grows by that many values.
 	Checkpoint             *checkpoint.Store
 	CheckpointEveryResults int
-	// StepLoop forces the legacy per-instruction interpreter loop
-	// instead of the block-predecoded engine. Results are identical
-	// either way (the CI smoke diffs them); the knob exists for that
-	// check and for timing comparisons.
-	StepLoop bool
+	// Tier selects the interpreter tier for the process CPU: the fused
+	// superblock engine (the zero-value default), the per-µop block
+	// engine, or the legacy per-instruction Step loop. Results are
+	// identical on every tier (the CI smoke diffs them); the knob
+	// exists for that check and for timing comparisons.
+	Tier machine.InterpTier
 }
 
 // Process is one simulated process: a CPU, its memory and images, and
@@ -209,7 +210,7 @@ func newLoadedProcess(cfg ProcessConfig) (*Process, []*safeguard.Unit, error) {
 		env = hostenv.NewEnv()
 	}
 	cpu := machine.NewCPU(mem, env)
-	cpu.StepLoop = cfg.StepLoop
+	cpu.Tier = cfg.Tier
 	p := &Process{Mem: mem, CPU: cpu, Env: env}
 
 	var units []*safeguard.Unit

@@ -59,10 +59,10 @@ type StudyOptions struct {
 	// SnapEvery is the snapshot cadence in retired instructions
 	// (0 = TotalDyn/64+1).
 	SnapEvery uint64
-	// StepLoop forces trial processes onto the legacy per-instruction
-	// interpreter loop instead of the block-predecoded engine; results
-	// stay bit-identical (the CI smoke diffs the two).
-	StepLoop bool
+	// Tier selects the interpreter tier trial processes run on
+	// (superblock, block or step); results stay bit-identical on every
+	// tier (the CI smoke diffs them).
+	Tier machine.InterpTier
 }
 
 // OutcomeStudy runs the §2 manifestation study (Tables 2, 3, 4 / 10, 11).
@@ -84,7 +84,7 @@ func OutcomeStudy(names []string, n, faults int, model faultinject.Model, seed i
 			App: bin, N: n, FaultsPerTrial: faults, Model: model, Seed: seed,
 			Workers: opts.Workers, Trace: opts.Traced,
 			WarmStart: opts.WarmStart, SnapEvery: opts.SnapEvery,
-			StepLoop: opts.StepLoop,
+			Tier: opts.Tier,
 		}).Run()
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
@@ -283,8 +283,9 @@ type ParallelRow struct {
 
 // ParallelStudy reproduces Figure 10: each evaluated workload runs as an
 // N-rank job with and without a CARE-recoverable fault at rank 0. Only
-// opts.WarmStart/SnapEvery apply here — they speed up the recoverable-
-// injection search that precedes each job.
+// opts.WarmStart/SnapEvery/Tier apply here — the first two speed up the
+// recoverable-injection search that precedes each job, and Tier selects
+// the interpreter tier for both the search and every rank.
 func ParallelStudy(names []string, ranks, threads, opt int, p workloads.Params, seed int64, opts StudyOptions) ([]ParallelRow, error) {
 	var rows []ParallelRow
 	for _, name := range names {
@@ -293,11 +294,11 @@ func ParallelStudy(names []string, ranks, threads, opt int, p workloads.Params, 
 			return nil, err
 		}
 		inj, err := cluster.FindRecoverableInjection(bin, seed,
-			cluster.SearchOptions{WarmStart: opts.WarmStart, SnapEvery: opts.SnapEvery})
+			cluster.SearchOptions{WarmStart: opts.WarmStart, SnapEvery: opts.SnapEvery, Tier: opts.Tier})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
-		cfg := cluster.Config{Workload: name, Ranks: ranks, ThreadsPerRank: threads, Protected: true}
+		cfg := cluster.Config{Workload: name, Ranks: ranks, ThreadsPerRank: threads, Protected: true, Tier: opts.Tier}
 		base, err := cluster.RunJob(cfg, bin, nil)
 		if err != nil {
 			return nil, err

@@ -75,10 +75,9 @@ type CoverageExperiment struct {
 	// SnapEvery is the snapshot cadence in retired instructions
 	// (warm-start only; 0 picks TotalDyn/64+1).
 	SnapEvery uint64
-	// StepLoop runs every attempt on the legacy per-instruction
-	// interpreter loop instead of the block-predecoded engine (results
-	// are identical; see Campaign.StepLoop).
-	StepLoop bool
+	// Tier selects the interpreter tier every attempt runs on (results
+	// are identical on every tier; see Campaign.Tier).
+	Tier machine.InterpTier
 }
 
 // RecordedInjection identifies a replayable injection.
@@ -312,7 +311,7 @@ func (e *CoverageExperiment) runAttempt(i int, prof *profiler.Profile, smp *samp
 	}
 	cfg := core.ProcessConfig{
 		App: e.App, Libs: e.Libs, Protected: true, Safeguard: e.Safeguard,
-		StepLoop: e.StepLoop,
+		Tier: e.Tier,
 	}
 	if e.Safeguard.Policy.Rollback {
 		cfg.Checkpoint = checkpoint.NewStore(e.CheckpointModel)

@@ -5,14 +5,15 @@ import (
 	"reflect"
 	"testing"
 
+	"care/internal/machine"
 	"care/internal/safeguard"
 )
 
-// TestCampaignEngineEquivalence is the block engine's end-to-end
-// contract: a campaign run on the block-predecoded interpreter is
-// bit-identical — every result field and the exported trace JSONL — to
-// the same campaign forced onto the legacy per-instruction Step loop,
-// across worker counts and under the multi-fault model.
+// TestCampaignEngineEquivalence is the fast tiers' end-to-end contract:
+// a campaign run on the superblock or block engine is bit-identical —
+// every result field and the exported trace JSONL — to the same
+// campaign forced onto the legacy per-instruction Step loop, across
+// worker counts and under the multi-fault model.
 func TestCampaignEngineEquivalence(t *testing.T) {
 	bin := buildWorkload(t, "HPCCG", 0, false)
 	for _, tc := range []struct {
@@ -23,31 +24,34 @@ func TestCampaignEngineEquivalence(t *testing.T) {
 		{"multi-fault", 3},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			run := func(stepLoop bool, workers int) *CampaignResult {
+			run := func(tier machine.InterpTier, workers int) *CampaignResult {
 				res, err := (&Campaign{
 					App: bin, N: 24, FaultsPerTrial: tc.faults,
 					Model: SingleBit, Seed: 7, Workers: workers,
-					Trace: true, StepLoop: stepLoop,
+					Trace: true, Tier: tier,
 				}).Run()
 				if err != nil {
 					t.Fatal(err)
 				}
 				return res
 			}
-			block := run(false, 8)
-			step := run(true, 1)
-			if !reflect.DeepEqual(block, step) {
-				t.Fatalf("campaign result differs between block engine and step loop:\n%+v\nvs\n%+v", block, step)
-			}
-			var bj, sj bytes.Buffer
-			if err := block.Trace.WriteJSONL(&bj); err != nil {
-				t.Fatal(err)
-			}
+			step := run(machine.TierStep, 1)
+			var sj bytes.Buffer
 			if err := step.Trace.WriteJSONL(&sj); err != nil {
 				t.Fatal(err)
 			}
-			if !bytes.Equal(bj.Bytes(), sj.Bytes()) {
-				t.Fatal("trace JSONL differs between block engine and step loop")
+			for _, tier := range []machine.InterpTier{machine.TierSuperblock, machine.TierBlock} {
+				fast := run(tier, 8)
+				if !reflect.DeepEqual(fast, step) {
+					t.Fatalf("campaign result differs between %v engine and step loop:\n%+v\nvs\n%+v", tier, fast, step)
+				}
+				var fj bytes.Buffer
+				if err := fast.Trace.WriteJSONL(&fj); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(fj.Bytes(), sj.Bytes()) {
+					t.Fatalf("trace JSONL differs between %v engine and step loop", tier)
+				}
 			}
 		})
 	}
@@ -58,29 +62,31 @@ func TestCampaignEngineEquivalence(t *testing.T) {
 // inline-cache generation) must not perturb results either.
 func TestCampaignEngineEquivalenceWarmStart(t *testing.T) {
 	bin := buildWorkload(t, "HPCCG", 0, false)
-	run := func(stepLoop bool) *CampaignResult {
+	run := func(tier machine.InterpTier) *CampaignResult {
 		res, err := (&Campaign{
 			App: bin, N: 16, Model: SingleBit, Seed: 19, Workers: 4,
-			Trace: true, WarmStart: true, StepLoop: stepLoop,
+			Trace: true, WarmStart: true, Tier: tier,
 		}).Run()
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res
 	}
-	block, step := run(false), run(true)
-	if !reflect.DeepEqual(block, step) {
-		t.Fatalf("warm-start campaign differs between engines:\n%+v\nvs\n%+v", block, step)
+	step := run(machine.TierStep)
+	for _, tier := range []machine.InterpTier{machine.TierSuperblock, machine.TierBlock} {
+		if fast := run(tier); !reflect.DeepEqual(fast, step) {
+			t.Fatalf("warm-start campaign differs between %v engine and step loop:\n%+v\nvs\n%+v", tier, fast, step)
+		}
 	}
 }
 
 // TestCoverageEngineEquivalence pins the protected path: Safeguard
 // recovery (trap handlers, recovery-kernel sub-CPUs riding the StopPC
 // sentinel, checkpoint rollback restores) must classify every trial
-// identically on both interpreter loops.
+// identically on every interpreter tier.
 func TestCoverageEngineEquivalence(t *testing.T) {
 	bin := buildWorkload(t, "HPCCG", 0, true)
-	run := func(stepLoop bool) *CoverageResult {
+	run := func(tier machine.InterpTier) *CoverageResult {
 		res, err := (&CoverageExperiment{
 			App: bin, Trials: 8, Model: SingleBit, Seed: 31,
 			Safeguard: safeguard.Config{
@@ -89,14 +95,13 @@ func TestCoverageEngineEquivalence(t *testing.T) {
 			},
 			CheckpointEveryResults: 1,
 			Workers:                4,
-			StepLoop:               stepLoop,
+			Tier:                   tier,
 		}).Run()
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res
 	}
-	block, step := run(false), run(true)
 	scrub := func(r *CoverageResult) CoverageResult {
 		c := *r
 		c.Events = nil
@@ -104,16 +109,20 @@ func TestCoverageEngineEquivalence(t *testing.T) {
 		c.Trace = nil // compared separately, with Wall times scrubbed
 		return c
 	}
-	if a, b := scrub(block), scrub(step); !reflect.DeepEqual(a, b) {
-		t.Fatalf("coverage logical fields differ between engines:\n%+v\nvs\n%+v", a, b)
-	}
-	requireTraceSkeletonEqual(t, block.Trace, step.Trace)
-	if len(block.Events) != len(step.Events) {
-		t.Fatalf("event count differs: %d vs %d", len(block.Events), len(step.Events))
-	}
-	for i := range block.Events {
-		if block.Events[i].Outcome != step.Events[i].Outcome {
-			t.Errorf("event %d outcome %s vs %s", i, block.Events[i].Outcome, step.Events[i].Outcome)
+	step := run(machine.TierStep)
+	for _, tier := range []machine.InterpTier{machine.TierSuperblock, machine.TierBlock} {
+		fast := run(tier)
+		if a, b := scrub(fast), scrub(step); !reflect.DeepEqual(a, b) {
+			t.Fatalf("coverage logical fields differ between %v engine and step loop:\n%+v\nvs\n%+v", tier, a, b)
+		}
+		requireTraceSkeletonEqual(t, fast.Trace, step.Trace)
+		if len(fast.Events) != len(step.Events) {
+			t.Fatalf("event count differs: %d vs %d", len(fast.Events), len(step.Events))
+		}
+		for i := range fast.Events {
+			if fast.Events[i].Outcome != step.Events[i].Outcome {
+				t.Errorf("event %d outcome %s vs %s", i, fast.Events[i].Outcome, step.Events[i].Outcome)
+			}
 		}
 	}
 }

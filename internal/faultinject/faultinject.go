@@ -363,11 +363,12 @@ type Campaign struct {
 	// bounding the frozen-image memory while capping the re-executed
 	// prefix at ~1/64 of the run per trial.
 	SnapEvery uint64
-	// StepLoop runs every trial on the legacy per-instruction
-	// interpreter loop instead of the block-predecoded engine. The
-	// campaign result — including the exported trace JSONL — is
-	// bit-identical either way; the CI smoke diffs the two.
-	StepLoop bool
+	// Tier selects the interpreter tier every trial runs on
+	// (superblock, block or step; the zero value is the fused
+	// superblock default). The campaign result — including the
+	// exported trace JSONL — is bit-identical on every tier; the CI
+	// smoke diffs them.
+	Tier machine.InterpTier
 }
 
 // WarmStartStats accounts for the work a warm-started campaign skipped.
@@ -494,7 +495,7 @@ func (c *Campaign) runTrial(i int, prof *profiler.Profile, hang uint64) (trial, 
 		}
 		snap = prof.NearestSnap(minTarget)
 	}
-	cfg := core.ProcessConfig{App: c.App, Libs: c.Libs, StepLoop: c.StepLoop}
+	cfg := core.ProcessConfig{App: c.App, Libs: c.Libs, Tier: c.Tier}
 	var p *core.Process
 	var err error
 	if snap != nil {

@@ -129,11 +129,12 @@ type CPU struct {
 	// the step path pays nothing when tracing is off.
 	Trace *trace.Recorder
 
-	// StepLoop forces Run onto the legacy per-instruction Step loop
-	// even when no hooks are installed. Campaigns expose it (-interp
-	// step) so the block engine's bit-identity can be checked end to
-	// end; results must not depend on it.
-	StepLoop bool
+	// Tier selects the interpreter loop Run uses when no hooks are
+	// installed: the fused superblock engine (the zero-value default),
+	// the per-µop block engine, or the legacy Step loop. Campaigns
+	// expose it (-interp) so the faster tiers' bit-identity can be
+	// checked end to end; results must not depend on it.
+	Tier InterpTier
 
 	// afterLive counts the non-nil entries of afterHooks, so Run's
 	// block-engine eligibility check is O(1) instead of scanning the
@@ -144,6 +145,13 @@ type CPU struct {
 	// per memory µop of the image's plan). Strictly per-CPU: plans are
 	// shared across processes, cache contents must not be.
 	ics map[*Image][]icEntry
+	// stackIC is the dedicated stack-segment inline cache shared by
+	// every stack-traffic µop (call/ret/push/pop): SP stays inside one
+	// segment for essentially a whole run, so one slot per CPU hits
+	// where per-µop slots would each warm separately. Validated by the
+	// same Memory generation check as the per-µop slots, so Unmap and
+	// snapshot Restore invalidate it identically.
+	stackIC icEntry
 	// curPlan/curICs/curCounts cache the current image's derived state
 	// (µop plan, inline-cache slots, profile counts slice) so the hot
 	// loops pay the map lookups only on image switch. Invalidated by
@@ -529,15 +537,16 @@ func (c *CPU) Step() {
 // Run steps the CPU until it exits, traps, blocks, or retires `limit`
 // additional instructions (0 means no limit). It returns the status.
 //
-// When no step hooks are installed (and StepLoop is unset), Run
-// executes through the block-predecoded engine, which batches budget
-// and Dyn accounting per straight-line run and materialises PC lazily;
-// see engine.go. The budget is charged per attempted instruction on
-// both paths — a trapped-and-resumed instruction consumes budget
-// without retiring — so hang classifications and checkpoint cadences
-// are identical whichever loop executes. Hook-installation state is
-// re-checked every iteration: a trap handler that installs a hook
-// mid-run deopts Run to the Step loop at the next block boundary.
+// When no step hooks are installed (and Tier is not TierStep), Run
+// executes through the predecoded engines — the fused superblock loop
+// by default, or the per-µop block loop under TierBlock — which batch
+// budget and Dyn accounting and materialise PC lazily; see engine.go.
+// The budget is charged per attempted instruction on every tier — a
+// trapped-and-resumed instruction consumes budget without retiring —
+// so hang classifications and checkpoint cadences are identical
+// whichever loop executes. Hook-installation state is re-checked every
+// iteration: a trap handler that installs a hook mid-run deopts Run to
+// the Step loop at the next block boundary.
 func (c *CPU) Run(limit uint64) RunStatus {
 	if c.Status == StatusLimit {
 		// A budget pause is resumable (schedulers slice with it).
@@ -552,8 +561,14 @@ func (c *CPU) Run(limit uint64) RunStatus {
 			c.Status = StatusLimit
 			break
 		}
-		if !c.StepLoop && c.BeforeStep == nil && c.AfterStep == nil && c.afterLive == 0 {
-			n, punt := c.runBlocks(budget)
+		if c.Tier != TierStep && c.BeforeStep == nil && c.AfterStep == nil && c.afterLive == 0 {
+			var n uint64
+			var punt bool
+			if c.Tier == TierBlock {
+				n, punt = c.runBlocks(budget)
+			} else {
+				n, punt = c.runSuper(budget)
+			}
 			budget -= n
 			if !punt {
 				continue

@@ -121,9 +121,19 @@ func Disassemble(in *MInstr) string {
 }
 
 // DisassembleProgram renders the whole image with addresses and source
-// keys, for debugging and documentation. Instructions the block engine
-// cannot predecode (host calls, halt/abort, malformed operands) are
-// annotated `; step` — they punt to the legacy per-instruction loop.
+// keys, for debugging and documentation. The annotations explain how
+// the engine tiers see each instruction:
+//
+//	; step             punts to the legacy per-instruction loop
+//	                   (host calls, halt/abort, malformed operands)
+//	; sb+N             leads a superblock of N fused fallthrough µops
+//	; sb-entry         a linked branch lands here (chain re-entry point)
+//	; linked           branch resolved to a µop index at predecode
+//	; demoted(REASON)  branch returns to dispatch instead of linking
+//	                   (target-outside-image, target-mid-instruction,
+//	                   target-punts)
+//
+// so care-disasm output shows exactly why a region won't fuse.
 func DisassembleProgram(p *Program) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "; program %s (O%d) code@0x%x data@0x%x\n", p.Name, p.OptLevel, p.CodeBase, p.GlobalBase)
@@ -132,14 +142,33 @@ func DisassembleProgram(p *Program) string {
 		fnAt[f.Entry] = f.Name
 	}
 	plan := p.plan()
+	entries := map[int]bool{}
+	for i := range plan.uops {
+		if t := plan.uops[i].tidx; t >= 0 {
+			entries[int(t)] = true
+		}
+	}
 	for i := range p.Code {
 		if n, ok := fnAt[i]; ok {
 			fmt.Fprintf(&sb, "\n%s:\n", n)
 		}
 		in := &p.Code[i]
 		fmt.Fprintf(&sb, "  0x%08x  %-40s", p.AddrOf(i), Disassemble(in))
-		if plan.uops[i].op == uPunt {
+		u := &plan.uops[i]
+		switch {
+		case u.op == uPunt:
 			sb.WriteString(" ; step")
+		case u.op == uJmp || u.op == uJnz || u.op == uJz || u.op == uCall:
+			if u.tidx >= 0 {
+				sb.WriteString(" ; linked")
+			} else if _, reason := linkTarget(p, plan.uops, u.target); reason != "" {
+				fmt.Fprintf(&sb, " ; demoted(%s)", reason)
+			}
+		case plan.runLen[i] > 0 && (i == 0 || plan.runLen[i-1] == 0):
+			fmt.Fprintf(&sb, " ; sb+%d", plan.runLen[i])
+		}
+		if entries[i] {
+			sb.WriteString(" ; sb-entry")
 		}
 		if in.Line != 0 || in.Col != 0 {
 			fmt.Fprintf(&sb, " ; !%d:%d", in.Line, in.Col)

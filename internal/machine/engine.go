@@ -22,7 +22,22 @@
 //   - StopPC is compared after every retirement, so mid-block sentinel
 //     hits exit on the same dynamic instruction as the Step loop.
 //
-// Eligibility is re-checked by Run before every runBlocks call: any
+// On top of the per-µop loop (runBlocks, the TierBlock path) sits a
+// third dispatch level (runSuper, the default TierSuperblock path):
+// predecode resolves in-image Jmp/Jnz/Jz/Call targets to µop indices
+// (uop.tidx) so taken branches jump straight to the successor µop, and
+// computes per-index fallthrough-run lengths (blockPlan.runLen) so each
+// straight-line chain retires under ONE budget/Dyn accounting check
+// instead of one per instruction. Because runLen is indexed per µop, a
+// chain entered mid-way — a multi-predecessor leader reached by a
+// linked branch — simply pays its accounting check at the entry point,
+// while single-predecessor leaders reached by fallthrough are fused
+// into the running chain with no check at all. Branch targets that
+// cannot be linked (outside the image, mid-instruction, or landing on
+// a punting µop) are demoted at predecode: the branch materialises the
+// PC and returns to Run's dispatch, exactly like an image exit.
+//
+// Eligibility is re-checked by Run before every engine call: any
 // installed BeforeStep/AfterStep hook (fault arming, taint, checkpoint
 // cadences, snapshot capture) deopts to the per-instruction loop, and a
 // hook installed mid-run by a trap handler takes effect at the next
@@ -31,10 +46,14 @@
 // Loads and stores go through per-µop memory inline caches: each
 // memory-access µop owns one icEntry slot per CPU remembering the last
 // *Segment it hit, revalidated with a generation check plus one range
-// compare. The slots live on the CPU (Programs and their µop plans are
-// shared read-only by every concurrent process of a binary); Memory.gen
-// bumps whenever a segment is removed or replaced (Unmap, Restore), so
-// rollbacks and dlclose invalidate every cache at once.
+// compare. Stack-traffic µops (call/ret/push/pop) instead share one
+// dedicated per-CPU stack-segment slot (CPU.stackIC): SP stays inside
+// one segment for essentially a whole run, so a single hot slot beats
+// many separately-warmed ones. The slots live on the CPU (Programs and
+// their µop plans are shared read-only by every concurrent process of
+// a binary); Memory.gen bumps whenever a segment is removed or
+// replaced (Unmap, Restore), so rollbacks and dlclose invalidate every
+// cache — including the stack slot — at once.
 package machine
 
 import (
@@ -106,17 +125,69 @@ const (
 	uStoreX
 	uFStore
 	uFStoreX
+
+	// Stack-traffic µops. Keep these contiguous too: they dereference
+	// memory through SP and share the CPU's dedicated stack-segment
+	// inline cache instead of owning per-µop slots.
 	uCall
 	uRet
 	uPush
 	uPop
 	uFPush
 	uFPop
+
+	// Fused superinstructions: two adjacent µops retired by one dispatch.
+	// These opcodes never appear in blockPlan.uops (the per-µop stream the
+	// block tier and the disassembler read) — predecode's fusion pass
+	// writes them only into the wide superblock stream (blockPlan.fuops),
+	// picking the pairs that dominate compiled code: the O0 spill/reload
+	// idiom (store+load, load+load and their float forms), address-compute
+	// feeding memory, and the O1 copy/FP chains. Naming reads first-then-
+	// second: uPStLd is "store, then load".
+	uPStLd
+	uPLdLd
+	uPLdSt
+	uPFStFLd
+	uPFLdFLd
+	uPFStLd
+	uPStFLd
+	uPFLdFSt
+	uPLdFLdX
+	uPFLdXFSt
+	uPFLdXLd
+	uPLdLdX
+	uPLdXLd
+	uPLdSetI
+	uPLdSetR
+	uPSetISt
+	uPSetRSt
+	uPAddRSt
+	uPAddISt
+	uPLdAddR
+	uPLdAddI
+	uPMovFMov
+	uPAddIMov
+	uPFMulFAdd
+	uPAddRLd
+	uPFLdXFMul
+	uPFAddAddI
 )
 
-// usesIC reports whether the µop dereferences memory and owns an
-// inline-cache slot.
-func (o uopOp) usesIC() bool { return o >= uLoad && o <= uFPop }
+// usesIC reports whether the µop dereferences memory through an
+// explicit address operand and owns a per-µop inline-cache slot.
+func (o uopOp) usesIC() bool { return o >= uLoad && o <= uFStoreX }
+
+// isControlOp reports whether the µop ends a fallthrough chain: it
+// either transfers control or punts to the legacy Step loop. Exactly
+// these µops have runLen 0 and are handled by runSuper's control
+// dispatch.
+func isControlOp(o uopOp) bool {
+	switch o {
+	case uPunt, uJmp, uJnz, uJz, uCall, uRet:
+		return true
+	}
+	return false
+}
 
 // uop is one predecoded micro-operation. d/a/b index the integer or
 // float register file depending on the opcode (for loads and stores, a
@@ -131,20 +202,124 @@ type uop struct {
 	scale uint8
 	cond  Cond
 	// ic is the CPU-local inline-cache slot of a memory µop (-1
-	// otherwise).
+	// otherwise; stack-traffic µops use the shared stack slot).
 	ic int32
+	// tidx is the linked branch target of uJmp/uJnz/uJz/uCall as a µop
+	// index, resolved at predecode so taken branches re-enter the µop
+	// array directly. -1 when the µop is not a branch or the branch was
+	// demoted to dispatch-return (target outside the image, mid-
+	// instruction, or landing on a punting µop).
+	tidx int32
 	// imm is the immediate or displacement.
 	imm int64
 	// target is the absolute branch target of uJmp/uJnz/uJz/uCall.
 	target Word
 }
 
+// fuop is one entry of the superblock tier's wide µop stream: the µop
+// at its index (same fields as uop) plus, when predecode fused it with
+// its fallthrough successor, the second µop's operands (d2/a2/b2/s2/
+// cond2/ic2/imm2) under a uP* superinstruction opcode. The stream is
+// overlap-encoded — every index that STARTS a fusible pair carries the
+// fused form, and the second µop's index still holds its plain single
+// form — so a linked branch entering mid-chain (or a chain clamped by
+// budget or StopPC between the two halves) executes the exact same
+// µop sequence, just with one fewer dispatch when the pair is intact.
+// The block tier keeps the compact uop array; only runSuper pays the
+// wider stride.
+type fuop struct {
+	op             uopOp
+	d, a, b, scale uint8
+	cond           Cond
+	d2, a2, b2, s2 uint8
+	cond2          Cond
+	ic, ic2        int32
+	tidx           int32
+	imm, imm2      int64
+	target         Word
+}
+
+// fusePair maps an adjacent µop pair to its superinstruction, or uPunt
+// when the pair stays unfused. The table is the dynamically hottest
+// pairs of the compiled workloads: O0 leans on frame-slot traffic
+// (store+load and friends are the spill/reload idiom around every
+// expression), O1 on copy coalescing and load-compute chains.
+func fusePair(a, b uopOp) uopOp {
+	const k = 1 << 8
+	switch uint16(a)*k + uint16(b) {
+	case uint16(uStore)*k + uint16(uLoad):
+		return uPStLd
+	case uint16(uLoad)*k + uint16(uLoad):
+		return uPLdLd
+	case uint16(uLoad)*k + uint16(uStore):
+		return uPLdSt
+	case uint16(uFStore)*k + uint16(uFLoad):
+		return uPFStFLd
+	case uint16(uFLoad)*k + uint16(uFLoad):
+		return uPFLdFLd
+	case uint16(uFStore)*k + uint16(uLoad):
+		return uPFStLd
+	case uint16(uStore)*k + uint16(uFLoad):
+		return uPStFLd
+	case uint16(uFLoad)*k + uint16(uFStore):
+		return uPFLdFSt
+	case uint16(uLoad)*k + uint16(uFLoadX):
+		return uPLdFLdX
+	case uint16(uFLoadX)*k + uint16(uFStore):
+		return uPFLdXFSt
+	case uint16(uFLoadX)*k + uint16(uLoad):
+		return uPFLdXLd
+	case uint16(uLoad)*k + uint16(uLoadX):
+		return uPLdLdX
+	case uint16(uLoadX)*k + uint16(uLoad):
+		return uPLdXLd
+	case uint16(uLoad)*k + uint16(uSetRI):
+		return uPLdSetI
+	case uint16(uLoad)*k + uint16(uSetRR):
+		return uPLdSetR
+	case uint16(uSetRI)*k + uint16(uStore):
+		return uPSetISt
+	case uint16(uSetRR)*k + uint16(uStore):
+		return uPSetRSt
+	case uint16(uAddRR)*k + uint16(uStore):
+		return uPAddRSt
+	case uint16(uAddRI)*k + uint16(uStore):
+		return uPAddISt
+	case uint16(uLoad)*k + uint16(uAddRR):
+		return uPLdAddR
+	case uint16(uLoad)*k + uint16(uAddRI):
+		return uPLdAddI
+	case uint16(uMov)*k + uint16(uFMov):
+		return uPMovFMov
+	case uint16(uAddRI)*k + uint16(uMov):
+		return uPAddIMov
+	case uint16(uFMul)*k + uint16(uFAdd):
+		return uPFMulFAdd
+	case uint16(uAddRR)*k + uint16(uLoad):
+		return uPAddRLd
+	case uint16(uFLoadX)*k + uint16(uFMul):
+		return uPFLdXFMul
+	case uint16(uFAdd)*k + uint16(uAddRI):
+		return uPFAddAddI
+	}
+	return uPunt
+}
+
 // blockPlan is the predecoded form of a Program's code: µops 1:1 with
-// Code, plus the number of inline-cache slots its memory µops claimed.
-// A plan is immutable after construction and shared by every CPU.
+// Code, the number of inline-cache slots its memory µops claimed, and
+// the superblock metadata — runLen[i] is the length of the straight-
+// line fallthrough chain starting at µop i (the number of consecutive
+// non-control, non-punt µops from i; 0 exactly when µop i is a control
+// op). Per-index lengths make mid-chain entry exact: a linked branch
+// landing on a multi-predecessor leader just starts its accounting
+// there. fuops is the wide, pair-fused stream runSuper executes (1:1
+// indices with uops). A plan is immutable after construction and
+// shared by every CPU.
 type blockPlan struct {
-	uops []uop
-	nIC  int
+	uops   []uop
+	fuops  []fuop
+	runLen []int32
+	nIC    int
 }
 
 // plan returns the program's predecoded plan, building it on first use.
@@ -155,16 +330,91 @@ func (p *Program) plan() *blockPlan {
 }
 
 func predecode(p *Program) *blockPlan {
-	pl := &blockPlan{uops: make([]uop, len(p.Code))}
+	n := len(p.Code)
+	pl := &blockPlan{uops: make([]uop, n), runLen: make([]int32, n)}
 	for i := range p.Code {
 		u := predecodeOne(&p.Code[i])
+		u.tidx = -1
 		if u.op.usesIC() {
 			u.ic = int32(pl.nIC)
 			pl.nIC++
 		}
 		pl.uops[i] = u
 	}
+	// Second pass: link branch targets (a forward target's µop must be
+	// lowered before it can be classified).
+	for i := range pl.uops {
+		u := &pl.uops[i]
+		switch u.op {
+		case uJmp, uJnz, uJz, uCall:
+			if t, _ := linkTarget(p, pl.uops, u.target); t >= 0 {
+				u.tidx = t
+			}
+		}
+	}
+	// Fallthrough-run lengths, computed backwards so each index holds
+	// the rest-of-chain count from that point.
+	for i := n - 1; i >= 0; i-- {
+		if isControlOp(pl.uops[i].op) {
+			continue // runLen 0
+		}
+		if i == n-1 {
+			pl.runLen[i] = 1
+		} else {
+			pl.runLen[i] = pl.runLen[i+1] + 1
+		}
+	}
+	// Fourth pass: widen into the superblock stream and overlap-encode
+	// fused pairs. runLen >= 2 guarantees both halves are plain chain
+	// µops of the same chain (never control, punt, or the chain's end).
+	pl.fuops = make([]fuop, n)
+	for i := range pl.uops {
+		u := &pl.uops[i]
+		pl.fuops[i] = fuop{op: u.op, d: u.d, a: u.a, b: u.b, scale: u.scale,
+			cond: u.cond, ic: u.ic, ic2: -1, tidx: u.tidx, imm: u.imm, target: u.target}
+	}
+	for i := 0; i+1 < n; i++ {
+		if pl.runLen[i] < 2 {
+			continue
+		}
+		if f := fusePair(pl.uops[i].op, pl.uops[i+1].op); f != uPunt {
+			v, fu := &pl.uops[i+1], &pl.fuops[i]
+			fu.op = f
+			fu.d2, fu.a2, fu.b2, fu.s2 = v.d, v.a, v.b, v.scale
+			fu.cond2, fu.ic2, fu.imm2 = v.cond, v.ic, v.imm
+		}
+	}
 	return pl
+}
+
+// Demotion reasons, shared by linkTarget's classification and the
+// disassembler's annotations.
+const (
+	demoteOutsideImage = "target-outside-image"
+	demoteMidInstr     = "target-mid-instruction"
+	demotePunts        = "target-punts"
+)
+
+// linkTarget resolves an absolute branch target to a µop index, or
+// explains why the branch must demote to dispatch-return: targets
+// outside the image (cross-image or wild), targets landing between
+// instruction boundaries (only a PC-carrying dispatch round-trip
+// preserves the misalignment a trap must report), and targets landing
+// on punting µops (those must reach the legacy Step loop with an exact
+// PC).
+func linkTarget(p *Program, uops []uop, target Word) (int32, string) {
+	off := target - p.CodeBase // underflows huge for target < CodeBase
+	if off >= Word(8*len(uops)) {
+		return -1, demoteOutsideImage
+	}
+	if off&7 != 0 {
+		return -1, demoteMidInstr
+	}
+	idx := int32(off >> 3)
+	if uops[idx].op == uPunt {
+		return -1, demotePunts
+	}
+	return idx, ""
 }
 
 func okR(r Reg) bool  { return r < NumReg }
@@ -385,9 +635,38 @@ func predecodeOne(in *MInstr) uop {
 
 // icEntry is one per-CPU memory inline cache: the last segment a µop's
 // access hit, valid while the Memory generation matches.
+// icEntry is one memory inline cache slot. Beyond the cached segment
+// and the generation that validates it, the slot precomputes the hit
+// test as three words — base, rlen (len(Data)-7, so off < rlen
+// validates an aligned 8-byte access) and wlen (rlen when the segment
+// is writable in place, 0 for read-only or still-copy-on-write
+// segments, whose stores must take the slow path) — so runSuper's
+// dispatch cases can open-code the hit path in a handful of compares.
+// (The engine loop is past the compiler's big-function threshold, so
+// even tiny helpers stay out-of-line there; the open-coded form is the
+// only way the hit path costs what it should.) Reads and writes go
+// through seg.Data on every access rather than a cached slice, so a
+// copy-on-write materialisation — which swaps Data under the same
+// Segment — is picked up immediately; Data's length never changes, so
+// rlen stays exact.
 type icEntry struct {
-	seg *Segment
-	gen uint64
+	seg  *Segment
+	gen  uint64
+	base Word
+	rlen Word
+	wlen Word
+}
+
+// fill installs a segment in the slot. Callers guarantee the access
+// that found s succeeded, so len(s.Data) >= 8.
+func (e *icEntry) fill(s *Segment, gen uint64) {
+	e.seg, e.gen, e.base = s, gen, s.Base
+	e.rlen = Word(len(s.Data) - 7)
+	if s.ro || s.cow {
+		e.wlen = 0
+	} else {
+		e.wlen = e.rlen
+	}
 }
 
 // icsFor returns this CPU's inline-cache slots for an image, allocating
@@ -430,7 +709,7 @@ func icLoadSlow(m *Memory, e *icEntry, addr Word) (Word, *Fault) {
 	if addr&7 != 0 {
 		return 0, &Fault{Sig: SigBUS, Addr: addr}
 	}
-	e.seg, e.gen = s, m.gen
+	e.fill(s, m.gen)
 	return binary.LittleEndian.Uint64(s.Data[addr-s.Base:]), nil
 }
 
@@ -461,7 +740,7 @@ func icStoreSlow(m *Memory, e *icEntry, addr, v Word) *Fault {
 	if s.cow {
 		s.materialize()
 	}
-	e.seg, e.gen = s, m.gen
+	e.fill(s, m.gen)
 	binary.LittleEndian.PutUint64(s.Data[addr-s.Base:], v)
 	return nil
 }
@@ -547,6 +826,7 @@ func (c *CPU) runBlocks(budget uint64) (uint64, bool) {
 	}
 	m := c.Mem
 	uops := plan.uops
+	sIC := &c.stackIC
 	base := img.Base()
 	pc := c.PC
 	stop, stopSet := c.StopPC, c.StopPCSet
@@ -732,7 +1012,7 @@ func (c *CPU) runBlocks(budget uint64) (uint64, bool) {
 			// The stack write commits SP only on success, so a faulting
 			// call leaves SP exactly where the Step loop's restore does.
 			sp := c.R[SP] - 8
-			if flt := icStore(m, &ics[u.ic], sp, pc+8); flt != nil {
+			if flt := icStore(m, sIC, sp, pc+8); flt != nil {
 				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
 				return done + 1, false
 			}
@@ -748,7 +1028,7 @@ func (c *CPU) runBlocks(budget uint64) (uint64, bool) {
 			}
 			continue
 		case uRet:
-			ra, flt := icLoad(m, &ics[u.ic], c.R[SP])
+			ra, flt := icLoad(m, sIC, c.R[SP])
 			if flt != nil {
 				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
 				return done + 1, false
@@ -766,13 +1046,13 @@ func (c *CPU) runBlocks(budget uint64) (uint64, bool) {
 			continue
 		case uPush:
 			sp := c.R[SP] - 8
-			if flt := icStore(m, &ics[u.ic], sp, c.R[u.d&15]); flt != nil {
+			if flt := icStore(m, sIC, sp, c.R[u.d&15]); flt != nil {
 				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
 				return done + 1, false
 			}
 			c.R[SP] = sp
 		case uPop:
-			v, flt := icLoad(m, &ics[u.ic], c.R[SP])
+			v, flt := icLoad(m, sIC, c.R[SP])
 			if flt != nil {
 				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
 				return done + 1, false
@@ -781,13 +1061,13 @@ func (c *CPU) runBlocks(budget uint64) (uint64, bool) {
 			c.R[u.d&15] = v
 		case uFPush:
 			sp := c.R[SP] - 8
-			if flt := icStore(m, &ics[u.ic], sp, math.Float64bits(c.F[u.d&15])); flt != nil {
+			if flt := icStore(m, sIC, sp, math.Float64bits(c.F[u.d&15])); flt != nil {
 				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
 				return done + 1, false
 			}
 			c.R[SP] = sp
 		case uFPop:
-			v, flt := icLoad(m, &ics[u.ic], c.R[SP])
+			v, flt := icLoad(m, sIC, c.R[SP])
 			if flt != nil {
 				c.blockTrap(pc, done, img, idx, flt.Sig, flt.Addr)
 				return done + 1, false
@@ -808,6 +1088,960 @@ func (c *CPU) runBlocks(budget uint64) (uint64, bool) {
 		}
 	}
 	c.PC = pc
+	c.Dyn += done
+	return done, false
+}
+
+// superTrap delivers a trap from µop entry+i of a fused chain: the i
+// preceding µops of the chain retired (their profile counts are settled
+// here — the happy path batches them), the faulting one did not.
+func (c *CPU) superTrap(base Word, entry, i int, done uint64, img *Image, sig Signal, addr Word, cnts []uint64) {
+	if cnts != nil {
+		for j := entry; j < entry+i; j++ {
+			cnts[j]++
+		}
+	}
+	c.blockTrap(base+Word(8*(entry+i)), done+uint64(i), img, entry+i, sig, addr)
+}
+
+// runSuper executes predecoded code starting at c.PC on the superblock
+// tier: each straight-line fallthrough chain retires under a single
+// budget/Dyn accounting check (clamped at the remaining budget and the
+// stop sentinel up front, so the chain body pays no per-µop budget, PC
+// or StopPC bookkeeping), branches linked at predecode jump straight
+// to the successor µop index without re-entering the dispatch
+// prologue, and the chain body runs from the pair-fused wide stream
+// (blockPlan.fuops), so the hottest adjacent µop pairs retire under
+// one dispatch. Memory accesses take the manually-inlined icTry/icPut
+// hit paths against a generation hoisted for the whole invocation.
+// Semantics are bit-identical to runBlocks and the Step loop: traps
+// materialise the exact PC and Dyn mid-chain, StopPC exits on the same
+// retirement, the budget is charged per attempted instruction, and
+// demoted branches return to Run's dispatch with the exact target PC.
+// A pair whose second half falls past the chain clamp (budget or stop
+// sentinel between the two halves) executes its first half alone — the
+// overlap encoding keeps every µop boundary addressable.
+//
+// A misaligned (corrupted) PC delegates to runBlocks: chain execution
+// tracks µop indices and cannot carry the sub-instruction bias a
+// lazily-materialised trap PC must preserve, while the per-µop loop
+// round-trips it exactly.
+//
+// Callers guarantee budget > 0 and that no step hooks are installed.
+func (c *CPU) runSuper(budget uint64) (uint64, bool) {
+	img := c.cur
+	if img == nil || !img.Contains(c.PC) {
+		img = c.FindImage(c.PC)
+		if img == nil {
+			c.trap(&Trap{Sig: SigILL, PC: c.PC})
+			return 1, false
+		}
+		c.setCur(img)
+	}
+	base := img.Base()
+	if (c.PC-base)&7 != 0 {
+		return c.runBlocks(budget)
+	}
+	plan := c.curPlan
+	if plan == nil {
+		plan = img.Prog.plan()
+		c.curPlan = plan
+	}
+	ics := c.curICs
+	if ics == nil && plan.nIC > 0 {
+		ics = c.icsFor(img, plan.nIC)
+		c.curICs = ics
+	}
+	var cnts []uint64
+	if c.Profile {
+		cnts = c.curCounts
+		if cnts == nil {
+			cnts = c.countsFor(img)
+			c.curCounts = cnts
+		}
+	}
+	m := c.Mem
+	gen := m.gen // stable: every gen bump (Unmap/Restore) exits the engine first
+	fuops := plan.fuops
+	runs := plan.runLen
+	sIC := &c.stackIC
+	idx := int((c.PC - base) >> 3)
+
+	// stopIdx is the StopPC sentinel as a µop index (-1 when unset, or
+	// when the sentinel is misaligned or outside this image — such a hit
+	// can only happen where a PC materialises, and those exits compare
+	// the exact address below).
+	stopIdx := -1
+	if c.StopPCSet {
+		if off := c.StopPC - base; off&7 == 0 && off>>3 < Word(len(fuops)) {
+			stopIdx = int(off >> 3)
+		}
+	}
+	var done uint64
+
+	for {
+		if uint(idx) >= uint(len(fuops)) {
+			// Fell off the end of the image; Run re-resolves (or traps).
+			pc := base + Word(8*idx)
+			if c.StopPCSet && pc == c.StopPC {
+				c.stopExit(pc, done)
+				return done, false
+			}
+			c.PC = pc
+			c.Dyn += done
+			return done, false
+		}
+		if done >= budget {
+			break
+		}
+		if n := int(runs[idx]); n > 0 {
+			if rem := budget - done; uint64(n) > rem {
+				n = int(rem)
+			}
+			if stopIdx > idx && stopIdx < idx+n {
+				n = stopIdx - idx
+			}
+			entry := idx
+			chain := fuops[entry : entry+n]
+			for i := 0; i < n; i++ {
+				u := &chain[i]
+				switch u.op {
+				case uNop:
+				case uMovImm:
+					c.R[u.d&15] = Word(u.imm)
+				case uMov:
+					c.R[u.d&15] = c.R[u.a&15]
+				case uAddRR:
+					c.R[u.d&15] = c.R[u.a&15] + c.R[u.b&15]
+				case uAddRI:
+					c.R[u.d&15] = c.R[u.a&15] + Word(u.imm)
+				case uSubRR:
+					c.R[u.d&15] = c.R[u.a&15] - c.R[u.b&15]
+				case uSubRI:
+					c.R[u.d&15] = c.R[u.a&15] - Word(u.imm)
+				case uMulRR:
+					c.R[u.d&15] = Word(int64(c.R[u.a&15]) * int64(c.R[u.b&15]))
+				case uMulRI:
+					c.R[u.d&15] = Word(int64(c.R[u.a&15]) * u.imm)
+				case uDivRR, uDivRI, uRemRR, uRemRI:
+					d := u.imm
+					if u.op == uDivRR || u.op == uRemRR {
+						d = int64(c.R[u.b&15])
+					}
+					nn := int64(c.R[u.a&15])
+					if d == 0 || (nn == math.MinInt64 && d == -1) {
+						c.superTrap(base, entry, i, done, img, SigFPE, 0, cnts)
+						return done + uint64(i) + 1, false
+					}
+					if u.op == uDivRR || u.op == uDivRI {
+						c.R[u.d&15] = Word(nn / d)
+					} else {
+						c.R[u.d&15] = Word(nn % d)
+					}
+				case uAndRR:
+					c.R[u.d&15] = c.R[u.a&15] & c.R[u.b&15]
+				case uAndRI:
+					c.R[u.d&15] = c.R[u.a&15] & Word(u.imm)
+				case uOrRR:
+					c.R[u.d&15] = c.R[u.a&15] | c.R[u.b&15]
+				case uOrRI:
+					c.R[u.d&15] = c.R[u.a&15] | Word(u.imm)
+				case uXorRR:
+					c.R[u.d&15] = c.R[u.a&15] ^ c.R[u.b&15]
+				case uXorRI:
+					c.R[u.d&15] = c.R[u.a&15] ^ Word(u.imm)
+				case uShlRR:
+					c.R[u.d&15] = c.R[u.a&15] << (c.R[u.b&15] & 63)
+				case uShlRI:
+					c.R[u.d&15] = c.R[u.a&15] << (Word(u.imm) & 63)
+				case uShrRR:
+					c.R[u.d&15] = Word(int64(c.R[u.a&15]) >> (c.R[u.b&15] & 63))
+				case uShrRI:
+					c.R[u.d&15] = Word(int64(c.R[u.a&15]) >> (Word(u.imm) & 63))
+				case uFMovImm:
+					c.F[u.d&15] = math.Float64frombits(Word(u.imm))
+				case uFMov:
+					c.F[u.d&15] = c.F[u.a&15]
+				case uFAdd:
+					c.F[u.d&15] = c.F[u.a&15] + c.F[u.b&15]
+				case uFSub:
+					c.F[u.d&15] = c.F[u.a&15] - c.F[u.b&15]
+				case uFMul:
+					c.F[u.d&15] = c.F[u.a&15] * c.F[u.b&15]
+				case uFDiv:
+					c.F[u.d&15] = c.F[u.a&15] / c.F[u.b&15]
+				case uCvtIF:
+					c.F[u.d&15] = float64(int64(c.R[u.a&15]))
+				case uCvtFI:
+					c.R[u.d&15] = Word(int64(c.F[u.a&15]))
+				case uBitIF:
+					c.F[u.d&15] = math.Float64frombits(c.R[u.a&15])
+				case uBitFI:
+					c.R[u.d&15] = math.Float64bits(c.F[u.a&15])
+				case uSetRR:
+					c.R[u.d&15] = boolWord(cmpInt(u.cond, int64(c.R[u.a&15]), int64(c.R[u.b&15])))
+				case uSetRI:
+					c.R[u.d&15] = boolWord(cmpInt(u.cond, int64(c.R[u.a&15]), u.imm))
+				case uFSet:
+					c.R[u.d&15] = boolWord(cmpFloat(u.cond, c.F[u.a&15], c.F[u.b&15]))
+				case uLea:
+					c.R[u.d&15] = c.R[u.a&15] + Word(u.imm)
+				case uLeaX:
+					c.R[u.d&15] = c.R[u.a&15] + c.R[u.b&15]*Word(u.scale) + Word(u.imm)
+				case uLoad:
+					addr := c.R[u.a&15] + Word(u.imm)
+					var v Word
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.rlen {
+						v = leLoad(e.seg.Data, addr-e.base)
+					} else {
+						var flt *Fault
+						if v, flt = icLoadSlow(m, e, addr); flt != nil {
+							c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 1, false
+						}
+					}
+					c.R[u.d&15] = v
+				case uLoadX:
+					addr := c.R[u.a&15] + c.R[u.b&15]*Word(u.scale) + Word(u.imm)
+					var v Word
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.rlen {
+						v = leLoad(e.seg.Data, addr-e.base)
+					} else {
+						var flt *Fault
+						if v, flt = icLoadSlow(m, e, addr); flt != nil {
+							c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 1, false
+						}
+					}
+					c.R[u.d&15] = v
+				case uFLoad:
+					addr := c.R[u.a&15] + Word(u.imm)
+					var v Word
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.rlen {
+						v = leLoad(e.seg.Data, addr-e.base)
+					} else {
+						var flt *Fault
+						if v, flt = icLoadSlow(m, e, addr); flt != nil {
+							c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 1, false
+						}
+					}
+					c.F[u.d&15] = math.Float64frombits(v)
+				case uFLoadX:
+					addr := c.R[u.a&15] + c.R[u.b&15]*Word(u.scale) + Word(u.imm)
+					var v Word
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.rlen {
+						v = leLoad(e.seg.Data, addr-e.base)
+					} else {
+						var flt *Fault
+						if v, flt = icLoadSlow(m, e, addr); flt != nil {
+							c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 1, false
+						}
+					}
+					c.F[u.d&15] = math.Float64frombits(v)
+				case uStore:
+					addr := c.R[u.a&15] + Word(u.imm)
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.wlen {
+						leStore(e.seg.Data, addr-e.base, c.R[u.d&15])
+					} else if flt := icStoreSlow(m, e, addr, c.R[u.d&15]); flt != nil {
+						c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+						return done + uint64(i) + 1, false
+					}
+				case uStoreX:
+					addr := c.R[u.a&15] + c.R[u.b&15]*Word(u.scale) + Word(u.imm)
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.wlen {
+						leStore(e.seg.Data, addr-e.base, c.R[u.d&15])
+					} else if flt := icStoreSlow(m, e, addr, c.R[u.d&15]); flt != nil {
+						c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+						return done + uint64(i) + 1, false
+					}
+				case uFStore:
+					addr := c.R[u.a&15] + Word(u.imm)
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.wlen {
+						leStore(e.seg.Data, addr-e.base, math.Float64bits(c.F[u.d&15]))
+					} else if flt := icStoreSlow(m, e, addr, math.Float64bits(c.F[u.d&15])); flt != nil {
+						c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+						return done + uint64(i) + 1, false
+					}
+				case uFStoreX:
+					addr := c.R[u.a&15] + c.R[u.b&15]*Word(u.scale) + Word(u.imm)
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.wlen {
+						leStore(e.seg.Data, addr-e.base, math.Float64bits(c.F[u.d&15]))
+					} else if flt := icStoreSlow(m, e, addr, math.Float64bits(c.F[u.d&15])); flt != nil {
+						c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+						return done + uint64(i) + 1, false
+					}
+				case uPush:
+					sp := c.R[SP] - 8
+					if e := sIC; e.gen == gen && sp&7 == 0 && sp-e.base < e.wlen {
+						leStore(e.seg.Data, sp-e.base, c.R[u.d&15])
+					} else if flt := icStoreSlow(m, e, sp, c.R[u.d&15]); flt != nil {
+						c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+						return done + uint64(i) + 1, false
+					}
+					c.R[SP] = sp
+				case uPop:
+					var v Word
+					if e := sIC; e.gen == gen && c.R[SP]&7 == 0 && c.R[SP]-e.base < e.rlen {
+						v = leLoad(e.seg.Data, c.R[SP]-e.base)
+					} else {
+						var flt *Fault
+						if v, flt = icLoadSlow(m, e, c.R[SP]); flt != nil {
+							c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 1, false
+						}
+					}
+					c.R[SP] += 8
+					c.R[u.d&15] = v
+				case uFPush:
+					sp := c.R[SP] - 8
+					if e := sIC; e.gen == gen && sp&7 == 0 && sp-e.base < e.wlen {
+						leStore(e.seg.Data, sp-e.base, math.Float64bits(c.F[u.d&15]))
+					} else if flt := icStoreSlow(m, e, sp, math.Float64bits(c.F[u.d&15])); flt != nil {
+						c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+						return done + uint64(i) + 1, false
+					}
+					c.R[SP] = sp
+				case uFPop:
+					var v Word
+					if e := sIC; e.gen == gen && c.R[SP]&7 == 0 && c.R[SP]-e.base < e.rlen {
+						v = leLoad(e.seg.Data, c.R[SP]-e.base)
+					} else {
+						var flt *Fault
+						if v, flt = icLoadSlow(m, e, c.R[SP]); flt != nil {
+							c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 1, false
+						}
+					}
+					c.R[SP] += 8
+					c.F[u.d&15] = math.Float64frombits(v)
+
+				// Fused pairs. Every case executes its first half exactly
+				// like the single case above, then — only when the second
+				// half is still inside the clamped chain — the second half,
+				// recomputing nothing across the halves that the program
+				// could observe: second-half addresses and operands are read
+				// after the first half commits, traps report the exact half
+				// that faulted, and a pair split by the clamp retires its
+				// first half alone (the successor index re-enters as a
+				// single µop next time around).
+				case uPStLd: // store ; load — the O0 spill/reload idiom
+					addr := c.R[u.a&15] + Word(u.imm)
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.wlen {
+						leStore(e.seg.Data, addr-e.base, c.R[u.d&15])
+					} else if flt := icStoreSlow(m, e, addr, c.R[u.d&15]); flt != nil {
+						c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+						return done + uint64(i) + 1, false
+					}
+					if i+1 < n {
+						a2 := c.R[u.a2&15] + Word(u.imm2)
+						var v Word
+						if e := &ics[u.ic2]; e.gen == gen && a2&7 == 0 && a2-e.base < e.rlen {
+							v = leLoad(e.seg.Data, a2-e.base)
+						} else {
+							var flt *Fault
+							if v, flt = icLoadSlow(m, e, a2); flt != nil {
+								c.superTrap(base, entry, i+1, done, img, flt.Sig, flt.Addr, cnts)
+								return done + uint64(i) + 2, false
+							}
+						}
+						c.R[u.d2&15] = v
+						i++
+					}
+				case uPLdLd: // load ; load
+					addr := c.R[u.a&15] + Word(u.imm)
+					var v Word
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.rlen {
+						v = leLoad(e.seg.Data, addr-e.base)
+					} else {
+						var flt *Fault
+						if v, flt = icLoadSlow(m, e, addr); flt != nil {
+							c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 1, false
+						}
+					}
+					c.R[u.d&15] = v
+					if i+1 < n {
+						a2 := c.R[u.a2&15] + Word(u.imm2)
+						var v2 Word
+						if e := &ics[u.ic2]; e.gen == gen && a2&7 == 0 && a2-e.base < e.rlen {
+							v2 = leLoad(e.seg.Data, a2-e.base)
+						} else {
+							var flt *Fault
+							if v2, flt = icLoadSlow(m, e, a2); flt != nil {
+								c.superTrap(base, entry, i+1, done, img, flt.Sig, flt.Addr, cnts)
+								return done + uint64(i) + 2, false
+							}
+						}
+						c.R[u.d2&15] = v2
+						i++
+					}
+				case uPLdSt: // load ; store
+					addr := c.R[u.a&15] + Word(u.imm)
+					var v Word
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.rlen {
+						v = leLoad(e.seg.Data, addr-e.base)
+					} else {
+						var flt *Fault
+						if v, flt = icLoadSlow(m, e, addr); flt != nil {
+							c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 1, false
+						}
+					}
+					c.R[u.d&15] = v
+					if i+1 < n {
+						a2 := c.R[u.a2&15] + Word(u.imm2)
+						if e := &ics[u.ic2]; e.gen == gen && a2&7 == 0 && a2-e.base < e.wlen {
+							leStore(e.seg.Data, a2-e.base, c.R[u.d2&15])
+						} else if flt := icStoreSlow(m, e, a2, c.R[u.d2&15]); flt != nil {
+							c.superTrap(base, entry, i+1, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 2, false
+						}
+						i++
+					}
+				case uPFStFLd: // fstore ; fload
+					addr := c.R[u.a&15] + Word(u.imm)
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.wlen {
+						leStore(e.seg.Data, addr-e.base, math.Float64bits(c.F[u.d&15]))
+					} else if flt := icStoreSlow(m, e, addr, math.Float64bits(c.F[u.d&15])); flt != nil {
+						c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+						return done + uint64(i) + 1, false
+					}
+					if i+1 < n {
+						a2 := c.R[u.a2&15] + Word(u.imm2)
+						var v Word
+						if e := &ics[u.ic2]; e.gen == gen && a2&7 == 0 && a2-e.base < e.rlen {
+							v = leLoad(e.seg.Data, a2-e.base)
+						} else {
+							var flt *Fault
+							if v, flt = icLoadSlow(m, e, a2); flt != nil {
+								c.superTrap(base, entry, i+1, done, img, flt.Sig, flt.Addr, cnts)
+								return done + uint64(i) + 2, false
+							}
+						}
+						c.F[u.d2&15] = math.Float64frombits(v)
+						i++
+					}
+				case uPFLdFLd: // fload ; fload
+					addr := c.R[u.a&15] + Word(u.imm)
+					var v Word
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.rlen {
+						v = leLoad(e.seg.Data, addr-e.base)
+					} else {
+						var flt *Fault
+						if v, flt = icLoadSlow(m, e, addr); flt != nil {
+							c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 1, false
+						}
+					}
+					c.F[u.d&15] = math.Float64frombits(v)
+					if i+1 < n {
+						a2 := c.R[u.a2&15] + Word(u.imm2)
+						var v2 Word
+						if e := &ics[u.ic2]; e.gen == gen && a2&7 == 0 && a2-e.base < e.rlen {
+							v2 = leLoad(e.seg.Data, a2-e.base)
+						} else {
+							var flt *Fault
+							if v2, flt = icLoadSlow(m, e, a2); flt != nil {
+								c.superTrap(base, entry, i+1, done, img, flt.Sig, flt.Addr, cnts)
+								return done + uint64(i) + 2, false
+							}
+						}
+						c.F[u.d2&15] = math.Float64frombits(v2)
+						i++
+					}
+				case uPFStLd: // fstore ; load
+					addr := c.R[u.a&15] + Word(u.imm)
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.wlen {
+						leStore(e.seg.Data, addr-e.base, math.Float64bits(c.F[u.d&15]))
+					} else if flt := icStoreSlow(m, e, addr, math.Float64bits(c.F[u.d&15])); flt != nil {
+						c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+						return done + uint64(i) + 1, false
+					}
+					if i+1 < n {
+						a2 := c.R[u.a2&15] + Word(u.imm2)
+						var v Word
+						if e := &ics[u.ic2]; e.gen == gen && a2&7 == 0 && a2-e.base < e.rlen {
+							v = leLoad(e.seg.Data, a2-e.base)
+						} else {
+							var flt *Fault
+							if v, flt = icLoadSlow(m, e, a2); flt != nil {
+								c.superTrap(base, entry, i+1, done, img, flt.Sig, flt.Addr, cnts)
+								return done + uint64(i) + 2, false
+							}
+						}
+						c.R[u.d2&15] = v
+						i++
+					}
+				case uPStFLd: // store ; fload
+					addr := c.R[u.a&15] + Word(u.imm)
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.wlen {
+						leStore(e.seg.Data, addr-e.base, c.R[u.d&15])
+					} else if flt := icStoreSlow(m, e, addr, c.R[u.d&15]); flt != nil {
+						c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+						return done + uint64(i) + 1, false
+					}
+					if i+1 < n {
+						a2 := c.R[u.a2&15] + Word(u.imm2)
+						var v Word
+						if e := &ics[u.ic2]; e.gen == gen && a2&7 == 0 && a2-e.base < e.rlen {
+							v = leLoad(e.seg.Data, a2-e.base)
+						} else {
+							var flt *Fault
+							if v, flt = icLoadSlow(m, e, a2); flt != nil {
+								c.superTrap(base, entry, i+1, done, img, flt.Sig, flt.Addr, cnts)
+								return done + uint64(i) + 2, false
+							}
+						}
+						c.F[u.d2&15] = math.Float64frombits(v)
+						i++
+					}
+				case uPFLdFSt: // fload ; fstore
+					addr := c.R[u.a&15] + Word(u.imm)
+					var v Word
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.rlen {
+						v = leLoad(e.seg.Data, addr-e.base)
+					} else {
+						var flt *Fault
+						if v, flt = icLoadSlow(m, e, addr); flt != nil {
+							c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 1, false
+						}
+					}
+					c.F[u.d&15] = math.Float64frombits(v)
+					if i+1 < n {
+						a2 := c.R[u.a2&15] + Word(u.imm2)
+						if e := &ics[u.ic2]; e.gen == gen && a2&7 == 0 && a2-e.base < e.wlen {
+							leStore(e.seg.Data, a2-e.base, math.Float64bits(c.F[u.d2&15]))
+						} else if flt := icStoreSlow(m, e, a2, math.Float64bits(c.F[u.d2&15])); flt != nil {
+							c.superTrap(base, entry, i+1, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 2, false
+						}
+						i++
+					}
+				case uPLdFLdX: // load ; floadX
+					addr := c.R[u.a&15] + Word(u.imm)
+					var v Word
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.rlen {
+						v = leLoad(e.seg.Data, addr-e.base)
+					} else {
+						var flt *Fault
+						if v, flt = icLoadSlow(m, e, addr); flt != nil {
+							c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 1, false
+						}
+					}
+					c.R[u.d&15] = v
+					if i+1 < n {
+						a2 := c.R[u.a2&15] + c.R[u.b2&15]*Word(u.s2) + Word(u.imm2)
+						var v2 Word
+						if e := &ics[u.ic2]; e.gen == gen && a2&7 == 0 && a2-e.base < e.rlen {
+							v2 = leLoad(e.seg.Data, a2-e.base)
+						} else {
+							var flt *Fault
+							if v2, flt = icLoadSlow(m, e, a2); flt != nil {
+								c.superTrap(base, entry, i+1, done, img, flt.Sig, flt.Addr, cnts)
+								return done + uint64(i) + 2, false
+							}
+						}
+						c.F[u.d2&15] = math.Float64frombits(v2)
+						i++
+					}
+				case uPFLdXFSt: // floadX ; fstore
+					addr := c.R[u.a&15] + c.R[u.b&15]*Word(u.scale) + Word(u.imm)
+					var v Word
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.rlen {
+						v = leLoad(e.seg.Data, addr-e.base)
+					} else {
+						var flt *Fault
+						if v, flt = icLoadSlow(m, e, addr); flt != nil {
+							c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 1, false
+						}
+					}
+					c.F[u.d&15] = math.Float64frombits(v)
+					if i+1 < n {
+						a2 := c.R[u.a2&15] + Word(u.imm2)
+						if e := &ics[u.ic2]; e.gen == gen && a2&7 == 0 && a2-e.base < e.wlen {
+							leStore(e.seg.Data, a2-e.base, math.Float64bits(c.F[u.d2&15]))
+						} else if flt := icStoreSlow(m, e, a2, math.Float64bits(c.F[u.d2&15])); flt != nil {
+							c.superTrap(base, entry, i+1, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 2, false
+						}
+						i++
+					}
+				case uPFLdXLd: // floadX ; load
+					addr := c.R[u.a&15] + c.R[u.b&15]*Word(u.scale) + Word(u.imm)
+					var v Word
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.rlen {
+						v = leLoad(e.seg.Data, addr-e.base)
+					} else {
+						var flt *Fault
+						if v, flt = icLoadSlow(m, e, addr); flt != nil {
+							c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 1, false
+						}
+					}
+					c.F[u.d&15] = math.Float64frombits(v)
+					if i+1 < n {
+						a2 := c.R[u.a2&15] + Word(u.imm2)
+						var v2 Word
+						if e := &ics[u.ic2]; e.gen == gen && a2&7 == 0 && a2-e.base < e.rlen {
+							v2 = leLoad(e.seg.Data, a2-e.base)
+						} else {
+							var flt *Fault
+							if v2, flt = icLoadSlow(m, e, a2); flt != nil {
+								c.superTrap(base, entry, i+1, done, img, flt.Sig, flt.Addr, cnts)
+								return done + uint64(i) + 2, false
+							}
+						}
+						c.R[u.d2&15] = v2
+						i++
+					}
+				case uPLdLdX: // load ; loadX
+					addr := c.R[u.a&15] + Word(u.imm)
+					var v Word
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.rlen {
+						v = leLoad(e.seg.Data, addr-e.base)
+					} else {
+						var flt *Fault
+						if v, flt = icLoadSlow(m, e, addr); flt != nil {
+							c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 1, false
+						}
+					}
+					c.R[u.d&15] = v
+					if i+1 < n {
+						a2 := c.R[u.a2&15] + c.R[u.b2&15]*Word(u.s2) + Word(u.imm2)
+						var v2 Word
+						if e := &ics[u.ic2]; e.gen == gen && a2&7 == 0 && a2-e.base < e.rlen {
+							v2 = leLoad(e.seg.Data, a2-e.base)
+						} else {
+							var flt *Fault
+							if v2, flt = icLoadSlow(m, e, a2); flt != nil {
+								c.superTrap(base, entry, i+1, done, img, flt.Sig, flt.Addr, cnts)
+								return done + uint64(i) + 2, false
+							}
+						}
+						c.R[u.d2&15] = v2
+						i++
+					}
+				case uPLdXLd: // loadX ; load
+					addr := c.R[u.a&15] + c.R[u.b&15]*Word(u.scale) + Word(u.imm)
+					var v Word
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.rlen {
+						v = leLoad(e.seg.Data, addr-e.base)
+					} else {
+						var flt *Fault
+						if v, flt = icLoadSlow(m, e, addr); flt != nil {
+							c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 1, false
+						}
+					}
+					c.R[u.d&15] = v
+					if i+1 < n {
+						a2 := c.R[u.a2&15] + Word(u.imm2)
+						var v2 Word
+						if e := &ics[u.ic2]; e.gen == gen && a2&7 == 0 && a2-e.base < e.rlen {
+							v2 = leLoad(e.seg.Data, a2-e.base)
+						} else {
+							var flt *Fault
+							if v2, flt = icLoadSlow(m, e, a2); flt != nil {
+								c.superTrap(base, entry, i+1, done, img, flt.Sig, flt.Addr, cnts)
+								return done + uint64(i) + 2, false
+							}
+						}
+						c.R[u.d2&15] = v2
+						i++
+					}
+				case uPLdSetI, uPLdSetR: // load ; set
+					addr := c.R[u.a&15] + Word(u.imm)
+					var v Word
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.rlen {
+						v = leLoad(e.seg.Data, addr-e.base)
+					} else {
+						var flt *Fault
+						if v, flt = icLoadSlow(m, e, addr); flt != nil {
+							c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 1, false
+						}
+					}
+					c.R[u.d&15] = v
+					if i+1 < n {
+						s2 := u.imm2
+						if u.op == uPLdSetR {
+							s2 = int64(c.R[u.b2&15])
+						}
+						c.R[u.d2&15] = boolWord(cmpInt(u.cond2, int64(c.R[u.a2&15]), s2))
+						i++
+					}
+				case uPSetISt, uPSetRSt: // set ; store
+					s1 := u.imm
+					if u.op == uPSetRSt {
+						s1 = int64(c.R[u.b&15])
+					}
+					c.R[u.d&15] = boolWord(cmpInt(u.cond, int64(c.R[u.a&15]), s1))
+					if i+1 < n {
+						a2 := c.R[u.a2&15] + Word(u.imm2)
+						if e := &ics[u.ic2]; e.gen == gen && a2&7 == 0 && a2-e.base < e.wlen {
+							leStore(e.seg.Data, a2-e.base, c.R[u.d2&15])
+						} else if flt := icStoreSlow(m, e, a2, c.R[u.d2&15]); flt != nil {
+							c.superTrap(base, entry, i+1, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 2, false
+						}
+						i++
+					}
+				case uPAddRSt, uPAddISt: // add ; store
+					if u.op == uPAddRSt {
+						c.R[u.d&15] = c.R[u.a&15] + c.R[u.b&15]
+					} else {
+						c.R[u.d&15] = c.R[u.a&15] + Word(u.imm)
+					}
+					if i+1 < n {
+						a2 := c.R[u.a2&15] + Word(u.imm2)
+						if e := &ics[u.ic2]; e.gen == gen && a2&7 == 0 && a2-e.base < e.wlen {
+							leStore(e.seg.Data, a2-e.base, c.R[u.d2&15])
+						} else if flt := icStoreSlow(m, e, a2, c.R[u.d2&15]); flt != nil {
+							c.superTrap(base, entry, i+1, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 2, false
+						}
+						i++
+					}
+				case uPLdAddR, uPLdAddI: // load ; add
+					addr := c.R[u.a&15] + Word(u.imm)
+					var v Word
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.rlen {
+						v = leLoad(e.seg.Data, addr-e.base)
+					} else {
+						var flt *Fault
+						if v, flt = icLoadSlow(m, e, addr); flt != nil {
+							c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 1, false
+						}
+					}
+					c.R[u.d&15] = v
+					if i+1 < n {
+						if u.op == uPLdAddR {
+							c.R[u.d2&15] = c.R[u.a2&15] + c.R[u.b2&15]
+						} else {
+							c.R[u.d2&15] = c.R[u.a2&15] + Word(u.imm2)
+						}
+						i++
+					}
+				case uPMovFMov: // mov ; fmov — O1 copy coalescing
+					c.R[u.d&15] = c.R[u.a&15]
+					if i+1 < n {
+						c.F[u.d2&15] = c.F[u.a2&15]
+						i++
+					}
+				case uPAddIMov: // addI ; mov
+					c.R[u.d&15] = c.R[u.a&15] + Word(u.imm)
+					if i+1 < n {
+						c.R[u.d2&15] = c.R[u.a2&15]
+						i++
+					}
+				case uPFMulFAdd: // fmul ; fadd
+					c.F[u.d&15] = c.F[u.a&15] * c.F[u.b&15]
+					if i+1 < n {
+						c.F[u.d2&15] = c.F[u.a2&15] + c.F[u.b2&15]
+						i++
+					}
+				case uPAddRLd: // addR ; load
+					c.R[u.d&15] = c.R[u.a&15] + c.R[u.b&15]
+					if i+1 < n {
+						a2 := c.R[u.a2&15] + Word(u.imm2)
+						var v Word
+						if e := &ics[u.ic2]; e.gen == gen && a2&7 == 0 && a2-e.base < e.rlen {
+							v = leLoad(e.seg.Data, a2-e.base)
+						} else {
+							var flt *Fault
+							if v, flt = icLoadSlow(m, e, a2); flt != nil {
+								c.superTrap(base, entry, i+1, done, img, flt.Sig, flt.Addr, cnts)
+								return done + uint64(i) + 2, false
+							}
+						}
+						c.R[u.d2&15] = v
+						i++
+					}
+				case uPFLdXFMul: // floadX ; fmul
+					addr := c.R[u.a&15] + c.R[u.b&15]*Word(u.scale) + Word(u.imm)
+					var v Word
+					if e := &ics[u.ic]; e.gen == gen && addr&7 == 0 && addr-e.base < e.rlen {
+						v = leLoad(e.seg.Data, addr-e.base)
+					} else {
+						var flt *Fault
+						if v, flt = icLoadSlow(m, e, addr); flt != nil {
+							c.superTrap(base, entry, i, done, img, flt.Sig, flt.Addr, cnts)
+							return done + uint64(i) + 1, false
+						}
+					}
+					c.F[u.d&15] = math.Float64frombits(v)
+					if i+1 < n {
+						c.F[u.d2&15] = c.F[u.a2&15] * c.F[u.b2&15]
+						i++
+					}
+				case uPFAddAddI: // fadd ; addI
+					c.F[u.d&15] = c.F[u.a&15] + c.F[u.b&15]
+					if i+1 < n {
+						c.R[u.d2&15] = c.R[u.a2&15] + Word(u.imm2)
+						i++
+					}
+				}
+			}
+			if cnts != nil {
+				for j := entry; j < entry+n; j++ {
+					cnts[j]++
+				}
+			}
+			done += uint64(n)
+			idx = entry + n
+			if idx == stopIdx {
+				c.stopExit(base+Word(8*idx), done)
+				return done, false
+			}
+			// An unclamped chain always lands on a runLen-0 µop (its
+			// terminating branch/call/punt — runLen has no cap), so fall
+			// straight into the control switch instead of paying another
+			// outer-loop dispatch round; the clamped cases (budget, end of
+			// image) still take the loop prologue.
+			if done < budget && uint(idx) < uint(len(fuops)) {
+				goto control
+			}
+			continue
+		}
+
+		// runLen is 0: idx sits on a control (or punting) µop.
+	control:
+		u := &fuops[idx]
+		switch u.op {
+		case uPunt:
+			c.PC = base + Word(8*idx)
+			c.Dyn += done
+			return done, true
+		case uJmp:
+			done++
+			if cnts != nil {
+				cnts[idx]++
+			}
+			if t := int(u.tidx); t >= 0 {
+				idx = t
+				if idx == stopIdx {
+					c.stopExit(base+Word(8*idx), done)
+					return done, false
+				}
+				continue
+			}
+			// Demoted at predecode: materialise the exact target PC and
+			// return to Run's dispatch (which re-resolves or traps).
+			pc := u.target
+			if c.StopPCSet && pc == c.StopPC {
+				c.stopExit(pc, done)
+				return done, false
+			}
+			c.PC = pc
+			c.Dyn += done
+			return done, false
+		case uJnz, uJz:
+			done++
+			if cnts != nil {
+				cnts[idx]++
+			}
+			if (c.R[u.a&15] != 0) != (u.op == uJnz) {
+				// Not taken: plain fallthrough retirement.
+				idx++
+				if idx == stopIdx {
+					c.stopExit(base+Word(8*idx), done)
+					return done, false
+				}
+				continue
+			}
+			if t := int(u.tidx); t >= 0 {
+				idx = t
+				if idx == stopIdx {
+					c.stopExit(base+Word(8*idx), done)
+					return done, false
+				}
+				continue
+			}
+			pc := u.target
+			if c.StopPCSet && pc == c.StopPC {
+				c.stopExit(pc, done)
+				return done, false
+			}
+			c.PC = pc
+			c.Dyn += done
+			return done, false
+		case uCall:
+			// The stack write commits SP only on success, so a faulting
+			// call leaves SP exactly where the Step loop's restore does.
+			sp := c.R[SP] - 8
+			if e := sIC; e.gen == gen && sp&7 == 0 && sp-e.base < e.wlen {
+				leStore(e.seg.Data, sp-e.base, base+Word(8*idx)+8)
+			} else if flt := icStoreSlow(m, e, sp, base+Word(8*idx)+8); flt != nil {
+				c.blockTrap(base+Word(8*idx), done, img, idx, flt.Sig, flt.Addr)
+				return done + 1, false
+			}
+			c.R[SP] = sp
+			done++
+			if cnts != nil {
+				cnts[idx]++
+			}
+			if t := int(u.tidx); t >= 0 {
+				idx = t
+				if idx == stopIdx {
+					c.stopExit(base+Word(8*idx), done)
+					return done, false
+				}
+				continue
+			}
+			pc := u.target
+			if c.StopPCSet && pc == c.StopPC {
+				c.stopExit(pc, done)
+				return done, false
+			}
+			c.PC = pc
+			c.Dyn += done
+			return done, false
+		case uRet:
+			var ra Word
+			if e := sIC; e.gen == gen && c.R[SP]&7 == 0 && c.R[SP]-e.base < e.rlen {
+				ra = leLoad(e.seg.Data, c.R[SP]-e.base)
+			} else {
+				var flt *Fault
+				if ra, flt = icLoadSlow(m, e, c.R[SP]); flt != nil {
+					c.blockTrap(base+Word(8*idx), done, img, idx, flt.Sig, flt.Addr)
+					return done + 1, false
+				}
+			}
+			c.R[SP] += 8
+			done++
+			if cnts != nil {
+				cnts[idx]++
+			}
+			// The return address is computed, so it links at runtime: re-
+			// enter the µop array when it stays aligned inside this image,
+			// else fall out to dispatch with the exact PC (which also
+			// covers corrupted return addresses — the misaligned-PC
+			// delegation above takes over on re-entry).
+			if off := ra - base; off&7 == 0 && off>>3 < Word(len(fuops)) {
+				idx = int(off >> 3)
+				if idx == stopIdx {
+					c.stopExit(ra, done)
+					return done, false
+				}
+				continue
+			}
+			if c.StopPCSet && ra == c.StopPC {
+				c.stopExit(ra, done)
+				return done, false
+			}
+			c.PC = ra
+			c.Dyn += done
+			return done, false
+		}
+	}
+	c.PC = base + Word(8*idx)
 	c.Dyn += done
 	return done, false
 }

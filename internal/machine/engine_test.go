@@ -9,10 +9,14 @@ import (
 	"care/internal/trace"
 )
 
-// dualAsm assembles the same raw program twice: one CPU on the block
-// engine, one forced onto the legacy Step loop. Separate Programs (and
-// memories) keep the two runs fully independent.
-func dualAsm(t *testing.T, code []MInstr, setup func(c *CPU)) (block, step *CPU) {
+// fastTiers are the engine tiers the differential tests check against
+// the Step-loop reference.
+var fastTiers = []InterpTier{TierSuperblock, TierBlock}
+
+// dualAsm assembles the same raw program twice: one CPU on the given
+// engine tier, one forced onto the legacy Step loop. Separate Programs
+// (and memories) keep the two runs fully independent.
+func dualAsm(t *testing.T, code []MInstr, setup func(c *CPU), tier InterpTier) (fast, step *CPU) {
 	t.Helper()
 	mk := func() *CPU {
 		p := &Program{
@@ -40,10 +44,11 @@ func dualAsm(t *testing.T, code []MInstr, setup func(c *CPU)) (block, step *CPU)
 		}
 		return cpu
 	}
-	block = mk()
+	fast = mk()
+	fast.Tier = tier
 	step = mk()
-	step.StepLoop = true
-	return block, step
+	step.Tier = TierStep
+	return fast, step
 }
 
 // compareCPUs asserts the full architectural state of the two runs is
@@ -97,15 +102,19 @@ func compareCPUs(t *testing.T, block, step *CPU) {
 	}
 }
 
-// runDual drives both CPUs with the same budget and compares the final
-// state.
+// runDual drives every fast tier against a fresh Step-loop reference
+// with the same budget and compares the final state.
 func runDual(t *testing.T, code []MInstr, setup func(c *CPU), limit uint64) {
 	t.Helper()
-	block, step := dualAsm(t, code, setup)
-	if got, want := block.Run(limit), step.Run(limit); got != want {
-		t.Errorf("run status: block %v step %v", got, want)
+	for _, tier := range fastTiers {
+		t.Run(tier.String(), func(t *testing.T) {
+			fast, step := dualAsm(t, code, setup, tier)
+			if got, want := fast.Run(limit), step.Run(limit); got != want {
+				t.Errorf("run status: %v %v step %v", tier, got, want)
+			}
+			compareCPUs(t, fast, step)
+		})
 	}
-	compareCPUs(t, block, step)
 }
 
 // loopProgram is a memory-touching counted loop covering loads, stores,
@@ -159,12 +168,16 @@ func TestEngineBudgetSweep(t *testing.T) {
 // TestEngineResumesAfterLimit slices one run into many Run calls and
 // checks the result equals a single uninterrupted run.
 func TestEngineResumesAfterLimit(t *testing.T) {
-	block, step := dualAsm(t, loopProgram(200), mapData(t))
-	for block.Status != StatusExited {
-		block.Run(7)
+	for _, tier := range fastTiers {
+		t.Run(tier.String(), func(t *testing.T) {
+			fast, step := dualAsm(t, loopProgram(200), mapData(t), tier)
+			for fast.Status != StatusExited {
+				fast.Run(7)
+			}
+			step.Run(0)
+			compareCPUs(t, fast, step)
+		})
 	}
-	step.Run(0)
-	compareCPUs(t, block, step)
 }
 
 func TestEngineTrapParity(t *testing.T) {
@@ -216,15 +229,17 @@ func TestEngineTrapParity(t *testing.T) {
 		}, SigABRT},
 	}
 	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			block, step := dualAsm(t, tc.code, mapData(t))
-			block.Run(0)
-			step.Run(0)
-			if block.Status != StatusTrapped || block.PendingTrap.Sig != tc.sig {
-				t.Fatalf("block engine: want %v trap, got %v (%v)", tc.sig, block.Status, block.PendingTrap)
-			}
-			compareCPUs(t, block, step)
-		})
+		for _, tier := range fastTiers {
+			t.Run(tc.name+"/"+tier.String(), func(t *testing.T) {
+				fast, step := dualAsm(t, tc.code, mapData(t), tier)
+				fast.Run(0)
+				step.Run(0)
+				if fast.Status != StatusTrapped || fast.PendingTrap.Sig != tc.sig {
+					t.Fatalf("%v engine: want %v trap, got %v (%v)", tier, tc.sig, fast.Status, fast.PendingTrap)
+				}
+				compareCPUs(t, fast, step)
+			})
+		}
 	}
 }
 
@@ -242,12 +257,16 @@ func TestEngineMisalignedTrapPC(t *testing.T) {
 		{Op: MStore, Base: SP, Ra: R1},
 		{Op: MRet},
 	}
-	block, step := dualAsm(t, code, nil)
-	block.Run(0)
-	step.Run(0)
-	compareCPUs(t, block, step)
-	if block.PC&7 != 3 {
-		t.Fatalf("misaligned PC low bits lost: 0x%x", block.PC)
+	for _, tier := range fastTiers {
+		t.Run(tier.String(), func(t *testing.T) {
+			fast, step := dualAsm(t, code, nil, tier)
+			fast.Run(0)
+			step.Run(0)
+			compareCPUs(t, fast, step)
+			if fast.PC&7 != 3 {
+				t.Fatalf("misaligned PC low bits lost: 0x%x", fast.PC)
+			}
+		})
 	}
 }
 
@@ -279,7 +298,7 @@ func TestEngineDeoptOnHookInstall(t *testing.T) {
 		{Op: MAdd, Rd: R4, Ra: R4, UseImm: true, Imm: 1},
 		{Op: MHalt, Ra: R4},
 	}
-	run := func(stepLoop bool) (hookRetires int, c *CPU) {
+	run := func(tier InterpTier) (hookRetires int, c *CPU) {
 		p := &Program{Name: "asm", CodeBase: AppCodeBase, Code: code,
 			Funcs: []FuncSym{{Name: "_start", Entry: 0}}, Debug: debuginfo.New()}
 		mem := NewMemory()
@@ -288,7 +307,7 @@ func TestEngineDeoptOnHookInstall(t *testing.T) {
 			t.Fatal(err)
 		}
 		c = NewCPU(mem, hostenv.NewEnv())
-		c.StepLoop = stepLoop
+		c.Tier = tier
 		c.Attach(img)
 		if err := c.InitStack(); err != nil {
 			t.Fatal(err)
@@ -304,15 +323,17 @@ func TestEngineDeoptOnHookInstall(t *testing.T) {
 		c.Run(0)
 		return hookRetires, c
 	}
-	gotBlock, cb := run(false)
-	gotStep, cs := run(true)
-	if gotBlock != gotStep {
-		t.Errorf("hook retirements differ: block %d step %d", gotBlock, gotStep)
+	gotStep, cs := run(TierStep)
+	for _, tier := range fastTiers {
+		gotFast, cf := run(tier)
+		if gotFast != gotStep {
+			t.Errorf("hook retirements differ: %v %d step %d", tier, gotFast, gotStep)
+		}
+		if gotFast == 0 {
+			t.Error("mid-run hook never observed a retirement")
+		}
+		compareCPUs(t, cf, cs)
 	}
-	if gotBlock == 0 {
-		t.Error("mid-run hook never observed a retirement")
-	}
-	compareCPUs(t, cb, cs)
 }
 
 // TestEngineRemoveHookReopts checks that removing the last retire hook
@@ -342,22 +363,26 @@ func TestEngineRemoveHookReopts(t *testing.T) {
 // TestEngineProfileCounts checks per-static-instruction counts are
 // identical between engines (including the cached counts-slice path).
 func TestEngineProfileCounts(t *testing.T) {
-	block, step := dualAsm(t, loopProgram(100), func(c *CPU) {
-		mapData(t)(c)
-		c.Profile = true
-	})
-	block.Run(0)
-	step.Run(0)
-	compareCPUs(t, block, step)
-	bi, si := block.Images[0], step.Images[0]
-	bc, sc := block.Counts[bi], step.Counts[si]
-	if len(bc) != len(sc) {
-		t.Fatalf("counts length: block %d step %d", len(bc), len(sc))
-	}
-	for i := range bc {
-		if bc[i] != sc[i] {
-			t.Errorf("counts[%d]: block %d step %d", i, bc[i], sc[i])
-		}
+	for _, tier := range fastTiers {
+		t.Run(tier.String(), func(t *testing.T) {
+			fast, step := dualAsm(t, loopProgram(100), func(c *CPU) {
+				mapData(t)(c)
+				c.Profile = true
+			}, tier)
+			fast.Run(0)
+			step.Run(0)
+			compareCPUs(t, fast, step)
+			bi, si := fast.Images[0], step.Images[0]
+			bc, sc := fast.Counts[bi], step.Counts[si]
+			if len(bc) != len(sc) {
+				t.Fatalf("counts length: %v %d step %d", tier, len(bc), len(sc))
+			}
+			for i := range bc {
+				if bc[i] != sc[i] {
+					t.Errorf("counts[%d]: %v %d step %d", i, tier, bc[i], sc[i])
+				}
+			}
+		})
 	}
 }
 
@@ -368,21 +393,27 @@ func TestEngineTraceSpansMatch(t *testing.T) {
 		{Op: MLoad, Rd: R2, Base: R1}, // SEGV at 0x40
 		{Op: MHalt},
 	}
-	var recs [2]*trace.Recorder
-	for i, stepLoop := range []bool{false, true} {
-		block, _ := dualAsm(t, code, nil)
-		block.StepLoop = stepLoop
+	tiers := Tiers()
+	recs := make([]*trace.Recorder, len(tiers))
+	for i, tier := range tiers {
+		c, _ := dualAsm(t, code, nil, tier)
 		recs[i] = trace.New(8)
-		block.Trace = recs[i]
-		block.Run(0)
+		c.Trace = recs[i]
+		c.Run(0)
 	}
-	b, s := recs[0].Spans(), recs[1].Spans()
-	if len(b) != len(s) || len(b) == 0 {
-		t.Fatalf("span counts: block %d step %d", len(b), len(s))
+	ref := recs[len(recs)-1].Spans() // step reference
+	if len(ref) == 0 {
+		t.Fatal("step loop stamped no spans")
 	}
-	for i := range b {
-		if b[i] != s[i] {
-			t.Errorf("span %d differs:\n block %+v\n step  %+v", i, b[i], s[i])
+	for i, tier := range tiers[:len(tiers)-1] {
+		got := recs[i].Spans()
+		if len(got) != len(ref) {
+			t.Fatalf("span counts: %v %d step %d", tier, len(got), len(ref))
+		}
+		for j := range got {
+			if got[j] != ref[j] {
+				t.Errorf("span %d differs:\n %v %+v\n step  %+v", j, tier, got[j], ref[j])
+			}
 		}
 	}
 }
@@ -472,6 +503,39 @@ func TestInlineCacheSeesRestoredSnapshot(t *testing.T) {
 	}
 }
 
+// TestInlineCacheRespectsSnapshotFreeze pins the write-through bug the
+// generation bump in Memory.Snapshot prevents: warm a store cache on a
+// writable segment, snapshot (which flips the same *Segment to
+// copy-on-write in place — no remap, no segment swap), then store
+// again. The store must COW-materialize instead of taking a stale
+// in-place hit that dirties the frozen bytes the snapshot aliases.
+func TestInlineCacheRespectsSnapshotFreeze(t *testing.T) {
+	for _, tier := range Tiers() {
+		code := []MInstr{
+			{Op: MMovImm, Rd: R4, Imm: 0x30000},
+			{Op: MMovImm, Rd: R3, Imm: 1},
+			{Op: MAdd, Rd: R3, Ra: R3, UseImm: true, Imm: 1}, // idx 2
+			{Op: MStore, Base: R4, Ra: R3},
+			{Op: MJmp, Target: AppCodeBase + 16},
+		}
+		c, _ := asm(t, code)
+		c.Tier = tier
+		if _, err := c.Mem.Map(0x30000, 64, "data"); err != nil {
+			t.Fatal(err)
+		}
+		c.Run(6) // 0,1,2,3(store 2),4,2 — store cache is warm and writable
+		sn := c.Mem.Snapshot()
+		c.Run(3) // 3(store 3),4,2 — must materialize, not write through
+		if v, _ := c.Mem.Read(0x30000); v != 3 {
+			t.Fatalf("%v: live value %d, want 3", tier, v)
+		}
+		c.Mem.Restore(sn)
+		if v, _ := c.Mem.Read(0x30000); v != 2 {
+			t.Fatalf("%v: snapshot dirtied by post-freeze store: %d, want 2", tier, v)
+		}
+	}
+}
+
 // TestEnginePuntsHostCalls checks host calls (and the instructions
 // around them) behave identically — they run through the legacy Step.
 func TestEnginePuntsHostCalls(t *testing.T) {
@@ -520,19 +584,201 @@ func TestEngineBudgetChargesTrapAttempts(t *testing.T) {
 		{Op: MHalt},
 	}
 	for limit := uint64(3); limit <= 8; limit++ {
-		mk := func(stepLoop bool) *CPU {
+		mk := func(tier InterpTier) *CPU {
 			c, _ := asm(t, code)
-			c.StepLoop = stepLoop
+			c.Tier = tier
 			c.Handler = func(*CPU, *Trap) TrapAction { return TrapResume }
 			return c
 		}
-		b, s := mk(false), mk(true)
-		if got, want := b.Run(limit), s.Run(limit); got != want {
-			t.Fatalf("limit %d: block %v step %v", limit, got, want)
+		s := mk(TierStep)
+		want := s.Run(limit)
+		for _, tier := range fastTiers {
+			f := mk(tier)
+			if got := f.Run(limit); got != want {
+				t.Fatalf("limit %d: %v %v step %v", limit, tier, got, want)
+			}
+			if f.Status != StatusLimit {
+				t.Fatalf("limit %d: status %v, want limit", limit, f.Status)
+			}
+			compareCPUs(t, f, s)
 		}
-		if b.Status != StatusLimit {
-			t.Fatalf("limit %d: status %v, want limit", limit, b.Status)
-		}
-		compareCPUs(t, b, s)
 	}
+}
+
+// TestPredecodeBranchLinking checks the second predecode pass resolves
+// well-formed in-image branch targets to µop indices and records
+// fallthrough-run lengths for the superblock tier.
+func TestPredecodeBranchLinking(t *testing.T) {
+	p := &Program{Name: "asm", CodeBase: AppCodeBase, Code: []MInstr{
+		{Op: MMovImm, Rd: R1, Imm: 3},                    // 0: sb+2
+		{Op: MSub, Rd: R1, Ra: R1, UseImm: true, Imm: 1}, // 1
+		{Op: MJnz, Ra: R1, Target: AppCodeBase + 8},      // 2: links to 1
+		{Op: MJmp, Target: AppCodeBase + 8*4},            // 3: links to 4
+		{Op: MNop},                                       // 4
+		{Op: MHalt},                                      // 5: punts
+	}, Funcs: []FuncSym{{Name: "_start", Entry: 0}}, Debug: debuginfo.New()}
+	plan := p.plan()
+	if got := plan.uops[2].tidx; got != 1 {
+		t.Errorf("jnz tidx = %d, want 1", got)
+	}
+	if got := plan.uops[3].tidx; got != 4 {
+		t.Errorf("jmp tidx = %d, want 4", got)
+	}
+	wantRuns := []int32{2, 1, 0, 0, 1, 0}
+	for i, want := range wantRuns {
+		if plan.runLen[i] != want {
+			t.Errorf("runLen[%d] = %d, want %d", i, plan.runLen[i], want)
+		}
+	}
+}
+
+// TestPredecodeBranchDemotion: branch targets that land mid-instruction,
+// outside the image (above or below), or on a punting µop must demote
+// the branch to dispatch-return at predecode — tidx stays -1 and
+// linkTarget reports why — never a Go panic or a silently wrong link.
+func TestPredecodeBranchDemotion(t *testing.T) {
+	cases := []struct {
+		name   string
+		code   []MInstr
+		idx    int // index of the branch under test
+		reason string
+	}{
+		{"jmp-mid-instruction", []MInstr{
+			{Op: MJmp, Target: AppCodeBase + 4},
+			{Op: MHalt},
+		}, 0, demoteMidInstr},
+		{"jnz-mid-instruction", []MInstr{
+			{Op: MJnz, Ra: R1, Target: AppCodeBase + 8 + 3},
+			{Op: MHalt},
+		}, 0, demoteMidInstr},
+		{"jmp-above-image", []MInstr{
+			{Op: MJmp, Target: AppCodeBase + 8*100},
+			{Op: MHalt},
+		}, 0, demoteOutsideImage},
+		{"jz-below-image", []MInstr{
+			{Op: MJz, Ra: R1, Target: AppCodeBase - 8},
+			{Op: MHalt},
+		}, 0, demoteOutsideImage},
+		{"jmp-one-past-end", []MInstr{
+			{Op: MJmp, Target: AppCodeBase + 8*2},
+			{Op: MHalt},
+		}, 0, demoteOutsideImage},
+		{"call-cross-image", []MInstr{
+			{Op: MCall, Target: LibCodeBase},
+			{Op: MHalt},
+		}, 0, demoteOutsideImage},
+		{"jmp-onto-punting-uop", []MInstr{
+			{Op: MJmp, Target: AppCodeBase + 8},
+			{Op: MHost, Host: "print_i64", HostArgs: 0},
+			{Op: MHalt},
+		}, 0, demotePunts},
+		{"call-onto-halt", []MInstr{
+			{Op: MCall, Target: AppCodeBase + 8},
+			{Op: MHalt},
+		}, 0, demotePunts},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := &Program{Name: "asm", CodeBase: AppCodeBase, Code: tc.code,
+				Funcs: []FuncSym{{Name: "_start", Entry: 0}}, Debug: debuginfo.New()}
+			plan := p.plan()
+			u := &plan.uops[tc.idx]
+			if u.tidx != -1 {
+				t.Fatalf("branch linked to %d, want demoted", u.tidx)
+			}
+			if _, reason := linkTarget(p, plan.uops, u.target); reason != tc.reason {
+				t.Errorf("demotion reason %q, want %q", reason, tc.reason)
+			}
+		})
+	}
+}
+
+// TestEngineDemotedBranchParity runs taken demoted branches end to end
+// on every tier: the dispatch-return path must land on the exact target
+// PC, so wild jumps trap identically, jumps onto punting µops fall back
+// to Step identically, and mid-instruction targets carry the PC bias
+// identically (that program loops forever on every tier, so it runs
+// under a budget and parity is checked at StatusLimit).
+func TestEngineDemotedBranchParity(t *testing.T) {
+	cases := []struct {
+		name  string
+		code  []MInstr
+		limit uint64
+	}{
+		{"taken-jnz-mid-instruction", []MInstr{
+			{Op: MMovImm, Rd: R1, Imm: 1},
+			{Op: MJnz, Ra: R1, Target: AppCodeBase + 4},
+			{Op: MHalt},
+		}, 50},
+		{"taken-jz-below-image", []MInstr{
+			{Op: MJz, Ra: R0, Target: AppCodeBase - 0x1000},
+			{Op: MHalt},
+		}, 0},
+		{"taken-jmp-one-past-end", []MInstr{
+			{Op: MJmp, Target: AppCodeBase + 8*2},
+			{Op: MHalt},
+		}, 0},
+		{"taken-jmp-onto-host-call", []MInstr{
+			{Op: MMovImm, Rd: R1, Imm: 7},
+			{Op: MPush, Ra: R1},
+			{Op: MJmp, Target: AppCodeBase + 8*4},
+			{Op: MHalt},
+			{Op: MHost, Host: "print_i64", HostArgs: 1},
+			{Op: MAdd, Rd: R2, Ra: R0, UseImm: true, Imm: 1},
+			{Op: MHalt, Ra: R2},
+		}, 0},
+		{"call-onto-abort", []MInstr{
+			{Op: MCall, Target: AppCodeBase + 8*2},
+			{Op: MHalt},
+			{Op: MAbort},
+		}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			runDual(t, tc.code, nil, tc.limit)
+		})
+	}
+}
+
+// TestEngineStackICCallRet drives a call/ret ladder plus push/pop
+// traffic through the shared stack-segment inline cache, including a
+// StopPC planted on a ret target and a faulting call after SP is
+// corrupted out of the stack segment.
+func TestEngineStackICCallRet(t *testing.T) {
+	ladder := []MInstr{
+		{Op: MMovImm, Rd: R5, Imm: 40},
+		{Op: MCall, Target: AppCodeBase + 8*5}, // idx 1: call f1
+		{Op: MSub, Rd: R5, Ra: R5, UseImm: true, Imm: 1},
+		{Op: MJnz, Ra: R5, Target: AppCodeBase + 8},
+		{Op: MHalt, Ra: R6},
+		// f1: push/pop around a nested call.
+		{Op: MPush, Ra: R5},                    // idx 5
+		{Op: MCall, Target: AppCodeBase + 8*9}, // call f2
+		{Op: MPop, Rd: R5},
+		{Op: MRet},
+		// f2: leaf.
+		{Op: MAdd, Rd: R6, Ra: R6, UseImm: true, Imm: 1}, // idx 9
+		{Op: MRet},
+	}
+	t.Run("clean", func(t *testing.T) { runDual(t, ladder, nil, 0) })
+	t.Run("budget-sweep", func(t *testing.T) {
+		for limit := uint64(1); limit <= 30; limit += 3 {
+			runDual(t, ladder, nil, limit)
+		}
+	})
+	t.Run("stop-on-ret-target", func(t *testing.T) {
+		runDual(t, ladder, func(c *CPU) {
+			c.StopPC = AppCodeBase + 8*7 // pop after the nested call returns
+			c.StopPCSet = true
+		}, 0)
+	})
+	t.Run("call-faults-off-stack", func(t *testing.T) {
+		runDual(t, []MInstr{
+			{Op: MMovImm, Rd: R1, Imm: 0x40},
+			{Op: MMov, Rd: SP, Ra: R1}, // SP now points at unmapped memory
+			{Op: MCall, Target: AppCodeBase + 8*4},
+			{Op: MHalt},
+			{Op: MRet},
+		}, nil, 0)
+	})
 }

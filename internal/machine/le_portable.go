@@ -1,0 +1,15 @@
+//go:build !(amd64 || arm64)
+
+package machine
+
+import "encoding/binary"
+
+// Portable little-endian accessors for hosts where the unsafe
+// single-move form is not known to be safe (alignment or byte order).
+func leLoad(b []byte, off Word) Word {
+	return binary.LittleEndian.Uint64(b[off:])
+}
+
+func leStore(b []byte, off, v Word) {
+	binary.LittleEndian.PutUint64(b[off:], v)
+}

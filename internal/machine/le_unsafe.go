@@ -1,0 +1,20 @@
+//go:build amd64 || arm64
+
+package machine
+
+import "unsafe"
+
+// leLoad and leStore are the engine's open-coded inline-cache hit
+// accessors. On little-endian hosts with cheap unaligned access they
+// compile to a single 8-byte move — and, unlike binary.LittleEndian,
+// they are small enough for the compiler to inline into the engine's
+// dispatch loops, which sit past the big-function threshold that
+// limits inlining to near-trivial callees. Callers guarantee
+// off+8 <= len(b) (the icEntry rlen/wlen precomputation).
+func leLoad(b []byte, off Word) Word {
+	return *(*Word)(unsafe.Pointer(&b[off]))
+}
+
+func leStore(b []byte, off, v Word) {
+	*(*Word)(unsafe.Pointer(&b[off])) = v
+}

@@ -47,19 +47,14 @@ func benchLoop(tb testing.TB, n int64) *CPU {
 
 // BenchmarkCPUStepThroughput measures the interpreter's steady-state
 // instructions/second — the constant behind every campaign's runtime —
-// on both tiers: the block-predecoded engine (the default) and the
-// legacy per-instruction Step loop it deoptimizes to under hooks.
+// on all three tiers: the fused superblock engine (the default), the
+// per-µop block engine, and the legacy per-instruction Step loop the
+// fast tiers deoptimize to under hooks.
 func BenchmarkCPUStepThroughput(b *testing.B) {
-	for _, tc := range []struct {
-		name     string
-		stepLoop bool
-	}{
-		{"block", false},
-		{"step", true},
-	} {
-		b.Run(tc.name, func(b *testing.B) {
+	for _, tier := range Tiers() {
+		b.Run(tier.String(), func(b *testing.B) {
 			cpu := benchLoop(b, 1<<62)
-			cpu.StepLoop = tc.stepLoop
+			cpu.Tier = tier
 			b.ResetTimer()
 			cpu.Run(uint64(b.N))
 			b.StopTimer()

@@ -361,6 +361,13 @@ type SegSnapshot struct {
 // processes: all of them share the frozen bytes until they diverge.
 func (m *Memory) Snapshot() *Snapshot {
 	sn := &Snapshot{HeapNext: m.heapNext}
+	// Freezing flips segments from writable to copy-on-write, which
+	// invalidates any inline-cache slot that proved in-place
+	// writability at fill time (icEntry.wlen), so it bumps the
+	// generation exactly like Unmap and Restore. Snapshots are only
+	// ever taken between engine invocations, so the engines' hoisted
+	// generation stays sound.
+	m.gen++
 	for _, s := range m.segs {
 		if s.ro {
 			continue

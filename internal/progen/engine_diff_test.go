@@ -1,6 +1,7 @@
 package progen
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -10,21 +11,30 @@ import (
 	"care/internal/trace"
 )
 
+// diffTiers are the fast engine tiers checked against the Step-loop
+// reference.
+var diffTiers = []machine.InterpTier{machine.TierSuperblock, machine.TierBlock}
+
 // buildSeed compiles the progen module for one seed (fresh module per
 // call — Build mutates the IR in place).
 func buildSeed(t *testing.T, seed int64, opt int) *core.Binary {
 	t.Helper()
-	bin, err := core.Build(Generate(seed, Options{}), core.BuildOptions{OptLevel: opt, NoArmor: true})
+	return buildOpts(t, seed, opt, Options{})
+}
+
+func buildOpts(t *testing.T, seed int64, opt int, gopts Options) *core.Binary {
+	t.Helper()
+	bin, err := core.Build(Generate(seed, gopts), core.BuildOptions{OptLevel: opt, NoArmor: true})
 	if err != nil {
 		t.Fatalf("seed %d O%d: build: %v", seed, opt, err)
 	}
 	return bin
 }
 
-// newProc assembles a fresh process on the chosen interpreter loop.
-func newProc(t *testing.T, bin *core.Binary, stepLoop bool) *core.Process {
+// newProc assembles a fresh process on the chosen interpreter tier.
+func newProc(t *testing.T, bin *core.Binary, tier machine.InterpTier) *core.Process {
 	t.Helper()
-	p, err := core.NewProcess(core.ProcessConfig{App: bin, StepLoop: stepLoop})
+	p, err := core.NewProcess(core.ProcessConfig{App: bin, Tier: tier})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,46 +44,46 @@ func newProc(t *testing.T, bin *core.Binary, stepLoop bool) *core.Process {
 // requireSameMachineState compares the full architectural outcome of
 // two runs: status, exit code, registers, PC, Dyn, result stream, trap
 // identity, and every writable memory segment.
-func requireSameMachineState(t *testing.T, block, step *core.Process) {
+func requireSameMachineState(t *testing.T, fast, step *core.Process) {
 	t.Helper()
-	bc, sc := block.CPU, step.CPU
+	bc, sc := fast.CPU, step.CPU
 	if bc.Status != sc.Status {
-		t.Fatalf("status: block %v step %v", bc.Status, sc.Status)
+		t.Fatalf("status: %v vs step %v", bc.Status, sc.Status)
 	}
 	if bc.Dyn != sc.Dyn {
-		t.Errorf("Dyn: block %d step %d", bc.Dyn, sc.Dyn)
+		t.Errorf("Dyn: %d vs step %d", bc.Dyn, sc.Dyn)
 	}
 	if bc.PC != sc.PC {
-		t.Errorf("PC: block 0x%x step 0x%x", bc.PC, sc.PC)
+		t.Errorf("PC: 0x%x vs step 0x%x", bc.PC, sc.PC)
 	}
 	if bc.ExitCode != sc.ExitCode {
-		t.Errorf("exit code: block %d step %d", bc.ExitCode, sc.ExitCode)
+		t.Errorf("exit code: %d vs step %d", bc.ExitCode, sc.ExitCode)
 	}
 	if bc.R != sc.R {
-		t.Errorf("R: block %v step %v", bc.R, sc.R)
+		t.Errorf("R: %v vs step %v", bc.R, sc.R)
 	}
 	if bc.F != sc.F {
-		t.Errorf("F: block %v step %v", bc.F, sc.F)
+		t.Errorf("F: %v vs step %v", bc.F, sc.F)
 	}
 	bt, st := bc.PendingTrap, sc.PendingTrap
 	if (bt == nil) != (st == nil) {
-		t.Fatalf("trap: block %v step %v", bt, st)
+		t.Fatalf("trap: %v vs step %v", bt, st)
 	}
 	if bt != nil && (bt.Sig != st.Sig || bt.PC != st.PC || bt.Addr != st.Addr || bt.Idx != st.Idx) {
-		t.Errorf("trap identity differs:\n block %+v\n step  %+v", bt, st)
+		t.Errorf("trap identity differs:\n fast %+v\n step %+v", bt, st)
 	}
-	bres, sres := block.Results(), step.Results()
+	bres, sres := fast.Results(), step.Results()
 	if len(bres) != len(sres) {
-		t.Fatalf("result count: block %d step %d", len(bres), len(sres))
+		t.Fatalf("result count: %d vs step %d", len(bres), len(sres))
 	}
 	for i := range bres {
 		if bres[i] != sres[i] {
-			t.Errorf("result[%d]: block %v step %v", i, bres[i], sres[i])
+			t.Errorf("result[%d]: %v vs step %v", i, bres[i], sres[i])
 		}
 	}
-	bsegs, ssegs := block.Mem.Segments(), step.Mem.Segments()
+	bsegs, ssegs := fast.Mem.Segments(), step.Mem.Segments()
 	if len(bsegs) != len(ssegs) {
-		t.Fatalf("segment count: block %d step %d", len(bsegs), len(ssegs))
+		t.Fatalf("segment count: %d vs step %d", len(bsegs), len(ssegs))
 	}
 	for i := range bsegs {
 		if bsegs[i].ReadOnly() {
@@ -91,9 +101,24 @@ func requireSameMachineState(t *testing.T, block, step *core.Process) {
 	}
 }
 
+// requireSameTraceJSONL byte-compares the exported trace streams.
+func requireSameTraceJSONL(t *testing.T, fast, step *trace.Recorder, tier machine.InterpTier) {
+	t.Helper()
+	var fj, sj bytes.Buffer
+	if err := fast.WriteJSONL(&fj); err != nil {
+		t.Fatal(err)
+	}
+	if err := step.WriteJSONL(&sj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fj.Bytes(), sj.Bytes()) {
+		t.Errorf("trace JSONL differs between %v engine and step loop", tier)
+	}
+}
+
 // TestEngineDifferentialClean drives generated programs — loops,
 // conditionals, array traffic, helper calls, host math calls — through
-// the block engine and the legacy Step loop at O0 and O1, requiring
+// every fast tier and the legacy Step loop at O0 and O1, requiring
 // identical machine state at exit.
 func TestEngineDifferentialClean(t *testing.T) {
 	seeds := 12
@@ -103,19 +128,21 @@ func TestEngineDifferentialClean(t *testing.T) {
 	for seed := int64(1); seed <= int64(seeds); seed++ {
 		for _, opt := range []int{0, 1} {
 			t.Run(fmt.Sprintf("seed%d/O%d", seed, opt), func(t *testing.T) {
-				block := newProc(t, buildSeed(t, seed, opt), false)
-				step := newProc(t, buildSeed(t, seed, opt), true)
-				block.Run(100_000_000)
+				step := newProc(t, buildSeed(t, seed, opt), machine.TierStep)
 				step.Run(100_000_000)
-				requireSameMachineState(t, block, step)
+				for _, tier := range diffTiers {
+					fast := newProc(t, buildSeed(t, seed, opt), tier)
+					fast.Run(100_000_000)
+					requireSameMachineState(t, fast, step)
+				}
 			})
 		}
 	}
 }
 
-// TestEngineDifferentialFaulted arms the same bit flip on both loops:
+// TestEngineDifferentialFaulted arms the same bit flip on every tier:
 // the corrupted suffix (often ending in a trap) must diverge from the
-// golden run identically, including the trap trace spans.
+// golden run identically, including byte-identical trace JSONL.
 func TestEngineDifferentialFaulted(t *testing.T) {
 	seeds := 6
 	if testing.Short() {
@@ -130,25 +157,19 @@ func TestEngineDifferentialFaulted(t *testing.T) {
 		for fi, bits := range flips {
 			for _, bin := range []*core.Binary{bin0, bin1} {
 				t.Run(fmt.Sprintf("seed%d/O%d/flip%d", seed, bin.Prog.OptLevel, fi), func(t *testing.T) {
-					run := func(stepLoop bool) (*core.Process, *trace.Recorder) {
-						p := newProc(t, bin, stepLoop)
+					run := func(tier machine.InterpTier) (*core.Process, *trace.Recorder) {
+						p := newProc(t, bin, tier)
 						rec := trace.New(16)
 						p.CPU.Trace = rec
 						faultinject.Arm(p.CPU, faultinject.Trigger{AtDyn: 500 + uint64(seed)*137}, bits)
 						p.Run(10_000_000)
 						return p, rec
 					}
-					block, brec := run(false)
-					step, srec := run(true)
-					requireSameMachineState(t, block, step)
-					bsp, ssp := brec.Spans(), srec.Spans()
-					if len(bsp) != len(ssp) {
-						t.Fatalf("trace spans: block %d step %d", len(bsp), len(ssp))
-					}
-					for i := range bsp {
-						if bsp[i] != ssp[i] {
-							t.Errorf("span %d differs:\n block %+v\n step  %+v", i, bsp[i], ssp[i])
-						}
+					step, srec := run(machine.TierStep)
+					for _, tier := range diffTiers {
+						fast, frec := run(tier)
+						requireSameMachineState(t, fast, step)
+						requireSameTraceJSONL(t, frec, srec, tier)
 					}
 				})
 			}
@@ -157,7 +178,7 @@ func TestEngineDifferentialFaulted(t *testing.T) {
 }
 
 // TestEngineDifferentialStopPC plants the stop sentinel at a PC sampled
-// mid-run: both loops must exit on the same retirement with the same
+// mid-run: every tier must exit on the same retirement with the same
 // state (the Safeguard recovery-kernel return path depends on this).
 func TestEngineDifferentialStopPC(t *testing.T) {
 	for _, opt := range []int{0, 1} {
@@ -167,7 +188,7 @@ func TestEngineDifferentialStopPC(t *testing.T) {
 		var stop machine.Word
 		for seed := int64(1); seed <= 20; seed++ {
 			b := buildSeed(t, seed, opt)
-			probe := newProc(t, b, true)
+			probe := newProc(t, b, machine.TierStep)
 			if probe.Run(2000) == machine.StatusLimit {
 				bin, stop = b, probe.CPU.PC
 				break
@@ -177,18 +198,92 @@ func TestEngineDifferentialStopPC(t *testing.T) {
 			t.Fatal("no generated program runs past the probe point")
 		}
 		t.Run(fmt.Sprintf("O%d", opt), func(t *testing.T) {
-			run := func(stepLoop bool) *core.Process {
-				p := newProc(t, bin, stepLoop)
+			run := func(tier machine.InterpTier) *core.Process {
+				p := newProc(t, bin, tier)
 				p.CPU.StopPC = stop
 				p.CPU.StopPCSet = true
 				p.Run(10_000_000)
 				return p
 			}
-			block, step := run(false), run(true)
-			if block.CPU.Status != machine.StatusExited {
-				t.Fatalf("stop sentinel not taken: %v", block.CPU.Status)
+			step := run(machine.TierStep)
+			for _, tier := range diffTiers {
+				fast := run(tier)
+				if fast.CPU.Status != machine.StatusExited {
+					t.Fatalf("%v: stop sentinel not taken: %v", tier, fast.CPU.Status)
+				}
+				requireSameMachineState(t, fast, step)
 			}
-			requireSameMachineState(t, block, step)
 		})
+	}
+}
+
+// TestEngineDifferentialShapes generates the dispatch-stressing shapes
+// — dense branch chains, call/ret ladders, tight self-loops — that
+// specifically exercise superblock entry/exit and the stack-segment
+// inline cache, and runs each clean, faulted, and with a StopPC probe
+// through all three tiers.
+func TestEngineDifferentialShapes(t *testing.T) {
+	shapes := Options{DenseBranches: 24, CallLadderDepth: 6, TightLoops: 8}
+	seeds := 4
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		for _, opt := range []int{0, 1} {
+			bin := buildOpts(t, seed, opt, shapes)
+			t.Run(fmt.Sprintf("seed%d/O%d/clean", seed, opt), func(t *testing.T) {
+				run := func(tier machine.InterpTier) (*core.Process, *trace.Recorder) {
+					p := newProc(t, bin, tier)
+					rec := trace.New(16)
+					p.CPU.Trace = rec
+					p.Run(100_000_000)
+					return p, rec
+				}
+				step, srec := run(machine.TierStep)
+				for _, tier := range diffTiers {
+					fast, frec := run(tier)
+					requireSameMachineState(t, fast, step)
+					requireSameTraceJSONL(t, frec, srec, tier)
+				}
+			})
+			t.Run(fmt.Sprintf("seed%d/O%d/faulted", seed, opt), func(t *testing.T) {
+				run := func(tier machine.InterpTier) (*core.Process, *trace.Recorder) {
+					p := newProc(t, bin, tier)
+					rec := trace.New(16)
+					p.CPU.Trace = rec
+					faultinject.Arm(p.CPU, faultinject.Trigger{AtDyn: 400 + uint64(seed)*91}, []int{41})
+					p.Run(10_000_000)
+					return p, rec
+				}
+				step, srec := run(machine.TierStep)
+				for _, tier := range diffTiers {
+					fast, frec := run(tier)
+					requireSameMachineState(t, fast, step)
+					requireSameTraceJSONL(t, frec, srec, tier)
+				}
+			})
+			t.Run(fmt.Sprintf("seed%d/O%d/stop-pc", seed, opt), func(t *testing.T) {
+				probe := newProc(t, bin, machine.TierStep)
+				if probe.Run(1500) != machine.StatusLimit {
+					t.Skip("program too short for the probe point")
+				}
+				stop := probe.CPU.PC
+				run := func(tier machine.InterpTier) *core.Process {
+					p := newProc(t, bin, tier)
+					p.CPU.StopPC = stop
+					p.CPU.StopPCSet = true
+					p.Run(10_000_000)
+					return p
+				}
+				step := run(machine.TierStep)
+				for _, tier := range diffTiers {
+					fast := run(tier)
+					if fast.CPU.Status != machine.StatusExited {
+						t.Fatalf("%v: stop sentinel not taken: %v", tier, fast.CPU.Status)
+					}
+					requireSameMachineState(t, fast, step)
+				}
+			})
+		}
 	}
 }

@@ -26,6 +26,18 @@ type Options struct {
 	MaxDepth int
 	// Stmts is the number of statements per block (default 5).
 	Stmts int
+	// DenseBranches appends that many single-statement conditionals to
+	// main — back-to-back short fallthrough chains split by branches,
+	// the worst case for superblock formation (default 0).
+	DenseBranches int
+	// CallLadderDepth chains that many single-call helper functions,
+	// so call/ret traffic walks deep and returns unwind through the
+	// stack-segment inline cache (default 0).
+	CallLadderDepth int
+	// TightLoops appends that many two-or-three-instruction counted
+	// self-loops — taken-branch dominated code with almost no
+	// straight-line work between back edges (default 0).
+	TightLoops int
 }
 
 func (o Options) def() Options {
@@ -53,6 +65,9 @@ type gen struct {
 	ints   []ir.Value
 	floats []ir.Value
 	helper *ir.Func
+	// ladder is the top rung of the call ladder (nil unless
+	// Options.CallLadderDepth > 0).
+	ladder *ir.Func
 }
 
 // Generate builds a random module named progen<seed>.
@@ -82,10 +97,30 @@ func Generate(seed int64, opts Options) *ir.Module {
 		g.fb.Ret(g.fb.And(t, irbuild.I(1<<20-1)))
 	}
 
+	// Each rung makes one call down and a little arithmetic, so a
+	// single call at the top exercises a deep call/ret unwind.
+	if opts.CallLadderDepth > 0 {
+		prev := g.helper
+		for i := 0; i < opts.CallLadderDepth; i++ {
+			f := b.NewFunc(fmt.Sprintf("rung%d", i), ir.I64, ir.Param("a", ir.I64))
+			a := f.Params[0]
+			var v ir.Value
+			if i == 0 {
+				v = g.fb.Call(prev, a, irbuild.I(1)) // helper takes two args
+			} else {
+				v = g.fb.Call(prev, g.fb.Add(a, irbuild.I(int64(i))))
+			}
+			g.fb.Ret(g.fb.And(g.fb.Add(v, a), irbuild.I(1<<20-1)))
+			prev = f
+		}
+		g.ladder = prev
+	}
+
 	b.NewFunc("main", ir.I64)
 	g.ints = []ir.Value{irbuild.I(1), irbuild.I(7)}
 	g.floats = []ir.Value{irbuild.F(0.5), irbuild.F(-1.25)}
 	g.block(opts.MaxDepth)
+	g.shapes()
 
 	// Emit checksums of every array plus the live scalars.
 	for _, a := range g.arrays {
@@ -103,6 +138,33 @@ func Generate(seed int64, opts Options) *ir.Module {
 		panic("progen: generated invalid module: " + err.Error())
 	}
 	return m
+}
+
+// shapes appends the dispatch-stressing constructs the Options ask for:
+// dense branch chains, tight self-loops and a call into the ladder.
+func (g *gen) shapes() {
+	for i := 0; i < g.opts.DenseBranches; i++ {
+		g.fb.NewLine()
+		cond := g.fb.ICmp(ir.OpICmpSLT, g.intOperand(), g.intOperand())
+		out := g.fb.If(cond, func() []ir.Value {
+			return []ir.Value{g.fb.Add(g.intOperand(), irbuild.I(int64(i + 1)))}
+		}, func() []ir.Value {
+			return []ir.Value{g.fb.Xor(g.intOperand(), irbuild.I(int64(2*i + 1)))}
+		})
+		g.ints = append(g.ints, g.fb.And(out[0], irbuild.I(1<<24-1)))
+	}
+	for i := 0; i < g.opts.TightLoops; i++ {
+		g.fb.NewLine()
+		out := g.fb.For(irbuild.I(0), irbuild.I(int64(3+i%5)), 1,
+			[]ir.Value{g.intOperand()}, func(j ir.Value, c []ir.Value) []ir.Value {
+				return []ir.Value{g.fb.And(g.fb.Add(c[0], j), irbuild.I(1<<24-1))}
+			})
+		g.ints = append(g.ints, out[0])
+	}
+	if g.ladder != nil {
+		g.fb.NewLine()
+		g.ints = append(g.ints, g.fb.Call(g.ladder, g.intOperand()))
+	}
 }
 
 // scope snapshots the operand pools; the returned func restores them,

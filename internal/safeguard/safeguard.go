@@ -579,8 +579,8 @@ func (sg *Safeguard) runKernel(c *machine.CPU, lib *machine.Program, symbol stri
 	sub := machine.NewCPU(c.Mem, hostenv.NewEnv())
 	// Inherit the interpreter tier so forcing the legacy Step loop
 	// (-interp step) covers recovery-kernel execution too; the kernel
-	// returns through the StopPC sentinel identically on either tier.
-	sub.StepLoop = c.StepLoop
+	// returns through the StopPC sentinel identically on every tier.
+	sub.Tier = c.Tier
 	// The kernel may call back into simple application functions, so
 	// the whole process image list is visible.
 	sub.Images = append(append([]*machine.Image{}, c.Images...), libImg)
