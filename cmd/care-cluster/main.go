@@ -18,8 +18,10 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"care/internal/checkpoint"
 	"care/internal/experiments"
 	"care/internal/machine"
+	"care/internal/safeguard"
 	"care/internal/trace"
 	"care/internal/workloads"
 )
@@ -49,6 +51,10 @@ func main() {
 	crSteps := flag.Int("cr-steps", 80, "GTC-P steps for the C/R experiment")
 	crFault := flag.Int("cr-fault", 66, "step at which the fault kills the unprotected job")
 	traceOut := flag.String("trace-out", "", "write the faulty-job traces (or C/R store traces) as JSONL to this file")
+	domainRewind := flag.Bool("domain-rewind", false, "arm every rank's escalation chain with the domain-rewind stage (checkpoint store + per-domain partial rollback)")
+	domains := flag.Bool("domains", false, "print per-domain rewind counters from the faulty-job traces on stderr")
+	maxRollbacks := flag.Int("max-rollbacks", 0, "whole-process rollback budget per rank (0 = default of 2; with -domain-rewind)")
+	maxDomainRewinds := flag.Int("max-domain-rewinds", 0, "domain-rewind budget per domain per rank (0 = default of 2; with -domain-rewind)")
 	warmStart := flag.Bool("warmstart", false, "warm-start the recoverable-injection search from golden-run snapshots (results are identical)")
 	snapEvery := flag.Uint64("snap-every", 0, "golden-run snapshot cadence in dynamic instructions (0 = TotalDyn/64+1; only with -warmstart)")
 	interp := flag.String("interp", "superblock", "interpreter tier for every rank: superblock (fused engine), block (per-µop engine) or step (legacy per-instruction loop; results are identical)")
@@ -112,13 +118,38 @@ func main() {
 	if *workload != "all" {
 		names = []string{*workload}
 	}
+	opts := experiments.StudyOptions{WarmStart: *warmStart, SnapEvery: *snapEvery, Tier: tier}
+	// Same shared validation point as care-inject (satellite of the
+	// budget plumbing): reject negative budgets before any rank runs.
+	pol := safeguard.Policy{MaxRollbacks: *maxRollbacks, MaxDomainRewinds: *maxDomainRewinds}
+	if err := pol.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *domainRewind {
+		spec := experiments.DomainRewindSpec(pol)
+		opts.Safeguard = spec.Safeguard
+		opts.CheckpointEveryResults = spec.CheckpointEveryResults
+		opts.CheckpointModel = checkpoint.DefaultCostModel()
+	}
 	rows, err := experiments.ParallelStudy(names, *ranks, *threads, *opt,
-		workloads.Params{NX: 5, NY: 5, NZ: 4, Steps: 12}, *seed,
-		experiments.StudyOptions{WarmStart: *warmStart, SnapEvery: *snapEvery, Tier: tier})
+		workloads.Params{NX: 5, NY: 5, NZ: 4, Steps: 12}, *seed, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(experiments.FormatParallel(rows))
+	if *domains {
+		// Per-domain rewind attribution, derived from the faulty-job
+		// traces; stderr so stdout stays diffable against a run without
+		// the flag.
+		for _, r := range rows {
+			for d := machine.DomainID(0); d < machine.NumDomains; d++ {
+				if n := r.Faulty.Trace.Counter(safeguard.DomainRewindCounter(d)); n > 0 {
+					fmt.Fprintf(os.Stderr, "%s: %s=%d\n", r.Workload, safeguard.DomainRewindCounter(d), n)
+				}
+			}
+		}
+	}
 	if *traceOut != "" {
 		// Per-rank attribution lives in the span Rank fields already, so
 		// plain Merge keeps it intact across workloads.

@@ -1,10 +1,12 @@
 // Command care-inject runs the §2 fault-injection manifestation study
 // and prints Tables 2, 3 and 4 (or, with -model double, the appendix
-// Tables 10 and 11).
+// Tables 10 and 11). With -domain-rewind it instead runs the
+// domain-rewind escalation-policy campaign on protected builds and
+// prints the policy-study table.
 //
 // Usage:
 //
-//	care-inject [-n 1000] [-faults 1] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1] [-workers 0] [-trace-out FILE] [-warmstart] [-snap-every N] [-interp superblock|block|step] [-cpuprofile FILE] [-memprofile FILE]
+//	care-inject [-n 1000] [-faults 1] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1] [-workers 0] [-domains] [-domain-rewind] [-max-rollbacks 0] [-max-domain-rewinds 0] [-trace-out FILE] [-warmstart] [-snap-every N] [-interp superblock|block|step] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"care/internal/experiments"
 	"care/internal/faultinject"
 	"care/internal/machine"
+	"care/internal/safeguard"
 	"care/internal/trace"
 	"care/internal/workloads"
 )
@@ -30,6 +33,10 @@ func main() {
 	opt := flag.Int("opt", 0, "optimisation level (0 or 1)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "concurrent injection workers (0 = one per CPU; results are identical for any value)")
+	domains := flag.Bool("domains", false, "attribute memory-symptom soft failures to isolation domains (adds the crash-geography table)")
+	domainRewind := flag.Bool("domain-rewind", false, "run the domain-rewind escalation-policy campaign on protected builds instead of the manifestation study")
+	maxRollbacks := flag.Int("max-rollbacks", 0, "whole-process rollback budget per process (0 = default of 2; domain-rewind mode)")
+	maxDomainRewinds := flag.Int("max-domain-rewinds", 0, "domain-rewind budget per domain (0 = default of 2; domain-rewind mode)")
 	traceOut := flag.String("trace-out", "", "write the merged campaign trace as JSONL to this file (Rank = workload index)")
 	warmStart := flag.Bool("warmstart", false, "clone trials from golden-run snapshots instead of replaying the fault-free prefix (results are identical)")
 	snapEvery := flag.Uint64("snap-every", 0, "golden-run snapshot cadence in dynamic instructions (0 = TotalDyn/64+1; only with -warmstart)")
@@ -83,6 +90,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "unknown -model; want single or double")
 		os.Exit(2)
 	}
+	// One shared validation point for the escalation budgets (the same
+	// Policy.Validate care-cluster uses).
+	pol := safeguard.Policy{MaxRollbacks: *maxRollbacks, MaxDomainRewinds: *maxDomainRewinds}
+	if err := pol.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	names := experiments.AllNames()
 	if *workload != "all" {
 		if _, err := workloads.Get(*workload); err != nil {
@@ -90,12 +104,50 @@ func main() {
 		}
 		names = []string{*workload}
 	}
+
+	if *domainRewind {
+		// Domain-rewind policy campaign: multi-fault trials on protected
+		// builds, with the full escalation chain ending in domain rewind
+		// before whole-process rollback.
+		spec := experiments.DomainRewindSpec(pol)
+		rows, err := experiments.PolicyStudy(names, *n, *faults, m, *seed, *opt,
+			workloads.Params{}, []experiments.PolicySpec{spec},
+			experiments.StudyOptions{Workers: *workers, Tier: tier})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatPolicyStudy(rows))
+		if *traceOut != "" {
+			total := 0
+			for _, r := range rows {
+				total += r.Res.Trace.Len()
+			}
+			merged := trace.New(total)
+			for i, r := range rows {
+				merged.MergeAs(r.Res.Trace, int32(i))
+			}
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := merged.WriteJSONL(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", merged.Len(), *traceOut)
+		}
+		return
+	}
+
 	rows, err := experiments.OutcomeStudy(names, *n, *faults, m, *seed, *opt, workloads.Params{}, experiments.StudyOptions{
 		Workers:   *workers,
-		Traced:    *traceOut != "",
+		Traced:    *traceOut != "" || *domains,
 		WarmStart: *warmStart,
 		SnapEvery: *snapEvery,
 		Tier:      tier,
+		Domains:   *domains,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -87,6 +87,11 @@ type CostModel struct {
 	// RequeueDelay models the batch-queue wait before a restarted job
 	// runs again (the paper's "wait in the job queue").
 	RequeueDelay time.Duration
+	// DomainRewindBandwidth prices a domain-scoped partial rollback, in
+	// bytes/second. A domain rewind is an in-process memory swap — no
+	// parallel-filesystem read and no requeue — so it is charged as a
+	// plain memory copy of the domain image. 0 means free.
+	DomainRewindBandwidth float64
 }
 
 // DefaultCostModel approximates a modest parallel filesystem share.
@@ -97,6 +102,9 @@ func DefaultCostModel() CostModel {
 		WriteLatency:   5 * time.Millisecond,
 		ReadLatency:    5 * time.Millisecond,
 		RequeueDelay:   2 * time.Second,
+		// ~DDR-class copy bandwidth; a rewound domain costs microseconds
+		// where a full rollback pays filesystem latency plus requeue.
+		DomainRewindBandwidth: 10e9,
 	}
 }
 
@@ -110,6 +118,14 @@ func (m CostModel) ReadCost(s *Snapshot) time.Duration {
 	return m.ReadLatency + time.Duration(float64(s.Bytes())/m.ReadBandwidth*1e9)
 }
 
+// DomainRewindCost models swapping one domain's image back in place.
+func (m CostModel) DomainRewindCost(bytes int) time.Duration {
+	if m.DomainRewindBandwidth <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / m.DomainRewindBandwidth * 1e9)
+}
+
 // Trace counter names charged by the store. Durations are charged in
 // nanoseconds so I/O totals stay exact even when the span ring drops
 // old spans.
@@ -118,6 +134,16 @@ const (
 	CounterWriteNs  = "checkpoint.write-ns"
 	CounterRestores = "checkpoint.restores"
 	CounterReadNs   = "checkpoint.read-ns"
+	// CounterDomainSaves/CounterDomainRestores/CounterDomainReadNs account
+	// for domain-scoped captures and rewinds.
+	CounterDomainSaves    = "checkpoint.domain-saves"
+	CounterDomainRestores = "checkpoint.domain-restores"
+	CounterDomainReadNs   = "checkpoint.domain-read-ns"
+	// CounterLostDyn accumulates the virtual-clock work discarded by full
+	// restores (pre-restore Dyn minus restored Dyn) — the deterministic
+	// "lost work" metric the policy study compares. Domain rewinds charge
+	// nothing here: they discard no retired instructions.
+	CounterLostDyn = "checkpoint.lost-work-dyn"
 )
 
 // Store keeps a process's checkpoints (latest-wins, as with rotating
@@ -128,6 +154,20 @@ type Store struct {
 	Model  CostModel
 	rec    *trace.Recorder
 	latest *Snapshot
+	// domains holds the latest consistent per-domain generation. Full
+	// saves refresh every populated domain (as zero-copy views over the
+	// frozen snapshot); SaveDomain refreshes one.
+	domains [machine.NumDomains]*DomainSnap
+	gen     int
+}
+
+// DomainSnap is one domain's snapshot generation in a store.
+type DomainSnap struct {
+	Mem *machine.DomainSnapshot
+	// Gen orders generations across domains; Step/Dyn locate the capture.
+	Gen  int
+	Step int
+	Dyn  uint64
 }
 
 // NewStore builds a store with the given cost model.
@@ -152,7 +192,64 @@ func (st *Store) Save(c *machine.CPU, step int) *Snapshot {
 	})
 	st.rec.Add(CounterSaves, 1)
 	st.rec.Add(CounterWriteNs, cost.Nanoseconds())
+	st.noteDomains(s, step)
 	return s
+}
+
+// noteDomains refreshes every domain generation from a just-taken full
+// snapshot. The views alias the snapshot's frozen segments, so this
+// copies nothing.
+func (st *Store) noteDomains(s *Snapshot, step int) {
+	st.gen++
+	for d := machine.DomainID(0); d < machine.NumDomains; d++ {
+		if v := s.Mem.DomainView(d); v != nil {
+			st.domains[d] = &DomainSnap{Mem: v, Gen: st.gen, Step: step, Dyn: s.CPU.Dyn}
+		}
+	}
+}
+
+// SaveDomain captures one domain's current state (freezing only that
+// domain's segments) as its newest generation. Returns nil when the
+// domain has no writable segments.
+func (st *Store) SaveDomain(c *machine.CPU, d machine.DomainID, step int) *DomainSnap {
+	v := c.Mem.SnapshotDomain(d)
+	if v == nil {
+		return nil
+	}
+	st.gen++
+	ds := &DomainSnap{Mem: v, Gen: st.gen, Step: step, Dyn: c.Dyn}
+	st.domains[d] = ds
+	st.rec.Add(CounterDomainSaves, 1)
+	return ds
+}
+
+// LatestDomain returns the domain's latest generation, or nil.
+func (st *Store) LatestDomain(d machine.DomainID) *DomainSnap { return st.domains[d] }
+
+// RestoreDomain rewinds one domain to its latest generation, leaving
+// every other domain and all architectural state in place, and returns
+// the modelled swap cost. The rewind's consistency proofs are
+// machine.Memory.RestoreDomain's; a machine.ErrDomainInconsistent error
+// means the caller must escalate. The span's Dyn stamps do not move:
+// a domain rewind discards no retired instructions.
+func (st *Store) RestoreDomain(c *machine.CPU, d machine.DomainID) (time.Duration, error) {
+	ds := st.domains[d]
+	if ds == nil {
+		return 0, fmt.Errorf("checkpoint: no %v-domain snapshot to rewind to", d)
+	}
+	if err := c.Mem.RestoreDomain(ds.Mem); err != nil {
+		return 0, err
+	}
+	bytes := ds.Mem.Bytes()
+	cost := st.Model.DomainRewindCost(bytes)
+	st.rec.Emit(trace.Span{
+		Kind: trace.KindDomainRewind, Parent: trace.NoParent,
+		StartDyn: c.Dyn, EndDyn: c.Dyn,
+		Wall: cost, Val: int64(bytes), Outcome: d.String(),
+	})
+	st.rec.Add(CounterDomainRestores, 1)
+	st.rec.Add(CounterDomainReadNs, cost.Nanoseconds())
+	return cost, nil
 }
 
 // Saves reports how many checkpoints were written.
@@ -193,6 +290,9 @@ func (st *Store) Restore(c *machine.CPU, s *Snapshot) (time.Duration, error) {
 	})
 	st.rec.Add(CounterRestores, 1)
 	st.rec.Add(CounterReadNs, cost.Nanoseconds())
+	if preDyn > s.CPU.Dyn {
+		st.rec.Add(CounterLostDyn, int64(preDyn-s.CPU.Dyn))
+	}
 	return cost, nil
 }
 

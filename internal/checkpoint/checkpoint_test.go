@@ -1,11 +1,13 @@
 package checkpoint_test
 
 import (
+	"errors"
 	"testing"
 
 	"care/internal/checkpoint"
 	"care/internal/core"
 	"care/internal/machine"
+	"care/internal/trace"
 	"care/internal/workloads"
 )
 
@@ -140,5 +142,177 @@ func TestEnvResultsRestored(t *testing.T) {
 	}
 	if len(p.Results()) != want {
 		t.Fatalf("restored run emitted %d results, want %d", len(p.Results()), want)
+	}
+}
+
+// domainAddr finds the base of the first writable segment of a domain
+// (the HPCCG address space has writable heap and stack segments only —
+// its globals are folded into the heap arrays).
+func domainAddr(t *testing.T, p *core.Process, d machine.DomainID) machine.Word {
+	t.Helper()
+	for _, s := range p.CPU.Mem.Segments() {
+		if !s.ReadOnly() && s.Domain == d {
+			return s.Base
+		}
+	}
+	t.Fatalf("no writable %v segment", d)
+	return 0
+}
+
+// TestDomainRewindRestoresOnlyThatDomain: a full save refreshes every
+// domain generation; rewinding one domain brings back exactly its bytes
+// while the CPU state and the other domains stay live. The rewind
+// charges the domain counters and a domain-rewind span.
+func TestDomainRewindRestoresOnlyThatDomain(t *testing.T) {
+	_, p := buildProc(t)
+	p.CPU.Run(50_000)
+	store := checkpoint.NewStore(checkpoint.DefaultCostModel())
+	store.Save(p.CPU, 1)
+	if store.LatestDomain(machine.DomainHeap) == nil || store.LatestDomain(machine.DomainStack) == nil {
+		t.Fatal("full save did not populate the heap/stack domain generations")
+	}
+	if store.LatestDomain(machine.DomainScratch) != nil {
+		t.Fatal("unprotected process grew a scratch-domain generation")
+	}
+
+	ha, sa := domainAddr(t, p, machine.DomainHeap), domainAddr(t, p, machine.DomainStack)
+	hWant, f := p.CPU.Mem.Read(ha)
+	if f != nil {
+		t.Fatal(f)
+	}
+	// Diverge heap and stack after the save.
+	if f := p.CPU.Mem.Write(ha, hWant+99); f != nil {
+		t.Fatal(f)
+	}
+	if f := p.CPU.Mem.Write(sa, 123); f != nil {
+		t.Fatal(f)
+	}
+	regs, pc, dyn := p.CPU.R, p.CPU.PC, p.CPU.Dyn
+
+	cost, err := store.RestoreDomain(p.CPU, machine.DomainHeap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Error("domain rewind cost not modelled under the default cost model")
+	}
+	if v, _ := p.CPU.Mem.Read(ha); v != hWant {
+		t.Errorf("heap reads %d after rewind, want the saved %d", v, hWant)
+	}
+	if v, _ := p.CPU.Mem.Read(sa); v != 123 {
+		t.Errorf("stack reads %d after a heap rewind, want the live 123", v)
+	}
+	if p.CPU.R != regs || p.CPU.PC != pc || p.CPU.Dyn != dyn {
+		t.Error("domain rewind touched architectural state")
+	}
+	if got := store.Trace().Counter(checkpoint.CounterDomainRestores); got != 1 {
+		t.Errorf("%s = %d, want 1", checkpoint.CounterDomainRestores, got)
+	}
+	if store.Trace().Counter(checkpoint.CounterDomainReadNs) <= 0 {
+		t.Errorf("%s not charged", checkpoint.CounterDomainReadNs)
+	}
+	// A domain rewind discards no retired work.
+	if got := store.Trace().Counter(checkpoint.CounterLostDyn); got != 0 {
+		t.Errorf("%s = %d after a domain rewind, want 0", checkpoint.CounterLostDyn, got)
+	}
+	found := false
+	for _, sp := range store.Trace().Spans() {
+		if sp.Kind == trace.KindDomainRewind {
+			found = true
+			if sp.Outcome != machine.DomainHeap.String() {
+				t.Errorf("rewind span names domain %q, want %q", sp.Outcome, machine.DomainHeap)
+			}
+			if sp.StartDyn != dyn || sp.EndDyn != dyn {
+				t.Errorf("rewind span moves the virtual clock: %+v", sp)
+			}
+		}
+	}
+	if !found {
+		t.Error("no domain-rewind span emitted")
+	}
+}
+
+// TestSaveDomainRefreshesOneGeneration: SaveDomain captures a single
+// domain without freezing the rest, and generations order across saves
+// (the safeguard rewinds to the latest consistent one).
+func TestSaveDomainRefreshesOneGeneration(t *testing.T) {
+	_, p := buildProc(t)
+	p.CPU.Run(50_000)
+	store := checkpoint.NewStore(checkpoint.CostModel{})
+	store.Save(p.CPU, 1)
+	h1 := store.LatestDomain(machine.DomainHeap)
+	s1 := store.LatestDomain(machine.DomainStack)
+
+	ha := domainAddr(t, p, machine.DomainHeap)
+	if f := p.CPU.Mem.Write(ha, 77); f != nil {
+		t.Fatal(f)
+	}
+	ds := store.SaveDomain(p.CPU, machine.DomainHeap, 2)
+	if ds == nil || store.LatestDomain(machine.DomainHeap) != ds {
+		t.Fatal("SaveDomain did not become the domain's latest generation")
+	}
+	if ds.Gen <= h1.Gen {
+		t.Errorf("new generation %d does not supersede %d", ds.Gen, h1.Gen)
+	}
+	if store.LatestDomain(machine.DomainStack) != s1 {
+		t.Error("a heap-only save refreshed the stack generation")
+	}
+	if got := store.Trace().Counter(checkpoint.CounterDomainSaves); got != 1 {
+		t.Errorf("%s = %d, want 1", checkpoint.CounterDomainSaves, got)
+	}
+	if _, err := store.RestoreDomain(p.CPU, machine.DomainHeap); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.CPU.Mem.Read(ha); v != 77 {
+		t.Errorf("rewind to the newer generation reads %d, want 77", v)
+	}
+}
+
+// TestRestoreDomainEscalations: rewinding a domain with no snapshot
+// errors descriptively, and a stale allocation epoch surfaces
+// machine.ErrDomainInconsistent so the safeguard chain escalates to a
+// whole-process rollback instead of silently proceeding.
+func TestRestoreDomainEscalations(t *testing.T) {
+	_, p := buildProc(t)
+	p.CPU.Run(50_000)
+	store := checkpoint.NewStore(checkpoint.CostModel{})
+	if _, err := store.RestoreDomain(p.CPU, machine.DomainHeap); err == nil {
+		t.Fatal("rewind without any snapshot succeeded")
+	}
+	store.Save(p.CPU, 1)
+	if _, err := p.CPU.Mem.Alloc(64); err != nil {
+		t.Fatal(err)
+	}
+	_, err := store.RestoreDomain(p.CPU, machine.DomainHeap)
+	if !errors.Is(err, machine.ErrDomainInconsistent) {
+		t.Fatalf("heap rewind across an allocation epoch: %v, want ErrDomainInconsistent", err)
+	}
+	// The stack generation is unaffected by the heap's stale epoch (the
+	// post-save allocation is not in the capture census, so proof 1
+	// holds; proof 2 only scans the rewound domain).
+	if _, err := store.RestoreDomain(p.CPU, machine.DomainStack); err != nil {
+		t.Fatalf("stack rewind refused by an unrelated heap epoch: %v", err)
+	}
+}
+
+// TestFullRestoreChargesLostWork: the policy study's lost-work metric —
+// a whole-process restore books the discarded virtual-clock work, which
+// domain rewinds (tested above) never do.
+func TestFullRestoreChargesLostWork(t *testing.T) {
+	_, p := buildProc(t)
+	p.CPU.Run(10_000)
+	store := checkpoint.NewStore(checkpoint.CostModel{})
+	snap := store.Save(p.CPU, 1)
+	p.CPU.Run(5_000)
+	pre := p.CPU.Dyn
+	if _, err := store.Restore(p.CPU, snap); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(pre - snap.CPU.Dyn)
+	if want <= 0 {
+		t.Fatal("test degenerate: no work to lose")
+	}
+	if got := store.Trace().Counter(checkpoint.CounterLostDyn); got != want {
+		t.Errorf("%s = %d, want %d", checkpoint.CounterLostDyn, got, want)
 	}
 }

@@ -42,9 +42,10 @@ type Config struct {
 	// Protected attaches Safeguard to every rank.
 	Protected bool
 	// Safeguard tunes the runtime on every rank (zero value = paper
-	// one-shot configuration). When Safeguard.Policy.Rollback is set,
-	// each rank gets its own checkpoint store (initial snapshot at
-	// _start, cadence below) so the chain's rollback stage can restore.
+	// one-shot configuration). When Safeguard.Policy needs a checkpoint
+	// store (Rollback or DomainRewind), each rank gets its own (initial
+	// snapshot at _start, cadence below) so the chain's rewind and
+	// rollback stages can restore.
 	Safeguard safeguard.Config
 	// CheckpointEveryResults is the per-rank snapshot cadence for the
 	// rollback stage (observable results between snapshots; 0 keeps only
@@ -91,6 +92,10 @@ type JobResult struct {
 	// Rollbacks counts checkpoint restores performed by the escalation
 	// chain; their modelled cost is part of RecoveryStall.
 	Rollbacks int
+	// DomainRewinds counts domain-scoped partial rollbacks performed by
+	// the escalation chain; their (much smaller) cost is part of
+	// RecoveryStall too.
+	DomainRewinds int
 	// Injected reports whether the armed fault fired.
 	Injected bool
 	// DeadRank is the rank that died (-1 when none).
@@ -165,7 +170,7 @@ func RunJob(cfg Config, bin *core.Binary, inj *Injection) (*JobResult, error) {
 			Env:       world.Env(r),
 			Tier:      cfg.Tier,
 		}
-		if cfg.Protected && cfg.Safeguard.Policy.Rollback {
+		if cfg.Protected && cfg.Safeguard.Policy.NeedsStore() {
 			pcfg.Checkpoint = checkpoint.NewStore(cfg.CheckpointModel)
 			pcfg.CheckpointEveryResults = cfg.CheckpointEveryResults
 		}
@@ -212,7 +217,8 @@ func RunJob(cfg Config, bin *core.Binary, inj *Injection) (*JobResult, error) {
 		for _, ev := range sg.Events() {
 			switch ev.Outcome {
 			case safeguard.Recovered, safeguard.RecoveredInduction,
-				safeguard.HeuristicPatched, safeguard.RolledBack:
+				safeguard.HeuristicPatched, safeguard.DomainRewound,
+				safeguard.RolledBack:
 				stall += ev.Total()
 			}
 		}
@@ -226,6 +232,7 @@ func RunJob(cfg Config, bin *core.Binary, inj *Injection) (*JobResult, error) {
 	}
 	// Derive the summary tallies from the job trace.
 	out.Rollbacks = int(rec.Counter(safeguard.CounterRolledBack))
+	out.DomainRewinds = int(rec.Counter(safeguard.CounterDomainRewinds))
 	for _, s := range rec.Spans() {
 		switch s.Kind {
 		case trace.KindRankStall:

@@ -63,6 +63,18 @@ type StudyOptions struct {
 	// (superblock, block or step); results stay bit-identical on every
 	// tier (the CI smoke diffs them).
 	Tier machine.InterpTier
+	// Domains attributes each memory-symptom soft failure to the
+	// isolation domain of its faulting address
+	// (faultinject.Campaign.Domains); FormatOutcomeTables then appends
+	// the crash-geography table.
+	Domains bool
+	// Safeguard, CheckpointEveryResults and CheckpointModel configure
+	// the per-rank recovery runtime of ParallelStudy jobs (zero value =
+	// the paper's one-shot Safeguard with no checkpoint store). Studies
+	// that take an explicit safeguard.Config parameter ignore these.
+	Safeguard              safeguard.Config
+	CheckpointEveryResults int
+	CheckpointModel        checkpoint.CostModel
 }
 
 // OutcomeStudy runs the §2 manifestation study (Tables 2, 3, 4 / 10, 11).
@@ -84,7 +96,7 @@ func OutcomeStudy(names []string, n, faults int, model faultinject.Model, seed i
 			App: bin, N: n, FaultsPerTrial: faults, Model: model, Seed: seed,
 			Workers: opts.Workers, Trace: opts.Traced,
 			WarmStart: opts.WarmStart, SnapEvery: opts.SnapEvery,
-			Tier: opts.Tier,
+			Tier: opts.Tier, Domains: opts.Domains,
 		}).Run()
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
@@ -126,6 +138,28 @@ func FormatOutcomeTables(rows []OutcomeRow) string {
 		}
 		fmt.Fprintf(&sb, "%-10s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", r.Workload,
 			pct(b[0], tot), pct(b[1], tot), pct(b[2], tot), pct(b[3], tot))
+	}
+	haveDomains := false
+	for _, r := range rows {
+		if len(r.Res.ByDomain) > 0 {
+			haveDomains = true
+			break
+		}
+	}
+	if haveDomains {
+		fmt.Fprintf(&sb, "\nCrash geography — memory-symptom faults by isolation domain\n")
+		fmt.Fprintf(&sb, "%-10s", "Workload")
+		for d := machine.DomainID(0); d < machine.NumDomains; d++ {
+			fmt.Fprintf(&sb, " %8s", d)
+		}
+		sb.WriteByte('\n')
+		for _, r := range rows {
+			fmt.Fprintf(&sb, "%-10s", r.Workload)
+			for d := machine.DomainID(0); d < machine.NumDomains; d++ {
+				fmt.Fprintf(&sb, " %8d", r.Res.ByDomain[d])
+			}
+			sb.WriteByte('\n')
+		}
 	}
 	return sb.String()
 }
@@ -282,10 +316,12 @@ type ParallelRow struct {
 }
 
 // ParallelStudy reproduces Figure 10: each evaluated workload runs as an
-// N-rank job with and without a CARE-recoverable fault at rank 0. Only
-// opts.WarmStart/SnapEvery/Tier apply here — the first two speed up the
-// recoverable-injection search that precedes each job, and Tier selects
-// the interpreter tier for both the search and every rank.
+// N-rank job with and without a CARE-recoverable fault at rank 0.
+// opts.WarmStart/SnapEvery speed up the recoverable-injection search
+// that precedes each job, Tier selects the interpreter tier for both
+// the search and every rank, and opts.Safeguard (with the checkpoint
+// cadence/model) configures each rank's recovery chain — e.g. the
+// domain-rewind escalation stage.
 func ParallelStudy(names []string, ranks, threads, opt int, p workloads.Params, seed int64, opts StudyOptions) ([]ParallelRow, error) {
 	var rows []ParallelRow
 	for _, name := range names {
@@ -298,7 +334,12 @@ func ParallelStudy(names []string, ranks, threads, opt int, p workloads.Params, 
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
-		cfg := cluster.Config{Workload: name, Ranks: ranks, ThreadsPerRank: threads, Protected: true, Tier: opts.Tier}
+		cfg := cluster.Config{
+			Workload: name, Ranks: ranks, ThreadsPerRank: threads, Protected: true, Tier: opts.Tier,
+			Safeguard:              opts.Safeguard,
+			CheckpointEveryResults: opts.CheckpointEveryResults,
+			CheckpointModel:        opts.CheckpointModel,
+		}
 		base, err := cluster.RunJob(cfg, bin, nil)
 		if err != nil {
 			return nil, err

@@ -24,7 +24,7 @@ type PolicySpec struct {
 	CheckpointModel        checkpoint.CostModel
 }
 
-// DefaultPolicySpecs is the study's standard three-way comparison:
+// DefaultPolicySpecs is the study's standard four-way comparison:
 //
 //   - kill-on-failure: the paper's one-shot Safeguard — kernel recompute
 //     or die.
@@ -33,6 +33,10 @@ type PolicySpec struct {
 //   - rollback-chain: recompute → induction repair → checkpoint rollback,
 //     with the retry budget and storm detector armed, and snapshot I/O
 //     priced by the default cost model.
+//   - domain-rewind-chain: the rollback chain with the domain-rewind
+//     stage in front of whole-process rollback — rewind only the
+//     faulting domain's memory, keeping registers and every other
+//     domain's progress.
 func DefaultPolicySpecs() []PolicySpec {
 	return []PolicySpec{
 		{Name: "kill-on-failure"},
@@ -50,6 +54,34 @@ func DefaultPolicySpecs() []PolicySpec {
 			CheckpointEveryResults: 1,
 			CheckpointModel:        checkpoint.DefaultCostModel(),
 		},
+		DomainRewindSpec(safeguard.Policy{}),
+	}
+}
+
+// DomainRewindSpec builds the domain-rewind-chain policy arm from a base
+// policy (zero value = the study defaults): the full escalation chain
+// with the domain-rewind stage enabled in front of whole-process
+// rollback. The caller's budget fields (MaxRollbacks, MaxDomainRewinds)
+// pass through; Rollback and DomainRewind are forced on and the circuit
+// breakers default to the rollback-chain arm's settings so the two
+// chains differ only in the extra stage.
+func DomainRewindSpec(pol safeguard.Policy) PolicySpec {
+	pol.Rollback = true
+	pol.DomainRewind = true
+	if pol.MaxTrapsPerPC == 0 {
+		pol.MaxTrapsPerPC = 8
+	}
+	if pol.StormTraps == 0 {
+		pol.StormTraps = 4
+	}
+	return PolicySpec{
+		Name: "domain-rewind-chain",
+		Safeguard: safeguard.Config{
+			InductionRecovery: true,
+			Policy:            pol,
+		},
+		CheckpointEveryResults: 1,
+		CheckpointModel:        checkpoint.DefaultCostModel(),
 	}
 }
 
@@ -66,15 +98,17 @@ type PolicyRow struct {
 // policy influences), so differences in recovery rate, SDC count and
 // modelled stall are attributable to the policy alone. faultsPerTrial
 // arms that many independent faults per trial (<=1 = single-fault).
-// Cells run concurrently on up to workers goroutines and rows come back
-// in (names, specs) order for any worker count.
+// Cells run concurrently on up to opts.Workers goroutines and rows come
+// back in (names, specs) order for any worker count; opts.Tier selects
+// the interpreter tier every trial runs on (results are bit-identical
+// across tiers and worker counts).
 func PolicyStudy(names []string, trials, faultsPerTrial int, model faultinject.Model,
-	seed int64, opt int, p workloads.Params, specs []PolicySpec, workers int) ([]PolicyRow, error) {
+	seed int64, opt int, p workloads.Params, specs []PolicySpec, opts StudyOptions) ([]PolicyRow, error) {
 	if len(specs) == 0 {
 		specs = DefaultPolicySpecs()
 	}
 	rows := make([]PolicyRow, len(names)*len(specs))
-	err := parallel.ForEach(len(rows), workers, func(i int) error {
+	err := parallel.ForEach(len(rows), opts.Workers, func(i int) error {
 		name, spec := names[i/len(specs)], specs[i%len(specs)]
 		bin, err := BuildWorkload(name, p, opt, true)
 		if err != nil {
@@ -89,7 +123,8 @@ func PolicyStudy(names []string, trials, faultsPerTrial int, model faultinject.M
 			Safeguard:              spec.Safeguard,
 			CheckpointEveryResults: spec.CheckpointEveryResults,
 			CheckpointModel:        spec.CheckpointModel,
-			Workers:                workers,
+			Workers:                opts.Workers,
+			Tier:                   opts.Tier,
 		}
 		res, err := exp.Run()
 		if err != nil && res == nil {
@@ -104,24 +139,33 @@ func PolicyStudy(names []string, trials, faultsPerTrial int, model faultinject.M
 	return rows, nil
 }
 
-// FormatPolicyStudy renders the escalation-policy comparison. Stall is
-// the summed recovery time of every recovered trial plus the modelled
-// checkpoint I/O the policy paid for — the wall-clock price of staying
-// alive.
+// FormatPolicyStudy renders the escalation-policy comparison — every
+// column is derived from each cell's merged trace counters (so a trace
+// file alone reproduces the table). Stall is the summed recovery time
+// of every recovered trial; CkptIO the modelled checkpoint-write time
+// the policy paid for; LostDyn the virtual-clock work whole-process
+// rollbacks discarded (domain rewinds discard none — the comparison the
+// domain-rewind arm exists to make).
 func FormatPolicyStudy(rows []PolicyRow) string {
 	var sb strings.Builder
-	sb.WriteString("Escalation-policy study — recovery rate vs SDC vs modelled stall\n")
-	fmt.Fprintf(&sb, "%-10s %-16s %6s %10s %5s %9s %9s %12s %12s\n",
-		"Workload", "Policy", "SEGV", "Recovered", "SDC", "Coverage", "Rollback", "Stall", "CkptIO")
+	sb.WriteString("Escalation-policy study — recovery rate vs SDC vs stall vs lost work\n")
+	fmt.Fprintf(&sb, "%-10s %-19s %5s %5s %4s %9s %7s %6s %12s %9s %12s\n",
+		"Workload", "Policy", "SEGV", "Recov", "SDC", "Coverage", "Rollbk", "DomRw", "Stall", "LostDyn", "CkptIO")
 	for _, r := range rows {
-		var stall time.Duration
-		for _, t := range r.Res.TrialRecoveryTimes {
-			stall += t
+		cnt := func(name string) int64 { return r.Res.Trace.Counter(name) }
+		segv := cnt(faultinject.CounterExamined)
+		recov := cnt(faultinject.CounterRecovered)
+		cov := 0.0
+		if segv > 0 {
+			cov = 100 * float64(recov) / float64(segv)
 		}
-		fmt.Fprintf(&sb, "%-10s %-16s %6d %10d %5d %8.1f%% %9d %12s %12s\n",
-			r.Workload, r.Policy, r.Res.SigsegvTrials, r.Res.Recovered, r.Res.SDCs(),
-			100*r.Res.Coverage(), r.Res.Rollbacks,
-			stall.Round(time.Microsecond), r.Res.CheckpointIO.Round(time.Microsecond))
+		stall := time.Duration(cnt(faultinject.CounterStallNs))
+		ckptIO := time.Duration(cnt(checkpoint.CounterWriteNs))
+		fmt.Fprintf(&sb, "%-10s %-19s %5d %5d %4d %8.1f%% %7d %6d %12s %9d %12s\n",
+			r.Workload, r.Policy, segv, recov, cnt(faultinject.CounterSDC), cov,
+			cnt(safeguard.CounterRolledBack), cnt(safeguard.CounterDomainRewinds),
+			stall.Round(time.Microsecond), cnt(checkpoint.CounterLostDyn),
+			ckptIO.Round(time.Microsecond))
 	}
 	return sb.String()
 }

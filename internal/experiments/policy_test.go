@@ -16,7 +16,7 @@ import (
 func TestPolicyStudyRollbackBeatsKill(t *testing.T) {
 	names := []string{"HPCCG", "GTC-P"}
 	rows, err := PolicyStudy(names, 20, 1, faultinject.SingleBit, 7, 0,
-		workloads.Params{}, DefaultPolicySpecs(), 0)
+		workloads.Params{}, DefaultPolicySpecs(), StudyOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestPolicyStudyRollbackBeatsKill(t *testing.T) {
 func TestPolicyStudyWorkerDeterminism(t *testing.T) {
 	run := func(workers int) []PolicyRow {
 		rows, err := PolicyStudy([]string{"HPCCG"}, 8, 2, faultinject.SingleBit, 5, 0,
-			workloads.Params{}, nil, workers)
+			workloads.Params{}, nil, StudyOptions{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,12 +88,12 @@ func TestPolicyStudyWorkerDeterminism(t *testing.T) {
 
 func TestFormatPolicyStudy(t *testing.T) {
 	rows, err := PolicyStudy([]string{"HPCCG"}, 5, 1, faultinject.SingleBit, 9, 0,
-		workloads.Params{}, nil, 0)
+		workloads.Params{}, nil, StudyOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	out := FormatPolicyStudy(rows)
-	for _, want := range []string{"Escalation-policy study", "kill-on-failure", "heuristic", "rollback-chain"} {
+	for _, want := range []string{"Escalation-policy study", "kill-on-failure", "heuristic", "rollback-chain", "domain-rewind-chain"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in:\n%s", want, out)
 		}

@@ -69,8 +69,9 @@ type CoverageExperiment struct {
 	// whose execution counts precede every armed occurrence trigger,
 	// pre-seeding the arming hook with the snapshot's counts so faults
 	// fire at exactly the dyn they would in a cold run. Ignored when the
-	// policy enables Rollback: the rollback stage checkpoints each
-	// process at _start, which a mid-run clone cannot reproduce.
+	// policy needs a checkpoint store (Rollback or DomainRewind): those
+	// stages checkpoint each process at _start, which a mid-run clone
+	// cannot reproduce.
 	WarmStart bool
 	// SnapEvery is the snapshot cadence in retired instructions
 	// (warm-start only; 0 picks TotalDyn/64+1).
@@ -119,6 +120,9 @@ type CoverageResult struct {
 	// trials (escalation-chain policies only). Derived from the merged
 	// trace's safeguard counters.
 	Rollbacks int
+	// DomainRewinds counts domain-rewind activations across examined
+	// trials (Policy.DomainRewind only). Derived like Rollbacks.
+	DomainRewinds int
 	// CheckpointIO is the modelled snapshot-write time accumulated by
 	// examined trials' rollback-stage checkpoint stores. Derived from
 	// the merged trace's checkpoint counters.
@@ -164,12 +168,29 @@ func (r *CoverageResult) PrepFraction() float64 {
 	}
 	prep := phase(trace.KindDiagnose) + phase(trace.KindLoad) +
 		phase(trace.KindFetch) + phase(trace.KindPatch)
-	total := prep + phase(trace.KindKernel) + phase(trace.KindRollback)
+	total := prep + phase(trace.KindKernel) + phase(trace.KindRollback) +
+		phase(trace.KindDomainRewind)
 	if total == 0 {
 		return 0
 	}
 	return float64(prep) / float64(total)
 }
+
+// Coverage-level trace counters, charged deterministically at merge
+// time (the attempt merge order is worker-count independent). The
+// policy study reads its recovery/SDC/stall columns from these, so a
+// trace file alone reproduces the comparison table.
+const (
+	// CounterExamined counts examined SIGSEGV trials.
+	CounterExamined = "coverage.examined"
+	// CounterRecovered counts trials whose process ran to completion.
+	CounterRecovered = "coverage.recovered"
+	// CounterSDC counts recovered trials with corrupted output.
+	CounterSDC = "coverage.sdc"
+	// CounterStallNs sums per-trial recovery stall (wall-clock based, so
+	// determinism comparisons scrub it like every other -ns counter).
+	CounterStallNs = "coverage.stall-ns"
+)
 
 // sampler draws (image, static index) weighted by execution count.
 type sampler struct {
@@ -313,7 +334,7 @@ func (e *CoverageExperiment) runAttempt(i int, prof *profiler.Profile, smp *samp
 		App: e.App, Libs: e.Libs, Protected: true, Safeguard: e.Safeguard,
 		Tier: e.Tier,
 	}
-	if e.Safeguard.Policy.Rollback {
+	if e.Safeguard.Policy.NeedsStore() {
 		cfg.Checkpoint = checkpoint.NewStore(e.CheckpointModel)
 		cfg.CheckpointEveryResults = e.CheckpointEveryResults
 	}
@@ -383,7 +404,8 @@ func (e *CoverageExperiment) runAttempt(i int, prof *profiler.Profile, smp *samp
 	}
 	for _, ev := range events {
 		switch ev.Outcome {
-		case safeguard.Recovered, safeguard.RecoveredInduction, safeguard.RolledBack:
+		case safeguard.Recovered, safeguard.RecoveredInduction,
+			safeguard.DomainRewound, safeguard.RolledBack:
 			a.recTime += ev.Total()
 			a.activations++
 		}
@@ -403,13 +425,20 @@ func (res *CoverageResult) merge(a *attempt, record bool) {
 	res.SigsegvTrials++
 	res.Events = append(res.Events, a.events...)
 	res.Trace.MergeAs(a.trace, int32(res.Attempts-1))
+	res.Trace.Add(CounterExamined, 1)
 	res.Rollbacks = int(res.Trace.Counter(safeguard.CounterRolledBack))
+	res.DomainRewinds = int(res.Trace.Counter(safeguard.CounterDomainRewinds))
 	res.CheckpointIO = time.Duration(res.Trace.Counter(checkpoint.CounterWriteNs))
 	if !a.recovered {
 		res.FailureOutcomes[a.failure]++
 		return
 	}
 	res.Recovered++
+	res.Trace.Add(CounterRecovered, 1)
+	res.Trace.Add(CounterStallNs, a.recTime.Nanoseconds())
+	if !a.clean {
+		res.Trace.Add(CounterSDC, 1)
+	}
 	if a.clean {
 		res.CleanRecovered++
 		if record && (a.rec.Trigger.Image != "" || a.rec.Trigger.AtDyn > 0) {
@@ -430,11 +459,14 @@ func (e *CoverageExperiment) Run() (*CoverageResult, error) {
 	if e.Trials <= 0 {
 		return nil, fmt.Errorf("faultinject: coverage Trials must be positive")
 	}
+	if err := e.Safeguard.Policy.Validate(); err != nil {
+		return nil, err
+	}
 	prof, err := profiler.Run(e.App, e.Libs, 0)
 	if err != nil {
 		return nil, err
 	}
-	if e.WarmStart && !e.Safeguard.Policy.Rollback {
+	if e.WarmStart && !e.Safeguard.Policy.NeedsStore() {
 		every := e.SnapEvery
 		if every == 0 {
 			every = prof.TotalDyn/64 + 1

@@ -95,6 +95,9 @@ func symptomCounter(s machine.Signal) string {
 func destCounter(k machine.DestKind, o Outcome) string {
 	return "campaign.dest." + DestName(k) + "." + o.String()
 }
+func domainCounter(d machine.DomainID) string {
+	return "campaign.domain." + d.String()
+}
 
 // FaultPoint records one armed fault of a multi-fault trial.
 type FaultPoint struct {
@@ -369,6 +372,11 @@ type Campaign struct {
 	// exported trace JSONL — is bit-identical on every tier; the CI
 	// smoke diffs them.
 	Tier machine.InterpTier
+	// Domains attributes each memory-symptom soft failure (SIGSEGV or
+	// SIGBUS) to the isolation domain of its faulting address,
+	// populating CampaignResult.ByDomain — the crash-geography view the
+	// domain-rewind policy acts on.
+	Domains bool
 }
 
 // WarmStartStats accounts for the work a warm-started campaign skipped.
@@ -404,6 +412,9 @@ type CampaignResult struct {
 	// the paper's §2.1.2 observation that FPU faults skew to SDCs while
 	// ALU (integer/address) faults skew to soft failures.
 	ByDest map[machine.DestKind]map[Outcome]int
+	// ByDomain attributes memory-symptom soft failures to the isolation
+	// domain of the faulting address (Campaign.Domains only).
+	ByDomain map[machine.DomainID]int
 	// Trace is the per-trial recorders merged in trial-index order, with
 	// Rank carrying the trial index: one KindTrial span per trial (plus
 	// KindTrap stamps when Campaign.Trace is set) and the outcome /
@@ -588,6 +599,9 @@ func (c *Campaign) runTrial(i int, prof *profiler.Profile, hang uint64) (trial, 
 	rec.Add(outcomeCounter(inj.Outcome), 1)
 	if inj.Outcome == SoftFailure && fired {
 		rec.Add(symptomCounter(inj.Signal), 1)
+		if c.Domains && (inj.Signal == machine.SigSEGV || inj.Signal == machine.SigBUS) {
+			rec.Add(domainCounter(p.CPU.Mem.FaultDomain(p.CPU.PendingTrap.Addr)), 1)
+		}
 	}
 	if fired {
 		rec.Add(destCounter(inj.Dest, inj.Outcome), 1)
@@ -717,6 +731,16 @@ func (c *Campaign) runProfiled(prof *profiler.Profile) (*CampaignResult, error) 
 					res.ByDest[k] = map[Outcome]int{}
 				}
 				res.ByDest[k][o] = int(n)
+			}
+		}
+	}
+	if c.Domains {
+		for d := machine.DomainID(0); d < machine.NumDomains; d++ {
+			if n := res.Trace.Counter(domainCounter(d)); n > 0 {
+				if res.ByDomain == nil {
+					res.ByDomain = map[machine.DomainID]int{}
+				}
+				res.ByDomain[d] = int(n)
 			}
 		}
 	}

@@ -105,6 +105,10 @@ type Segment struct {
 	Base Word
 	Data []byte
 	Name string
+	// Domain is the isolation domain the segment belongs to, assigned
+	// from the fixed address-space layout when the segment is mapped
+	// (Map/MapShared/MapCOW all tag through insert).
+	Domain DomainID
 	// ro marks an immutable mapping (code/rodata): stores fault with
 	// SIGSEGV, and snapshots neither copy nor restore the segment. The
 	// backing Data may be shared by every process of the same binary.
@@ -175,6 +179,7 @@ func (m *Memory) insert(s *Segment) error {
 	if i < len(m.segs) && m.segs[i].Base < base+Word(size) {
 		return fmt.Errorf("machine: map %s at 0x%x overlaps %s", s.Name, base, m.segs[i].Name)
 	}
+	s.Domain = ClassifyDomain(base)
 	m.segs = append(m.segs, nil)
 	copy(m.segs[i+1:], m.segs[i:])
 	m.segs[i] = s
@@ -349,6 +354,10 @@ type SegSnapshot struct {
 	Base Word
 	Name string
 	Data []byte
+	// Domain carries the segment's isolation domain, so the checkpoint
+	// layer can build per-domain views of a full snapshot without
+	// re-deriving the classification.
+	Domain DomainID
 }
 
 // Snapshot captures the writable memory image by freezing it instead of
@@ -373,7 +382,7 @@ func (m *Memory) Snapshot() *Snapshot {
 			continue
 		}
 		s.cow = true
-		sn.Segs = append(sn.Segs, SegSnapshot{Base: s.Base, Name: s.Name, Data: s.Data})
+		sn.Segs = append(sn.Segs, SegSnapshot{Base: s.Base, Name: s.Name, Data: s.Data, Domain: s.Domain})
 	}
 	return sn
 }
@@ -395,7 +404,10 @@ func (m *Memory) Restore(sn *Snapshot) {
 	m.gen++
 	m.heapNext = sn.HeapNext
 	for _, s := range sn.Segs {
-		m.segs = append(m.segs, &Segment{Base: s.Base, Name: s.Name, Data: s.Data, cow: true})
+		// Re-derive the tag rather than trusting the snapshot: domains
+		// are a pure function of the fixed layout, and hand-built
+		// snapshots (tests, decoders) may not have filled the field.
+		m.segs = append(m.segs, &Segment{Base: s.Base, Name: s.Name, Data: s.Data, Domain: ClassifyDomain(s.Base), cow: true})
 	}
 	sort.Slice(m.segs, func(i, j int) bool { return m.segs[i].Base < m.segs[j].Base })
 }

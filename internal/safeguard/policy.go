@@ -1,6 +1,10 @@
 package safeguard
 
 import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
 	"time"
 
 	"care/internal/checkpoint"
@@ -12,7 +16,7 @@ import (
 // operand kills the process. Enabling stages layers recoveries instead:
 //
 //	kernel recompute → induction repair → heuristic bit-bucket →
-//	checkpoint rollback → kill
+//	domain rewind → checkpoint rollback → kill
 //
 // (induction and heuristic stages are enabled by the existing
 // Config.InductionRecovery and Config.Heuristic flags; Policy adds the
@@ -29,6 +33,19 @@ type Policy struct {
 	// deterministically recurring trap (a genuine program bug) cannot
 	// rollback-loop forever. 0 means 2.
 	MaxRollbacks int
+	// DomainRewind enables the domain-rewind stage, tried before
+	// whole-process rollback: attribute the faulting access to a memory
+	// domain, rewind just that domain to its latest consistent snapshot
+	// generation, and resume in place — registers, PC, and every other
+	// domain keep their progress. A rewind the consistency proofs refuse
+	// (machine.ErrDomainInconsistent) falls through to rollback/kill.
+	DomainRewind bool
+	// MaxDomainRewinds bounds rewinds *per domain*; past the budget the
+	// chain escalates to whole-process rollback. The tallies are
+	// cumulative for the process lifetime (a full rollback does not
+	// reset them), so a recurrently faulting domain cannot ping-pong the
+	// chain forever. 0 means 2.
+	MaxDomainRewinds int
 	// MaxTrapsPerPC is the per-PC retry budget: once more than this
 	// many traps have been handled at one PC, patch stages are skipped
 	// and the chain escalates straight to rollback/kill. 0 disables the
@@ -49,6 +66,36 @@ func (p Policy) maxRollbacks() int {
 		return 2
 	}
 	return p.MaxRollbacks
+}
+
+func (p Policy) maxDomainRewinds() int {
+	if p.MaxDomainRewinds == 0 {
+		return 2
+	}
+	return p.MaxDomainRewinds
+}
+
+// NeedsStore reports whether the policy has a stage that consumes a
+// checkpoint store. Campaign and cluster layers use it to decide when
+// to wire one (and when warm-start snapshot reuse is unsafe).
+func (p Policy) NeedsStore() bool { return p.Rollback || p.DomainRewind }
+
+// Validate rejects unusable budget values. It is the single validation
+// point shared by the care-inject and care-cluster flag parsers;
+// negative budgets would silently read as "unlimited" in the
+// escalation chain's comparisons.
+func (p Policy) Validate() error {
+	switch {
+	case p.MaxRollbacks < 0:
+		return fmt.Errorf("safeguard: MaxRollbacks %d is negative (0 means the default of %d)", p.MaxRollbacks, Policy{}.maxRollbacks())
+	case p.MaxDomainRewinds < 0:
+		return fmt.Errorf("safeguard: MaxDomainRewinds %d is negative (0 means the default of %d)", p.MaxDomainRewinds, Policy{}.maxDomainRewinds())
+	case p.MaxTrapsPerPC < 0:
+		return fmt.Errorf("safeguard: MaxTrapsPerPC %d is negative (0 disables the budget)", p.MaxTrapsPerPC)
+	case p.StormTraps < 0:
+		return fmt.Errorf("safeguard: StormTraps %d is negative (0 disables the detector)", p.StormTraps)
+	}
+	return nil
 }
 
 func (p Policy) stormWindow() uint64 {
@@ -105,12 +152,20 @@ func (sg *Safeguard) noteTrap(c *machine.CPU, t *machine.Trap) (skip bool, why O
 	return false, ""
 }
 
-// escalate is the tail of the chain: the checkpoint-rollback stage,
-// then kill. ev.Outcome carries the failure (or circuit-breaker
-// verdict) that brought the chain here; a successful rollback
-// overwrites it with RolledBack.
+// escalate is the tail of the chain: the domain-rewind stage, then the
+// checkpoint-rollback stage, then kill. ev.Outcome carries the failure
+// (or circuit-breaker verdict) that brought the chain here; a
+// successful rewind or rollback overwrites it.
 func (sg *Safeguard) escalate(c *machine.CPU, t *machine.Trap, ev Event) machine.TrapAction {
 	pol := sg.cfg.Policy
+	if pol.NeedsStore() && sg.store == nil {
+		sg.noteUnwiredStore()
+	}
+	if pol.DomainRewind && sg.store != nil {
+		if act, ok := sg.tryDomainRewind(c, t, ev); ok {
+			return act
+		}
+	}
 	if pol.Rollback && sg.store != nil && sg.Rollbacks() < pol.maxRollbacks() {
 		if snap := sg.store.Latest(); snap != nil {
 			t0 := time.Now()
@@ -144,6 +199,79 @@ func (sg *Safeguard) escalate(c *machine.CPU, t *machine.Trap, ev Event) machine
 	return machine.TrapKill
 }
 
+// rewindableDomain reports whether a domain is a legal rewind target.
+// Code is read-only (never snapshotted); the scratch stack is transient
+// recovery-runtime state that no checkpoint governs.
+func rewindableDomain(d machine.DomainID) bool {
+	return d != machine.DomainCode && d != machine.DomainScratch
+}
+
+// tryDomainRewind is the domain-rewind escalation stage: attribute the
+// faulting access to a domain, rewind that domain to its latest
+// consistent generation, and resume at the faulting instruction with
+// registers and every other domain untouched. Nothing is replayed — the
+// access re-executes and recovery relies on the rewound memory no
+// longer steering it wild. Returns ok=false (stage skipped, chain
+// continues to rollback/kill) when the domain has no snapshot, its
+// per-domain budget is spent, or the consistency proofs refuse the
+// rewind. Storm windows are deliberately NOT reset: a rewind that fails
+// to stop the trap burst must still trip the detector.
+func (sg *Safeguard) tryDomainRewind(c *machine.CPU, t *machine.Trap, ev Event) (machine.TrapAction, bool) {
+	pol := sg.cfg.Policy
+	d := c.Mem.FaultDomain(t.Addr)
+	if !rewindableDomain(d) || sg.domainRewinds[d] >= pol.maxDomainRewinds() {
+		return 0, false
+	}
+	if sg.store.LatestDomain(d) == nil {
+		return 0, false
+	}
+	t0 := time.Now()
+	rd, err := sg.store.RestoreDomain(c, d)
+	if err != nil {
+		if errors.Is(err, machine.ErrDomainInconsistent) {
+			sg.rec.Add(CounterDomainRewindInconsistent, 1)
+		}
+		return 0, false
+	}
+	sg.domainRewinds[d]++
+	// The rewound image predates the bit bucket only if the bucket lives
+	// in the rewound domain (it is heap-allocated); drop the cached
+	// address so the heuristic stage re-allocates instead of writing
+	// into a stale epoch.
+	if d == machine.DomainHeap {
+		sg.bitBucket = 0
+	}
+	ev.DomainRewind = time.Since(t0) + rd
+	ev.Domain = d
+	ev.Outcome = DomainRewound
+	sg.record(c.Dyn, ev)
+	sg.release()
+	return machine.TrapResume, true
+}
+
+// unwiredWarnOnce keeps the stderr diagnostic to one line per process
+// even when many safeguards are misconfigured the same way (campaign
+// trials construct one per attempt).
+var unwiredWarnOnce sync.Once
+
+// noteUnwiredStore records the rollback-enabled-but-no-store
+// misconfiguration: once per safeguard on the trace, once per process
+// on stderr.
+func (sg *Safeguard) noteUnwiredStore() {
+	if sg.unwiredWarned {
+		return
+	}
+	sg.unwiredWarned = true
+	sg.rec.Add(CounterRollbackUnwired, 1)
+	unwiredWarnOnce.Do(func() {
+		fmt.Fprintln(os.Stderr, "safeguard: rollback/domain-rewind stage enabled but no checkpoint store wired (UseCheckpoints not called); escalation will fall through to kill")
+	})
+}
+
 // Rollbacks reports how many checkpoint rollbacks this process has
 // performed (counter-backed, so it is exact past the span ring).
 func (sg *Safeguard) Rollbacks() int { return int(sg.rec.Counter(CounterRolledBack)) }
+
+// DomainRewinds reports how many domain rewinds this process has
+// performed across all domains.
+func (sg *Safeguard) DomainRewinds() int { return int(sg.rec.Counter(CounterDomainRewinds)) }

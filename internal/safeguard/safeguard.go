@@ -60,6 +60,11 @@ const (
 	// RecoveredInduction: a corrupted induction variable was
 	// reconstructed from an affine sibling (Figure-11 extension).
 	RecoveredInduction Outcome = "recovered-induction"
+	// DomainRewound: no patch stage applied, so the escalation chain
+	// rewound the faulting access's memory domain to its latest
+	// consistent snapshot generation and resumed in place, keeping every
+	// other domain's progress (Policy.DomainRewind).
+	DomainRewound Outcome = "domain-rewound"
 	// RolledBack: no patch stage applied, so the escalation chain
 	// restored the latest checkpoint snapshot and resumed from its
 	// step (Policy.Rollback).
@@ -85,6 +90,11 @@ type Event struct {
 	Fetch    time.Duration // argument retrieval via debug info
 	Kernel   time.Duration // recovery-kernel execution
 	Patch    time.Duration // operand update
+	// DomainRewind is the domain-swap cost of a DomainRewound
+	// activation: the live rewind time plus the cost model's modelled
+	// memory-copy charge. Domain names the rewound domain.
+	DomainRewind time.Duration
+	Domain       machine.DomainID
 	// Rollback is the checkpoint-restore cost of a RolledBack
 	// activation: the live restore time plus the cost model's snapshot
 	// read and requeue charges.
@@ -93,14 +103,16 @@ type Event struct {
 
 // Total returns the end-to-end recovery time of the event.
 func (e Event) Total() time.Duration {
-	return e.Diagnose + e.Load + e.Fetch + e.Kernel + e.Patch + e.Rollback
+	return e.Diagnose + e.Load + e.Fetch + e.Kernel + e.Patch + e.DomainRewind + e.Rollback
 }
 
 // Prep returns the preparation share of the event: everything but
-// kernel execution and checkpoint rollback. (Rollback is restoration
-// work, not preparation — including it would skew the Figure 9 ratio
-// for escalation-chain policies.)
-func (e Event) Prep() time.Duration { return e.Total() - e.Kernel - e.Rollback }
+// kernel execution and checkpoint rollback. (Rollback and domain
+// rewinds are restoration work, not preparation — including them would
+// skew the Figure 9 ratio for escalation-chain policies.)
+func (e Event) Prep() time.Duration {
+	return e.Total() - e.Kernel - e.Rollback - e.DomainRewind
+}
 
 // Stats aggregates Safeguard activity. It is derived on demand from the
 // safeguard's trace (see Safeguard.Stats), not maintained as a separate
@@ -112,6 +124,9 @@ type Stats struct {
 	// RolledBack counts activations resolved by restoring a checkpoint
 	// snapshot (neither an in-place recovery nor a kill).
 	RolledBack int
+	// DomainRewinds counts activations resolved by rewinding one memory
+	// domain in place.
+	DomainRewinds int
 	// Storms counts recovery-storm detector trips.
 	Storms int
 	Events []Event
@@ -163,21 +178,41 @@ const (
 	CounterRecovered     = "safeguard.recovered"
 	CounterUnrecoverable = "safeguard.unrecoverable"
 	CounterRolledBack    = "safeguard.rolled-back"
+	CounterDomainRewinds = "safeguard.domain-rewinds"
 	CounterStorms        = "safeguard.storms"
 	CounterIdleFootprint = "safeguard.idle-footprint-bytes"
+	// CounterDomainRewindInconsistent counts rewinds refused by the
+	// cross-domain consistency proofs (each one escalated instead).
+	CounterDomainRewindInconsistent = "safeguard.domain-rewind.inconsistent"
+	// CounterRollbackUnwired flags a misconfiguration: a rollback or
+	// domain-rewind stage was enabled but no checkpoint store was wired
+	// (UseCheckpoints never called), so escalation fell through.
+	CounterRollbackUnwired = "safeguard.rollback.unwired"
 	// CounterPeakRecovery is a high-water mark (Recorder.MaxCounter).
 	CounterPeakRecovery = "safeguard.peak-recovery-bytes"
+	// CounterMaxRollbacksBudget / CounterMaxDomainRewindsBudget surface
+	// the *effective* escalation budgets (after zero-value defaulting)
+	// into the trace. High-water marks, not additive: merging per-trial
+	// traces must not sum identical budget values.
+	CounterMaxRollbacksBudget     = "safeguard.policy.max-rollbacks"
+	CounterMaxDomainRewindsBudget = "safeguard.policy.max-domain-rewinds"
 
 	// Per-phase wall-time totals in nanoseconds. These duplicate the
 	// phase spans in counter form so the Figure 9 ratio stays exact even
 	// when a long run overflows the span ring.
-	CounterDiagnoseNs = "safeguard.diagnose-ns"
-	CounterLoadNs     = "safeguard.load-ns"
-	CounterFetchNs    = "safeguard.fetch-ns"
-	CounterKernelNs   = "safeguard.kernel-ns"
-	CounterPatchNs    = "safeguard.patch-ns"
-	CounterRollbackNs = "safeguard.rollback-ns"
+	CounterDiagnoseNs     = "safeguard.diagnose-ns"
+	CounterLoadNs         = "safeguard.load-ns"
+	CounterFetchNs        = "safeguard.fetch-ns"
+	CounterKernelNs       = "safeguard.kernel-ns"
+	CounterPatchNs        = "safeguard.patch-ns"
+	CounterDomainRewindNs = "safeguard.domain-rewind-ns"
+	CounterRollbackNs     = "safeguard.rollback-ns"
 )
+
+// DomainRewindCounter names the per-domain rewind tally for d.
+func DomainRewindCounter(d machine.DomainID) string {
+	return "safeguard.domain-rewind." + d.String()
+}
 
 // PhaseNsCounters maps each activation-phase span kind to the additive
 // counter holding its total wall time in nanoseconds.
@@ -186,8 +221,9 @@ var PhaseNsCounters = map[trace.Kind]string{
 	trace.KindLoad:     CounterLoadNs,
 	trace.KindFetch:    CounterFetchNs,
 	trace.KindKernel:   CounterKernelNs,
-	trace.KindPatch:    CounterPatchNs,
-	trace.KindRollback: CounterRollbackNs,
+	trace.KindPatch:        CounterPatchNs,
+	trace.KindDomainRewind: CounterDomainRewindNs,
+	trace.KindRollback:     CounterRollbackNs,
 }
 
 // Safeguard is the runtime attached to one process. All accounting —
@@ -209,6 +245,14 @@ type Safeguard struct {
 	// pcTraps tracks per-PC trap pressure for the retry budget and the
 	// recovery-storm detector.
 	pcTraps map[machine.Word]*pcState
+	// domainRewinds tallies rewinds per domain against
+	// Policy.MaxDomainRewinds. Cumulative for the process lifetime —
+	// deliberately not reset by a full rollback, so a domain that keeps
+	// re-faulting cannot ping-pong between rewind and rollback forever.
+	domainRewinds [machine.NumDomains]int
+	// unwiredWarned makes the rollback-unwired diagnostic one-shot per
+	// safeguard.
+	unwiredWarned bool
 }
 
 // Attach installs Safeguard as the process's SIGSEGV handler (the
@@ -225,6 +269,15 @@ func Attach(cpu *machine.CPU, units []*Unit, cfg Config) *Safeguard {
 	for _, u := range units {
 		sg.units[u.Image] = u
 		sg.rec.Add(CounterIdleFootprint, int64(len(u.TableBytes)+len(u.LibBytes)))
+	}
+	// Surface the effective (default-resolved) escalation budgets into
+	// the trace so campaign reports can see what the chain was actually
+	// allowed to do.
+	if cfg.Policy.Rollback {
+		sg.rec.Max(CounterMaxRollbacksBudget, int64(cfg.Policy.maxRollbacks()))
+	}
+	if cfg.Policy.DomainRewind {
+		sg.rec.Max(CounterMaxDomainRewindsBudget, int64(cfg.Policy.maxDomainRewinds()))
 	}
 	cpu.Handler = sg.handle
 	return sg
@@ -266,6 +319,9 @@ func (sg *Safeguard) record(dyn uint64, e Event) {
 		sg.rec.Add(CounterRecovered, 1)
 	case RolledBack:
 		sg.rec.Add(CounterRolledBack, 1)
+	case DomainRewound:
+		sg.rec.Add(CounterDomainRewinds, 1)
+		sg.rec.Add(DomainRewindCounter(e.Domain), 1)
 	default:
 		sg.rec.Add(CounterUnrecoverable, 1)
 	}
@@ -284,16 +340,24 @@ func (sg *Safeguard) record(dyn uint64, e Event) {
 		{trace.KindFetch, e.Fetch},
 		{trace.KindKernel, e.Kernel},
 		{trace.KindPatch, e.Patch},
+		{trace.KindDomainRewind, e.DomainRewind},
 		{trace.KindRollback, e.Rollback},
 	} {
 		if ph.d == 0 {
 			continue
 		}
 		sg.rec.Add(PhaseNsCounters[ph.kind], ph.d.Nanoseconds())
-		sg.rec.Emit(trace.Span{
+		sp := trace.Span{
 			Kind: ph.kind, Parent: act,
 			StartDyn: dyn, EndDyn: dyn, Wall: ph.d,
-		})
+		}
+		if ph.kind == trace.KindDomainRewind {
+			// The phase span names its domain (Val carries the DomainID),
+			// so Events can round-trip the attribution.
+			sp.Val = int64(e.Domain)
+			sp.Outcome = e.Domain.String()
+		}
+		sg.rec.Emit(sp)
 	}
 }
 
@@ -312,7 +376,8 @@ func (sg *Safeguard) Events() []Event {
 				Outcome: Outcome(s.Outcome),
 			})
 		case trace.KindDiagnose, trace.KindLoad, trace.KindFetch,
-			trace.KindKernel, trace.KindPatch, trace.KindRollback:
+			trace.KindKernel, trace.KindPatch, trace.KindDomainRewind,
+			trace.KindRollback:
 			i, ok := byID[s.Parent]
 			if !ok {
 				continue // parent activation dropped from the ring
@@ -329,6 +394,9 @@ func (sg *Safeguard) Events() []Event {
 				ev.Kernel += s.Wall
 			case trace.KindPatch:
 				ev.Patch += s.Wall
+			case trace.KindDomainRewind:
+				ev.DomainRewind += s.Wall
+				ev.Domain = machine.DomainID(s.Val)
 			case trace.KindRollback:
 				ev.Rollback += s.Wall
 			}
@@ -346,6 +414,7 @@ func (sg *Safeguard) Stats() Stats {
 		Recovered:          int(sg.rec.Counter(CounterRecovered)),
 		Unrecoverable:      int(sg.rec.Counter(CounterUnrecoverable)),
 		RolledBack:         int(sg.rec.Counter(CounterRolledBack)),
+		DomainRewinds:      int(sg.rec.Counter(CounterDomainRewinds)),
 		Storms:             int(sg.rec.Counter(CounterStorms)),
 		Events:             sg.Events(),
 		IdleFootprintBytes: int(sg.rec.Counter(CounterIdleFootprint)),
@@ -355,7 +424,7 @@ func (sg *Safeguard) Stats() Stats {
 
 // handle is the signal handler (paper Algorithm 1, wrapped in the
 // escalation chain: kernel recompute → induction repair → heuristic
-// bit-bucket → checkpoint rollback → kill).
+// bit-bucket → domain rewind → checkpoint rollback → kill).
 func (sg *Safeguard) handle(c *machine.CPU, t *machine.Trap) machine.TrapAction {
 	ev := Event{PC: t.PC, Addr: t.Addr}
 	if t.Sig != machine.SigSEGV && !(sg.cfg.HandleBus && t.Sig == machine.SigBUS) {

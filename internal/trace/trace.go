@@ -68,6 +68,12 @@ const (
 	// KindJob is one parallel-job execution; Wall is the job's virtual
 	// time and EndDyn the slowest rank's instruction count.
 	KindJob
+	// KindDomainRewind is one domain-scoped partial rollback: as a
+	// checkpoint-store span it records the memory swap (Val = domain
+	// bytes, Outcome = domain name); as a Safeguard phase span (child of
+	// an activation) it carries the stage's wall cost with Val holding
+	// the machine.DomainID.
+	KindDomainRewind
 
 	numKinds // sentinel; keep last
 )
@@ -87,6 +93,7 @@ var kindNames = [...]string{
 	KindTrial:             "trial",
 	KindRankStall:         "rank-stall",
 	KindJob:               "job",
+	KindDomainRewind:      "domain-rewind",
 }
 
 // String names the kind; out-of-range values render as "unknown(N)"
