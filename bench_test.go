@@ -100,7 +100,7 @@ func BenchmarkTable8ArmorStats(b *testing.B) {
 
 func coverageBench(b *testing.B, name string, opt int, model faultinject.Model, cfg safeguard.Config) *faultinject.CoverageResult {
 	b.Helper()
-	bin, err := experiments.BuildWorkload(name, workloads.Params{}, opt, true)
+	bin, err := experiments.BuildWorkload(name, workloads.Params{}, opt, []string{"care"})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -223,7 +223,7 @@ func BenchmarkFigure12DoubleFlipCoverage(b *testing.B) {
 // CI uploads the output as BENCH_interp.json.
 func BenchmarkGoldenRun(b *testing.B) {
 	for _, opt := range []int{0, 1} {
-		bin, err := experiments.BuildWorkload("HPCCG", workloads.Params{}, opt, false)
+		bin, err := experiments.BuildWorkload("HPCCG", workloads.Params{}, opt, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -249,7 +249,7 @@ func BenchmarkGoldenRun(b *testing.B) {
 // BenchmarkSafeguardIdleOverhead is the §5.2 zero-runtime-overhead
 // claim: a protected fault-free run vs an unprotected one.
 func BenchmarkSafeguardIdleOverhead(b *testing.B) {
-	prot, err := experiments.BuildWorkload("HPCCG", workloads.Params{}, 0, true)
+	prot, err := experiments.BuildWorkload("HPCCG", workloads.Params{}, 0, []string{"care"})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -306,7 +306,7 @@ func BenchmarkAblationLiveness(b *testing.B) {
 					b.Fatal(err)
 				}
 				bin, err := core.Build(w.Module(workloads.Params{}),
-					core.BuildOptions{OptLevel: 1, Armor: armor.Options{IgnoreLiveness: ignore}})
+					core.BuildOptions{OptLevel: 1, Defenses: []string{"care"}, Armor: armor.Options{IgnoreLiveness: ignore}})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -401,7 +401,7 @@ func benchmarkCampaignTrace(b *testing.B, traced bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{NoArmor: true})
+	bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}

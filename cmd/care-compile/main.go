@@ -1,14 +1,19 @@
-// Command care-compile builds every workload with the Armor pass and
-// prints the Table 8 statistics: recovery-kernel counts and sizes,
-// normal compilation time, and Armor overhead (dominated by liveness
-// analysis, as in the paper).
+// Command care-compile builds every workload with a defense pipeline
+// and prints its build statistics. The default -defense care prints the
+// Table 8 statistics: recovery-kernel counts and sizes, normal
+// compilation time, and Armor overhead (dominated by liveness analysis,
+// as in the paper). Any other -defense list (comma-separated registered
+// pass names, e.g. presage or care,presage) prints the policy-agnostic
+// per-pass instrumentation table instead.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"care/internal/defense"
 	"care/internal/experiments"
 	"care/internal/workloads"
 )
@@ -16,10 +21,26 @@ import (
 func main() {
 	opt := flag.Int("opt", 0, "optimisation level (0 or 1)")
 	all := flag.Bool("all", false, "include miniFE (not part of the paper's Table 8)")
+	def := flag.String("defense", "care", "comma-separated defense passes to build with (registered: "+
+		fmt.Sprint(defense.Names())+")")
 	flag.Parse()
-	rows, err := experiments.ArmorStudy(*opt, workloads.Params{}, !*all)
+
+	defs := defense.ParseList(*def)
+	if _, err := defense.Resolve(defs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(defs) == 1 && defs[0] == "care" {
+		rows, err := experiments.ArmorStudy(*opt, workloads.Params{}, !*all)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatArmor(rows))
+		return
+	}
+	rows, err := experiments.DefenseBuildStudy(defs, *opt, workloads.Params{}, !*all)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(experiments.FormatArmor(rows))
+	fmt.Print(experiments.FormatDefenseBuild(rows))
 }

@@ -1,21 +1,26 @@
 // Command care-disasm inspects what CARE builds: it compiles a workload
-// (or libblas) and dumps the machine code, the recovery table, and the
-// recovery kernels — the artifacts the paper's Figures 1, 4 and 6 are
-// about.
+// (or libblas) under a defense list and dumps the machine code, the
+// recovery table, and the recovery kernels — the artifacts the paper's
+// Figures 1, 4 and 6 are about. With a detection defense (-defense
+// presage or sfi), -code annotates every instruction the pass inserted
+// with its name (provenance from the reserved negative debug columns),
+// so bake-off binaries are auditable.
 //
 // Usage:
 //
-//	care-disasm -workload GTC-P [-opt 1] [-kernels] [-code] [-table]
+//	care-disasm -workload GTC-P [-opt 1] [-defense care] [-kernels] [-code] [-table]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"care/internal/armor"
 	"care/internal/blas"
 	"care/internal/core"
+	"care/internal/defense"
 	"care/internal/ir"
 	"care/internal/machine"
 	"care/internal/rtable"
@@ -25,11 +30,19 @@ import (
 func main() {
 	workload := flag.String("workload", "GTC-P", "workload name or 'blas'")
 	opt := flag.Int("opt", 0, "optimisation level")
-	showCode := flag.Bool("code", false, "dump machine code")
+	def := flag.String("defense", "care", "comma-separated defense passes to build with (registered: "+
+		fmt.Sprint(defense.Names())+")")
+	showCode := flag.Bool("code", false, "dump machine code (defense-inserted instructions annotated by pass)")
 	showKernels := flag.Bool("kernels", true, "dump recovery-kernel IR")
 	showTable := flag.Bool("table", true, "dump the recovery table")
 	maxKernels := flag.Int("n", 5, "kernels/entries to print (0 = all)")
 	flag.Parse()
+
+	defs := defense.ParseList(*def)
+	if _, err := defense.Resolve(defs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var mod *ir.Module
 	if *workload == "blas" {
@@ -42,15 +55,19 @@ func main() {
 		mod = w.Module(workloads.Params{})
 	}
 
-	bin, err := core.Build(mod, core.BuildOptions{OptLevel: *opt, IsLib: *workload == "blas"})
+	bin, err := core.Build(mod, core.BuildOptions{OptLevel: *opt, Defenses: defs, IsLib: *workload == "blas"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s (O%d): %d machine instructions, %d kernels (avg %.2f IR instrs), %d equivalences\n",
-		bin.Name, *opt, len(bin.Prog.Code), bin.ArmorStats.NumKernels,
-		bin.ArmorStats.AvgKernelInstrs(), bin.ArmorStats.NumEquivalences)
+	fmt.Printf("%s (O%d): %d machine instructions\n", bin.Name, *opt, len(bin.Prog.Code))
+	for _, name := range defs {
+		s := bin.DefenseStats[name]
+		fmt.Printf("  %-8s %d/%d accesses covered, %d inserted instrs, %d kernels (avg %.2f IR instrs), %d equivalences\n",
+			name, s.Protected, s.NumMemAccesses, s.InsertedInstrs,
+			s.NumKernels, s.AvgKernelInstrs(), s.NumEquivalences)
+	}
 
-	if *showTable {
+	if *showTable && bin.Protected() {
 		tab, err := rtable.Decode(bin.RecoveryTable)
 		if err != nil {
 			log.Fatal(err)
@@ -75,7 +92,7 @@ func main() {
 		}
 	}
 
-	if *showKernels {
+	if *showKernels && bin.Protected() {
 		// Re-run Armor to get the kernel IR in readable form.
 		ares, err := armor.Run(bin.Module, armor.Options{})
 		if err != nil {
@@ -98,6 +115,12 @@ func main() {
 
 	if *showCode {
 		fmt.Println()
-		fmt.Println(machine.DisassembleProgram(bin.Prog))
+		fmt.Println(machine.DisassembleProgramAnnotated(bin.Prog, func(line, col int32) string {
+			pass := defense.PassForProvenance(col)
+			if pass == "" {
+				return ""
+			}
+			return fmt.Sprintf("!%d:%d %s-inserted", line, col, pass)
+		}))
 	}
 }

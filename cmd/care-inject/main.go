@@ -2,11 +2,15 @@
 // and prints Tables 2, 3 and 4 (or, with -model double, the appendix
 // Tables 10 and 11). With -domain-rewind it instead runs the
 // domain-rewind escalation-policy campaign on protected builds and
-// prints the policy-study table.
+// prints the policy-study table. With -defense it builds the workloads
+// under the given defense list (comma-separated registered pass names,
+// e.g. care, presage, sfi or care,presage) and runs that single
+// bake-off arm through an identical campaign, printing the
+// defense-study tables.
 //
 // Usage:
 //
-//	care-inject [-n 1000] [-faults 1] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1] [-workers 0] [-domains] [-domain-rewind] [-max-rollbacks 0] [-max-domain-rewinds 0] [-trace-out FILE] [-warmstart] [-snap-every N] [-interp superblock|block|step] [-cpuprofile FILE] [-memprofile FILE]
+//	care-inject [-n 1000] [-faults 1] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1] [-workers 0] [-defense LIST] [-domains] [-domain-rewind] [-max-rollbacks 0] [-max-domain-rewinds 0] [-trace-out FILE] [-warmstart] [-snap-every N] [-interp superblock|block|step] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -16,7 +20,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
+	"care/internal/defense"
 	"care/internal/experiments"
 	"care/internal/faultinject"
 	"care/internal/machine"
@@ -24,6 +30,30 @@ import (
 	"care/internal/trace"
 	"care/internal/workloads"
 )
+
+// writeTrace merges the per-row campaign traces (Rank = row index) and
+// writes them as JSONL.
+func writeTrace(path string, traces []*trace.Recorder) {
+	total := 0
+	for _, tr := range traces {
+		total += tr.Len()
+	}
+	merged := trace.New(total)
+	for i, tr := range traces {
+		merged.MergeAs(tr, int32(i))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := merged.WriteJSONL(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", merged.Len(), path)
+}
 
 func main() {
 	n := flag.Int("n", 400, "injections per workload (the paper used 10000)")
@@ -33,6 +63,7 @@ func main() {
 	opt := flag.Int("opt", 0, "optimisation level (0 or 1)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "concurrent injection workers (0 = one per CPU; results are identical for any value)")
+	def := flag.String("defense", "", "run one defense-study arm instead of the manifestation study: comma-separated defense passes (registered: "+strings.Join(defense.Names(), ", ")+")")
 	domains := flag.Bool("domains", false, "attribute memory-symptom soft failures to isolation domains (adds the crash-geography table)")
 	domainRewind := flag.Bool("domain-rewind", false, "run the domain-rewind escalation-policy campaign on protected builds instead of the manifestation study")
 	maxRollbacks := flag.Int("max-rollbacks", 0, "whole-process rollback budget per process (0 = default of 2; domain-rewind mode)")
@@ -47,6 +78,11 @@ func main() {
 
 	tier, err := machine.ParseInterpTier(*interp)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defs := defense.ParseList(*def)
+	if _, err := defense.Resolve(defs); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -98,11 +134,44 @@ func main() {
 		os.Exit(2)
 	}
 	names := experiments.AllNames()
+	if *def != "" && *workload == "all" {
+		names = experiments.DefenseNames()
+	}
 	if *workload != "all" {
-		if _, err := workloads.Get(*workload); err != nil {
-			log.Fatal(err)
+		// "BLAS" is the defense study's shared-library target, not a
+		// registered workload.
+		if !(*def != "" && *workload == "BLAS") {
+			if _, err := workloads.Get(*workload); err != nil {
+				log.Fatal(err)
+			}
 		}
 		names = []string{*workload}
+	}
+
+	if *def != "" {
+		// Single bake-off arm: identical campaign machinery to the
+		// manifestation study, but on builds defended by the given list.
+		arm := experiments.DefenseArm{Name: strings.Join(defs, "+"), Defenses: defs}
+		cells, err := experiments.DefenseStudyArms(names, []experiments.DefenseArm{arm},
+			*n, m, *seed, *opt, workloads.Params{}, experiments.StudyOptions{
+				Workers:   *workers,
+				Traced:    *traceOut != "",
+				WarmStart: *warmStart,
+				SnapEvery: *snapEvery,
+				Tier:      tier,
+			}, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatDefenseStudy(cells))
+		if *traceOut != "" {
+			traces := make([]*trace.Recorder, len(cells))
+			for i := range cells {
+				traces[i] = cells[i].Res.Trace
+			}
+			writeTrace(*traceOut, traces)
+		}
+		return
 	}
 
 	if *domainRewind {
@@ -118,25 +187,11 @@ func main() {
 		}
 		fmt.Print(experiments.FormatPolicyStudy(rows))
 		if *traceOut != "" {
-			total := 0
-			for _, r := range rows {
-				total += r.Res.Trace.Len()
+			traces := make([]*trace.Recorder, len(rows))
+			for i := range rows {
+				traces[i] = rows[i].Res.Trace
 			}
-			merged := trace.New(total)
-			for i, r := range rows {
-				merged.MergeAs(r.Res.Trace, int32(i))
-			}
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := merged.WriteJSONL(f); err != nil {
-				log.Fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", merged.Len(), *traceOut)
+			writeTrace(*traceOut, traces)
 		}
 		return
 	}
@@ -170,24 +225,10 @@ func main() {
 	}
 
 	if *traceOut != "" {
-		total := 0
-		for _, r := range rows {
-			total += r.Res.Trace.Len()
+		traces := make([]*trace.Recorder, len(rows))
+		for i := range rows {
+			traces[i] = rows[i].Res.Trace
 		}
-		merged := trace.New(total)
-		for i, r := range rows {
-			merged.MergeAs(r.Res.Trace, int32(i))
-		}
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := merged.WriteJSONL(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", merged.Len(), *traceOut)
+		writeTrace(*traceOut, traces)
 	}
 }

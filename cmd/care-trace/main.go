@@ -26,7 +26,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	bin, err := experiments.BuildWorkload(*workload, workloads.Params{}, 0, false)
+	bin, err := experiments.BuildWorkload(*workload, workloads.Params{}, 0, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,18 +15,18 @@ import (
 )
 
 func main() {
-	lib, err := core.BuildLib(blas.Library(), 0, 0)
+	lib, err := core.BuildLib(blas.Library(), 0, 0, []string{"care"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	drv, err := core.Build(blas.Sblat1(5), core.BuildOptions{OptLevel: 0}, lib)
+	drv, err := core.Build(blas.Sblat1(5), core.BuildOptions{OptLevel: 0, Defenses: []string{"care"}}, lib)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("libblas: %d routines, %d kernels, table %dB, library image at 0x%x\n",
-		len(blas.RoutineNames), lib.ArmorStats.NumKernels, len(lib.RecoveryTable), lib.Prog.CodeBase)
+		len(blas.RoutineNames), lib.DefenseStats["care"].NumKernels, len(lib.RecoveryTable), lib.Prog.CodeBase)
 	fmt.Printf("sblat1:  %d kernels, app image at 0x%x\n\n",
-		drv.ArmorStats.NumKernels, drv.Prog.CodeBase)
+		drv.DefenseStats["care"].NumKernels, drv.Prog.CodeBase)
 
 	// Inject only into library code: this is what requires rebuilding
 	// the library with CARE (footnote 3 of the paper).

@@ -25,7 +25,7 @@ func main() {
 		log.Fatal(err)
 	}
 	params := workloads.Params{NX: 5, NY: 5, NZ: 4, Steps: 15}
-	bin, err := core.Build(w.Module(params), core.BuildOptions{OptLevel: 0})
+	bin, err := core.Build(w.Module(params), core.BuildOptions{OptLevel: 0, Defenses: []string{"care"}})
 	if err != nil {
 		log.Fatal(err)
 	}

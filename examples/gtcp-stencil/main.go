@@ -50,7 +50,7 @@ func main() {
 	}
 
 	// Build fully and measure recovery on this workload.
-	bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{OptLevel: 0})
+	bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{OptLevel: 0, Defenses: []string{"care"}})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -47,12 +47,12 @@ func buildProgram() *ir.Module {
 func main() {
 	// 1. Compile with CARE: the Armor pass builds one recovery kernel
 	//    per protected memory access and a recovery table.
-	bin, err := core.Build(buildProgram(), core.BuildOptions{OptLevel: 1})
+	bin, err := core.Build(buildProgram(), core.BuildOptions{OptLevel: 1, Defenses: []string{"care"}})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("built %q: %d machine instructions, %d recovery kernels (avg %.1f IR instrs)\n",
-		bin.Name, len(bin.Prog.Code), bin.ArmorStats.NumKernels, bin.ArmorStats.AvgKernelInstrs())
+		bin.Name, len(bin.Prog.Code), bin.DefenseStats["care"].NumKernels, bin.DefenseStats["care"].AvgKernelInstrs())
 	fmt.Printf("recovery table: %d bytes, recovery library: %d bytes\n\n",
 		len(bin.RecoveryTable), len(bin.RecoveryLib))
 

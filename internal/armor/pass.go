@@ -1,0 +1,42 @@
+package armor
+
+import (
+	"care/internal/defense"
+	"care/internal/ir"
+)
+
+// carePass adapts Run to the defense.Pass interface so CARE's armor is
+// the first registered defense ("care"). It is a repair pass: the
+// module is left untouched and the recovery kernels plus encoded
+// recovery table come back through the Result for core to link.
+type carePass struct{}
+
+func (carePass) Name() string { return "care" }
+
+func (carePass) Apply(m *ir.Module, opt defense.Options) (*defense.Result, error) {
+	var aopts Options
+	if t, ok := opt.Tuning.(Options); ok {
+		aopts = t
+	}
+	res, err := Run(m, aopts)
+	if err != nil {
+		return nil, err
+	}
+	return &defense.Result{
+		Stats: defense.Stats{
+			Pass:              "care",
+			NumMemAccesses:    res.Stats.NumMemAccesses,
+			Protected:         res.Stats.NumKernels,
+			Skipped:           res.Stats.SkippedDirect + res.Stats.SkippedUnavailable,
+			NumKernels:        res.Stats.NumKernels,
+			TotalKernelInstrs: res.Stats.TotalKernelInstrs,
+			NumEquivalences:   res.Stats.NumEquivalences,
+			AnalysisTime:      res.Stats.LivenessTime,
+			TotalTime:         res.Stats.TotalTime,
+		},
+		Kernels: res.Kernels,
+		Table:   res.Table.Encode(),
+	}, nil
+}
+
+func init() { defense.Register(carePass{}) }

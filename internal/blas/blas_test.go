@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"care/internal/core"
+	"care/internal/defense"
 	"care/internal/faultinject"
 	"care/internal/interp"
 	"care/internal/machine"
@@ -13,18 +14,18 @@ import (
 // buildPair compiles libblas + sblat1 with (or without) CARE.
 func buildPair(t testing.TB, opt int, protected bool) (lib, drv *core.Binary) {
 	t.Helper()
-	lib, err := core.BuildLib(Library(), opt, 0)
+	lib, err := core.BuildLib(Library(), opt, 0, []string{"care"})
 	if err != nil {
 		t.Fatalf("build libblas: %v", err)
 	}
 	if !protected {
-		l2, err := core.Build(Library(), core.BuildOptions{OptLevel: opt, IsLib: true, NoArmor: true})
+		l2, err := core.Build(Library(), core.BuildOptions{OptLevel: opt, IsLib: true})
 		if err != nil {
 			t.Fatal(err)
 		}
 		lib = l2
 	}
-	drv, err = core.Build(Sblat1(5), core.BuildOptions{OptLevel: opt, NoArmor: !protected}, lib)
+	drv, err = core.Build(Sblat1(5), core.BuildOptions{OptLevel: opt, Defenses: defense.If(protected, "care")}, lib)
 	if err != nil {
 		t.Fatalf("build sblat1: %v", err)
 	}
@@ -138,8 +139,8 @@ func TestReferenceValues(t *testing.T) {
 // library and the driver, recovered by per-image recovery tables.
 func TestBLASCoverage(t *testing.T) {
 	lib, drv := buildPair(t, 0, true)
-	if lib.ArmorStats.NumKernels == 0 || drv.ArmorStats.NumKernels == 0 {
-		t.Fatalf("missing kernels: lib=%d drv=%d", lib.ArmorStats.NumKernels, drv.ArmorStats.NumKernels)
+	if lib.DefenseStats["care"].NumKernels == 0 || drv.DefenseStats["care"].NumKernels == 0 {
+		t.Fatalf("missing kernels: lib=%d drv=%d", lib.DefenseStats["care"].NumKernels, drv.DefenseStats["care"].NumKernels)
 	}
 	exp := &faultinject.CoverageExperiment{
 		App: drv, Libs: []*core.Binary{lib},

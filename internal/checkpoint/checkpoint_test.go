@@ -17,7 +17,7 @@ func buildProc(t *testing.T) (*core.Binary, *core.Process) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{OptLevel: 0, NoArmor: true})
+	bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{OptLevel: 0})
 	if err != nil {
 		t.Fatal(err)
 	}

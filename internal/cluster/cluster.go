@@ -288,7 +288,7 @@ func RunCheckpointRestart(w *workloads.Workload, p workloads.Params, opt int,
 	if nsPerInstr == 0 {
 		nsPerInstr = 1
 	}
-	bin, err := core.Build(w.Module(p), core.BuildOptions{OptLevel: opt, NoArmor: true})
+	bin, err := core.Build(w.Module(p), core.BuildOptions{OptLevel: opt})
 	if err != nil {
 		return nil, err
 	}

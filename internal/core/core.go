@@ -20,19 +20,29 @@ import (
 	"care/internal/armor"
 	"care/internal/checkpoint"
 	"care/internal/compiler"
+	"care/internal/defense"
 	"care/internal/hostenv"
 	"care/internal/ir"
 	"care/internal/machine"
 	"care/internal/safeguard"
+
+	// Pull the rival defense passes into every build's registry so a
+	// plain name list selects them.
+	_ "care/internal/defense/presage"
+	_ "care/internal/defense/sfi"
 )
 
 // BuildOptions configures Build.
 type BuildOptions struct {
 	// OptLevel is 0 or 1 (the paper's evaluated configurations).
 	OptLevel int
-	// NoArmor skips recovery-kernel construction (baseline builds).
-	NoArmor bool
-	// Armor tunes the extraction pass.
+	// Defenses names the registered defense passes to run over the
+	// optimised module, in list order (see internal/defense). Nil or
+	// empty means an undefended baseline build; "care" selects CARE's
+	// armor (recovery kernels + table), "presage"/"sfi" the detection
+	// rivals, and lists compose ("care,presage").
+	Defenses []string
+	// Armor tunes the "care" pass (forwarded as its Tuning).
 	Armor armor.Options
 	// LibIndex positions a shared-library image; -1 (or 0 with IsLib
 	// false) means the main executable. Use BuildLib for libraries.
@@ -41,29 +51,39 @@ type BuildOptions struct {
 	IsLib bool
 }
 
-// Binary is a built image plus its CARE artifacts.
+// Binary is a built image plus its defense artifacts.
 type Binary struct {
 	Name string
 	// Prog is the compiled image.
 	Prog *machine.Program
 	// RecoveryTable and RecoveryLib are the encoded CARE artifacts
-	// (empty when built with NoArmor).
+	// (empty unless a repair pass such as "care" ran).
 	RecoveryTable []byte
 	RecoveryLib   []byte
-	// ArmorStats describes the Armor run.
-	ArmorStats armor.Stats
-	// CompileTime is the plain compilation time (excluding Armor), the
-	// paper's "Normal Compilation" column.
+	// DefenseStats describes each defense pass's run, keyed by pass
+	// name ("care", "presage", ...).
+	DefenseStats map[string]defense.Stats
+	// Detects marks a binary instrumented by at least one
+	// detection-only defense: its checks raise SIGTRAP traps, so a
+	// Safeguard should be attached even without a recovery table.
+	Detects bool
+	// CompileTime is the plain compilation time (excluding defenses),
+	// the paper's "Normal Compilation" column.
 	CompileTime time.Duration
 	// Census is the address-computation census of the (optimised)
 	// module (Table 5).
 	Census armor.CensusRow
-	// Module is the post-optimisation IR (for analyses).
+	// Module is the post-defense IR (for analyses).
 	Module *ir.Module
 }
 
 // Protected reports whether the binary carries recovery artifacts.
 func (b *Binary) Protected() bool { return len(b.RecoveryTable) > 0 }
+
+// Defended reports whether the binary needs a Safeguard attached:
+// either it can repair (recovery table) or it can detect (SIGTRAP
+// checks feeding the escalation chain).
+func (b *Binary) Defended() bool { return b.Protected() || b.Detects }
 
 // Build compiles a main-executable module with CARE. deps are
 // previously built library binaries the module links against.
@@ -87,24 +107,49 @@ func Build(m *ir.Module, opts BuildOptions, deps ...*Binary) (*Binary, error) {
 		}
 	}
 
-	// Run the optimisation pipeline up front so that Armor analyses the
-	// same IR the code generator lowers (Armor is an in-pipeline pass).
+	// Run the optimisation pipeline up front so that every defense pass
+	// analyses (and instruments) the same IR the code generator lowers.
 	if opts.OptLevel >= 1 {
 		compiler.Optimize(m)
 	}
 	copts.SkipOptimize = true
 
-	bin := &Binary{Name: m.Name, Module: m}
-	var ares *armor.Result
-	if !opts.NoArmor {
-		var err error
-		ares, err = armor.Run(m, opts.Armor)
-		if err != nil {
-			return nil, fmt.Errorf("core: armor: %w", err)
-		}
-		bin.ArmorStats = ares.Stats
+	passes, err := defense.Resolve(opts.Defenses)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
+
+	bin := &Binary{Name: m.Name, Module: m}
+	// Census before instrumentation: the census describes the program's
+	// own address computations, not the checks a defense inserts.
 	bin.Census = armor.Census(m)
+
+	var kernels *ir.Module
+	var table []byte
+	for _, pass := range passes {
+		res, err := pass.Apply(m, defense.Options{
+			OptLevel: opts.OptLevel,
+			IsLib:    opts.IsLib,
+			Tuning:   opts.Armor,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: defense %s: %w", pass.Name(), err)
+		}
+		if bin.DefenseStats == nil {
+			bin.DefenseStats = map[string]defense.Stats{}
+		}
+		bin.DefenseStats[pass.Name()] = res.Stats
+		if res.Kernels != nil {
+			if kernels != nil {
+				return nil, fmt.Errorf("core: defenses %v: more than one repair pass emitted recovery kernels", opts.Defenses)
+			}
+			kernels = res.Kernels
+			table = res.Table
+		}
+		if d, ok := pass.(defense.Detector); ok && d.Detects() {
+			bin.Detects = true
+		}
+	}
 
 	t0 := time.Now()
 	prog, err := compiler.Compile(m, copts)
@@ -114,7 +159,7 @@ func Build(m *ir.Module, opts BuildOptions, deps ...*Binary) (*Binary, error) {
 	bin.CompileTime = time.Since(t0)
 	bin.Prog = prog
 
-	if ares != nil {
+	if kernels != nil {
 		// The recovery library is its own image, linked against the
 		// application's globals and simple functions.
 		kopts := compiler.LibOptions(opts.OptLevel, recoveryLibIndex(opts))
@@ -126,7 +171,7 @@ func Build(m *ir.Module, opts BuildOptions, deps ...*Binary) (*Binary, error) {
 		for _, g := range prog.Globals {
 			kopts.ExternGlobals[g.Name] = g.Addr
 		}
-		kprog, err := compiler.Compile(ares.Kernels, kopts)
+		kprog, err := compiler.Compile(kernels, kopts)
 		if err != nil {
 			return nil, fmt.Errorf("core: compile recovery kernels: %w", err)
 		}
@@ -135,15 +180,15 @@ func Build(m *ir.Module, opts BuildOptions, deps ...*Binary) (*Binary, error) {
 			return nil, err
 		}
 		bin.RecoveryLib = lib
-		bin.RecoveryTable = ares.Table.Encode()
+		bin.RecoveryTable = table
 	}
 	return bin, nil
 }
 
-// BuildLib compiles a shared-library module (e.g. BLAS) with CARE.
-// Library images occupy slot index (0-based).
-func BuildLib(m *ir.Module, opt int, index int, deps ...*Binary) (*Binary, error) {
-	return Build(m, BuildOptions{OptLevel: opt, IsLib: true, LibIndex: index}, deps...)
+// BuildLib compiles a shared-library module (e.g. BLAS) with the given
+// defense list. Library images occupy slot index (0-based).
+func BuildLib(m *ir.Module, opt int, index int, defenses []string, deps ...*Binary) (*Binary, error) {
+	return Build(m, BuildOptions{OptLevel: opt, IsLib: true, LibIndex: index, Defenses: defenses}, deps...)
 }
 
 // recoveryLibIndex maps an image to the library slot of its recovery

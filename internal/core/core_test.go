@@ -113,7 +113,7 @@ func buildStencil(t testing.TB) *ir.Module {
 }
 
 func goldenRun(t testing.TB, opt int) []float64 {
-	bin, err := Build(buildStencil(t), BuildOptions{OptLevel: opt, NoArmor: true})
+	bin, err := Build(buildStencil(t), BuildOptions{OptLevel: opt})
 	if err != nil {
 		t.Fatalf("build: %v", err)
 	}
@@ -129,19 +129,19 @@ func goldenRun(t testing.TB, opt int) []float64 {
 
 func TestBuildProducesArtifacts(t *testing.T) {
 	for _, opt := range []int{0, 1} {
-		bin, err := Build(buildStencil(t), BuildOptions{OptLevel: opt})
+		bin, err := Build(buildStencil(t), BuildOptions{OptLevel: opt, Defenses: []string{"care"}})
 		if err != nil {
 			t.Fatalf("O%d build: %v", opt, err)
 		}
 		if !bin.Protected() {
 			t.Fatalf("O%d: no recovery artifacts", opt)
 		}
-		if bin.ArmorStats.NumKernels == 0 {
+		if bin.DefenseStats["care"].NumKernels == 0 {
 			t.Fatalf("O%d: no kernels built", opt)
 		}
 		t.Logf("O%d: kernels=%d avg=%.2f mem=%d table=%dB lib=%dB",
-			opt, bin.ArmorStats.NumKernels, bin.ArmorStats.AvgKernelInstrs(),
-			bin.ArmorStats.NumMemAccesses, len(bin.RecoveryTable), len(bin.RecoveryLib))
+			opt, bin.DefenseStats["care"].NumKernels, bin.DefenseStats["care"].AvgKernelInstrs(),
+			bin.DefenseStats["care"].NumMemAccesses, len(bin.RecoveryTable), len(bin.RecoveryLib))
 	}
 }
 
@@ -162,7 +162,7 @@ func findProtectedLoad(t testing.TB, bin *Binary) int {
 func TestRecoveryFromCorruptedIndex(t *testing.T) {
 	for _, opt := range []int{0, 1} {
 		golden := goldenRun(t, opt)
-		bin, err := Build(buildStencil(t), BuildOptions{OptLevel: opt})
+		bin, err := Build(buildStencil(t), BuildOptions{OptLevel: opt, Defenses: []string{"care"}})
 		if err != nil {
 			t.Fatalf("O%d build: %v", opt, err)
 		}
@@ -208,7 +208,7 @@ func TestScopeCheckDetectsContaminatedInput(t *testing.T) {
 	// reproduces exactly the faulting address. Safeguard must declare
 	// the fault out of scope rather than resume (the paper's no-SDC
 	// guarantee).
-	bin, err := Build(buildStencil(t), BuildOptions{OptLevel: 0})
+	bin, err := Build(buildStencil(t), BuildOptions{OptLevel: 0, Defenses: []string{"care"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +283,7 @@ func TestHeuristicModeTradesCrashForPossibleSDC(t *testing.T) {
 	// Same contamination as the scope-check test, but with the
 	// LetGo-style heuristic enabled: the process survives by reading a
 	// bit bucket, at the cost of (likely) wrong output.
-	bin, err := Build(buildStencil(t), BuildOptions{OptLevel: 0})
+	bin, err := Build(buildStencil(t), BuildOptions{OptLevel: 0, Defenses: []string{"care"}})
 	if err != nil {
 		t.Fatal(err)
 	}

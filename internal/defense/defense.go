@@ -1,0 +1,197 @@
+// Package defense defines the pluggable defense-pass pipeline that the
+// build path (internal/core) runs between optimisation and lowering. A
+// defense pass is an IR-to-IR hardening transform — CARE's armor
+// (recovery-kernel extraction), PRESAGE-style protected address
+// generation, SFI-style bounds sandboxing — registered here by name so
+// that builds, CLIs and experiments select defenses with a plain string
+// list and rival defenses run on the identical substrate.
+//
+// Two pass families exist:
+//
+//   - repair passes (CARE) leave the module untouched and emit a
+//     recovery-kernel module plus an encoded recovery table; the
+//     Safeguard runtime repairs the faulting access in place;
+//   - detection passes (PRESAGE, SFI) insert checks into the module
+//     that call the care_detect host function when they fail; the
+//     machine raises a deterministic SIGTRAP that enters the Safeguard
+//     escalation chain at the domain-rewind/rollback stages (there is
+//     nothing to recompute — detection defenses cannot repair).
+package defense
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"care/internal/ir"
+)
+
+// Options is the build context handed to every pass.
+type Options struct {
+	// OptLevel is the build's optimisation level (0 or 1); passes run
+	// after the optimisation pipeline, so the module they see is the
+	// one the code generator lowers.
+	OptLevel int
+	// IsLib marks a shared-library build (the defense sees
+	// library-layout addresses, e.g. SFI's sandbox bounds).
+	IsLib bool
+	// Tuning carries pass-specific options (the CARE pass accepts an
+	// armor.Options); passes ignore values of types they do not know.
+	Tuning any
+}
+
+// Stats summarises one pass's run over one binary, keyed into
+// core.Binary.DefenseStats by pass name.
+type Stats struct {
+	// Pass is the registered pass name.
+	Pass string
+	// NumMemAccesses is the number of load/store instructions scanned.
+	NumMemAccesses int
+	// Protected counts accesses the pass covers: a recovery kernel
+	// registered (repair passes) or a check inserted (detection passes).
+	Protected int
+	// Skipped counts accesses the pass declined (direct global/alloca
+	// accesses, unretrievable slices, unclassifiable pointers).
+	Skipped int
+	// InsertedInstrs counts IR instructions the pass added to the
+	// module itself (detection passes; zero for CARE, which emits
+	// kernels into a separate module instead).
+	InsertedInstrs int
+	// NumKernels, TotalKernelInstrs and NumEquivalences describe
+	// emitted recovery kernels (repair passes only).
+	NumKernels        int
+	TotalKernelInstrs int
+	NumEquivalences   int
+	// AnalysisTime is the time spent in the pass's dominant analysis
+	// (liveness for CARE); TotalTime is the end-to-end pass time.
+	AnalysisTime time.Duration
+	TotalTime    time.Duration
+	// ProvenanceCol is the reserved negative debug column the pass
+	// stamps on every instruction it inserts (0 when it inserts none).
+	// care-disasm maps the column back to the pass name, making
+	// bake-off binaries auditable.
+	ProvenanceCol int32
+}
+
+// AvgKernelInstrs returns the mean kernel body size.
+func (s Stats) AvgKernelInstrs() float64 {
+	if s.NumKernels == 0 {
+		return 0
+	}
+	return float64(s.TotalKernelInstrs) / float64(s.NumKernels)
+}
+
+// Result bundles one pass's outputs.
+type Result struct {
+	Stats Stats
+	// Kernels is the recovery-kernel module of a repair pass (nil for
+	// detection passes); core compiles it into the recovery library.
+	Kernels *ir.Module
+	// Table is the encoded recovery table accompanying Kernels.
+	Table []byte
+}
+
+// Pass is one registered defense. Apply transforms (or analyses) the
+// module in place and returns the pass's artifacts; it runs after the
+// optimisation pipeline, so inserted instructions are lowered verbatim.
+type Pass interface {
+	// Name is the registry key ("care", "presage", "sfi", "none").
+	Name() string
+	// Apply runs the pass over the module.
+	Apply(m *ir.Module, opt Options) (*Result, error)
+}
+
+// Detector is the optional detection hook: a pass that implements it
+// (returning true) inserts care_detect checks whose failures surface as
+// SIGTRAP traps handled by the Safeguard escalation chain. core marks
+// such binaries so campaigns attach Safeguard even though the binary
+// ships no recovery table.
+type Detector interface {
+	Detects() bool
+}
+
+var registry = map[string]Pass{}
+
+// Register adds a pass to the registry (called from the pass packages'
+// init functions); duplicate names are a programming error.
+func Register(p Pass) {
+	if _, dup := registry[p.Name()]; dup {
+		panic("defense: duplicate pass " + p.Name())
+	}
+	registry[p.Name()] = p
+}
+
+// Names returns the registered pass names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup resolves one pass name; the error for an unknown name lists
+// the registered passes (the CLIs print it verbatim and exit 2).
+func Lookup(name string) (Pass, error) {
+	if p, ok := registry[name]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("defense: unknown defense %q (registered: %s)", name, strings.Join(Names(), ", "))
+}
+
+// Resolve maps a defense-name list to passes, rejecting unknown and
+// duplicate names. The order is preserved: passes apply in list order.
+func Resolve(names []string) ([]Pass, error) {
+	passes := make([]Pass, 0, len(names))
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			return nil, fmt.Errorf("defense: defense %q listed twice", n)
+		}
+		seen[n] = true
+		p, err := Lookup(n)
+		if err != nil {
+			return nil, err
+		}
+		passes = append(passes, p)
+	}
+	return passes, nil
+}
+
+// ParseList splits a comma-separated -defense flag value into a name
+// list ("care,presage" → ["care","presage"]); empty and "none"-only
+// values mean an undefended build.
+func ParseList(s string) []string {
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			names = append(names, part)
+		}
+	}
+	return names
+}
+
+// If returns names as a defense list when cond is true and nil (an
+// undefended build) otherwise — ergonomic for protected/unprotected
+// build grids.
+func If(cond bool, names ...string) []string {
+	if !cond {
+		return nil
+	}
+	return names
+}
+
+// nonePass is the registered no-defense baseline: it scans nothing and
+// changes nothing, but gives campaigns and CLIs a first-class "none"
+// arm.
+type nonePass struct{}
+
+func (nonePass) Name() string { return "none" }
+
+func (nonePass) Apply(m *ir.Module, opt Options) (*Result, error) {
+	return &Result{Stats: Stats{Pass: "none"}}, nil
+}
+
+func init() { Register(nonePass{}) }

@@ -1,0 +1,90 @@
+package defense
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryNamesAndLookup(t *testing.T) {
+	if _, err := Lookup("none"); err != nil {
+		t.Fatalf("none not registered: %v", err)
+	}
+	_, err := Lookup("no-such-defense")
+	if err == nil {
+		t.Fatal("unknown defense accepted")
+	}
+	if !strings.Contains(err.Error(), "registered:") || !strings.Contains(err.Error(), "none") {
+		t.Fatalf("error does not list registered passes: %v", err)
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(nonePass{})
+}
+
+func TestResolveRejectsDuplicates(t *testing.T) {
+	if _, err := Resolve([]string{"none", "none"}); err == nil {
+		t.Fatal("duplicate list accepted")
+	}
+	if _, err := Resolve([]string{"none", "bogus"}); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	passes, err := Resolve([]string{"none"})
+	if err != nil || len(passes) != 1 || passes[0].Name() != "none" {
+		t.Fatalf("Resolve([none]) = %v, %v", passes, err)
+	}
+}
+
+func TestParseList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"care", []string{"care"}},
+		{"care,presage", []string{"care", "presage"}},
+		{" care , sfi ", []string{"care", "sfi"}},
+		{",,", nil},
+	}
+	for _, c := range cases {
+		got := ParseList(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("ParseList(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("ParseList(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestIf(t *testing.T) {
+	if If(false, "care") != nil {
+		t.Fatal("If(false) != nil")
+	}
+	l := If(true, "care", "presage")
+	if len(l) != 2 || l[0] != "care" {
+		t.Fatalf("If(true) = %v", l)
+	}
+}
+
+func TestPassForProvenance(t *testing.T) {
+	if PassForProvenance(ColPresage) != "presage" || PassForProvenance(ColSFI) != "sfi" {
+		t.Fatal("provenance columns misattributed")
+	}
+	if PassForProvenance(0) != "" || PassForProvenance(7) != "" {
+		t.Fatal("real source columns must not map to a pass")
+	}
+}

@@ -1,0 +1,88 @@
+package defense
+
+import (
+	"fmt"
+
+	"care/internal/ir"
+)
+
+// Reserved provenance columns. Every instruction a detection pass
+// inserts carries Loc{Line: <access line>, Col: <pass column>}; the
+// columns are negative so they can never collide with real source
+// columns (the frontends emit columns >= 1) and care-disasm can map
+// them back to the inserting pass.
+const (
+	ColPresage int32 = -2
+	ColSFI     int32 = -3
+)
+
+// PassForProvenance maps a provenance column back to the pass name
+// ("" for columns no pass reserves).
+func PassForProvenance(col int32) string {
+	switch col {
+	case ColPresage:
+		return "presage"
+	case ColSFI:
+		return "sfi"
+	}
+	return ""
+}
+
+// CheckBuilder mints uniquely named check instructions for one
+// function. Prefix must be distinct from the frontends' "v%d"/"t%d"
+// naming so inserted names never collide with existing SSA names.
+type CheckBuilder struct {
+	Prefix string
+	Col    int32
+	seq    int
+	// Inserted counts instructions minted so far (feeds
+	// Stats.InsertedInstrs).
+	Inserted int
+}
+
+// New mints one named instruction stamped with the pass's provenance
+// column and the guarded access's source line.
+func (cb *CheckBuilder) New(op ir.Op, typ ir.Type, ops []ir.Value, line int32) *ir.Instr {
+	in := &ir.Instr{
+		Op:   op,
+		Typ:  typ,
+		Ops:  ops,
+		Name: fmt.Sprintf("%s%d", cb.Prefix, cb.seq),
+		Loc:  ir.Loc{Line: line, Col: cb.Col},
+	}
+	cb.seq++
+	cb.Inserted++
+	return in
+}
+
+// Detect mints the terminal care_detect host call: cond nonzero means
+// the check failed and the executor raises SIGTRAP carrying addr.
+func (cb *CheckBuilder) Detect(cond, addr ir.Value, line int32) *ir.Instr {
+	in := cb.New(ir.OpCall, ir.I64, []ir.Value{cond, addr}, line)
+	in.Host = "care_detect"
+	return in
+}
+
+// SpliceChecks rebuilds b.Instrs with each insertion list placed
+// immediately before its keyed instruction. Iteration follows block
+// order, so the result is deterministic regardless of map order.
+func SpliceChecks(b *ir.Block, before map[*ir.Instr][]*ir.Instr) {
+	if len(before) == 0 {
+		return
+	}
+	extra := 0
+	for _, pre := range before {
+		extra += len(pre)
+	}
+	out := make([]*ir.Instr, 0, len(b.Instrs)+extra)
+	for _, in := range b.Instrs {
+		if pre, ok := before[in]; ok {
+			for _, p := range pre {
+				p.Parent = b
+			}
+			out = append(out, pre...)
+		}
+		out = append(out, in)
+	}
+	b.Instrs = out
+}

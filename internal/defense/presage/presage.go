@@ -1,0 +1,125 @@
+// Package presage implements PRESAGE-style protected address
+// generation (Sharma et al.) as a detection-only defense pass. For
+// every load/store whose address comes from a structured computation
+// chain (GEPs and integer arithmetic), the pass clones the chain
+// immediately before the access — recomputing the address from the
+// same leaves — and compares the original against the shadow. A
+// mismatch means a soft error corrupted an intermediate register of
+// the chain; the check calls care_detect, which raises a deterministic
+// SIGTRAP into the Safeguard escalation chain.
+//
+// Faithful to the original scheme, PRESAGE detects corruption of the
+// address *computation* but not of the chain's leaves (loop indices in
+// registers shared with the shadow, base pointers loaded from memory):
+// a corrupted leaf corrupts original and shadow identically. Direct
+// global/alloca accesses have no chain to recompute and are skipped —
+// the same accesses CARE's armor declines to kernelise.
+package presage
+
+import (
+	"care/internal/defense"
+	"care/internal/ir"
+)
+
+// maxChain bounds one shadow recomputation so a pathological
+// expression chain cannot double the module; longer chains are counted
+// as skipped.
+const maxChain = 64
+
+type pass struct{}
+
+func (pass) Name() string { return "presage" }
+
+// Detects marks presage as a detection-only defense: its checks raise
+// SIGTRAP traps, so core flags the binary for Safeguard attachment
+// even though it ships no recovery table.
+func (pass) Detects() bool { return true }
+
+func (pass) Apply(m *ir.Module, opt defense.Options) (*defense.Result, error) {
+	st := defense.Stats{Pass: "presage", ProvenanceCol: defense.ColPresage}
+	for _, f := range m.Funcs {
+		cb := &defense.CheckBuilder{Prefix: "psg", Col: defense.ColPresage}
+		changed := false
+		for _, b := range f.Blocks {
+			before := map[*ir.Instr][]*ir.Instr{}
+			for _, in := range b.Instrs {
+				if !in.IsMemAccess() {
+					continue
+				}
+				st.NumMemAccesses++
+				ptr, _ := in.PointerOperand()
+				checks, ok := shadowChecks(cb, in, ptr)
+				if !ok {
+					st.Skipped++
+					continue
+				}
+				before[in] = checks
+				st.Protected++
+			}
+			if len(before) > 0 {
+				defense.SpliceChecks(b, before)
+				changed = true
+			}
+		}
+		if changed {
+			f.Renumber()
+		}
+		st.InsertedInstrs += cb.Inserted
+	}
+	return &defense.Result{Stats: st}, nil
+}
+
+// cloneable reports whether a chain node can be shadow-recomputed:
+// address arithmetic only. Everything else (loads, phis, allocas,
+// calls) is a leaf the shadow shares with the original.
+func cloneable(op ir.Op) bool { return op == ir.OpGEP || op.IsIntBinary() }
+
+// shadowChecks builds the shadow recomputation of access's address
+// plus the compare-and-detect tail, all to be inserted immediately
+// before access. The chain instructions dominate the access (they feed
+// its pointer operand), so their leaves dominate the insertion point
+// too. Returns ok=false when there is no chain to recompute.
+func shadowChecks(cb *defense.CheckBuilder, access *ir.Instr, ptr ir.Value) ([]*ir.Instr, bool) {
+	root, ok := ptr.(*ir.Instr)
+	if !ok || !cloneable(root.Op) {
+		return nil, false
+	}
+	saved := cb.Inserted
+	line := access.Loc.Line
+	var out []*ir.Instr
+	clones := map[*ir.Instr]ir.Value{}
+	var clone func(v ir.Value) ir.Value
+	clone = func(v ir.Value) ir.Value {
+		in, ok := v.(*ir.Instr)
+		if !ok || !cloneable(in.Op) {
+			return v // leaf: shared with the original chain
+		}
+		if c, ok := clones[in]; ok {
+			return c
+		}
+		if len(out) >= maxChain {
+			return nil
+		}
+		ops := make([]ir.Value, len(in.Ops))
+		for i, o := range in.Ops {
+			if ops[i] = clone(o); ops[i] == nil {
+				return nil
+			}
+		}
+		c := cb.New(in.Op, in.Typ, ops, line)
+		c.Size = in.Size
+		clones[in] = c
+		out = append(out, c)
+		return c
+	}
+	shadow := clone(root)
+	if shadow == nil {
+		cb.Inserted = saved
+		return nil, false
+	}
+	ne := cb.New(ir.OpICmpNE, ir.I64, []ir.Value{ptr, shadow}, line)
+	det := cb.Detect(ne, ptr, line)
+	return append(out, ne, det), true
+}
+
+func init() { defense.Register(pass{}) }

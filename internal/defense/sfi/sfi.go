@@ -1,0 +1,144 @@
+// Package sfi implements software-fault-isolation-style bounds
+// sandboxing as a detection-only defense pass. Every load/store is
+// preceded by a range check of its address against the segment its
+// pointer provably belongs to — globals, heap, library data, or stack,
+// derived by walking the pointer chain to its root; unclassifiable
+// roots fall back to the whole writable address space. The segment
+// bounds are compile-time constants of the prelinked memory layout
+// (internal/machine), so the checks are two immediate compares and an
+// or. A failed check calls care_detect, which raises a deterministic
+// SIGTRAP into the Safeguard escalation chain.
+//
+// Unlike PRESAGE, SFI mediates *every* access — including the direct
+// global/alloca accesses both CARE and PRESAGE skip — but only catches
+// corruption that moves the address out of its segment: a bit flip
+// landing inside the same segment passes the check and surfaces as an
+// SDC or a benign wrong-slot access.
+package sfi
+
+import (
+	"care/internal/defense"
+	"care/internal/ir"
+	"care/internal/machine"
+)
+
+type pass struct{}
+
+func (pass) Name() string { return "sfi" }
+
+// Detects marks sfi as a detection-only defense (see presage).
+func (pass) Detects() bool { return true }
+
+// bounds is one segment's half-open address range [lo, hi).
+type bounds struct{ lo, hi machine.Word }
+
+var (
+	globalBounds = bounds{machine.AppGlobalBase, machine.HeapBase}
+	heapBounds   = bounds{machine.HeapBase, machine.LibCodeBase}
+	libBounds    = bounds{machine.LibCodeBase, machine.ScratchStackTop - machine.ScratchStackSize}
+	stackBounds  = bounds{machine.StackTop - machine.DefaultStackSize, machine.StackTop}
+	// wideBounds sandboxes unclassifiable pointers into the union of
+	// all data segments — still excluding code, the scratch stack and
+	// the canonical-address hole above StackTop.
+	wideBounds = bounds{machine.AppGlobalBase, machine.StackTop}
+)
+
+func (pass) Apply(m *ir.Module, opt defense.Options) (*defense.Result, error) {
+	st := defense.Stats{Pass: "sfi", ProvenanceCol: defense.ColSFI}
+	for _, f := range m.Funcs {
+		cb := &defense.CheckBuilder{Prefix: "sfi", Col: defense.ColSFI}
+		changed := false
+		for _, b := range f.Blocks {
+			before := map[*ir.Instr][]*ir.Instr{}
+			for _, in := range b.Instrs {
+				if !in.IsMemAccess() {
+					continue
+				}
+				st.NumMemAccesses++
+				ptr, _ := in.PointerOperand()
+				before[in] = rangeChecks(cb, in, ptr, classify(ptr, opt.IsLib))
+				st.Protected++
+			}
+			if len(before) > 0 {
+				defense.SpliceChecks(b, before)
+				changed = true
+			}
+		}
+		if changed {
+			f.Renumber()
+		}
+		st.InsertedInstrs += cb.Inserted
+	}
+	return &defense.Result{Stats: st}, nil
+}
+
+// classify walks ptr's chain to its root and returns the segment
+// bounds the access must stay within. isLib widens global roots to the
+// library data range (library globals live at library-relative
+// addresses).
+func classify(ptr ir.Value, isLib bool) bounds {
+	for {
+		switch x := ptr.(type) {
+		case *ir.Global:
+			if isLib {
+				return libBounds
+			}
+			return globalBounds
+		case *ir.Const:
+			return machineRange(machine.Word(x.I))
+		case *ir.Instr:
+			switch {
+			case x.Op == ir.OpAlloca:
+				return stackBounds
+			case x.Op == ir.OpGEP:
+				ptr = x.Ops[0]
+			case x.Op == ir.OpCall && x.Callee == nil && x.Host == "malloc":
+				return heapBounds
+			case x.Op.IsIntBinary():
+				// Pointer arithmetic outside GEP: follow the single
+				// pointer-typed operand if there is exactly one.
+				var p ir.Value
+				n := 0
+				for _, o := range x.Ops {
+					if o.Type() == ir.Ptr {
+						p, n = o, n+1
+					}
+				}
+				if n != 1 {
+					return wideBounds
+				}
+				ptr = p
+			default:
+				// load, phi, non-malloc call: could point anywhere.
+				return wideBounds
+			}
+		default:
+			// function argument or unknown value kind.
+			return wideBounds
+		}
+	}
+}
+
+// machineRange places a constant address into its segment.
+func machineRange(addr machine.Word) bounds {
+	for _, b := range []bounds{globalBounds, heapBounds, libBounds, stackBounds} {
+		if addr >= b.lo && addr < b.hi {
+			return b
+		}
+	}
+	return wideBounds
+}
+
+// rangeChecks builds the two-compare bounds check for one access: trap
+// if ptr < lo or ptr > hi-8 (the access reads/writes an 8-byte word).
+// Addresses are below 2^47, so signed compares are exact.
+func rangeChecks(cb *defense.CheckBuilder, access *ir.Instr, ptr ir.Value, b bounds) []*ir.Instr {
+	line := access.Loc.Line
+	below := cb.New(ir.OpICmpSLT, ir.I64, []ir.Value{ptr, ir.ConstInt(int64(b.lo))}, line)
+	above := cb.New(ir.OpICmpSGT, ir.I64, []ir.Value{ptr, ir.ConstInt(int64(b.hi - 8))}, line)
+	bad := cb.New(ir.OpOr, ir.I64, []ir.Value{below, above}, line)
+	det := cb.Detect(bad, ptr, line)
+	return []*ir.Instr{below, above, bad, det}
+}
+
+func init() { defense.Register(pass{}) }

@@ -24,13 +24,14 @@ import (
 	"care/internal/workloads"
 )
 
-// BuildWorkload compiles a named workload.
-func BuildWorkload(name string, p workloads.Params, opt int, protected bool) (*core.Binary, error) {
+// BuildWorkload compiles a named workload with the given defense list
+// (nil = undefended; see internal/defense for the registered passes).
+func BuildWorkload(name string, p workloads.Params, opt int, defenses []string) (*core.Binary, error) {
 	w, err := workloads.Get(name)
 	if err != nil {
 		return nil, err
 	}
-	return core.Build(w.Module(p), core.BuildOptions{OptLevel: opt, NoArmor: !protected})
+	return core.Build(w.Module(p), core.BuildOptions{OptLevel: opt, Defenses: defenses})
 }
 
 // OutcomeRow is one workload's row of Tables 2+3+4 (or 10+11 under the
@@ -88,7 +89,7 @@ func OutcomeStudy(names []string, n, faults int, model faultinject.Model, seed i
 	rows := make([]OutcomeRow, len(names))
 	err := parallel.ForEach(len(names), opts.Workers, func(i int) error {
 		name := names[i]
-		bin, err := BuildWorkload(name, p, opt, false)
+		bin, err := BuildWorkload(name, p, opt, nil)
 		if err != nil {
 			return err
 		}
@@ -124,7 +125,7 @@ func FormatOutcomeTables(rows []OutcomeRow) string {
 	fmt.Fprintf(&sb, "%-10s %9s %8s %9s %7s\n", "Workload", "SIGSEGV", "SIGBUS", "SIGABRT", "Other")
 	for _, r := range rows {
 		s := r.Res.Symptoms
-		other := s[machine.SigFPE] + s[machine.SigILL]
+		other := s[machine.SigFPE] + s[machine.SigILL] + s[machine.SigTRAP]
 		fmt.Fprintf(&sb, "%-10s %9d %8d %9d %7d\n", r.Workload,
 			s[machine.SigSEGV], s[machine.SigBUS], s[machine.SigABRT], other)
 	}
@@ -212,14 +213,14 @@ func ArmorStudy(opt int, p workloads.Params, evaluatedOnly bool) ([]ArmorRow, er
 	rows := make([]ArmorRow, len(ws))
 	err := parallel.ForEach(len(ws), 0, func(i int) error {
 		w := ws[i]
-		bin, err := core.Build(w.Module(p), core.BuildOptions{OptLevel: opt})
+		bin, err := core.Build(w.Module(p), core.BuildOptions{OptLevel: opt, Defenses: []string{"care"}})
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
-		s := bin.ArmorStats
+		s := bin.DefenseStats["care"]
 		lp := 0.0
 		if s.TotalTime > 0 {
-			lp = 100 * float64(s.LivenessTime) / float64(s.TotalTime)
+			lp = 100 * float64(s.AnalysisTime) / float64(s.TotalTime)
 		}
 		rows[i] = ArmorRow{
 			Workload:    w.Name,
@@ -270,7 +271,7 @@ func CoverageStudy(names []string, trials int, model faultinject.Model, seed int
 	rows := make([]CoverageRow, len(names)*len(opts))
 	err := parallel.ForEach(len(rows), workers, func(i int) error {
 		name, opt := names[i/len(opts)], opts[i%len(opts)]
-		bin, err := BuildWorkload(name, p, opt, true)
+		bin, err := BuildWorkload(name, p, opt, []string{"care"})
 		if err != nil {
 			return err
 		}
@@ -325,7 +326,7 @@ type ParallelRow struct {
 func ParallelStudy(names []string, ranks, threads, opt int, p workloads.Params, seed int64, opts StudyOptions) ([]ParallelRow, error) {
 	var rows []ParallelRow
 	for _, name := range names {
-		bin, err := BuildWorkload(name, p, opt, true)
+		bin, err := BuildWorkload(name, p, opt, []string{"care"})
 		if err != nil {
 			return nil, err
 		}
@@ -438,11 +439,11 @@ type BLASRow struct {
 
 // BLASStudy reproduces Table 9 (§5.5).
 func BLASStudy(trials int, opt int, seed int64) (*BLASRow, error) {
-	lib, err := core.BuildLib(blas.Library(), opt, 0)
+	lib, err := core.BuildLib(blas.Library(), opt, 0, []string{"care"})
 	if err != nil {
 		return nil, err
 	}
-	drv, err := core.Build(blas.Sblat1(5), core.BuildOptions{OptLevel: opt}, lib)
+	drv, err := core.Build(blas.Sblat1(5), core.BuildOptions{OptLevel: opt, Defenses: []string{"care"}}, lib)
 	if err != nil {
 		return nil, err
 	}
@@ -456,12 +457,12 @@ func BLASStudy(trials int, opt int, seed int64) (*BLASRow, error) {
 		return nil, err
 	}
 	return &BLASRow{
-		LibKernels:    lib.ArmorStats.NumKernels,
-		DriverKernels: drv.ArmorStats.NumKernels,
+		LibKernels:    lib.DefenseStats["care"].NumKernels,
+		DriverKernels: drv.DefenseStats["care"].NumKernels,
 		LibCompile:    lib.CompileTime,
-		LibArmor:      lib.ArmorStats.TotalTime,
+		LibArmor:      lib.DefenseStats["care"].TotalTime,
 		DriverCompile: drv.CompileTime,
-		DriverArmor:   drv.ArmorStats.TotalTime,
+		DriverArmor:   drv.DefenseStats["care"].TotalTime,
 		Coverage:      res.Coverage(),
 		MeanRecovery:  res.MeanRecoveryTime(),
 		SigsegvTrials: res.SigsegvTrials,
@@ -501,11 +502,11 @@ func AllNames() []string {
 // BLASStudy2 is BLASStudy with an explicit Safeguard configuration
 // (used by the induction-recovery extension benchmark).
 func BLASStudy2(trials, opt int, seed int64, cfg safeguard.Config) (*BLASRow, error) {
-	lib, err := core.BuildLib(blas.Library(), opt, 0)
+	lib, err := core.BuildLib(blas.Library(), opt, 0, []string{"care"})
 	if err != nil {
 		return nil, err
 	}
-	drv, err := core.Build(blas.Sblat1(5), core.BuildOptions{OptLevel: opt}, lib)
+	drv, err := core.Build(blas.Sblat1(5), core.BuildOptions{OptLevel: opt, Defenses: []string{"care"}}, lib)
 	if err != nil {
 		return nil, err
 	}
@@ -519,8 +520,8 @@ func BLASStudy2(trials, opt int, seed int64, cfg safeguard.Config) (*BLASRow, er
 		return nil, err
 	}
 	return &BLASRow{
-		LibKernels:    lib.ArmorStats.NumKernels,
-		DriverKernels: drv.ArmorStats.NumKernels,
+		LibKernels:    lib.DefenseStats["care"].NumKernels,
+		DriverKernels: drv.DefenseStats["care"].NumKernels,
 		Coverage:      res.Coverage(),
 		MeanRecovery:  res.MeanRecoveryTime(),
 		SigsegvTrials: res.SigsegvTrials,

@@ -110,7 +110,7 @@ func PolicyStudy(names []string, trials, faultsPerTrial int, model faultinject.M
 	rows := make([]PolicyRow, len(names)*len(specs))
 	err := parallel.ForEach(len(rows), opts.Workers, func(i int) error {
 		name, spec := names[i/len(specs)], specs[i%len(specs)]
-		bin, err := BuildWorkload(name, p, opt, true)
+		bin, err := BuildWorkload(name, p, opt, []string{"care"})
 		if err != nil {
 			return err
 		}

@@ -21,6 +21,7 @@ import (
 	"care/internal/machine"
 	"care/internal/parallel"
 	"care/internal/profiler"
+	"care/internal/safeguard"
 	"care/internal/taint"
 	"care/internal/trace"
 )
@@ -74,10 +75,12 @@ func (o Outcome) String() string {
 // allOutcomes enumerates the outcome classes (counter derivation).
 var allOutcomes = [...]Outcome{Benign, SoftFailure, SDC, Hang}
 
-// allSignals enumerates the crash-symptom classes.
+// allSignals enumerates the crash-symptom classes. SIGTRAP is the
+// deterministic detection trap of a detection-only defense pass
+// (fail-stop when no checkpoint store is wired).
 var allSignals = [...]machine.Signal{
 	machine.SigSEGV, machine.SigBUS, machine.SigFPE,
-	machine.SigABRT, machine.SigILL,
+	machine.SigABRT, machine.SigILL, machine.SigTRAP,
 }
 
 // allDests enumerates the destination-operand classes.
@@ -377,6 +380,16 @@ type Campaign struct {
 	// populating CampaignResult.ByDomain — the crash-geography view the
 	// domain-rewind policy acts on.
 	Domains bool
+	// Protected attaches the Safeguard runtime to every trial process,
+	// so defended binaries (CARE repair, PRESAGE/SFI detection) run
+	// their recovery machinery under injection. Each trial merges the
+	// safeguard's own trace — activation spans plus the
+	// recovered/detected/unrecoverable counters — into its recorder, so
+	// the campaign trace stays bit-identical across worker counts.
+	Protected bool
+	// Safeguard tunes the attached runtime (zero value = the paper's
+	// one-shot configuration; Protected only).
+	Safeguard safeguard.Config
 }
 
 // WarmStartStats accounts for the work a warm-started campaign skipped.
@@ -506,7 +519,10 @@ func (c *Campaign) runTrial(i int, prof *profiler.Profile, hang uint64) (trial, 
 		}
 		snap = prof.NearestSnap(minTarget)
 	}
-	cfg := core.ProcessConfig{App: c.App, Libs: c.Libs, Tier: c.Tier}
+	cfg := core.ProcessConfig{
+		App: c.App, Libs: c.Libs, Tier: c.Tier,
+		Protected: c.Protected, Safeguard: c.Safeguard,
+	}
 	var p *core.Process
 	var err error
 	if snap != nil {
@@ -517,10 +533,16 @@ func (c *Campaign) runTrial(i int, prof *profiler.Profile, hang uint64) (trial, 
 	if err != nil {
 		return trial{}, err
 	}
-	// A campaign trial emits at most one trap stamp (an unprotected
+	// An unprotected campaign trial emits at most one trap stamp (the
 	// process dies at its first trap) plus the summary span; a 4-slot
-	// ring never drops and keeps the per-trial footprint small.
-	rec := trace.New(4)
+	// ring never drops and keeps the per-trial footprint small. A
+	// protected trial additionally absorbs the safeguard's activation
+	// and phase spans, so it gets a deeper ring.
+	capSpans := 4
+	if c.Protected {
+		capSpans = 256
+	}
+	rec := trace.New(capSpans)
 	if c.Trace {
 		p.CPU.Trace = rec
 	}
@@ -545,6 +567,12 @@ func (c *Campaign) runTrial(i int, prof *profiler.Profile, hang uint64) (trial, 
 		limit -= skipped
 	}
 	status := p.Run(limit)
+	// Fold the safeguard's private trace (activations, phase spans, the
+	// recovered/detected counters) into the trial recorder so campaign
+	// merges see recovery outcomes alongside injection outcomes.
+	if p.SG != nil {
+		rec.Merge(p.SG.Trace())
+	}
 	// last is the most recently fired fault — the proximate corruption
 	// the manifestation latency is measured from.
 	var last *Armed

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"care/internal/core"
+	"care/internal/defense"
 	"care/internal/machine"
 	"care/internal/safeguard"
 	"care/internal/workloads"
@@ -15,7 +16,7 @@ func buildWorkload(t testing.TB, name string, opt int, protected bool) *core.Bin
 	if err != nil {
 		t.Fatal(err)
 	}
-	bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{OptLevel: opt, NoArmor: !protected})
+	bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{OptLevel: opt, Defenses: defense.If(protected, "care")})
 	if err != nil {
 		t.Fatal(err)
 	}

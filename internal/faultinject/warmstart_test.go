@@ -64,7 +64,7 @@ func tinyBinary(t testing.TB) *core.Binary {
 	if err := ir.VerifyModule(m); err != nil {
 		t.Fatal(err)
 	}
-	bin, err := core.Build(m, core.BuildOptions{NoArmor: true})
+	bin, err := core.Build(m, core.BuildOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,6 +41,20 @@ type Context interface {
 // into a SIGABRT-style trap.
 var ErrAbort = errors.New("hostenv: abort")
 
+// DetectFault is returned by the "care_detect" host call when a
+// detection-only defense pass (PRESAGE chain check, SFI bounds check)
+// fires; executors translate it into a SIGTRAP-style trap carrying the
+// suspect address so the recovery runtime can attribute the fault.
+type DetectFault struct {
+	// Addr is the address the failed check was guarding.
+	Addr Word
+}
+
+// Error implements error.
+func (d *DetectFault) Error() string {
+	return fmt.Sprintf("hostenv: defense check failed guarding 0x%x", d.Addr)
+}
+
 // Status tells the executor how to proceed after a host call.
 type Status uint8
 
@@ -107,22 +121,23 @@ type Signature struct {
 // Signatures maps every supported host function to its signature. The
 // compiler refuses calls to unknown host functions.
 var Signatures = map[string]Signature{
-	"malloc":     {NArgs: 1},
-	"print_i64":  {NArgs: 1},
-	"print_f64":  {NArgs: 1, FloatArgs: []bool{true}, FloatRet: false},
-	"result_f64": {NArgs: 1, FloatArgs: []bool{true}},
-	"abort":      {NArgs: 1},
-	"exit":       {NArgs: 1},
-	"sqrt":       {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
-	"fabs":       {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
-	"exp":        {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
-	"log":        {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
-	"sin":        {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
-	"cos":        {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
-	"floor":      {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
-	"pow":        {NArgs: 2, FloatArgs: []bool{true, true}, FloatRet: true},
-	"fmin":       {NArgs: 2, FloatArgs: []bool{true, true}, FloatRet: true},
-	"fmax":       {NArgs: 2, FloatArgs: []bool{true, true}, FloatRet: true},
+	"malloc":      {NArgs: 1},
+	"print_i64":   {NArgs: 1},
+	"print_f64":   {NArgs: 1, FloatArgs: []bool{true}, FloatRet: false},
+	"result_f64":  {NArgs: 1, FloatArgs: []bool{true}},
+	"abort":       {NArgs: 1},
+	"exit":        {NArgs: 1},
+	"care_detect": {NArgs: 2},
+	"sqrt":        {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
+	"fabs":        {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
+	"exp":         {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
+	"log":         {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
+	"sin":         {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
+	"cos":         {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
+	"floor":       {NArgs: 1, FloatArgs: []bool{true}, FloatRet: true},
+	"pow":         {NArgs: 2, FloatArgs: []bool{true, true}, FloatRet: true},
+	"fmin":        {NArgs: 2, FloatArgs: []bool{true, true}, FloatRet: true},
+	"fmax":        {NArgs: 2, FloatArgs: []bool{true, true}, FloatRet: true},
 
 	"mpi_rank":              {NArgs: 0},
 	"mpi_size":              {NArgs: 0},
@@ -163,6 +178,14 @@ func (e *Env) Call(name string, args []Word, ctx Context) (Word, Status, error) 
 		return 0, Done, nil
 	case "abort":
 		return 0, Done, fmt.Errorf("%w (code %d)", ErrAbort, int64(args[0]))
+	case "care_detect":
+		// args[0] is the check's failure condition, args[1] the guarded
+		// address. A zero condition is the (overwhelmingly common)
+		// all-clear fast path.
+		if args[0] != 0 {
+			return 0, Done, &DetectFault{Addr: args[1]}
+		}
+		return 0, Done, nil
 	case "exit":
 		return args[0], Exit, nil
 	case "sqrt":

@@ -479,12 +479,16 @@ func (c *CPU) Step() {
 		res, st, err := c.Env.Call(in.Host, args, c.Mem.HostContext())
 		if err != nil {
 			sig := SigSEGV
+			var addr Word
+			var det *hostenv.DetectFault
 			if errors.Is(err, hostenv.ErrAbort) {
 				sig = SigABRT
+			} else if errors.As(err, &det) {
+				sig, addr = SigTRAP, det.Addr
 			} else if f, ok := err.(*Fault); ok {
 				sig = f.Sig
 			}
-			c.trap(&Trap{Sig: sig, PC: c.PC, Img: img, Idx: idx, Instr: in})
+			c.trap(&Trap{Sig: sig, PC: c.PC, Addr: addr, Img: img, Idx: idx, Instr: in})
 			return
 		}
 		switch st {

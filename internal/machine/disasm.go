@@ -135,6 +135,17 @@ func Disassemble(in *MInstr) string {
 //
 // so care-disasm output shows exactly why a region won't fuse.
 func DisassembleProgram(p *Program) string {
+	return DisassembleProgramAnnotated(p, nil)
+}
+
+// DisassembleProgramAnnotated is DisassembleProgram with a caller-chosen
+// source-location annotator: when annotate returns a non-empty string
+// for an instruction's (line, col) debug stamp, that string replaces the
+// default `!line:col` marker. care-disasm uses it to label instructions
+// a defense pass inserted (their reserved negative provenance columns
+// map back to the pass name), keeping machine free of any dependency on
+// the defense registry.
+func DisassembleProgramAnnotated(p *Program, annotate func(line, col int32) string) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "; program %s (O%d) code@0x%x data@0x%x\n", p.Name, p.OptLevel, p.CodeBase, p.GlobalBase)
 	fnAt := map[int]string{}
@@ -170,7 +181,13 @@ func DisassembleProgram(p *Program) string {
 		if entries[i] {
 			sb.WriteString(" ; sb-entry")
 		}
-		if in.Line != 0 || in.Col != 0 {
+		mark := ""
+		if annotate != nil {
+			mark = annotate(in.Line, in.Col)
+		}
+		if mark != "" {
+			fmt.Fprintf(&sb, " ; %s", mark)
+		} else if in.Line != 0 || in.Col != 0 {
 			fmt.Fprintf(&sb, " ; !%d:%d", in.Line, in.Col)
 		}
 		sb.WriteByte('\n')

@@ -70,6 +70,10 @@ const (
 	SigABRT
 	// SigILL is an attempt to execute a non-code address.
 	SigILL
+	// SigTRAP is a deterministic detection trap raised by a
+	// detection-only defense pass (PRESAGE chain check, SFI bounds
+	// check) via the care_detect host call.
+	SigTRAP
 )
 
 // String returns the conventional signal name.
@@ -87,6 +91,8 @@ func (s Signal) String() string {
 		return "SIGABRT"
 	case SigILL:
 		return "SIGILL"
+	case SigTRAP:
+		return "SIGTRAP"
 	}
 	return fmt.Sprintf("SIG(%d)", uint8(s))
 }

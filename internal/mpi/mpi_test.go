@@ -31,7 +31,7 @@ func buildAllreduceProgram(rounds int) *ir.Module {
 
 func runWorld(t *testing.T, n, rounds int, quantum uint64) (*RunResult, []*core.Process) {
 	t.Helper()
-	bin, err := core.Build(buildAllreduceProgram(rounds), core.BuildOptions{OptLevel: 0, NoArmor: true})
+	bin, err := core.Build(buildAllreduceProgram(rounds), core.BuildOptions{OptLevel: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestSingleRankWorld(t *testing.T) {
 }
 
 func TestDeadRankParksSurvivors(t *testing.T) {
-	bin, err := core.Build(buildAllreduceProgram(2), core.BuildOptions{OptLevel: 0, NoArmor: true})
+	bin, err := core.Build(buildAllreduceProgram(2), core.BuildOptions{OptLevel: 0})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,7 +24,7 @@ func buildSeed(t *testing.T, seed int64, opt int) *core.Binary {
 
 func buildOpts(t *testing.T, seed int64, opt int, gopts Options) *core.Binary {
 	t.Helper()
-	bin, err := core.Build(Generate(seed, gopts), core.BuildOptions{OptLevel: opt, NoArmor: true})
+	bin, err := core.Build(Generate(seed, gopts), core.BuildOptions{OptLevel: opt})
 	if err != nil {
 		t.Fatalf("seed %d O%d: build: %v", seed, opt, err)
 	}

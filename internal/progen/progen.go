@@ -147,9 +147,9 @@ func (g *gen) shapes() {
 		g.fb.NewLine()
 		cond := g.fb.ICmp(ir.OpICmpSLT, g.intOperand(), g.intOperand())
 		out := g.fb.If(cond, func() []ir.Value {
-			return []ir.Value{g.fb.Add(g.intOperand(), irbuild.I(int64(i + 1)))}
+			return []ir.Value{g.fb.Add(g.intOperand(), irbuild.I(int64(i+1)))}
 		}, func() []ir.Value {
-			return []ir.Value{g.fb.Xor(g.intOperand(), irbuild.I(int64(2*i + 1)))}
+			return []ir.Value{g.fb.Xor(g.intOperand(), irbuild.I(int64(2*i+1)))}
 		})
 		g.ints = append(g.ints, g.fb.And(out[0], irbuild.I(1<<24-1)))
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"care/internal/core"
+	"care/internal/defense"
 	"care/internal/interp"
 	"care/internal/machine"
 )
@@ -30,7 +31,7 @@ func TestDifferentialFuzz(t *testing.T) {
 		for _, opt := range []int{0, 1} {
 			for _, withArmor := range []bool{false, true} {
 				m2 := Generate(seed, Options{})
-				bin, err := core.Build(m2, core.BuildOptions{OptLevel: opt, NoArmor: !withArmor})
+				bin, err := core.Build(m2, core.BuildOptions{OptLevel: opt, Defenses: defense.If(withArmor, "care")})
 				if err != nil {
 					t.Fatalf("seed %d O%d armor=%v: build: %v", seed, opt, withArmor, err)
 				}
@@ -81,7 +82,7 @@ func TestSpillPressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	m2 := Generate(7, Options{Stmts: 40, MaxDepth: 2})
-	bin, err := core.Build(m2, core.BuildOptions{OptLevel: 1, NoArmor: true})
+	bin, err := core.Build(m2, core.BuildOptions{OptLevel: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -134,7 +134,7 @@ func armIxCorruption(t *testing.T, bin *core.Binary, p *core.Process) *bool {
 
 func TestInductionRecoveryExtension(t *testing.T) {
 	// Golden.
-	gbin, err := core.Build(buildTwoInductionLoop(), core.BuildOptions{OptLevel: 0, NoArmor: true})
+	gbin, err := core.Build(buildTwoInductionLoop(), core.BuildOptions{OptLevel: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,11 +147,11 @@ func TestInductionRecoveryExtension(t *testing.T) {
 	}
 	golden := append([]float64(nil), gp.Results()...)
 
-	bin, err := core.Build(buildTwoInductionLoop(), core.BuildOptions{OptLevel: 0})
+	bin, err := core.Build(buildTwoInductionLoop(), core.BuildOptions{OptLevel: 0, Defenses: []string{"care"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bin.ArmorStats.NumEquivalences == 0 {
+	if bin.DefenseStats["care"].NumEquivalences == 0 {
 		t.Fatal("Armor found no induction equivalences")
 	}
 

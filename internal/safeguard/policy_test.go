@@ -5,6 +5,7 @@ import (
 
 	"care/internal/checkpoint"
 	"care/internal/core"
+	"care/internal/defense"
 	"care/internal/machine"
 	"care/internal/safeguard"
 	"care/internal/workloads"
@@ -18,7 +19,7 @@ func buildHPCCG(t *testing.T, noArmor bool) *core.Binary {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{OptLevel: 0, NoArmor: noArmor})
+	bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{OptLevel: 0, Defenses: defense.If(!noArmor, "care")})
 	if err != nil {
 		t.Fatal(err)
 	}

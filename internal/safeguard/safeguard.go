@@ -76,6 +76,13 @@ const (
 	// RetryBudgetExhausted: more than Policy.MaxTrapsPerPC traps were
 	// handled at this PC and no rollback was available.
 	RetryBudgetExhausted Outcome = "retry-budget-exhausted"
+	// DefenseDetected: a detection-only defense pass (PRESAGE, SFI)
+	// raised a deterministic SIGTRAP via care_detect. There is no
+	// kernel to recompute — the check proves corruption but cannot
+	// repair it — so the activation enters the escalation chain
+	// directly at the domain-rewind/rollback stages; without a wired
+	// checkpoint store the detection is fail-stop.
+	DefenseDetected Outcome = "defense-detected"
 )
 
 // Event records one activation for the recovery-time analysis
@@ -177,6 +184,10 @@ const (
 	CounterActivations   = "safeguard.activations"
 	CounterRecovered     = "safeguard.recovered"
 	CounterUnrecoverable = "safeguard.unrecoverable"
+	// CounterDetected counts SIGTRAP activations raised by a
+	// detection-only defense (charged at handler entry, before the
+	// escalation chain decides the activation's final outcome).
+	CounterDetected      = "safeguard.detected"
 	CounterRolledBack    = "safeguard.rolled-back"
 	CounterDomainRewinds = "safeguard.domain-rewinds"
 	CounterStorms        = "safeguard.storms"
@@ -217,10 +228,10 @@ func DomainRewindCounter(d machine.DomainID) string {
 // PhaseNsCounters maps each activation-phase span kind to the additive
 // counter holding its total wall time in nanoseconds.
 var PhaseNsCounters = map[trace.Kind]string{
-	trace.KindDiagnose: CounterDiagnoseNs,
-	trace.KindLoad:     CounterLoadNs,
-	trace.KindFetch:    CounterFetchNs,
-	trace.KindKernel:   CounterKernelNs,
+	trace.KindDiagnose:     CounterDiagnoseNs,
+	trace.KindLoad:         CounterLoadNs,
+	trace.KindFetch:        CounterFetchNs,
+	trace.KindKernel:       CounterKernelNs,
 	trace.KindPatch:        CounterPatchNs,
 	trace.KindDomainRewind: CounterDomainRewindNs,
 	trace.KindRollback:     CounterRollbackNs,
@@ -427,6 +438,16 @@ func (sg *Safeguard) Stats() Stats {
 // bit-bucket → domain rewind → checkpoint rollback → kill).
 func (sg *Safeguard) handle(c *machine.CPU, t *machine.Trap) machine.TrapAction {
 	ev := Event{PC: t.PC, Addr: t.Addr}
+	if t.Sig == machine.SigTRAP {
+		// A detection-only defense fired (care_detect). The check can
+		// prove corruption but not repair it — no recovery-table entry,
+		// no kernel — so skip the patch stages and enter the escalation
+		// chain directly at its domain-rewind/rollback stages. Without a
+		// wired checkpoint store this is a fail-stop kill.
+		sg.rec.Add(CounterDetected, 1)
+		ev.Outcome = DefenseDetected
+		return sg.escalate(c, t, ev)
+	}
 	if t.Sig != machine.SigSEGV && !(sg.cfg.HandleBus && t.Sig == machine.SigBUS) {
 		ev.Outcome = WrongSignal
 		sg.record(c.Dyn, ev)

@@ -27,7 +27,7 @@ func TestKernelsRecomputeTrueAddresses(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{OptLevel: opt})
+			bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{OptLevel: opt, Defenses: []string{"care"}})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -90,7 +90,7 @@ func TestIdleSafeguardIsInvisible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{OptLevel: 0})
+	bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{OptLevel: 0, Defenses: []string{"care"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestRecoveryStatsAccumulate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{OptLevel: 0})
+	bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{OptLevel: 0, Defenses: []string{"care"}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -133,7 +133,7 @@ func TestEndToEndPropagationTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{OptLevel: 0, NoArmor: true})
+	bin, err := core.Build(w.Module(workloads.Params{}), core.BuildOptions{OptLevel: 0})
 	if err != nil {
 		t.Fatal(err)
 	}

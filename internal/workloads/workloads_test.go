@@ -14,7 +14,7 @@ import (
 // result stream.
 func runCompiled(t *testing.T, m *ir.Module, opt int) []float64 {
 	t.Helper()
-	bin, err := core.Build(m, core.BuildOptions{OptLevel: opt, NoArmor: true})
+	bin, err := core.Build(m, core.BuildOptions{OptLevel: opt})
 	if err != nil {
 		t.Fatalf("build O%d: %v", opt, err)
 	}
@@ -69,11 +69,11 @@ func TestWorkloadsDifferential(t *testing.T) {
 func TestWorkloadsBuildWithArmor(t *testing.T) {
 	for _, w := range All() {
 		for _, opt := range []int{0, 1} {
-			bin, err := core.Build(w.Module(Params{}), core.BuildOptions{OptLevel: opt})
+			bin, err := core.Build(w.Module(Params{}), core.BuildOptions{OptLevel: opt, Defenses: []string{"care"}})
 			if err != nil {
 				t.Fatalf("%s O%d: %v", w.Name, opt, err)
 			}
-			s := bin.ArmorStats
+			s := bin.DefenseStats["care"]
 			if s.NumKernels == 0 {
 				t.Errorf("%s O%d: no kernels", w.Name, opt)
 			}
@@ -89,11 +89,11 @@ func TestWorkloadsBuildWithArmor(t *testing.T) {
 // machine code is identical (campaign reproducibility depends on it).
 func TestDeterministicBuild(t *testing.T) {
 	for _, w := range All() {
-		a, err := core.Build(w.Module(Params{}), core.BuildOptions{OptLevel: 1})
+		a, err := core.Build(w.Module(Params{}), core.BuildOptions{OptLevel: 1, Defenses: []string{"care"}})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := core.Build(w.Module(Params{}), core.BuildOptions{OptLevel: 1})
+		b, err := core.Build(w.Module(Params{}), core.BuildOptions{OptLevel: 1, Defenses: []string{"care"}})
 		if err != nil {
 			t.Fatal(err)
 		}
