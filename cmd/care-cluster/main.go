@@ -17,14 +17,41 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"sync"
+	"time"
 
 	"care/internal/checkpoint"
 	"care/internal/experiments"
 	"care/internal/machine"
 	"care/internal/safeguard"
+	"care/internal/shard"
 	"care/internal/trace"
 	"care/internal/workloads"
 )
+
+// heartbeat returns a rate-limited stderr progress callback (the
+// -progress flag): the superstep scheduler reports exited-rank counts
+// through it. Serialised on a mutex; never touches stdout or traces.
+func heartbeat(unit string) func(done, total int) {
+	var mu sync.Mutex
+	start := time.Now()
+	var last time.Time
+	return func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		if done < total && now.Sub(last) < 2*time.Second {
+			return
+		}
+		last = now
+		el := now.Sub(start).Seconds()
+		if el <= 0 {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "progress: %d/%d %s (%.0fs elapsed)\n", done, total, unit, el)
+	}
+}
 
 // writeTrace dumps a merged recorder as JSONL.
 func writeTrace(path string, rec *trace.Recorder) {
@@ -46,6 +73,7 @@ func main() {
 	threads := flag.Int("threads", 6, "threads per rank (core accounting)")
 	opt := flag.Int("opt", 0, "optimisation level")
 	seed := flag.Int64("seed", 1, "seed for the recoverable-injection search")
+	workers := flag.Int("workers", 0, "goroutines simulating ranks per scheduler superstep (0 = one per CPU; job results are identical for any value)")
 	workload := flag.String("workload", "all", "workload name or 'all' (evaluated set)")
 	cr := flag.Bool("cr", false, "run the checkpoint/restart baseline instead")
 	crSteps := flag.Int("cr-steps", 80, "GTC-P steps for the C/R experiment")
@@ -58,9 +86,20 @@ func main() {
 	warmStart := flag.Bool("warmstart", false, "warm-start the recoverable-injection search from golden-run snapshots (results are identical)")
 	snapEvery := flag.Uint64("snap-every", 0, "golden-run snapshot cadence in dynamic instructions (0 = TotalDyn/64+1; only with -warmstart)")
 	interp := flag.String("interp", "superblock", "interpreter tier for every rank: superblock (fused engine), block (per-µop engine) or step (legacy per-instruction loop; results are identical)")
+	shards := flag.Int("shards", 1, "split the recoverable-injection search over this many worker subprocesses (the found injection is identical for any value)")
+	shardCmd := flag.String("shard-cmd", "", "worker command for -shards, space-separated (default: this binary with -shard-serve)")
+	shardServe := flag.Bool("shard-serve", false, "run as a shard worker: speak the length-prefixed frame protocol on stdin/stdout (internal; spawned by -shards)")
+	progress := flag.Bool("progress", false, "periodic heartbeat on stderr (ranks exited per scheduler superstep); never written to stdout or traces")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	if *shardServe {
+		if err := shard.Serve(os.Stdin, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	tier, err := machine.ParseInterpTier(*interp)
 	if err != nil {
@@ -118,7 +157,21 @@ func main() {
 	if *workload != "all" {
 		names = []string{*workload}
 	}
-	opts := experiments.StudyOptions{WarmStart: *warmStart, SnapEvery: *snapEvery, Tier: tier}
+	opts := experiments.StudyOptions{Workers: *workers, WarmStart: *warmStart, SnapEvery: *snapEvery, Tier: tier, Shards: *shards}
+	if *shards > 1 {
+		if *shardCmd != "" {
+			opts.ShardExec = strings.Fields(*shardCmd)
+		} else {
+			exe, err := os.Executable()
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts.ShardExec = []string{exe, "-shard-serve"}
+		}
+	}
+	if *progress {
+		opts.Progress = heartbeat("ranks")
+	}
 	// Same shared validation point as care-inject (satellite of the
 	// budget plumbing): reject negative budgets before any rank runs.
 	pol := safeguard.Policy{MaxRollbacks: *maxRollbacks, MaxDomainRewinds: *maxDomainRewinds}

@@ -10,7 +10,14 @@
 //
 // Usage:
 //
-//	care-inject [-n 1000] [-faults 1] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1] [-workers 0] [-defense LIST] [-domains] [-domain-rewind] [-max-rollbacks 0] [-max-domain-rewinds 0] [-trace-out FILE] [-warmstart] [-snap-every N] [-interp superblock|block|step] [-cpuprofile FILE] [-memprofile FILE]
+//	care-inject [-n 1000] [-faults 1] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1] [-workers 0] [-defense LIST] [-domains] [-domain-rewind] [-max-rollbacks 0] [-max-domain-rewinds 0] [-trace-out FILE] [-warmstart] [-snap-every N] [-interp superblock|block|step] [-shards 1] [-shard-cmd CMD] [-progress] [-cpuprofile FILE] [-memprofile FILE]
+//
+// With -shards N (N > 1) the manifestation study splits every
+// campaign's trial index space over N worker subprocesses (the shard
+// coordinator; workers default to this binary re-executed with
+// -shard-serve) and merges the streamed results in trial order — the
+// tables and -trace-out JSONL are byte-identical to a single-process
+// run (wall-clock fields aside), which the CI determinism job diffs.
 package main
 
 import (
@@ -21,15 +28,60 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"time"
 
 	"care/internal/defense"
 	"care/internal/experiments"
 	"care/internal/faultinject"
 	"care/internal/machine"
 	"care/internal/safeguard"
+	"care/internal/shard"
 	"care/internal/trace"
 	"care/internal/workloads"
 )
+
+// heartbeat returns a rate-limited stderr progress callback (the
+// -progress flag). Campaign workers call it concurrently, so it
+// serialises on a mutex; it never touches stdout or the traces.
+func heartbeat(unit string) func(done, total int) {
+	var mu sync.Mutex
+	start := time.Now()
+	var last time.Time
+	return func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		if done < total && now.Sub(last) < 2*time.Second {
+			return
+		}
+		last = now
+		el := now.Sub(start).Seconds()
+		if el <= 0 {
+			return
+		}
+		rate := float64(done) / el
+		line := fmt.Sprintf("progress: %d/%d %s (%.1f/s", done, total, unit, rate)
+		if rate > 0 && done < total {
+			eta := time.Duration(float64(total-done) / rate * float64(time.Second))
+			line += fmt.Sprintf(", eta %s", eta.Round(time.Second))
+		}
+		fmt.Fprintln(os.Stderr, line+")")
+	}
+}
+
+// shardExecArgv resolves the worker argv for -shards: an explicit
+// -shard-cmd, or this binary re-executed in -shard-serve mode.
+func shardExecArgv(shardCmd string) []string {
+	if shardCmd != "" {
+		return strings.Fields(shardCmd)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return []string{exe, "-shard-serve"}
+}
 
 // writeTrace merges the per-row campaign traces (Rank = row index) and
 // writes them as JSONL.
@@ -72,9 +124,24 @@ func main() {
 	warmStart := flag.Bool("warmstart", false, "clone trials from golden-run snapshots instead of replaying the fault-free prefix (results are identical)")
 	snapEvery := flag.Uint64("snap-every", 0, "golden-run snapshot cadence in dynamic instructions (0 = TotalDyn/64+1; only with -warmstart)")
 	interp := flag.String("interp", "superblock", "interpreter tier for trial processes: superblock (fused engine), block (per-µop engine) or step (legacy per-instruction loop; results are identical)")
+	shards := flag.Int("shards", 1, "split each campaign's trial index space over this many worker subprocesses (results are byte-identical for any value)")
+	shardCmd := flag.String("shard-cmd", "", "worker command for -shards, space-separated (default: this binary with -shard-serve)")
+	shardServe := flag.Bool("shard-serve", false, "run as a shard worker: speak the length-prefixed frame protocol on stdin/stdout (internal; spawned by -shards)")
+	progress := flag.Bool("progress", false, "periodic heartbeat on stderr (trials done, rate, ETA); never written to stdout or traces")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	if *shardServe {
+		if err := shard.Serve(os.Stdin, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *shards > 1 && (*def != "" || *domainRewind) {
+		fmt.Fprintln(os.Stderr, "-shards is not supported with -defense or -domain-rewind")
+		os.Exit(2)
+	}
 
 	tier, err := machine.ParseInterpTier(*interp)
 	if err != nil {
@@ -196,14 +263,22 @@ func main() {
 		return
 	}
 
-	rows, err := experiments.OutcomeStudy(names, *n, *faults, m, *seed, *opt, workloads.Params{}, experiments.StudyOptions{
+	sopts := experiments.StudyOptions{
 		Workers:   *workers,
 		Traced:    *traceOut != "" || *domains,
 		WarmStart: *warmStart,
 		SnapEvery: *snapEvery,
 		Tier:      tier,
 		Domains:   *domains,
-	})
+		Shards:    *shards,
+	}
+	if *shards > 1 {
+		sopts.ShardExec = shardExecArgv(*shardCmd)
+	}
+	if *progress {
+		sopts.Progress = heartbeat("trials")
+	}
+	rows, err := experiments.OutcomeStudy(names, *n, *faults, m, *seed, *opt, workloads.Params{}, sopts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,8 +19,10 @@ import (
 	"care/internal/faultinject"
 	"care/internal/machine"
 	"care/internal/mpi"
+	"care/internal/parallel"
 	"care/internal/profiler"
 	"care/internal/safeguard"
+	"care/internal/shard"
 	"care/internal/trace"
 	"care/internal/workloads"
 )
@@ -62,6 +64,16 @@ type Config struct {
 	// identical on every tier — only Span.Wall differs — matching the
 	// care-inject knob (the CI smoke diffs a wall-scrubbed JSONL).
 	Tier machine.InterpTier
+	// Workers bounds the goroutines simulating ranks each superstep
+	// (<=0 = one per CPU). The JobResult is identical for every value:
+	// the superstep scheduler batches collective reductions between
+	// parallel rank slices (mpi.RunSharded), so 512 ranks use the whole
+	// machine without changing one architectural bit.
+	Workers int
+	// Progress, when non-nil, is invoked after each scheduler superstep
+	// with (ranksExited, ranks) — heartbeat reporting only, never part
+	// of the job trace.
+	Progress func(done, total int)
 }
 
 func (c Config) nsPerInstr() float64 {
@@ -125,6 +137,14 @@ type SearchOptions struct {
 	// Tier selects the interpreter tier the search attempts run on;
 	// the found injection is identical on every tier.
 	Tier machine.InterpTier
+	// Shards > 1 routes each search attempt wave through the shard
+	// coordinator (shard.RunCoverage); the found injection is identical
+	// for any shard count. ShardExec is the worker subprocess argv
+	// (empty = in-process shards), and Build must then describe how a
+	// worker rebuilds the search binary.
+	Shards    int
+	ShardExec []string
+	Build     shard.BuildSpec
 }
 
 // FindRecoverableInjection searches (deterministically) for an injection
@@ -138,7 +158,14 @@ func FindRecoverableInjection(bin *core.Binary, seed int64, opts SearchOptions) 
 			WarmStart: opts.WarmStart, SnapEvery: opts.SnapEvery,
 			Tier: opts.Tier,
 		}
-		res, err := exp.Run()
+		var res *faultinject.CoverageResult
+		var err error
+		if opts.Shards > 1 {
+			exp.Shards, exp.ShardExec = opts.Shards, opts.ShardExec
+			res, err = shard.RunCoverage(exp, opts.Build)
+		} else {
+			res, err = exp.Run()
+		}
 		if res != nil && len(res.RecoveredInjections) > 0 {
 			ri := res.RecoveredInjections[0]
 			return &Injection{Trigger: ri.Trigger, Bits: ri.Bits}, nil
@@ -154,15 +181,28 @@ func FindRecoverableInjection(bin *core.Binary, seed int64, opts SearchOptions) 
 // rank 0.
 func RunJob(cfg Config, bin *core.Binary, inj *Injection) (*JobResult, error) {
 	if cfg.Ranks <= 0 {
-		cfg.Ranks = 4
+		// Match the care-cluster CLI default (ROADMAP item 2 reconciled
+		// these; the paper's evaluated shape is -ranks 512).
+		cfg.Ranks = 8
 	}
 	if cfg.ThreadsPerRank <= 0 {
 		cfg.ThreadsPerRank = 6
 	}
+	if cfg.Protected && cfg.Safeguard.TraceCap == 0 && cfg.Ranks >= 64 {
+		// Bound per-rank trace memory at wide rank counts: counters stay
+		// exact past the ring, only per-span detail drops oldest-first,
+		// so a 512-rank job runs in bounded RSS. Narrow jobs keep the
+		// deeper default ring.
+		cfg.Safeguard.TraceCap = 1024
+	}
 	world := mpi.NewWorld(cfg.Ranks)
 	cpus := make([]*machine.CPU, cfg.Ranks)
 	procs := make([]*core.Process, cfg.Ranks)
-	for r := 0; r < cfg.Ranks; r++ {
+	// Process creation dominates startup at 512 ranks (each rank maps
+	// and initialises its own image), so it fans out on the same pool
+	// the scheduler uses; creation order cannot matter because ranks
+	// only interact through collectives, which none has reached yet.
+	err := parallel.ForEach(cfg.Ranks, cfg.Workers, func(r int) error {
 		pcfg := core.ProcessConfig{
 			App:       bin,
 			Protected: cfg.Protected,
@@ -176,16 +216,20 @@ func RunJob(cfg Config, bin *core.Binary, inj *Injection) (*JobResult, error) {
 		}
 		p, err := core.NewProcess(pcfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		procs[r] = p
 		cpus[r] = p.CPU
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var armed *faultinject.Armed
 	if inj != nil {
 		armed = faultinject.Arm(cpus[0], inj.Trigger, inj.Bits)
 	}
-	mres, err := mpi.Run(world, cpus, cfg.Quantum)
+	mres, err := mpi.RunSharded(world, cpus, cfg.Quantum, cfg.Workers, cfg.Progress)
 	if err != nil {
 		return nil, err
 	}

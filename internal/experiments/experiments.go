@@ -20,6 +20,7 @@ import (
 	"care/internal/machine"
 	"care/internal/parallel"
 	"care/internal/safeguard"
+	"care/internal/shard"
 	"care/internal/trace"
 	"care/internal/workloads"
 )
@@ -69,6 +70,18 @@ type StudyOptions struct {
 	// (faultinject.Campaign.Domains); FormatOutcomeTables then appends
 	// the crash-geography table.
 	Domains bool
+	// Shards > 1 routes campaigns through the shard coordinator
+	// (shard.RunCampaign / shard.RunCoverage): the trial index space
+	// splits into contiguous shards that run in worker subprocesses
+	// (ShardExec argv; empty = in-process shards), and results merge in
+	// trial order — bit-identical to the single-process run for every
+	// shard x worker combination.
+	Shards    int
+	ShardExec []string
+	// Progress, when non-nil, receives (done, total) heartbeats — trial
+	// counts for campaigns, exited-rank counts for parallel jobs. Never
+	// part of any trace or table.
+	Progress func(done, total int)
 	// Safeguard, CheckpointEveryResults and CheckpointModel configure
 	// the per-rank recovery runtime of ParallelStudy jobs (zero value =
 	// the paper's one-shot Safeguard with no checkpoint store). Studies
@@ -93,12 +106,19 @@ func OutcomeStudy(names []string, n, faults int, model faultinject.Model, seed i
 		if err != nil {
 			return err
 		}
-		res, err := (&faultinject.Campaign{
+		c := &faultinject.Campaign{
 			App: bin, N: n, FaultsPerTrial: faults, Model: model, Seed: seed,
 			Workers: opts.Workers, Trace: opts.Traced,
 			WarmStart: opts.WarmStart, SnapEvery: opts.SnapEvery,
 			Tier: opts.Tier, Domains: opts.Domains,
-		}).Run()
+			Shards: opts.Shards, ShardExec: opts.ShardExec, Progress: opts.Progress,
+		}
+		var res *faultinject.CampaignResult
+		if opts.Shards > 1 {
+			res, err = shard.RunCampaign(c, shard.BuildSpec{Workload: name, Params: p, OptLevel: opt})
+		} else {
+			res, err = c.Run()
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -331,7 +351,11 @@ func ParallelStudy(names []string, ranks, threads, opt int, p workloads.Params, 
 			return nil, err
 		}
 		inj, err := cluster.FindRecoverableInjection(bin, seed,
-			cluster.SearchOptions{WarmStart: opts.WarmStart, SnapEvery: opts.SnapEvery, Tier: opts.Tier})
+			cluster.SearchOptions{
+				WarmStart: opts.WarmStart, SnapEvery: opts.SnapEvery, Tier: opts.Tier,
+				Shards: opts.Shards, ShardExec: opts.ShardExec,
+				Build: shard.BuildSpec{Workload: name, Params: p, OptLevel: opt, Defenses: []string{"care"}},
+			})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
@@ -340,6 +364,8 @@ func ParallelStudy(names []string, ranks, threads, opt int, p workloads.Params, 
 			Safeguard:              opts.Safeguard,
 			CheckpointEveryResults: opts.CheckpointEveryResults,
 			CheckpointModel:        opts.CheckpointModel,
+			Workers:                opts.Workers,
+			Progress:               opts.Progress,
 		}
 		base, err := cluster.RunJob(cfg, bin, nil)
 		if err != nil {

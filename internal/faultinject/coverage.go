@@ -3,6 +3,7 @@ package faultinject
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"care/internal/checkpoint"
@@ -79,6 +80,20 @@ type CoverageExperiment struct {
 	// Tier selects the interpreter tier every attempt runs on (results
 	// are identical on every tier; see Campaign.Tier).
 	Tier machine.InterpTier
+	// Shards splits the attempt index space across the internal/shard
+	// coordinator's workers (subprocesses when ShardExec is set,
+	// in-process otherwise). Run itself stays single-process; callers
+	// route Shards > 1 experiments through shard.RunCoverage. The
+	// in-order merge with early stop makes the sharded result identical
+	// to a single-process run for any shard layout. <=1 disables.
+	Shards int
+	// ShardExec is the worker argv for subprocess shards; empty means
+	// in-process shards. Read by the shard coordinator, ignored by Run.
+	ShardExec []string
+	// Progress, when non-nil, is invoked after each completed attempt
+	// with (done, total) for the range being run; reporting only, never
+	// recorded in traces. May be called concurrently.
+	Progress func(done, total int)
 }
 
 // RecordedInjection identifies a replayable injection.
@@ -292,31 +307,36 @@ func warmSnapFor(prof *profiler.Profile, specs []ArmSpec) (*profiler.SnapPoint, 
 	return nil, nil
 }
 
-// attempt is the outcome of one runAttempt call, merged into the
-// CoverageResult in attempt-index order.
-type attempt struct {
-	// counted reports whether the attempt produced an examined SIGSEGV
+// AttemptResult is the outcome of one injection attempt — the unit the
+// in-order merge consumes and the shard coordinator ships between
+// processes. Every field except RecTime is on the deterministic virtual
+// clock, so an attempt is identical wherever it ran.
+type AttemptResult struct {
+	// Index is the attempt's position in the [0, MaxAttempts) space;
+	// the merge consumes attempts strictly in Index order.
+	Index int
+	// Counted reports whether the attempt produced an examined SIGSEGV
 	// trial (the injection fired, Safeguard activated, and the first
 	// symptom was SIGSEGV).
-	counted bool
-	events  []safeguard.Event
-	// trace is the examined trial's recorder: the safeguard trace merged
+	Counted bool
+	Events  []safeguard.Event
+	// Trace is the examined trial's recorder: the safeguard trace merged
 	// with the checkpoint store's (when the rollback stage ran).
-	trace *trace.Recorder
-	// recovered/clean/recTime/activations describe a recovered trial;
-	// failure is the terminating Safeguard outcome of an unrecovered one.
-	recovered   bool
-	clean       bool
-	recTime     time.Duration
-	activations int
-	failure     safeguard.Outcome
-	rec         RecordedInjection
+	Trace *trace.Recorder
+	// Recovered/Clean/RecTime/Activations describe a recovered trial;
+	// Failure is the terminating Safeguard outcome of an unrecovered one.
+	Recovered   bool
+	Clean       bool
+	RecTime     time.Duration
+	Activations int
+	Failure     safeguard.Outcome
+	Rec         RecordedInjection
 }
 
 // runAttempt performs the i'th injection attempt against a fresh
 // protected process. All randomness derives from (e.Seed, i), so
 // attempts are independent and may run concurrently.
-func (e *CoverageExperiment) runAttempt(i int, prof *profiler.Profile, smp *sampler, hang uint64) (attempt, error) {
+func (e *CoverageExperiment) runAttempt(i int, prof *profiler.Profile, smp *sampler, hang uint64) (AttemptResult, error) {
 	rng := rand.New(rand.NewSource(TrialSeed(e.Seed, uint64(i))))
 	k := e.FaultsPerTrial
 	if k <= 0 {
@@ -351,7 +371,7 @@ func (e *CoverageExperiment) runAttempt(i int, prof *profiler.Profile, smp *samp
 		p, err = core.NewProcess(cfg)
 	}
 	if err != nil {
-		return attempt{}, err
+		return AttemptResult{}, err
 	}
 	var cpuRec *trace.Recorder
 	if e.Trace {
@@ -366,7 +386,7 @@ func (e *CoverageExperiment) runAttempt(i int, prof *profiler.Profile, smp *samp
 		limit -= snap.Dyn
 	}
 	status := p.Run(limit)
-	var a attempt
+	a := AttemptResult{Index: i}
 	fired := false
 	for _, st := range armed {
 		fired = fired || st.Fired
@@ -382,71 +402,72 @@ func (e *CoverageExperiment) runAttempt(i int, prof *profiler.Profile, smp *samp
 	if events[0].Outcome == safeguard.WrongSignal {
 		return a, nil // crashed with a non-SIGSEGV symptom
 	}
-	a.counted = true
-	a.events = events
-	a.trace = trace.New(trace.DefaultSpanCap)
-	a.trace.Merge(sg.Trace())
-	a.trace.Merge(cpuRec)
+	a.Counted = true
+	a.Events = events
+	a.Trace = trace.New(trace.DefaultSpanCap)
+	a.Trace.Merge(sg.Trace())
+	a.Trace.Merge(cpuRec)
 	if p.Store != nil {
-		a.trace.Merge(p.Store.Trace())
+		a.Trace.Merge(p.Store.Trace())
 	}
 	if status != machine.StatusExited {
 		// Unrecovered: attribute to the last activation's outcome.
-		a.failure = events[len(events)-1].Outcome
+		a.Failure = events[len(events)-1].Outcome
 		return a, nil
 	}
-	a.recovered = true
+	a.Recovered = true
 	if sameResults(p.Results(), prof.Golden) {
-		a.clean = true
+		a.Clean = true
 		if k == 1 {
-			a.rec = RecordedInjection{Trigger: specs[0].Trigger, Bits: specs[0].Bits}
+			a.Rec = RecordedInjection{Trigger: specs[0].Trigger, Bits: specs[0].Bits}
 		}
 	}
 	for _, ev := range events {
 		switch ev.Outcome {
 		case safeguard.Recovered, safeguard.RecoveredInduction,
 			safeguard.DomainRewound, safeguard.RolledBack:
-			a.recTime += ev.Total()
-			a.activations++
+			a.RecTime += ev.Total()
+			a.Activations++
 		}
 	}
 	return a, nil
 }
 
-// merge folds one attempt into the result, mirroring the serial loop.
-// The attempt's trace merges in attempt order with Rank carrying the
-// attempt index; Rollbacks and CheckpointIO re-derive from the merged
-// counters rather than being tallied separately.
-func (res *CoverageResult) merge(a *attempt, record bool) {
+// MergeAttempt folds one attempt into the result, mirroring the serial
+// loop. The attempt's trace merges in attempt order with Rank carrying
+// the attempt index; Rollbacks and CheckpointIO re-derive from the
+// merged counters rather than being tallied separately. Exposed for the
+// shard coordinator, which consumes shipped attempts in index order.
+func (res *CoverageResult) MergeAttempt(a *AttemptResult, record bool) {
 	res.Attempts++
-	if !a.counted {
+	if !a.Counted {
 		return
 	}
 	res.SigsegvTrials++
-	res.Events = append(res.Events, a.events...)
-	res.Trace.MergeAs(a.trace, int32(res.Attempts-1))
+	res.Events = append(res.Events, a.Events...)
+	res.Trace.MergeAs(a.Trace, int32(res.Attempts-1))
 	res.Trace.Add(CounterExamined, 1)
 	res.Rollbacks = int(res.Trace.Counter(safeguard.CounterRolledBack))
 	res.DomainRewinds = int(res.Trace.Counter(safeguard.CounterDomainRewinds))
 	res.CheckpointIO = time.Duration(res.Trace.Counter(checkpoint.CounterWriteNs))
-	if !a.recovered {
-		res.FailureOutcomes[a.failure]++
+	if !a.Recovered {
+		res.FailureOutcomes[a.Failure]++
 		return
 	}
 	res.Recovered++
 	res.Trace.Add(CounterRecovered, 1)
-	res.Trace.Add(CounterStallNs, a.recTime.Nanoseconds())
-	if !a.clean {
+	res.Trace.Add(CounterStallNs, a.RecTime.Nanoseconds())
+	if !a.Clean {
 		res.Trace.Add(CounterSDC, 1)
 	}
-	if a.clean {
+	if a.Clean {
 		res.CleanRecovered++
-		if record && (a.rec.Trigger.Image != "" || a.rec.Trigger.AtDyn > 0) {
-			res.RecoveredInjections = append(res.RecoveredInjections, a.rec)
+		if record && (a.Rec.Trigger.Image != "" || a.Rec.Trigger.AtDyn > 0) {
+			res.RecoveredInjections = append(res.RecoveredInjections, a.Rec)
 		}
 	}
-	res.TrialRecoveryTimes = append(res.TrialRecoveryTimes, a.recTime)
-	res.ActivationsPerRecovery = append(res.ActivationsPerRecovery, a.activations)
+	res.TrialRecoveryTimes = append(res.TrialRecoveryTimes, a.RecTime)
+	res.ActivationsPerRecovery = append(res.ActivationsPerRecovery, a.Activations)
 }
 
 // Run executes the experiment: injection attempts run speculatively in
@@ -456,6 +477,18 @@ func (res *CoverageResult) merge(a *attempt, record bool) {
 // the CoverageResult except the wall-clock recovery timings is
 // identical for every worker count.
 func (e *CoverageExperiment) Run() (*CoverageResult, error) {
+	prof, err := e.Prepare()
+	if err != nil {
+		return nil, err
+	}
+	return e.runProfiled(prof)
+}
+
+// Prepare validates the experiment and performs its golden pass (plus
+// the warm-start snapshot pass when it applies), returning the profile
+// attempts run against. The shard coordinator calls this once and ships
+// the profile to every worker; Run calls it implicitly.
+func (e *CoverageExperiment) Prepare() (*profiler.Profile, error) {
 	if e.Trials <= 0 {
 		return nil, fmt.Errorf("faultinject: coverage Trials must be positive")
 	}
@@ -481,15 +514,39 @@ func (e *CoverageExperiment) Run() (*CoverageResult, error) {
 		}
 		prof = sprof
 	}
-	return e.runProfiled(prof)
+	return prof, nil
 }
 
-// runProfiled runs the experiment against an already-profiled golden
-// run (split out so degenerate profiles are testable directly).
-func (e *CoverageExperiment) runProfiled(prof *profiler.Profile) (*CoverageResult, error) {
-	maxAttempts := e.MaxAttempts
-	if maxAttempts == 0 {
-		maxAttempts = 40 * e.Trials
+// AttemptBudget is the experiment's attempt index space [0, budget):
+// MaxAttempts, or the 40x Trials default. The shard coordinator
+// partitions this space into waves.
+func (e *CoverageExperiment) AttemptBudget() int {
+	if e.MaxAttempts > 0 {
+		return e.MaxAttempts
+	}
+	return 40 * e.Trials
+}
+
+// NewResult returns an empty CoverageResult ready for MergeAttempt —
+// the coordinator-side accumulator of a sharded experiment.
+func (e *CoverageExperiment) NewResult() *CoverageResult {
+	return &CoverageResult{
+		Workload:        e.App.Name,
+		OptLevel:        e.App.Prog.OptLevel,
+		Model:           e.Model,
+		FailureOutcomes: map[safeguard.Outcome]int{},
+		Trace:           trace.New(trace.DefaultSpanCap),
+	}
+}
+
+// RunAttemptRange executes attempts [lo, hi) of the experiment's index
+// space against a prepared profile on a pool of Workers goroutines.
+// Attempt i derives its RNG from (Seed, i), so a range run on any
+// process yields the same AttemptResults the full experiment would —
+// the primitive a shard worker serves.
+func (e *CoverageExperiment) RunAttemptRange(prof *profiler.Profile, lo, hi int) ([]AttemptResult, error) {
+	if lo < 0 || hi < lo || hi > e.AttemptBudget() {
+		return nil, fmt.Errorf("faultinject: attempt range [%d,%d) outside budget [0,%d)", lo, hi, e.AttemptBudget())
 	}
 	hang := e.HangFactor
 	if hang == 0 {
@@ -503,13 +560,30 @@ func (e *CoverageExperiment) runProfiled(prof *profiler.Profile) (*CoverageResul
 	if err != nil {
 		return nil, err
 	}
-	res := &CoverageResult{
-		Workload:        e.App.Name,
-		OptLevel:        e.App.Prog.OptLevel,
-		Model:           e.Model,
-		FailureOutcomes: map[safeguard.Outcome]int{},
-		Trace:           trace.New(trace.DefaultSpanCap),
+	atts := make([]AttemptResult, hi-lo)
+	var done atomic.Int64
+	err = parallel.ForEach(hi-lo, e.Workers, func(j int) error {
+		a, err := e.runAttempt(lo+j, prof, smp, hang)
+		if err != nil {
+			return err
+		}
+		atts[j] = a
+		if e.Progress != nil {
+			e.Progress(int(done.Add(1)), hi-lo)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return atts, nil
+}
+
+// runProfiled runs the experiment against an already-profiled golden
+// run (split out so degenerate profiles are testable directly).
+func (e *CoverageExperiment) runProfiled(prof *profiler.Profile) (*CoverageResult, error) {
+	maxAttempts := e.AttemptBudget()
+	res := e.NewResult()
 	workers := parallel.Workers(e.Workers, maxAttempts)
 	// Chunked speculation: each wave runs a few attempts per worker, and
 	// the in-order merge stops consuming once enough SIGSEGV trials have
@@ -520,15 +594,7 @@ func (e *CoverageExperiment) runProfiled(prof *profiler.Profile) (*CoverageResul
 		if hi > maxAttempts {
 			hi = maxAttempts
 		}
-		atts := make([]attempt, hi-base)
-		err := parallel.ForEach(hi-base, workers, func(i int) error {
-			a, err := e.runAttempt(base+i, prof, smp, hang)
-			if err != nil {
-				return err
-			}
-			atts[i] = a
-			return nil
-		})
+		atts, err := e.RunAttemptRange(prof, base, hi)
 		if err != nil {
 			return nil, err
 		}
@@ -536,7 +602,7 @@ func (e *CoverageExperiment) runProfiled(prof *profiler.Profile) (*CoverageResul
 			if res.SigsegvTrials >= e.Trials {
 				break // speculative overshoot; discard to stay deterministic
 			}
-			res.merge(&atts[i], e.RecordInjections)
+			res.MergeAttempt(&atts[i], e.RecordInjections)
 		}
 	}
 	if res.SigsegvTrials < e.Trials {

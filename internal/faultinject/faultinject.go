@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"care/internal/core"
 	"care/internal/machine"
@@ -390,6 +391,24 @@ type Campaign struct {
 	// Safeguard tunes the attached runtime (zero value = the paper's
 	// one-shot configuration; Protected only).
 	Safeguard safeguard.Config
+	// Shards splits the trial index space into this many contiguous
+	// shards executed by the internal/shard coordinator — in worker
+	// subprocesses (ShardExec) or in-process — and merged in trial-index
+	// order, so the result is byte-identical to a single-process run.
+	// Campaign.Run itself always runs single-process; callers route
+	// Shards > 1 campaigns through shard.RunCampaign (the CLIs and
+	// experiments do). <=1 means no sharding.
+	Shards int
+	// ShardExec is the worker argv for subprocess shards (e.g.
+	// {"care-inject", "-shard-serve"}); empty means in-process shards.
+	// Read by the shard coordinator, ignored by Run.
+	ShardExec []string
+	// Progress, when non-nil, is invoked after every completed trial
+	// with (done, total) for the range being run. It may be called
+	// concurrently from worker goroutines and must not touch the trial
+	// results; it exists only for heartbeat reporting and never alters
+	// the campaign outcome or trace.
+	Progress func(done, total int)
 }
 
 // WarmStartStats accounts for the work a warm-started campaign skipped.
@@ -475,26 +494,32 @@ func (r *CampaignResult) LatencyBuckets() [4]int {
 	return b
 }
 
-// trial is the outcome of one runTrial call, carrying the bookkeeping
-// flags the ordered merge needs beyond the Injection record itself.
-type trial struct {
-	inj Injection
-	// fired reports whether the armed flip actually landed; latency and
+// TrialResult is the outcome of one campaign trial — the unit the
+// ordered merge consumes and the shard coordinator ships between
+// processes. Every field is derived from the trial's deterministic
+// virtual clock, so a TrialResult is identical wherever the trial ran.
+type TrialResult struct {
+	// Index is the trial's position in the campaign's [0, N) index
+	// space; MergeResults consumes results in Index order.
+	Index int
+	// Inj is the injection record.
+	Inj Injection
+	// Fired reports whether any armed flip actually landed; latency and
 	// symptom statistics are only meaningful for fired trials.
-	fired bool
-	// rec is the trial's recorder: outcome/symptom/destination counters
+	Fired bool
+	// SkippedDyn is the golden-prefix length the trial warm-started
+	// past (0 for a cold trial).
+	SkippedDyn uint64
+	// Rec is the trial's recorder: outcome/symptom/destination counters
 	// plus a KindTrial summary span (and trap stamps when Campaign.Trace
 	// is set). Merged into the campaign trace in trial-index order.
-	rec *trace.Recorder
-	// skippedDyn is the golden-prefix length the trial warm-started
-	// past (0 for a cold trial).
-	skippedDyn uint64
+	Rec *trace.Recorder
 }
 
 // runTrial executes the i'th injection of the campaign against a fresh
 // process. All randomness comes from a trial-local RNG derived from
 // (c.Seed, i), so trials are independent and may run concurrently.
-func (c *Campaign) runTrial(i int, prof *profiler.Profile, hang uint64) (trial, error) {
+func (c *Campaign) runTrial(i int, prof *profiler.Profile, hang uint64) (TrialResult, error) {
 	rng := rand.New(rand.NewSource(TrialSeed(c.Seed, uint64(i))))
 	k := c.FaultsPerTrial
 	if k <= 0 {
@@ -531,7 +556,7 @@ func (c *Campaign) runTrial(i int, prof *profiler.Profile, hang uint64) (trial, 
 		p, err = core.NewProcess(cfg)
 	}
 	if err != nil {
-		return trial{}, err
+		return TrialResult{}, err
 	}
 	// An unprotected campaign trial emits at most one trap stamp (the
 	// process dies at its first trap) plus the summary span; a 4-slot
@@ -618,7 +643,7 @@ func (c *Campaign) runTrial(i int, prof *profiler.Profile, hang uint64) (trial, 
 	case machine.StatusLimit:
 		inj.Outcome = Hang
 	default:
-		return trial{}, fmt.Errorf("faultinject: unexpected run status %v", status)
+		return TrialResult{}, fmt.Errorf("faultinject: unexpected run status %v", status)
 	}
 	fired := last != nil
 	// Charge the trial's observations to its trace. All values are on
@@ -649,13 +674,26 @@ func (c *Campaign) runTrial(i int, prof *profiler.Profile, hang uint64) (trial, 
 		StartDyn: startDyn, EndDyn: p.CPU.Dyn,
 		Outcome: inj.Outcome.String(), Val: nFired,
 	})
-	return trial{inj: inj, fired: fired, rec: rec, skippedDyn: skipped}, nil
+	return TrialResult{Index: i, Inj: inj, Fired: fired, Rec: rec, SkippedDyn: skipped}, nil
 }
 
 // Run executes the campaign: N independent trials on a pool of Workers
 // goroutines, merged in trial-index order so the result is identical
 // for every worker count (including Workers=1).
 func (c *Campaign) Run() (*CampaignResult, error) {
+	prof, err := c.Prepare()
+	if err != nil {
+		return nil, err
+	}
+	return c.runProfiled(prof)
+}
+
+// Prepare validates the campaign and performs its golden pass (plus the
+// warm-start snapshot pass when enabled), returning the profile trials
+// run against. The shard coordinator calls this once and ships the
+// profile to every worker, so shards skip the golden-run replay; Run
+// calls it implicitly.
+func (c *Campaign) Prepare() (*profiler.Profile, error) {
 	if c.N <= 0 {
 		return nil, fmt.Errorf("faultinject: campaign N must be positive")
 	}
@@ -683,31 +721,68 @@ func (c *Campaign) Run() (*CampaignResult, error) {
 		}
 		prof = sprof
 	}
-	return c.runProfiled(prof)
+	return prof, nil
 }
 
 // runProfiled runs the campaign against an already-profiled golden run
 // (split out so degenerate profiles are testable without a workload
 // that actually retires zero instructions).
 func (c *Campaign) runProfiled(prof *profiler.Profile) (*CampaignResult, error) {
+	trials, err := c.RunTrialRange(prof, 0, c.N)
+	if err != nil {
+		return nil, err
+	}
+	return c.MergeResults(prof, trials)
+}
+
+// RunTrialRange executes trials [lo, hi) of the campaign's [0, N) index
+// space against a prepared profile, on a pool of Workers goroutines.
+// Each trial derives its RNG from (Seed, index), so a range run on any
+// process yields the same TrialResults the full campaign would — this
+// is the primitive a shard worker serves.
+func (c *Campaign) RunTrialRange(prof *profiler.Profile, lo, hi int) ([]TrialResult, error) {
 	if prof.TotalDyn == 0 {
 		return nil, fmt.Errorf("faultinject: golden run of %q retired no instructions; nothing to inject into (degenerate workload parameters?)", c.App.Name)
+	}
+	if lo < 0 || hi < lo || hi > c.N {
+		return nil, fmt.Errorf("faultinject: trial range [%d,%d) outside campaign [0,%d)", lo, hi, c.N)
 	}
 	hang := c.HangFactor
 	if hang == 0 {
 		hang = 4
 	}
-	trials := make([]trial, c.N)
-	err := parallel.ForEach(c.N, c.Workers, func(i int) error {
-		t, err := c.runTrial(i, prof, hang)
+	trials := make([]TrialResult, hi-lo)
+	var done atomic.Int64
+	err := parallel.ForEach(hi-lo, c.Workers, func(j int) error {
+		t, err := c.runTrial(lo+j, prof, hang)
 		if err != nil {
 			return err
 		}
-		trials[i] = t
+		trials[j] = t
+		if c.Progress != nil {
+			c.Progress(int(done.Add(1)), hi-lo)
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	return trials, nil
+}
+
+// MergeResults folds trial results — covering exactly [0, N) in index
+// order, whether produced by one RunTrialRange call or concatenated
+// from per-shard ranges — into the CampaignResult. All report maps are
+// derived from the merged trace, so a sharded merge is byte-identical
+// to a single-process one.
+func (c *Campaign) MergeResults(prof *profiler.Profile, trials []TrialResult) (*CampaignResult, error) {
+	if len(trials) != c.N {
+		return nil, fmt.Errorf("faultinject: merging %d trial results, campaign has %d", len(trials), c.N)
+	}
+	for i := range trials {
+		if trials[i].Index != i {
+			return nil, fmt.Errorf("faultinject: trial result %d carries index %d; results must arrive in index order", i, trials[i].Index)
+		}
 	}
 	// The merged trace must retain every trial's summary span (plus trap
 	// stamps when Trace is set) for the latency derivation below.
@@ -730,11 +805,11 @@ func (c *Campaign) runProfiled(prof *profiler.Profile) (*CampaignResult, error) 
 	}
 	res.Injections = make([]Injection, 0, c.N)
 	for i := range trials {
-		res.Trace.MergeAs(trials[i].rec, int32(i))
-		res.Injections = append(res.Injections, trials[i].inj)
-		if res.WarmStart != nil && trials[i].skippedDyn > 0 {
+		res.Trace.MergeAs(trials[i].Rec, int32(i))
+		res.Injections = append(res.Injections, trials[i].Inj)
+		if res.WarmStart != nil && trials[i].SkippedDyn > 0 {
 			res.WarmStart.WarmTrials++
-			res.WarmStart.SkippedDyn += trials[i].skippedDyn
+			res.WarmStart.SkippedDyn += trials[i].SkippedDyn
 		}
 	}
 	// Derive the report maps from the merged counters. Only observed

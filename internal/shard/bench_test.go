@@ -1,0 +1,56 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"care/internal/faultinject"
+)
+
+// BenchmarkCampaignSharded is the coordinator's scaling record: one
+// HPCCG campaign split over worker subprocesses (the -shards CLI path,
+// workers re-exec this test binary in Serve mode), swept over shard ×
+// per-shard-worker combinations against the single-process baseline.
+// Every row computes the identical CampaignResult — the speedup column
+// is the only thing allowed to move. On a multi-core runner the 4-shard
+// row should clear 1.5x the single-process trials/s; on a single
+// hardware thread sharding only adds process overhead, so the absolute
+// numbers in BENCH_shard.json are honest only together with the
+// recorded CPU line.
+func BenchmarkCampaignSharded(b *testing.B) {
+	b.Setenv("CARE_SHARD_SERVE", "1")
+	build := BuildSpec{Workload: "HPCCG"}
+	bin := buildSpecOrDie(b, build)
+	const n = 96
+	base := func() *faultinject.Campaign {
+		return &faultinject.Campaign{App: bin, N: n, Model: faultinject.SingleBit, Seed: 1, Workers: 1}
+	}
+	b.Run("single-process", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := base().Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+	})
+	for _, tc := range []struct{ shards, workers int }{
+		{1, 1}, {2, 1}, {4, 1}, {8, 1}, {4, 2},
+	} {
+		b.Run(fmt.Sprintf("shards=%d/workers=%d", tc.shards, tc.workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := base()
+				c.Shards = tc.shards
+				c.Workers = tc.workers
+				c.ShardExec = selfExec()
+				res, err := RunCampaign(c, build)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Injections) != n {
+					b.Fatalf("%d injections", len(res.Injections))
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
+	}
+}

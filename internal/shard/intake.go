@@ -1,0 +1,91 @@
+package shard
+
+import (
+	"fmt"
+
+	"care/internal/faultinject"
+)
+
+// intake is the coordinator's batch/flush funnel: shard runners feed
+// trial batches through a channel as they stream off the wire, and a
+// single collector goroutine slots them by trial index. Batching
+// decouples worker read loops from merge work, and the single collector
+// makes index bookkeeping race-free without locks. Once every runner
+// has finished, finish() hands the fully-ordered trial slice to
+// Campaign.MergeResults — the in-order merge that keeps a sharded
+// campaign byte-identical to a single-process one.
+type intake struct {
+	ch       chan []faultinject.TrialResult
+	done     chan struct{}
+	n        int
+	trials   []faultinject.TrialResult
+	got      []bool
+	count    int
+	progress func(done, total int)
+	err      error
+}
+
+func newIntake(n int, progress func(done, total int)) *intake {
+	in := &intake{
+		ch:       make(chan []faultinject.TrialResult, 16),
+		done:     make(chan struct{}),
+		n:        n,
+		trials:   make([]faultinject.TrialResult, n),
+		got:      make([]bool, n),
+		progress: progress,
+	}
+	go in.collect()
+	return in
+}
+
+func (in *intake) collect() {
+	defer close(in.done)
+	for batch := range in.ch {
+		for i := range batch {
+			t := &batch[i]
+			switch {
+			case t.Index < 0 || t.Index >= in.n:
+				in.setErr(fmt.Errorf("shard: trial index %d outside campaign [0,%d)", t.Index, in.n))
+			case in.got[t.Index]:
+				in.setErr(fmt.Errorf("shard: trial %d delivered twice", t.Index))
+			default:
+				in.got[t.Index] = true
+				in.trials[t.Index] = *t
+				in.count++
+				if in.progress != nil {
+					in.progress(in.count, in.n)
+				}
+			}
+		}
+	}
+}
+
+// setErr keeps the first failure; later batches still drain so feeders
+// never block on a dead collector.
+func (in *intake) setErr(err error) {
+	if in.err == nil {
+		in.err = err
+	}
+}
+
+// feed hands one batch to the collector. Safe from multiple goroutines.
+func (in *intake) feed(batch []faultinject.TrialResult) {
+	if len(batch) > 0 {
+		in.ch <- batch
+	}
+}
+
+// finish closes the funnel, waits for the collector to drain, and
+// returns the index-ordered results. Every index must have arrived
+// exactly once.
+func (in *intake) finish() ([]faultinject.TrialResult, error) {
+	close(in.ch)
+	<-in.done
+	if in.err != nil {
+		return nil, in.err
+	}
+	if in.count != in.n {
+		return nil, fmt.Errorf("shard: %d of %d trials delivered", in.count, in.n)
+	}
+	return in.trials, nil
+}

@@ -1,0 +1,98 @@
+// Package shard is the campaign coordinator: it partitions a
+// fault-injection index space (campaign trials or coverage attempts)
+// into contiguous shards, executes each shard in a spawned worker
+// subprocess — or in-process for tests — and merges the shipped results
+// in index order, so a sharded run is byte-identical to a
+// single-process run at any shard × worker combination.
+//
+// The determinism argument is the same one Campaign.Workers already
+// makes, lifted across process boundaries: every trial seeds its RNG
+// from (Seed, index) alone, the golden profile is captured once by the
+// coordinator and shipped to every worker, and trace recorders survive
+// the JSONL wire format with full merge fidelity (trace.ReadJSONL
+// restores the ID allocator and drop counts). Merging shipped results
+// in index order therefore reproduces the single-process merge bit for
+// bit.
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Frame types. A worker conversation is:
+//
+//	coordinator → worker: spec, then any number of run frames, then exit
+//	worker → coordinator: per run frame, batch* then done; error aborts
+const (
+	frameSpec  = "spec"
+	frameRun   = "run"
+	frameBatch = "batch"
+	frameDone  = "done"
+	frameError = "error"
+	frameExit  = "exit"
+)
+
+// frame is the single message shape of the worker protocol,
+// discriminated by Type. Length-prefixed JSON keeps the transport
+// trivially debuggable (pipe through jq) while framing cleanly over
+// stdin/stdout.
+type frame struct {
+	Type string `json:"type"`
+	// Spec configures the worker (frameSpec).
+	Spec *WorkerSpec `json:"spec,omitempty"`
+	// Lo/Hi bound an index range (frameRun, frameDone).
+	Lo int `json:"lo,omitempty"`
+	Hi int `json:"hi,omitempty"`
+	// Trials/Attempts carry results (frameBatch; mode-dependent).
+	Trials   []wireTrial   `json:"trials,omitempty"`
+	Attempts []wireAttempt `json:"attempts,omitempty"`
+	// Err describes a worker failure (frameError).
+	Err string `json:"err,omitempty"`
+}
+
+// maxFrame bounds a single frame (a batch of trial traces or the spec
+// with its snapshots); 1 GiB is far above anything legitimate and far
+// below the point where a corrupt length prefix could wedge the host.
+const maxFrame = 1 << 30
+
+// writeFrame emits one length-prefixed JSON frame.
+func writeFrame(w io.Writer, f *frame) error {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("shard: encode %s frame: %w", f.Type, err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("shard: %s frame of %d bytes exceeds limit", f.Type, len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed JSON frame.
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("shard: frame length %d exceeds limit (corrupt stream?)", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var f frame
+	if err := json.Unmarshal(body, &f); err != nil {
+		return nil, fmt.Errorf("shard: decode frame: %w", err)
+	}
+	return &f, nil
+}

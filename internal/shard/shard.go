@@ -1,0 +1,332 @@
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+
+	"care/internal/faultinject"
+	"care/internal/parallel"
+	"care/internal/profiler"
+)
+
+// Range is one shard's contiguous slice of an index space.
+type Range struct{ Lo, Hi int }
+
+// Ranges partitions [0, n) into count contiguous shards with the
+// balanced s*n/count boundaries (shard sizes differ by at most one).
+func Ranges(n, count int) []Range {
+	rs := make([]Range, count)
+	for s := 0; s < count; s++ {
+		rs[s] = Range{Lo: s * n / count, Hi: (s + 1) * n / count}
+	}
+	return rs
+}
+
+// shardCount clamps a Shards knob to [1, n].
+func shardCount(shards, n int) int {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	return shards
+}
+
+// RunCampaign executes a campaign under the shard coordinator: the
+// golden profile is captured once here, the trial index space splits
+// into c.Shards contiguous ranges, and each range runs either in a
+// spawned c.ShardExec subprocess (the worker rebuilds the binary from
+// build, skips the golden run, and streams results back) or in-process.
+// Either way every trial result round-trips the wire encoding, and the
+// intake re-orders them by trial index before Campaign.MergeResults —
+// so the CampaignResult, trace included, is byte-identical to
+// c.Run()'s for every shard × worker combination.
+func RunCampaign(c *faultinject.Campaign, build BuildSpec) (*faultinject.CampaignResult, error) {
+	prof, err := c.Prepare()
+	if err != nil {
+		return nil, err
+	}
+	shards := shardCount(c.Shards, c.N)
+	ranges := Ranges(c.N, shards)
+	in := newIntake(c.N, c.Progress)
+
+	var spec *WorkerSpec
+	if len(c.ShardExec) > 0 {
+		spec = &WorkerSpec{Build: build, Campaign: campaignSpecOf(c), Profile: encodeProfile(prof)}
+	}
+	runErr := parallel.ForEach(shards, shards, func(s int) error {
+		r := ranges[s]
+		if r.Lo == r.Hi {
+			return nil
+		}
+		if spec != nil {
+			return runCampaignShardProc(c.ShardExec, spec, r, in)
+		}
+		return runCampaignShardLocal(c, prof, r, in)
+	})
+	trials, inErr := in.finish()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if inErr != nil {
+		return nil, inErr
+	}
+	return c.MergeResults(prof, trials)
+}
+
+// runCampaignShardLocal runs one shard in-process. Results still
+// round-trip the wire encoding (encode → decode) so the in-process mode
+// exercises the exact fidelity the subprocess path depends on — tests
+// that pass here and fail in subprocess mode can only be blaming the
+// transport, not the encoding.
+func runCampaignShardLocal(c *faultinject.Campaign, prof *profiler.Profile, r Range, in *intake) error {
+	trials, err := c.RunTrialRange(prof, r.Lo, r.Hi)
+	if err != nil {
+		return err
+	}
+	out := make([]faultinject.TrialResult, 0, len(trials))
+	for i := range trials {
+		wt, err := encodeTrial(&trials[i])
+		if err != nil {
+			return err
+		}
+		t, err := decodeTrial(&wt)
+		if err != nil {
+			return err
+		}
+		out = append(out, t)
+	}
+	in.feed(out)
+	return nil
+}
+
+// runCampaignShardProc spawns one worker subprocess for the shard and
+// streams its batches into the intake.
+func runCampaignShardProc(argv []string, spec *WorkerSpec, r Range, in *intake) error {
+	p, err := startWorker(argv, spec)
+	if err != nil {
+		return err
+	}
+	defer p.kill()
+	err = p.run(r, func(f *frame) error {
+		batch := make([]faultinject.TrialResult, 0, len(f.Trials))
+		for i := range f.Trials {
+			t, err := decodeTrial(&f.Trials[i])
+			if err != nil {
+				return err
+			}
+			batch = append(batch, t)
+		}
+		in.feed(batch)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return p.close()
+}
+
+// RunCoverage executes a coverage experiment under the shard
+// coordinator. Waves of the attempt index space are split contiguously
+// across the shard pool (persistent subprocesses in ShardExec mode,
+// direct calls in-process); each wave's attempts merge strictly in
+// index order with the early-stop check before every merge, so the
+// result is identical to CoverageExperiment.Run for any shard layout —
+// the stop index is a property of the attempt sequence, not of how the
+// waves were cut.
+func RunCoverage(e *faultinject.CoverageExperiment, build BuildSpec) (*faultinject.CoverageResult, error) {
+	prof, err := e.Prepare()
+	if err != nil {
+		return nil, err
+	}
+	budget := e.AttemptBudget()
+	shards := shardCount(e.Shards, budget)
+	res := e.NewResult()
+
+	// Per-shard wave chunk mirrors the single-process speculation chunk
+	// (4 attempts per worker slot), so a one-shard run does the same
+	// waves Run would.
+	chunk := 4 * parallel.Workers(e.Workers, budget)
+	var pool []*workerProc
+	if len(e.ShardExec) > 0 {
+		spec := &WorkerSpec{Build: build, Coverage: coverageSpecOf(e), Profile: encodeProfile(prof)}
+		pool = make([]*workerProc, shards)
+		defer func() {
+			for _, p := range pool {
+				if p != nil {
+					p.kill()
+				}
+			}
+		}()
+		for s := range pool {
+			if pool[s], err = startWorker(e.ShardExec, spec); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	var done int
+	for base := 0; base < budget && res.SigsegvTrials < e.Trials; base += shards * chunk {
+		hi := base + shards*chunk
+		if hi > budget {
+			hi = budget
+		}
+		atts := make([]faultinject.AttemptResult, hi-base)
+		waveRanges := Ranges(hi-base, shards)
+		err := parallel.ForEach(shards, shards, func(s int) error {
+			r := Range{Lo: base + waveRanges[s].Lo, Hi: base + waveRanges[s].Hi}
+			if r.Lo == r.Hi {
+				return nil
+			}
+			if pool != nil {
+				return pool[s].run(r, func(f *frame) error {
+					for i := range f.Attempts {
+						a, err := decodeAttempt(&f.Attempts[i])
+						if err != nil {
+							return err
+						}
+						if a.Index < base || a.Index >= hi {
+							return fmt.Errorf("shard: attempt index %d outside wave [%d,%d)", a.Index, base, hi)
+						}
+						atts[a.Index-base] = a
+					}
+					return nil
+				})
+			}
+			part, err := e.RunAttemptRange(prof, r.Lo, r.Hi)
+			if err != nil {
+				return err
+			}
+			for i := range part {
+				// The loopback wire round trip, as in the campaign path.
+				wa, err := encodeAttempt(&part[i])
+				if err != nil {
+					return err
+				}
+				a, err := decodeAttempt(&wa)
+				if err != nil {
+					return err
+				}
+				atts[a.Index-base] = a
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := range atts {
+			if res.SigsegvTrials >= e.Trials {
+				break // speculative overshoot; discard to stay deterministic
+			}
+			res.MergeAttempt(&atts[i], e.RecordInjections)
+			done++
+			if e.Progress != nil {
+				e.Progress(done, budget)
+			}
+		}
+	}
+	for _, p := range pool {
+		if err := p.close(); err != nil {
+			return nil, err
+		}
+	}
+	if res.SigsegvTrials < e.Trials {
+		return res, fmt.Errorf("faultinject: only %d/%d SIGSEGV trials after %d attempts",
+			res.SigsegvTrials, e.Trials, res.Attempts)
+	}
+	return res, nil
+}
+
+// workerProc is one live worker subprocess speaking the shard protocol
+// on its stdin/stdout; its stderr passes through to ours.
+type workerProc struct {
+	cmd  *exec.Cmd
+	in   io.WriteCloser
+	out  *bufio.Reader
+	once sync.Once
+}
+
+// startWorker spawns argv, wires the pipes, and sends the spec frame.
+func startWorker(argv []string, spec *WorkerSpec) (*workerProc, error) {
+	if len(argv) == 0 {
+		return nil, fmt.Errorf("shard: empty worker command")
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("shard: start worker %v: %w", argv, err)
+	}
+	p := &workerProc{cmd: cmd, in: stdin, out: bufio.NewReaderSize(stdout, 1<<16)}
+	if err := writeFrame(p.in, &frame{Type: frameSpec, Spec: spec}); err != nil {
+		p.kill()
+		return nil, fmt.Errorf("shard: send spec: %w", err)
+	}
+	return p, nil
+}
+
+// run dispatches one range to the worker and hands every batch frame to
+// onBatch until the worker's done frame.
+func (p *workerProc) run(r Range, onBatch func(*frame) error) error {
+	if err := writeFrame(p.in, &frame{Type: frameRun, Lo: r.Lo, Hi: r.Hi}); err != nil {
+		return fmt.Errorf("shard: send run [%d,%d): %w", r.Lo, r.Hi, err)
+	}
+	for {
+		f, err := readFrame(p.out)
+		if err != nil {
+			return fmt.Errorf("shard: worker stream: %w", err)
+		}
+		switch f.Type {
+		case frameBatch:
+			if err := onBatch(f); err != nil {
+				return err
+			}
+		case frameDone:
+			if f.Lo != r.Lo || f.Hi != r.Hi {
+				return fmt.Errorf("shard: worker finished [%d,%d), expected [%d,%d)", f.Lo, f.Hi, r.Lo, r.Hi)
+			}
+			return nil
+		case frameError:
+			return fmt.Errorf("shard: worker: %s", f.Err)
+		default:
+			return fmt.Errorf("shard: unexpected %q frame from worker", f.Type)
+		}
+	}
+}
+
+// close asks the worker to exit and reaps it.
+func (p *workerProc) close() error {
+	var err error
+	p.once.Do(func() {
+		if werr := writeFrame(p.in, &frame{Type: frameExit}); werr != nil {
+			err = werr
+		}
+		p.in.Close()
+		if werr := p.cmd.Wait(); werr != nil && err == nil {
+			err = fmt.Errorf("shard: worker exit: %w", werr)
+		}
+	})
+	return err
+}
+
+// kill tears the worker down without ceremony (error paths; close is
+// the graceful shutdown and makes kill a no-op afterwards).
+func (p *workerProc) kill() {
+	p.once.Do(func() {
+		p.in.Close()
+		_ = p.cmd.Process.Kill()
+		_ = p.cmd.Wait()
+	})
+}

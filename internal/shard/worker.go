@@ -1,0 +1,131 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+
+	"care/internal/faultinject"
+	"care/internal/profiler"
+)
+
+// batchSize bounds results per batch frame: large enough to amortise
+// framing, small enough that the coordinator's intake sees steady
+// progress on long shards.
+const batchSize = 64
+
+// Serve runs the worker side of the shard protocol over (r, w) —
+// `care-inject -shard-serve` wires it to stdin/stdout. The worker
+// receives one spec frame (build recipe, campaign or coverage config,
+// golden profile), rebuilds the binary with the deterministic compiler
+// pipeline, then answers run frames with batch/done streams until the
+// exit frame. Anything written to w must be protocol frames, so worker
+// diagnostics belong on stderr.
+func Serve(r io.Reader, w io.Writer) error {
+	f, err := readFrame(r)
+	if err != nil {
+		return fmt.Errorf("shard: worker handshake: %w", err)
+	}
+	if f.Type != frameSpec || f.Spec == nil {
+		return fmt.Errorf("shard: worker expected spec frame, got %q", f.Type)
+	}
+	spec := f.Spec
+	app, err := spec.Build.Build()
+	if err != nil {
+		return sendErr(w, err)
+	}
+	prof, err := decodeProfile(&spec.Profile)
+	if err != nil {
+		return sendErr(w, err)
+	}
+	var runRange func(lo, hi int) error
+	switch {
+	case spec.Campaign != nil:
+		c := spec.Campaign.campaign(app, nil)
+		runRange = func(lo, hi int) error { return serveCampaignRange(w, c, prof, lo, hi) }
+	case spec.Coverage != nil:
+		e := spec.Coverage.experiment(app, nil)
+		runRange = func(lo, hi int) error { return serveCoverageRange(w, e, prof, lo, hi) }
+	default:
+		return sendErr(w, fmt.Errorf("shard: spec frame names neither campaign nor coverage"))
+	}
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			if err == io.EOF {
+				return nil // coordinator closed the pipe; treat as exit
+			}
+			return fmt.Errorf("shard: worker read: %w", err)
+		}
+		switch f.Type {
+		case frameRun:
+			if err := runRange(f.Lo, f.Hi); err != nil {
+				return err
+			}
+		case frameExit:
+			return nil
+		default:
+			return sendErr(w, fmt.Errorf("shard: worker got unexpected %q frame", f.Type))
+		}
+	}
+}
+
+// sendErr reports a worker failure to the coordinator and returns the
+// original error so the worker process exits non-zero.
+func sendErr(w io.Writer, err error) error {
+	_ = writeFrame(w, &frame{Type: frameError, Err: err.Error()})
+	return err
+}
+
+// serveCampaignRange runs trials [lo, hi) and streams them back in
+// index order as batch frames, closing with a done frame.
+func serveCampaignRange(w io.Writer, c *faultinject.Campaign, prof *profiler.Profile, lo, hi int) error {
+	trials, err := c.RunTrialRange(prof, lo, hi)
+	if err != nil {
+		return sendErr(w, err)
+	}
+	for base := 0; base < len(trials); base += batchSize {
+		end := base + batchSize
+		if end > len(trials) {
+			end = len(trials)
+		}
+		wt := make([]wireTrial, 0, end-base)
+		for i := base; i < end; i++ {
+			t, err := encodeTrial(&trials[i])
+			if err != nil {
+				return sendErr(w, err)
+			}
+			wt = append(wt, t)
+		}
+		if err := writeFrame(w, &frame{Type: frameBatch, Trials: wt}); err != nil {
+			return err
+		}
+	}
+	return writeFrame(w, &frame{Type: frameDone, Lo: lo, Hi: hi})
+}
+
+// serveCoverageRange runs attempts [lo, hi) and streams them back in
+// index order as batch frames, closing with a done frame.
+func serveCoverageRange(w io.Writer, e *faultinject.CoverageExperiment, prof *profiler.Profile, lo, hi int) error {
+	atts, err := e.RunAttemptRange(prof, lo, hi)
+	if err != nil {
+		return sendErr(w, err)
+	}
+	for base := 0; base < len(atts); base += batchSize {
+		end := base + batchSize
+		if end > len(atts) {
+			end = len(atts)
+		}
+		wa := make([]wireAttempt, 0, end-base)
+		for i := base; i < end; i++ {
+			a, err := encodeAttempt(&atts[i])
+			if err != nil {
+				return sendErr(w, err)
+			}
+			wa = append(wa, a)
+		}
+		if err := writeFrame(w, &frame{Type: frameBatch, Attempts: wa}); err != nil {
+			return err
+		}
+	}
+	return writeFrame(w, &frame{Type: frameDone, Lo: lo, Hi: hi})
+}

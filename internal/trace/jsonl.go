@@ -79,11 +79,17 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 
 // ReadJSONL parses a stream written by WriteJSONL back into a
 // Recorder (ring capacity = number of spans read, minimum 1). Span IDs
-// are taken from the stream, preserving parent links.
+// are taken from the stream, preserving parent links, and the meta
+// line's emission totals restore the ID allocator and drop count — so a
+// recorder that round-trips through JSONL merges exactly like the
+// original (Merge rebases later IDs by the emitted total, not just by
+// the retained spans). The shard coordinator's byte-identity contract
+// depends on this fidelity.
 func ReadJSONL(rd io.Reader) (*Recorder, error) {
 	var spans []Span
 	adds := map[string]int64{}
 	maxes := map[string]int64{}
+	var meta jsonlMeta
 	sawMeta := false
 	sc := bufio.NewScanner(rd)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -126,6 +132,9 @@ func ReadJSONL(rd io.Reader) (*Recorder, error) {
 				maxes[jc.Name] = jc.Value
 			}
 		case "meta":
+			if err := json.Unmarshal(raw, &meta); err != nil {
+				return nil, fmt.Errorf("trace: jsonl line %d: %w", line, err)
+			}
 			sawMeta = true
 		default:
 			return nil, fmt.Errorf("trace: jsonl line %d: unknown record type %q", line, head.Type)
@@ -150,6 +159,14 @@ func ReadJSONL(rd io.Reader) (*Recorder, error) {
 		}
 	}
 	r.nextID = maxID + 1
+	// Emission totals from the meta line trump the retained-span count:
+	// IDs dropped by the writer's ring still consume ID space, and the
+	// drop tally must survive the round trip for Merge to keep both
+	// consistent downstream.
+	if int32(meta.Emitted) > r.nextID {
+		r.nextID = int32(meta.Emitted)
+	}
+	r.dropped = meta.Dropped
 	for n, v := range adds {
 		r.Add(n, v)
 	}
