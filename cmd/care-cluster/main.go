@@ -26,6 +26,7 @@ import (
 	"care/internal/machine"
 	"care/internal/safeguard"
 	"care/internal/shard"
+	"care/internal/store"
 	"care/internal/trace"
 	"care/internal/workloads"
 )
@@ -79,6 +80,7 @@ func main() {
 	crSteps := flag.Int("cr-steps", 80, "GTC-P steps for the C/R experiment")
 	crFault := flag.Int("cr-fault", 66, "step at which the fault kills the unprotected job")
 	traceOut := flag.String("trace-out", "", "write the faulty-job traces (or C/R store traces) as JSONL to this file")
+	storeDir := flag.String("store", "", "persistent artifact store directory: cache the recoverable-injection search's golden-run profiles across runs and attempts; job results stay identical")
 	domainRewind := flag.Bool("domain-rewind", false, "arm every rank's escalation chain with the domain-rewind stage (checkpoint store + per-domain partial rollback)")
 	domains := flag.Bool("domains", false, "print per-domain rewind counters from the faulty-job traces on stderr")
 	maxRollbacks := flag.Int("max-rollbacks", 0, "whole-process rollback budget per rank (0 = default of 2; with -domain-rewind)")
@@ -158,6 +160,14 @@ func main() {
 		names = []string{*workload}
 	}
 	opts := experiments.StudyOptions{Workers: *workers, WarmStart: *warmStart, SnapEvery: *snapEvery, Tier: tier, Shards: *shards}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Store = st
+		defer func() { fmt.Fprintln(os.Stderr, st.StatsLine()) }()
+	}
 	if *shards > 1 {
 		if *shardCmd != "" {
 			opts.ShardExec = strings.Fields(*shardCmd)

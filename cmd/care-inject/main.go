@@ -10,7 +10,16 @@
 //
 // Usage:
 //
-//	care-inject [-n 1000] [-faults 1] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1] [-workers 0] [-defense LIST] [-domains] [-domain-rewind] [-max-rollbacks 0] [-max-domain-rewinds 0] [-trace-out FILE] [-warmstart] [-snap-every N] [-interp superblock|block|step] [-shards 1] [-shard-cmd CMD] [-progress] [-cpuprofile FILE] [-memprofile FILE]
+//	care-inject [-n 1000] [-faults 1] [-model single|double] [-workload all|NAME] [-opt 0] [-seed 1] [-workers 0] [-defense LIST] [-domains] [-domain-rewind] [-max-rollbacks 0] [-max-domain-rewinds 0] [-trace-out FILE] [-store DIR] [-warmstart] [-snap-every N] [-interp superblock|block|step] [-shards 1] [-shard-cmd CMD] [-progress] [-cpuprofile FILE] [-memprofile FILE]
+//
+// With -store DIR campaigns consult a persistent content-addressed
+// artifact store: golden-run profiles (snapshots + sealed .text) are
+// cached under a key derived from the campaign configuration, so a
+// second identical run skips the golden run entirely, and every
+// campaign trace is sealed (Merkle root over per-trial leaves) into
+// the store for care-report -trace-in/-diff. Cache hits, misses and
+// deduplicated bytes are reported on stderr; stdout stays
+// byte-identical to a run without -store.
 //
 // With -shards N (N > 1) the manifestation study splits every
 // campaign's trial index space over N worker subprocesses (the shard
@@ -37,6 +46,7 @@ import (
 	"care/internal/machine"
 	"care/internal/safeguard"
 	"care/internal/shard"
+	"care/internal/store"
 	"care/internal/trace"
 	"care/internal/workloads"
 )
@@ -121,6 +131,7 @@ func main() {
 	maxRollbacks := flag.Int("max-rollbacks", 0, "whole-process rollback budget per process (0 = default of 2; domain-rewind mode)")
 	maxDomainRewinds := flag.Int("max-domain-rewinds", 0, "domain-rewind budget per domain (0 = default of 2; domain-rewind mode)")
 	traceOut := flag.String("trace-out", "", "write the merged campaign trace as JSONL to this file (Rank = workload index)")
+	storeDir := flag.String("store", "", "persistent artifact store directory: cache golden-run profiles across runs (a second identical campaign skips the golden run) and seal per-campaign traces; results stay byte-identical")
 	warmStart := flag.Bool("warmstart", false, "clone trials from golden-run snapshots instead of replaying the fault-free prefix (results are identical)")
 	snapEvery := flag.Uint64("snap-every", 0, "golden-run snapshot cadence in dynamic instructions (0 = TotalDyn/64+1; only with -warmstart)")
 	interp := flag.String("interp", "superblock", "interpreter tier for trial processes: superblock (fused engine), block (per-µop engine) or step (legacy per-instruction loop; results are identical)")
@@ -141,6 +152,18 @@ func main() {
 	if *shards > 1 && (*def != "" || *domainRewind) {
 		fmt.Fprintln(os.Stderr, "-shards is not supported with -defense or -domain-rewind")
 		os.Exit(2)
+	}
+
+	// The artifact store is an accelerator, never an authority: campaigns
+	// consult it for cached golden-run profiles and fall back to a cold
+	// run on any mismatch; stdout stays byte-identical either way.
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			log.Fatal(err)
+		}
+		defer func() { fmt.Fprintln(os.Stderr, st.StatsLine()) }()
 	}
 
 	tier, err := machine.ParseInterpTier(*interp)
@@ -226,6 +249,7 @@ func main() {
 				WarmStart: *warmStart,
 				SnapEvery: *snapEvery,
 				Tier:      tier,
+				Store:     st,
 			}, false)
 		if err != nil {
 			log.Fatal(err)
@@ -265,12 +289,13 @@ func main() {
 
 	sopts := experiments.StudyOptions{
 		Workers:   *workers,
-		Traced:    *traceOut != "" || *domains,
+		Traced:    *traceOut != "" || *domains || st != nil,
 		WarmStart: *warmStart,
 		SnapEvery: *snapEvery,
 		Tier:      tier,
 		Domains:   *domains,
 		Shards:    *shards,
+		Store:     st,
 	}
 	if *shards > 1 {
 		sopts.ShardExec = shardExecArgv(*shardCmd)
@@ -297,6 +322,23 @@ func main() {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "campaign.warmstart.skipped-dyn=%d (snapshots=%d, warm-trials=%d)\n", skipped, snaps, warm)
+	}
+
+	if st != nil {
+		// Seal every campaign trace into the store (traces/<keyID>.jsonl
+		// + Merkle seal), keyed exactly like the golden-run manifest so
+		// the inventory row joins profile, snapshots and seal. The seal
+		// is what care-report -diff localises divergence with.
+		keyOpts := sopts
+		if !keyOpts.WarmStart {
+			keyOpts.SnapEvery = 0
+		}
+		for _, r := range rows {
+			key := experiments.CampaignKey("campaign", r.Workload, workloads.Params{}, *opt, nil, *seed, keyOpts)
+			if _, err := st.PutTrace(key, r.Res.Trace); err != nil {
+				fmt.Fprintf(os.Stderr, "store: seal %s: %v\n", r.Workload, err)
+			}
+		}
 	}
 
 	if *traceOut != "" {

@@ -11,6 +11,7 @@
 package cluster
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"care/internal/profiler"
 	"care/internal/safeguard"
 	"care/internal/shard"
+	"care/internal/store"
 	"care/internal/trace"
 	"care/internal/workloads"
 )
@@ -145,6 +147,11 @@ type SearchOptions struct {
 	Shards    int
 	ShardExec []string
 	Build     shard.BuildSpec
+	// Store caches the search's golden-run profile across runs and
+	// attempts (each attempt reuses the same binary, so after the first
+	// attempt populates the entry the rest are cache hits), keyed from
+	// Build plus the attempt seed. Nil disables.
+	Store *store.Store
 }
 
 // FindRecoverableInjection searches (deterministically) for an injection
@@ -157,6 +164,15 @@ func FindRecoverableInjection(bin *core.Binary, seed int64, opts SearchOptions) 
 			MaxAttempts: 400, RecordInjections: true,
 			WarmStart: opts.WarmStart, SnapEvery: opts.SnapEvery,
 			Tier: opts.Tier,
+		}
+		if opts.Store != nil {
+			pj, _ := json.Marshal(opts.Build.Params)
+			exp.Store = opts.Store
+			exp.StoreKey = store.Key{
+				Kind: "coverage", Workload: opts.Build.Workload, Params: string(pj),
+				OptLevel: opts.Build.OptLevel, Defenses: opts.Build.Defenses,
+				Seed: exp.Seed, SnapEvery: opts.SnapEvery, WarmStart: opts.WarmStart,
+			}
 		}
 		var res *faultinject.CoverageResult
 		var err error

@@ -160,6 +160,8 @@ func DefenseStudyArms(names []string, arms []DefenseArm, n int, model faultinjec
 				Tier:      opts.Tier,
 				Protected: app.Defended(),
 				Safeguard: opts.Safeguard,
+				Store:     opts.Store,
+				StoreKey:  CampaignKey("campaign", name, p, opt, arm.Defenses, seed, opts),
 			}).Run()
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", name, arm.Name, err)

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -21,6 +22,7 @@ import (
 	"care/internal/parallel"
 	"care/internal/safeguard"
 	"care/internal/shard"
+	"care/internal/store"
 	"care/internal/trace"
 	"care/internal/workloads"
 )
@@ -89,6 +91,35 @@ type StudyOptions struct {
 	Safeguard              safeguard.Config
 	CheckpointEveryResults int
 	CheckpointModel        checkpoint.CostModel
+	// Store, when non-nil, is the persistent content-addressed artifact
+	// store: campaigns consult it for a cached golden-run profile
+	// (keyed by CampaignKey) before profiling, populate it on a miss,
+	// and — in subprocess shard mode — ship snapshot segments to
+	// workers as blob references instead of inline payloads. Study
+	// results, traces included, are byte-identical with or without it.
+	Store *store.Store
+}
+
+// CampaignKey derives the store cache key for one study campaign: the
+// exact (workload, build options, defense list, seed, snapshot
+// cadence) tuple the golden-run profile depends on. The CLIs reuse it
+// to seal campaign traces under the same index entry.
+func CampaignKey(kind, workload string, p workloads.Params, opt int, defenses []string, seed int64, opts StudyOptions) store.Key {
+	pj, err := json.Marshal(p)
+	if err != nil {
+		// workloads.Params is a plain value type; Marshal cannot fail.
+		panic(fmt.Sprintf("experiments: marshal params: %v", err))
+	}
+	return store.Key{
+		Kind:      kind,
+		Workload:  workload,
+		Params:    string(pj),
+		OptLevel:  opt,
+		Defenses:  defenses,
+		Seed:      seed,
+		SnapEvery: opts.SnapEvery,
+		WarmStart: opts.WarmStart,
+	}
 }
 
 // OutcomeStudy runs the §2 manifestation study (Tables 2, 3, 4 / 10, 11).
@@ -112,6 +143,7 @@ func OutcomeStudy(names []string, n, faults int, model faultinject.Model, seed i
 			WarmStart: opts.WarmStart, SnapEvery: opts.SnapEvery,
 			Tier: opts.Tier, Domains: opts.Domains,
 			Shards: opts.Shards, ShardExec: opts.ShardExec, Progress: opts.Progress,
+			Store: opts.Store, StoreKey: CampaignKey("campaign", name, p, opt, nil, seed, opts),
 		}
 		var res *faultinject.CampaignResult
 		if opts.Shards > 1 {
@@ -355,6 +387,7 @@ func ParallelStudy(names []string, ranks, threads, opt int, p workloads.Params, 
 				WarmStart: opts.WarmStart, SnapEvery: opts.SnapEvery, Tier: opts.Tier,
 				Shards: opts.Shards, ShardExec: opts.ShardExec,
 				Build: shard.BuildSpec{Workload: name, Params: p, OptLevel: opt, Defenses: []string{"care"}},
+				Store: opts.Store,
 			})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)

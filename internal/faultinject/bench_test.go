@@ -3,6 +3,10 @@ package faultinject
 import (
 	"fmt"
 	"testing"
+
+	"care/internal/core"
+	"care/internal/store"
+	"care/internal/workloads"
 )
 
 // BenchmarkCampaignWorkers measures campaign throughput as the worker
@@ -80,6 +84,73 @@ func BenchmarkCampaignWarmStart(b *testing.B) {
 				}
 				if warm && res.WarmStart.SkippedDyn == 0 {
 					b.Fatal("warm campaign skipped nothing")
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
+	}
+}
+
+// BenchmarkCampaignStoreHit is the artifact-store headline: the same
+// warm-start campaign run cold (the golden run executes and captures
+// its snapshot cadence every iteration) and against a pre-populated
+// content-addressed store, where Prepare is a pure cache hit that
+// loads the verified profile instead of executing the golden run. The
+// computed CampaignResult is bit-identical either way (pinned by
+// TestCampaignStoreCacheHit); only the preparation cost differs. The
+// workload runs a longer CG solve (Steps 160) than the default test size — the
+// store trades verified page reads for golden-run execution, so its
+// win scales with golden-run length (the paper's golden runs are
+// minutes, not milliseconds).
+func BenchmarkCampaignStoreHit(b *testing.B) {
+	w, err := workloads.Get("HPCCG")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := workloads.Params{Steps: 160}
+	bin, err := core.Build(w.Module(p), core.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 8
+	key := store.Key{Kind: "campaign", Workload: "HPCCG", Params: `{"Steps":160}`, Seed: 1}
+	dir := b.TempDir()
+	seedStore, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Populate the entry once, outside the timed region.
+	warm := &Campaign{App: bin, N: n, Model: SingleBit, Seed: 1, WarmStart: true,
+		Store: seedStore, StoreKey: key}
+	if _, err := warm.Prepare(); err != nil {
+		b.Fatal(err)
+	}
+	for _, hit := range []bool{false, true} {
+		name := "cold"
+		if hit {
+			name = "hit"
+		}
+		b.Run(name, func(b *testing.B) {
+			st, err := store.Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				c := &Campaign{App: bin, N: n, Model: SingleBit, Seed: 1, WarmStart: true}
+				if hit {
+					c.Store, c.StoreKey = st, key
+				}
+				res, err := c.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.WarmStart == nil || res.WarmStart.Snapshots == 0 {
+					b.Fatal("campaign lost its snapshots")
+				}
+			}
+			if hit {
+				if got := st.Counter(store.CounterGoldenHits); got != int64(b.N) {
+					b.Fatalf("golden-hits = %d, want %d", got, b.N)
 				}
 			}
 			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")

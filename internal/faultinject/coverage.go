@@ -12,6 +12,7 @@ import (
 	"care/internal/parallel"
 	"care/internal/profiler"
 	"care/internal/safeguard"
+	"care/internal/store"
 	"care/internal/trace"
 )
 
@@ -94,6 +95,14 @@ type CoverageExperiment struct {
 	// with (done, total) for the range being run; reporting only, never
 	// recorded in traces. May be called concurrently.
 	Progress func(done, total int)
+	// Store and StoreKey cache the golden-run profile across runs,
+	// exactly as on Campaign: a verified hit skips the golden passes, a
+	// miss or corrupt entry runs cold and repopulates. The key's
+	// cadence fields are pinned from the experiment's effective
+	// warm-start (which the Safeguard policy can suppress), so entries
+	// with and without snapshots never collide.
+	Store    *store.Store
+	StoreKey store.Key
 }
 
 // RecordedInjection identifies a replayable injection.
@@ -495,11 +504,16 @@ func (e *CoverageExperiment) Prepare() (*profiler.Profile, error) {
 	if err := e.Safeguard.Policy.Validate(); err != nil {
 		return nil, err
 	}
+	warm := e.WarmStart && !e.Safeguard.Policy.NeedsStore()
+	key := effectiveKey(e.StoreKey, warm, e.SnapEvery)
+	if prof := consultStore(e.Store, key); prof != nil {
+		return prof, nil
+	}
 	prof, err := profiler.Run(e.App, e.Libs, 0)
 	if err != nil {
 		return nil, err
 	}
-	if e.WarmStart && !e.Safeguard.Policy.NeedsStore() {
+	if warm {
 		every := e.SnapEvery
 		if every == 0 {
 			every = prof.TotalDyn/64 + 1
@@ -514,6 +528,7 @@ func (e *CoverageExperiment) Prepare() (*profiler.Profile, error) {
 		}
 		prof = sprof
 	}
+	populateStore(e.Store, key, prof, e.App, e.Libs)
 	return prof, nil
 }
 

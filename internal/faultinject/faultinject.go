@@ -23,6 +23,7 @@ import (
 	"care/internal/parallel"
 	"care/internal/profiler"
 	"care/internal/safeguard"
+	"care/internal/store"
 	"care/internal/taint"
 	"care/internal/trace"
 )
@@ -409,6 +410,20 @@ type Campaign struct {
 	// results; it exists only for heartbeat reporting and never alters
 	// the campaign outcome or trace.
 	Progress func(done, total int)
+	// Store, when non-nil, caches the golden-run profile (and its
+	// warm-start snapshots) under StoreKey: Prepare consults the store
+	// first and a verified hit skips both golden passes entirely; a
+	// miss runs cold and populates the entry. Corruption degrades to
+	// the cold path (the store charges its own fallback counter) — the
+	// campaign result, including the exported trace JSONL, is
+	// byte-identical with the store on, off, cold, or cache-hit.
+	Store *store.Store
+	// StoreKey identifies this campaign's cache entry; it must pin
+	// every input the golden run depends on (workload, build options,
+	// defenses) plus the snapshot cadence. Ignored when Store is nil or
+	// the key's Workload is empty (an unkeyed campaign never touches
+	// the index).
+	StoreKey store.Key
 }
 
 // WarmStartStats accounts for the work a warm-started campaign skipped.
@@ -697,6 +712,10 @@ func (c *Campaign) Prepare() (*profiler.Profile, error) {
 	if c.N <= 0 {
 		return nil, fmt.Errorf("faultinject: campaign N must be positive")
 	}
+	key := effectiveKey(c.StoreKey, c.WarmStart, c.SnapEvery)
+	if prof := consultStore(c.Store, key); prof != nil {
+		return prof, nil
+	}
 	prof, err := profiler.Run(c.App, c.Libs, 0)
 	if err != nil {
 		return nil, err
@@ -721,7 +740,56 @@ func (c *Campaign) Prepare() (*profiler.Profile, error) {
 		}
 		prof = sprof
 	}
+	populateStore(c.Store, key, prof, c.App, c.Libs)
 	return prof, nil
+}
+
+// effectiveKey pins the snapshot cadence onto a cache key from the
+// campaign's own fields, so an entry with snapshots can never be
+// confused with one without — even if the caller filled the key
+// inconsistently.
+func effectiveKey(key store.Key, warm bool, snapEvery uint64) store.Key {
+	key.WarmStart = warm
+	if warm {
+		key.SnapEvery = snapEvery
+	} else {
+		key.SnapEvery = 0
+	}
+	return key
+}
+
+// consultStore returns the cached golden-run profile for key, or nil
+// when there is no store, no usable key, a clean miss, or a corrupt
+// entry (the store charges golden-misses / store.fallback itself; the
+// caller always degrades to the cold path).
+func consultStore(s *store.Store, key store.Key) *profiler.Profile {
+	if s == nil || key.Workload == "" {
+		return nil
+	}
+	prof, err := s.GetProfile(key)
+	if err != nil || prof == nil {
+		return nil
+	}
+	return prof
+}
+
+// populateStore caches a freshly derived profile, offering the sealed
+// .text images of the app and its libraries for blob dedup. Store
+// errors are deliberately non-fatal: a read-only or full store costs
+// the next run a cache miss, never this run its result.
+func populateStore(s *store.Store, key store.Key, prof *profiler.Profile, app *core.Binary, libs []*core.Binary) {
+	if s == nil || key.Workload == "" {
+		return
+	}
+	var text []store.TextImage
+	for _, b := range append([]*core.Binary{app}, libs...) {
+		if b != nil && b.Prog != nil {
+			if img := b.Prog.CodeImage(); len(img) > 0 {
+				text = append(text, store.TextImage{Name: b.Prog.Name, Data: img})
+			}
+		}
+	}
+	_ = s.PutProfile(key, prof, text)
 }
 
 // runProfiled runs the campaign against an already-profiled golden run

@@ -138,6 +138,15 @@ func (p *Program) SealCode() {
 	}
 }
 
+// CodeImage returns the program's packed code image, sealing it first
+// if needed. The bytes are the canonical content of the binary's .text
+// segment — what the content-addressed store dedups sealed code by —
+// and must be treated as read-only (they back every live mapping).
+func (p *Program) CodeImage() []byte {
+	p.SealCode()
+	return p.codeBytes
+}
+
 // Image is a program mapped into a process: its code range responds to
 // instruction fetches and its globals occupy a data segment.
 type Image struct {

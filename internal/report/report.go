@@ -1,0 +1,192 @@
+// Package report renders human-readable summaries of stored campaign
+// traces — offline, from the JSONL export alone, with no workload
+// execution. It backs care-report's -trace-in and -diff modes: the
+// former summarises one trace (span kinds, trial outcomes, counters,
+// Merkle seal), the latter compares two traces leaf-by-leaf and names
+// the first diverging trial index.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"care/internal/store"
+	"care/internal/trace"
+)
+
+// RenderTrace summarises one recorded trace: span population by kind,
+// the trial-outcome histogram, the deterministic counters, and the
+// trace's Merkle seal. Wall-clock fields are deliberately omitted so
+// rendering the same campaign twice yields byte-identical output (the
+// CI store-determinism job diffs exactly that).
+func RenderTrace(rec *trace.Recorder) string {
+	var sb strings.Builder
+	spans := rec.Spans()
+	fmt.Fprintf(&sb, "spans: %d recorded (%d emitted, %d dropped)\n",
+		rec.Len(), rec.Emitted(), rec.Dropped())
+
+	// Span population by kind, with the virtual-clock extent summed.
+	type kindRow struct {
+		name string
+		n    int
+		dyn  uint64
+	}
+	byKind := map[string]*kindRow{}
+	outcomes := map[string]int{}
+	trials := 0
+	var firstRank, lastRank int32
+	for _, s := range spans {
+		r := byKind[s.Kind.String()]
+		if r == nil {
+			r = &kindRow{name: s.Kind.String()}
+			byKind[s.Kind.String()] = r
+		}
+		r.n++
+		r.dyn += s.DynSpan()
+		if s.Kind == trace.KindTrial {
+			if trials == 0 || s.Rank < firstRank {
+				firstRank = s.Rank
+			}
+			if trials == 0 || s.Rank > lastRank {
+				lastRank = s.Rank
+			}
+			trials++
+			outcomes[s.Outcome]++
+		}
+	}
+	kinds := make([]*kindRow, 0, len(byKind))
+	for _, r := range byKind {
+		kinds = append(kinds, r)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].name < kinds[j].name })
+	sb.WriteString("\nkind                 count          dyn\n")
+	for _, r := range kinds {
+		fmt.Fprintf(&sb, "%-18s %7d %12d\n", r.name, r.n, r.dyn)
+	}
+
+	if trials > 0 {
+		fmt.Fprintf(&sb, "\ntrials: %d (ranks %d..%d)\n", trials, firstRank, lastRank)
+		names := make([]string, 0, len(outcomes))
+		for n := range outcomes {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			o := n
+			if o == "" {
+				o = "(none)"
+			}
+			fmt.Fprintf(&sb, "  %-24s %7d\n", o, outcomes[n])
+		}
+	}
+
+	// Deterministic counters only: "-ns"-suffixed names carry measured
+	// wall time and would break the render-twice byte-diff.
+	var det []string
+	for _, n := range rec.CounterNames() {
+		if !strings.HasSuffix(n, "-ns") {
+			det = append(det, n)
+		}
+	}
+	if len(det) > 0 {
+		sb.WriteString("\ncounters (deterministic):\n")
+		for _, n := range det {
+			fmt.Fprintf(&sb, "  %-36s %12d\n", n, rec.Counter(n))
+		}
+	}
+
+	seal := store.Seal(rec)
+	fmt.Fprintf(&sb, "\nseal: root %s (%d leaves)\n", seal.Root, len(seal.Leaves))
+	return sb.String()
+}
+
+// leafName names a leaf for diff output: the trial index it covers, or
+// the tail/counters marker.
+func leafName(l store.LeafSeal) string {
+	switch {
+	case l.Rank == -1:
+		return "non-trial tail"
+	case l.Rank == -2:
+		return "counter tables"
+	case l.Rank == -3:
+		return "(absent)"
+	default:
+		return fmt.Sprintf("trial %d", l.Rank)
+	}
+}
+
+// RenderDiff seals two traces and reports where they first diverge.
+// Equal roots mean the scrubbed JSONL exports are byte-identical; a
+// differing leaf names the first diverging trial index without
+// re-executing anything.
+func RenderDiff(a, b *trace.Recorder) string {
+	sa, sb := store.Seal(a), store.Seal(b)
+	var out strings.Builder
+	fmt.Fprintf(&out, "a: %d spans, root %s (%d leaves)\n", a.Len(), sa.Root, len(sa.Leaves))
+	fmt.Fprintf(&out, "b: %d spans, root %s (%d leaves)\n", b.Len(), sb.Root, len(sb.Leaves))
+	if sa.Root == sb.Root {
+		out.WriteString("traces identical (equal Merkle roots)\n")
+		return out.String()
+	}
+	i, la, lb := store.FirstDivergence(sa, sb)
+	if i < 0 {
+		// Roots differ but every common leaf matches: impossible unless
+		// the seals were built inconsistently; say so rather than lie.
+		out.WriteString("traces differ (roots disagree, no leaf divergence found)\n")
+		return out.String()
+	}
+	fmt.Fprintf(&out, "traces differ: first divergence at leaf %d\n", i)
+	fmt.Fprintf(&out, "  a: %s (%d spans, %s)\n", leafName(la), la.Spans, shortHash(la.Hash))
+	fmt.Fprintf(&out, "  b: %s (%d spans, %s)\n", leafName(lb), lb.Spans, shortHash(lb.Hash))
+	if la.Rank >= 0 && la.Rank == lb.Rank {
+		fmt.Fprintf(&out, "first diverging trial index: %d\n", la.Rank)
+	}
+	return out.String()
+}
+
+// FormatInventory renders the store inventory (care-report -store): one
+// row per cached golden-run entry, with its seal root when the trace
+// was stored too.
+func FormatInventory(entries []store.Entry) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "store entries: %d\n", len(entries))
+	if len(entries) == 0 {
+		return sb.String()
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].Key, entries[j].Key
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		return a.ID() < b.ID()
+	})
+	sb.WriteString("kind      workload   opt seed  snaps warm  defenses      seal\n")
+	for _, e := range entries {
+		k := e.Key
+		defs := strings.Join(k.Defenses, ",")
+		if defs == "" {
+			defs = "-"
+		}
+		seal := "-"
+		if e.Seal != nil {
+			seal = shortHash(e.Seal.Root)
+		}
+		fmt.Fprintf(&sb, "%-9s %-10s %3d %5d %5d %-5t %-13s %s\n",
+			k.Kind, k.Workload, k.OptLevel, k.Seed, e.Snaps, k.WarmStart, defs, seal)
+	}
+	return sb.String()
+}
+
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	if h == "" {
+		return "-"
+	}
+	return h
+}

@@ -1,0 +1,105 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"care/internal/store"
+	"care/internal/trace"
+)
+
+// campaignRec builds a synthetic campaign-shaped trace: per-trial
+// activation+trial span pairs, a tail job span, and counters. mutate
+// lets a test perturb one trial's chunk.
+func campaignRec(trials int, mutate func(i int, rec *trace.Recorder)) *trace.Recorder {
+	rec := trace.New(trials*4 + 8)
+	for i := 0; i < trials; i++ {
+		id := rec.Emit(trace.Span{Kind: trace.KindActivation, Parent: trace.NoParent,
+			StartDyn: uint64(i * 100), EndDyn: uint64(i*100 + 40), Wall: time.Duration(i) * time.Millisecond,
+			Outcome: "recovered", Rank: int32(i)})
+		rec.Emit(trace.Span{Kind: trace.KindDiagnose, Parent: id,
+			StartDyn: uint64(i * 100), EndDyn: uint64(i*100 + 10), Rank: int32(i)})
+		if mutate != nil {
+			mutate(i, rec)
+		}
+		rec.Emit(trace.Span{Kind: trace.KindTrial, Parent: trace.NoParent,
+			StartDyn: uint64(i * 100), EndDyn: uint64(i*100 + 90),
+			Outcome: "masked", Rank: int32(i), Val: 1})
+	}
+	rec.Emit(trace.Span{Kind: trace.KindJob, Parent: trace.NoParent, EndDyn: uint64(trials * 100)})
+	rec.Add("campaign.trials", int64(trials))
+	rec.Add("checkpoint.write-ns", 123456)
+	return rec
+}
+
+func TestRenderTraceDeterministic(t *testing.T) {
+	a := campaignRec(4, nil)
+	// Same campaign, different measured wall times and timing counters:
+	// the render must be byte-identical.
+	b := campaignRec(4, nil)
+	b.Add("checkpoint.write-ns", 999999)
+	ra, rb := RenderTrace(a), RenderTrace(b)
+	if ra != rb {
+		t.Fatalf("render differs across wall-time noise:\n%s\nvs\n%s", ra, rb)
+	}
+	for _, want := range []string{"trial", "trials: 4 (ranks 0..3)", "masked", "campaign.trials", "seal: root "} {
+		if !strings.Contains(ra, want) {
+			t.Fatalf("render missing %q:\n%s", want, ra)
+		}
+	}
+	if strings.Contains(ra, "write-ns") {
+		t.Fatalf("render leaked a wall-time counter:\n%s", ra)
+	}
+}
+
+func TestRenderDiffIdentical(t *testing.T) {
+	out := RenderDiff(campaignRec(3, nil), campaignRec(3, nil))
+	if !strings.Contains(out, "traces identical") {
+		t.Fatalf("identical traces not reported as such:\n%s", out)
+	}
+}
+
+func TestRenderDiffNamesTrialIndex(t *testing.T) {
+	a := campaignRec(5, nil)
+	b := campaignRec(5, func(i int, rec *trace.Recorder) {
+		if i == 2 {
+			rec.Emit(trace.Span{Kind: trace.KindRollback, Parent: trace.NoParent,
+				StartDyn: 200, EndDyn: 230, Rank: 2})
+		}
+	})
+	out := RenderDiff(a, b)
+	if !strings.Contains(out, "first diverging trial index: 2") {
+		t.Fatalf("diff did not name trial 2:\n%s", out)
+	}
+	if !strings.Contains(out, "traces differ") {
+		t.Fatalf("diff did not report divergence:\n%s", out)
+	}
+}
+
+func TestRenderDiffCounterLeaf(t *testing.T) {
+	a := campaignRec(2, nil)
+	b := campaignRec(2, nil)
+	b.Add("campaign.extra", 7)
+	out := RenderDiff(a, b)
+	if !strings.Contains(out, "counter tables") {
+		t.Fatalf("counter-only divergence not attributed to the counters leaf:\n%s", out)
+	}
+}
+
+func TestFormatInventory(t *testing.T) {
+	entries := []store.Entry{
+		{Key: store.Key{Kind: "campaign", Workload: "HPCCG", Seed: 9, WarmStart: true}, Snaps: 12,
+			Seal: &store.TraceSeal{Root: "abcdef0123456789"}},
+		{Key: store.Key{Kind: "coverage", Workload: "CG", Seed: 5, Defenses: []string{"care"}}},
+	}
+	out := FormatInventory(entries)
+	for _, want := range []string{"store entries: 2", "HPCCG", "abcdef012345", "care", "coverage"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("inventory missing %q:\n%s", want, out)
+		}
+	}
+	if FormatInventory(nil) != "store entries: 0\n" {
+		t.Fatal("empty inventory renders wrong")
+	}
+}

@@ -16,10 +16,12 @@
 package shard
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Frame types. A worker conversation is:
@@ -58,25 +60,50 @@ type frame struct {
 // below the point where a corrupt length prefix could wedge the host.
 const maxFrame = 1 << 30
 
-// writeFrame emits one length-prefixed JSON frame.
+// maxPooled caps the capacity a buffer may keep when returned to its
+// pool: steady-state batch frames reuse their buffer, while the rare
+// giant frame (a spec with inline snapshots) is released to the GC
+// rather than pinned for the life of the process.
+const maxPooled = 4 << 20
+
+// frameBufPool recycles encode buffers across writeFrame calls, and
+// frameBodyPool recycles decode bodies across readFrame calls. Safe
+// because writeFrame flushes the buffer before putting it back and
+// json.Unmarshal copies every field (including base64 []byte fields)
+// out of the input, so nothing aliases a pooled body after return.
+var frameBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+var frameBodyPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// writeFrame emits one length-prefixed JSON frame. The body is encoded
+// into a pooled buffer behind a reserved 4-byte header, the header is
+// patched once the length is known, and the whole frame goes out in a
+// single Write — zero per-frame allocation in steady state.
 func writeFrame(w io.Writer, f *frame) error {
-	body, err := json.Marshal(f)
-	if err != nil {
+	buf := frameBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= maxPooled {
+			buf.Reset()
+			frameBufPool.Put(buf)
+		}
+	}()
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0})
+	// Encoder appends a trailing newline after the JSON value; it is
+	// counted in the length prefix and ignored by the decoder.
+	if err := json.NewEncoder(buf).Encode(f); err != nil {
 		return fmt.Errorf("shard: encode %s frame: %w", f.Type, err)
 	}
+	body := buf.Bytes()[4:]
 	if len(body) > maxFrame {
 		return fmt.Errorf("shard: %s frame of %d bytes exceeds limit", f.Type, len(body))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(body)
+	binary.BigEndian.PutUint32(buf.Bytes()[:4], uint32(len(body)))
+	_, err := w.Write(buf.Bytes())
 	return err
 }
 
-// readFrame reads one length-prefixed JSON frame.
+// readFrame reads one length-prefixed JSON frame into a pooled body.
 func readFrame(r io.Reader) (*frame, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -86,7 +113,16 @@ func readFrame(r io.Reader) (*frame, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("shard: frame length %d exceeds limit (corrupt stream?)", n)
 	}
-	body := make([]byte, n)
+	bp := frameBodyPool.Get().(*[]byte)
+	if uint32(cap(*bp)) < n {
+		*bp = make([]byte, n)
+	}
+	body := (*bp)[:n]
+	defer func() {
+		if cap(*bp) <= maxPooled {
+			frameBodyPool.Put(bp)
+		}
+	}()
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
 	}

@@ -57,7 +57,14 @@ func RunCampaign(c *faultinject.Campaign, build BuildSpec) (*faultinject.Campaig
 
 	var spec *WorkerSpec
 	if len(c.ShardExec) > 0 {
-		spec = &WorkerSpec{Build: build, Campaign: campaignSpecOf(c), Profile: encodeProfile(prof)}
+		// With a store attached, snapshot memory ships as hash references
+		// and every worker fetches (verified) bytes from the shared
+		// directory — one copy on disk instead of one payload per worker.
+		wp, deduped := encodeProfileDedup(prof, c.Store)
+		spec = &WorkerSpec{Build: build, Campaign: campaignSpecOf(c), Profile: wp}
+		if deduped {
+			spec.StoreDir = c.Store.Dir()
+		}
 	}
 	runErr := parallel.ForEach(shards, shards, func(s int) error {
 		r := ranges[s]
@@ -154,7 +161,11 @@ func RunCoverage(e *faultinject.CoverageExperiment, build BuildSpec) (*faultinje
 	chunk := 4 * parallel.Workers(e.Workers, budget)
 	var pool []*workerProc
 	if len(e.ShardExec) > 0 {
-		spec := &WorkerSpec{Build: build, Coverage: coverageSpecOf(e), Profile: encodeProfile(prof)}
+		wp, deduped := encodeProfileDedup(prof, e.Store)
+		spec := &WorkerSpec{Build: build, Coverage: coverageSpecOf(e), Profile: wp}
+		if deduped {
+			spec.StoreDir = e.Store.Dir()
+		}
 		pool = make([]*workerProc, shards)
 		defer func() {
 			for _, p := range pool {

@@ -3,15 +3,17 @@ package shard
 import (
 	"bytes"
 	"fmt"
-	"math"
+	"strings"
 	"time"
 
 	"care/internal/checkpoint"
 	"care/internal/core"
 	"care/internal/faultinject"
+	"care/internal/fbits"
 	"care/internal/machine"
 	"care/internal/profiler"
 	"care/internal/safeguard"
+	"care/internal/store"
 	"care/internal/trace"
 	"care/internal/workloads"
 )
@@ -142,34 +144,16 @@ func (s *CoverageSpec) experiment(app *core.Binary, libs []*core.Binary) *faulti
 
 // WorkerSpec is the one-time configuration frame a worker receives
 // before any run frames. Exactly one of Campaign/Coverage is set.
+// When StoreDir is set, the profile's snapshot memory ships as segment
+// hash references and the worker fetches the bytes from the shared
+// content-addressed store instead of the spec frame — deduping the
+// wire the same way the store dedups the disk.
 type WorkerSpec struct {
 	Build    BuildSpec     `json:"build"`
 	Campaign *CampaignSpec `json:"campaign,omitempty"`
 	Coverage *CoverageSpec `json:"coverage,omitempty"`
 	Profile  wireProfile   `json:"profile"`
-}
-
-// bitsOf / floatsOf ship float64 streams as IEEE-754 bit patterns.
-func bitsOf(fs []float64) []uint64 {
-	if fs == nil {
-		return nil
-	}
-	bs := make([]uint64, len(fs))
-	for i, f := range fs {
-		bs[i] = math.Float64bits(f)
-	}
-	return bs
-}
-
-func floatsOf(bs []uint64) []float64 {
-	if bs == nil {
-		return nil
-	}
-	fs := make([]float64, len(bs))
-	for i, b := range bs {
-		fs[i] = math.Float64frombits(b)
-	}
-	return fs
+	StoreDir string        `json:"store_dir,omitempty"`
 }
 
 // wireProfile ships a profiler.Profile, snapshots included, so workers
@@ -190,10 +174,14 @@ type wireSnap struct {
 }
 
 // wireSnapshot ships a checkpoint.Snapshot. Memory segments are
-// JSON-native ([]byte images encode as base64); the FPU register file
-// and the result stream go as bit patterns.
+// JSON-native ([]byte images encode as base64) when shipped inline, or
+// collapse to content-address references (SegRefs + HeapNext, Mem nil)
+// when both ends share a store; the FPU register file and the result
+// stream go as bit patterns.
 type wireSnapshot struct {
-	Mem        *machine.Snapshot `json:"mem"`
+	Mem        *machine.Snapshot `json:"mem,omitempty"`
+	SegRefs    []wireSegRef      `json:"seg_refs,omitempty"`
+	HeapNext   uint64            `json:"heap_next,omitempty"`
 	R          []uint64          `json:"r"`
 	FBits      []uint64          `json:"f_bits"`
 	PC         uint64            `json:"pc"`
@@ -203,68 +191,163 @@ type wireSnapshot struct {
 	Printed    []string          `json:"printed,omitempty"`
 }
 
+// wireSegRef points at one segment's bytes in the shared store, as an
+// ordered list of ChunkSize page hashes (the store's dedup granularity).
+type wireSegRef struct {
+	Base   uint64   `json:"base"`
+	Name   string   `json:"name"`
+	Pages  []string `json:"pages,omitempty"`
+	Len    int      `json:"len"`
+	Domain uint8    `json:"domain,omitempty"`
+}
+
+// encodeSnapHeader fills the snapshot fields every transport shares
+// (registers, env streams); the memory image is the caller's choice of
+// inline bytes or store references.
+func encodeSnapHeader(st *checkpoint.Snapshot) wireSnapshot {
+	ws := wireSnapshot{
+		R:          make([]uint64, len(st.CPU.R)),
+		FBits:      fbits.Of(st.CPU.F[:]),
+		PC:         uint64(st.CPU.PC),
+		Dyn:        st.CPU.Dyn,
+		Step:       st.Step,
+		ResultBits: fbits.Of(st.EnvResults),
+		Printed:    st.EnvPrinted,
+	}
+	for j, r := range st.CPU.R {
+		ws.R[j] = uint64(r)
+	}
+	return ws
+}
+
 func encodeProfile(p *profiler.Profile) wireProfile {
 	wp := wireProfile{
 		TotalDyn:   p.TotalDyn,
 		Counts:     p.Counts,
-		GoldenBits: bitsOf(p.Golden),
+		GoldenBits: fbits.Of(p.Golden),
 		ExitCode:   p.ExitCode,
 	}
 	for i := range p.Snaps {
 		sp := &p.Snaps[i]
-		st := sp.State
-		ws := wireSnapshot{
-			Mem:        st.Mem,
-			R:          make([]uint64, len(st.CPU.R)),
-			FBits:      make([]uint64, len(st.CPU.F)),
-			PC:         uint64(st.CPU.PC),
-			Dyn:        st.CPU.Dyn,
-			Step:       st.Step,
-			ResultBits: bitsOf(st.EnvResults),
-			Printed:    st.EnvPrinted,
-		}
-		for j, r := range st.CPU.R {
-			ws.R[j] = uint64(r)
-		}
-		for j, f := range st.CPU.F {
-			ws.FBits[j] = math.Float64bits(f)
-		}
+		ws := encodeSnapHeader(sp.State)
+		ws.Mem = sp.State.Mem
 		wp.Snaps = append(wp.Snaps, wireSnap{Dyn: sp.Dyn, State: ws, Counts: sp.Counts})
 	}
 	return wp
 }
 
-func decodeProfile(wp *wireProfile) (*profiler.Profile, error) {
+// encodeProfileDedup encodes a profile with snapshot memory hoisted
+// into the store as content-addressed blobs: the spec frame carries
+// hashes, the worker fetches bytes. Segments shared across snapshots
+// (frozen COW aliases) are recognised by backing-array identity and
+// stored once. Returns ok=false — with the full inline encoding — when
+// there is no store or a blob write failed (the store charges
+// store.fallback); the coordinator then ships payloads as before, so a
+// broken store can never lose a campaign.
+func encodeProfileDedup(p *profiler.Profile, st *store.Store) (wireProfile, bool) {
+	if st == nil {
+		return encodeProfile(p), false
+	}
+	wp := wireProfile{
+		TotalDyn:   p.TotalDyn,
+		Counts:     p.Counts,
+		GoldenBits: fbits.Of(p.Golden),
+		ExitCode:   p.ExitCode,
+	}
+	type ref struct {
+		pages []string
+		n     int
+	}
+	seen := map[*byte]ref{}
+	for i := range p.Snaps {
+		sp := &p.Snaps[i]
+		ws := encodeSnapHeader(sp.State)
+		ws.HeapNext = uint64(sp.State.Mem.HeapNext)
+		for _, seg := range sp.State.Mem.Segs {
+			var r ref
+			if len(seg.Data) > 0 {
+				if c, ok := seen[&seg.Data[0]]; ok && c.n == len(seg.Data) {
+					r = c
+				} else {
+					pages, err := st.PutChunked(seg.Data)
+					if err != nil {
+						st.AddFallback()
+						return encodeProfile(p), false
+					}
+					r = ref{pages: pages, n: len(seg.Data)}
+					seen[&seg.Data[0]] = r
+				}
+			}
+			ws.SegRefs = append(ws.SegRefs, wireSegRef{
+				Base: uint64(seg.Base), Name: seg.Name,
+				Pages: r.pages, Len: r.n, Domain: uint8(seg.Domain),
+			})
+		}
+		wp.Snaps = append(wp.Snaps, wireSnap{Dyn: sp.Dyn, State: ws, Counts: sp.Counts})
+	}
+	return wp, true
+}
+
+// decodeProfile reconstructs a profile on the worker side. st is the
+// shared store opened from the spec's StoreDir (nil when snapshots
+// shipped inline); fetched blobs are verified against their hash and
+// cached per call, so segments shared across snapshots alias one byte
+// slice exactly as they did in the coordinator. A reference the store
+// cannot verify is an error — the worker reports it and the shard
+// fails loudly rather than running on unverified memory.
+func decodeProfile(wp *wireProfile, st *store.Store) (*profiler.Profile, error) {
 	p := &profiler.Profile{
 		TotalDyn: wp.TotalDyn,
 		Counts:   wp.Counts,
-		Golden:   floatsOf(wp.GoldenBits),
+		Golden:   fbits.Floats(wp.GoldenBits),
 		ExitCode: wp.ExitCode,
 	}
+	pageCache := map[string][]byte{}
+	segCache := map[string][]byte{}
 	for i := range wp.Snaps {
 		ws := &wp.Snaps[i]
-		if ws.State.Mem == nil {
+		mem := ws.State.Mem
+		if mem == nil && len(ws.State.SegRefs) > 0 {
+			if st == nil {
+				return nil, fmt.Errorf("shard: snapshot %d ships segment references but no store directory", i)
+			}
+			mem = &machine.Snapshot{HeapNext: machine.Word(ws.State.HeapNext)}
+			for _, r := range ws.State.SegRefs {
+				segKey := strings.Join(r.Pages, "")
+				data, ok := segCache[segKey]
+				if !ok || len(data) != r.Len {
+					var err error
+					if data, err = st.GetChunked(r.Pages, r.Len, pageCache); err != nil {
+						return nil, fmt.Errorf("shard: snapshot %d: %w", i, err)
+					}
+					segCache[segKey] = data
+				}
+				mem.Segs = append(mem.Segs, machine.SegSnapshot{
+					Base: machine.Word(r.Base), Name: r.Name,
+					Data: data, Domain: machine.DomainID(r.Domain),
+				})
+			}
+		}
+		if mem == nil {
 			return nil, fmt.Errorf("shard: snapshot %d shipped without a memory image", i)
 		}
-		st := &checkpoint.Snapshot{
-			Mem:        ws.State.Mem,
+		snap := &checkpoint.Snapshot{
+			Mem:        mem,
 			Step:       ws.State.Step,
-			EnvResults: floatsOf(ws.State.ResultBits),
+			EnvResults: fbits.Floats(ws.State.ResultBits),
 			EnvPrinted: ws.State.Printed,
 		}
-		if len(ws.State.R) != len(st.CPU.R) || len(ws.State.FBits) != len(st.CPU.F) {
+		if len(ws.State.R) != len(snap.CPU.R) || len(ws.State.FBits) != len(snap.CPU.F) {
 			return nil, fmt.Errorf("shard: snapshot %d register file has %d/%d slots, machine has %d/%d",
-				i, len(ws.State.R), len(ws.State.FBits), len(st.CPU.R), len(st.CPU.F))
+				i, len(ws.State.R), len(ws.State.FBits), len(snap.CPU.R), len(snap.CPU.F))
 		}
 		for j, r := range ws.State.R {
-			st.CPU.R[j] = machine.Word(r)
+			snap.CPU.R[j] = machine.Word(r)
 		}
-		for j, b := range ws.State.FBits {
-			st.CPU.F[j] = math.Float64frombits(b)
-		}
-		st.CPU.PC = machine.Word(ws.State.PC)
-		st.CPU.Dyn = ws.State.Dyn
-		p.Snaps = append(p.Snaps, profiler.SnapPoint{Dyn: ws.Dyn, State: st, Counts: ws.Counts})
+		copy(snap.CPU.F[:], fbits.Floats(ws.State.FBits))
+		snap.CPU.PC = machine.Word(ws.State.PC)
+		snap.CPU.Dyn = ws.State.Dyn
+		p.Snaps = append(p.Snaps, profiler.SnapPoint{Dyn: ws.Dyn, State: snap, Counts: ws.Counts})
 	}
 	return p, nil
 }

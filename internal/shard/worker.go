@@ -6,6 +6,7 @@ import (
 
 	"care/internal/faultinject"
 	"care/internal/profiler"
+	"care/internal/store"
 )
 
 // batchSize bounds results per batch frame: large enough to amortise
@@ -33,7 +34,13 @@ func Serve(r io.Reader, w io.Writer) error {
 	if err != nil {
 		return sendErr(w, err)
 	}
-	prof, err := decodeProfile(&spec.Profile)
+	var st *store.Store
+	if spec.StoreDir != "" {
+		if st, err = store.Open(spec.StoreDir); err != nil {
+			return sendErr(w, err)
+		}
+	}
+	prof, err := decodeProfile(&spec.Profile, st)
 	if err != nil {
 		return sendErr(w, err)
 	}

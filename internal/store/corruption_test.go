@@ -1,0 +1,257 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// The corruption matrix: every way a store can rot must degrade to a
+// cold run (an error from GetProfile, with store.fallback charged) and
+// never to a wrong profile. The store is an accelerator, not an
+// authority.
+
+func storedProfile(t *testing.T) (*Store, Key) {
+	t.Helper()
+	s := openT(t)
+	key := Key{Kind: "campaign", Workload: "HPCCG", Seed: 7, WarmStart: true}
+	if err := s.PutProfile(key, fakeProfile(), []TextImage{{Name: "app", Data: []byte("text-bytes")}}); err != nil {
+		t.Fatalf("PutProfile: %v", err)
+	}
+	return s, key
+}
+
+// blobFiles returns every blob path in the store.
+func blobFiles(t *testing.T, s *Store) []string {
+	t.Helper()
+	var files []string
+	filepath.Walk(filepath.Join(s.Dir(), "blobs"), func(path string, fi os.FileInfo, err error) error {
+		if err == nil && !fi.IsDir() {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if len(files) == 0 {
+		t.Fatalf("store has no blobs")
+	}
+	return files
+}
+
+func wantFallback(t *testing.T, s *Store, key Key) {
+	t.Helper()
+	prof, err := s.GetProfile(key)
+	if err == nil {
+		t.Fatalf("corrupt store verified clean (profile=%v)", prof != nil)
+	}
+	if prof != nil {
+		t.Fatalf("corrupt store returned a profile alongside error %v", err)
+	}
+	if n := s.Counter(CounterFallback); n == 0 {
+		t.Fatalf("store.fallback not charged (err=%v)", err)
+	}
+	if n := s.Counter(CounterGoldenHits); n != 0 {
+		t.Fatalf("corrupt load counted as golden hit")
+	}
+}
+
+// snapBlobPath returns the path of a blob a snapshot segment actually
+// references (the .text blob is dedup-only and never fetched on load,
+// so corrupting it would not — and should not — trip verification).
+func snapBlobPath(t *testing.T, s *Store, key Key) string {
+	t.Helper()
+	b, err := os.ReadFile(s.manifestPath(key.ID()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man profileManifest
+	if err := json.Unmarshal(b, &man); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseHash(man.Snaps[0].Segs[0].Pages[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.blobPath(h)
+}
+
+func TestCorruptTruncatedBlob(t *testing.T) {
+	s, key := storedProfile(t)
+	f := snapBlobPath(t, s, key)
+	data, err := os.ReadFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantFallback(t, s, key)
+}
+
+func TestCorruptFlippedByte(t *testing.T) {
+	s, key := storedProfile(t)
+	for _, f := range blobFiles(t, s) {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x40
+		if err := os.WriteFile(f, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantFallback(t, s, key)
+}
+
+func TestCorruptMissingBlob(t *testing.T) {
+	s, key := storedProfile(t)
+	if err := os.Remove(snapBlobPath(t, s, key)); err != nil {
+		t.Fatal(err)
+	}
+	wantFallback(t, s, key)
+}
+
+func TestCorruptManifestJSON(t *testing.T) {
+	s, key := storedProfile(t)
+	if err := os.WriteFile(s.manifestPath(key.ID()), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantFallback(t, s, key)
+}
+
+func TestCorruptManifestKeyMismatch(t *testing.T) {
+	// An index entry renamed onto the wrong key — e.g. a manifest file
+	// copied between stores — must fail the echoed-key check even
+	// though every blob inside it verifies.
+	s, key := storedProfile(t)
+	other := Key{Kind: "campaign", Workload: "CG", Seed: 7, WarmStart: true}
+	if err := os.Rename(s.manifestPath(key.ID()), s.manifestPath(other.ID())); err != nil {
+		t.Fatal(err)
+	}
+	wantFallback(t, s, other)
+}
+
+func TestCorruptManifestMissingSegEntry(t *testing.T) {
+	// A manifest whose segment list references a blob the store never
+	// held (the "missing manifest entry" row of the matrix: index and
+	// blobs out of sync).
+	s, key := storedProfile(t)
+	b, err := os.ReadFile(s.manifestPath(key.ID()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man profileManifest
+	if err := json.Unmarshal(b, &man); err != nil {
+		t.Fatal(err)
+	}
+	// Point one segment page at an address with no blob behind it.
+	man.Snaps[0].Segs[0].Pages[0] = HashBytes([]byte("never-stored")).String()
+	swapped, err := json.Marshal(&man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.manifestPath(key.ID()), swapped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantFallback(t, s, key)
+}
+
+func TestConcurrentWritersSameHash(t *testing.T) {
+	// Two shard workers racing PutBlob on the same segment hash (and on
+	// the same manifest) must both succeed and leave a verifiable store.
+	dir := t.TempDir()
+	data := make([]byte, 64*1024)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	const writers = 8
+	stores := make([]*Store, writers)
+	for i := range stores {
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		stores[i] = s
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 16; j++ {
+				if _, err := stores[i].PutBlob(data); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	check, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := check.GetBlob(HashBytes(data))
+	if err != nil {
+		t.Fatalf("blob unreadable after racing writers: %v", err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("racing writers corrupted the blob")
+	}
+	// Accounting must balance: every one of the 128 puts is either a
+	// fresh write or a dedup hit, never lost.
+	var puts, dedups int64
+	for _, s := range stores {
+		puts += s.Counter(CounterBlobPuts)
+		dedups += s.Counter(CounterBlobDedup)
+	}
+	if puts+dedups != writers*16 {
+		t.Fatalf("puts(%d)+dedups(%d) != %d", puts, dedups, writers*16)
+	}
+	if puts == 0 {
+		t.Fatalf("no writer recorded a fresh put")
+	}
+}
+
+func TestConcurrentProfileWriters(t *testing.T) {
+	// Racing whole-profile stores under one key (shards 1 and 4 sharing
+	// a directory) must converge to one loadable entry.
+	dir := t.TempDir()
+	key := Key{Kind: "campaign", Workload: "HPCCG", Seed: 11, WarmStart: true}
+	const writers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := Open(dir)
+			if err == nil {
+				err = s.PutProfile(key, fakeProfile(), nil)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetProfile(key)
+	if err != nil || got == nil {
+		t.Fatalf("GetProfile after racing writers: %v, %v", got, err)
+	}
+	sameProfile(t, got, fakeProfile())
+}

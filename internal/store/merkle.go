@@ -1,0 +1,146 @@
+package store
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+
+	"care/internal/trace"
+)
+
+// Merkle sealing of campaign traces. Each trial's spans form one leaf
+// (runTrial emits the KindTrial summary span last and MergeResults
+// merges per-trial recorders in index order, so the span stream is a
+// concatenation of per-trial chunks, each closed by its KindTrial
+// span); trailing non-trial spans form a tail leaf and the counter
+// tables a final leaf. Hashing scrubs exactly what the CI byte-diff
+// scrubs — span wall times and "-ns"-suffixed counters — so two
+// campaigns have equal roots if and only if their scrubbed JSONL
+// exports are byte-identical, and the first differing leaf names the
+// first diverging trial index.
+
+// LeafSeal is one Merkle leaf: a per-trial span chunk, the non-trial
+// tail (Rank -1), or the counters table (Rank -2).
+type LeafSeal struct {
+	// Rank is the trial index the leaf covers (the KindTrial span's
+	// rank), or a negative marker for the tail/counters leaves.
+	Rank int32 `json:"rank"`
+	// Spans is the number of spans hashed into the leaf (0 for the
+	// counters leaf).
+	Spans int `json:"spans"`
+	// Hash is the leaf's SHA-256 in hex.
+	Hash string `json:"hash"`
+}
+
+// TraceSeal is a campaign trace's Merkle seal.
+type TraceSeal struct {
+	Root   string     `json:"root"`
+	Leaves []LeafSeal `json:"leaves"`
+}
+
+// scrubbedCounter zeroes wall-clock counters, mirroring the CI scrub
+// (`"-ns"`-suffixed names carry nondeterministic timings).
+func scrubbedCounter(name string, v int64) int64 {
+	if strings.HasSuffix(name, "-ns") {
+		return 0
+	}
+	return v
+}
+
+// hashSpans digests one span chunk with Wall scrubbed to zero.
+func hashSpans(spans []trace.Span) Hash {
+	h := sha256.New()
+	for _, s := range spans {
+		fmt.Fprintf(h, "%s|%d|%d|%d|%d|0|%d|%d|%s|%d|%d\n",
+			s.Kind.String(), s.ID, s.Parent, s.StartDyn, s.EndDyn,
+			s.PC, s.Addr, s.Outcome, s.Rank, s.Val)
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// Seal computes the Merkle seal of a recorder's trace.
+func Seal(rec *trace.Recorder) TraceSeal {
+	var leaves []LeafSeal
+	var hashes []Hash
+	spans := rec.Spans()
+	start := 0
+	for i, s := range spans {
+		if s.Kind == trace.KindTrial {
+			chunk := spans[start : i+1]
+			h := hashSpans(chunk)
+			leaves = append(leaves, LeafSeal{Rank: s.Rank, Spans: len(chunk), Hash: h.String()})
+			hashes = append(hashes, h)
+			start = i + 1
+		}
+	}
+	if start < len(spans) {
+		chunk := spans[start:]
+		h := hashSpans(chunk)
+		leaves = append(leaves, LeafSeal{Rank: -1, Spans: len(chunk), Hash: h.String()})
+		hashes = append(hashes, h)
+	}
+	// Counters leaf: additive counters (scrubbed), high-water marks,
+	// and the emission totals the meta line exports.
+	ch := sha256.New()
+	for _, n := range rec.CounterNames() {
+		fmt.Fprintf(ch, "c|%s|%d\n", n, scrubbedCounter(n, rec.Counter(n)))
+	}
+	for _, n := range rec.MaxNames() {
+		fmt.Fprintf(ch, "m|%s|%d\n", n, scrubbedCounter(n, rec.MaxCounter(n)))
+	}
+	fmt.Fprintf(ch, "meta|%d|%d|%d\n", rec.Len(), rec.Emitted(), rec.Dropped())
+	var cl Hash
+	ch.Sum(cl[:0])
+	leaves = append(leaves, LeafSeal{Rank: -2, Hash: cl.String()})
+	hashes = append(hashes, cl)
+	return TraceSeal{Root: merkleRoot(hashes).String(), Leaves: leaves}
+}
+
+// merkleRoot folds leaf hashes pairwise (odd leaf promoted) to a root.
+func merkleRoot(level []Hash) Hash {
+	if len(level) == 0 {
+		return HashBytes(nil)
+	}
+	for len(level) > 1 {
+		next := make([]Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i])
+				continue
+			}
+			h := sha256.New()
+			h.Write(level[i][:])
+			h.Write(level[i+1][:])
+			var out Hash
+			h.Sum(out[:0])
+			next = append(next, out)
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// FirstDivergence locates the first leaf where two seals disagree.
+// It returns the leaf index and the leaves themselves (whose Rank
+// attributes the divergence to a trial), or (-1, …) when the seals
+// match leaf-for-leaf.
+func FirstDivergence(a, b TraceSeal) (int, LeafSeal, LeafSeal) {
+	n := len(a.Leaves)
+	if len(b.Leaves) < n {
+		n = len(b.Leaves)
+	}
+	for i := 0; i < n; i++ {
+		if a.Leaves[i].Hash != b.Leaves[i].Hash {
+			return i, a.Leaves[i], b.Leaves[i]
+		}
+	}
+	if len(a.Leaves) != len(b.Leaves) {
+		if len(a.Leaves) > n {
+			return n, a.Leaves[n], LeafSeal{Rank: -3}
+		}
+		return n, LeafSeal{Rank: -3}, b.Leaves[n]
+	}
+	return -1, LeafSeal{}, LeafSeal{}
+}

@@ -1,0 +1,138 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"care/internal/trace"
+)
+
+// trialRec builds a recorder shaped like a merged campaign trace: per
+// trial an activation span then the KindTrial summary span, all
+// stamped with the trial's rank, followed by trailing counters.
+func trialRec(trials int, mutate func(r *trace.Recorder, trial int)) *trace.Recorder {
+	r := trace.New(4 * trials)
+	for i := 0; i < trials; i++ {
+		r.Emit(trace.Span{Kind: trace.KindActivation, StartDyn: uint64(100 * i), EndDyn: uint64(100*i + 10), Rank: int32(i), Wall: time.Duration(i) * time.Millisecond})
+		if mutate != nil {
+			mutate(r, i)
+		}
+		r.Emit(trace.Span{Kind: trace.KindTrial, StartDyn: uint64(100 * i), EndDyn: uint64(100*i + 90), Rank: int32(i), Outcome: "Masked"})
+	}
+	r.Add("campaign.outcome.masked", int64(trials))
+	r.Add("checkpoint.write-ns", 123456)
+	return r
+}
+
+func TestSealLeafPerTrial(t *testing.T) {
+	seal := Seal(trialRec(3, nil))
+	// 3 trial leaves + counters leaf.
+	if len(seal.Leaves) != 4 {
+		t.Fatalf("leaves = %d, want 4", len(seal.Leaves))
+	}
+	for i := 0; i < 3; i++ {
+		if seal.Leaves[i].Rank != int32(i) || seal.Leaves[i].Spans != 2 {
+			t.Fatalf("leaf %d = %+v", i, seal.Leaves[i])
+		}
+	}
+	if seal.Leaves[3].Rank != -2 {
+		t.Fatalf("final leaf = %+v, want counters leaf", seal.Leaves[3])
+	}
+}
+
+func TestSealScrubsWallClock(t *testing.T) {
+	a := Seal(trialRec(2, nil))
+	b := Seal(trialRec(2, func(r *trace.Recorder, trial int) {
+		// Same trace, different wall times — and a different value for a
+		// "-ns" counter. Neither may perturb the seal.
+		_ = trial
+	}))
+	slow := trace.New(8)
+	for i := 0; i < 2; i++ {
+		slow.Emit(trace.Span{Kind: trace.KindActivation, StartDyn: uint64(100 * i), EndDyn: uint64(100*i + 10), Rank: int32(i), Wall: time.Hour})
+		slow.Emit(trace.Span{Kind: trace.KindTrial, StartDyn: uint64(100 * i), EndDyn: uint64(100*i + 90), Rank: int32(i), Outcome: "Masked"})
+	}
+	slow.Add("campaign.outcome.masked", 2)
+	slow.Add("checkpoint.write-ns", 999999999)
+	c := Seal(slow)
+	if a.Root != b.Root || a.Root != c.Root {
+		t.Fatalf("wall-clock noise changed the seal: %s / %s / %s", a.Root, b.Root, c.Root)
+	}
+}
+
+func TestSealDetectsCounterDrift(t *testing.T) {
+	a := Seal(trialRec(2, nil))
+	r := trialRec(2, nil)
+	r.Add("campaign.outcome.masked", 1)
+	b := Seal(r)
+	if a.Root == b.Root {
+		t.Fatalf("non-timing counter drift not detected")
+	}
+	i, _, _ := FirstDivergence(a, b)
+	if i != 2 {
+		t.Fatalf("divergence leaf = %d, want counters leaf 2", i)
+	}
+}
+
+func TestFirstDivergenceNamesTrial(t *testing.T) {
+	a := Seal(trialRec(4, nil))
+	b := Seal(trialRec(4, func(r *trace.Recorder, trial int) {
+		if trial == 2 {
+			r.Emit(trace.Span{Kind: trace.KindRollback, StartDyn: 205, EndDyn: 207, Rank: int32(trial)})
+		}
+	}))
+	i, la, lb := FirstDivergence(a, b)
+	if i != 2 {
+		t.Fatalf("divergence at leaf %d, want 2", i)
+	}
+	if la.Rank != 2 || lb.Rank != 2 {
+		t.Fatalf("diverging leaves attribute ranks %d/%d, want trial 2", la.Rank, lb.Rank)
+	}
+	if a.Root == b.Root {
+		t.Fatalf("roots equal despite divergence")
+	}
+	if i, _, _ := FirstDivergence(a, a); i != -1 {
+		t.Fatalf("self-divergence = %d, want -1", i)
+	}
+}
+
+func TestSealTailLeaf(t *testing.T) {
+	r := trialRec(1, nil)
+	r.Emit(trace.Span{Kind: trace.KindJob, StartDyn: 500, EndDyn: 600, Rank: 0})
+	seal := Seal(r)
+	// trial leaf, tail leaf, counters leaf.
+	if len(seal.Leaves) != 3 || seal.Leaves[1].Rank != -1 || seal.Leaves[1].Spans != 1 {
+		t.Fatalf("leaves = %+v", seal.Leaves)
+	}
+}
+
+func TestSealEmptyRecorder(t *testing.T) {
+	a := Seal(trace.New(1))
+	b := Seal(trace.New(1))
+	if a.Root != b.Root || len(a.Leaves) != 1 {
+		t.Fatalf("empty seal unstable: %+v vs %+v", a, b)
+	}
+}
+
+func TestPutTraceAndGetSeal(t *testing.T) {
+	s := openT(t)
+	key := Key{Kind: "campaign", Workload: "HPCCG", Seed: 3}
+	rec := trialRec(2, nil)
+	seal, err := s.PutTrace(key, rec)
+	if err != nil {
+		t.Fatalf("PutTrace: %v", err)
+	}
+	got, ok := s.GetSeal(key)
+	if !ok {
+		t.Fatalf("GetSeal missed a stored seal")
+	}
+	if got.Root != seal.Root || len(got.Leaves) != len(seal.Leaves) {
+		t.Fatalf("seal round trip mismatch: %+v vs %+v", got, seal)
+	}
+	if n := s.Counter(CounterTraceSeals); n != 1 {
+		t.Fatalf("trace-seals = %d, want 1", n)
+	}
+	if _, ok := s.GetSeal(Key{Kind: "campaign", Workload: "other"}); ok {
+		t.Fatalf("GetSeal hit an absent key")
+	}
+}

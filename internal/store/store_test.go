@@ -1,0 +1,283 @@
+package store
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"care/internal/checkpoint"
+	"care/internal/machine"
+	"care/internal/profiler"
+)
+
+func openT(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestBlobRoundTripAndDedup(t *testing.T) {
+	s := openT(t)
+	data := []byte("the quick brown fault")
+	h, err := s.PutBlob(data)
+	if err != nil {
+		t.Fatalf("PutBlob: %v", err)
+	}
+	if h != HashBytes(data) {
+		t.Fatalf("PutBlob returned wrong hash")
+	}
+	got, err := s.GetBlob(h)
+	if err != nil {
+		t.Fatalf("GetBlob: %v", err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("GetBlob = %q, want %q", got, data)
+	}
+	// Second put of identical content is a dedup hit, not a write.
+	if _, err := s.PutBlob(data); err != nil {
+		t.Fatalf("PutBlob again: %v", err)
+	}
+	if n := s.Counter(CounterBlobPuts); n != 1 {
+		t.Fatalf("blob-puts = %d, want 1", n)
+	}
+	if n := s.Counter(CounterBlobDedup); n != 1 {
+		t.Fatalf("blob-dedup-hits = %d, want 1", n)
+	}
+	if n := s.Counter(CounterBytesDeduped); n != int64(len(data)) {
+		t.Fatalf("bytes-deduped = %d, want %d", n, len(data))
+	}
+	if n := s.Counter(CounterBytesRead); n != int64(len(data)) {
+		t.Fatalf("bytes-read = %d, want %d", n, len(data))
+	}
+}
+
+func TestHashStringRoundTrip(t *testing.T) {
+	h := HashBytes([]byte("x"))
+	back, err := ParseHash(h.String())
+	if err != nil || back != h {
+		t.Fatalf("ParseHash(%q) = %v, %v", h.String(), back, err)
+	}
+	if _, err := ParseHash("zz"); err == nil {
+		t.Fatalf("ParseHash accepted junk")
+	}
+}
+
+func TestKeyIDDistinguishesFields(t *testing.T) {
+	base := Key{Kind: "campaign", Workload: "HPCCG", Params: `{"n":16}`, Seed: 9, SnapEvery: 0, WarmStart: true}
+	ids := map[string]string{base.ID(): "base"}
+	for name, k := range map[string]Key{
+		"seed":     {Kind: "campaign", Workload: "HPCCG", Params: `{"n":16}`, Seed: 10, WarmStart: true},
+		"workload": {Kind: "campaign", Workload: "CG", Params: `{"n":16}`, Seed: 9, WarmStart: true},
+		"defense":  {Kind: "campaign", Workload: "HPCCG", Params: `{"n":16}`, Seed: 9, WarmStart: true, Defenses: []string{"care"}},
+		"cadence":  {Kind: "campaign", Workload: "HPCCG", Params: `{"n":16}`, Seed: 9, WarmStart: true, SnapEvery: 500},
+		"cold":     {Kind: "campaign", Workload: "HPCCG", Params: `{"n":16}`, Seed: 9},
+		"opt":      {Kind: "campaign", Workload: "HPCCG", Params: `{"n":16}`, Seed: 9, WarmStart: true, OptLevel: 2},
+		"kind":     {Kind: "coverage", Workload: "HPCCG", Params: `{"n":16}`, Seed: 9, WarmStart: true},
+	} {
+		if prev, dup := ids[k.ID()]; dup {
+			t.Fatalf("key variant %q collides with %q", name, prev)
+		}
+		ids[k.ID()] = name
+	}
+	if base.ID() != (Key{Kind: "campaign", Workload: "HPCCG", Params: `{"n":16}`, Seed: 9, WarmStart: true}).ID() {
+		t.Fatalf("equal keys produced different IDs")
+	}
+}
+
+// fakeProfile builds a two-snapshot profile whose snapshots share one
+// segment backing array (as frozen COW capture produces) and carry a
+// NaN in the golden stream (the bit-exactness hazard fbits exists for).
+func fakeProfile() *profiler.Profile {
+	shared := []byte("shared-cow-segment-bytes")
+	dirty1 := []byte("snap1-private")
+	dirty2 := []byte("snap2-private-longer")
+	mkSnap := func(dyn uint64, dirty []byte) profiler.SnapPoint {
+		st := &checkpoint.Snapshot{
+			Mem: &machine.Snapshot{
+				HeapNext: 0x9000,
+				Segs: []machine.SegSnapshot{
+					{Base: 0x1000, Name: "app.data", Data: shared, Domain: 1},
+					{Base: 0x2000, Name: "heap", Data: dirty, Domain: 2},
+				},
+			},
+			Step:       int(dyn / 100),
+			EnvResults: []float64{1.5, math.NaN()},
+			EnvPrinted: []string{"iter"},
+		}
+		st.CPU.PC = machine.Word(0x40 + dyn)
+		st.CPU.Dyn = dyn
+		st.CPU.R[3] = 77
+		st.CPU.F[2] = math.Inf(1)
+		return profiler.SnapPoint{Dyn: dyn, State: st, Counts: map[string][]uint64{"app": {dyn, 2}}}
+	}
+	return &profiler.Profile{
+		TotalDyn: 12345,
+		Counts:   map[string][]uint64{"app": {5, 6, 7}},
+		Golden:   []float64{3.25, math.NaN(), math.Inf(-1)},
+		ExitCode: 0,
+		Snaps:    []profiler.SnapPoint{mkSnap(100, dirty1), mkSnap(200, dirty2)},
+	}
+}
+
+func sameProfile(t *testing.T, got, want *profiler.Profile) {
+	t.Helper()
+	if got.TotalDyn != want.TotalDyn || got.ExitCode != want.ExitCode {
+		t.Fatalf("profile header mismatch: %+v vs %+v", got, want)
+	}
+	if len(got.Golden) != len(want.Golden) {
+		t.Fatalf("golden len %d, want %d", len(got.Golden), len(want.Golden))
+	}
+	for i := range got.Golden {
+		if math.Float64bits(got.Golden[i]) != math.Float64bits(want.Golden[i]) {
+			t.Fatalf("golden[%d] bits differ", i)
+		}
+	}
+	if len(got.Snaps) != len(want.Snaps) {
+		t.Fatalf("snaps = %d, want %d", len(got.Snaps), len(want.Snaps))
+	}
+	for i := range got.Snaps {
+		g, w := got.Snaps[i], want.Snaps[i]
+		if g.Dyn != w.Dyn || g.State.Step != w.State.Step || g.State.CPU != w.State.CPU {
+			t.Fatalf("snap %d header mismatch", i)
+		}
+		if g.State.Mem.HeapNext != w.State.Mem.HeapNext {
+			t.Fatalf("snap %d heap mismatch", i)
+		}
+		if len(g.State.Mem.Segs) != len(w.State.Mem.Segs) {
+			t.Fatalf("snap %d segs = %d, want %d", i, len(g.State.Mem.Segs), len(w.State.Mem.Segs))
+		}
+		for j := range g.State.Mem.Segs {
+			gs, ws := g.State.Mem.Segs[j], w.State.Mem.Segs[j]
+			if gs.Base != ws.Base || gs.Name != ws.Name || gs.Domain != ws.Domain || string(gs.Data) != string(ws.Data) {
+				t.Fatalf("snap %d seg %d mismatch", i, j)
+			}
+		}
+		if len(g.Counts["app"]) != len(w.Counts["app"]) {
+			t.Fatalf("snap %d counts mismatch", i)
+		}
+	}
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	s := openT(t)
+	key := Key{Kind: "campaign", Workload: "HPCCG", Seed: 1, WarmStart: true}
+	prof := fakeProfile()
+	text := []TextImage{{Name: "app", Data: []byte("packed-text-image")}}
+	if err := s.PutProfile(key, prof, text); err != nil {
+		t.Fatalf("PutProfile: %v", err)
+	}
+	// The shared segment must have been stored once: segments are
+	// 2×shared (aliased) + 2 dirty + 1 text = 4 distinct blobs, and the
+	// aliased copy is recognised by backing-array identity, not even
+	// charged as a dedup hit.
+	if n := s.Counter(CounterBlobPuts); n != 4 {
+		t.Fatalf("blob-puts = %d, want 4", n)
+	}
+	got, err := s.GetProfile(key)
+	if err != nil {
+		t.Fatalf("GetProfile: %v", err)
+	}
+	if got == nil {
+		t.Fatalf("GetProfile returned a miss for a stored key")
+	}
+	sameProfile(t, got, prof)
+	// Cross-snapshot sharing must survive the round trip: both
+	// snapshots' shared segment alias one backing array.
+	a := got.Snaps[0].State.Mem.Segs[0].Data
+	b := got.Snaps[1].State.Mem.Segs[0].Data
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Fatalf("shared segment was duplicated on load")
+	}
+	if n := s.Counter(CounterGoldenHits); n != 1 {
+		t.Fatalf("golden-hits = %d, want 1", n)
+	}
+	// A second identical store of the profile is pure dedup.
+	if err := s.PutProfile(key, prof, text); err != nil {
+		t.Fatalf("PutProfile again: %v", err)
+	}
+	if n := s.Counter(CounterBlobPuts); n != 4 {
+		t.Fatalf("blob-puts after re-put = %d, want 4", n)
+	}
+	if n := s.Counter(CounterBlobDedup); n != 4 {
+		t.Fatalf("blob-dedup-hits after re-put = %d, want 4", n)
+	}
+}
+
+func TestGetProfileCleanMiss(t *testing.T) {
+	s := openT(t)
+	prof, err := s.GetProfile(Key{Kind: "campaign", Workload: "nope"})
+	if err != nil {
+		t.Fatalf("clean miss should not error: %v", err)
+	}
+	if prof != nil {
+		t.Fatalf("clean miss returned a profile")
+	}
+	if n := s.Counter(CounterGoldenMisses); n != 1 {
+		t.Fatalf("golden-misses = %d, want 1", n)
+	}
+	if n := s.Counter(CounterFallback); n != 0 {
+		t.Fatalf("fallback = %d, want 0 on a clean miss", n)
+	}
+}
+
+func TestListInventory(t *testing.T) {
+	s := openT(t)
+	key := Key{Kind: "campaign", Workload: "HPCCG", Seed: 4, WarmStart: true}
+	if err := s.PutProfile(key, fakeProfile(), nil); err != nil {
+		t.Fatalf("PutProfile: %v", err)
+	}
+	entries, err := s.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Key.Workload != "HPCCG" || entries[0].Snaps != 2 {
+		t.Fatalf("List = %+v", entries)
+	}
+	if entries[0].Seal != nil {
+		t.Fatalf("entry has a seal before any trace was stored")
+	}
+}
+
+func TestStoreSharedAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	key := Key{Kind: "campaign", Workload: "HPCCG", Seed: 2, WarmStart: true}
+	if err := s1.PutProfile(key, fakeProfile(), nil); err != nil {
+		t.Fatalf("PutProfile: %v", err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, err := s2.GetProfile(key)
+	if err != nil || got == nil {
+		t.Fatalf("GetProfile after reopen: %v, %v", got, err)
+	}
+	if n := s2.Counter(CounterGoldenHits); n != 1 {
+		t.Fatalf("golden-hits = %d, want 1", n)
+	}
+}
+
+func TestAtomicWriteLeavesNoTemp(t *testing.T) {
+	s := openT(t)
+	if _, err := s.PutBlob([]byte("abc")); err != nil {
+		t.Fatalf("PutBlob: %v", err)
+	}
+	var temps []string
+	filepath.Walk(s.Dir(), func(path string, fi os.FileInfo, err error) error {
+		if err == nil && !fi.IsDir() && filepath.Base(path)[0] == '.' {
+			temps = append(temps, path)
+		}
+		return nil
+	})
+	if len(temps) != 0 {
+		t.Fatalf("temp files left behind: %v", temps)
+	}
+}
